@@ -1,0 +1,83 @@
+#pragma once
+
+// Shared plumbing for the paper-reproduction benches: canonical scenario
+// configurations (the PlanetLab deployment of Section 4) and table
+// renderers matching the paper's layout. Every bench accepts `--quick`
+// (shorter run for smoke-testing) and `--seed N`.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "digruber/common/table.hpp"
+#include "digruber/diperf/report.hpp"
+#include "digruber/experiments/scenario.hpp"
+
+namespace digruber::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  std::uint64_t seed = 7;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::stoull(argv[++i]);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--quick] [--seed N]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// The paper's PlanetLab experiment (Section 4.3): ~120 submission hosts
+/// against an emulated grid ten times today's Grid3/OSG, 60 s client
+/// timeout, 3-minute state exchange, one-hour window.
+inline experiments::ScenarioConfig paper_config(const BenchArgs& args,
+                                                net::ContainerProfile profile,
+                                                int n_dps) {
+  experiments::ScenarioConfig cfg;
+  cfg.seed = args.seed;
+  cfg.profile = std::move(profile);
+  cfg.n_dps = n_dps;
+  cfg.n_clients = args.quick ? 60 : 120;
+  cfg.duration = args.quick ? sim::Duration::minutes(20) : sim::Duration::hours(1);
+  cfg.grid_scale = args.quick ? 5 : 10;
+  cfg.exchange_interval = sim::Duration::minutes(3);
+  cfg.client_timeout = sim::Duration::seconds(60);
+  return cfg;
+}
+
+/// Render the Tables 1/2 layout: requests handled / NOT handled / all,
+/// with the paper's columns.
+inline void render_performance_table(std::ostream& os, const std::string& title,
+                                     const std::vector<experiments::ScenarioResult>& runs) {
+  os << "== " << title << " ==\n";
+  Table table({"", "Decision Points", "% of Req", "# of Req", "QTime (s)",
+               "Norm QTime (s)", "Util", "Accuracy"});
+  auto add = [&](const std::string& label, const experiments::ScenarioResult& r,
+                 const metrics::MetricValues& v, bool show_accuracy) {
+    table.add_row({label, std::to_string(r.config.n_dps), Table::pct(v.request_share),
+                   std::to_string(v.requests), Table::num(v.qtime_s, 1),
+                   Table::num(v.norm_qtime_s, 4), Table::pct(v.utilization),
+                   show_accuracy && v.requests ? Table::pct(v.accuracy) : "-"});
+  };
+  for (const auto& r : runs) add("Requests Handled by GRUBER", r, r.handled, true);
+  for (const auto& r : runs) add("Requests NOT Handled by GRUBER", r, r.not_handled, false);
+  for (const auto& r : runs) add("All Requests", r, r.all, true);
+  table.render(os);
+}
+
+inline void print_run_banner(std::ostream& os, const experiments::ScenarioResult& r) {
+  os << "[" << r.config.profile.name << ", " << r.config.n_dps
+     << " decision point(s)] sites=" << r.sites << " cpus=" << r.total_cpus
+     << " queries=" << r.all.requests << " handled=" << Table::pct(r.handled.request_share)
+     << " jobs_completed=" << r.jobs_completed << " events=" << r.sim_events << "\n";
+}
+
+}  // namespace digruber::bench

@@ -1,0 +1,83 @@
+// Figure 1: GT3.2 service instance creation under a DiPerF client ramp —
+// response time, load, and throughput vs time for the bare Web-service
+// container (no brokering logic). Establishes the per-container
+// performance envelope the rest of the paper builds on (Section 2.1).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "digruber/digruber/protocol.hpp"
+#include "digruber/net/rpc.hpp"
+#include "digruber/net/sim_transport.hpp"
+
+using namespace digruber;
+using ::digruber::digruber::CreateInstanceReply;
+using ::digruber::digruber::CreateInstanceRequest;
+using ::digruber::digruber::Method;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  sim::Simulation sim(args.seed);
+  net::SimTransport transport(sim, net::WanModel(net::WanParams{}, args.seed));
+
+  // Bare GT3 service: instance creation costs ~120 ms of container CPU on
+  // top of the security/SOAP overheads.
+  net::RpcServer server(sim, transport, net::ContainerProfile::gt3());
+  std::uint64_t instances = 0;
+  server.register_typed<CreateInstanceRequest, CreateInstanceReply>(
+      Method::kCreateInstance,
+      [&instances](const CreateInstanceRequest& request, NodeId)
+          -> std::pair<CreateInstanceReply, sim::Duration> {
+        CreateInstanceReply reply;
+        reply.nonce = request.nonce;
+        reply.instance = ++instances;
+        return {reply, sim::Duration::millis(120)};
+      });
+
+  const int n_clients = args.quick ? 60 : 120;
+  const double duration_s = args.quick ? 900 : 1800;
+
+  diperf::Collector collector;
+  diperf::Controller controller(sim, collector);
+  std::vector<std::unique_ptr<net::RpcClient>> rpcs;
+  rpcs.reserve(std::size_t(n_clients));
+  std::uint64_t nonce = 0;
+  for (int c = 0; c < n_clients; ++c) {
+    rpcs.push_back(std::make_unique<net::RpcClient>(sim, transport));
+    net::RpcClient* rpc = rpcs.back().get();
+    auto op = [rpc, &server, &nonce](std::function<void(bool)> done) {
+      CreateInstanceRequest request;
+      request.nonce = ++nonce;
+      request.payload.assign(512, 'x');  // realistic SOAP body
+      rpc->call<CreateInstanceRequest, CreateInstanceReply>(
+          server.node(), Method::kCreateInstance, request,
+          sim::Duration::seconds(30),
+          [done = std::move(done)](Result<CreateInstanceReply> reply) {
+            done(reply.ok());
+          });
+    };
+    controller.add_tester(std::make_unique<diperf::Tester>(
+        sim, ClientId(std::uint64_t(c)), std::move(op), sim::Duration::seconds(2),
+        collector));
+  }
+
+  // Slow ramp over the first 60% of the window, all clients to the end.
+  controller.schedule(sim::Duration::seconds(1),
+                      sim::Duration::seconds(duration_s * 0.6 / n_clients),
+                      sim::Time::from_seconds(duration_s));
+  sim.run_until(sim::Time::from_seconds(duration_s));
+  sim.run();
+
+  diperf::render_figure(std::cout,
+                        "Figure 1: GT3 Service Instance Creation "
+                        "(response time, load, throughput)",
+                        collector, duration_s);
+  const diperf::PerfModel model = diperf::fit_model(collector, 60.0, duration_s);
+  std::cout << "fitted model: peak " << Table::num(model.peak_qps, 2)
+            << " req/s, plateau " << Table::num(model.plateau_qps, 2)
+            << " req/s, response ~= " << Table::num(model.response_vs_load.intercept, 2)
+            << " + " << Table::num(model.response_vs_load.slope, 3)
+            << " * load (r2=" << Table::num(model.response_vs_load.r2, 2) << ")\n";
+  std::cout << "instances created: " << instances << "\n";
+  return 0;
+}

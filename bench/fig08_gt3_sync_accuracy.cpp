@@ -1,0 +1,39 @@
+// Figure 8: GT3 DI-GRUBER scheduling accuracy as a function of the state
+// exchange interval, three decision points, jobs handled by DI-GRUBER
+// only (Section 4.4.3). The paper finds a ~3-minute interval sufficient
+// for high accuracy; longer intervals degrade it.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace digruber;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  Table table({"Exchange interval (min)", "Accuracy (handled)", "Handled %",
+               "Records exchanged", "Duplicates"});
+  for (const double minutes : {3.0, 10.0, 30.0, 60.0}) {
+    experiments::ScenarioConfig cfg =
+        bench::paper_config(args, net::ContainerProfile::gt3(), 3);
+    cfg.name = "fig08-" + std::to_string(int(minutes)) + "min";
+    cfg.exchange_interval = sim::Duration::minutes(minutes);
+    const experiments::ScenarioResult r = experiments::run_scenario(cfg);
+
+    std::uint64_t applied = 0, duplicates = 0;
+    for (const auto& dp : r.dps) {
+      applied += dp.records_applied;
+      duplicates += dp.records_duplicate;
+    }
+    table.add_row({Table::num(minutes, 0), Table::pct(r.handled.accuracy),
+                   Table::pct(r.handled.request_share), std::to_string(applied),
+                   std::to_string(duplicates)});
+  }
+  std::cout << "== Figure 8: GT3 DI-GRUBER Scheduling Accuracy vs Exchange "
+               "Interval (3 decision points) ==\n";
+  table.render(std::cout);
+  std::cout << "Expected shape (paper): accuracy is highest at the 3-minute\n"
+               "interval and decays as decision points see each other's\n"
+               "dispatches later and later.\n";
+  return 0;
+}

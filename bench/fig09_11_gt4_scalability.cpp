@@ -1,0 +1,43 @@
+// Figures 9-11: GT4 (GT 3.9.4 prerelease) DI-GRUBER infrastructure
+// scalability for 1, 3, and 10 decision points (Section 4.5.1). The GT4
+// container is functionality-equivalent but slower than GT3.2, so all
+// absolute numbers shift down while the scaling shape is preserved.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace digruber;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const char* figures[] = {"Figure 9", "Figure 10", "Figure 11"};
+  const int dp_counts[] = {1, 3, 10};
+
+  double base_throughput = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    experiments::ScenarioConfig cfg =
+        bench::paper_config(args, net::ContainerProfile::gt4(), dp_counts[i]);
+    cfg.name = figures[i];
+    const experiments::ScenarioResult r = experiments::run_scenario(cfg);
+
+    bench::print_run_banner(std::cout, r);
+    diperf::render_figure(
+        std::cout,
+        std::string(figures[i]) + ": GT4 DI-GRUBER, " +
+            std::to_string(dp_counts[i]) + " decision point(s), " +
+            std::to_string(cfg.n_clients) + " clients",
+        r.collector, cfg.duration.to_seconds());
+
+    const double plateau =
+        r.collector.plateau_throughput(60.0, cfg.duration.to_seconds());
+    if (i == 0) base_throughput = plateau;
+    if (i > 0 && base_throughput > 0) {
+      std::cout << "throughput gain vs one decision point: x"
+                << Table::num(plateau / base_throughput, 2) << "\n\n";
+    }
+  }
+  std::cout << "Expected shape (paper): GT4 one-decision-point throughput\n"
+               "plateaus around 1 query/second (below GT3); gains of ~3x at\n"
+               "three and ~5x at ten decision points.\n";
+  return 0;
+}

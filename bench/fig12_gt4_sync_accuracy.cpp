@@ -1,0 +1,40 @@
+// Figure 12: GT4 DI-GRUBER scheduling accuracy vs state exchange interval
+// for three decision points (Section 4.5.3). The paper finds a 3-10
+// minute interval sufficient for near-peak accuracy under GT4's lower
+// query rate.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace digruber;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  Table table({"Exchange interval (min)", "Accuracy (handled)", "Handled %",
+               "Records exchanged", "Duplicates"});
+  for (const double minutes : {3.0, 10.0, 30.0, 60.0}) {
+    experiments::ScenarioConfig cfg =
+        bench::paper_config(args, net::ContainerProfile::gt4(), 3);
+    cfg.name = "fig12-" + std::to_string(int(minutes)) + "min";
+    cfg.exchange_interval = sim::Duration::minutes(minutes);
+    const experiments::ScenarioResult r = experiments::run_scenario(cfg);
+
+    std::uint64_t applied = 0, duplicates = 0;
+    for (const auto& dp : r.dps) {
+      applied += dp.records_applied;
+      duplicates += dp.records_duplicate;
+    }
+    table.add_row({Table::num(minutes, 0), Table::pct(r.handled.accuracy),
+                   Table::pct(r.handled.request_share), std::to_string(applied),
+                   std::to_string(duplicates)});
+  }
+  std::cout << "== Figure 12: GT4 DI-GRUBER Scheduling Accuracy vs Exchange "
+               "Interval (3 decision points) ==\n";
+  table.render(std::cout);
+  std::cout << "Expected shape (paper): near-peak accuracy at 3-10 minute\n"
+               "intervals, decaying for longer intervals; the decay is milder\n"
+               "than GT3's because GT4's lower throughput leaves fewer unseen\n"
+               "dispatches per interval.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Future work (paper conclusions): "DI-GRUBER performance can be improved
+// further by porting it to a C-based Web services core, such as is
+// supported in GT4." This bench quantifies that port on the paper's
+// single-decision-point deployment: same protocol, same grid, only the
+// container's security/XML costs change.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace digruber;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  Table table({"WS core", "Plateau (q/s)", "Peak (q/s)", "Response avg (s)",
+               "Handled %", "Capacity model (q/s)"});
+  for (const net::ContainerProfile& profile :
+       {net::ContainerProfile::gt3(), net::ContainerProfile::gt4(),
+        net::ContainerProfile::gt4_c()}) {
+    experiments::ScenarioConfig cfg = bench::paper_config(args, profile, 1);
+    cfg.name = std::string("cws-") + profile.name;
+    const experiments::ScenarioResult r = experiments::run_scenario(cfg);
+    const auto resp = r.collector.response_summary();
+    table.add_row(
+        {profile.name,
+         Table::num(r.collector.plateau_throughput(60, cfg.duration.to_seconds()), 2),
+         Table::num(r.collector.peak_throughput(60, cfg.duration.to_seconds()), 2),
+         Table::num(resp.average, 2), Table::pct(r.handled.request_share),
+         Table::num(experiments::dp_capacity_qps(profile, r.sites,
+                                                 sim::Duration::millis(2.5)),
+                    2)});
+  }
+  std::cout << "== Future work: C-based WS core, single decision point ==\n";
+  table.render(std::cout);
+  std::cout << "A native core removes most of the per-request security and XML\n"
+               "cost, so one decision point absorbs the load that needed three\n"
+               "to five Java-container decision points.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Future work (paper conclusions): "performance could also be enhanced by
+// deploying DI-GRUBER in a different environment that would have a
+// tighter coupling between the resource broker and the job manager ...
+// reducing the complexity of the communication from two layers to one",
+// and "we expect that performance will be significantly better in a LAN
+// environment."
+//
+// The WAN penalty is per-message, so it only shows once the deployment is
+// *unsaturated* (otherwise container queueing dominates every response).
+// This bench uses an overprovisioned fast-core deployment so the
+// protocol's round trips are the main cost — the paper's "a single query
+// can easily take multiple seconds ... in a WAN environment with message
+// latencies in the tens of milliseconds" argument.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace digruber;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  struct Env {
+    const char* name;
+    net::WanParams wan;
+  };
+  Env environments[2];
+  environments[0].name = "WAN (PlanetLab-like)";
+  environments[1].name = "LAN (tight coupling)";
+  environments[1].wan.min_latency_ms = 0.2;
+  environments[1].wan.max_latency_ms = 2.0;
+  environments[1].wan.bandwidth_bps = 1e9;
+  environments[1].wan.jitter_cv = 0.05;
+
+  Table table({"Environment", "Response min (s)", "Response median (s)",
+               "Response avg (s)", "Handled %"});
+  for (const Env& env : environments) {
+    experiments::ScenarioConfig cfg =
+        bench::paper_config(args, net::ContainerProfile::gt4_c(), 10);
+    cfg.name = std::string("env-") + env.name;
+    cfg.wan = env.wan;
+    cfg.n_clients = 40;  // keep the deployment well under capacity
+    const experiments::ScenarioResult r = experiments::run_scenario(cfg);
+    const auto resp = r.collector.response_summary();
+    table.add_row({env.name, Table::num(resp.min, 2), Table::num(resp.median, 2),
+                   Table::num(resp.average, 2),
+                   Table::pct(r.handled.request_share)});
+  }
+  std::cout << "== Future work: WAN vs LAN deployment (10 GT4-C decision "
+               "points, unsaturated) ==\n";
+  table.render(std::cout);
+  std::cout << "With the brokering query's two round trips riding sub-ms LAN\n"
+               "links instead of tens-of-ms WAN paths, the response floor is\n"
+               "set by container service time alone.\n";
+  return 0;
+}

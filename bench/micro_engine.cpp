@@ -1,0 +1,96 @@
+// Micro-benchmarks for the GRUBER engine: candidate generation (the USLA
+// evaluation every GetSiteLoads query performs) and the client-side site
+// selectors, across grid sizes — the real-CPU analogue of the modelled
+// `eval_cost_per_site` handler cost.
+#include <benchmark/benchmark.h>
+
+#include "digruber/experiments/scenario.hpp"
+#include "digruber/gruber/selectors.hpp"
+
+using namespace digruber;
+
+namespace {
+
+struct EngineFixture {
+  grid::VoCatalog catalog;
+  usla::AllocationTree tree;
+  gruber::GruberEngine engine;
+  grid::Job job;
+
+  explicit EngineFixture(std::size_t n_sites)
+      : catalog(grid::VoCatalog::uniform(10, 10)),
+        tree(usla::AllocationTree::build(experiments::default_agreements(catalog),
+                                         catalog)
+                 .value()),
+        engine(catalog, tree) {
+    Rng rng(31);
+    std::vector<grid::SiteSnapshot> snapshots;
+    for (std::size_t i = 0; i < n_sites; ++i) {
+      grid::SiteSnapshot s;
+      s.site = SiteId(i);
+      s.total_cpus = std::int32_t(16 + rng.uniform_index(2000));
+      s.free_cpus = std::int32_t(rng.uniform_index(std::uint64_t(s.total_cpus)));
+      snapshots.push_back(s);
+    }
+    engine.view().bootstrap(snapshots);
+    job.id = JobId(1);
+    job.vo = VoId(3);
+    job.group = GroupId(31);
+    job.user = UserId(31);
+    job.cpus = 1;
+    job.runtime = sim::Duration::seconds(450);
+  }
+};
+
+void BM_EngineCandidates(benchmark::State& state) {
+  EngineFixture fixture{std::size_t(state.range(0))};
+  for (auto _ : state) {
+    const auto candidates = fixture.engine.candidates(fixture.job, sim::Time::zero());
+    benchmark::DoNotOptimize(candidates.data());
+  }
+  state.counters["sites"] = double(state.range(0));
+}
+BENCHMARK(BM_EngineCandidates)->Arg(30)->Arg(300)->Arg(3000);
+
+void BM_EngineCandidatesWithActiveRecords(benchmark::State& state) {
+  EngineFixture fixture{300};
+  Rng rng(37);
+  for (int i = 0; i < int(state.range(0)); ++i) {
+    gruber::DispatchRecord r;
+    r.origin = DpId(0);
+    r.seq = std::uint64_t(i);
+    r.site = SiteId(rng.uniform_index(300));
+    r.vo = VoId(rng.uniform_index(10));
+    r.group = GroupId(rng.uniform_index(100));
+    r.user = UserId(rng.uniform_index(100));
+    r.cpus = 1;
+    r.when = sim::Time::zero();
+    r.est_runtime = sim::Duration::hours(10);  // stays active
+    fixture.engine.record(r);
+  }
+  for (auto _ : state) {
+    const auto candidates = fixture.engine.candidates(fixture.job, sim::Time::zero());
+    benchmark::DoNotOptimize(candidates.data());
+  }
+  state.counters["active_records"] = double(state.range(0));
+}
+BENCHMARK(BM_EngineCandidatesWithActiveRecords)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_Selector(benchmark::State& state, const char* name) {
+  EngineFixture fixture{300};
+  const auto candidates = fixture.engine.candidates(fixture.job, sim::Time::zero());
+  const auto selector = gruber::make_selector(name, Rng(41));
+  for (auto _ : state) {
+    auto site = selector->select(candidates, fixture.job);
+    benchmark::DoNotOptimize(site);
+  }
+}
+BENCHMARK_CAPTURE(BM_Selector, least_used, "least-used");
+BENCHMARK_CAPTURE(BM_Selector, top_k, "top-k");
+BENCHMARK_CAPTURE(BM_Selector, round_robin, "round-robin");
+BENCHMARK_CAPTURE(BM_Selector, random, "random");
+BENCHMARK_CAPTURE(BM_Selector, weighted, "weighted");
+
+}  // namespace
+
+BENCHMARK_MAIN();

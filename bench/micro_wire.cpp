@@ -1,0 +1,105 @@
+// Micro-benchmarks for the wire layer: the serialization boilerplate is
+// the hot path of every brokering query (a GetSiteLoads reply carries one
+// SiteLoad per site), so its cost determines how much handler budget is
+// left at each decision point.
+#include <benchmark/benchmark.h>
+
+#include "digruber/common/rng.hpp"
+#include "digruber/digruber/protocol.hpp"
+#include "digruber/net/wire/frame.hpp"
+
+using namespace digruber;
+using ::digruber::digruber::ExchangeMessage;
+using ::digruber::digruber::GetSiteLoadsReply;
+using ::digruber::digruber::Method;
+
+namespace {
+
+GetSiteLoadsReply make_reply(std::size_t n_sites) {
+  Rng rng(17);
+  GetSiteLoadsReply reply;
+  reply.candidates.reserve(n_sites);
+  for (std::size_t i = 0; i < n_sites; ++i) {
+    gruber::SiteLoad load;
+    load.site = SiteId(i);
+    load.total_cpus = std::int32_t(rng.uniform_index(4096));
+    load.free_estimate = std::int32_t(rng.uniform_index(2048));
+    load.raw_free = load.free_estimate;
+    load.queued = std::int32_t(rng.uniform_index(64));
+    reply.candidates.push_back(load);
+  }
+  return reply;
+}
+
+ExchangeMessage make_exchange(std::size_t n_records) {
+  Rng rng(23);
+  ExchangeMessage msg;
+  msg.from = DpId(1);
+  for (std::size_t i = 0; i < n_records; ++i) {
+    gruber::DispatchRecord r;
+    r.origin = DpId(rng.uniform_index(10));
+    r.seq = i;
+    r.site = SiteId(rng.uniform_index(300));
+    r.vo = VoId(rng.uniform_index(10));
+    r.group = GroupId(rng.uniform_index(100));
+    r.user = UserId(rng.uniform_index(100));
+    r.cpus = 1;
+    r.when = sim::Time::from_seconds(double(i));
+    r.est_runtime = sim::Duration::seconds(450);
+    msg.dispatches.push_back(r);
+  }
+  return msg;
+}
+
+void BM_EncodeSiteLoads(benchmark::State& state) {
+  const GetSiteLoadsReply reply = make_reply(std::size_t(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto encoded = net::wire::encode(reply);
+    bytes = encoded.size();
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetBytesProcessed(std::int64_t(bytes) * state.iterations());
+  state.counters["wire_bytes"] = double(bytes);
+}
+BENCHMARK(BM_EncodeSiteLoads)->Arg(30)->Arg(300)->Arg(3000);
+
+void BM_DecodeSiteLoads(benchmark::State& state) {
+  const auto encoded = net::wire::encode(make_reply(std::size_t(state.range(0))));
+  for (auto _ : state) {
+    GetSiteLoadsReply out;
+    const bool ok = net::wire::decode(std::span<const std::uint8_t>(encoded), out);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(out.candidates.data());
+  }
+  state.SetBytesProcessed(std::int64_t(encoded.size()) * state.iterations());
+}
+BENCHMARK(BM_DecodeSiteLoads)->Arg(30)->Arg(300)->Arg(3000);
+
+void BM_EncodeExchange(benchmark::State& state) {
+  const ExchangeMessage msg = make_exchange(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    const auto encoded = net::wire::encode(msg);
+    benchmark::DoNotOptimize(encoded.data());
+  }
+}
+BENCHMARK(BM_EncodeExchange)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_FrameRoundtrip(benchmark::State& state) {
+  const GetSiteLoadsReply reply = make_reply(300);
+  for (auto _ : state) {
+    const auto frame =
+        net::wire::make_frame(Method::kGetSiteLoads, net::wire::FrameKind::kReply,
+                              42, reply);
+    net::wire::FrameHeader header;
+    std::span<const std::uint8_t> body;
+    const bool ok = net::wire::parse_frame(frame, header, body);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(body.data());
+  }
+}
+BENCHMARK(BM_FrameRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Table 2: GT4 DI-GRUBER overall performance for 1/3/10 decision points,
+// split by handled / NOT handled / all requests (Section 4.5.2). Per the
+// paper, the 3- and 10-decision-point GT4 deployments handle almost all
+// requests, so the handled/all split differs mostly in the 1-DP row.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace digruber;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  std::vector<experiments::ScenarioResult> runs;
+  for (const int dps : {1, 3, 10}) {
+    experiments::ScenarioConfig cfg =
+        bench::paper_config(args, net::ContainerProfile::gt4(), dps);
+    cfg.name = "tab2-" + std::to_string(dps) + "dp";
+    runs.push_back(experiments::run_scenario(cfg));
+    bench::print_run_banner(std::cout, runs.back());
+  }
+  bench::render_performance_table(
+      std::cout, "Table 2: GT4 DI-GRUBER Overall Performance", runs);
+  return 0;
+}

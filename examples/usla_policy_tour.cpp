@@ -1,0 +1,128 @@
+// USLA policy tour: the usage-SLA machinery on its own, no simulation.
+//
+// Walks the WS-Agreement-subset document model end to end — parse,
+// validate, resolve into the recursive allocation tree, and query the
+// evaluator — showing how the three Maui-style bounds (target, upper
+// limit `+`, lower limit `-`) behave, how site-scoped rules override
+// grid-wide ones, and how shares recurse VO -> group -> user.
+//
+//   ./usla_policy_tour
+#include <iostream>
+
+#include "digruber/common/table.hpp"
+#include "digruber/grid/topology.hpp"
+#include "digruber/usla/tree.hpp"
+
+using namespace digruber;
+
+int main() {
+  const char* document = R"(
+# A provider grants three collaborations CPU under different bounds, with
+# one site-local override and a recursive share chain inside CMS.
+agreement policy-tour
+context provider=osg consumer=physics
+
+term cms-cap:       grid -> vo:cms   cpu 40+   # hard upper limit
+term atlas-target:  grid -> vo:atlas cpu 30    # target (bursts to 1.5x)
+term cdf-floor:     grid -> vo:cdf   cpu 10-   # guaranteed minimum
+term fnal-local:    site:fnal -> vo:cms cpu 80+  # FNAL gives CMS more
+
+term higgs-share:   vo:cms -> group:cms.higgs cpu 50+
+term alice-share:   group:cms.higgs -> user:cms.higgs cpu 40+
+
+goal qtime < 600
+goal accuracy > 0.9
+)";
+
+  // Parse and validate.
+  const auto parsed = usla::parse_agreement(document);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.error() << "\n";
+    return 1;
+  }
+  if (const auto valid = usla::validate(parsed.value()); !valid.ok()) {
+    std::cerr << "validation error: " << valid.error() << "\n";
+    return 1;
+  }
+  std::cout << "parsed agreement '" << parsed.value().name << "' with "
+            << parsed.value().terms.size() << " terms and "
+            << parsed.value().goals.size() << " goals\n\n";
+  std::cout << "canonical form:\n" << usla::format_agreement(parsed.value()) << "\n";
+
+  // Entities and the allocation tree.
+  grid::VoCatalog catalog;
+  const VoId cms = catalog.add_vo("cms");
+  const VoId atlas = catalog.add_vo("atlas");
+  const VoId cdf = catalog.add_vo("cdf");
+  const GroupId higgs = catalog.add_group(cms, "cms.higgs");
+  catalog.add_group(atlas, "atlas.top");
+  catalog.add_group(cdf, "cdf.qcd");
+  const UserId alice = catalog.add_user(higgs, "alice");
+
+  const std::map<std::string, SiteId> sites{{"fnal", SiteId(0)},
+                                            {"uchicago", SiteId(1)}};
+  const auto tree = usla::AllocationTree::build({parsed.value()}, catalog, sites);
+  if (!tree.ok()) {
+    std::cerr << "tree error: " << tree.error() << "\n";
+    return 1;
+  }
+
+  const usla::UslaEvaluator evaluator(tree.value(), catalog);
+
+  // A 1000-CPU site, fully free, no usage yet.
+  auto fresh = [](SiteId site) {
+    grid::SiteSnapshot s;
+    s.site = site;
+    s.total_cpus = 1000;
+    s.free_cpus = 1000;
+    return s;
+  };
+
+  Table caps({"Consumer", "At uchicago (generic)", "At fnal (override)"});
+  auto cap_row = [&](const std::string& label, VoId vo) {
+    caps.add_row({label,
+                  Table::num(evaluator.cap_fraction(vo, SiteId(1)) * 100, 0) + "% ->" +
+                      " headroom " + std::to_string(evaluator.vo_headroom(fresh(SiteId(1)), vo)),
+                  Table::num(evaluator.cap_fraction(vo, SiteId(0)) * 100, 0) + "% ->" +
+                      " headroom " + std::to_string(evaluator.vo_headroom(fresh(SiteId(0)), vo))});
+  };
+  cap_row("cms   (40%+, fnal 80%+)", cms);
+  cap_row("atlas (30% target, x1.5 burst)", atlas);
+  cap_row("cdf   (10%- guarantee, uncapped)", cdf);
+  std::cout << "effective caps on a free 1000-CPU site:\n";
+  caps.render(std::cout);
+
+  std::cout << "cdf guaranteed fraction: "
+            << Table::pct(evaluator.guarantee_fraction(cdf)) << "\n\n";
+
+  // The recursive chain: vo cap 40% -> group 50% of that -> user 40% of that.
+  const auto site = fresh(SiteId(1));
+  const double group_pct = tree.value().group_share(higgs)->percent;
+  const double user_pct = tree.value().user_share(alice)->percent;
+  std::cout << "recursive chain at uchicago (1000 CPUs):\n"
+            << "  cms vo headroom:            "
+            << evaluator.vo_headroom(site, cms) << " CPUs (40% cap)\n"
+            << "  cms.higgs group share:      " << group_pct
+            << "% of the VO cap -> 200 CPUs\n"
+            << "  alice user share:           " << user_pct
+            << "% of the group cap -> full-chain headroom "
+            << evaluator.chain_headroom(site, cms, higgs, alice, 0, 0) << " CPUs\n";
+
+  // Usage eats headroom.
+  grid::SiteSnapshot busy = site;
+  busy.free_cpus = 700;
+  busy.running_per_vo[cms] = 300;
+  std::cout << "\nafter cms runs 300 CPUs there:\n"
+            << "  cms vo headroom:            " << evaluator.vo_headroom(busy, cms)
+            << " CPUs (cap 400 - 300 running)\n";
+
+  // Rejected documents.
+  const auto oversubscribed = usla::parse_agreement(
+      "agreement bad\n"
+      "term a: grid -> vo:cms cpu 60\n"
+      "term b: grid -> vo:atlas cpu 60\n");
+  std::cout << "\noversubscribed targets rejected: "
+            << (usla::validate(oversubscribed.value()).ok() ? "NO (bug!)" : "yes")
+            << "\n";
+  return 0;
+}

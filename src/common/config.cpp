@@ -1,0 +1,106 @@
+#include "digruber/common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace digruber {
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+Config Config::parse(std::string_view text) {
+  Config cfg;
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const std::string stripped = trim(line);
+    if (stripped.empty()) continue;
+
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("Config: missing '=' on line " + std::to_string(lineno));
+    }
+    std::string key = trim(std::string_view(stripped).substr(0, eq));
+    std::string value = trim(std::string_view(stripped).substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("Config: empty key on line " + std::to_string(lineno));
+    }
+    cfg.entries_[std::move(key)] = std::move(value);
+  }
+  return cfg;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::has(const std::string& key) const { return entries_.count(key) > 0; }
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key, std::string fallback) const {
+  const auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+long Config::get_int(const std::string& key, long fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    return std::stol(*v);
+  } catch (const std::exception&) {
+    throw std::runtime_error("Config: key '" + key + "' is not an integer: " + *v);
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::runtime_error("Config: key '" + key + "' is not a number: " + *v);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") return false;
+  throw std::runtime_error("Config: key '" + key + "' is not a boolean: " + *v);
+}
+
+}  // namespace digruber

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace digruber {
+
+/// Flat `key = value` configuration with `#` comments. Used by examples and
+/// benches so scenario parameters can be tweaked without recompiling.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from text. Later assignments win. Throws std::runtime_error on
+  /// malformed lines.
+  static Config parse(std::string_view text);
+  static Config from_file(const std::string& path);
+
+  /// Overlay `key=value` command-line style arguments.
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key, std::string fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace digruber

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace digruber {
+
+/// Strongly typed integer identifier. `Tag` distinguishes id spaces at
+/// compile time so a SiteId cannot be passed where a JobId is expected.
+template <class Tag>
+class Id {
+ public:
+  using value_type = std::uint64_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+  static constexpr value_type kInvalid = ~value_type{0};
+
+  /// Wire-format support (see net/wire/archive.hpp).
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & value_;
+  }
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+struct SiteTag {};
+struct ClusterTag {};
+struct VoTag {};
+struct GroupTag {};
+struct UserTag {};
+struct JobTag {};
+struct NodeTag {};     // network endpoint
+struct DpTag {};       // decision point
+struct ClientTag {};   // submission host / tester
+struct RequestTag {};  // rpc correlation
+
+using SiteId = Id<SiteTag>;
+using ClusterId = Id<ClusterTag>;
+using VoId = Id<VoTag>;
+using GroupId = Id<GroupTag>;
+using UserId = Id<UserTag>;
+using JobId = Id<JobTag>;
+using NodeId = Id<NodeTag>;
+using DpId = Id<DpTag>;
+using ClientId = Id<ClientTag>;
+using RequestId = Id<RequestTag>;
+
+}  // namespace digruber
+
+namespace std {
+template <class Tag>
+struct hash<digruber::Id<Tag>> {
+  size_t operator()(digruber::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace digruber::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are dropped. Not synchronized:
+/// set it once at startup before spawning threads.
+void set_level(Level level);
+Level level();
+
+/// Emit one line to stderr: `[level] component: message`. Thread-safe.
+void write(Level level, std::string_view component, std::string_view message);
+
+namespace detail {
+template <class... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void trace(std::string_view component, const Args&... args) {
+  if (level() <= Level::kTrace) write(Level::kTrace, component, detail::concat(args...));
+}
+template <class... Args>
+void debug(std::string_view component, const Args&... args) {
+  if (level() <= Level::kDebug) write(Level::kDebug, component, detail::concat(args...));
+}
+template <class... Args>
+void info(std::string_view component, const Args&... args) {
+  if (level() <= Level::kInfo) write(Level::kInfo, component, detail::concat(args...));
+}
+template <class... Args>
+void warn(std::string_view component, const Args&... args) {
+  if (level() <= Level::kWarn) write(Level::kWarn, component, detail::concat(args...));
+}
+template <class... Args>
+void error(std::string_view component, const Args&... args) {
+  if (level() <= Level::kError) write(Level::kError, component, detail::concat(args...));
+}
+
+}  // namespace digruber::log

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace digruber {
+
+/// Minimal expected<T, E>-style result (we target C++20; std::expected is 23).
+template <class T, class E = std::string>
+class Result {
+ public:
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+
+  static Result failure(E error) { return Result(ErrTag{}, std::move(error)); }
+
+  [[nodiscard]] bool ok() const { return storage_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(storage_));
+  }
+  [[nodiscard]] const E& error() const {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+
+ private:
+  struct ErrTag {};
+  Result(ErrTag, E error) : storage_(std::in_place_index<1>, std::move(error)) {}
+  std::variant<T, E> storage_;
+};
+
+/// Result for operations with no payload.
+template <class E = std::string>
+class Status {
+ public:
+  Status() = default;
+  static Status failure(E error) { return Status(std::move(error)); }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const E& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  explicit Status(E error) : error_(std::move(error)) {}
+  std::optional<E> error_;
+};
+
+}  // namespace digruber

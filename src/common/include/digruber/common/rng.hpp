@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace digruber {
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms.
+/// Satisfies UniformRandomBitGenerator, but all experiment code should use
+/// the member distributions below so results never depend on libstdc++'s
+/// distribution implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Derive an independent stream (for per-actor determinism regardless of
+  /// scheduling order).
+  [[nodiscard]] Rng fork();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n), n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// True with probability p.
+  bool bernoulli(double p);
+  /// Exponential with given mean (> 0).
+  double exponential(double mean);
+  /// Standard normal via Box–Muller (no cached spare: keeps streams forkable).
+  double normal(double mean, double stddev);
+  /// Lognormal parameterized by the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+  /// Lognormal parameterized by its own mean and coefficient of variation.
+  double lognormal_mean_cv(double mean, double cv);
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+  /// Zipf-distributed rank in [0, n) with exponent s >= 0.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+ private:
+  std::uint64_t next_raw();
+  std::uint64_t state_[4];
+};
+
+/// Weighted discrete sampling with O(1) draws (Walker alias method).
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<double>& weights);
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace digruber

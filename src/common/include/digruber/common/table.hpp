@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace digruber {
+
+/// ASCII table renderer used by the benchmark harnesses to print the
+/// paper's tables; also emits CSV for post-processing.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  void render(std::ostream& os) const;
+  void render_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace digruber

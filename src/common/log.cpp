@@ -1,0 +1,38 @@
+#include "digruber/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace digruber::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_write_mutex;
+
+const char* name_of(Level level) {
+  switch (level) {
+    case Level::kTrace: return "trace";
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, std::string_view component, std::string_view message) {
+  const std::scoped_lock lock(g_write_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", name_of(lvl),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace digruber::log

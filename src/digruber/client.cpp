@@ -1,0 +1,102 @@
+#include "digruber/digruber/client.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace digruber::digruber {
+
+DiGruberClient::DiGruberClient(sim::Simulation& sim, net::Transport& transport,
+                               ClientId id, NodeId decision_point,
+                               std::vector<SiteId> all_sites,
+                               std::unique_ptr<gruber::SiteSelector> selector,
+                               Rng rng, ClientOptions options)
+    : sim_(sim),
+      rpc_(sim, transport),
+      id_(id),
+      decision_point_(decision_point),
+      all_sites_(std::move(all_sites)),
+      selector_(std::move(selector)),
+      rng_(rng),
+      options_(options) {
+  assert(!all_sites_.empty());
+}
+
+void DiGruberClient::finish_with_fallback(grid::Job job, Done done, sim::Time t0,
+                                          bool starved) {
+  ++fallbacks_;
+  if (starved) ++starvations_;
+  QueryOutcome outcome;
+  outcome.site = all_sites_[rng_.uniform_index(all_sites_.size())];
+  outcome.handled_by_gruber = false;
+  outcome.starved = starved;
+  outcome.response = sim_.now() - t0;
+  done(std::move(job), outcome);
+}
+
+void DiGruberClient::schedule(grid::Job job, Done done) {
+  ++queries_;
+  const sim::Time t0 = sim_.now();
+
+  GetSiteLoadsRequest request;
+  request.job = job.id;
+  request.vo = job.vo;
+  request.group = job.group;
+  request.user = job.user;
+  request.cpus = job.cpus;
+
+  rpc_.call<GetSiteLoadsRequest, GetSiteLoadsReply>(
+      decision_point_, kGetSiteLoads, request, options_.timeout,
+      [this, job = std::move(job), done = std::move(done), t0](
+          Result<GetSiteLoadsReply> result) mutable {
+        if (!result.ok()) {
+          finish_with_fallback(std::move(job), std::move(done), t0, false);
+          return;
+        }
+        const GetSiteLoadsReply& reply = result.value();
+        const std::optional<SiteId> site = selector_->select(reply.candidates, job);
+        if (!site) {
+          finish_with_fallback(std::move(job), std::move(done), t0, true);
+          return;
+        }
+        std::int32_t believed_free = -1;
+        for (const gruber::SiteLoad& load : reply.candidates) {
+          if (load.site == *site) {
+            believed_free = load.raw_free;
+            break;
+          }
+        }
+
+        // Second round trip: inform the decision point of the selection so
+        // it can steer subsequent queries. The query is complete when the
+        // acknowledgement arrives (or its share of the deadline expires).
+        ReportSelectionRequest report;
+        report.job = job.id;
+        report.site = *site;
+        report.vo = job.vo;
+        report.group = job.group;
+        report.user = job.user;
+        report.cpus = job.cpus;
+        report.est_runtime = job.runtime;
+
+        const sim::Duration elapsed = sim_.now() - t0;
+        sim::Duration remaining = options_.timeout - elapsed;
+        if (remaining < sim::Duration::seconds(1)) remaining = sim::Duration::seconds(1);
+
+        rpc_.call<ReportSelectionRequest, Ack>(
+            decision_point_, kReportSelection, report, remaining,
+            [this, job = std::move(job), done = std::move(done), t0, site = *site,
+             believed_free](Result<Ack> /*ack*/) mutable {
+              // Whether or not the ack made it back, the selection stands:
+              // it was computed from decision-point state.
+              ++handled_;
+              QueryOutcome outcome;
+              outcome.site = site;
+              outcome.handled_by_gruber = true;
+              outcome.response = sim_.now() - t0;
+              outcome.believed_free = believed_free;
+              done(std::move(job), outcome);
+            });
+      });
+}
+
+}  // namespace digruber::digruber

@@ -1,0 +1,234 @@
+#include "digruber/digruber/decision_point.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "digruber/common/log.hpp"
+
+namespace digruber::digruber {
+
+DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
+                             DpId id, const grid::VoCatalog& catalog,
+                             const usla::AllocationTree& tree,
+                             DecisionPointOptions options)
+    : sim_(sim),
+      id_(id),
+      options_(std::move(options)),
+      engine_(catalog, tree),
+      server_(sim, transport, options_.profile),
+      peer_client_(sim, transport) {
+  server_.register_method(kGetSiteLoads,
+                          [this](std::span<const std::uint8_t> body, NodeId from) {
+                            return handle_get_site_loads(body, from);
+                          });
+  server_.register_method(kReportSelection,
+                          [this](std::span<const std::uint8_t> body, NodeId from) {
+                            return handle_report_selection(body, from);
+                          });
+  server_.register_method(kExchange,
+                          [this](std::span<const std::uint8_t> body, NodeId from) {
+                            return handle_exchange(body, from);
+                          });
+
+  if (options_.dissemination != Dissemination::kNone) {
+    exchange_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, options_.exchange_interval, [this] { run_exchange(); },
+        options_.exchange_interval);
+  }
+  if (options_.infrastructure_monitor) {
+    saturation_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, sim::Duration::seconds(30), [this] { check_saturation(); },
+        options_.saturation_window);
+  }
+}
+
+void DecisionPoint::stop() {
+  if (exchange_timer_) exchange_timer_->stop();
+  if (saturation_timer_) saturation_timer_->stop();
+}
+
+void DecisionPoint::bootstrap(const std::vector<grid::SiteSnapshot>& snapshots) {
+  engine_.view().bootstrap(snapshots);
+}
+
+void DecisionPoint::set_neighbors(std::vector<NodeId> neighbors) {
+  neighbors_ = std::move(neighbors);
+}
+
+net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> body,
+                                                 NodeId /*from*/) {
+  GetSiteLoadsRequest request;
+  if (!net::wire::decode(body, request)) return {};
+  ++queries_;
+
+  grid::Job probe;
+  probe.id = request.job;
+  probe.vo = request.vo;
+  probe.group = request.group;
+  probe.user = request.user;
+  probe.cpus = request.cpus;
+
+  GetSiteLoadsReply reply;
+  reply.candidates = engine_.candidates(probe, sim_.now());
+  reply.as_of = sim_.now();
+
+  net::Served served;
+  served.handler_cost =
+      options_.eval_cost_per_site * double(engine_.view().site_count());
+  served.reply = net::wire::encode(reply);
+  return served;
+}
+
+net::Served DecisionPoint::handle_report_selection(std::span<const std::uint8_t> body,
+                                                   NodeId /*from*/) {
+  ReportSelectionRequest request;
+  if (!net::wire::decode(body, request)) return {};
+  ++selections_;
+
+  gruber::DispatchRecord record;
+  record.origin = id_;
+  record.seq = next_seq_++;
+  record.site = request.site;
+  record.vo = request.vo;
+  record.group = request.group;
+  record.user = request.user;
+  record.cpus = request.cpus;
+  record.when = sim_.now();
+  record.est_runtime = request.est_runtime;
+
+  engine_.record(record);
+  applied_[id_].insert(record.seq);
+  if (options_.dissemination != Dissemination::kNone) fresh_.push_back(record);
+
+  net::Served served;
+  served.handler_cost = sim::Duration::millis(5);
+  served.reply = net::wire::encode(Ack{});
+  return served;
+}
+
+net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
+                                           NodeId /*from*/) {
+  ExchangeMessage message;
+  if (!net::wire::decode(body, message)) return {};
+  ++exchanges_received_;
+
+  for (const gruber::DispatchRecord& record : message.dispatches) {
+    auto& seen = applied_[record.origin];
+    if (!seen.insert(record.seq).second) {
+      ++records_duplicate_;
+      continue;
+    }
+    engine_.record(record);
+    ++records_applied_;
+    // Flooding: relay fresh records onward at the next exchange tick.
+    fresh_.push_back(record);
+  }
+  for (const grid::SiteSnapshot& snapshot : message.snapshots) {
+    engine_.view().apply_snapshot(snapshot);
+  }
+
+  net::Served served;
+  served.handler_cost =
+      sim::Duration::millis(0.2) * double(message.dispatches.size() + 1);
+  return served;  // one-way: empty reply
+}
+
+void DecisionPoint::run_exchange() {
+  if (neighbors_.empty() || options_.dissemination == Dissemination::kNone) return;
+  ExchangeMessage message;
+  message.from = id_;
+  message.exchange_round = ++exchange_round_;
+  message.dispatches = std::move(fresh_);
+  fresh_.clear();
+  if (options_.dissemination == Dissemination::kUslaAndUsage) {
+    // Strategy 1 also ships the sender's estimated site states. They are
+    // stamped one exchange interval in the past: the sender cannot know
+    // dispatches its peers made since the previous round, so a "now"
+    // timestamp would wrongly clobber the receiver's fresher local records.
+    const sim::Time now = sim_.now();
+    sim::Time claim = sim::Time::zero();
+    if (now - sim::Time::zero() > options_.exchange_interval) {
+      claim = now - options_.exchange_interval;
+    }
+    for (const gruber::SiteLoad& load : engine_.view().loads(now)) {
+      grid::SiteSnapshot snapshot = engine_.view().estimated_snapshot(load.site, now);
+      snapshot.as_of = claim;
+      message.snapshots.push_back(std::move(snapshot));
+    }
+  }
+  for (const NodeId neighbor : neighbors_) {
+    peer_client_.notify(neighbor, kExchange, message);
+    ++exchanges_sent_;
+  }
+}
+
+void DecisionPoint::check_saturation() {
+  const StreamingStats& stats = server_.container().sojourn_stats();
+  const std::uint64_t count = stats.count();
+  const double sum = stats.mean() * double(count);
+  const std::uint64_t window_count = count - window_base_count_;
+  const double window_avg =
+      window_count > 0 ? (sum - window_base_sum_s_) / double(window_count) : 0.0;
+  window_base_count_ = count;
+  window_base_sum_s_ = sum;
+
+  if (window_avg < options_.saturation_response_s) return;
+  if (last_signal_ > sim::Time::zero() &&
+      sim_.now() - last_signal_ < options_.saturation_cooldown) {
+    return;
+  }
+  last_signal_ = sim_.now();
+  ++saturation_signals_;
+
+  SaturationSignal signal;
+  signal.from = id_;
+  signal.avg_response_s = window_avg;
+  signal.observed_qps = double(window_count) / sim::Duration::seconds(30).to_seconds();
+  signal.queue_depth = std::int32_t(server_.container().queue_depth());
+  peer_client_.notify(*options_.infrastructure_monitor, kSaturation, signal);
+  log::info("digruber", "dp ", id_.value(), " saturated: avg response ",
+            window_avg, "s, queue ", signal.queue_depth);
+}
+
+std::vector<std::vector<std::size_t>> overlay_neighbors(std::size_t n,
+                                                        Overlay overlay) {
+  std::vector<std::vector<std::size_t>> out(n);
+  if (n < 2) return out;
+  switch (overlay) {
+    case Overlay::kMesh:
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          if (i != j) out[i].push_back(j);
+      break;
+    case Overlay::kRing:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i].push_back((i + 1) % n);
+        out[i].push_back((i + n - 1) % n);
+      }
+      break;
+    case Overlay::kStar:
+      for (std::size_t i = 1; i < n; ++i) {
+        out[0].push_back(i);
+        out[i].push_back(0);
+      }
+      break;
+  }
+  // Ring of 2 would duplicate the single neighbor.
+  if (overlay == Overlay::kRing && n == 2) {
+    out[0] = {1};
+    out[1] = {0};
+  }
+  return out;
+}
+
+void connect(std::vector<DecisionPoint*> dps, Overlay overlay) {
+  const auto neighbors = overlay_neighbors(dps.size(), overlay);
+  for (std::size_t i = 0; i < dps.size(); ++i) {
+    std::vector<NodeId> nodes;
+    nodes.reserve(neighbors[i].size());
+    for (const std::size_t j : neighbors[i]) nodes.push_back(dps[j]->node());
+    dps[i]->set_neighbors(std::move(nodes));
+  }
+}
+
+}  // namespace digruber::digruber

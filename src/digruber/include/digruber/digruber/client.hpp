@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "digruber/digruber/protocol.hpp"
+#include "digruber/gruber/selectors.hpp"
+#include "digruber/net/rpc.hpp"
+
+namespace digruber::digruber {
+
+struct ClientOptions {
+  /// Per-query deadline; on expiry the client's site selector picks a
+  /// random site without considering USLAs (paper Section 4.3).
+  sim::Duration timeout = sim::Duration::seconds(60);
+};
+
+struct QueryOutcome {
+  SiteId site;
+  bool handled_by_gruber = false;  // true: site came from the decision point
+  bool starved = false;            // reply arrived but no admissible site
+  sim::Duration response = sim::Duration::zero();
+  /// The decision point's free-CPU estimate for the chosen site (-1 for
+  /// the random fallback, which picks blind). Scheduling accuracy compares
+  /// this belief against ground truth.
+  std::int32_t believed_free = -1;
+};
+
+/// A DI-GRUBER client: a submission host statically bound to one decision
+/// point. Runs the two-round-trip brokering query (fetch loads, report
+/// selection) with client-side site-selector logic, degrading gracefully
+/// to random site selection when the decision point saturates.
+class DiGruberClient {
+ public:
+  using Done = std::function<void(grid::Job job, QueryOutcome outcome)>;
+
+  DiGruberClient(sim::Simulation& sim, net::Transport& transport, ClientId id,
+                 NodeId decision_point, std::vector<SiteId> all_sites,
+                 std::unique_ptr<gruber::SiteSelector> selector, Rng rng,
+                 ClientOptions options = {});
+
+  /// Schedule one job; `done` fires exactly once with the chosen site.
+  void schedule(grid::Job job, Done done);
+
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] NodeId decision_point() const { return decision_point_; }
+  [[nodiscard]] std::uint64_t queries() const { return queries_; }
+  [[nodiscard]] std::uint64_t handled() const { return handled_; }
+  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+  [[nodiscard]] std::uint64_t starvations() const { return starvations_; }
+
+  /// Rebind to a different decision point (dynamic rebalancing, Section 5).
+  void rebind(NodeId decision_point) { decision_point_ = decision_point; }
+
+ private:
+  void finish_with_fallback(grid::Job job, Done done, sim::Time t0, bool starved);
+
+  sim::Simulation& sim_;
+  net::RpcClient rpc_;
+  ClientId id_;
+  NodeId decision_point_;
+  std::vector<SiteId> all_sites_;
+  std::unique_ptr<gruber::SiteSelector> selector_;
+  Rng rng_;
+  ClientOptions options_;
+
+  std::uint64_t queries_ = 0;
+  std::uint64_t handled_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t starvations_ = 0;
+};
+
+}  // namespace digruber::digruber

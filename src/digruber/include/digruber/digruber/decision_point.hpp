@@ -1,0 +1,132 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "digruber/common/stats.hpp"
+#include "digruber/digruber/protocol.hpp"
+#include "digruber/grid/topology.hpp"
+#include "digruber/gruber/engine.hpp"
+#include "digruber/net/rpc.hpp"
+#include "digruber/sim/simulation.hpp"
+
+namespace digruber::digruber {
+
+/// How brokering state is disseminated among decision points (paper
+/// Section 3.5). The experiments use kUsageOnly.
+enum class Dissemination : std::uint8_t {
+  /// Strategy 1: exchange USLA/snapshot state and usage.
+  kUslaAndUsage = 0,
+  /// Strategy 2: exchange only utilization (dispatch records); static
+  /// resource knowledge is assumed complete.
+  kUsageOnly,
+  /// Strategy 3: no exchange; each decision point relies on its own
+  /// observations only.
+  kNone,
+};
+
+struct DecisionPointOptions {
+  net::ContainerProfile profile = net::ContainerProfile::gt3();
+  sim::Duration exchange_interval = sim::Duration::minutes(3);
+  Dissemination dissemination = Dissemination::kUsageOnly;
+  /// Modelled per-site USLA evaluation cost inside the engine handler.
+  sim::Duration eval_cost_per_site = sim::Duration::millis(2.5);
+  /// Saturation detection (Section 5): sliding response-time window.
+  sim::Duration saturation_window = sim::Duration::seconds(60);
+  double saturation_response_s = 30.0;
+  sim::Duration saturation_cooldown = sim::Duration::minutes(2);
+  std::optional<NodeId> infrastructure_monitor;
+};
+
+/// A DI-GRUBER decision point: a GRUBER engine exposed as a Web service
+/// on a GT3/GT4-like container, loosely synchronized with its peers by a
+/// periodic flooding exchange of dispatch records.
+class DecisionPoint {
+ public:
+  DecisionPoint(sim::Simulation& sim, net::Transport& transport, DpId id,
+                const grid::VoCatalog& catalog, const usla::AllocationTree& tree,
+                DecisionPointOptions options);
+
+  [[nodiscard]] DpId id() const { return id_; }
+  [[nodiscard]] NodeId node() const { return server_.node(); }
+  [[nodiscard]] gruber::GruberEngine& engine() { return engine_; }
+  [[nodiscard]] const net::RpcServer& server() const { return server_; }
+  [[nodiscard]] const DecisionPointOptions& options() const { return options_; }
+
+  /// Install complete static knowledge of the grid (strategy 2 premise).
+  void bootstrap(const std::vector<grid::SiteSnapshot>& snapshots);
+
+  /// Peers this decision point pushes exchange messages to.
+  void set_neighbors(std::vector<NodeId> neighbors);
+
+  /// Counters for the experiment harness.
+  [[nodiscard]] std::uint64_t queries_served() const { return queries_; }
+  [[nodiscard]] std::uint64_t selections_recorded() const { return selections_; }
+  [[nodiscard]] std::uint64_t exchanges_sent() const { return exchanges_sent_; }
+  [[nodiscard]] std::uint64_t exchanges_received() const { return exchanges_received_; }
+  [[nodiscard]] std::uint64_t records_applied() const { return records_applied_; }
+  [[nodiscard]] std::uint64_t records_duplicate() const { return records_duplicate_; }
+  [[nodiscard]] std::uint64_t saturation_signals() const { return saturation_signals_; }
+
+  /// Response-time samples the detector monitors (exposed for GRUB-SIM).
+  [[nodiscard]] const StreamingStats& response_stats() const {
+    return server_.container().sojourn_stats();
+  }
+
+  void stop();
+
+ private:
+  net::Served handle_get_site_loads(std::span<const std::uint8_t> body, NodeId from);
+  net::Served handle_report_selection(std::span<const std::uint8_t> body, NodeId from);
+  net::Served handle_exchange(std::span<const std::uint8_t> body, NodeId from);
+  void run_exchange();
+  void check_saturation();
+
+  sim::Simulation& sim_;
+  DpId id_;
+  DecisionPointOptions options_;
+  gruber::GruberEngine engine_;
+  net::RpcServer server_;
+  net::RpcClient peer_client_;
+
+  std::vector<NodeId> neighbors_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t exchange_round_ = 0;
+  /// Records learned since the last exchange tick (own + relayed).
+  std::vector<gruber::DispatchRecord> fresh_;
+  /// Dedup for flooding: per-origin applied sequence numbers.
+  std::unordered_map<DpId, std::unordered_set<std::uint64_t>> applied_;
+
+  std::uint64_t queries_ = 0;
+  std::uint64_t selections_ = 0;
+  std::uint64_t exchanges_sent_ = 0;
+  std::uint64_t exchanges_received_ = 0;
+  std::uint64_t records_applied_ = 0;
+  std::uint64_t records_duplicate_ = 0;
+  std::uint64_t saturation_signals_ = 0;
+
+  /// Saturation detector state: last emitted signal and the completed
+  /// count / sojourn sum at the previous check (for windowed averages).
+  sim::Time last_signal_;
+  std::uint64_t window_base_count_ = 0;
+  double window_base_sum_s_ = 0.0;
+
+  std::unique_ptr<sim::PeriodicTimer> exchange_timer_;
+  std::unique_ptr<sim::PeriodicTimer> saturation_timer_;
+};
+
+/// Overlay topologies connecting decision points (the paper uses a full
+/// mesh; ring and star are provided for the ablation bench).
+enum class Overlay : std::uint8_t { kMesh = 0, kRing, kStar };
+
+/// Compute the neighbor lists for `n` decision points under `overlay`.
+std::vector<std::vector<std::size_t>> overlay_neighbors(std::size_t n, Overlay overlay);
+
+/// Wire a set of decision points together under the given overlay.
+void connect(std::vector<DecisionPoint*> dps, Overlay overlay);
+
+}  // namespace digruber::digruber

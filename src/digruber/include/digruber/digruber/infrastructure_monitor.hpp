@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "digruber/digruber/protocol.hpp"
+#include "digruber/net/rpc.hpp"
+
+namespace digruber::digruber {
+
+/// The third-party monitoring service of Section 5: decision points send
+/// it saturation signals; it decides when the scheduling infrastructure
+/// should be reconfigured (a new decision point added, or clients
+/// rebalanced) and delegates the mechanics to a provisioning hook supplied
+/// by the deployment (the experiment harness or a real control plane).
+class InfrastructureMonitor {
+ public:
+  using ProvisionHook = std::function<void(const SaturationSignal&)>;
+
+  struct Options {
+    /// Distinct saturation signals required before acting.
+    int signals_to_act = 2;
+    /// Minimum spacing between provisioning actions.
+    sim::Duration action_cooldown = sim::Duration::minutes(5);
+  };
+
+  InfrastructureMonitor(sim::Simulation& sim, net::Transport& transport,
+                        ProvisionHook hook, Options options);
+  InfrastructureMonitor(sim::Simulation& sim, net::Transport& transport,
+                        ProvisionHook hook)
+      : InfrastructureMonitor(sim, transport, std::move(hook), Options{}) {}
+
+  [[nodiscard]] NodeId node() const { return server_.node(); }
+  [[nodiscard]] std::uint64_t signals_received() const { return signals_; }
+  [[nodiscard]] std::uint64_t actions_taken() const { return actions_; }
+
+ private:
+  net::Served handle_saturation(std::span<const std::uint8_t> body, NodeId from);
+
+  sim::Simulation& sim_;
+  net::RpcServer server_;
+  ProvisionHook hook_;
+  Options options_;
+
+  std::uint64_t signals_ = 0;
+  std::uint64_t actions_ = 0;
+  int signals_since_action_ = 0;
+  sim::Time last_action_;
+};
+
+}  // namespace digruber::digruber

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "digruber/grid/job.hpp"
+#include "digruber/gruber/view.hpp"
+
+namespace digruber::digruber {
+
+/// RPC method ids for the DI-GRUBER wire protocol.
+enum Method : std::uint16_t {
+  /// Client -> decision point: fetch USLA-filtered site loads for a job.
+  kGetSiteLoads = 1,
+  /// Client -> decision point: report the site the client-side selector
+  /// chose (the second round trip of a brokering query).
+  kReportSelection = 2,
+  /// Decision point -> decision point: periodic state exchange (one-way).
+  kExchange = 3,
+  /// The trivial WS operation used by the Figure-1 baseline.
+  kCreateInstance = 4,
+  /// Decision point -> infrastructure monitor: saturation signal (one-way).
+  kSaturation = 5,
+};
+
+struct GetSiteLoadsRequest {
+  JobId job;
+  VoId vo;
+  GroupId group;
+  UserId user;
+  std::int32_t cpus = 1;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & job & vo & group & user & cpus;
+  }
+};
+
+struct GetSiteLoadsReply {
+  std::vector<gruber::SiteLoad> candidates;
+  sim::Time as_of;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & candidates & as_of;
+  }
+};
+
+struct ReportSelectionRequest {
+  JobId job;
+  SiteId site;
+  VoId vo;
+  GroupId group;
+  UserId user;
+  std::int32_t cpus = 1;
+  sim::Duration est_runtime;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & job & site & vo & group & user & cpus & est_runtime;
+  }
+};
+
+struct Ack {
+  bool ok = true;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & ok;
+  }
+};
+
+struct ExchangeMessage {
+  DpId from;
+  std::uint64_t exchange_round = 0;
+  std::vector<gruber::DispatchRecord> dispatches;
+  /// Dissemination strategy 1 additionally carries fresh site snapshots.
+  std::vector<grid::SiteSnapshot> snapshots;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & from & exchange_round & dispatches & snapshots;
+  }
+};
+
+struct CreateInstanceRequest {
+  std::uint64_t nonce = 0;
+  std::string payload;  // pad to model realistic SOAP body sizes
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & nonce & payload;
+  }
+};
+
+struct CreateInstanceReply {
+  std::uint64_t nonce = 0;
+  std::uint64_t instance = 0;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & nonce & instance;
+  }
+};
+
+struct SaturationSignal {
+  DpId from;
+  double avg_response_s = 0.0;
+  double observed_qps = 0.0;
+  std::int32_t queue_depth = 0;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & from & avg_response_s & observed_qps & queue_depth;
+  }
+};
+
+}  // namespace digruber::digruber

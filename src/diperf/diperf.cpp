@@ -1,0 +1,165 @@
+#include "digruber/diperf/diperf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace digruber::diperf {
+
+void Collector::client_started(ClientId client, sim::Time when) {
+  client_spans_[client] = {when, sim::Time::max()};
+}
+
+void Collector::client_stopped(ClientId client, sim::Time when) {
+  const auto it = client_spans_.find(client);
+  if (it != client_spans_.end()) it->second.second = when;
+}
+
+void Collector::record(RequestRecord record) {
+  if (!record.ok) ++failures_;
+  records_.push_back(record);
+}
+
+std::vector<Collector::Bucket> Collector::series(double bucket_s,
+                                                 double end_s) const {
+  assert(bucket_s > 0);
+  const auto n = std::size_t(std::ceil(end_s / bucket_s));
+  std::vector<Bucket> buckets(n);
+  for (std::size_t b = 0; b < n; ++b) buckets[b].t_s = double(b) * bucket_s;
+
+  // Load: concurrent active clients sampled at bucket midpoints.
+  for (std::size_t b = 0; b < n; ++b) {
+    const double mid = (double(b) + 0.5) * bucket_s;
+    double active = 0;
+    for (const auto& [client, span] : client_spans_) {
+      if (span.first.to_seconds() <= mid && mid < span.second.to_seconds()) ++active;
+    }
+    buckets[b].load = active;
+  }
+
+  // Completions land in the bucket where the response arrived.
+  std::vector<double> response_sums(n, 0.0);
+  for (const RequestRecord& r : records_) {
+    const double done_at = r.start.to_seconds() + r.response_s;
+    if (done_at < 0 || done_at >= end_s) continue;
+    const auto b = std::size_t(done_at / bucket_s);
+    buckets[b].completions += 1;
+    response_sums[b] += r.response_s;
+  }
+  for (std::size_t b = 0; b < n; ++b) {
+    if (buckets[b].completions > 0) {
+      buckets[b].response_avg_s = response_sums[b] / double(buckets[b].completions);
+    }
+    buckets[b].throughput_qps = double(buckets[b].completions) / bucket_s;
+  }
+  return buckets;
+}
+
+Summary Collector::response_summary() const {
+  SampleSet set;
+  set.reserve(records_.size());
+  for (const RequestRecord& r : records_) set.add(r.response_s);
+  return summarize(set);
+}
+
+double Collector::peak_throughput(double bucket_s, double end_s) const {
+  double peak = 0.0;
+  for (const Bucket& b : series(bucket_s, end_s)) {
+    peak = std::max(peak, b.throughput_qps);
+  }
+  return peak;
+}
+
+double Collector::plateau_throughput(double bucket_s, double end_s) const {
+  const std::vector<Bucket> buckets = series(bucket_s, end_s);
+  double max_load = 0.0;
+  for (const Bucket& b : buckets) max_load = std::max(max_load, b.load);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const Bucket& b : buckets) {
+    if (b.load >= 0.5 * max_load && b.completions > 0) {
+      sum += b.throughput_qps;
+      ++count;
+    }
+  }
+  return count ? sum / double(count) : 0.0;
+}
+
+Tester::Tester(sim::Simulation& sim, ClientId id, Operation op,
+               sim::Duration think, Collector& collector)
+    : sim_(sim), id_(id), op_(std::move(op)), think_(think), collector_(collector) {}
+
+void Tester::start() {
+  if (running_) return;
+  running_ = true;
+  ++generation_;
+  collector_.client_started(id_, sim_.now());
+  issue();
+}
+
+void Tester::stop() {
+  if (!running_) return;
+  running_ = false;
+  ++generation_;  // in-flight completion will not re-issue
+  collector_.client_stopped(id_, sim_.now());
+}
+
+void Tester::issue() {
+  if (!running_) return;
+  ++issued_;
+  const sim::Time t0 = sim_.now();
+  const std::uint64_t generation = generation_;
+  op_([this, t0, generation](bool ok) {
+    // Record even if the tester was stopped mid-flight (completions after
+    // the window are filtered by the series end).
+    RequestRecord record;
+    record.client = id_;
+    record.start = t0;
+    record.response_s = (sim_.now() - t0).to_seconds();
+    record.ok = ok;
+    collector_.record(record);
+    if (generation != generation_ || !running_) return;
+    sim_.schedule_after(think_, [this, generation] {
+      if (generation == generation_ && running_) issue();
+    });
+  });
+}
+
+Controller::Controller(sim::Simulation& sim, Collector& collector)
+    : sim_(sim), collector_(collector) {}
+
+void Controller::add_tester(std::unique_ptr<Tester> tester) {
+  testers_.push_back(std::move(tester));
+}
+
+void Controller::schedule(sim::Duration first_start, sim::Duration spacing,
+                          sim::Time end) {
+  for (std::size_t i = 0; i < testers_.size(); ++i) {
+    Tester* tester = testers_[i].get();
+    sim_.schedule_after(first_start + spacing * double(i),
+                        [tester] { tester->start(); });
+    sim_.schedule_at(end, [tester] { tester->stop(); });
+  }
+}
+
+double PerfModel::saturation_load(double response_limit_s) const {
+  if (response_vs_load.slope <= 0) return std::numeric_limits<double>::infinity();
+  return (response_limit_s - response_vs_load.intercept) / response_vs_load.slope;
+}
+
+PerfModel fit_model(const Collector& collector, double bucket_s, double end_s) {
+  PerfModel model;
+  model.peak_qps = collector.peak_throughput(bucket_s, end_s);
+  model.plateau_qps = collector.plateau_throughput(bucket_s, end_s);
+  std::vector<double> load, response;
+  for (const Collector::Bucket& b : collector.series(bucket_s, end_s)) {
+    if (b.completions == 0) continue;
+    load.push_back(b.load);
+    response.push_back(b.response_avg_s);
+  }
+  model.response_vs_load = fit_linear(load, response);
+  return model;
+}
+
+}  // namespace digruber::diperf

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "digruber/diperf/diperf.hpp"
+
+namespace digruber::diperf {
+
+/// Render a figure the way the paper does: the load / response /
+/// throughput series (downsampled) followed by the response-time and
+/// throughput summary rows.
+void render_figure(std::ostream& os, const std::string& title,
+                   const Collector& collector, double end_s,
+                   double bucket_s = 60.0, std::size_t max_rows = 20);
+
+}  // namespace digruber::diperf

@@ -1,0 +1,73 @@
+#include "digruber/euryale/dagman.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace digruber::euryale {
+
+void DagMan::add_node(const std::string& name, grid::Job job) {
+  if (nodes_.count(name)) throw std::invalid_argument("duplicate dag node: " + name);
+  Node node;
+  node.job = std::move(job);
+  nodes_.emplace(name, std::move(node));
+}
+
+void DagMan::add_edge(const std::string& parent, const std::string& child) {
+  const auto p = nodes_.find(parent);
+  const auto c = nodes_.find(child);
+  if (p == nodes_.end() || c == nodes_.end()) {
+    throw std::invalid_argument("dag edge references unknown node");
+  }
+  p->second.children.push_back(child);
+  c->second.waiting_on += 1;
+}
+
+void DagMan::run(std::function<void(int, int, int)> done) {
+  done_ = std::move(done);
+  release_ready();
+  finish_if_done();
+}
+
+void DagMan::release_ready() {
+  for (auto& [name, node] : nodes_) {
+    if (node.started || node.waiting_on > 0) continue;
+    node.started = true;
+    ++in_flight_;
+    const std::string key = name;
+    planner_.run(node.job, [this, key](const PlannerOutcome& outcome) {
+      Node& finished = nodes_.at(key);
+      --in_flight_;
+      if (outcome.succeeded) {
+        finished.succeeded = true;
+        ++succeeded_;
+        for (const std::string& child : finished.children) {
+          Node& c = nodes_.at(child);
+          assert(c.waiting_on > 0);
+          c.waiting_on -= 1;
+        }
+        release_ready();
+      } else {
+        finished.failed = true;
+        ++failed_;
+      }
+      finish_if_done();
+    });
+  }
+}
+
+void DagMan::finish_if_done() {
+  if (in_flight_ > 0 || !done_) return;
+  // No progress possible when nothing is in flight and nothing is ready.
+  for (const auto& [name, node] : nodes_) {
+    if (!node.started && node.waiting_on == 0) return;  // will be released
+  }
+  int blocked = 0;
+  for (const auto& [name, node] : nodes_) {
+    if (!node.started) ++blocked;
+  }
+  auto done = std::move(done_);
+  done_ = nullptr;
+  done(succeeded_, failed_, blocked);
+}
+
+}  // namespace digruber::euryale

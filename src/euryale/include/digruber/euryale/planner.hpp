@@ -1,0 +1,77 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "digruber/digruber/client.hpp"
+#include "digruber/euryale/replica.hpp"
+#include "digruber/usla/tree.hpp"
+#include "digruber/grid/topology.hpp"
+
+namespace digruber::euryale {
+
+struct PlannerOptions {
+  /// Fault tolerance: re-plan a failed job at most this many times.
+  int max_replans = 3;
+  /// Stage-in/out link speed from the submission host's collection area.
+  double transfer_bandwidth_bps = 10e6;
+  sim::Duration transfer_setup = sim::Duration::millis(200);
+  /// When set, network USLA shares (kNetwork terms) scale each VO's share
+  /// of the staging bandwidth.
+  const usla::UslaEvaluator* network_policy = nullptr;
+};
+
+/// Result handed to the caller when a job leaves the planner.
+struct PlannerOutcome {
+  grid::Job job;                      // final state and timestamps
+  digruber::QueryOutcome last_query;  // from the final (re)plan
+  bool succeeded = false;
+};
+
+/// The Euryale concrete planner: late-binding job execution over the grid.
+/// The DagMan-driven prescript asks the external site selector (DI-GRUBER)
+/// for a site immediately before the run, rewrites the submit file,
+/// stages input files, and registers replicas; the postscript stages
+/// output back, registers produced files, updates popularity, and checks
+/// for success. Failures trigger re-planning (paper Section 3.4).
+class EuryalePlanner {
+ public:
+  using Done = std::function<void(const PlannerOutcome&)>;
+
+  EuryalePlanner(sim::Simulation& sim, grid::Grid& grid,
+                 digruber::DiGruberClient& selector, ReplicaRegistry& registry,
+                 PlannerOptions options);
+  EuryalePlanner(sim::Simulation& sim, grid::Grid& grid,
+                 digruber::DiGruberClient& selector, ReplicaRegistry& registry)
+      : EuryalePlanner(sim, grid, selector, registry, PlannerOptions{}) {}
+
+  /// Run one job through prescript -> submit -> postscript.
+  void run(grid::Job job, Done done);
+
+  [[nodiscard]] std::uint64_t jobs_submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t jobs_succeeded() const { return succeeded_; }
+  [[nodiscard]] std::uint64_t jobs_abandoned() const { return abandoned_; }
+  [[nodiscard]] std::uint64_t replans() const { return replans_; }
+  [[nodiscard]] std::uint64_t bytes_staged() const { return bytes_staged_; }
+
+ private:
+  void prescript(grid::Job job, Done done);
+  void submit(grid::Job job, digruber::QueryOutcome query, Done done);
+  void postscript(grid::Job job, digruber::QueryOutcome query, Done done);
+  void replan(grid::Job job, Done done);
+  [[nodiscard]] sim::Duration transfer_time(std::uint64_t bytes, VoId vo) const;
+
+  sim::Simulation& sim_;
+  grid::Grid& grid_;
+  digruber::DiGruberClient& selector_;
+  ReplicaRegistry& registry_;
+  PlannerOptions options_;
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t succeeded_ = 0;
+  std::uint64_t abandoned_ = 0;
+  std::uint64_t replans_ = 0;
+  std::uint64_t bytes_staged_ = 0;
+};
+
+}  // namespace digruber::euryale

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "digruber/common/ids.hpp"
+
+namespace digruber::euryale {
+
+/// Replica registry: file name -> locations, plus the file-popularity
+/// counters the Euryale postscript maintains (paper Section 3.4).
+class ReplicaRegistry {
+ public:
+  void register_replica(const std::string& file, SiteId site);
+  [[nodiscard]] const std::vector<SiteId>& locations(const std::string& file) const;
+  [[nodiscard]] bool exists(const std::string& file) const;
+
+  /// Record an access (stage-in) of `file`; returns the new popularity.
+  std::uint64_t touch(const std::string& file);
+  [[nodiscard]] std::uint64_t popularity(const std::string& file) const;
+
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+  /// Files ranked by descending popularity (ties by name).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> hottest(
+      std::size_t limit) const;
+
+ private:
+  struct Entry {
+    std::vector<SiteId> locations;
+    std::uint64_t popularity = 0;
+  };
+  std::map<std::string, Entry> files_;
+};
+
+}  // namespace digruber::euryale

@@ -1,0 +1,134 @@
+#include "digruber/euryale/planner.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace digruber::euryale {
+namespace {
+
+std::string input_name(const grid::Job& job) {
+  return "job-" + std::to_string(job.id.value()) + ".in";
+}
+
+std::string output_name(const grid::Job& job) {
+  return "job-" + std::to_string(job.id.value()) + ".out";
+}
+
+}  // namespace
+
+EuryalePlanner::EuryalePlanner(sim::Simulation& sim, grid::Grid& grid,
+                               digruber::DiGruberClient& selector,
+                               ReplicaRegistry& registry, PlannerOptions options)
+    : sim_(sim), grid_(grid), selector_(selector), registry_(registry),
+      options_(options) {}
+
+sim::Duration EuryalePlanner::transfer_time(std::uint64_t bytes, VoId vo) const {
+  if (bytes == 0) return sim::Duration::zero();
+  double bandwidth = options_.transfer_bandwidth_bps;
+  if (options_.network_policy) {
+    bandwidth *= std::max(0.01, options_.network_policy->network_cap_fraction(vo));
+  }
+  return options_.transfer_setup +
+         sim::Duration::seconds(double(bytes) * 8.0 / bandwidth);
+}
+
+void EuryalePlanner::run(grid::Job job, Done done) {
+  if (job.created == sim::Time::zero()) job.created = sim_.now();
+  prescript(std::move(job), std::move(done));
+}
+
+void EuryalePlanner::prescript(grid::Job job, Done done) {
+  // Late binding: the site is chosen immediately before the run.
+  selector_.schedule(std::move(job), [this, done = std::move(done)](
+                                         grid::Job job,
+                                         digruber::QueryOutcome query) mutable {
+    job.site = query.site;
+    job.handled_by_gruber = query.handled_by_gruber;
+
+    // Rewrite the submit file (bookkeeping in the real tool), then stage
+    // inputs to the chosen site and register the transferred replica.
+    const sim::Duration staging = transfer_time(job.input_bytes, job.vo);
+    bytes_staged_ += job.input_bytes;
+    sim_.schedule_after(staging, [this, job = std::move(job), query,
+                                  done = std::move(done)]() mutable {
+      if (job.input_bytes > 0) {
+        registry_.register_replica(input_name(job), job.site);
+        registry_.touch(input_name(job));
+      }
+      submit(std::move(job), query, std::move(done));
+    });
+  });
+}
+
+void EuryalePlanner::submit(grid::Job job, digruber::QueryOutcome query, Done done) {
+  if (grid_.site(job.site).is_down()) {
+    // The selected site is unreachable (the broker's view is stale).
+    // Euryale's re-planning heuristic avoids it: late-bind to the best
+    // site that is actually up, burning one re-plan attempt.
+    const grid::Site* alternative = nullptr;
+    for (const auto& candidate : grid_.sites()) {
+      if (candidate->is_down()) continue;
+      if (!alternative || candidate->free_cpus() > alternative->free_cpus()) {
+        alternative = candidate.get();
+      }
+    }
+    if (alternative && job.replans < options_.max_replans) {
+      ++replans_;
+      job.replans += 1;
+      job.site = alternative->id();
+    } else {
+      replan(std::move(job), std::move(done));
+      return;
+    }
+  }
+  grid::Site& site = grid_.site(job.site);
+  ++submitted_;
+  site.submit(std::move(job), [this, query, done = std::move(done)](
+                                  const grid::Job& finished) {
+    // Completion callback from the site scheduler (Condor-G/GRAM path).
+    if (finished.state == grid::JobState::kCompleted) {
+      postscript(finished, query, done);
+    } else {
+      replan(finished, done);
+    }
+  });
+}
+
+void EuryalePlanner::postscript(grid::Job job, digruber::QueryOutcome query,
+                                Done done) {
+  // Stage output files back to the collection area, register them, update
+  // popularity, and confirm success.
+  const sim::Duration staging = transfer_time(job.output_bytes, job.vo);
+  bytes_staged_ += job.output_bytes;
+  sim_.schedule_after(staging, [this, job = std::move(job), query,
+                                done = std::move(done)]() mutable {
+    if (job.output_bytes > 0) {
+      registry_.register_replica(output_name(job), job.site);
+      registry_.touch(output_name(job));
+    }
+    ++succeeded_;
+    PlannerOutcome outcome;
+    outcome.job = std::move(job);
+    outcome.last_query = query;
+    outcome.succeeded = true;
+    done(outcome);
+  });
+}
+
+void EuryalePlanner::replan(grid::Job job, Done done) {
+  if (job.replans >= options_.max_replans) {
+    ++abandoned_;
+    PlannerOutcome outcome;
+    outcome.job = std::move(job);
+    outcome.succeeded = false;
+    done(outcome);
+    return;
+  }
+  ++replans_;
+  job.replans += 1;
+  job.state = grid::JobState::kAtSubmissionHost;
+  prescript(std::move(job), std::move(done));
+}
+
+}  // namespace digruber::euryale

@@ -1,0 +1,47 @@
+#include "digruber/euryale/replica.hpp"
+
+#include <algorithm>
+
+namespace digruber::euryale {
+
+void ReplicaRegistry::register_replica(const std::string& file, SiteId site) {
+  Entry& entry = files_[file];
+  if (std::find(entry.locations.begin(), entry.locations.end(), site) ==
+      entry.locations.end()) {
+    entry.locations.push_back(site);
+  }
+}
+
+const std::vector<SiteId>& ReplicaRegistry::locations(const std::string& file) const {
+  static const std::vector<SiteId> kEmpty;
+  const auto it = files_.find(file);
+  return it == files_.end() ? kEmpty : it->second.locations;
+}
+
+bool ReplicaRegistry::exists(const std::string& file) const {
+  return files_.count(file) > 0;
+}
+
+std::uint64_t ReplicaRegistry::touch(const std::string& file) {
+  return ++files_[file].popularity;
+}
+
+std::uint64_t ReplicaRegistry::popularity(const std::string& file) const {
+  const auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.popularity;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ReplicaRegistry::hottest(
+    std::size_t limit) const {
+  std::vector<std::pair<std::string, std::uint64_t>> all;
+  all.reserve(files_.size());
+  for (const auto& [name, entry] : files_) all.emplace_back(name, entry.popularity);
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > limit) all.resize(limit);
+  return all;
+}
+
+}  // namespace digruber::euryale

@@ -1,0 +1,135 @@
+#include "digruber/experiments/config.hpp"
+
+#include <set>
+#include <string>
+
+namespace digruber::experiments {
+namespace {
+
+Result<net::ContainerProfile> parse_profile(const std::string& name) {
+  if (name == "gt3") return net::ContainerProfile::gt3();
+  if (name == "gt4") return net::ContainerProfile::gt4();
+  if (name == "gt4-c" || name == "gt4c") return net::ContainerProfile::gt4_c();
+  return Result<net::ContainerProfile>::failure("unknown profile: " + name);
+}
+
+Result<digruber::Dissemination> parse_dissemination(const std::string& name) {
+  if (name == "usage") return digruber::Dissemination::kUsageOnly;
+  if (name == "usla") return digruber::Dissemination::kUslaAndUsage;
+  if (name == "none") return digruber::Dissemination::kNone;
+  return Result<digruber::Dissemination>::failure("unknown dissemination: " + name);
+}
+
+Result<digruber::Overlay> parse_overlay(const std::string& name) {
+  if (name == "mesh") return digruber::Overlay::kMesh;
+  if (name == "ring") return digruber::Overlay::kRing;
+  if (name == "star") return digruber::Overlay::kStar;
+  return Result<digruber::Overlay>::failure("unknown overlay: " + name);
+}
+
+const std::set<std::string>& known_keys() {
+  static const std::set<std::string> keys{
+      "name",          "seed",
+      "dps",           "profile",
+      "exchange_minutes", "dissemination",
+      "overlay",       "grid_scale",
+      "background_util", "clients",
+      "timeout_s",     "think_s",
+      "ramp_s",        "selector",
+      "duration_minutes", "vos",
+      "groups_per_vo", "runtime_mean_s",
+      "runtime_cv",    "cpus_min",
+      "cpus_max",      "input_mb",
+      "output_mb",     "vo_skew",
+      "wan_min_ms",    "wan_max_ms",
+      "wan_bandwidth_mbps", "wan_loss",
+      "envelope_factor", "uslas",
+      "dynamic_provisioning", "max_dynamic_dps",
+      "saturation_response_s"};
+  return keys;
+}
+
+}  // namespace
+
+Result<ScenarioConfig> scenario_from_config(const Config& config) {
+  using Fail = Result<ScenarioConfig>;
+  for (const auto& [key, value] : config.entries()) {
+    if (!known_keys().count(key)) return Fail::failure("unknown config key: " + key);
+  }
+
+  ScenarioConfig out;
+  try {
+    out.name = config.get_string("name", out.name);
+    out.seed = std::uint64_t(config.get_int("seed", long(out.seed)));
+
+    out.n_dps = int(config.get_int("dps", out.n_dps));
+    const auto profile = parse_profile(config.get_string("profile", "gt3"));
+    if (!profile.ok()) return Fail::failure(profile.error());
+    out.profile = profile.value();
+    out.exchange_interval =
+        sim::Duration::minutes(config.get_double("exchange_minutes", 3.0));
+    const auto dissemination =
+        parse_dissemination(config.get_string("dissemination", "usage"));
+    if (!dissemination.ok()) return Fail::failure(dissemination.error());
+    out.dissemination = dissemination.value();
+    const auto overlay = parse_overlay(config.get_string("overlay", "mesh"));
+    if (!overlay.ok()) return Fail::failure(overlay.error());
+    out.overlay = overlay.value();
+
+    out.grid_scale = int(config.get_int("grid_scale", out.grid_scale));
+    out.background_util = config.get_double("background_util", out.background_util);
+
+    out.n_clients = int(config.get_int("clients", out.n_clients));
+    out.client_timeout = sim::Duration::seconds(config.get_double("timeout_s", 60.0));
+    out.think = sim::Duration::seconds(
+        config.get_double("think_s", out.think.to_seconds()));
+    out.ramp_span = sim::Duration::seconds(config.get_double("ramp_s", 0.0));
+    out.selector = config.get_string("selector", out.selector);
+
+    out.duration = sim::Duration::minutes(config.get_double("duration_minutes", 60.0));
+
+    out.workload.n_vos = int(config.get_int("vos", out.workload.n_vos));
+    out.workload.groups_per_vo =
+        int(config.get_int("groups_per_vo", out.workload.groups_per_vo));
+    out.workload.runtime_mean_s =
+        config.get_double("runtime_mean_s", out.workload.runtime_mean_s);
+    out.workload.runtime_cv = config.get_double("runtime_cv", out.workload.runtime_cv);
+    out.workload.cpus_min = int(config.get_int("cpus_min", out.workload.cpus_min));
+    out.workload.cpus_max = int(config.get_int("cpus_max", out.workload.cpus_max));
+    out.workload.input_bytes_mean =
+        std::uint64_t(config.get_double("input_mb", 0.0) * 1e6);
+    out.workload.output_bytes_mean =
+        std::uint64_t(config.get_double("output_mb", 0.0) * 1e6);
+    out.workload.vo_skew = config.get_double("vo_skew", out.workload.vo_skew);
+
+    out.wan.min_latency_ms = config.get_double("wan_min_ms", out.wan.min_latency_ms);
+    out.wan.max_latency_ms = config.get_double("wan_max_ms", out.wan.max_latency_ms);
+    out.wan.bandwidth_bps =
+        config.get_double("wan_bandwidth_mbps", out.wan.bandwidth_bps / 1e6) * 1e6;
+    out.wan.loss_rate = config.get_double("wan_loss", out.wan.loss_rate);
+    out.wan.envelope_factor =
+        config.get_double("envelope_factor", out.wan.envelope_factor);
+
+    out.install_uslas = config.get_bool("uslas", out.install_uslas);
+    out.dynamic_provisioning =
+        config.get_bool("dynamic_provisioning", out.dynamic_provisioning);
+    out.max_dynamic_dps = int(config.get_int("max_dynamic_dps", out.max_dynamic_dps));
+    out.saturation_response_s =
+        config.get_double("saturation_response_s", out.saturation_response_s);
+  } catch (const std::exception& e) {
+    return Fail::failure(e.what());
+  }
+
+  if (out.n_dps < 1) return Fail::failure("dps must be >= 1");
+  if (out.n_clients < 1) return Fail::failure("clients must be >= 1");
+  if (out.grid_scale < 1) return Fail::failure("grid_scale must be >= 1");
+  if (out.workload.cpus_min < 1 || out.workload.cpus_max < out.workload.cpus_min) {
+    return Fail::failure("bad cpus_min/cpus_max");
+  }
+  if (out.wan.loss_rate < 0 || out.wan.loss_rate >= 1) {
+    return Fail::failure("wan_loss must be in [0, 1)");
+  }
+  return out;
+}
+
+}  // namespace digruber::experiments

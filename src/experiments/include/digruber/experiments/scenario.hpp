@@ -1,0 +1,130 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "digruber/digruber/decision_point.hpp"
+#include "digruber/diperf/diperf.hpp"
+#include "digruber/metrics/metrics.hpp"
+#include "digruber/net/wan.hpp"
+#include "digruber/workload/generator.hpp"
+#include "digruber/workload/trace.hpp"
+
+namespace digruber::experiments {
+
+/// Full description of one PlanetLab-style DI-GRUBER experiment: the
+/// emulated grid, the decision-point deployment, the DiPerF client fleet,
+/// and the workload overlay. Every figure/table bench is a point (or
+/// sweep) in this space.
+struct ScenarioConfig {
+  std::string name = "scenario";
+  std::uint64_t seed = 7;
+
+  // Decision-point deployment.
+  int n_dps = 3;
+  net::ContainerProfile profile = net::ContainerProfile::gt3();
+  sim::Duration exchange_interval = sim::Duration::minutes(3);
+  digruber::Dissemination dissemination = digruber::Dissemination::kUsageOnly;
+  digruber::Overlay overlay = digruber::Overlay::kMesh;
+
+  // Emulated grid (OSG x grid_scale).
+  int grid_scale = 10;
+  /// Mean fraction of each site's CPUs held by site-local (non-grid) work,
+  /// drawn per site from uniform(0.5x, 1.5x) of this value. Grid sites are
+  /// never empty in practice; this also gives site queues something to do.
+  double background_util = 0.45;
+
+  // Client fleet (DiPerF testers / submission hosts).
+  int n_clients = 120;
+  sim::Duration client_timeout = sim::Duration::seconds(60);
+  /// Closed-loop think time between a query outcome and the next job.
+  sim::Duration think = sim::Duration::seconds(9);
+  /// Testers start staggered over this span (DiPerF's slow ramp); zero
+  /// spreads them over the first half of the run.
+  sim::Duration ramp_span = sim::Duration::zero();
+  std::string selector = "top-k";
+
+  // Measurement window.
+  sim::Duration duration = sim::Duration::hours(1);
+
+  // Workload overlay.
+  workload::WorkloadSpec workload;
+
+  // Network.
+  net::WanParams wan;
+
+  // USLAs: grid->VO and VO->group fair-share targets are auto-generated
+  // (equal shares) unless disabled.
+  bool install_uslas = true;
+
+  // Section 5 enhancement: saturation-triggered provisioning.
+  bool dynamic_provisioning = false;
+  int max_dynamic_dps = 10;
+  /// Windowed mean response above which a decision point signals
+  /// saturation to the infrastructure monitor.
+  double saturation_response_s = 30.0;
+};
+
+struct DpStats {
+  std::uint64_t queries = 0;
+  std::uint64_t selections = 0;
+  std::uint64_t exchanges_sent = 0;
+  std::uint64_t exchanges_received = 0;
+  std::uint64_t records_applied = 0;
+  std::uint64_t records_duplicate = 0;
+  std::uint64_t saturation_signals = 0;
+  std::uint64_t refused = 0;
+  double container_utilization = 0.0;
+  double mean_sojourn_s = 0.0;
+};
+
+struct ScenarioResult {
+  ScenarioConfig config;
+
+  // DiPerF outputs (figure material).
+  diperf::Collector collector;
+  diperf::PerfModel model;
+
+  // Job accounting (table material).
+  metrics::MetricValues handled;
+  metrics::MetricValues not_handled;
+  metrics::MetricValues all;
+
+  std::vector<DpStats> dps;
+  workload::TraceLog trace;
+
+  // Grid-level facts.
+  std::size_t sites = 0;
+  std::int64_t total_cpus = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_started = 0;
+  double grid_cpu_seconds = 0.0;
+
+  /// Fairness of delivered CPU time across VOs and across groups (the
+  /// paper's Section 4.1 question), over the brokered workload.
+  metrics::FairnessReport vo_fairness;
+  metrics::FairnessReport group_fairness;
+
+  int final_dps = 0;  // > n_dps when dynamic provisioning fired
+  std::uint64_t sim_events = 0;
+};
+
+/// Run one scenario end to end on the discrete-event substrate.
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// The default equal-share USLA set for a catalog: grid gives each VO a
+/// target of 100/n_vos %, each VO gives each group 100/groups %.
+std::vector<usla::Agreement> default_agreements(const grid::VoCatalog& catalog);
+
+/// Estimated single-query service cost (seconds of worker time) for a
+/// brokering query under `profile` on a grid with `n_sites` sites — feeds
+/// the GRUB-SIM capacity model.
+double query_service_seconds(const net::ContainerProfile& profile,
+                             std::size_t n_sites,
+                             sim::Duration eval_cost_per_site);
+
+/// Per-decision-point capacity in queries/second under `profile`.
+double dp_capacity_qps(const net::ContainerProfile& profile, std::size_t n_sites,
+                       sim::Duration eval_cost_per_site);
+
+}  // namespace digruber::experiments

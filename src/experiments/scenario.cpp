@@ -1,0 +1,376 @@
+#include "digruber/experiments/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "digruber/common/log.hpp"
+#include "digruber/digruber/client.hpp"
+#include "digruber/digruber/infrastructure_monitor.hpp"
+#include "digruber/net/sim_transport.hpp"
+
+namespace digruber::experiments {
+
+std::vector<usla::Agreement> default_agreements(const grid::VoCatalog& catalog) {
+  std::vector<usla::Agreement> agreements;
+  usla::Agreement agreement;
+  agreement.name = "equal-shares";
+  agreement.context_provider = "grid";
+  agreement.context_consumer = "all-vos";
+
+  const double vo_pct = 100.0 / double(catalog.vo_count());
+  for (std::size_t v = 0; v < catalog.vo_count(); ++v) {
+    const VoId vo(v);
+    usla::ServiceTerm term;
+    term.name = catalog.vo_name(vo) + "-share";
+    term.provider = usla::EntityRef{usla::EntityRef::Kind::kGrid, ""};
+    term.consumer = usla::EntityRef{usla::EntityRef::Kind::kVo, catalog.vo_name(vo)};
+    term.share = usla::ShareSpec{vo_pct, usla::BoundKind::kTarget};
+    agreement.terms.push_back(std::move(term));
+
+    const auto& groups = catalog.groups_of(vo);
+    const double group_pct = 100.0 / double(groups.size());
+    for (const GroupId group : groups) {
+      usla::ServiceTerm gterm;
+      gterm.name = catalog.group_name(group) + "-share";
+      gterm.provider = usla::EntityRef{usla::EntityRef::Kind::kVo, catalog.vo_name(vo)};
+      gterm.consumer =
+          usla::EntityRef{usla::EntityRef::Kind::kGroup, catalog.group_name(group)};
+      gterm.share = usla::ShareSpec{group_pct, usla::BoundKind::kTarget};
+      agreement.terms.push_back(std::move(gterm));
+    }
+  }
+  agreement.goals.push_back(usla::Goal{"accuracy", ">", 0.9});
+  agreements.push_back(std::move(agreement));
+  return agreements;
+}
+
+double query_service_seconds(const net::ContainerProfile& profile,
+                             std::size_t n_sites, sim::Duration eval_cost_per_site) {
+  // Byte sizes mirror the real protocol structs (see digruber/protocol.hpp):
+  // a small request, a reply of ~20 bytes per candidate site, and the
+  // short selection-report exchange.
+  const std::size_t loads_request = 128;
+  const std::size_t loads_reply = 32 + n_sites * 20;
+  const std::size_t report_request = 160;
+  const std::size_t report_reply = 16;
+
+  net::ContainerProfile p = profile;  // service_time is pure; reuse directly
+  sim::Simulation scratch;
+  net::ServiceContainer container(scratch, p);
+  const sim::Duration loads = container.service_time(
+      loads_request, loads_reply, eval_cost_per_site * double(n_sites));
+  const sim::Duration report =
+      container.service_time(report_request, report_reply, sim::Duration::millis(5));
+  return (loads + report).to_seconds();
+}
+
+double dp_capacity_qps(const net::ContainerProfile& profile, std::size_t n_sites,
+                       sim::Duration eval_cost_per_site) {
+  const double per_query = query_service_seconds(profile, n_sites, eval_cost_per_site);
+  return per_query > 0 ? double(profile.workers) / per_query : 0.0;
+}
+
+namespace {
+
+/// Book-keeping shared by the tester operation closures.
+struct Shared {
+  sim::Simulation* sim = nullptr;
+  grid::Grid* grid = nullptr;
+  const usla::UslaEvaluator* evaluator = nullptr;
+  workload::TraceLog trace;
+  std::vector<std::shared_ptr<metrics::RequestSample>> samples;
+  std::unordered_map<NodeId, std::uint32_t> dp_index;
+  double window_s = 0.0;
+  std::uint64_t jobs_started = 0;
+  std::uint64_t jobs_completed = 0;
+};
+
+/// Oracle scheduling accuracy, computed from true grid state at dispatch:
+/// the job's VO-headroom at the selected site relative to the best
+/// admissible headroom anywhere (primary metric), plus the literal
+/// "share of total free resources" reading of the paper's definition.
+struct OracleAccuracy {
+  double relative_to_best = 1.0;
+  double total_share = 0.0;
+};
+
+OracleAccuracy oracle_accuracy(const grid::Grid& grid,
+                               const usla::UslaEvaluator& evaluator, VoId vo,
+                               SiteId selected, std::int32_t believed_free) {
+  std::int32_t best_room = 0;
+  std::int64_t total_free = 0;
+  std::int32_t selected_room = 0;
+  std::int32_t selected_free = 0;
+  for (const auto& site : grid.sites()) {
+    const std::int32_t free = site->is_down() ? 0 : site->free_cpus();
+    total_free += free;
+    const double cap = evaluator.cap_fraction(vo, site->id());
+    const auto allowed = std::int32_t(cap * double(site->total_cpus()));
+    const std::int32_t room =
+        std::min(free, std::max(0, allowed - site->running_for_vo(vo)));
+    if (room > best_room) best_room = room;
+    if (site->id() == selected) {
+      selected_room = room;
+      selected_free = free;
+    }
+  }
+  OracleAccuracy out;
+  if (believed_free >= 0) {
+    // Knowledge accuracy: how much of the free capacity the decision point
+    // believed in actually exists. Fresh state -> 1.0; staleness (unseen
+    // peer dispatches) inflates the belief and drags this down.
+    out.relative_to_best = believed_free == 0
+                               ? 1.0
+                               : std::min(1.0, double(selected_free) /
+                                                   double(believed_free));
+  } else {
+    // Blind (fallback) pick: rate it against the best admissible room.
+    out.relative_to_best =
+        best_room > 0 ? double(selected_room) / double(best_room) : 1.0;
+  }
+  out.total_share = total_free > 0 ? double(selected_free) / double(total_free) : 0.0;
+  return out;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  if (config.n_dps < 1) throw std::invalid_argument("scenario needs >= 1 decision point");
+  if (config.n_clients < 1) throw std::invalid_argument("scenario needs >= 1 client");
+
+  sim::Simulation sim(config.seed);
+  net::SimTransport transport(sim, net::WanModel(config.wan, config.seed ^ 0xA11CEULL));
+
+  // --- Emulated grid (OSG x scale) and VO catalog. ------------------------
+  Rng topo_rng = sim.rng().fork();
+  const grid::TopologySpec spec = grid::TopologySpec::osg_scaled(config.grid_scale, topo_rng);
+  grid::Grid grid(sim, spec);
+  if (config.background_util > 0) {
+    for (const auto& site : grid.sites()) {
+      const double lo = std::max(0.0, config.background_util * 0.5);
+      const double hi = std::min(0.95, config.background_util * 1.5);
+      const double frac = topo_rng.uniform(lo, hi);
+      site->reserve_local(std::int32_t(frac * double(site->total_cpus())));
+    }
+  }
+  const grid::VoCatalog catalog = grid::VoCatalog::uniform(
+      config.workload.n_vos, config.workload.groups_per_vo);
+
+  // --- USLAs. --------------------------------------------------------------
+  std::vector<usla::Agreement> agreements;
+  if (config.install_uslas) agreements = default_agreements(catalog);
+  Result<usla::AllocationTree> tree = usla::AllocationTree::build(agreements, catalog);
+  if (!tree.ok()) throw std::runtime_error("usla build failed: " + tree.error());
+
+  // --- Decision points. ----------------------------------------------------
+  const usla::UslaEvaluator oracle_evaluator(tree.value(), catalog);
+
+  Shared shared;
+  shared.sim = &sim;
+  shared.grid = &grid;
+  shared.evaluator = &oracle_evaluator;
+  shared.window_s = config.duration.to_seconds();
+
+  std::vector<std::unique_ptr<digruber::DecisionPoint>> dps;
+  std::vector<std::unique_ptr<digruber::DiGruberClient>> clients;
+
+  digruber::DecisionPointOptions dp_options;
+  dp_options.profile = config.profile;
+  dp_options.exchange_interval = config.exchange_interval;
+  dp_options.dissemination = config.dissemination;
+  dp_options.saturation_response_s = config.saturation_response_s;
+
+  std::unique_ptr<digruber::InfrastructureMonitor> monitor;
+  auto reconnect_all = [&] {
+    std::vector<digruber::DecisionPoint*> raw;
+    raw.reserve(dps.size());
+    for (auto& dp : dps) raw.push_back(dp.get());
+    digruber::connect(std::move(raw), config.overlay);
+  };
+  auto add_dp = [&] {
+    auto dp = std::make_unique<digruber::DecisionPoint>(
+        sim, transport, DpId(dps.size()), catalog, tree.value(), dp_options);
+    dp->bootstrap(grid.snapshot_all());
+    shared.dp_index.emplace(dp->node(), std::uint32_t(dps.size()));
+    dps.push_back(std::move(dp));
+  };
+
+  if (config.dynamic_provisioning) {
+    monitor = std::make_unique<digruber::InfrastructureMonitor>(
+        sim, transport, [&](const digruber::SaturationSignal& signal) {
+          if (int(dps.size()) >= config.max_dynamic_dps) return;
+          log::info("scenario", "provisioning decision point ", dps.size(),
+                    " after saturation of dp ", signal.from.value());
+          add_dp();
+          reconnect_all();
+          for (std::size_t i = 0; i < clients.size(); ++i) {
+            clients[i]->rebind(dps[i % dps.size()]->node());
+          }
+        });
+    dp_options.infrastructure_monitor = monitor->node();
+  }
+
+  for (int d = 0; d < config.n_dps; ++d) add_dp();
+  reconnect_all();
+
+  // --- Client fleet. -------------------------------------------------------
+  std::vector<SiteId> all_sites;
+  all_sites.reserve(grid.site_count());
+  for (std::size_t s = 0; s < grid.site_count(); ++s) all_sites.push_back(SiteId(s));
+
+  auto ids = std::make_shared<workload::JobIdAllocator>();
+  std::vector<workload::JobFactory> factories;
+  factories.reserve(std::size_t(config.n_clients));
+
+  diperf::Collector collector;
+  diperf::Controller controller(sim, collector);
+
+  digruber::ClientOptions client_options;
+  client_options.timeout = config.client_timeout;
+
+  for (int c = 0; c < config.n_clients; ++c) {
+    Rng client_rng = sim.rng().fork();
+    // Static random binding of each submission host to one decision point.
+    const std::size_t dp = client_rng.uniform_index(dps.size());
+    clients.push_back(std::make_unique<digruber::DiGruberClient>(
+        sim, transport, ClientId(std::uint64_t(c)), dps[dp]->node(), all_sites,
+        gruber::make_selector(config.selector, client_rng.fork()),
+        client_rng.fork(), client_options));
+    factories.emplace_back(config.workload, catalog, ids, client_rng.fork());
+  }
+
+  for (int c = 0; c < config.n_clients; ++c) {
+    digruber::DiGruberClient* client = clients[std::size_t(c)].get();
+    workload::JobFactory* factory = &factories[std::size_t(c)];
+    auto op = [&shared, &sim, &grid, client, factory](std::function<void(bool)> done) {
+      grid::Job job = factory->next(sim.now());
+      const sim::Time t0 = sim.now();
+      client->schedule(
+          std::move(job), [&shared, &grid, client, t0, done = std::move(done)](
+                              grid::Job job, digruber::QueryOutcome outcome) {
+            // Trace entry for GRUB-SIM.
+            workload::QueryTrace trace;
+            trace.client = client->id();
+            const auto dp_it = shared.dp_index.find(client->decision_point());
+            trace.dp_index = dp_it != shared.dp_index.end() ? dp_it->second : 0;
+            trace.issued = t0;
+            trace.response_s = outcome.response.to_seconds();
+            trace.handled = outcome.handled_by_gruber;
+            shared.trace.add(trace);
+
+            // Metric sample; accuracy is sampled by the oracle *before*
+            // this job occupies the site.
+            auto sample = std::make_shared<metrics::RequestSample>();
+            sample->handled = outcome.handled_by_gruber;
+            sample->response_s = outcome.response.to_seconds();
+            grid::Site& selected = grid.site(outcome.site);
+            const OracleAccuracy oracle = oracle_accuracy(
+                grid, *shared.evaluator, job.vo, outcome.site, outcome.believed_free);
+            sample->dispatched = true;
+            sample->accuracy = oracle.relative_to_best;
+            sample->accuracy_total_share = oracle.total_share;
+            shared.samples.push_back(sample);
+
+            job.handled_by_gruber = outcome.handled_by_gruber;
+            job.accuracy = sample->accuracy;
+            const double window_s = shared.window_s;
+            Shared* sh = &shared;
+            selected.submit(std::move(job), [sample, window_s, sh](const grid::Job& fin) {
+              if (fin.state == grid::JobState::kCompleted) {
+                sample->started = true;
+                sample->qtime_s = fin.queue_time().to_seconds();
+                sample->cpu_seconds_in_window = metrics::cpu_seconds_in_window(
+                    fin.started.to_seconds(), fin.completed.to_seconds(), fin.cpus,
+                    window_s);
+                ++sh->jobs_completed;
+                ++sh->jobs_started;
+              }
+            });
+            done(outcome.handled_by_gruber);
+          });
+    };
+    controller.add_tester(std::make_unique<diperf::Tester>(
+        sim, ClientId(std::uint64_t(c)), std::move(op), config.think, collector));
+  }
+
+  // --- Ramp schedule and run. ----------------------------------------------
+  const sim::Duration span = config.ramp_span > sim::Duration::zero()
+                                 ? config.ramp_span
+                                 : config.duration * 0.5;
+  const sim::Duration spacing = span * (1.0 / double(config.n_clients));
+  controller.schedule(sim::Duration::seconds(1), spacing,
+                      sim::Time::zero() + config.duration);
+
+  sim.run_until(sim::Time::zero() + config.duration);
+  for (auto& dp : dps) dp->stop();
+  sim.run();  // drain in-flight queries and running jobs
+
+  // --- Harvest. --------------------------------------------------------------
+  ScenarioResult result;
+  result.config = config;
+  result.sites = grid.site_count();
+  result.total_cpus = grid.total_cpus();
+  result.jobs_completed = shared.jobs_completed;
+  result.jobs_started = shared.jobs_started;
+  result.grid_cpu_seconds = grid.cpu_seconds_consumed();
+  result.final_dps = int(dps.size());
+  result.sim_events = sim.events_processed();
+
+  metrics::MetricsAccumulator accumulator(shared.window_s, grid.total_cpus());
+  for (const auto& sample : shared.samples) accumulator.add(*sample);
+  result.handled = accumulator.compute(metrics::Slice::kHandled);
+  result.not_handled = accumulator.compute(metrics::Slice::kNotHandled);
+  result.all = accumulator.compute(metrics::Slice::kAll);
+
+  for (const auto& dp : dps) {
+    DpStats stats;
+    stats.queries = dp->queries_served();
+    stats.selections = dp->selections_recorded();
+    stats.exchanges_sent = dp->exchanges_sent();
+    stats.exchanges_received = dp->exchanges_received();
+    stats.records_applied = dp->records_applied();
+    stats.records_duplicate = dp->records_duplicate();
+    stats.saturation_signals = dp->saturation_signals();
+    stats.refused = dp->server().container().refused();
+    stats.container_utilization =
+        dp->server().container().utilization(sim::Time::zero() + config.duration);
+    stats.mean_sojourn_s = dp->response_stats().mean();
+    result.dps.push_back(stats);
+  }
+
+  {
+    // Fairness: delivered CPU time per VO / per group across all sites.
+    // Every VO and group submits statistically identical load with equal
+    // entitlements, so raw delivered time is directly comparable.
+    std::map<VoId, double> per_vo;
+    std::map<GroupId, double> per_group;
+    for (const auto& site : grid.sites()) {
+      for (const auto& [vo, seconds] : site->cpu_seconds_per_vo()) {
+        per_vo[vo] += seconds;
+      }
+      for (const auto& [group, seconds] : site->cpu_seconds_per_group()) {
+        per_group[group] += seconds;
+      }
+    }
+    std::vector<double> vo_values, group_values;
+    for (std::size_t v = 0; v < catalog.vo_count(); ++v) {
+      vo_values.push_back(per_vo.count(VoId(v)) ? per_vo[VoId(v)] : 0.0);
+    }
+    for (std::size_t g = 0; g < catalog.group_count(); ++g) {
+      group_values.push_back(per_group.count(GroupId(g)) ? per_group[GroupId(g)] : 0.0);
+    }
+    result.vo_fairness = metrics::fairness(vo_values);
+    result.group_fairness = metrics::fairness(group_values);
+  }
+
+  result.model = diperf::fit_model(collector, 60.0, shared.window_s);
+  result.collector = std::move(collector);
+  result.trace = std::move(shared.trace);
+  return result;
+}
+
+}  // namespace digruber::experiments

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "digruber/grid/job.hpp"
+#include "digruber/sim/simulation.hpp"
+
+namespace digruber::grid {
+
+/// Point-in-time view of one site, as published to brokers by the site
+/// monitor. This is the unit of state the decision points cache and
+/// exchange.
+struct SiteSnapshot {
+  SiteId site;
+  std::int32_t total_cpus = 0;
+  std::int32_t free_cpus = 0;
+  std::int32_t queued_jobs = 0;
+  std::map<VoId, std::int32_t> running_per_vo;
+  /// Permanent-storage state (USLAs cover storage as well as CPU).
+  std::uint64_t total_storage_bytes = 0;
+  std::uint64_t free_storage_bytes = 0;
+  std::map<VoId, std::uint64_t> storage_per_vo;
+  sim::Time as_of;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & site & total_cpus & free_cpus & queued_jobs & running_per_vo &
+        total_storage_bytes & free_storage_bytes & storage_per_vo & as_of;
+  }
+};
+
+struct ClusterSpec {
+  std::int32_t cpus = 0;
+  double speed = 1.0;  // relative CPU speed; scales job runtimes
+};
+
+/// Default storage provisioning when a site spec does not say otherwise.
+inline constexpr std::uint64_t kDefaultStoragePerCpu = 10ull << 30;  // 10 GiB
+
+/// A grid site: one or more clusters fronted by a FIFO batch scheduler.
+/// (The paper's experiments assume decision points have total control and
+/// exclude site policy enforcement points, so the local scheduler is plain
+/// FIFO; per-VO accounting is still tracked for USLA evaluation.)
+class Site {
+ public:
+  using JobCallback = std::function<void(const Job&)>;
+
+  Site(sim::Simulation& sim, SiteId id, std::string name,
+       std::vector<ClusterSpec> clusters, std::uint64_t storage_bytes = 0);
+
+  [[nodiscard]] SiteId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::int32_t total_cpus() const { return total_cpus_; }
+  [[nodiscard]] std::int32_t free_cpus() const { return total_cpus_ - busy_cpus_; }
+  [[nodiscard]] std::int32_t queued_jobs() const { return std::int32_t(queue_.size()); }
+  [[nodiscard]] double speed() const { return speed_; }
+  [[nodiscard]] std::uint64_t total_storage() const { return total_storage_; }
+  [[nodiscard]] std::uint64_t free_storage() const {
+    return total_storage_ - used_storage_;
+  }
+  [[nodiscard]] std::uint64_t storage_for_vo(VoId vo) const {
+    const auto it = storage_per_vo_.find(vo);
+    return it == storage_per_vo_.end() ? 0 : it->second;
+  }
+
+  /// Submit a job (Condor-G/GRAM path). Returns false while the site is
+  /// down — Euryale treats that as a failure and re-plans. `on_done` fires
+  /// when the job completes (or fails mid-run).
+  bool submit(Job job, JobCallback on_done);
+
+  [[nodiscard]] SiteSnapshot snapshot() const;
+
+  /// CPUs currently held by running jobs of `vo` at this site.
+  [[nodiscard]] std::int32_t running_for_vo(VoId vo) const {
+    const auto it = running_per_vo_.find(vo);
+    return it == running_per_vo_.end() ? 0 : it->second;
+  }
+
+  /// Aggregate CPU-seconds consumed by completed jobs (for Util).
+  [[nodiscard]] double cpu_seconds_consumed() const { return cpu_seconds_; }
+  /// Delivered CPU-seconds broken down by consumer (for fairness analysis).
+  [[nodiscard]] const std::map<VoId, double>& cpu_seconds_per_vo() const {
+    return cpu_seconds_per_vo_;
+  }
+  [[nodiscard]] const std::map<GroupId, double>& cpu_seconds_per_group() const {
+    return cpu_seconds_per_group_;
+  }
+  [[nodiscard]] std::uint64_t jobs_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t jobs_failed() const { return failed_; }
+
+  /// Permanently reserve `cpus` for site-local (non-grid) work. Models the
+  /// background load OSG sites carry outside the brokered workload; the
+  /// CPUs are subtracted from free capacity in all snapshots.
+  void reserve_local(std::int32_t cpus);
+  [[nodiscard]] std::int32_t local_reserved() const { return local_reserved_; }
+
+  /// Failure injection: the site refuses submissions and kills running
+  /// jobs for `period`; queued jobs fail too.
+  void take_down(sim::Duration period);
+  [[nodiscard]] bool is_down() const;
+
+ private:
+  struct Running {
+    Job job;
+    JobCallback on_done;
+    sim::EventId completion_event;
+  };
+
+  void try_start_queued();
+  void start(Job job, JobCallback on_done);
+  void finish(std::uint64_t run_key);
+  [[nodiscard]] static std::uint64_t storage_need(const Job& job) {
+    return job.input_bytes + job.output_bytes;
+  }
+  void reserve_storage(const Job& job);
+  void release_storage(const Job& job);
+
+  sim::Simulation& sim_;
+  SiteId id_;
+  std::string name_;
+  std::vector<ClusterSpec> clusters_;
+  std::int32_t total_cpus_ = 0;
+  std::int32_t busy_cpus_ = 0;
+  double speed_ = 1.0;
+
+  std::deque<std::pair<Job, JobCallback>> queue_;
+  std::unordered_map<std::uint64_t, Running> running_;
+  std::uint64_t next_run_key_ = 1;
+  std::map<VoId, std::int32_t> running_per_vo_;
+
+  std::map<VoId, double> cpu_seconds_per_vo_;
+  std::map<GroupId, double> cpu_seconds_per_group_;
+
+  std::uint64_t total_storage_ = 0;
+  std::uint64_t used_storage_ = 0;
+  std::map<VoId, std::uint64_t> storage_per_vo_;
+
+  std::int32_t local_reserved_ = 0;
+  double cpu_seconds_ = 0.0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  sim::Time down_until_;
+};
+
+}  // namespace digruber::grid

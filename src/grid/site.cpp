@@ -1,0 +1,168 @@
+#include "digruber/grid/site.hpp"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace digruber::grid {
+
+Site::Site(sim::Simulation& sim, SiteId id, std::string name,
+           std::vector<ClusterSpec> clusters, std::uint64_t storage_bytes)
+    : sim_(sim), id_(id), name_(std::move(name)), clusters_(std::move(clusters)) {
+  assert(!clusters_.empty());
+  double weighted_speed = 0.0;
+  for (const auto& c : clusters_) {
+    assert(c.cpus > 0 && c.speed > 0);
+    total_cpus_ += c.cpus;
+    weighted_speed += double(c.cpus) * c.speed;
+  }
+  speed_ = weighted_speed / double(total_cpus_);
+  total_storage_ = storage_bytes != 0
+                       ? storage_bytes
+                       : std::uint64_t(total_cpus_) * kDefaultStoragePerCpu;
+}
+
+void Site::reserve_storage(const Job& job) {
+  const std::uint64_t need = storage_need(job);
+  if (need == 0) return;
+  used_storage_ += need;
+  storage_per_vo_[job.vo] += need;
+}
+
+void Site::release_storage(const Job& job) {
+  const std::uint64_t need = storage_need(job);
+  if (need == 0) return;
+  assert(used_storage_ >= need);
+  used_storage_ -= need;
+  auto it = storage_per_vo_.find(job.vo);
+  if (it != storage_per_vo_.end()) {
+    it->second -= std::min(it->second, need);
+    if (it->second == 0) storage_per_vo_.erase(it);
+  }
+}
+
+void Site::reserve_local(std::int32_t cpus) {
+  cpus = std::min(cpus, total_cpus_ - busy_cpus_);
+  if (cpus <= 0) return;
+  local_reserved_ += cpus;
+  busy_cpus_ += cpus;
+}
+
+bool Site::is_down() const { return sim_.now() < down_until_; }
+
+bool Site::submit(Job job, JobCallback on_done) {
+  if (is_down()) return false;
+  assert(job.cpus > 0);
+  job.dispatched = sim_.now();
+  if (job.cpus > total_cpus_ || storage_need(job) > total_storage_) {
+    // Can never run here; fail immediately so the planner re-plans.
+    job.state = JobState::kFailed;
+    job.completed = sim_.now();
+    ++failed_;
+    on_done(job);
+    return true;
+  }
+  if (free_cpus() >= job.cpus && storage_need(job) <= free_storage() &&
+      queue_.empty()) {
+    start(std::move(job), std::move(on_done));
+  } else {
+    job.state = JobState::kQueuedAtSite;
+    queue_.emplace_back(std::move(job), std::move(on_done));
+  }
+  return true;
+}
+
+void Site::start(Job job, JobCallback on_done) {
+  busy_cpus_ += job.cpus;
+  running_per_vo_[job.vo] += job.cpus;
+  reserve_storage(job);
+  job.state = JobState::kRunning;
+  job.started = sim_.now();
+  const sim::Duration wall = job.runtime * (1.0 / speed_);
+  const std::uint64_t key = next_run_key_++;
+  const sim::EventId ev = sim_.schedule_after(wall, [this, key] { finish(key); });
+  running_.emplace(key, Running{std::move(job), std::move(on_done), ev});
+}
+
+void Site::finish(std::uint64_t run_key) {
+  const auto it = running_.find(run_key);
+  if (it == running_.end()) return;
+  Running r = std::move(it->second);
+  running_.erase(it);
+
+  busy_cpus_ -= r.job.cpus;
+  auto vo_it = running_per_vo_.find(r.job.vo);
+  if (vo_it != running_per_vo_.end() && (vo_it->second -= r.job.cpus) <= 0) {
+    running_per_vo_.erase(vo_it);
+  }
+
+  release_storage(r.job);
+  r.job.state = JobState::kCompleted;
+  r.job.completed = sim_.now();
+  const double delivered =
+      (r.job.completed - r.job.started).to_seconds() * double(r.job.cpus);
+  cpu_seconds_ += delivered;
+  cpu_seconds_per_vo_[r.job.vo] += delivered;
+  cpu_seconds_per_group_[r.job.group] += delivered;
+  ++completed_;
+  r.on_done(r.job);
+
+  try_start_queued();
+}
+
+void Site::try_start_queued() {
+  while (!queue_.empty() && free_cpus() >= queue_.front().first.cpus &&
+         free_storage() >= storage_need(queue_.front().first)) {
+    auto [job, on_done] = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(job), std::move(on_done));
+  }
+}
+
+SiteSnapshot Site::snapshot() const {
+  SiteSnapshot s;
+  s.site = id_;
+  s.total_cpus = total_cpus_;
+  s.free_cpus = is_down() ? 0 : free_cpus();
+  s.queued_jobs = queued_jobs();
+  s.running_per_vo = running_per_vo_;
+  s.total_storage_bytes = total_storage_;
+  s.free_storage_bytes = is_down() ? 0 : free_storage();
+  s.storage_per_vo = storage_per_vo_;
+  s.as_of = sim_.now();
+  return s;
+}
+
+void Site::take_down(sim::Duration period) {
+  down_until_ = sim_.now() + period;
+
+  // Kill running jobs.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(running_.size());
+  for (const auto& [key, r] : running_) keys.push_back(key);
+  for (const std::uint64_t key : keys) {
+    auto it = running_.find(key);
+    Running r = std::move(it->second);
+    running_.erase(it);
+    sim_.cancel(r.completion_event);
+    busy_cpus_ -= r.job.cpus;
+    release_storage(r.job);
+    r.job.state = JobState::kFailed;
+    r.job.completed = sim_.now();
+    ++failed_;
+    r.on_done(r.job);
+  }
+  running_per_vo_.clear();
+
+  // Fail queued jobs.
+  std::deque<std::pair<Job, JobCallback>> queued;
+  queued.swap(queue_);
+  for (auto& [job, on_done] : queued) {
+    job.state = JobState::kFailed;
+    job.completed = sim_.now();
+    ++failed_;
+    on_done(job);
+  }
+}
+
+}  // namespace digruber::grid

@@ -1,0 +1,183 @@
+#include "digruber/grid/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace digruber::grid {
+
+std::int64_t TopologySpec::total_cpus() const {
+  std::int64_t total = 0;
+  for (const auto& s : sites)
+    for (const auto& c : s.clusters) total += c.cpus;
+  return total;
+}
+
+TopologySpec TopologySpec::osg2005() {
+  // Grid3/OSG in 2005: ~30 sites, ~3,000 CPUs (paper Section 3.6). A few
+  // flagship centers plus a long tail; speeds around 1.0 with mild spread.
+  TopologySpec spec;
+  const std::int32_t sizes[] = {620, 420, 320, 250, 210, 170, 140, 120, 100, 90,
+                                80,  70,  60,  55,  50,  45,  40,  36, 32,  28,
+                                26,  24,  22,  20,  18,  16,  14,  12, 11,  10};
+  int i = 0;
+  for (const std::int32_t cpus : sizes) {
+    SiteSpec site;
+    site.name = "osg-site-" + std::to_string(i++);
+    // Larger centers are split into a couple of clusters of unequal speed.
+    if (cpus >= 200) {
+      site.clusters = {{cpus * 2 / 3, 1.1}, {cpus - cpus * 2 / 3, 0.9}};
+    } else {
+      site.clusters = {{cpus, 1.0}};
+    }
+    spec.sites.push_back(std::move(site));
+  }
+  return spec;
+}
+
+TopologySpec TopologySpec::generate(int n_sites, std::int64_t target_cpus,
+                                    Rng& rng, double pareto_shape) {
+  if (n_sites <= 0 || target_cpus < n_sites) {
+    throw std::invalid_argument("TopologySpec::generate: bad parameters");
+  }
+  // Draw Pareto weights, then scale to the CPU budget with a floor of 4
+  // CPUs per site so no site is degenerate.
+  std::vector<double> weights(static_cast<std::size_t>(n_sites), 0.0);
+  double total_weight = 0.0;
+  for (auto& w : weights) {
+    w = rng.pareto(1.0, pareto_shape);
+    w = std::min(w, 400.0);  // clip the tail: no site dwarfs the grid
+    total_weight += w;
+  }
+  TopologySpec spec;
+  std::int64_t allocated = 0;
+  for (int i = 0; i < n_sites; ++i) {
+    const auto share = double(target_cpus) * weights[std::size_t(i)] / total_weight;
+    const std::int32_t cpus = std::max<std::int32_t>(4, std::int32_t(std::lround(share)));
+    allocated += cpus;
+    SiteSpec site;
+    site.name = "site-" + std::to_string(i);
+    const double speed = rng.uniform(0.8, 1.3);
+    if (cpus >= 256) {
+      site.clusters = {{cpus / 2, speed * 1.05}, {cpus - cpus / 2, speed * 0.95}};
+    } else {
+      site.clusters = {{cpus, speed}};
+    }
+    spec.sites.push_back(std::move(site));
+  }
+  (void)allocated;  // within a few % of target by construction
+  return spec;
+}
+
+TopologySpec TopologySpec::osg_scaled(int factor, Rng& rng) {
+  assert(factor >= 1);
+  const TopologySpec base = osg2005();
+  return generate(int(base.sites.size()) * factor, base.total_cpus() * factor, rng);
+}
+
+Grid::Grid(sim::Simulation& sim, const TopologySpec& spec) {
+  sites_.reserve(spec.sites.size());
+  for (std::size_t i = 0; i < spec.sites.size(); ++i) {
+    sites_.push_back(std::make_unique<Site>(sim, SiteId(i), spec.sites[i].name,
+                                            spec.sites[i].clusters));
+    total_cpus_ += sites_.back()->total_cpus();
+  }
+}
+
+Site& Grid::site(SiteId id) {
+  assert(id.value() < sites_.size());
+  return *sites_[id.value()];
+}
+
+const Site& Grid::site(SiteId id) const {
+  assert(id.value() < sites_.size());
+  return *sites_[id.value()];
+}
+
+std::int64_t Grid::total_free_cpus() const {
+  std::int64_t total = 0;
+  for (const auto& s : sites_) total += s->is_down() ? 0 : s->free_cpus();
+  return total;
+}
+
+const Site& Grid::best_site() const {
+  assert(!sites_.empty());
+  const Site* best = sites_.front().get();
+  for (const auto& s : sites_) {
+    if (s->free_cpus() > best->free_cpus()) best = s.get();
+  }
+  return *best;
+}
+
+std::vector<SiteSnapshot> Grid::snapshot_all() const {
+  std::vector<SiteSnapshot> out;
+  out.reserve(sites_.size());
+  for (const auto& s : sites_) out.push_back(s->snapshot());
+  return out;
+}
+
+double Grid::cpu_seconds_consumed() const {
+  double total = 0.0;
+  for (const auto& s : sites_) total += s->cpu_seconds_consumed();
+  return total;
+}
+
+VoId VoCatalog::add_vo(std::string name) {
+  vos_.push_back(VoEntry{std::move(name), {}});
+  return VoId(vos_.size() - 1);
+}
+
+GroupId VoCatalog::add_group(VoId vo, std::string name) {
+  assert(vo.value() < vos_.size());
+  const GroupId id(groups_.size());
+  groups_.push_back(GroupEntry{std::move(name), vo});
+  vos_[vo.value()].groups.push_back(id);
+  return id;
+}
+
+UserId VoCatalog::add_user(GroupId group, std::string name) {
+  assert(group.value() < groups_.size());
+  users_.push_back(UserEntry{std::move(name), group});
+  return UserId(users_.size() - 1);
+}
+
+const std::string& VoCatalog::vo_name(VoId id) const {
+  assert(id.value() < vos_.size());
+  return vos_[id.value()].name;
+}
+
+const std::string& VoCatalog::group_name(GroupId id) const {
+  assert(id.value() < groups_.size());
+  return groups_[id.value()].name;
+}
+
+VoId VoCatalog::group_vo(GroupId id) const {
+  assert(id.value() < groups_.size());
+  return groups_[id.value()].vo;
+}
+
+GroupId VoCatalog::user_group(UserId id) const {
+  assert(id.value() < users_.size());
+  return users_[id.value()].group;
+}
+
+const std::vector<GroupId>& VoCatalog::groups_of(VoId vo) const {
+  assert(vo.value() < vos_.size());
+  return vos_[vo.value()].groups;
+}
+
+VoCatalog VoCatalog::uniform(int n_vos, int groups_per_vo) {
+  VoCatalog catalog;
+  for (int v = 0; v < n_vos; ++v) {
+    const VoId vo = catalog.add_vo("vo" + std::to_string(v));
+    for (int g = 0; g < groups_per_vo; ++g) {
+      const GroupId group =
+          catalog.add_group(vo, "vo" + std::to_string(v) + ".g" + std::to_string(g));
+      catalog.add_user(group, catalog.group_name(group) + ".user");
+    }
+  }
+  return catalog;
+}
+
+}  // namespace digruber::grid

@@ -1,0 +1,36 @@
+#include "digruber/gruber/engine.hpp"
+
+#include <algorithm>
+
+namespace digruber::gruber {
+
+GruberEngine::GruberEngine(const grid::VoCatalog& catalog,
+                           const usla::AllocationTree& tree,
+                           usla::EvaluatorOptions options)
+    : catalog_(catalog), evaluator_(tree, catalog, options) {}
+
+std::vector<SiteLoad> GruberEngine::candidates(const grid::Job& job,
+                                               sim::Time now) const {
+  std::vector<SiteLoad> out;
+  const std::vector<SiteLoad> loads = view_.loads(now);
+  out.reserve(loads.size());
+  for (const SiteLoad& load : loads) {
+    const grid::SiteSnapshot estimate = view_.estimated_snapshot(load.site, now);
+    const std::int32_t group_running = view_.active_for_group(load.site, job.group, now);
+    const std::int32_t user_running = view_.active_for_user(load.site, job.user, now);
+    const std::int32_t headroom = evaluator_.chain_headroom(
+        estimate, job.vo, job.group, job.user, group_running, user_running);
+    if (headroom < job.cpus) continue;
+    const std::uint64_t storage_need = job.input_bytes + job.output_bytes;
+    if (storage_need > 0 &&
+        evaluator_.storage_headroom(estimate, job.vo) < storage_need) {
+      continue;
+    }
+    SiteLoad clipped = load;
+    clipped.free_estimate = std::min(load.free_estimate, headroom);
+    out.push_back(clipped);
+  }
+  return out;
+}
+
+}  // namespace digruber::gruber

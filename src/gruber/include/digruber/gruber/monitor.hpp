@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+
+#include "digruber/grid/topology.hpp"
+#include "digruber/gruber/engine.hpp"
+#include "digruber/sim/simulation.hpp"
+
+namespace digruber::gruber {
+
+/// The GRUBER site monitor: a data provider feeding fresh site snapshots
+/// into an engine's view. Optional (the paper swaps in MonALISA-style
+/// monitors); the DI-GRUBER experiments run it only at bootstrap because
+/// dissemination strategy 2 relies on dispatch tracking, not polling.
+class SiteMonitor {
+ public:
+  SiteMonitor(sim::Simulation& sim, const grid::Grid& grid, GruberEngine& engine,
+              sim::Duration poll_period = sim::Duration::zero());
+
+  /// Push a full set of snapshots right now.
+  void refresh();
+
+  void stop();
+  [[nodiscard]] std::uint64_t refreshes() const { return refreshes_; }
+
+ private:
+  const grid::Grid& grid_;
+  GruberEngine& engine_;
+  std::uint64_t refreshes_ = 0;
+  std::unique_ptr<sim::PeriodicTimer> timer_;
+};
+
+}  // namespace digruber::gruber

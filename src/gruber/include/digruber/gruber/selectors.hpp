@@ -1,0 +1,98 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "digruber/common/rng.hpp"
+#include "digruber/grid/job.hpp"
+#include "digruber/gruber/view.hpp"
+
+namespace digruber::gruber {
+
+/// Site selectors answer "which is the best site at which I can run this
+/// job?" over a candidate list. In DI-GRUBER this logic executes on the
+/// *client* (the tester/submission host) after fetching loads from its
+/// decision point.
+class SiteSelector {
+ public:
+  virtual ~SiteSelector() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// nullopt when no candidate can host the job.
+  virtual std::optional<SiteId> select(std::span<const SiteLoad> candidates,
+                                       const grid::Job& job) = 0;
+};
+
+/// Cycles through candidate sites regardless of load.
+class RoundRobinSelector final : public SiteSelector {
+ public:
+  [[nodiscard]] const char* name() const override { return "round-robin"; }
+  std::optional<SiteId> select(std::span<const SiteLoad> candidates,
+                               const grid::Job& job) override;
+
+ private:
+  std::uint64_t cursor_ = 0;
+};
+
+/// Picks the site with the most free CPUs ("least used").
+class LeastUsedSelector final : public SiteSelector {
+ public:
+  [[nodiscard]] const char* name() const override { return "least-used"; }
+  std::optional<SiteId> select(std::span<const SiteLoad> candidates,
+                               const grid::Job& job) override;
+};
+
+/// Picks the admissible site not selected for the longest time.
+class LeastRecentlyUsedSelector final : public SiteSelector {
+ public:
+  [[nodiscard]] const char* name() const override { return "least-recently-used"; }
+  std::optional<SiteId> select(std::span<const SiteLoad> candidates,
+                               const grid::Job& job) override;
+
+ private:
+  std::uint64_t tick_ = 0;
+  std::map<SiteId, std::uint64_t> last_used_;
+};
+
+/// Uniform random among admissible candidates — also the timeout-fallback
+/// policy (then applied over *all* sites, ignoring USLAs).
+class RandomSelector final : public SiteSelector {
+ public:
+  explicit RandomSelector(Rng rng) : rng_(rng) {}
+  [[nodiscard]] const char* name() const override { return "random"; }
+  std::optional<SiteId> select(std::span<const SiteLoad> candidates,
+                               const grid::Job& job) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Least-used with randomized tie-breaking: picks uniformly among the k
+/// least-used admissible sites. Spreads simultaneous clients across the
+/// top sites instead of thundering-herding the single emptiest one.
+class TopKSelector final : public SiteSelector {
+ public:
+  TopKSelector(int k, Rng rng) : k_(k), rng_(rng) {}
+  [[nodiscard]] const char* name() const override { return "top-k"; }
+  std::optional<SiteId> select(std::span<const SiteLoad> candidates,
+                               const grid::Job& job) override;
+
+ private:
+  int k_;
+  Rng rng_;
+};
+
+/// Least-used weighted by relative (free/total) availability, so small
+/// sites are not starved by absolute-free ranking.
+class WeightedSelector final : public SiteSelector {
+ public:
+  [[nodiscard]] const char* name() const override { return "weighted"; }
+  std::optional<SiteId> select(std::span<const SiteLoad> candidates,
+                               const grid::Job& job) override;
+};
+
+std::unique_ptr<SiteSelector> make_selector(const std::string& name, Rng rng);
+
+}  // namespace digruber::gruber

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "digruber/common/ids.hpp"
+#include "digruber/grid/site.hpp"
+
+namespace digruber::gruber {
+
+/// Compact per-site load record exchanged on the wire (decision point ->
+/// client replies and decision point <-> decision point state exchange).
+struct SiteLoad {
+  SiteId site;
+  std::int32_t total_cpus = 0;
+  /// Free CPUs usable by the requesting consumer (clipped to USLA headroom
+  /// in candidate lists; equals raw_free in plain load reports).
+  std::int32_t free_estimate = 0;
+  /// Unclipped free-CPU estimate — the decision point's raw belief about
+  /// the site, used for scheduling-accuracy auditing.
+  std::int32_t raw_free = 0;
+  std::int32_t queued = 0;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & site & total_cpus & free_estimate & raw_free & queued;
+  }
+};
+
+/// One scheduling decision, as tracked locally and disseminated between
+/// decision points (dissemination strategy 2: utilization only, no USLAs).
+struct DispatchRecord {
+  DpId origin;            // decision point that made the decision
+  std::uint64_t seq = 0;  // per-origin sequence number (dedup for flooding)
+  SiteId site;
+  VoId vo;
+  GroupId group;
+  UserId user;
+  std::int32_t cpus = 1;
+  sim::Time when;
+  sim::Duration est_runtime;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & origin & seq & site & vo & group & user & cpus & when & est_runtime;
+  }
+};
+
+/// A decision point's model of the grid. Per the paper's experimental
+/// setup, the view starts from complete *static* knowledge of resources
+/// (bootstrap snapshots) and is kept current by monitoring scheduling
+/// decisions — its own dispatches plus those learned through periodic
+/// exchange — not by live site polling.
+class GridView {
+ public:
+  /// Install base snapshots (static knowledge / fresh monitor data).
+  void bootstrap(const std::vector<grid::SiteSnapshot>& snapshots);
+  void apply_snapshot(const grid::SiteSnapshot& snapshot);
+
+  /// Track a scheduling decision. Records age out after their estimated
+  /// runtime, emulating completion without completion notices.
+  void record_dispatch(const DispatchRecord& record);
+
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+
+  /// Estimated free CPUs at `site` at time `now`.
+  [[nodiscard]] std::int32_t estimated_free(SiteId site, sim::Time now) const;
+
+  /// Estimated snapshot combining the base snapshot with active dispatch
+  /// records (used for USLA evaluation).
+  [[nodiscard]] grid::SiteSnapshot estimated_snapshot(SiteId site, sim::Time now) const;
+
+  /// Active (not yet aged-out) CPUs dispatched at `site` for group/user.
+  [[nodiscard]] std::int32_t active_for_group(SiteId site, GroupId group,
+                                              sim::Time now) const;
+  [[nodiscard]] std::int32_t active_for_user(SiteId site, UserId user,
+                                             sim::Time now) const;
+
+  /// Per-site load vector (the GetSiteLoads reply body).
+  [[nodiscard]] std::vector<SiteLoad> loads(sim::Time now) const;
+
+  [[nodiscard]] std::uint64_t dispatches_recorded() const { return recorded_; }
+
+ private:
+  struct SiteState {
+    grid::SiteSnapshot base;
+    std::deque<DispatchRecord> active;  // pruned lazily by est completion
+  };
+
+  void prune(SiteState& state, sim::Time now) const;
+  [[nodiscard]] const SiteState* find(SiteId site) const;
+
+  mutable std::map<SiteId, SiteState> sites_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace digruber::gruber

@@ -1,0 +1,26 @@
+#include "digruber/gruber/monitor.hpp"
+
+namespace digruber::gruber {
+
+SiteMonitor::SiteMonitor(sim::Simulation& sim, const grid::Grid& grid,
+                         GruberEngine& engine, sim::Duration poll_period)
+    : grid_(grid), engine_(engine) {
+  refresh();
+  if (poll_period > sim::Duration::zero()) {
+    timer_ = std::make_unique<sim::PeriodicTimer>(sim, poll_period,
+                                                  [this] { refresh(); }, poll_period);
+  }
+}
+
+void SiteMonitor::refresh() {
+  for (const grid::SiteSnapshot& snapshot : grid_.snapshot_all()) {
+    engine_.view().apply_snapshot(snapshot);
+  }
+  ++refreshes_;
+}
+
+void SiteMonitor::stop() {
+  if (timer_) timer_->stop();
+}
+
+}  // namespace digruber::gruber

@@ -1,0 +1,116 @@
+#include "digruber/gruber/selectors.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace digruber::gruber {
+namespace {
+
+bool fits(const SiteLoad& load, const grid::Job& job) {
+  return load.free_estimate >= job.cpus;
+}
+
+}  // namespace
+
+std::optional<SiteId> RoundRobinSelector::select(std::span<const SiteLoad> candidates,
+                                                 const grid::Job& job) {
+  if (candidates.empty()) return std::nullopt;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const SiteLoad& c = candidates[(cursor_ + i) % candidates.size()];
+    if (fits(c, job)) {
+      cursor_ = (cursor_ + i + 1) % candidates.size();
+      return c.site;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SiteId> LeastUsedSelector::select(std::span<const SiteLoad> candidates,
+                                                const grid::Job& job) {
+  const SiteLoad* best = nullptr;
+  for (const SiteLoad& c : candidates) {
+    if (!fits(c, job)) continue;
+    if (!best || c.free_estimate > best->free_estimate) best = &c;
+  }
+  if (!best) return std::nullopt;
+  return best->site;
+}
+
+std::optional<SiteId> LeastRecentlyUsedSelector::select(
+    std::span<const SiteLoad> candidates, const grid::Job& job) {
+  const SiteLoad* best = nullptr;
+  std::uint64_t best_used = ~std::uint64_t{0};
+  for (const SiteLoad& c : candidates) {
+    if (!fits(c, job)) continue;
+    std::uint64_t used = 0;
+    const auto it = last_used_.find(c.site);
+    if (it != last_used_.end()) used = it->second;
+    if (!best || used < best_used) {
+      best = &c;
+      best_used = used;
+    }
+  }
+  if (!best) return std::nullopt;
+  last_used_[best->site] = ++tick_;
+  return best->site;
+}
+
+std::optional<SiteId> RandomSelector::select(std::span<const SiteLoad> candidates,
+                                             const grid::Job& job) {
+  std::vector<const SiteLoad*> admissible;
+  admissible.reserve(candidates.size());
+  for (const SiteLoad& c : candidates) {
+    if (fits(c, job)) admissible.push_back(&c);
+  }
+  if (admissible.empty()) return std::nullopt;
+  return admissible[rng_.uniform_index(admissible.size())]->site;
+}
+
+std::optional<SiteId> TopKSelector::select(std::span<const SiteLoad> candidates,
+                                           const grid::Job& job) {
+  std::vector<const SiteLoad*> admissible;
+  admissible.reserve(candidates.size());
+  for (const SiteLoad& c : candidates) {
+    if (fits(c, job)) admissible.push_back(&c);
+  }
+  if (admissible.empty()) return std::nullopt;
+  const std::size_t k = std::min<std::size_t>(std::size_t(std::max(1, k_)),
+                                              admissible.size());
+  std::partial_sort(admissible.begin(), admissible.begin() + std::ptrdiff_t(k),
+                    admissible.end(), [](const SiteLoad* a, const SiteLoad* b) {
+                      if (a->free_estimate != b->free_estimate) {
+                        return a->free_estimate > b->free_estimate;
+                      }
+                      return a->site < b->site;
+                    });
+  return admissible[rng_.uniform_index(k)]->site;
+}
+
+std::optional<SiteId> WeightedSelector::select(std::span<const SiteLoad> candidates,
+                                               const grid::Job& job) {
+  const SiteLoad* best = nullptr;
+  double best_score = -1.0;
+  for (const SiteLoad& c : candidates) {
+    if (!fits(c, job) || c.total_cpus <= 0) continue;
+    const double score =
+        double(c.free_estimate) * (double(c.free_estimate) / double(c.total_cpus));
+    if (score > best_score) {
+      best = &c;
+      best_score = score;
+    }
+  }
+  if (!best) return std::nullopt;
+  return best->site;
+}
+
+std::unique_ptr<SiteSelector> make_selector(const std::string& name, Rng rng) {
+  if (name == "round-robin") return std::make_unique<RoundRobinSelector>();
+  if (name == "least-used") return std::make_unique<LeastUsedSelector>();
+  if (name == "least-recently-used") return std::make_unique<LeastRecentlyUsedSelector>();
+  if (name == "random") return std::make_unique<RandomSelector>(rng);
+  if (name == "top-k") return std::make_unique<TopKSelector>(4, rng);
+  if (name == "weighted") return std::make_unique<WeightedSelector>();
+  throw std::invalid_argument("unknown selector: " + name);
+}
+
+}  // namespace digruber::gruber

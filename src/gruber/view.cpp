@@ -1,0 +1,101 @@
+#include "digruber/gruber/view.hpp"
+
+#include <algorithm>
+
+namespace digruber::gruber {
+
+void GridView::bootstrap(const std::vector<grid::SiteSnapshot>& snapshots) {
+  for (const auto& snapshot : snapshots) apply_snapshot(snapshot);
+}
+
+void GridView::apply_snapshot(const grid::SiteSnapshot& snapshot) {
+  SiteState& state = sites_[snapshot.site];
+  if (snapshot.as_of < state.base.as_of) return;  // stale: ignore
+  state.base = snapshot;
+  // Dispatches made before the snapshot are already reflected in it.
+  std::erase_if(state.active, [&](const DispatchRecord& r) {
+    return r.when <= snapshot.as_of;
+  });
+}
+
+void GridView::record_dispatch(const DispatchRecord& record) {
+  SiteState& state = sites_[record.site];
+  state.active.push_back(record);
+  ++recorded_;
+}
+
+void GridView::prune(SiteState& state, sim::Time now) const {
+  std::erase_if(state.active, [&](const DispatchRecord& r) {
+    return r.when + r.est_runtime <= now;
+  });
+}
+
+const GridView::SiteState* GridView::find(SiteId site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? nullptr : &it->second;
+}
+
+std::int32_t GridView::estimated_free(SiteId site, sim::Time now) const {
+  const SiteState* state = find(site);
+  if (!state) return 0;
+  prune(const_cast<SiteState&>(*state), now);
+  std::int32_t pending = 0;
+  for (const auto& r : state->active) pending += r.cpus;
+  return std::max(0, state->base.free_cpus - pending);
+}
+
+grid::SiteSnapshot GridView::estimated_snapshot(SiteId site, sim::Time now) const {
+  const SiteState* state = find(site);
+  if (!state) return {};
+  prune(const_cast<SiteState&>(*state), now);
+  grid::SiteSnapshot estimate = state->base;
+  for (const auto& r : state->active) {
+    estimate.free_cpus = std::max(0, estimate.free_cpus - r.cpus);
+    estimate.running_per_vo[r.vo] += r.cpus;
+  }
+  estimate.as_of = now;
+  return estimate;
+}
+
+std::int32_t GridView::active_for_group(SiteId site, GroupId group,
+                                        sim::Time now) const {
+  const SiteState* state = find(site);
+  if (!state) return 0;
+  prune(const_cast<SiteState&>(*state), now);
+  std::int32_t cpus = 0;
+  for (const auto& r : state->active) {
+    if (r.group == group) cpus += r.cpus;
+  }
+  return cpus;
+}
+
+std::int32_t GridView::active_for_user(SiteId site, UserId user, sim::Time now) const {
+  const SiteState* state = find(site);
+  if (!state) return 0;
+  prune(const_cast<SiteState&>(*state), now);
+  std::int32_t cpus = 0;
+  for (const auto& r : state->active) {
+    if (r.user == user) cpus += r.cpus;
+  }
+  return cpus;
+}
+
+std::vector<SiteLoad> GridView::loads(sim::Time now) const {
+  std::vector<SiteLoad> out;
+  out.reserve(sites_.size());
+  for (auto& [site, state] : sites_) {
+    prune(state, now);
+    std::int32_t pending = 0;
+    for (const auto& r : state.active) pending += r.cpus;
+    SiteLoad load;
+    load.site = site;
+    load.total_cpus = state.base.total_cpus;
+    load.free_estimate = std::max(0, state.base.free_cpus - pending);
+    load.raw_free = load.free_estimate;
+    load.queued = state.base.queued_jobs;
+    out.push_back(load);
+  }
+  return out;
+}
+
+}  // namespace digruber::gruber

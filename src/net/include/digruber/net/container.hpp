@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "digruber/common/stats.hpp"
+#include "digruber/sim/simulation.hpp"
+
+namespace digruber::net {
+
+/// Queueing model of a Globus-Toolkit-style Web-service container: a small
+/// worker pool behind an admission queue, with per-request CPU charges for
+/// the security handshake and XML (de)serialization proportional to
+/// message size. This is the smallest model that reproduces the paper's
+/// Figure-1 behaviour (throughput plateau at workers/service-time, response
+/// time ramping with queue depth) and the GT3-vs-GT4 ordering.
+struct ContainerProfile {
+  std::string name = "generic";
+  int workers = 2;
+  std::size_t queue_limit = 4096;
+  sim::Duration base_overhead = sim::Duration::millis(20);
+  sim::Duration auth_cost = sim::Duration::millis(100);
+  sim::Duration parse_cost_per_kb = sim::Duration::millis(10);      // request
+  sim::Duration serialize_cost_per_kb = sim::Duration::millis(10);  // reply
+  double speed = 1.0;  // host speed multiplier (>1 is faster)
+
+  /// GT3.2 Java WS container (the paper's faster implementation).
+  static ContainerProfile gt3();
+  /// GT4 (GT3.9.4 prerelease) container — functionally equivalent but
+  /// slower, as reported in the paper's Section 4.5.
+  static ContainerProfile gt4();
+  /// The C-based WS core the paper's conclusions point to as future work
+  /// ("DI-GRUBER performance can be improved further by porting it to a
+  /// C-based Web services core, such as is supported in GT4"): the same
+  /// container model with native-code security and XML handling.
+  static ContainerProfile gt4_c();
+};
+
+/// Result of running a service handler: the encoded reply payload (empty
+/// for one-way messages) plus the handler's own declared compute cost.
+struct Served {
+  std::vector<std::uint8_t> reply;
+  sim::Duration handler_cost = sim::Duration::zero();
+};
+
+class ServiceContainer {
+ public:
+  using Handler = std::function<Served()>;
+  using Completion = std::function<void(std::vector<std::uint8_t> reply)>;
+
+  ServiceContainer(sim::Simulation& sim, ContainerProfile profile);
+
+  /// Admit a request. Returns false when the accept queue is full (the
+  /// request is refused and never runs). `run` executes when a worker
+  /// picks the request up; `done` fires when its service time elapses.
+  bool submit(std::size_t request_bytes, Handler run, Completion done);
+
+  /// Service time charged for a request of the given sizes and handler cost.
+  [[nodiscard]] sim::Duration service_time(std::size_t request_bytes,
+                                           std::size_t reply_bytes,
+                                           sim::Duration handler_cost) const;
+
+  [[nodiscard]] const ContainerProfile& profile() const { return profile_; }
+  [[nodiscard]] int busy_workers() const { return busy_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t refused() const { return refused_; }
+  /// Fraction of elapsed time the worker pool spent busy, up to `now`.
+  [[nodiscard]] double utilization(sim::Time now) const;
+  [[nodiscard]] const StreamingStats& sojourn_stats() const { return sojourn_; }
+
+ private:
+  struct Request {
+    sim::Time arrived;
+    std::size_t bytes;
+    Handler run;
+    Completion done;
+  };
+
+  void start(Request request);
+  void finish();
+
+  sim::Simulation& sim_;
+  ContainerProfile profile_;
+  int busy_ = 0;
+  std::deque<Request> queue_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t refused_ = 0;
+  sim::Duration busy_time_ = sim::Duration::zero();
+  StreamingStats sojourn_;  // queue wait + service, seconds
+};
+
+}  // namespace digruber::net

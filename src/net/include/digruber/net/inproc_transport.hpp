@@ -1,0 +1,52 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "digruber/net/transport.hpp"
+
+namespace digruber::net {
+
+/// Real multi-threaded transport: every endpoint gets a mailbox drained by
+/// its own delivery thread. Exercises the exact protocol/serialization
+/// code under true concurrency (used by the integration tests); no latency
+/// model — delivery is immediate but asynchronous.
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport() = default;
+  ~InProcTransport() override;
+
+  InProcTransport(const InProcTransport&) = delete;
+  InProcTransport& operator=(const InProcTransport&) = delete;
+
+  NodeId attach(Endpoint& endpoint) override;
+  void detach(NodeId node) override;
+  void send(Packet packet) override;
+
+  /// Blocks until every mailbox is empty and every delivery thread idle.
+  void drain();
+
+ private:
+  struct Mailbox {
+    explicit Mailbox(Endpoint& ep) : endpoint(ep) {}
+    Endpoint& endpoint;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Packet> queue;
+    bool closing = false;
+    bool busy = false;
+    std::thread worker;
+  };
+
+  static void run_mailbox(Mailbox& box);
+
+  mutable std::mutex registry_mutex_;
+  std::uint64_t next_node_ = 1;
+  std::unordered_map<NodeId, std::shared_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace digruber::net

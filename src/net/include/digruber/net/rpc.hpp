@@ -1,0 +1,132 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "digruber/common/result.hpp"
+#include "digruber/net/container.hpp"
+#include "digruber/net/transport.hpp"
+#include "digruber/net/wire/frame.hpp"
+#include "digruber/sim/simulation.hpp"
+
+namespace digruber::net {
+
+/// RPC server: an Endpoint that routes request frames through a
+/// ServiceContainer (modelling GT3/GT4 per-request costs) into registered
+/// method handlers, and sends reply frames back.
+class RpcServer : public Endpoint {
+ public:
+  /// A method receives the decoded-frame body and the caller's address and
+  /// returns the encoded reply plus its compute cost.
+  using Method = std::function<Served(std::span<const std::uint8_t> body, NodeId from)>;
+
+  RpcServer(sim::Simulation& sim, Transport& transport, ContainerProfile profile);
+  ~RpcServer() override;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] ServiceContainer& container() { return container_; }
+  [[nodiscard]] const ServiceContainer& container() const { return container_; }
+
+  void register_method(std::uint16_t method, Method handler);
+
+  /// Convenience: register a typed handler `Reply(const Request&, NodeId)`
+  /// with a fixed-or-computed handler cost returned alongside the reply.
+  template <class Request, class Reply>
+  void register_typed(std::uint16_t method,
+                      std::function<std::pair<Reply, sim::Duration>(const Request&, NodeId)> fn) {
+    register_method(method, [fn = std::move(fn)](std::span<const std::uint8_t> body,
+                                                 NodeId from) -> Served {
+      Request request{};
+      if (!wire::decode(body, request)) {
+        return Served{};  // malformed: swallow; client will time out
+      }
+      auto [reply, cost] = fn(request, from);
+      return Served{wire::encode(reply), cost};
+    });
+  }
+
+  [[nodiscard]] std::uint64_t requests_received() const { return received_; }
+  [[nodiscard]] std::uint64_t requests_bad() const { return bad_; }
+
+  void on_packet(Packet packet) override;
+
+ private:
+  sim::Simulation& sim_;
+  Transport& transport_;
+  NodeId node_;
+  ServiceContainer container_;
+  std::unordered_map<std::uint16_t, Method> methods_;
+  std::uint64_t received_ = 0;
+  std::uint64_t bad_ = 0;
+};
+
+/// RPC client: issues requests with per-call timeouts; late or unknown
+/// replies are discarded (the server may still have done the work — that
+/// asymmetry is what produces the paper's "requests NOT handled by
+/// GRUBER" population).
+class RpcClient : public Endpoint {
+ public:
+  using RawResult = Result<std::vector<std::uint8_t>>;
+
+  RpcClient(sim::Simulation& sim, Transport& transport);
+  ~RpcClient() override;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+
+  /// Raw call; `done` fires exactly once with the reply body or an error
+  /// ("timeout", "refused", or a server error string).
+  void call_raw(NodeId server, std::uint16_t method,
+                std::vector<std::uint8_t> body, sim::Duration timeout,
+                std::function<void(RawResult)> done);
+
+  /// Typed call.
+  template <class Request, class Reply>
+  void call(NodeId server, std::uint16_t method, const Request& request,
+            sim::Duration timeout, std::function<void(Result<Reply>)> done) {
+    call_raw(server, method, wire::encode(request), timeout,
+             [done = std::move(done)](RawResult raw) {
+               if (!raw.ok()) {
+                 done(Result<Reply>::failure(raw.error()));
+                 return;
+               }
+               Reply reply{};
+               if (!wire::decode(std::span<const std::uint8_t>(raw.value()), reply)) {
+                 done(Result<Reply>::failure("malformed reply"));
+                 return;
+               }
+               done(std::move(reply));
+             });
+  }
+
+  /// One-way notification (no reply, no timeout).
+  template <class Request>
+  void notify(NodeId server, std::uint16_t method, const Request& request) {
+    transport_.send(Packet{node_, server,
+                           wire::make_frame(method, wire::FrameKind::kOneWay,
+                                            next_correlation_++, request)});
+  }
+
+  [[nodiscard]] std::uint64_t calls_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t calls_timed_out() const { return timed_out_; }
+  [[nodiscard]] std::size_t calls_in_flight() const { return pending_.size(); }
+
+  void on_packet(Packet packet) override;
+
+ private:
+  struct Pending {
+    sim::EventId timeout_event;
+    std::function<void(RawResult)> done;
+  };
+
+  sim::Simulation& sim_;
+  Transport& transport_;
+  NodeId node_;
+  std::uint64_t next_correlation_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t timed_out_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace digruber::net

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "digruber/net/transport.hpp"
+#include "digruber/net/wan.hpp"
+#include "digruber/sim/simulation.hpp"
+
+namespace digruber::net {
+
+/// Transport running on the discrete-event kernel: each send schedules a
+/// delivery event after the WAN model's one-way delay.
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::Simulation& sim, WanModel wan);
+
+  NodeId attach(Endpoint& endpoint) override;
+  void detach(NodeId node) override;
+  void send(Packet packet) override;
+
+  [[nodiscard]] WanModel& wan() { return wan_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  sim::Simulation& sim_;
+  WanModel wan_;
+  std::uint64_t next_node_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::unordered_map<NodeId, Endpoint*> endpoints_;
+};
+
+}  // namespace digruber::net

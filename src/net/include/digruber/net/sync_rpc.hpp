@@ -1,0 +1,94 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "digruber/common/result.hpp"
+#include "digruber/net/transport.hpp"
+#include "digruber/net/wire/frame.hpp"
+
+namespace digruber::net {
+
+/// Thread-safe request/reply endpoints for InProcTransport. These carry the
+/// exact same frames as the simulated RPC stack, so the integration tests
+/// exercise identical serialization and dispatch code under real threads.
+class SyncService : public Endpoint {
+ public:
+  using Method =
+      std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t> body, NodeId from)>;
+
+  explicit SyncService(Transport& transport);
+  ~SyncService() override;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  void register_method(std::uint16_t method, Method handler);
+
+  template <class Request, class Reply>
+  void register_typed(std::uint16_t method,
+                      std::function<Reply(const Request&, NodeId)> fn) {
+    register_method(method, [fn = std::move(fn)](std::span<const std::uint8_t> body,
+                                                 NodeId from) {
+      Request request{};
+      if (!wire::decode(body, request)) return std::vector<std::uint8_t>{};
+      return wire::encode(fn(request, from));
+    });
+  }
+
+  void on_packet(Packet packet) override;
+
+ private:
+  Transport& transport_;
+  NodeId node_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint16_t, Method> methods_;
+};
+
+class SyncClient : public Endpoint {
+ public:
+  using RawResult = Result<std::vector<std::uint8_t>>;
+
+  explicit SyncClient(Transport& transport);
+  ~SyncClient() override;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+
+  /// Blocking call with a wall-clock timeout.
+  RawResult call_raw(NodeId server, std::uint16_t method,
+                     std::vector<std::uint8_t> body,
+                     std::chrono::milliseconds timeout);
+
+  template <class Request, class Reply>
+  Result<Reply> call(NodeId server, std::uint16_t method, const Request& request,
+                     std::chrono::milliseconds timeout) {
+    RawResult raw = call_raw(server, method, wire::encode(request), timeout);
+    if (!raw.ok()) return Result<Reply>::failure(raw.error());
+    Reply reply{};
+    if (!wire::decode(std::span<const std::uint8_t>(raw.value()), reply)) {
+      return Result<Reply>::failure("malformed reply");
+    }
+    return reply;
+  }
+
+  void on_packet(Packet packet) override;
+
+ private:
+  struct Waiter {
+    std::vector<std::uint8_t> reply;
+    std::string error;
+    bool done = false;
+    bool failed = false;
+  };
+
+  Transport& transport_;
+  NodeId node_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t next_correlation_ = 1;
+  std::unordered_map<std::uint64_t, Waiter*> waiters_;
+};
+
+}  // namespace digruber::net

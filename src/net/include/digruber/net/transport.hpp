@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "digruber/common/ids.hpp"
+
+namespace digruber::net {
+
+/// A datagram between two endpoints. `payload` is a complete wire frame.
+struct Packet {
+  NodeId src;
+  NodeId dst;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Receives packets addressed to a registered node.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void on_packet(Packet packet) = 0;
+};
+
+/// Message-passing abstraction. Two implementations: SimTransport runs on
+/// the discrete-event kernel with a WAN latency model; InProcTransport
+/// delivers across real threads for concurrency integration tests.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Attach `endpoint` and return its address. The endpoint must outlive
+  /// the transport (or be detached first).
+  virtual NodeId attach(Endpoint& endpoint) = 0;
+  virtual void detach(NodeId node) = 0;
+
+  /// Fire-and-forget send. Packets to unknown nodes are dropped (as on a
+  /// real network); delivery order between distinct pairs is not
+  /// guaranteed, per-pair order follows the latency model.
+  virtual void send(Packet packet) = 0;
+};
+
+}  // namespace digruber::net

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "digruber/common/ids.hpp"
+#include "digruber/common/rng.hpp"
+#include "digruber/sim/time.hpp"
+
+namespace digruber::net {
+
+/// Wide-area latency/bandwidth model standing in for PlanetLab. Each node
+/// gets a deterministic pseudo-geographic position; one-way base latency
+/// grows with distance, per-message jitter is lognormal, and transmission
+/// time is message-size over the (10 Mb/s-class) access link. The
+/// `envelope_factor` inflates logical message bytes to SOAP-scale wire
+/// bytes, preserving the serialization cost structure of GT3/GT4.
+struct WanParams {
+  double min_latency_ms = 5.0;    // same-metro floor
+  double max_latency_ms = 160.0;  // antipodal ceiling
+  double jitter_cv = 0.15;        // lognormal coefficient of variation
+  double bandwidth_bps = 10e6;    // PlanetLab-era access links
+  double loss_rate = 0.0;         // per-message drop probability
+  double envelope_factor = 4.0;   // XML/SOAP inflation of payload bytes
+};
+
+class WanModel {
+ public:
+  explicit WanModel(WanParams params = {}, std::uint64_t seed = 42);
+
+  /// One-way delay for a message of `payload_bytes` logical bytes.
+  sim::Duration delay(NodeId from, NodeId to, std::size_t payload_bytes);
+
+  /// True if the message should be dropped.
+  bool drop();
+
+  /// Deterministic (jitter-free) base propagation delay between two nodes.
+  sim::Duration base_latency(NodeId from, NodeId to) const;
+
+  [[nodiscard]] const WanParams& params() const { return params_; }
+
+ private:
+  struct Position {
+    double x, y;
+  };
+  Position position_of(NodeId node) const;
+
+  WanParams params_;
+  mutable Rng rng_;
+};
+
+}  // namespace digruber::net

@@ -1,0 +1,265 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace digruber::net::wire {
+
+/// Binary serialization archives with a symmetric `operator&` so message
+/// structs declare their layout once:
+///
+///   struct Ping {
+///     std::uint64_t nonce{};
+///     template <class Archive> void serialize(Archive& ar) { ar & nonce; }
+///   };
+///
+/// Encoding: little-endian fixed-width integers, IEEE-754 doubles, u32
+/// length prefixes for strings/containers. The Reader never throws on
+/// malformed input — it sets a fail flag and yields zero values, so
+/// truncated or hostile packets are handled by checking `ok()`.
+
+class Writer {
+ public:
+  static constexpr bool kIsWriter = true;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  template <class T>
+  Writer& operator&(const T& v) {
+    write(v);
+    return *this;
+  }
+
+ private:
+  template <class T>
+  void write_integral(T v) {
+    using U = std::make_unsigned_t<T>;
+    auto u = static_cast<U>(v);
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(u & 0xff));
+      u = static_cast<U>(u >> 8);
+    }
+  }
+
+  template <class T>
+  void write(const T& v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      buf_.push_back(v ? 1 : 0);
+    } else if constexpr (std::is_enum_v<T>) {
+      write_integral(static_cast<std::underlying_type_t<T>>(v));
+    } else if constexpr (std::is_integral_v<T>) {
+      write_integral(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::uint64_t bits;
+      const double d = static_cast<double>(v);
+      std::memcpy(&bits, &d, sizeof bits);
+      write_integral(bits);
+    } else if constexpr (std::is_same_v<T, std::string>) {
+      write_integral(static_cast<std::uint32_t>(v.size()));
+      raw(v.data(), v.size());
+    } else {
+      serialize_dispatch(v);
+    }
+  }
+
+  template <class T>
+  void write(const std::vector<T>& v) {
+    write_integral(static_cast<std::uint32_t>(v.size()));
+    for (const auto& e : v) write(e);
+  }
+
+  template <class K, class V>
+  void write(const std::map<K, V>& m) {
+    write_integral(static_cast<std::uint32_t>(m.size()));
+    for (const auto& [k, v] : m) {
+      write(k);
+      write(v);
+    }
+  }
+
+  template <class T>
+  void write(const std::optional<T>& o) {
+    write(o.has_value());
+    if (o) write(*o);
+  }
+
+  template <class A, class B>
+  void write(const std::pair<A, B>& p) {
+    write(p.first);
+    write(p.second);
+  }
+
+  template <class T>
+  void serialize_dispatch(const T& v) {
+    // serialize() members are logically const for a Writer.
+    const_cast<T&>(v).serialize(*this);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  static constexpr bool kIsWriter = false;
+
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True when every byte was consumed and no underrun occurred.
+  [[nodiscard]] bool complete() const { return ok_ && pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  template <class T>
+  Reader& operator&(T& v) {
+    read(v);
+    return *this;
+  }
+
+ private:
+  bool take(void* out, std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      std::memset(out, 0, n);
+      return false;
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  template <class T>
+  void read_integral(T& v) {
+    using U = std::make_unsigned_t<T>;
+    std::uint8_t raw[sizeof(U)];
+    if (!take(raw, sizeof raw)) {
+      v = T{};
+      return;
+    }
+    U u = 0;
+    for (std::size_t i = sizeof(U); i-- > 0;) u = static_cast<U>((u << 8) | raw[i]);
+    v = static_cast<T>(u);
+  }
+
+  template <class T>
+  void read(T& v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      std::uint8_t b = 0;
+      take(&b, 1);
+      v = b != 0;
+    } else if constexpr (std::is_enum_v<T>) {
+      std::underlying_type_t<T> u{};
+      read_integral(u);
+      v = static_cast<T>(u);
+    } else if constexpr (std::is_integral_v<T>) {
+      read_integral(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::uint64_t bits = 0;
+      read_integral(bits);
+      double d;
+      std::memcpy(&d, &bits, sizeof d);
+      v = static_cast<T>(d);
+    } else if constexpr (std::is_same_v<T, std::string>) {
+      std::uint32_t n = 0;
+      read_integral(n);
+      if (!ok_ || remaining() < n) {
+        ok_ = false;
+        v.clear();
+        return;
+      }
+      v.assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+      pos_ += n;
+    } else {
+      v.serialize(*this);
+    }
+  }
+
+  template <class T>
+  void read(std::vector<T>& v) {
+    std::uint32_t n = 0;
+    read_integral(n);
+    v.clear();
+    // Guard against hostile lengths: each element consumes >= 1 byte.
+    if (!ok_ || n > remaining()) {
+      if (n != 0) ok_ = false;
+      return;
+    }
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n && ok_; ++i) {
+      v.emplace_back();
+      read(v.back());
+    }
+  }
+
+  template <class K, class V>
+  void read(std::map<K, V>& m) {
+    std::uint32_t n = 0;
+    read_integral(n);
+    m.clear();
+    if (!ok_ || n > remaining()) {
+      if (n != 0) ok_ = false;
+      return;
+    }
+    for (std::uint32_t i = 0; i < n && ok_; ++i) {
+      K k{};
+      V v{};
+      read(k);
+      read(v);
+      m.emplace(std::move(k), std::move(v));
+    }
+  }
+
+  template <class T>
+  void read(std::optional<T>& o) {
+    bool has = false;
+    read(has);
+    if (has) {
+      o.emplace();
+      read(*o);
+    } else {
+      o.reset();
+    }
+  }
+
+  template <class A, class B>
+  void read(std::pair<A, B>& p) {
+    read(p.first);
+    read(p.second);
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Encode any serializable struct to bytes.
+template <class T>
+std::vector<std::uint8_t> encode(const T& msg) {
+  Writer w;
+  w & msg;
+  return w.take();
+}
+
+/// Decode bytes into `out`; false if the buffer is malformed or has
+/// trailing garbage.
+template <class T>
+bool decode(std::span<const std::uint8_t> bytes, T& out) {
+  Reader r(bytes);
+  r & out;
+  return r.complete();
+}
+
+}  // namespace digruber::net::wire

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "digruber/net/wire/archive.hpp"
+
+namespace digruber::net::wire {
+
+/// On-the-wire frame header. Every packet payload starts with one; the
+/// body that follows is the encoded message struct for (service, method).
+struct FrameHeader {
+  static constexpr std::uint16_t kCurrentVersion = 1;
+
+  std::uint16_t version = kCurrentVersion;
+  std::uint16_t method = 0;       // service-defined method id
+  std::uint8_t kind = 0;          // FrameKind
+  std::uint64_t correlation = 0;  // matches replies to requests
+  std::uint32_t body_size = 0;    // bytes of body following the header
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & version & method & kind & correlation & body_size;
+  }
+};
+
+enum class FrameKind : std::uint8_t {
+  kRequest = 0,
+  kReply = 1,
+  kError = 2,   // body is an encoded error string
+  kOneWay = 3,  // no reply expected
+};
+
+/// Serialized size of a FrameHeader (fixed layout).
+std::size_t frame_header_size();
+
+/// Build a complete frame: header + encoded body.
+template <class Body>
+std::vector<std::uint8_t> make_frame(std::uint16_t method, FrameKind kind,
+                                     std::uint64_t correlation, const Body& body) {
+  Writer w;
+  std::vector<std::uint8_t> encoded_body = encode(body);
+  FrameHeader header;
+  header.method = method;
+  header.kind = static_cast<std::uint8_t>(kind);
+  header.correlation = correlation;
+  header.body_size = static_cast<std::uint32_t>(encoded_body.size());
+  w & header;
+  w.raw(encoded_body.data(), encoded_body.size());
+  return w.take();
+}
+
+/// Parse a frame header; on success returns the body span via `body`.
+bool parse_frame(std::span<const std::uint8_t> frame, FrameHeader& header,
+                 std::span<const std::uint8_t>& body);
+
+}  // namespace digruber::net::wire

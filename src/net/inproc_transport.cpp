@@ -1,0 +1,108 @@
+#include "digruber/net/inproc_transport.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace digruber::net {
+
+InProcTransport::~InProcTransport() {
+  std::vector<std::shared_ptr<Mailbox>> boxes;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    for (auto& [node, box] : mailboxes_) boxes.push_back(box);
+    mailboxes_.clear();
+  }
+  for (auto& box : boxes) {
+    {
+      const std::scoped_lock lock(box->mutex);
+      box->closing = true;
+    }
+    box->cv.notify_all();
+    if (box->worker.joinable()) box->worker.join();
+  }
+}
+
+NodeId InProcTransport::attach(Endpoint& endpoint) {
+  const std::scoped_lock lock(registry_mutex_);
+  const NodeId node(next_node_++);
+  auto box = std::make_shared<Mailbox>(endpoint);
+  box->worker = std::thread([raw = box.get()] { run_mailbox(*raw); });
+  mailboxes_.emplace(node, std::move(box));
+  return node;
+}
+
+void InProcTransport::detach(NodeId node) {
+  std::shared_ptr<Mailbox> box;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    const auto it = mailboxes_.find(node);
+    if (it == mailboxes_.end()) return;
+    box = it->second;
+    mailboxes_.erase(it);
+  }
+  {
+    const std::scoped_lock lock(box->mutex);
+    box->closing = true;
+  }
+  box->cv.notify_all();
+  if (box->worker.joinable()) box->worker.join();
+}
+
+void InProcTransport::send(Packet packet) {
+  std::shared_ptr<Mailbox> box;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    const auto it = mailboxes_.find(packet.dst);
+    if (it == mailboxes_.end()) return;  // unknown destination: drop
+    box = it->second;
+  }
+  {
+    const std::scoped_lock lock(box->mutex);
+    if (box->closing) return;
+    box->queue.push_back(std::move(packet));
+  }
+  box->cv.notify_one();
+}
+
+void InProcTransport::run_mailbox(Mailbox& box) {
+  for (;;) {
+    Packet packet;
+    {
+      std::unique_lock lock(box.mutex);
+      box.cv.wait(lock, [&] { return box.closing || !box.queue.empty(); });
+      if (box.queue.empty()) return;  // closing and drained
+      packet = std::move(box.queue.front());
+      box.queue.pop_front();
+      box.busy = true;
+    }
+    box.endpoint.on_packet(std::move(packet));
+    {
+      const std::scoped_lock lock(box.mutex);
+      box.busy = false;
+    }
+    box.cv.notify_all();
+  }
+}
+
+void InProcTransport::drain() {
+  // Quiescence: repeat until a full pass observes every mailbox empty and
+  // idle (a delivery can enqueue onto another mailbox, hence the loop).
+  for (;;) {
+    bool all_idle = true;
+    std::vector<std::shared_ptr<Mailbox>> boxes;
+    {
+      const std::scoped_lock lock(registry_mutex_);
+      for (auto& [node, box] : mailboxes_) boxes.push_back(box);
+    }
+    for (auto& box : boxes) {
+      std::unique_lock lock(box->mutex);
+      if (!box->queue.empty() || box->busy) {
+        all_idle = false;
+        box->cv.wait(lock, [&] { return box->queue.empty() && !box->busy; });
+      }
+    }
+    if (all_idle) return;
+  }
+}
+
+}  // namespace digruber::net

@@ -1,0 +1,140 @@
+#include "digruber/net/rpc.hpp"
+
+#include <string>
+#include <utility>
+
+#include "digruber/common/log.hpp"
+
+namespace digruber::net {
+
+RpcServer::RpcServer(sim::Simulation& sim, Transport& transport,
+                     ContainerProfile profile)
+    : sim_(sim),
+      transport_(transport),
+      node_(transport.attach(*this)),
+      container_(sim, std::move(profile)) {}
+
+RpcServer::~RpcServer() { transport_.detach(node_); }
+
+void RpcServer::register_method(std::uint16_t method, Method handler) {
+  methods_[method] = std::move(handler);
+}
+
+void RpcServer::on_packet(Packet packet) {
+  wire::FrameHeader header;
+  std::span<const std::uint8_t> body;
+  if (!wire::parse_frame(packet.payload, header, body)) {
+    ++bad_;
+    return;
+  }
+  const auto kind = static_cast<wire::FrameKind>(header.kind);
+  if (kind != wire::FrameKind::kRequest && kind != wire::FrameKind::kOneWay) {
+    ++bad_;
+    return;
+  }
+  const auto it = methods_.find(header.method);
+  if (it == methods_.end()) {
+    ++bad_;
+    log::debug("rpc", "no handler for method ", header.method);
+    return;
+  }
+  ++received_;
+
+  const NodeId from = packet.src;
+  const std::uint64_t correlation = header.correlation;
+  const std::uint16_t method = header.method;
+  const bool wants_reply = kind == wire::FrameKind::kRequest;
+
+  // Copy the body: the container may queue the request past this packet's
+  // lifetime.
+  auto body_copy = std::make_shared<std::vector<std::uint8_t>>(body.begin(), body.end());
+  const bool accepted = container_.submit(
+      packet.payload.size(),
+      [this, body_copy, from, handler = &it->second]() -> Served {
+        return (*handler)(std::span<const std::uint8_t>(*body_copy), from);
+      },
+      [this, from, correlation, method, wants_reply](std::vector<std::uint8_t> reply) {
+        if (!wants_reply) return;
+        wire::Writer w;
+        wire::FrameHeader h;
+        h.method = method;
+        h.kind = static_cast<std::uint8_t>(wire::FrameKind::kReply);
+        h.correlation = correlation;
+        h.body_size = static_cast<std::uint32_t>(reply.size());
+        w & h;
+        w.raw(reply.data(), reply.size());
+        transport_.send(Packet{node_, from, w.take()});
+      });
+  if (!accepted && wants_reply) {
+    // Connection refused: tell the caller immediately.
+    const std::string reason = "refused";
+    transport_.send(Packet{node_, from,
+                           wire::make_frame(method, wire::FrameKind::kError,
+                                            correlation, reason)});
+  }
+}
+
+RpcClient::RpcClient(sim::Simulation& sim, Transport& transport)
+    : sim_(sim), transport_(transport), node_(transport.attach(*this)) {}
+
+RpcClient::~RpcClient() {
+  transport_.detach(node_);
+  for (auto& [correlation, pending] : pending_) sim_.cancel(pending.timeout_event);
+}
+
+void RpcClient::call_raw(NodeId server, std::uint16_t method,
+                         std::vector<std::uint8_t> body, sim::Duration timeout,
+                         std::function<void(RawResult)> done) {
+  const std::uint64_t correlation = next_correlation_++;
+  ++sent_;
+
+  wire::Writer w;
+  wire::FrameHeader header;
+  header.method = method;
+  header.kind = static_cast<std::uint8_t>(wire::FrameKind::kRequest);
+  header.correlation = correlation;
+  header.body_size = static_cast<std::uint32_t>(body.size());
+  w & header;
+  w.raw(body.data(), body.size());
+
+  const sim::EventId timeout_event = sim_.schedule_after(timeout, [this, correlation] {
+    const auto it = pending_.find(correlation);
+    if (it == pending_.end()) return;
+    auto done = std::move(it->second.done);
+    pending_.erase(it);
+    ++timed_out_;
+    done(RawResult::failure("timeout"));
+  });
+  pending_.emplace(correlation, Pending{timeout_event, std::move(done)});
+  transport_.send(Packet{node_, server, w.take()});
+}
+
+void RpcClient::on_packet(Packet packet) {
+  wire::FrameHeader header;
+  std::span<const std::uint8_t> body;
+  if (!wire::parse_frame(packet.payload, header, body)) return;
+
+  const auto it = pending_.find(header.correlation);
+  if (it == pending_.end()) return;  // late reply after timeout: discard
+
+  auto pending = std::move(it->second);
+  pending_.erase(it);
+  sim_.cancel(pending.timeout_event);
+
+  switch (static_cast<wire::FrameKind>(header.kind)) {
+    case wire::FrameKind::kReply:
+      pending.done(std::vector<std::uint8_t>(body.begin(), body.end()));
+      break;
+    case wire::FrameKind::kError: {
+      std::string reason;
+      if (!wire::decode(body, reason)) reason = "malformed error";
+      pending.done(RawResult::failure(reason));
+      break;
+    }
+    default:
+      pending.done(RawResult::failure("unexpected frame kind"));
+      break;
+  }
+}
+
+}  // namespace digruber::net

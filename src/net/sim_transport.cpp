@@ -1,0 +1,38 @@
+#include "digruber/net/sim_transport.hpp"
+
+#include <utility>
+
+#include "digruber/common/log.hpp"
+
+namespace digruber::net {
+
+SimTransport::SimTransport(sim::Simulation& sim, WanModel wan)
+    : sim_(sim), wan_(std::move(wan)) {}
+
+NodeId SimTransport::attach(Endpoint& endpoint) {
+  const NodeId node(next_node_++);
+  endpoints_.emplace(node, &endpoint);
+  return node;
+}
+
+void SimTransport::detach(NodeId node) { endpoints_.erase(node); }
+
+void SimTransport::send(Packet packet) {
+  ++sent_;
+  bytes_ += packet.payload.size();
+  if (wan_.drop()) {
+    ++dropped_;
+    return;
+  }
+  const sim::Duration delay = wan_.delay(packet.src, packet.dst, packet.payload.size());
+  sim_.schedule_after(delay, [this, p = std::move(packet)]() mutable {
+    const auto it = endpoints_.find(p.dst);
+    if (it == endpoints_.end()) {
+      log::debug("net", "packet to detached node ", p.dst.value(), " dropped");
+      return;
+    }
+    it->second->on_packet(std::move(p));
+  });
+}
+
+}  // namespace digruber::net

@@ -1,0 +1,106 @@
+#include "digruber/net/sync_rpc.hpp"
+
+namespace digruber::net {
+
+SyncService::SyncService(Transport& transport)
+    : transport_(transport), node_(transport.attach(*this)) {}
+
+SyncService::~SyncService() { transport_.detach(node_); }
+
+void SyncService::register_method(std::uint16_t method, Method handler) {
+  const std::scoped_lock lock(mutex_);
+  methods_[method] = std::move(handler);
+}
+
+void SyncService::on_packet(Packet packet) {
+  wire::FrameHeader header;
+  std::span<const std::uint8_t> body;
+  if (!wire::parse_frame(packet.payload, header, body)) return;
+  const auto kind = static_cast<wire::FrameKind>(header.kind);
+  if (kind != wire::FrameKind::kRequest && kind != wire::FrameKind::kOneWay) return;
+
+  Method handler;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = methods_.find(header.method);
+    if (it == methods_.end()) return;
+    handler = it->second;  // copy so the handler runs without the lock held
+  }
+  std::vector<std::uint8_t> reply = handler(body, packet.src);
+  if (kind != wire::FrameKind::kRequest) return;
+
+  wire::Writer w;
+  wire::FrameHeader h;
+  h.method = header.method;
+  h.kind = static_cast<std::uint8_t>(wire::FrameKind::kReply);
+  h.correlation = header.correlation;
+  h.body_size = static_cast<std::uint32_t>(reply.size());
+  w & h;
+  w.raw(reply.data(), reply.size());
+  transport_.send(Packet{node_, packet.src, w.take()});
+}
+
+SyncClient::SyncClient(Transport& transport)
+    : transport_(transport), node_(transport.attach(*this)) {}
+
+SyncClient::~SyncClient() { transport_.detach(node_); }
+
+SyncClient::RawResult SyncClient::call_raw(NodeId server, std::uint16_t method,
+                                           std::vector<std::uint8_t> body,
+                                           std::chrono::milliseconds timeout) {
+  Waiter waiter;
+  std::uint64_t correlation;
+  {
+    const std::scoped_lock lock(mutex_);
+    correlation = next_correlation_++;
+    waiters_.emplace(correlation, &waiter);
+  }
+
+  wire::Writer w;
+  wire::FrameHeader header;
+  header.method = method;
+  header.kind = static_cast<std::uint8_t>(wire::FrameKind::kRequest);
+  header.correlation = correlation;
+  header.body_size = static_cast<std::uint32_t>(body.size());
+  w & header;
+  w.raw(body.data(), body.size());
+  transport_.send(Packet{node_, server, w.take()});
+
+  std::unique_lock lock(mutex_);
+  const bool completed = cv_.wait_for(lock, timeout, [&] { return waiter.done; });
+  waiters_.erase(correlation);
+  if (!completed) return RawResult::failure("timeout");
+  if (waiter.failed) return RawResult::failure(waiter.error);
+  return std::move(waiter.reply);
+}
+
+void SyncClient::on_packet(Packet packet) {
+  wire::FrameHeader header;
+  std::span<const std::uint8_t> body;
+  if (!wire::parse_frame(packet.payload, header, body)) return;
+
+  const std::scoped_lock lock(mutex_);
+  const auto it = waiters_.find(header.correlation);
+  if (it == waiters_.end()) return;
+  Waiter& waiter = *it->second;
+  switch (static_cast<wire::FrameKind>(header.kind)) {
+    case wire::FrameKind::kReply:
+      waiter.reply.assign(body.begin(), body.end());
+      break;
+    case wire::FrameKind::kError: {
+      std::string reason;
+      if (!wire::decode(body, reason)) reason = "malformed error";
+      waiter.failed = true;
+      waiter.error = std::move(reason);
+      break;
+    }
+    default:
+      waiter.failed = true;
+      waiter.error = "unexpected frame kind";
+      break;
+  }
+  waiter.done = true;
+  cv_.notify_all();
+}
+
+}  // namespace digruber::net

@@ -1,0 +1,56 @@
+#include "digruber/net/wan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace digruber::net {
+namespace {
+
+// Deterministic per-node hash so positions are stable across runs without
+// storing a table.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+WanModel::WanModel(WanParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+WanModel::Position WanModel::position_of(NodeId node) const {
+  const std::uint64_t h = mix(node.value() + 0x5bd1e995u);
+  const double x = double(h & 0xffffffffu) / double(0xffffffffu);
+  const double y = double(h >> 32) / double(0xffffffffu);
+  return {x, y};
+}
+
+sim::Duration WanModel::base_latency(NodeId from, NodeId to) const {
+  if (from == to) return sim::Duration::millis(0.1);  // loopback
+  const Position a = position_of(from);
+  const Position b = position_of(to);
+  // Unit-square distance; max distance sqrt(2) maps to max_latency.
+  const double dist = std::hypot(a.x - b.x, a.y - b.y) / std::sqrt(2.0);
+  const double ms =
+      params_.min_latency_ms + dist * (params_.max_latency_ms - params_.min_latency_ms);
+  return sim::Duration::millis(ms);
+}
+
+sim::Duration WanModel::delay(NodeId from, NodeId to, std::size_t payload_bytes) {
+  const sim::Duration base = base_latency(from, to);
+  const double jitter =
+      params_.jitter_cv > 0 ? rng_.lognormal_mean_cv(1.0, params_.jitter_cv) : 1.0;
+  const double wire_bytes = double(payload_bytes) * params_.envelope_factor;
+  const double tx_seconds = wire_bytes * 8.0 / params_.bandwidth_bps;
+  return base * jitter + sim::Duration::seconds(tx_seconds);
+}
+
+bool WanModel::drop() {
+  return params_.loss_rate > 0 && rng_.bernoulli(params_.loss_rate);
+}
+
+}  // namespace digruber::net

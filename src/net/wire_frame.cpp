@@ -1,0 +1,28 @@
+#include "digruber/net/wire/frame.hpp"
+
+namespace digruber::net::wire {
+
+std::size_t frame_header_size() {
+  static const std::size_t size = [] {
+    Writer w;
+    FrameHeader h;
+    w & h;
+    return w.size();
+  }();
+  return size;
+}
+
+bool parse_frame(std::span<const std::uint8_t> frame, FrameHeader& header,
+                 std::span<const std::uint8_t>& body) {
+  const std::size_t hsize = frame_header_size();
+  if (frame.size() < hsize) return false;
+  Reader r(frame.first(hsize));
+  r & header;
+  if (!r.complete()) return false;
+  if (header.version != FrameHeader::kCurrentVersion) return false;
+  if (frame.size() - hsize != header.body_size) return false;
+  body = frame.subspan(hsize);
+  return true;
+}
+
+}  // namespace digruber::net::wire

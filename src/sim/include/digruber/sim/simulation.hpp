@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "digruber/common/rng.hpp"
+#include "digruber/sim/time.hpp"
+
+namespace digruber::sim {
+
+using EventId = std::uint64_t;
+
+/// Deterministic discrete-event simulation kernel. Events with equal
+/// timestamps fire in scheduling order (FIFO), so a run is a pure function
+/// of (initial state, seed).
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulation(std::uint64_t seed = 1);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  EventId schedule_at(Time when, Callback cb);
+  EventId schedule_after(Duration delay, Callback cb);
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  /// Run until the queue drains or `stop()` is called.
+  void run();
+  /// Run until simulated time reaches `until` (events at exactly `until`
+  /// still fire); the clock is left at `until` if the queue drained early.
+  void run_until(Time until);
+  /// Requests the current `run` loop to return after the in-flight event.
+  void stop() { stopped_ = true; }
+
+  /// Root RNG for the run; actors should fork() sub-streams from it during
+  /// setup so their draws are independent of event interleaving.
+  Rng& rng() { return rng_; }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t events_pending() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;
+    // std::priority_queue is a max-heap; invert for (time, id) min order.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pops and runs the earliest pending event; returns false if drained.
+  bool step(Time until);
+
+  Time now_ = Time::zero();
+  bool stopped_ = false;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  Rng rng_;
+};
+
+/// RAII repeating timer: calls `fn` every `period` starting at
+/// `start_delay` after construction, until destroyed or `stop()`ed.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulation& sim, Duration period, std::function<void()> fn,
+                Duration start_delay = Duration::zero());
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm(Duration delay);
+
+  Simulation& sim_;
+  Duration period_;
+  std::function<void()> fn_;
+  bool running_ = true;
+  EventId pending_ = 0;
+};
+
+}  // namespace digruber::sim

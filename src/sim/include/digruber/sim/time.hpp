@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace digruber::sim {
+
+/// Duration in integer microseconds. Integer ticks keep the event queue
+/// total order exact and runs bit-reproducible.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration micros(std::int64_t us) { return Duration(us); }
+  static constexpr Duration millis(double ms) { return Duration(std::int64_t(ms * 1e3)); }
+  static constexpr Duration seconds(double s) { return Duration(std::int64_t(s * 1e6)); }
+  static constexpr Duration minutes(double m) { return Duration(std::int64_t(m * 6e7)); }
+  static constexpr Duration hours(double h) { return Duration(std::int64_t(h * 3.6e9)); }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() { return Duration(INT64_MAX); }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const { return double(us_) * 1e-6; }
+  [[nodiscard]] constexpr double to_minutes() const { return double(us_) / 6e7; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.us_ + b.us_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.us_ - b.us_); }
+  friend constexpr Duration operator*(Duration a, double k) { return Duration(std::int64_t(double(a.us_) * k)); }
+  friend constexpr Duration operator*(double k, Duration a) { return a * k; }
+  friend constexpr double operator/(Duration a, Duration b) { return double(a.us_) / double(b.us_); }
+  friend constexpr auto operator<=>(Duration a, Duration b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.to_seconds() << "s";
+  }
+
+  /// Wire-format support (see net/wire/archive.hpp).
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & us_;
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// Absolute simulation time (microseconds since simulation start).
+class Time {
+ public:
+  constexpr Time() = default;
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() { return Time(INT64_MAX); }
+  static constexpr Time from_seconds(double s) { return Time(std::int64_t(s * 1e6)); }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const { return double(us_) * 1e-6; }
+  [[nodiscard]] constexpr double to_minutes() const { return double(us_) / 6e7; }
+
+  friend constexpr Time operator+(Time t, Duration d) { return Time(t.us_ + d.us()); }
+  friend constexpr Time operator-(Time t, Duration d) { return Time(t.us_ - d.us()); }
+  friend constexpr Duration operator-(Time a, Time b) { return Duration::micros(a.us_ - b.us_); }
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Time t) {
+    return os << t.to_seconds() << "s";
+  }
+
+  /// Wire-format support (see net/wire/archive.hpp).
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & us_;
+  }
+
+ private:
+  constexpr explicit Time(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace digruber::sim

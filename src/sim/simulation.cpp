@@ -1,0 +1,82 @@
+#include "digruber/sim/simulation.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace digruber::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulation::schedule_at(Time when, Callback cb) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventId Simulation::schedule_after(Duration delay, Callback cb) {
+  assert(delay >= Duration::zero());
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void Simulation::cancel(EventId id) { callbacks_.erase(id); }
+
+bool Simulation::step(Time until) {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    const auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled; discard lazily
+      continue;
+    }
+    if (top.when > until) return false;
+    queue_.pop();
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.when;
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && step(Time::max())) {
+  }
+}
+
+void Simulation::run_until(Time until) {
+  stopped_ = false;
+  while (!stopped_ && step(until)) {
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+PeriodicTimer::PeriodicTimer(Simulation& sim, Duration period,
+                             std::function<void()> fn, Duration start_delay)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  assert(period_ > Duration::zero());
+  arm(start_delay);
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::stop() {
+  if (running_) {
+    running_ = false;
+    sim_.cancel(pending_);
+  }
+}
+
+void PeriodicTimer::arm(Duration delay) {
+  pending_ = sim_.schedule_after(delay, [this] {
+    if (!running_) return;
+    arm(period_);
+    fn_();
+  });
+}
+
+}  // namespace digruber::sim

@@ -1,0 +1,172 @@
+#include "digruber/usla/document.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace digruber::usla {
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) out.push_back(token);
+  return out;
+}
+
+bool parse_entity(const std::string& token, EntityRef& out) {
+  if (token == "grid") {
+    out = EntityRef{EntityRef::Kind::kGrid, ""};
+    return true;
+  }
+  const std::size_t colon = token.find(':');
+  if (colon == std::string::npos || colon + 1 >= token.size()) return false;
+  const std::string kind = token.substr(0, colon);
+  const std::string name = token.substr(colon + 1);
+  if (kind == "site") out = EntityRef{EntityRef::Kind::kSite, name};
+  else if (kind == "vo") out = EntityRef{EntityRef::Kind::kVo, name};
+  else if (kind == "group") out = EntityRef{EntityRef::Kind::kGroup, name};
+  else if (kind == "user") out = EntityRef{EntityRef::Kind::kUser, name};
+  else return false;
+  return true;
+}
+
+bool parse_share(const std::string& token, ShareSpec& out) {
+  std::string digits = token;
+  out.bound = BoundKind::kTarget;
+  if (!digits.empty() && (digits.back() == '+' || digits.back() == '-')) {
+    out.bound = digits.back() == '+' ? BoundKind::kUpperLimit : BoundKind::kLowerLimit;
+    digits.pop_back();
+  }
+  if (digits.empty()) return false;
+  try {
+    std::size_t used = 0;
+    out.percent = std::stod(digits, &used);
+    if (used != digits.size()) return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  return out.percent >= 0.0 && out.percent <= 100.0;
+}
+
+bool parse_resource(const std::string& token, ResourceKind& out) {
+  if (token == "cpu") out = ResourceKind::kCpu;
+  else if (token == "storage") out = ResourceKind::kStorage;
+  else if (token == "network") out = ResourceKind::kNetwork;
+  else return false;
+  return true;
+}
+
+Result<Agreement> fail(int lineno, const std::string& what) {
+  return Result<Agreement>::failure("line " + std::to_string(lineno) + ": " + what);
+}
+
+}  // namespace
+
+Result<Agreement> parse_agreement(const std::string& text) {
+  Agreement agreement;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::vector<std::string> tokens = split_ws(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "agreement") {
+      if (tokens.size() != 2) return fail(lineno, "expected: agreement <name>");
+      agreement.name = tokens[1];
+    } else if (tokens[0] == "context") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::size_t eq = tokens[i].find('=');
+        if (eq == std::string::npos) return fail(lineno, "expected key=value");
+        const std::string key = tokens[i].substr(0, eq);
+        const std::string value = tokens[i].substr(eq + 1);
+        if (key == "provider") agreement.context_provider = value;
+        else if (key == "consumer") agreement.context_consumer = value;
+        else return fail(lineno, "unknown context key: " + key);
+      }
+    } else if (tokens[0] == "term") {
+      // term <name>: <provider> -> <consumer> <resource> <share>
+      if (tokens.size() != 7 || tokens[3] != "->") {
+        return fail(lineno, "expected: term <name>: <provider> -> <consumer> <resource> <pct>[+|-]");
+      }
+      ServiceTerm term;
+      term.name = tokens[1];
+      if (term.name.empty() || term.name.back() != ':') {
+        return fail(lineno, "term name must end with ':'");
+      }
+      term.name.pop_back();
+      if (!parse_entity(tokens[2], term.provider)) return fail(lineno, "bad provider entity: " + tokens[2]);
+      if (!parse_entity(tokens[4], term.consumer)) return fail(lineno, "bad consumer entity: " + tokens[4]);
+      if (!parse_resource(tokens[5], term.resource)) return fail(lineno, "bad resource: " + tokens[5]);
+      if (!parse_share(tokens[6], term.share)) return fail(lineno, "bad share: " + tokens[6]);
+      agreement.terms.push_back(std::move(term));
+    } else if (tokens[0] == "goal") {
+      if (tokens.size() != 4) return fail(lineno, "expected: goal <metric> <|> <threshold>");
+      Goal goal;
+      goal.metric = tokens[1];
+      goal.relation = tokens[2];
+      if (goal.relation != "<" && goal.relation != ">") return fail(lineno, "relation must be < or >");
+      try {
+        goal.threshold = std::stod(tokens[3]);
+      } catch (const std::exception&) {
+        return fail(lineno, "bad threshold: " + tokens[3]);
+      }
+      agreement.goals.push_back(std::move(goal));
+    } else {
+      return fail(lineno, "unknown construct: " + tokens[0]);
+    }
+  }
+  return agreement;
+}
+
+std::string format_agreement(const Agreement& agreement) {
+  std::ostringstream os;
+  os << "agreement " << agreement.name << "\n";
+  os << "context provider=" << agreement.context_provider
+     << " consumer=" << agreement.context_consumer << "\n";
+  for (const auto& term : agreement.terms) {
+    os << "term " << term.name << ": " << to_string(term.provider) << " -> "
+       << to_string(term.consumer) << " " << to_string(term.resource) << " "
+       << term.share.percent << to_string(term.share.bound) << "\n";
+  }
+  for (const auto& goal : agreement.goals) {
+    os << "goal " << goal.metric << " " << goal.relation << " " << goal.threshold
+       << "\n";
+  }
+  return os.str();
+}
+
+Status<> validate(const Agreement& agreement) {
+  using Key = std::tuple<std::string, std::string, int>;
+  std::map<Key, double> seen;
+  std::map<std::pair<std::string, int>, double> target_sums;
+  for (const auto& term : agreement.terms) {
+    if (term.share.percent < 0.0 || term.share.percent > 100.0) {
+      return Status<>::failure("term '" + term.name + "': percent out of range");
+    }
+    const Key key{to_string(term.provider), to_string(term.consumer),
+                  int(term.resource)};
+    if (seen.count(key)) {
+      return Status<>::failure("duplicate term for " + to_string(term.provider) +
+                               " -> " + to_string(term.consumer));
+    }
+    seen[key] = term.share.percent;
+    if (term.share.bound == BoundKind::kTarget) {
+      auto& sum = target_sums[{to_string(term.provider), int(term.resource)}];
+      sum += term.share.percent;
+      if (sum > 100.0 + 1e-9) {
+        return Status<>::failure("targets under provider " +
+                                 to_string(term.provider) + " exceed 100%");
+      }
+    }
+  }
+  return Status<>{};
+}
+
+}  // namespace digruber::usla

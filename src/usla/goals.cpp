@@ -1,0 +1,56 @@
+#include "digruber/usla/goals.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace digruber::usla {
+
+GoalMonitor::GoalMonitor(std::vector<Goal> goals) {
+  statuses_.reserve(goals.size());
+  for (Goal& goal : goals) {
+    GoalStatus status;
+    status.goal = std::move(goal);
+    statuses_.push_back(std::move(status));
+  }
+}
+
+void GoalMonitor::observe(const std::string& metric, double value) {
+  for (GoalStatus& status : statuses_) {
+    if (status.goal.metric != metric) continue;
+    ++status.observations;
+    status.mean += (value - status.mean) / double(status.observations);
+    const bool met = status.goal.relation == "<" ? value < status.goal.threshold
+                                                 : value > status.goal.threshold;
+    if (!met) {
+      ++status.violations;
+      if (status.violations == 1) {
+        status.worst = value;
+      } else if (status.goal.relation == "<") {
+        status.worst = std::max(status.worst, value);
+      } else {
+        status.worst = std::min(status.worst, value);
+      }
+    }
+  }
+}
+
+bool GoalMonitor::all_satisfied() const {
+  for (const GoalStatus& status : statuses_) {
+    if (!status.satisfied()) return false;
+  }
+  return true;
+}
+
+std::string GoalMonitor::summary() const {
+  std::ostringstream os;
+  for (const GoalStatus& status : statuses_) {
+    os << "goal " << status.goal.metric << " " << status.goal.relation << " "
+       << status.goal.threshold << ": "
+       << (status.satisfied() ? "SATISFIED" : "VIOLATED") << " ("
+       << status.violations << "/" << status.observations
+       << " violations, mean " << status.mean << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace digruber::usla

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "digruber/common/result.hpp"
+#include "digruber/usla/rule.hpp"
+
+namespace digruber::usla {
+
+/// A WS-Agreement-style monitoring goal, e.g. "qtime < 600" or
+/// "utilization > 0.3". The broker evaluates goals against observed
+/// metrics; they do not gate scheduling.
+struct Goal {
+  std::string metric;   // qtime | response | utilization | accuracy
+  std::string relation;  // "<" or ">"
+  double threshold = 0.0;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & metric & relation & threshold;
+  }
+};
+
+/// One usage term: `provider` grants `consumer` a share of `resource`.
+struct ServiceTerm {
+  std::string name;
+  EntityRef provider;
+  EntityRef consumer;
+  ResourceKind resource = ResourceKind::kCpu;
+  ShareSpec share;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & name & provider & consumer & resource & share;
+  }
+};
+
+/// A USLA document: the subset of WS-Agreement the paper uses — context
+/// (the two parties), service terms (fair-share rules with both a consumer
+/// and a provider), and guarantee goals.
+struct Agreement {
+  std::string name;
+  std::string context_provider;
+  std::string context_consumer;
+  std::vector<ServiceTerm> terms;
+  std::vector<Goal> goals;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & name & context_provider & context_consumer & terms & goals;
+  }
+};
+
+/// Compact text format (one construct per line):
+///
+///   agreement <name>
+///   context provider=<name> consumer=<name>
+///   term <name>: <provider-entity> -> <consumer-entity> <resource> <pct>[+|-]
+///   goal <metric> <|> <threshold>
+///
+/// Entities: `grid`, `site:<name>`, `vo:<name>`, `group:<name>`,
+/// `user:<name>`. Example term:
+///
+///   term cms-share: grid -> vo:cms cpu 40+
+///
+Result<Agreement> parse_agreement(const std::string& text);
+std::string format_agreement(const Agreement& agreement);
+
+/// Structural validation: percents in range, no duplicate
+/// (provider, consumer, resource) triples, targets under each provider sum
+/// to <= 100 per resource.
+Status<> validate(const Agreement& agreement);
+
+}  // namespace digruber::usla

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "digruber/usla/document.hpp"
+
+namespace digruber::usla {
+
+/// Monitors WS-Agreement guarantee goals against observed metrics (the
+/// verification side of the USLA lifecycle: both providers and consumers
+/// "want to verify that USLAs are applied correctly"). Goals do not gate
+/// scheduling; they report compliance.
+class GoalMonitor {
+ public:
+  struct GoalStatus {
+    Goal goal;
+    std::uint64_t observations = 0;
+    std::uint64_t violations = 0;
+    double mean = 0.0;
+    double worst = 0.0;  // farthest observed value on the violating side
+
+    /// A goal is satisfied when most observations meet it (the threshold
+    /// is on the aggregate, not each sample).
+    [[nodiscard]] bool satisfied() const {
+      return observations == 0 || violations * 10 <= observations;
+    }
+  };
+
+  explicit GoalMonitor(std::vector<Goal> goals);
+
+  /// Record one observation of `metric` (e.g. "qtime", 37.5). Applies to
+  /// every goal declared on that metric.
+  void observe(const std::string& metric, double value);
+
+  [[nodiscard]] const std::vector<GoalStatus>& statuses() const { return statuses_; }
+  [[nodiscard]] bool all_satisfied() const;
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<GoalStatus> statuses_;
+};
+
+}  // namespace digruber::usla

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace digruber::usla {
+
+/// Maui-style fair-share bound: `VO.40` is a target, `VO.40+` an upper
+/// limit, `VO.40-` a lower limit (paper Section 3.3).
+enum class BoundKind : std::uint8_t {
+  kTarget = 0,
+  kUpperLimit,
+  kLowerLimit,
+};
+
+enum class ResourceKind : std::uint8_t {
+  kCpu = 0,
+  kStorage,
+  kNetwork,
+};
+
+struct ShareSpec {
+  double percent = 0.0;  // in [0, 100]
+  BoundKind bound = BoundKind::kTarget;
+
+  [[nodiscard]] double fraction() const { return percent / 100.0; }
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & percent & bound;
+  }
+};
+
+/// An entity on either side of a USLA term. The paper extends Maui
+/// semantics by naming both a provider and a consumer per entry and
+/// recursing through VO -> group -> user.
+struct EntityRef {
+  enum class Kind : std::uint8_t { kGrid = 0, kSite, kVo, kGroup, kUser };
+
+  Kind kind = Kind::kGrid;
+  std::string name;  // empty for kGrid
+
+  friend bool operator==(const EntityRef&, const EntityRef&) = default;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & kind & name;
+  }
+};
+
+/// String forms used by the parser/serializer, e.g. "vo:cms", "grid".
+std::string to_string(const EntityRef& entity);
+std::string to_string(BoundKind bound);
+std::string to_string(ResourceKind resource);
+
+}  // namespace digruber::usla

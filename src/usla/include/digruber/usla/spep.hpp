@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "digruber/grid/site.hpp"
+#include "digruber/usla/tree.hpp"
+
+namespace digruber::usla {
+
+/// Site policy enforcement point (paper Section 3.1). S-PEPs sit at the
+/// site boundary and enforce the site's USLAs regardless of what brokers
+/// or clients do. The DI-GRUBER experiments bypass them ("we assumed the
+/// decision points have total control over scheduling decisions"), which
+/// is safe only while every client complies with broker recommendations —
+/// the S-PEP is what protects shares when one does not.
+class SitePolicyEnforcementPoint {
+ public:
+  struct Options {
+    /// When false the S-PEP only audits (counts would-be rejections)
+    /// without refusing anything — the paper's experimental setting.
+    bool enforce = true;
+  };
+
+  SitePolicyEnforcementPoint(grid::Site& site, const UslaEvaluator& evaluator,
+                             Options options);
+  SitePolicyEnforcementPoint(grid::Site& site, const UslaEvaluator& evaluator)
+      : SitePolicyEnforcementPoint(site, evaluator, Options{}) {}
+
+  /// Admission control: rejects (or audits) jobs whose VO would exceed its
+  /// site-level share, then forwards to the site scheduler. Returns false
+  /// if rejected by policy or the site is down.
+  bool submit(grid::Job job, grid::Site::JobCallback on_done);
+
+  [[nodiscard]] grid::Site& site() { return site_; }
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+  /// Violations observed while in audit (enforce=false) mode.
+  [[nodiscard]] std::uint64_t audited_violations() const { return audited_; }
+
+ private:
+  grid::Site& site_;
+  const UslaEvaluator& evaluator_;
+  Options options_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t audited_ = 0;
+};
+
+}  // namespace digruber::usla

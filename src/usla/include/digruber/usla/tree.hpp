@@ -1,0 +1,108 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "digruber/common/ids.hpp"
+#include "digruber/common/result.hpp"
+#include "digruber/grid/topology.hpp"
+#include "digruber/usla/document.hpp"
+
+namespace digruber::usla {
+
+/// Recursive allocation tree: resolves USLA terms from a set of agreements
+/// into effective shares for VO-at-grid, VO-at-site (overrides the grid
+/// rule), group-under-VO, and user-under-group — the paper's recursive
+/// extension of Maui fair-share semantics.
+class AllocationTree {
+ public:
+  /// Builds from validated agreements. Unknown entity names are an error;
+  /// `site_names` maps the grid's site names for site-scoped rules.
+  static Result<AllocationTree> build(
+      const std::vector<Agreement>& agreements, const grid::VoCatalog& catalog,
+      const std::map<std::string, SiteId>& site_names = {});
+
+  /// Share of CPU granted to a VO: the site-specific rule if present, else
+  /// the grid-wide rule, else nullopt.
+  [[nodiscard]] std::optional<ShareSpec> vo_share(
+      VoId vo, std::optional<SiteId> site = std::nullopt) const;
+  /// Same lookup for an arbitrary resource (storage, network).
+  [[nodiscard]] std::optional<ShareSpec> vo_share_for(
+      ResourceKind resource, VoId vo,
+      std::optional<SiteId> site = std::nullopt) const;
+  [[nodiscard]] std::optional<ShareSpec> group_share(GroupId group) const;
+  [[nodiscard]] std::optional<ShareSpec> user_share(UserId user) const;
+
+  [[nodiscard]] std::size_t term_count() const { return terms_; }
+
+ private:
+  using ResourceVo = std::pair<int, VoId>;  // (ResourceKind, vo)
+  std::map<ResourceVo, ShareSpec> vo_at_grid_;
+  std::map<std::pair<SiteId, ResourceVo>, ShareSpec> vo_at_site_;
+  std::map<GroupId, ShareSpec> group_under_vo_;
+  std::map<UserId, ShareSpec> user_under_group_;
+  std::size_t terms_ = 0;
+};
+
+/// Policy knobs for turning share specs into scheduling decisions.
+struct EvaluatorOptions {
+  /// Targets act as soft caps: a target of p% admits up to p * burst.
+  double target_burst = 1.5;
+  /// Entities without any rule: admit (open grid) or reject (closed).
+  bool default_open = true;
+};
+
+/// Answers "how many more CPUs may this VO/group/user take at this site
+/// without violating USLAs?" given a site snapshot plus the broker's own
+/// accounting of group/user usage (sites only report per-VO usage).
+class UslaEvaluator {
+ public:
+  UslaEvaluator(const AllocationTree& tree, const grid::VoCatalog& catalog,
+                EvaluatorOptions options = {});
+
+  /// Hard-cap fraction of a site this consumer chain may occupy.
+  [[nodiscard]] double cap_fraction(VoId vo,
+                                    std::optional<SiteId> site = std::nullopt) const;
+
+  /// CPUs of headroom for `vo` at the given snapshot (>= 0; bounded by the
+  /// site's free CPUs).
+  [[nodiscard]] std::int32_t vo_headroom(const grid::SiteSnapshot& snapshot,
+                                         VoId vo) const;
+
+  /// Bytes of permanent-storage headroom for `vo` at the snapshot, under
+  /// the storage USLA terms (kStorage shares).
+  [[nodiscard]] std::uint64_t storage_headroom(const grid::SiteSnapshot& snapshot,
+                                               VoId vo) const;
+
+  /// Fraction of network bandwidth `vo` may use (kNetwork share; 1.0 when
+  /// no rule and the default policy is open).
+  [[nodiscard]] double network_cap_fraction(VoId vo) const;
+
+  /// Full-chain headroom: additionally applies the group share of its VO's
+  /// cap and the user share of its group's cap, given the broker's own
+  /// running counts for those finer entities at this site.
+  [[nodiscard]] std::int32_t chain_headroom(const grid::SiteSnapshot& snapshot,
+                                            VoId vo, GroupId group, UserId user,
+                                            std::int32_t group_running,
+                                            std::int32_t user_running) const;
+
+  /// True if a job of `cpus` for `vo` fits at the snapshot under USLAs.
+  [[nodiscard]] bool admissible(const grid::SiteSnapshot& snapshot, VoId vo,
+                                std::int32_t cpus) const;
+
+  /// Guaranteed (lower-limit) fraction, 0 when none declared.
+  [[nodiscard]] double guarantee_fraction(VoId vo) const;
+
+  [[nodiscard]] const EvaluatorOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] double effective_cap(const std::optional<ShareSpec>& share) const;
+
+  const AllocationTree& tree_;
+  const grid::VoCatalog& catalog_;
+  EvaluatorOptions options_;
+};
+
+}  // namespace digruber::usla

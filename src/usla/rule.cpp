@@ -1,0 +1,34 @@
+#include "digruber/usla/rule.hpp"
+
+namespace digruber::usla {
+
+std::string to_string(const EntityRef& entity) {
+  switch (entity.kind) {
+    case EntityRef::Kind::kGrid: return "grid";
+    case EntityRef::Kind::kSite: return "site:" + entity.name;
+    case EntityRef::Kind::kVo: return "vo:" + entity.name;
+    case EntityRef::Kind::kGroup: return "group:" + entity.name;
+    case EntityRef::Kind::kUser: return "user:" + entity.name;
+  }
+  return "?";
+}
+
+std::string to_string(BoundKind bound) {
+  switch (bound) {
+    case BoundKind::kTarget: return "";
+    case BoundKind::kUpperLimit: return "+";
+    case BoundKind::kLowerLimit: return "-";
+  }
+  return "?";
+}
+
+std::string to_string(ResourceKind resource) {
+  switch (resource) {
+    case ResourceKind::kCpu: return "cpu";
+    case ResourceKind::kStorage: return "storage";
+    case ResourceKind::kNetwork: return "network";
+  }
+  return "?";
+}
+
+}  // namespace digruber::usla

@@ -1,0 +1,25 @@
+#include "digruber/usla/spep.hpp"
+
+namespace digruber::usla {
+
+SitePolicyEnforcementPoint::SitePolicyEnforcementPoint(
+    grid::Site& site, const UslaEvaluator& evaluator, Options options)
+    : site_(site), evaluator_(evaluator), options_(options) {}
+
+bool SitePolicyEnforcementPoint::submit(grid::Job job,
+                                        grid::Site::JobCallback on_done) {
+  const grid::SiteSnapshot snapshot = site_.snapshot();
+  const bool within_share = evaluator_.admissible(snapshot, job.vo, job.cpus);
+  if (!within_share) {
+    if (options_.enforce) {
+      ++rejected_;
+      return false;
+    }
+    ++audited_;  // paper mode: observe the violation, let it through
+  }
+  if (!site_.submit(std::move(job), std::move(on_done))) return false;
+  ++admitted_;
+  return true;
+}
+
+}  // namespace digruber::usla

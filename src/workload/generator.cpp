@@ -1,0 +1,49 @@
+#include "digruber/workload/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace digruber::workload {
+
+JobFactory::JobFactory(const WorkloadSpec& spec, const grid::VoCatalog& catalog,
+                       std::shared_ptr<JobIdAllocator> ids, Rng rng)
+    : spec_(spec), catalog_(catalog), ids_(std::move(ids)), rng_(rng) {
+  assert(ids_);
+  assert(catalog_.vo_count() > 0);
+}
+
+grid::Job JobFactory::next(sim::Time now) {
+  grid::Job job;
+  job.id = ids_->next();
+  job.created = now;
+
+  const std::size_t n_vos = catalog_.vo_count();
+  const std::size_t vo_index = spec_.vo_skew > 0
+                                   ? rng_.zipf(n_vos, spec_.vo_skew)
+                                   : rng_.uniform_index(n_vos);
+  job.vo = VoId(vo_index);
+  const auto& groups = catalog_.groups_of(job.vo);
+  assert(!groups.empty());
+  job.group = groups[rng_.uniform_index(groups.size())];
+  // One user per group in the composite workloads.
+  for (std::size_t u = 0; u < catalog_.user_count(); ++u) {
+    if (catalog_.user_group(UserId(u)) == job.group) {
+      job.user = UserId(u);
+      break;
+    }
+  }
+
+  job.cpus = int(rng_.uniform_int(spec_.cpus_min, spec_.cpus_max));
+  job.runtime = sim::Duration::seconds(
+      std::max(1.0, rng_.lognormal_mean_cv(spec_.runtime_mean_s,
+                                           std::max(0.0, spec_.runtime_cv))));
+  if (spec_.input_bytes_mean > 0) {
+    job.input_bytes = std::uint64_t(rng_.exponential(double(spec_.input_bytes_mean)));
+  }
+  if (spec_.output_bytes_mean > 0) {
+    job.output_bytes = std::uint64_t(rng_.exponential(double(spec_.output_bytes_mean)));
+  }
+  return job;
+}
+
+}  // namespace digruber::workload

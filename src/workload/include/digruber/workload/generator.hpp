@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+
+#include "digruber/common/rng.hpp"
+#include "digruber/grid/job.hpp"
+#include "digruber/grid/topology.hpp"
+
+namespace digruber::workload {
+
+/// Shape of the composite workloads the paper overlays: `n_vos` VOs with
+/// `groups_per_vo` groups each, every submission host drawing jobs across
+/// them.
+struct WorkloadSpec {
+  int n_vos = 10;
+  int groups_per_vo = 10;
+
+  /// Job runtimes: lognormal with this mean and coefficient of variation.
+  double runtime_mean_s = 600.0;
+  double runtime_cv = 0.5;
+  int cpus_min = 1;
+  int cpus_max = 1;
+
+  /// Euryale staging sizes (0 = compute-only jobs, the paper's case).
+  std::uint64_t input_bytes_mean = 0;
+  std::uint64_t output_bytes_mean = 0;
+
+  /// Zipf skew across VOs (0 = uniform): physics-style workloads
+  /// concentrate on a few large collaborations.
+  double vo_skew = 0.0;
+};
+
+/// Allocates globally unique job ids across all submission hosts.
+class JobIdAllocator {
+ public:
+  JobId next() { return JobId(next_++); }
+  [[nodiscard]] std::uint64_t issued() const { return next_; }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+/// Deterministic per-host job stream.
+class JobFactory {
+ public:
+  JobFactory(const WorkloadSpec& spec, const grid::VoCatalog& catalog,
+             std::shared_ptr<JobIdAllocator> ids, Rng rng);
+
+  [[nodiscard]] grid::Job next(sim::Time now);
+
+ private:
+  WorkloadSpec spec_;
+  const grid::VoCatalog& catalog_;
+  std::shared_ptr<JobIdAllocator> ids_;
+  Rng rng_;
+};
+
+}  // namespace digruber::workload

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "digruber/common/ids.hpp"
+#include "digruber/common/result.hpp"
+#include "digruber/sim/time.hpp"
+
+namespace digruber::workload {
+
+/// One brokering query as seen by the testing framework — the unit of
+/// GRUB-SIM's trace-driven replay (paper Section 5).
+struct QueryTrace {
+  ClientId client;
+  std::uint32_t dp_index = 0;  // decision point the client is bound to
+  sim::Time issued;
+  double response_s = 0.0;
+  bool handled = false;  // answered by DI-GRUBER vs. timeout fallback
+
+  friend bool operator==(const QueryTrace&, const QueryTrace&) = default;
+};
+
+/// Append-only query log with CSV round-tripping so benches can hand their
+/// traces to GRUB-SIM (and users can feed in real logs).
+class TraceLog {
+ public:
+  void add(QueryTrace trace) { entries_.push_back(trace); }
+  [[nodiscard]] const std::vector<QueryTrace>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  void write_csv(std::ostream& os) const;
+  static Result<TraceLog> read_csv(std::istream& is);
+
+  void save(const std::string& path) const;
+  static Result<TraceLog> load(const std::string& path);
+
+ private:
+  std::vector<QueryTrace> entries_;
+};
+
+}  // namespace digruber::workload

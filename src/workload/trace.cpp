@@ -1,0 +1,63 @@
+#include "digruber/workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace digruber::workload {
+
+void TraceLog::write_csv(std::ostream& os) const {
+  os << "client,dp_index,issued_s,response_s,handled\n";
+  for (const QueryTrace& t : entries_) {
+    os << t.client.value() << ',' << t.dp_index << ',' << t.issued.to_seconds()
+       << ',' << t.response_s << ',' << (t.handled ? 1 : 0) << '\n';
+  }
+}
+
+Result<TraceLog> TraceLog::read_csv(std::istream& is) {
+  TraceLog log;
+  std::string line;
+  if (!std::getline(is, line)) return Result<TraceLog>::failure("empty trace");
+  if (line.rfind("client,", 0) != 0) {
+    return Result<TraceLog>::failure("bad trace header: " + line);
+  }
+  int lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream cells(line);
+    std::string cell;
+    QueryTrace t;
+    try {
+      std::getline(cells, cell, ',');
+      t.client = ClientId(std::stoull(cell));
+      std::getline(cells, cell, ',');
+      t.dp_index = std::uint32_t(std::stoul(cell));
+      std::getline(cells, cell, ',');
+      t.issued = sim::Time::from_seconds(std::stod(cell));
+      std::getline(cells, cell, ',');
+      t.response_s = std::stod(cell);
+      std::getline(cells, cell, ',');
+      t.handled = cell == "1" || cell == "true";
+    } catch (const std::exception& e) {
+      return Result<TraceLog>::failure("trace line " + std::to_string(lineno) +
+                                       ": " + e.what());
+    }
+    log.add(t);
+  }
+  return log;
+}
+
+void TraceLog::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace: " + path);
+  write_csv(out);
+}
+
+Result<TraceLog> TraceLog::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Result<TraceLog>::failure("cannot read trace: " + path);
+  return read_csv(in);
+}
+
+}  // namespace digruber::workload

@@ -1,0 +1,71 @@
+#include "digruber/common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace digruber {
+namespace {
+
+TEST(Config, ParsesKeyValues) {
+  const Config cfg = Config::parse("a = 1\nb=hello\n  c  =  2.5  \n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_string("b", ""), "hello");
+  EXPECT_DOUBLE_EQ(cfg.get_double("c", 0), 2.5);
+}
+
+TEST(Config, CommentsAndBlankLines) {
+  const Config cfg = Config::parse("# header\n\nx = 5 # trailing\n   \n# y = 9\n");
+  EXPECT_EQ(cfg.get_int("x", 0), 5);
+  EXPECT_FALSE(cfg.has("y"));
+}
+
+TEST(Config, LaterAssignmentsWin) {
+  const Config cfg = Config::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  const Config cfg = Config::parse("");
+  EXPECT_EQ(cfg.get_int("nope", 7), 7);
+  EXPECT_EQ(cfg.get_string("nope", "dflt"), "dflt");
+  EXPECT_TRUE(cfg.get_bool("nope", true));
+  EXPECT_FALSE(cfg.get("nope").has_value());
+}
+
+TEST(Config, BooleanSpellings) {
+  const Config cfg =
+      Config::parse("a=true\nb=FALSE\nc=1\nd=0\ne=Yes\nf=off\n");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_TRUE(cfg.get_bool("e", false));
+  EXPECT_FALSE(cfg.get_bool("f", true));
+}
+
+TEST(Config, MalformedLinesThrow) {
+  EXPECT_THROW(Config::parse("no equals sign\n"), std::runtime_error);
+  EXPECT_THROW(Config::parse("= value\n"), std::runtime_error);
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const Config cfg = Config::parse("n = abc\nb = maybe\n");
+  EXPECT_THROW((void)cfg.get_int("n", 0), std::runtime_error);
+  EXPECT_THROW((void)cfg.get_double("n", 0), std::runtime_error);
+  EXPECT_THROW((void)cfg.get_bool("b", false), std::runtime_error);
+}
+
+TEST(Config, SetOverlays) {
+  Config cfg = Config::parse("a = 1\n");
+  cfg.set("a", "9");
+  cfg.set("new", "v");
+  EXPECT_EQ(cfg.get_int("a", 0), 9);
+  EXPECT_EQ(cfg.get_string("new", ""), "v");
+}
+
+TEST(Config, ValueMayContainEquals) {
+  const Config cfg = Config::parse("expr = a=b\n");
+  EXPECT_EQ(cfg.get_string("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace digruber

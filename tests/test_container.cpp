@@ -1,0 +1,162 @@
+#include "digruber/net/container.hpp"
+
+#include <gtest/gtest.h>
+
+namespace digruber::net {
+namespace {
+
+ContainerProfile flat_profile(int workers, double service_ms,
+                              std::size_t queue_limit = 4096) {
+  ContainerProfile p;
+  p.name = "flat";
+  p.workers = workers;
+  p.queue_limit = queue_limit;
+  p.base_overhead = sim::Duration::millis(service_ms);
+  p.auth_cost = sim::Duration::zero();
+  p.parse_cost_per_kb = sim::Duration::zero();
+  p.serialize_cost_per_kb = sim::Duration::zero();
+  return p;
+}
+
+Served noop() { return Served{}; }
+
+TEST(Container, ServiceTimeComposition) {
+  sim::Simulation sim;
+  ContainerProfile p;
+  p.base_overhead = sim::Duration::millis(10);
+  p.auth_cost = sim::Duration::millis(100);
+  p.parse_cost_per_kb = sim::Duration::millis(20);
+  p.serialize_cost_per_kb = sim::Duration::millis(30);
+  p.speed = 1.0;
+  ServiceContainer c(sim, p);
+  const double s =
+      c.service_time(2048, 1024, sim::Duration::millis(40)).to_seconds();
+  EXPECT_NEAR(s, 0.010 + 0.100 + 0.040 + 0.030 + 0.040, 1e-9);
+}
+
+TEST(Container, SpeedScalesServiceTime) {
+  sim::Simulation sim;
+  ContainerProfile p = flat_profile(1, 100);
+  p.speed = 2.0;
+  ServiceContainer c(sim, p);
+  EXPECT_NEAR(c.service_time(0, 0, sim::Duration::zero()).to_seconds(), 0.05, 1e-9);
+}
+
+TEST(Container, SingleWorkerSerializesRequests) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, flat_profile(1, 1000));
+  std::vector<double> completed_at;
+  for (int i = 0; i < 3; ++i) {
+    c.submit(0, noop, [&](auto) { completed_at.push_back(sim.now().to_seconds()); });
+  }
+  sim.run();
+  ASSERT_EQ(completed_at.size(), 3u);
+  EXPECT_NEAR(completed_at[0], 1.0, 1e-6);
+  EXPECT_NEAR(completed_at[1], 2.0, 1e-6);
+  EXPECT_NEAR(completed_at[2], 3.0, 1e-6);
+}
+
+TEST(Container, WorkersRunInParallel) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, flat_profile(3, 1000));
+  int done = 0;
+  for (int i = 0; i < 3; ++i) c.submit(0, noop, [&](auto) { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_NEAR(sim.now().to_seconds(), 1.0, 1e-6);  // all three concurrently
+}
+
+TEST(Container, ThroughputBoundIsWorkersOverService) {
+  // 2 workers x 0.5 s service = 4 requests/second sustained.
+  sim::Simulation sim;
+  ServiceContainer c(sim, flat_profile(2, 500));
+  int done = 0;
+  for (int i = 0; i < 40; ++i) c.submit(0, noop, [&](auto) { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 40);
+  EXPECT_NEAR(sim.now().to_seconds(), 10.0, 1e-6);
+}
+
+TEST(Container, QueueLimitRefusesExcess) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, flat_profile(1, 1000, /*queue_limit=*/2));
+  int accepted = 0, completions = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (c.submit(0, noop, [&](auto) { ++completions; })) ++accepted;
+  }
+  EXPECT_EQ(accepted, 3);  // 1 in service + 2 queued
+  EXPECT_EQ(c.refused(), 7u);
+  sim.run();
+  EXPECT_EQ(completions, 3);
+}
+
+TEST(Container, SojournIncludesQueueWait) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, flat_profile(1, 1000));
+  c.submit(0, noop, [](auto) {});
+  c.submit(0, noop, [](auto) {});
+  sim.run();
+  // First waits 0 + 1 s service; second waits 1 s + 1 s service.
+  EXPECT_NEAR(c.sojourn_stats().mean(), 1.5, 1e-6);
+  EXPECT_NEAR(c.sojourn_stats().max(), 2.0, 1e-6);
+}
+
+TEST(Container, HandlerReplyFedToCompletion) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, flat_profile(1, 10));
+  std::vector<std::uint8_t> got;
+  c.submit(
+      100, [] { return Served{{9, 8, 7}, sim::Duration::millis(5)}; },
+      [&](std::vector<std::uint8_t> reply) { got = std::move(reply); });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+TEST(Container, HandlerCostExtendsService) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, flat_profile(1, 100));
+  c.submit(0, [] { return Served{{}, sim::Duration::millis(400)}; }, [](auto) {});
+  sim.run();
+  EXPECT_NEAR(sim.now().to_seconds(), 0.5, 1e-6);
+}
+
+TEST(Container, UtilizationTracksBusyFraction) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, flat_profile(2, 1000));
+  for (int i = 0; i < 4; ++i) c.submit(0, noop, [](auto) {});
+  sim.run();  // 4 x 1 s over 2 workers -> busy 2 s of wall, full utilization
+  EXPECT_NEAR(c.utilization(sim.now()), 1.0, 1e-6);
+  EXPECT_NEAR(c.utilization(sim::Time::from_seconds(4)), 0.5, 1e-6);
+}
+
+TEST(Container, GtProfilesOrdered) {
+  // GT4 (the 3.9.4 prerelease) must be slower than GT3.2 per the paper.
+  sim::Simulation sim;
+  ServiceContainer gt3(sim, ContainerProfile::gt3());
+  ServiceContainer gt4(sim, ContainerProfile::gt4());
+  const auto cost3 = gt3.service_time(4096, 8192, sim::Duration::zero());
+  const auto cost4 = gt4.service_time(4096, 8192, sim::Duration::zero());
+  EXPECT_GT(cost4.to_seconds(), cost3.to_seconds() * 1.5);
+}
+
+/// Property sweep: completion count equals submissions for varying worker
+/// pools, and makespan matches ceil(n/workers) * service.
+class ContainerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContainerProperty, MakespanFormula) {
+  const int workers = GetParam();
+  sim::Simulation sim;
+  ServiceContainer c(sim, flat_profile(workers, 200));
+  const int n = 17;
+  int done = 0;
+  for (int i = 0; i < n; ++i) c.submit(0, noop, [&](auto) { ++done; });
+  sim.run();
+  EXPECT_EQ(done, n);
+  const double expected = std::ceil(double(n) / workers) * 0.2;
+  EXPECT_NEAR(sim.now().to_seconds(), expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ContainerProperty, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace digruber::net

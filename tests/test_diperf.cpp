@@ -1,0 +1,163 @@
+#include "digruber/diperf/diperf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "digruber/diperf/report.hpp"
+
+namespace digruber::diperf {
+namespace {
+
+TEST(Collector, SeriesBucketsCompletions) {
+  Collector collector;
+  collector.client_started(ClientId(0), sim::Time::zero());
+  // Two requests completing at t=5 and t=65.
+  collector.record({ClientId(0), sim::Time::from_seconds(0), 5.0, true});
+  collector.record({ClientId(0), sim::Time::from_seconds(60), 5.0, true});
+  const auto buckets = collector.series(60.0, 120.0);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].completions, 1u);
+  EXPECT_EQ(buckets[1].completions, 1u);
+  EXPECT_DOUBLE_EQ(buckets[0].response_avg_s, 5.0);
+  EXPECT_DOUBLE_EQ(buckets[0].throughput_qps, 1.0 / 60.0);
+  EXPECT_DOUBLE_EQ(buckets[0].load, 1.0);
+}
+
+TEST(Collector, LoadReflectsClientSpans) {
+  Collector collector;
+  collector.client_started(ClientId(0), sim::Time::zero());
+  collector.client_started(ClientId(1), sim::Time::from_seconds(100));
+  collector.client_stopped(ClientId(0), sim::Time::from_seconds(160));
+  const auto buckets = collector.series(100.0, 300.0);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].load, 1.0);  // midpoint 50: only client 0
+  EXPECT_DOUBLE_EQ(buckets[1].load, 2.0);  // midpoint 150: both active
+  EXPECT_DOUBLE_EQ(buckets[2].load, 1.0);  // midpoint 250: only client 1
+}
+
+TEST(Collector, CompletionsOutsideWindowIgnored) {
+  Collector collector;
+  collector.record({ClientId(0), sim::Time::from_seconds(90), 20.0, true});  // done at 110
+  const auto buckets = collector.series(60.0, 100.0);
+  std::uint64_t total = 0;
+  for (const auto& b : buckets) total += b.completions;
+  EXPECT_EQ(total, 0u);
+}
+
+TEST(Collector, SummaryAndFailures) {
+  Collector collector;
+  for (double r : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    collector.record({ClientId(0), sim::Time::zero(), r, r < 4.0});
+  }
+  const Summary s = collector.response_summary();
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.average, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_EQ(collector.failures(), 2u);
+}
+
+TEST(Tester, ClosedLoopPacing) {
+  sim::Simulation sim;
+  Collector collector;
+  // Operation takes 2 s (simulated), think time 3 s -> one completion
+  // every 5 s.
+  auto op = [&sim](std::function<void(bool)> done) {
+    sim.schedule_after(sim::Duration::seconds(2), [done] { done(true); });
+  };
+  Tester tester(sim, ClientId(0), op, sim::Duration::seconds(3), collector);
+  tester.start();
+  sim.run_until(sim::Time::from_seconds(26));
+  tester.stop();
+  // Completions at t = 2, 7, 12, 17, 22 (the t=27 one is still in flight).
+  EXPECT_EQ(collector.records().size(), 5u);
+  EXPECT_EQ(tester.issued(), 6u);
+  for (const auto& r : collector.records()) {
+    EXPECT_DOUBLE_EQ(r.response_s, 2.0);
+  }
+}
+
+TEST(Tester, StopPreventsReissue) {
+  sim::Simulation sim;
+  Collector collector;
+  int in_flight_completions = 0;
+  auto op = [&](std::function<void(bool)> done) {
+    sim.schedule_after(sim::Duration::seconds(10), [done, &in_flight_completions] {
+      ++in_flight_completions;
+      done(true);
+    });
+  };
+  Tester tester(sim, ClientId(0), op, sim::Duration::seconds(1), collector);
+  tester.start();
+  sim.schedule_after(sim::Duration::seconds(5), [&] { tester.stop(); });
+  sim.run_until(sim::Time::from_seconds(100));
+  EXPECT_EQ(tester.issued(), 1u);
+  EXPECT_EQ(in_flight_completions, 1);  // in-flight op completed, not re-issued
+}
+
+TEST(Controller, RampStaggersStarts) {
+  sim::Simulation sim;
+  Collector collector;
+  Controller controller(sim, collector);
+  auto op = [&sim](std::function<void(bool)> done) {
+    sim.schedule_after(sim::Duration::seconds(1), [done] { done(true); });
+  };
+  for (int i = 0; i < 4; ++i) {
+    controller.add_tester(std::make_unique<Tester>(
+        sim, ClientId(std::uint64_t(i)), op, sim::Duration::seconds(1), collector));
+  }
+  controller.schedule(sim::Duration::seconds(0), sim::Duration::seconds(100),
+                      sim::Time::from_seconds(400));
+  sim.run_until(sim::Time::from_seconds(350));
+  const auto buckets = collector.series(100.0, 400.0);
+  EXPECT_DOUBLE_EQ(buckets[0].load, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].load, 2.0);
+  EXPECT_DOUBLE_EQ(buckets[2].load, 3.0);
+  sim.run_until(sim::Time::from_seconds(405));
+  // All stopped at t=400.
+  const auto after = collector.series(100.0, 500.0);
+  EXPECT_DOUBLE_EQ(after[4].load, 0.0);
+}
+
+TEST(PerfModel, FitsResponseVsLoad) {
+  Collector collector;
+  // Synthetic run: load k in bucket k, response = 2 + 0.5 * load.
+  for (int k = 0; k < 10; ++k) {
+    collector.client_started(ClientId(std::uint64_t(k)),
+                             sim::Time::from_seconds(k * 60.0));
+    for (int j = 0; j <= k; ++j) {
+      const double response = 2.0 + 0.5 * (k + 1);
+      collector.record({ClientId(std::uint64_t(j)),
+                        sim::Time::from_seconds(k * 60.0 + 10), response, true});
+    }
+  }
+  const PerfModel model = fit_model(collector, 60.0, 600.0);
+  EXPECT_GT(model.peak_qps, 0.0);
+  EXPECT_NEAR(model.response_vs_load.slope, 0.5, 0.05);
+  EXPECT_NEAR(model.response_vs_load.intercept, 2.0, 0.3);
+  // Saturation load for a 7 s response bound: 2 + 0.5 x = 7 -> x = 10.
+  EXPECT_NEAR(model.saturation_load(7.0), 10.0, 1.0);
+}
+
+TEST(PerfModel, FlatResponseNeverSaturates) {
+  PerfModel model;
+  model.response_vs_load = LinearFit{3.0, 0.0, 1.0};
+  EXPECT_TRUE(std::isinf(model.saturation_load(10.0)));
+}
+
+TEST(Report, RendersFigure) {
+  Collector collector;
+  collector.client_started(ClientId(0), sim::Time::zero());
+  collector.record({ClientId(0), sim::Time::from_seconds(1), 2.0, true});
+  std::ostringstream os;
+  render_figure(os, "Test Figure", collector, 120.0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Test Figure"), std::string::npos);
+  EXPECT_NE(out.find("Response Time (seconds)"), std::string::npos);
+  EXPECT_NE(out.find("Throughput"), std::string::npos);
+  EXPECT_NE(out.find("peak throughput"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace digruber::diperf

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "digruber/gruber/engine.hpp"
+#include "digruber/gruber/selectors.hpp"
+
+namespace digruber::gruber {
+namespace {
+
+struct Fixture {
+  grid::VoCatalog catalog = grid::VoCatalog::uniform(2, 2);
+  std::vector<usla::Agreement> agreements;
+  usla::AllocationTree tree;
+
+  Fixture() {
+    const auto parsed = usla::parse_agreement(R"(
+agreement t
+term v0: grid -> vo:vo0 cpu 50+
+term v1: grid -> vo:vo1 cpu 10+
+)");
+    agreements.push_back(parsed.value());
+    tree = usla::AllocationTree::build(agreements, catalog).value();
+  }
+};
+
+grid::SiteSnapshot snapshot(std::uint64_t site, std::int32_t total,
+                            std::int32_t free) {
+  grid::SiteSnapshot s;
+  s.site = SiteId(site);
+  s.total_cpus = total;
+  s.free_cpus = free;
+  return s;
+}
+
+grid::Job job_for(std::uint64_t vo, int cpus = 1) {
+  grid::Job job;
+  job.id = JobId(1);
+  job.vo = VoId(vo);
+  job.group = GroupId(vo * 2);
+  job.user = UserId(vo * 2);
+  job.cpus = cpus;
+  job.runtime = sim::Duration::seconds(100);
+  return job;
+}
+
+TEST(Engine, CandidatesClippedToUslaHeadroom) {
+  Fixture f;
+  GruberEngine engine(f.catalog, f.tree);
+  engine.view().bootstrap({snapshot(0, 100, 100), snapshot(1, 10, 10)});
+
+  // vo0 capped at 50%: site0 -> 50, site1 -> 5.
+  const auto candidates = engine.candidates(job_for(0), sim::Time::zero());
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].free_estimate, 50);
+  EXPECT_EQ(candidates[0].raw_free, 100);
+  EXPECT_EQ(candidates[1].free_estimate, 5);
+}
+
+TEST(Engine, SitesWithoutHeadroomExcluded) {
+  Fixture f;
+  GruberEngine engine(f.catalog, f.tree);
+  engine.view().bootstrap({snapshot(0, 100, 100), snapshot(1, 10, 10)});
+  // vo1 capped at 10%: site1 allows only 1 CPU; a 2-CPU job excludes it.
+  const auto candidates = engine.candidates(job_for(1, 2), sim::Time::zero());
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].site, SiteId(0));
+}
+
+TEST(Engine, RecordedDispatchesShrinkCandidates) {
+  Fixture f;
+  GruberEngine engine(f.catalog, f.tree);
+  engine.view().bootstrap({snapshot(0, 100, 100)});
+
+  DispatchRecord r;
+  r.origin = DpId(0);
+  r.seq = 1;
+  r.site = SiteId(0);
+  r.vo = VoId(0);
+  r.group = GroupId(0);
+  r.user = UserId(0);
+  r.cpus = 48;
+  r.when = sim::Time::zero();
+  r.est_runtime = sim::Duration::seconds(1000);
+  engine.record(r);
+
+  const auto candidates = engine.candidates(job_for(0), sim::Time::from_seconds(1));
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].free_estimate, 2);  // 50-cap minus 48 running
+}
+
+std::vector<SiteLoad> make_loads(std::initializer_list<std::pair<int, int>> site_free) {
+  std::vector<SiteLoad> loads;
+  std::uint64_t id = 0;
+  for (const auto& [total, free] : site_free) {
+    SiteLoad load;
+    load.site = SiteId(id++);
+    load.total_cpus = total;
+    load.free_estimate = free;
+    load.raw_free = free;
+    loads.push_back(load);
+  }
+  return loads;
+}
+
+TEST(Selectors, LeastUsedPicksMostFree) {
+  LeastUsedSelector selector;
+  const auto loads = make_loads({{100, 10}, {100, 90}, {100, 50}});
+  EXPECT_EQ(selector.select(loads, job_for(0)), SiteId(1));
+}
+
+TEST(Selectors, RoundRobinCycles) {
+  RoundRobinSelector selector;
+  const auto loads = make_loads({{10, 5}, {10, 5}, {10, 5}});
+  EXPECT_EQ(selector.select(loads, job_for(0)), SiteId(0));
+  EXPECT_EQ(selector.select(loads, job_for(0)), SiteId(1));
+  EXPECT_EQ(selector.select(loads, job_for(0)), SiteId(2));
+  EXPECT_EQ(selector.select(loads, job_for(0)), SiteId(0));
+}
+
+TEST(Selectors, RoundRobinSkipsTooSmall) {
+  RoundRobinSelector selector;
+  const auto loads = make_loads({{10, 1}, {10, 5}});
+  EXPECT_EQ(selector.select(loads, job_for(0, 3)), SiteId(1));
+  EXPECT_EQ(selector.select(loads, job_for(0, 3)), SiteId(1));
+}
+
+TEST(Selectors, LeastRecentlyUsedRotates) {
+  LeastRecentlyUsedSelector selector;
+  const auto loads = make_loads({{10, 5}, {10, 5}});
+  const auto first = selector.select(loads, job_for(0));
+  const auto second = selector.select(loads, job_for(0));
+  ASSERT_TRUE(first && second);
+  EXPECT_NE(*first, *second);
+  // Third pick returns to the least recently used (the first).
+  EXPECT_EQ(selector.select(loads, job_for(0)), *first);
+}
+
+TEST(Selectors, RandomOnlyPicksAdmissible) {
+  RandomSelector selector{Rng(5)};
+  const auto loads = make_loads({{10, 0}, {10, 9}, {10, 1}});
+  for (int i = 0; i < 50; ++i) {
+    const auto site = selector.select(loads, job_for(0, 2));
+    ASSERT_TRUE(site.has_value());
+    EXPECT_EQ(*site, SiteId(1));
+  }
+}
+
+TEST(Selectors, TopKSpreadsAcrossBestSites) {
+  TopKSelector selector(2, Rng(7));
+  const auto loads = make_loads({{100, 90}, {100, 80}, {100, 10}, {100, 5}});
+  std::set<std::uint64_t> chosen;
+  for (int i = 0; i < 100; ++i) {
+    const auto site = selector.select(loads, job_for(0));
+    ASSERT_TRUE(site.has_value());
+    chosen.insert(site->value());
+  }
+  EXPECT_EQ(chosen, (std::set<std::uint64_t>{0, 1}));
+}
+
+TEST(Selectors, WeightedPrefersRelativeAvailability) {
+  WeightedSelector selector;
+  // Site 0: 40/400 free (score 4); site 1: 30/40 free (score 22.5).
+  const auto loads = make_loads({{400, 40}, {40, 30}});
+  EXPECT_EQ(selector.select(loads, job_for(0)), SiteId(1));
+}
+
+TEST(Selectors, EmptyAndInfeasibleCandidates) {
+  LeastUsedSelector least;
+  RandomSelector random{Rng(1)};
+  TopKSelector topk(3, Rng(2));
+  const std::vector<SiteLoad> none;
+  EXPECT_FALSE(least.select(none, job_for(0)).has_value());
+  EXPECT_FALSE(random.select(none, job_for(0)).has_value());
+  EXPECT_FALSE(topk.select(none, job_for(0)).has_value());
+
+  const auto tiny = make_loads({{10, 1}, {10, 0}});
+  EXPECT_FALSE(least.select(tiny, job_for(0, 5)).has_value());
+  EXPECT_FALSE(random.select(tiny, job_for(0, 5)).has_value());
+}
+
+TEST(Selectors, FactoryCreatesAllKinds) {
+  for (const char* name :
+       {"round-robin", "least-used", "least-recently-used", "random", "top-k",
+        "weighted"}) {
+    const auto selector = make_selector(name, Rng(1));
+    ASSERT_NE(selector, nullptr);
+    EXPECT_STREQ(selector->name(), name);
+  }
+  EXPECT_THROW(make_selector("nope", Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace digruber::gruber

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "digruber/digruber/decision_point.hpp"
+#include "digruber/euryale/dagman.hpp"
+#include "digruber/euryale/planner.hpp"
+#include "digruber/net/sim_transport.hpp"
+#include "digruber/usla/tree.hpp"
+
+namespace digruber::euryale {
+namespace {
+
+net::ContainerProfile fast_profile() {
+  net::ContainerProfile p;
+  p.workers = 4;
+  p.base_overhead = sim::Duration::millis(20);
+  p.auth_cost = sim::Duration::zero();
+  p.parse_cost_per_kb = sim::Duration::zero();
+  p.serialize_cost_per_kb = sim::Duration::zero();
+  return p;
+}
+
+/// Full in-simulation stack: 3 sites, one decision point, one client.
+struct Fixture {
+  sim::Simulation sim;
+  net::SimTransport transport;
+  grid::Grid grid;
+  grid::VoCatalog catalog = grid::VoCatalog::uniform(1, 1);
+  usla::AllocationTree tree;
+  std::unique_ptr<digruber::DecisionPoint> dp;
+  std::unique_ptr<digruber::DiGruberClient> client;
+  ReplicaRegistry registry;
+  std::unique_ptr<EuryalePlanner> planner;
+
+  Fixture()
+      : transport(sim, net::WanModel(net::WanParams{}, 9)),
+        grid(sim, three_sites()) {
+    tree = usla::AllocationTree::build({}, catalog).value();
+    digruber::DecisionPointOptions options;
+    options.profile = fast_profile();
+    options.eval_cost_per_site = sim::Duration::millis(0.1);
+    dp = std::make_unique<digruber::DecisionPoint>(sim, transport, DpId(0), catalog,
+                                                   tree, options);
+    dp->bootstrap(grid.snapshot_all());
+    client = std::make_unique<digruber::DiGruberClient>(
+        sim, transport, ClientId(0), dp->node(),
+        std::vector<SiteId>{SiteId(0), SiteId(1), SiteId(2)},
+        gruber::make_selector("least-used", Rng(1)), Rng(2));
+    planner = std::make_unique<EuryalePlanner>(sim, grid, *client, registry);
+  }
+
+  ~Fixture() { dp->stop(); }
+
+  static grid::TopologySpec three_sites() {
+    grid::TopologySpec spec;
+    spec.sites.push_back({"a", {{4, 1.0}}});
+    spec.sites.push_back({"b", {{16, 1.0}}});
+    spec.sites.push_back({"c", {{8, 1.0}}});
+    return spec;
+  }
+
+  grid::Job job(std::uint64_t id, double runtime_s = 60,
+                std::uint64_t in_bytes = 0, std::uint64_t out_bytes = 0) {
+    grid::Job j;
+    j.id = JobId(id);
+    j.vo = VoId(0);
+    j.group = GroupId(0);
+    j.user = UserId(0);
+    j.cpus = 1;
+    j.runtime = sim::Duration::seconds(runtime_s);
+    j.input_bytes = in_bytes;
+    j.output_bytes = out_bytes;
+    return j;
+  }
+};
+
+TEST(Euryale, RunsJobEndToEnd) {
+  Fixture f;
+  PlannerOutcome outcome;
+  bool done = false;
+  f.planner->run(f.job(1), [&](const PlannerOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  f.sim.run_until(sim::Time::from_seconds(600));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(outcome.succeeded);
+  EXPECT_EQ(outcome.job.state, grid::JobState::kCompleted);
+  EXPECT_TRUE(outcome.last_query.handled_by_gruber);
+  EXPECT_EQ(outcome.job.site, SiteId(1));  // least used = biggest free
+  EXPECT_EQ(f.planner->jobs_succeeded(), 1u);
+}
+
+TEST(Euryale, StagesFilesAndRegistersReplicas) {
+  Fixture f;
+  bool done = false;
+  // 10 Mb/s link: 1.25 MB in ~1 s (+0.2 s setup).
+  f.planner->run(f.job(2, 30, 1'250'000, 2'500'000),
+                 [&](const PlannerOutcome& o) {
+                   EXPECT_TRUE(o.succeeded);
+                   done = true;
+                 });
+  f.sim.run_until(sim::Time::from_seconds(600));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(f.registry.exists("job-2.in"));
+  EXPECT_TRUE(f.registry.exists("job-2.out"));
+  EXPECT_EQ(f.registry.popularity("job-2.in"), 1u);
+  EXPECT_EQ(f.planner->bytes_staged(), 3'750'000u);
+  const auto& locations = f.registry.locations("job-2.out");
+  ASSERT_EQ(locations.size(), 1u);
+}
+
+TEST(Euryale, ReplansWhenSiteFails) {
+  Fixture f;
+  PlannerOutcome outcome;
+  bool done = false;
+  f.planner->run(f.job(3, 120), [&](const PlannerOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  // Kill the chosen (biggest) site shortly after the job lands there.
+  f.sim.schedule_after(sim::Duration::seconds(30), [&] {
+    f.grid.site(SiteId(1)).take_down(sim::Duration::minutes(30));
+  });
+  f.sim.run_until(sim::Time::from_seconds(3600));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(outcome.succeeded);
+  EXPECT_GE(outcome.job.replans, 1);
+  EXPECT_NE(outcome.job.site, SiteId(1));  // re-planned elsewhere
+  EXPECT_GE(f.planner->replans(), 1u);
+}
+
+TEST(Euryale, AbandonsAfterMaxReplans) {
+  Fixture f;
+  // Take every site down: nothing can ever run.
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    f.grid.site(SiteId(s)).take_down(sim::Duration::hours(10));
+  }
+  PlannerOutcome outcome;
+  bool done = false;
+  f.planner->run(f.job(4), [&](const PlannerOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  f.sim.run_until(sim::Time::from_seconds(7200));
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(outcome.succeeded);
+  EXPECT_EQ(f.planner->jobs_abandoned(), 1u);
+  EXPECT_EQ(outcome.job.replans, 3);  // default max_replans
+}
+
+TEST(ReplicaRegistry, TracksLocationsAndPopularity) {
+  ReplicaRegistry registry;
+  registry.register_replica("f1", SiteId(0));
+  registry.register_replica("f1", SiteId(1));
+  registry.register_replica("f1", SiteId(0));  // dedup
+  EXPECT_EQ(registry.locations("f1").size(), 2u);
+  EXPECT_TRUE(registry.exists("f1"));
+  EXPECT_FALSE(registry.exists("f2"));
+  EXPECT_TRUE(registry.locations("f2").empty());
+
+  registry.touch("f1");
+  registry.touch("f1");
+  registry.touch("f3");
+  EXPECT_EQ(registry.popularity("f1"), 2u);
+  const auto hottest = registry.hottest(2);
+  ASSERT_EQ(hottest.size(), 2u);
+  EXPECT_EQ(hottest[0].first, "f1");
+  EXPECT_EQ(hottest[1].first, "f3");
+}
+
+TEST(DagMan, RunsChainInOrder) {
+  Fixture f;
+  DagMan dag(*f.planner);
+  dag.add_node("prepare", f.job(10, 30));
+  dag.add_node("analyze", f.job(11, 30));
+  dag.add_node("publish", f.job(12, 30));
+  dag.add_edge("prepare", "analyze");
+  dag.add_edge("analyze", "publish");
+
+  int succeeded = -1, failed = -1, blocked = -1;
+  dag.run([&](int s, int x, int b) {
+    succeeded = s;
+    failed = x;
+    blocked = b;
+  });
+  f.sim.run_until(sim::Time::from_seconds(3600));
+  EXPECT_EQ(succeeded, 3);
+  EXPECT_EQ(failed, 0);
+  EXPECT_EQ(blocked, 0);
+}
+
+TEST(DagMan, DiamondFanOutAndJoin) {
+  Fixture f;
+  DagMan dag(*f.planner);
+  for (const char* name : {"root", "left", "right", "join"}) {
+    dag.add_node(name, f.job(std::uint64_t(20 + name[0]), 20));
+  }
+  dag.add_edge("root", "left");
+  dag.add_edge("root", "right");
+  dag.add_edge("left", "join");
+  dag.add_edge("right", "join");
+
+  int succeeded = 0;
+  dag.run([&](int s, int, int) { succeeded = s; });
+  f.sim.run_until(sim::Time::from_seconds(3600));
+  EXPECT_EQ(succeeded, 4);
+}
+
+TEST(DagMan, FailureBlocksDescendantsOnly) {
+  Fixture f;
+  // Every site down: all jobs are abandoned after replans.
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    f.grid.site(SiteId(s)).take_down(sim::Duration::hours(20));
+  }
+  DagMan dag(*f.planner);
+  dag.add_node("a", f.job(30, 10));
+  dag.add_node("b", f.job(31, 10));
+  dag.add_edge("a", "b");
+
+  int succeeded = -1, failed = -1, blocked = -1;
+  dag.run([&](int s, int x, int b) {
+    succeeded = s;
+    failed = x;
+    blocked = b;
+  });
+  f.sim.run_until(sim::Time::from_seconds(7200 * 4));
+  EXPECT_EQ(succeeded, 0);
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(blocked, 1);
+}
+
+TEST(DagMan, RejectsBadGraphs) {
+  Fixture f;
+  DagMan dag(*f.planner);
+  dag.add_node("a", f.job(40));
+  EXPECT_THROW(dag.add_node("a", f.job(41)), std::invalid_argument);
+  EXPECT_THROW(dag.add_edge("a", "missing"), std::invalid_argument);
+  EXPECT_THROW(dag.add_edge("missing", "a"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace digruber::euryale

@@ -1,0 +1,118 @@
+#include "digruber/grubsim/grubsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace digruber::grubsim {
+namespace {
+
+/// Synthetic trace: `rate` queries per second for `duration_s` seconds.
+workload::TraceLog uniform_trace(double rate, double duration_s) {
+  workload::TraceLog log;
+  const double step = 1.0 / rate;
+  std::uint64_t i = 0;
+  for (double t = 0; t < duration_s; t += step, ++i) {
+    workload::QueryTrace q;
+    q.client = ClientId(i % 50);
+    q.issued = sim::Time::from_seconds(t);
+    q.handled = true;
+    log.add(q);
+  }
+  return log;
+}
+
+TEST(GrubSim, UnderloadedNeedsNoExtraDps) {
+  GrubSimConfig config;
+  config.initial_dps = 2;
+  config.dp_capacity_qps = 2.0;  // 4 q/s total vs 1 q/s offered
+  const GrubSimResult result = run_grubsim(uniform_trace(1.0, 1800), config);
+  EXPECT_EQ(result.added_dps, 0);
+  EXPECT_EQ(result.total_dps(), 2);
+  EXPECT_EQ(result.overload_events, 0u);
+  EXPECT_LT(result.avg_response_s, config.response_threshold_s);
+  EXPECT_EQ(result.queries_replayed, 1800u);
+}
+
+TEST(GrubSim, OverloadTriggersProvisioning) {
+  GrubSimConfig config;
+  config.initial_dps = 1;
+  config.dp_capacity_qps = 2.0;
+  config.response_threshold_s = 10.0;
+  config.overload_sustain_s = 60.0;
+  // 8 q/s against 2 q/s capacity: backlog explodes until DPs are added.
+  const GrubSimResult result = run_grubsim(uniform_trace(8.0, 1800), config);
+  EXPECT_GT(result.added_dps, 0);
+  EXPECT_GT(result.overload_events, 0u);
+  // Enough DPs to carry 8 q/s: at least 4 total.
+  EXPECT_GE(result.total_dps(), 4);
+  // But the controller should not wildly over-provision.
+  EXPECT_LE(result.total_dps(), 8);
+}
+
+TEST(GrubSim, MoreInitialDpsNeedFewerAdditions) {
+  GrubSimConfig config;
+  config.dp_capacity_qps = 2.0;
+  const workload::TraceLog trace = uniform_trace(6.0, 1800);
+
+  config.initial_dps = 1;
+  const int added_from_1 = run_grubsim(trace, config).added_dps;
+  config.initial_dps = 3;
+  const int added_from_3 = run_grubsim(trace, config).added_dps;
+  EXPECT_GT(added_from_1, added_from_3);
+
+  // Totals converge to roughly the same requirement (paper Table 3).
+  config.initial_dps = 1;
+  const int total_1 = run_grubsim(trace, config).total_dps();
+  config.initial_dps = 3;
+  const int total_3 = run_grubsim(trace, config).total_dps();
+  EXPECT_GE(total_1, total_3);
+  EXPECT_LE(total_1 - total_3, 4);
+}
+
+TEST(GrubSim, ProvisionDelayDefersCapacity) {
+  GrubSimConfig fast;
+  fast.initial_dps = 1;
+  fast.dp_capacity_qps = 2.0;
+  fast.provision_delay_s = 0.0;
+  GrubSimConfig slow = fast;
+  slow.provision_delay_s = 600.0;
+  const workload::TraceLog trace = uniform_trace(8.0, 1800);
+  const GrubSimResult r_fast = run_grubsim(trace, fast);
+  const GrubSimResult r_slow = run_grubsim(trace, slow);
+  EXPECT_GE(r_slow.max_response_s, r_fast.max_response_s);
+}
+
+TEST(GrubSim, EmptyTrace) {
+  GrubSimConfig config;
+  const GrubSimResult result = run_grubsim(workload::TraceLog{}, config);
+  EXPECT_EQ(result.queries_replayed, 0u);
+  EXPECT_EQ(result.added_dps, 0);
+  EXPECT_DOUBLE_EQ(result.avg_response_s, 0.0);
+}
+
+TEST(GrubSim, UnsortedTraceHandled) {
+  workload::TraceLog log;
+  for (double t : {100.0, 5.0, 50.0, 1.0}) {
+    workload::QueryTrace q;
+    q.issued = sim::Time::from_seconds(t);
+    log.add(q);
+  }
+  GrubSimConfig config;
+  const GrubSimResult result = run_grubsim(log, config);
+  EXPECT_EQ(result.queries_replayed, 4u);
+  EXPECT_GE(result.avg_response_s, 0.0);
+}
+
+TEST(GrubSim, ProvisionTimesRecorded) {
+  GrubSimConfig config;
+  config.initial_dps = 1;
+  config.dp_capacity_qps = 1.0;
+  config.overload_sustain_s = 30.0;
+  const GrubSimResult result = run_grubsim(uniform_trace(5.0, 600), config);
+  ASSERT_EQ(result.provision_times_s.size(), std::size_t(result.added_dps));
+  for (std::size_t i = 1; i < result.provision_times_s.size(); ++i) {
+    EXPECT_GE(result.provision_times_s[i], result.provision_times_s[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace digruber::grubsim

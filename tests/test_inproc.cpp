@@ -1,0 +1,229 @@
+// Integration: the DI-GRUBER wire protocol served over the real
+// multi-threaded transport. The same frames and message structs as the
+// simulated stack, exercised under true concurrency (CP.1: assume code
+// runs multi-threaded).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "digruber/digruber/protocol.hpp"
+#include "digruber/gruber/engine.hpp"
+#include "digruber/gruber/selectors.hpp"
+#include "digruber/net/inproc_transport.hpp"
+#include "digruber/net/sync_rpc.hpp"
+
+namespace digruber {
+namespace {
+
+using namespace std::chrono_literals;
+using ::digruber::digruber::Ack;
+using ::digruber::digruber::GetSiteLoadsReply;
+using ::digruber::digruber::GetSiteLoadsRequest;
+using ::digruber::digruber::Method;
+using ::digruber::digruber::ReportSelectionRequest;
+
+/// A thread-safe decision-point core: the GRUBER engine behind a mutex,
+/// exposed through the same protocol methods as the simulated service.
+class ThreadedDecisionPoint {
+ public:
+  ThreadedDecisionPoint(net::Transport& transport, const grid::VoCatalog& catalog,
+                        const usla::AllocationTree& tree)
+      : engine_(catalog, tree), service_(transport) {
+    service_.register_typed<GetSiteLoadsRequest, GetSiteLoadsReply>(
+        Method::kGetSiteLoads,
+        [this](const GetSiteLoadsRequest& request, NodeId) {
+          const std::scoped_lock lock(mutex_);
+          grid::Job probe;
+          probe.id = request.job;
+          probe.vo = request.vo;
+          probe.group = request.group;
+          probe.user = request.user;
+          probe.cpus = request.cpus;
+          GetSiteLoadsReply reply;
+          reply.candidates = engine_.candidates(probe, sim::Time::zero());
+          return reply;
+        });
+    service_.register_typed<ReportSelectionRequest, Ack>(
+        Method::kReportSelection,
+        [this](const ReportSelectionRequest& request, NodeId) {
+          const std::scoped_lock lock(mutex_);
+          gruber::DispatchRecord record;
+          record.origin = DpId(0);
+          record.seq = ++seq_;
+          record.site = request.site;
+          record.vo = request.vo;
+          record.group = request.group;
+          record.user = request.user;
+          record.cpus = request.cpus;
+          record.when = sim::Time::zero();
+          record.est_runtime = request.est_runtime;
+          engine_.record(record);
+          return Ack{};
+        });
+  }
+
+  [[nodiscard]] NodeId node() const { return service_.node(); }
+
+  void bootstrap(const std::vector<grid::SiteSnapshot>& snapshots) {
+    const std::scoped_lock lock(mutex_);
+    engine_.view().bootstrap(snapshots);
+  }
+
+  [[nodiscard]] std::uint64_t selections() const {
+    const std::scoped_lock lock(mutex_);
+    return seq_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  gruber::GruberEngine engine_;
+  std::uint64_t seq_ = 0;
+  net::SyncService service_;
+};
+
+std::vector<grid::SiteSnapshot> make_snapshots(int n) {
+  std::vector<grid::SiteSnapshot> out;
+  for (int i = 0; i < n; ++i) {
+    grid::SiteSnapshot s;
+    s.site = SiteId(std::uint64_t(i));
+    s.total_cpus = 1000;
+    s.free_cpus = 1000;
+    out.push_back(s);
+  }
+  return out;
+}
+
+struct Fixture {
+  net::InProcTransport transport;
+  grid::VoCatalog catalog = grid::VoCatalog::uniform(2, 2);
+  usla::AllocationTree tree = usla::AllocationTree::build({}, catalog).value();
+  ThreadedDecisionPoint dp{transport, catalog, tree};
+
+  Fixture() { dp.bootstrap(make_snapshots(8)); }
+
+  GetSiteLoadsRequest request(std::uint64_t job) {
+    GetSiteLoadsRequest r;
+    r.job = JobId(job);
+    r.vo = VoId(job % 2);
+    r.group = GroupId((job % 2) * 2);
+    r.user = UserId((job % 2) * 2);
+    r.cpus = 1;
+    return r;
+  }
+};
+
+TEST(InProc, SingleQueryRoundtrip) {
+  Fixture f;
+  net::SyncClient client(f.transport);
+  const auto reply = client.call<GetSiteLoadsRequest, GetSiteLoadsReply>(
+      f.dp.node(), Method::kGetSiteLoads, f.request(1), 2000ms);
+  ASSERT_TRUE(reply.ok()) << reply.error();
+  EXPECT_EQ(reply.value().candidates.size(), 8u);
+}
+
+TEST(InProc, FullBrokeringQueryAcrossThreads) {
+  Fixture f;
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 50;
+  std::atomic<int> handled{0};
+  std::vector<std::jthread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&f, &handled, t] {
+      net::SyncClient client(f.transport);
+      gruber::LeastUsedSelector selector;
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const std::uint64_t job_id = std::uint64_t(t) * 1000 + std::uint64_t(q);
+        const auto reply = client.call<GetSiteLoadsRequest, GetSiteLoadsReply>(
+            f.dp.node(), Method::kGetSiteLoads, f.request(job_id), 5000ms);
+        ASSERT_TRUE(reply.ok()) << reply.error();
+
+        grid::Job job;
+        job.id = JobId(job_id);
+        job.vo = VoId(job_id % 2);
+        job.cpus = 1;
+        job.runtime = sim::Duration::seconds(60);
+        const auto site = selector.select(reply.value().candidates, job);
+        ASSERT_TRUE(site.has_value());
+
+        ReportSelectionRequest report;
+        report.job = job.id;
+        report.site = *site;
+        report.vo = job.vo;
+        report.group = GroupId(0);
+        report.user = UserId(0);
+        report.cpus = 1;
+        report.est_runtime = sim::Duration::seconds(60);
+        const auto ack = client.call<ReportSelectionRequest, Ack>(
+            f.dp.node(), Method::kReportSelection, report, 5000ms);
+        ASSERT_TRUE(ack.ok()) << ack.error();
+        handled.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  workers.clear();  // join
+  EXPECT_EQ(handled.load(), kThreads * kQueriesPerThread);
+  EXPECT_EQ(f.dp.selections(), std::uint64_t(kThreads * kQueriesPerThread));
+}
+
+TEST(InProc, SelectionsVisibleToSubsequentQueries) {
+  Fixture f;
+  net::SyncClient client(f.transport);
+
+  ReportSelectionRequest report;
+  report.job = JobId(1);
+  report.site = SiteId(0);
+  report.vo = VoId(0);
+  report.group = GroupId(0);
+  report.user = UserId(0);
+  report.cpus = 400;
+  report.est_runtime = sim::Duration::hours(1);
+  const auto ack = client.call<ReportSelectionRequest, Ack>(
+      f.dp.node(), Method::kReportSelection, report, 2000ms);
+  ASSERT_TRUE(ack.ok());
+
+  const auto reply = client.call<GetSiteLoadsRequest, GetSiteLoadsReply>(
+      f.dp.node(), Method::kGetSiteLoads, f.request(2), 2000ms);
+  ASSERT_TRUE(reply.ok());
+  // Site 0's estimate reflects the 400-CPU dispatch.
+  for (const auto& load : reply.value().candidates) {
+    if (load.site == SiteId(0)) {
+      EXPECT_EQ(load.raw_free, 600);
+    }
+  }
+}
+
+TEST(InProc, CallToUnknownMethodTimesOut) {
+  Fixture f;
+  net::SyncClient client(f.transport);
+  const auto reply = client.call<GetSiteLoadsRequest, GetSiteLoadsReply>(
+      f.dp.node(), 999, f.request(1), 100ms);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error(), "timeout");
+}
+
+TEST(InProc, ConcurrentClientsIndependentCorrelation) {
+  Fixture f;
+  std::atomic<int> mismatches{0};
+  std::vector<std::jthread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&f, &mismatches] {
+      net::SyncClient client(f.transport);
+      for (int q = 0; q < 100; ++q) {
+        const auto reply = client.call<GetSiteLoadsRequest, GetSiteLoadsReply>(
+            f.dp.node(), Method::kGetSiteLoads, f.request(std::uint64_t(q)),
+            5000ms);
+        if (!reply.ok() || reply.value().candidates.size() != 8u) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  workers.clear();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace digruber

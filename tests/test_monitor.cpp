@@ -1,0 +1,98 @@
+#include "digruber/gruber/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "digruber/common/log.hpp"
+
+namespace digruber::gruber {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  grid::VoCatalog catalog = grid::VoCatalog::uniform(1, 1);
+  usla::AllocationTree tree = usla::AllocationTree::build({}, catalog).value();
+  grid::Grid grid;
+  GruberEngine engine{catalog, tree};
+
+  Fixture() : grid(sim, spec()) {}
+
+  static grid::TopologySpec spec() {
+    grid::TopologySpec s;
+    s.sites.push_back({"a", {{10, 1.0}}});
+    s.sites.push_back({"b", {{20, 1.0}}});
+    return s;
+  }
+
+  grid::Job job(std::uint64_t id, int cpus, double runtime_s) {
+    grid::Job j;
+    j.id = JobId(id);
+    j.vo = VoId(0);
+    j.group = GroupId(0);
+    j.user = UserId(0);
+    j.cpus = cpus;
+    j.runtime = sim::Duration::seconds(runtime_s);
+    return j;
+  }
+};
+
+TEST(SiteMonitor, BootstrapRefreshOnConstruction) {
+  Fixture f;
+  SiteMonitor monitor(f.sim, f.grid, f.engine);
+  EXPECT_EQ(monitor.refreshes(), 1u);
+  EXPECT_EQ(f.engine.view().site_count(), 2u);
+  EXPECT_EQ(f.engine.view().estimated_free(SiteId(1), f.sim.now()), 20);
+}
+
+TEST(SiteMonitor, PeriodicPollTracksRealState) {
+  Fixture f;
+  SiteMonitor monitor(f.sim, f.grid, f.engine, sim::Duration::seconds(60));
+
+  // A job lands out-of-band (not via the broker): only polling reveals it.
+  f.sim.schedule_after(sim::Duration::seconds(10), [&] {
+    f.grid.site(SiteId(1)).submit(f.job(1, 15, 500), [](const grid::Job&) {});
+  });
+
+  f.sim.run_until(sim::Time::from_seconds(30));
+  EXPECT_EQ(f.engine.view().estimated_free(SiteId(1), f.sim.now()), 20);  // stale
+  f.sim.run_until(sim::Time::from_seconds(70));
+  EXPECT_EQ(f.engine.view().estimated_free(SiteId(1), f.sim.now()), 5);  // polled
+  EXPECT_GE(monitor.refreshes(), 2u);
+  monitor.stop();
+  f.sim.run();
+}
+
+TEST(SiteMonitor, StopHaltsPolling) {
+  Fixture f;
+  SiteMonitor monitor(f.sim, f.grid, f.engine, sim::Duration::seconds(10));
+  f.sim.run_until(sim::Time::from_seconds(25));
+  const std::uint64_t seen = monitor.refreshes();
+  monitor.stop();
+  f.sim.run_until(sim::Time::from_seconds(200));
+  EXPECT_EQ(monitor.refreshes(), seen);
+}
+
+TEST(SiteMonitor, ManualRefresh) {
+  Fixture f;
+  SiteMonitor monitor(f.sim, f.grid, f.engine);  // no polling
+  f.grid.site(SiteId(0)).submit(f.job(1, 4, 100), [](const grid::Job&) {});
+  EXPECT_EQ(f.engine.view().estimated_free(SiteId(0), f.sim.now()), 10);
+  monitor.refresh();
+  EXPECT_EQ(f.engine.view().estimated_free(SiteId(0), f.sim.now()), 6);
+}
+
+TEST(Log, LevelGating) {
+  using namespace digruber::log;
+  const Level original = level();
+  set_level(Level::kError);
+  EXPECT_EQ(level(), Level::kError);
+  // These must not crash and are filtered below the threshold.
+  debug("test", "dropped ", 1);
+  info("test", "dropped ", 2.5);
+  warn("test", "dropped");
+  set_level(Level::kOff);
+  error("test", "dropped too");
+  set_level(original);
+}
+
+}  // namespace
+}  // namespace digruber::gruber

@@ -1,0 +1,128 @@
+#include "digruber/gruber/queue_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace digruber::gruber {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  grid::VoCatalog catalog = grid::VoCatalog::uniform(1, 1);
+  usla::AllocationTree tree;
+  GruberEngine engine{catalog, tree};
+  std::vector<grid::Job> dispatched;
+
+  Fixture(std::int32_t free_cpus = 100) {
+    const auto agreement = usla::parse_agreement(
+        "agreement t\nterm a: grid -> vo:vo0 cpu 50+\n");
+    // `engine` holds references to `catalog` and `tree`; refreshing the
+    // tree's contents in place keeps them valid.
+    tree = usla::AllocationTree::build({agreement.value()}, catalog).value();
+    grid::SiteSnapshot snap;
+    snap.site = SiteId(0);
+    snap.total_cpus = 100;
+    snap.free_cpus = free_cpus;
+    engine.view().bootstrap({snap});
+  }
+
+  QueueManager::Dispatch dispatcher() {
+    return [this](grid::Job job, SiteId site,
+                  std::function<void(const grid::Job&)> done) {
+      job.site = site;
+      dispatched.push_back(job);
+      // Jobs "complete" after their runtime.
+      sim.schedule_after(job.runtime, [job, done] { done(job); });
+    };
+  }
+
+  grid::Job job(std::uint64_t id, int cpus = 1) {
+    grid::Job j;
+    j.id = JobId(id);
+    j.vo = VoId(0);
+    j.group = GroupId(0);
+    j.user = UserId(0);
+    j.cpus = cpus;
+    j.runtime = sim::Duration::seconds(600);
+    return j;
+  }
+};
+
+TEST(QueueManager, PacesDispatchesByBurstAndInterval) {
+  Fixture f;
+  QueueManager::Options options;
+  options.burst = 2;
+  options.interval = sim::Duration::seconds(10);
+  QueueManager qm(f.sim, f.engine, make_selector("least-used", Rng(1)),
+                  f.dispatcher(), options);
+  for (std::uint64_t i = 0; i < 7; ++i) qm.enqueue(f.job(i));
+
+  f.sim.run_until(sim::Time::from_seconds(5));
+  EXPECT_EQ(f.dispatched.size(), 0u);  // first pump at t=10
+  f.sim.run_until(sim::Time::from_seconds(11));
+  EXPECT_EQ(f.dispatched.size(), 2u);
+  f.sim.run_until(sim::Time::from_seconds(31));
+  EXPECT_EQ(f.dispatched.size(), 6u);
+  f.sim.run_until(sim::Time::from_seconds(41));
+  EXPECT_EQ(f.dispatched.size(), 7u);
+  EXPECT_EQ(qm.pending(), 0u);
+  qm.stop();
+}
+
+TEST(QueueManager, EnforcesVoShareByHolding) {
+  // Site has 100 CPUs, vo0 is capped at 50. Jobs of 30 CPUs: after one is
+  // running, the next would exceed the share -> the queue holds.
+  Fixture f;
+  QueueManager::Options options;
+  options.burst = 10;
+  options.interval = sim::Duration::seconds(10);
+  QueueManager qm(f.sim, f.engine, make_selector("least-used", Rng(1)),
+                  f.dispatcher(), options);
+  qm.enqueue(f.job(1, 30));
+  qm.enqueue(f.job(2, 30));
+
+  f.sim.run_until(sim::Time::from_seconds(60));
+  EXPECT_EQ(f.dispatched.size(), 1u);  // second held: only 20 CPUs of share left
+  EXPECT_EQ(qm.pending(), 1u);
+  EXPECT_GT(qm.starved(), 0u);
+
+  // After the first job's 600 s runtime its share frees up again.
+  f.sim.run_until(sim::Time::from_seconds(620));
+  EXPECT_EQ(f.dispatched.size(), 2u);
+  qm.stop();
+}
+
+TEST(QueueManager, RespectsMaxInFlight) {
+  Fixture f;
+  QueueManager::Options options;
+  options.burst = 10;
+  options.interval = sim::Duration::seconds(5);
+  options.max_in_flight = 3;
+  QueueManager qm(f.sim, f.engine, make_selector("least-used", Rng(1)),
+                  f.dispatcher(), options);
+  for (std::uint64_t i = 0; i < 8; ++i) qm.enqueue(f.job(i));
+  f.sim.run_until(sim::Time::from_seconds(100));
+  EXPECT_EQ(qm.in_flight(), 3);
+  EXPECT_EQ(f.dispatched.size(), 3u);
+  // Completions at t=600+ free slots.
+  f.sim.run_until(sim::Time::from_seconds(650));
+  EXPECT_GT(f.dispatched.size(), 3u);
+  qm.stop();
+}
+
+TEST(QueueManager, CountsCompletions) {
+  Fixture f;
+  QueueManager::Options options;
+  options.burst = 5;
+  options.interval = sim::Duration::seconds(5);
+  QueueManager qm(f.sim, f.engine, make_selector("least-used", Rng(1)),
+                  f.dispatcher(), options);
+  for (std::uint64_t i = 0; i < 4; ++i) qm.enqueue(f.job(i));
+  f.sim.run_until(sim::Time::from_seconds(1000));
+  EXPECT_EQ(qm.dispatched(), 4u);
+  EXPECT_EQ(qm.completed(), 4u);
+  EXPECT_EQ(qm.in_flight(), 0);
+  qm.stop();
+}
+
+}  // namespace
+}  // namespace digruber::gruber

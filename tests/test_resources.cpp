@@ -1,0 +1,166 @@
+// Storage and network USLA resources: site storage accounting, storage
+// headroom evaluation, storage-aware candidate filtering, and
+// network-share-scaled Euryale staging.
+#include <gtest/gtest.h>
+
+#include "digruber/gruber/engine.hpp"
+#include "digruber/usla/tree.hpp"
+
+namespace digruber {
+namespace {
+
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+grid::Job storage_job(std::uint64_t id, std::uint64_t vo, std::uint64_t in_bytes,
+                      std::uint64_t out_bytes, double runtime_s = 100) {
+  grid::Job j;
+  j.id = JobId(id);
+  j.vo = VoId(vo);
+  j.group = GroupId(vo);
+  j.user = UserId(vo);
+  j.cpus = 1;
+  j.runtime = sim::Duration::seconds(runtime_s);
+  j.input_bytes = in_bytes;
+  j.output_bytes = out_bytes;
+  return j;
+}
+
+TEST(SiteStorage, DefaultProvisioningScalesWithCpus) {
+  sim::Simulation sim;
+  grid::Site site(sim, SiteId(0), "s", {{8, 1.0}});
+  EXPECT_EQ(site.total_storage(), 8 * grid::kDefaultStoragePerCpu);
+  EXPECT_EQ(site.free_storage(), site.total_storage());
+}
+
+TEST(SiteStorage, ReservedWhileJobPresent) {
+  sim::Simulation sim;
+  grid::Site site(sim, SiteId(0), "s", {{4, 1.0}}, 10 * kGiB);
+  site.submit(storage_job(1, 2, 3 * kGiB, 1 * kGiB), [](const grid::Job&) {});
+  EXPECT_EQ(site.free_storage(), 6 * kGiB);
+  EXPECT_EQ(site.storage_for_vo(VoId(2)), 4 * kGiB);
+  sim.run();
+  EXPECT_EQ(site.free_storage(), 10 * kGiB);
+  EXPECT_EQ(site.storage_for_vo(VoId(2)), 0u);
+}
+
+TEST(SiteStorage, JobWaitsForStorage) {
+  sim::Simulation sim;
+  grid::Site site(sim, SiteId(0), "s", {{4, 1.0}}, 10 * kGiB);
+  // First job holds 8 GiB for 100 s; second needs 4 GiB and must queue
+  // even though CPUs are free.
+  grid::Job second_done;
+  site.submit(storage_job(1, 0, 8 * kGiB, 0, 100), [](const grid::Job&) {});
+  site.submit(storage_job(2, 0, 4 * kGiB, 0, 50), [&](const grid::Job& j) {
+    second_done = j;
+  });
+  EXPECT_EQ(site.queued_jobs(), 1);
+  sim.run();
+  EXPECT_DOUBLE_EQ(second_done.started.to_seconds(), 100.0);
+  EXPECT_DOUBLE_EQ(second_done.queue_time().to_seconds(), 100.0);
+}
+
+TEST(SiteStorage, ImpossibleStorageFailsImmediately) {
+  sim::Simulation sim;
+  grid::Site site(sim, SiteId(0), "s", {{4, 1.0}}, 2 * kGiB);
+  grid::Job result;
+  site.submit(storage_job(1, 0, 5 * kGiB, 0), [&](const grid::Job& j) { result = j; });
+  EXPECT_EQ(result.state, grid::JobState::kFailed);
+}
+
+TEST(SiteStorage, SnapshotCarriesStorageState) {
+  sim::Simulation sim;
+  grid::Site site(sim, SiteId(0), "s", {{4, 1.0}}, 10 * kGiB);
+  site.submit(storage_job(1, 3, 2 * kGiB, 1 * kGiB), [](const grid::Job&) {});
+  const grid::SiteSnapshot snap = site.snapshot();
+  EXPECT_EQ(snap.total_storage_bytes, 10 * kGiB);
+  EXPECT_EQ(snap.free_storage_bytes, 7 * kGiB);
+  EXPECT_EQ(snap.storage_per_vo.at(VoId(3)), 3 * kGiB);
+}
+
+struct UslaFixture {
+  grid::VoCatalog catalog = grid::VoCatalog::uniform(2, 1);
+  usla::AllocationTree tree;
+
+  UslaFixture() {
+    const auto agreement = usla::parse_agreement(
+        "agreement t\n"
+        "term cpu0: grid -> vo:vo0 cpu 50+\n"
+        "term sto0: grid -> vo:vo0 storage 20+\n"
+        "term net0: grid -> vo:vo0 network 25+\n");
+    tree = usla::AllocationTree::build({agreement.value()}, catalog).value();
+  }
+};
+
+TEST(StorageUsla, HeadroomFollowsStorageShare) {
+  UslaFixture f;
+  const usla::UslaEvaluator evaluator(f.tree, f.catalog);
+  grid::SiteSnapshot snap;
+  snap.site = SiteId(0);
+  snap.total_cpus = 100;
+  snap.free_cpus = 100;
+  snap.total_storage_bytes = 100 * kGiB;
+  snap.free_storage_bytes = 100 * kGiB;
+
+  // vo0 capped at 20% of storage.
+  EXPECT_EQ(evaluator.storage_headroom(snap, VoId(0)), 20 * kGiB);
+  // vo1 has no storage rule -> open.
+  EXPECT_EQ(evaluator.storage_headroom(snap, VoId(1)), 100 * kGiB);
+
+  snap.storage_per_vo[VoId(0)] = 15 * kGiB;
+  EXPECT_EQ(evaluator.storage_headroom(snap, VoId(0)), 5 * kGiB);
+  snap.storage_per_vo[VoId(0)] = 30 * kGiB;
+  EXPECT_EQ(evaluator.storage_headroom(snap, VoId(0)), 0u);
+
+  // Bounded by actually free storage.
+  snap.storage_per_vo[VoId(0)] = 0;
+  snap.free_storage_bytes = 3 * kGiB;
+  EXPECT_EQ(evaluator.storage_headroom(snap, VoId(0)), 3 * kGiB);
+}
+
+TEST(NetworkUsla, CapFraction) {
+  UslaFixture f;
+  const usla::UslaEvaluator evaluator(f.tree, f.catalog);
+  EXPECT_DOUBLE_EQ(evaluator.network_cap_fraction(VoId(0)), 0.25);
+  EXPECT_DOUBLE_EQ(evaluator.network_cap_fraction(VoId(1)), 1.0);
+}
+
+TEST(StorageUsla, EngineFiltersCandidatesByStorage) {
+  UslaFixture f;
+  gruber::GruberEngine engine(f.catalog, f.tree);
+  grid::SiteSnapshot small;
+  small.site = SiteId(0);
+  small.total_cpus = 100;
+  small.free_cpus = 100;
+  small.total_storage_bytes = 10 * kGiB;
+  small.free_storage_bytes = 10 * kGiB;
+  grid::SiteSnapshot big = small;
+  big.site = SiteId(1);
+  big.total_storage_bytes = 1000 * kGiB;
+  big.free_storage_bytes = 1000 * kGiB;
+  engine.view().bootstrap({small, big});
+
+  // vo0's 20% storage share: 2 GiB at the small site, 200 GiB at the big
+  // one. A job staging 5 GiB only fits at the big site.
+  const auto candidates =
+      engine.candidates(storage_job(1, 0, 4 * kGiB, 1 * kGiB), sim::Time::zero());
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].site, SiteId(1));
+
+  // A compute-only job fits at both.
+  EXPECT_EQ(engine.candidates(storage_job(2, 0, 0, 0), sim::Time::zero()).size(), 2u);
+}
+
+TEST(UslaDocument, StorageAndNetworkTermsParse) {
+  const auto parsed = usla::parse_agreement(
+      "agreement t\n"
+      "term a: grid -> vo:cms storage 40+\n"
+      "term b: grid -> vo:cms network 15-\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().terms[0].resource, usla::ResourceKind::kStorage);
+  EXPECT_EQ(parsed.value().terms[1].resource, usla::ResourceKind::kNetwork);
+  // Same consumer, different resources: not a duplicate.
+  EXPECT_TRUE(usla::validate(parsed.value()).ok());
+}
+
+}  // namespace
+}  // namespace digruber

@@ -1,0 +1,59 @@
+#include "digruber/common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace digruber {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(bool(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  const auto r = Result<int>::failure("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "boom");
+}
+
+TEST(Result, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(Result, MutableAccess) {
+  Result<std::string> r(std::string("abc"));
+  r.value() += "d";
+  EXPECT_EQ(r.value(), "abcd");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status<> s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(bool(s));
+}
+
+TEST(Status, Failure) {
+  const auto s = Status<>::failure("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), "bad");
+}
+
+TEST(Result, CustomErrorType) {
+  struct Err {
+    int code;
+  };
+  const auto r = Result<int, Err>::failure(Err{7});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, 7);
+}
+
+}  // namespace
+}  // namespace digruber

@@ -1,0 +1,180 @@
+#include "digruber/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace digruber {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  // fork() then parent draws must not perturb the child's stream.
+  Rng parent1(7);
+  Rng child1 = parent1.fork();
+  Rng parent2(7);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 100; ++i) (void)parent2();  // extra parent draws
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeExactly) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_index(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0, ss = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanCv) {
+  Rng rng(29);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal_mean_cv(100.0, 0.5);
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(37);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng rng(41);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.zipf(5, 0.0)];
+  for (const int c : counts) EXPECT_NEAR(double(c) / n, 0.2, 0.02);
+}
+
+TEST(AliasSampler, MatchesWeights) {
+  Rng rng(43);
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(double(counts[k]) / n, weights[k] / 10.0, 0.01) << "bucket " << k;
+  }
+}
+
+TEST(AliasSampler, ZeroWeightNeverSampled) {
+  Rng rng(47);
+  AliasSampler sampler({0.0, 1.0, 0.0});
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(AliasSampler, RejectsBadInput) {
+  EXPECT_THROW(AliasSampler({}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), std::invalid_argument);
+}
+
+/// Property sweep: uniform_index is unbiased for a range of moduli.
+class RngIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngIndexProperty, ApproximatelyUniform) {
+  const std::uint64_t n = GetParam();
+  Rng rng(100 + n);
+  std::vector<int> counts(n, 0);
+  const int draws = 20000 * int(n);
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(n)];
+  for (std::uint64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(double(counts[k]) / draws, 1.0 / double(n), 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, RngIndexProperty,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace digruber

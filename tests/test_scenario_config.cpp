@@ -1,0 +1,108 @@
+#include "digruber/experiments/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace digruber::experiments {
+namespace {
+
+TEST(ScenarioFromConfig, DefaultsWhenEmpty) {
+  const auto result = scenario_from_config(Config::parse(""));
+  ASSERT_TRUE(result.ok()) << result.error();
+  const ScenarioConfig& cfg = result.value();
+  EXPECT_EQ(cfg.n_dps, 3);
+  EXPECT_EQ(cfg.n_clients, 120);
+  EXPECT_EQ(cfg.profile.name, "GT3.2");
+  EXPECT_DOUBLE_EQ(cfg.duration.to_minutes(), 60.0);
+  EXPECT_DOUBLE_EQ(cfg.exchange_interval.to_minutes(), 3.0);
+  EXPECT_EQ(cfg.selector, "top-k");
+}
+
+TEST(ScenarioFromConfig, ParsesAllSections) {
+  const auto result = scenario_from_config(Config::parse(R"(
+name = my-run
+seed = 99
+dps = 5
+profile = gt4-c
+exchange_minutes = 10
+dissemination = usla
+overlay = ring
+grid_scale = 2
+background_util = 0.2
+clients = 30
+timeout_s = 45
+think_s = 4
+selector = least-used
+duration_minutes = 15
+vos = 4
+groups_per_vo = 2
+runtime_mean_s = 120
+cpus_max = 3
+input_mb = 50
+wan_min_ms = 1
+wan_max_ms = 20
+wan_bandwidth_mbps = 100
+uslas = false
+dynamic_provisioning = true
+saturation_response_s = 12
+)"));
+  ASSERT_TRUE(result.ok()) << result.error();
+  const ScenarioConfig& cfg = result.value();
+  EXPECT_EQ(cfg.name, "my-run");
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.n_dps, 5);
+  EXPECT_EQ(cfg.profile.name, "GT4-C");
+  EXPECT_DOUBLE_EQ(cfg.exchange_interval.to_minutes(), 10.0);
+  EXPECT_EQ(cfg.dissemination, digruber::Dissemination::kUslaAndUsage);
+  EXPECT_EQ(cfg.overlay, digruber::Overlay::kRing);
+  EXPECT_EQ(cfg.grid_scale, 2);
+  EXPECT_DOUBLE_EQ(cfg.background_util, 0.2);
+  EXPECT_EQ(cfg.n_clients, 30);
+  EXPECT_DOUBLE_EQ(cfg.client_timeout.to_seconds(), 45.0);
+  EXPECT_DOUBLE_EQ(cfg.think.to_seconds(), 4.0);
+  EXPECT_EQ(cfg.selector, "least-used");
+  EXPECT_EQ(cfg.workload.n_vos, 4);
+  EXPECT_EQ(cfg.workload.cpus_max, 3);
+  EXPECT_EQ(cfg.workload.input_bytes_mean, 50'000'000u);
+  EXPECT_DOUBLE_EQ(cfg.wan.bandwidth_bps, 100e6);
+  EXPECT_FALSE(cfg.install_uslas);
+  EXPECT_TRUE(cfg.dynamic_provisioning);
+  EXPECT_DOUBLE_EQ(cfg.saturation_response_s, 12.0);
+}
+
+TEST(ScenarioFromConfig, RejectsUnknownKeys) {
+  const auto result = scenario_from_config(Config::parse("dp_count = 3\n"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("unknown config key"), std::string::npos);
+}
+
+TEST(ScenarioFromConfig, RejectsBadEnumValues) {
+  EXPECT_FALSE(scenario_from_config(Config::parse("profile = gt5\n")).ok());
+  EXPECT_FALSE(scenario_from_config(Config::parse("overlay = tree\n")).ok());
+  EXPECT_FALSE(scenario_from_config(Config::parse("dissemination = all\n")).ok());
+}
+
+TEST(ScenarioFromConfig, RejectsOutOfRangeValues) {
+  EXPECT_FALSE(scenario_from_config(Config::parse("dps = 0\n")).ok());
+  EXPECT_FALSE(scenario_from_config(Config::parse("clients = -4\n")).ok());
+  EXPECT_FALSE(scenario_from_config(Config::parse("wan_loss = 1.5\n")).ok());
+  EXPECT_FALSE(
+      scenario_from_config(Config::parse("cpus_min = 4\ncpus_max = 2\n")).ok());
+}
+
+TEST(ScenarioFromConfig, RejectsTypeErrors) {
+  EXPECT_FALSE(scenario_from_config(Config::parse("dps = three\n")).ok());
+  EXPECT_FALSE(scenario_from_config(Config::parse("uslas = maybe\n")).ok());
+}
+
+TEST(ScenarioFromConfig, ConfiguredScenarioRuns) {
+  const auto cfg = scenario_from_config(Config::parse(
+      "dps = 1\nclients = 6\nduration_minutes = 5\ngrid_scale = 1\nvos = 2\n"
+      "groups_per_vo = 1\n"));
+  ASSERT_TRUE(cfg.ok()) << cfg.error();
+  const ScenarioResult r = run_scenario(cfg.value());
+  EXPECT_GT(r.all.requests, 0u);
+  EXPECT_EQ(r.final_dps, 1);
+}
+
+}  // namespace
+}  // namespace digruber::experiments

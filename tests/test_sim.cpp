@@ -1,0 +1,168 @@
+#include "digruber/sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace digruber::sim {
+namespace {
+
+TEST(Time, Arithmetic) {
+  const Time t = Time::zero() + Duration::seconds(5);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ((t - Time::zero()).to_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ((Duration::minutes(2)).to_seconds(), 120.0);
+  EXPECT_DOUBLE_EQ((Duration::hours(1)).to_minutes(), 60.0);
+  EXPECT_DOUBLE_EQ((Duration::seconds(10) * 0.5).to_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(Duration::seconds(10) / Duration::seconds(4), 2.5);
+}
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_after(Duration::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulation, TiesFireInSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(Duration::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+  Simulation sim;
+  Time seen;
+  sim.schedule_after(Duration::seconds(7.5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen.to_seconds(), 7.5);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 7.5);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(Duration::seconds(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulation, CancelAfterFireIsNoop) {
+  Simulation sim;
+  int count = 0;
+  const EventId id = sim.schedule_after(Duration::seconds(1), [&] { ++count; });
+  sim.run();
+  sim.cancel(id);  // must not crash or affect anything
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(Time::from_seconds(t), [&fired, t] { fired.push_back(t); });
+  }
+  sim.run_until(Time::from_seconds(2.0));
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));  // boundary inclusive
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulation sim;
+  sim.run_until(Time::from_seconds(100));
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 100.0);
+}
+
+TEST(Simulation, StopInterruptsRun) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_after(Duration::seconds(i), [&] {
+      ++count;
+      if (count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.events_pending(), 7u);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(Duration::seconds(1), recurse);
+  };
+  sim.schedule_after(Duration::seconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 5.0);
+}
+
+TEST(Simulation, DeterministicReplay) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<std::uint64_t> draws;
+    for (int i = 0; i < 5; ++i) {
+      sim.schedule_after(Duration::seconds(i + 1), [&] { draws.push_back(sim.rng()()); });
+    }
+    sim.run();
+    return draws;
+  };
+  EXPECT_EQ(run_once(99), run_once(99));
+  EXPECT_NE(run_once(99), run_once(100));
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Simulation sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, Duration::seconds(10), [&] { ++ticks; });
+  sim.run_until(Time::from_seconds(35));
+  EXPECT_EQ(ticks, 4);  // zero start delay: fires at t = 0, 10, 20, 30
+}
+
+TEST(PeriodicTimer, StartDelayShiftsPhase) {
+  Simulation sim;
+  std::vector<double> at;
+  PeriodicTimer timer(sim, Duration::seconds(10), [&] { at.push_back(sim.now().to_seconds()); },
+                      Duration::seconds(5));
+  sim.run_until(Time::from_seconds(30));
+  EXPECT_EQ(at, (std::vector<double>{5.0, 15.0, 25.0}));
+}
+
+TEST(PeriodicTimer, StopCancelsFutureTicks) {
+  Simulation sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, Duration::seconds(1), [&] { ++ticks; },
+                      Duration::seconds(1));
+  sim.schedule_after(Duration::seconds(3.5), [&] { timer.stop(); });
+  sim.run();
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, DestructionCancels) {
+  Simulation sim;
+  int ticks = 0;
+  {
+    PeriodicTimer timer(sim, Duration::seconds(1), [&] { ++ticks; },
+                        Duration::seconds(1));
+  }
+  sim.run_until(Time::from_seconds(10));
+  EXPECT_EQ(ticks, 0);
+}
+
+}  // namespace
+}  // namespace digruber::sim

@@ -1,0 +1,236 @@
+#include "digruber/grid/site.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace digruber::grid {
+namespace {
+
+Job make_job(std::uint64_t id, int cpus, double runtime_s, std::uint64_t vo = 0) {
+  Job job;
+  job.id = JobId(id);
+  job.vo = VoId(vo);
+  job.group = GroupId(vo * 10);
+  job.user = UserId(vo * 100);
+  job.cpus = cpus;
+  job.runtime = sim::Duration::seconds(runtime_s);
+  return job;
+}
+
+TEST(Site, CpuAccounting) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "s0", {{8, 1.0}});
+  EXPECT_EQ(site.total_cpus(), 8);
+  EXPECT_EQ(site.free_cpus(), 8);
+
+  site.submit(make_job(1, 3, 100), [](const Job&) {});
+  EXPECT_EQ(site.free_cpus(), 5);
+  sim.run();
+  EXPECT_EQ(site.free_cpus(), 8);
+  EXPECT_EQ(site.jobs_completed(), 1u);
+}
+
+TEST(Site, JobTimestampsAndState) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "s0", {{4, 1.0}});
+  Job finished;
+  sim.schedule_after(sim::Duration::seconds(10), [&] {
+    site.submit(make_job(1, 1, 50), [&](const Job& j) { finished = j; });
+  });
+  sim.run();
+  EXPECT_EQ(finished.state, JobState::kCompleted);
+  EXPECT_DOUBLE_EQ(finished.dispatched.to_seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(finished.started.to_seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(finished.completed.to_seconds(), 60.0);
+  EXPECT_DOUBLE_EQ(finished.queue_time().to_seconds(), 0.0);
+}
+
+TEST(Site, FifoQueueingWhenFull) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "s0", {{2, 1.0}});
+  std::vector<std::uint64_t> completion_order;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    site.submit(make_job(i, 2, 100),
+                [&](const Job& j) { completion_order.push_back(j.id.value()); });
+  }
+  EXPECT_EQ(site.queued_jobs(), 3);
+  sim.run();
+  EXPECT_EQ(completion_order, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 400.0);  // strictly serialized
+}
+
+TEST(Site, QueueTimeMeasured) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "s0", {{1, 1.0}});
+  Job second;
+  site.submit(make_job(1, 1, 30), [](const Job&) {});
+  site.submit(make_job(2, 1, 30), [&](const Job& j) { second = j; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second.queue_time().to_seconds(), 30.0);
+}
+
+TEST(Site, SpeedScalesRuntime) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "fast", {{4, 2.0}});
+  EXPECT_DOUBLE_EQ(site.speed(), 2.0);
+  site.submit(make_job(1, 1, 100), [](const Job&) {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 50.0);
+}
+
+TEST(Site, MixedClusterSpeedIsWeightedMean) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "mixed", {{10, 1.0}, {30, 2.0}});
+  EXPECT_DOUBLE_EQ(site.speed(), 1.75);
+  EXPECT_EQ(site.total_cpus(), 40);
+}
+
+TEST(Site, PerVoAccounting) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "s0", {{10, 1.0}});
+  site.submit(make_job(1, 2, 100, /*vo=*/1), [](const Job&) {});
+  site.submit(make_job(2, 3, 200, /*vo=*/1), [](const Job&) {});
+  site.submit(make_job(3, 1, 100, /*vo=*/2), [](const Job&) {});
+  EXPECT_EQ(site.running_for_vo(VoId(1)), 5);
+  EXPECT_EQ(site.running_for_vo(VoId(2)), 1);
+  EXPECT_EQ(site.running_for_vo(VoId(3)), 0);
+
+  sim.run_until(sim::Time::from_seconds(150));
+  EXPECT_EQ(site.running_for_vo(VoId(1)), 3);  // jobs 1 and 3 done
+  EXPECT_EQ(site.running_for_vo(VoId(2)), 0);
+  sim.run();
+  EXPECT_EQ(site.running_for_vo(VoId(1)), 0);
+}
+
+TEST(Site, SnapshotReflectsState) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(7), "s7", {{16, 1.0}});
+  site.submit(make_job(1, 4, 100, 3), [](const Job&) {});
+  const SiteSnapshot snap = site.snapshot();
+  EXPECT_EQ(snap.site, SiteId(7));
+  EXPECT_EQ(snap.total_cpus, 16);
+  EXPECT_EQ(snap.free_cpus, 12);
+  EXPECT_EQ(snap.queued_jobs, 0);
+  EXPECT_EQ(snap.running_per_vo.at(VoId(3)), 4);
+}
+
+TEST(Site, OversizedJobFailsImmediately) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "tiny", {{2, 1.0}});
+  Job result;
+  site.submit(make_job(1, 5, 100), [&](const Job& j) { result = j; });
+  EXPECT_EQ(result.state, JobState::kFailed);
+  EXPECT_EQ(site.jobs_failed(), 1u);
+  EXPECT_EQ(site.free_cpus(), 2);
+}
+
+TEST(Site, TakeDownKillsRunningAndQueued) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "s0", {{1, 1.0}});
+  std::vector<JobState> outcomes;
+  site.submit(make_job(1, 1, 100), [&](const Job& j) { outcomes.push_back(j.state); });
+  site.submit(make_job(2, 1, 100), [&](const Job& j) { outcomes.push_back(j.state); });
+  sim.schedule_after(sim::Duration::seconds(10),
+                     [&] { site.take_down(sim::Duration::minutes(5)); });
+  sim.run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0], JobState::kFailed);
+  EXPECT_EQ(outcomes[1], JobState::kFailed);
+  EXPECT_EQ(site.free_cpus(), 1);
+}
+
+TEST(Site, DownSiteRefusesSubmissionsUntilRecovery) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "s0", {{2, 1.0}});
+  site.take_down(sim::Duration::seconds(100));
+  EXPECT_TRUE(site.is_down());
+  EXPECT_FALSE(site.submit(make_job(1, 1, 10), [](const Job&) {}));
+  EXPECT_EQ(site.snapshot().free_cpus, 0);  // advertises nothing while down
+
+  bool completed = false;
+  sim.schedule_after(sim::Duration::seconds(150), [&] {
+    EXPECT_FALSE(site.is_down());
+    EXPECT_TRUE(site.submit(make_job(2, 1, 10), [&](const Job&) { completed = true; }));
+  });
+  sim.run();
+  EXPECT_TRUE(completed);
+}
+
+TEST(Site, LocalReservationReducesFreeCapacity) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "s0", {{10, 1.0}});
+  site.reserve_local(4);
+  EXPECT_EQ(site.free_cpus(), 6);
+  EXPECT_EQ(site.local_reserved(), 4);
+  site.reserve_local(100);  // clamped to remaining capacity
+  EXPECT_EQ(site.free_cpus(), 0);
+  EXPECT_EQ(site.local_reserved(), 10);
+}
+
+TEST(Site, CpuSecondsConsumed) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "s0", {{4, 1.0}});
+  site.submit(make_job(1, 2, 100), [](const Job&) {});
+  site.submit(make_job(2, 1, 50), [](const Job&) {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(site.cpu_seconds_consumed(), 2 * 100.0 + 1 * 50.0);
+}
+
+/// Property sweep: with `w` CPUs and n single-CPU jobs of equal runtime,
+/// makespan is ceil(n/w) * runtime and all jobs complete.
+class SiteProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SiteProperty, FifoMakespan) {
+  const int width = GetParam();
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "s", {{width, 1.0}});
+  const int n = 23;
+  int completed = 0;
+  for (int i = 0; i < n; ++i) {
+    site.submit(make_job(std::uint64_t(i), 1, 60), [&](const Job& j) {
+      EXPECT_EQ(j.state, JobState::kCompleted);
+      ++completed;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, n);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), std::ceil(double(n) / width) * 60.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SiteProperty, ::testing::Values(1, 2, 4, 8, 23, 64));
+
+}  // namespace
+}  // namespace digruber::grid
+
+namespace digruber::grid {
+namespace {
+
+TEST(Site, DeliveredCpuSecondsPerConsumer) {
+  sim::Simulation sim;
+  Site site(sim, SiteId(0), "s0", {{8, 1.0}});
+  auto job = [](std::uint64_t id, std::uint64_t vo, std::uint64_t group,
+                int cpus, double runtime_s) {
+    Job j;
+    j.id = JobId(id);
+    j.vo = VoId(vo);
+    j.group = GroupId(group);
+    j.user = UserId(group);
+    j.cpus = cpus;
+    j.runtime = sim::Duration::seconds(runtime_s);
+    return j;
+  };
+  site.submit(job(1, 0, 0, 2, 100), [](const Job&) {});
+  site.submit(job(2, 0, 1, 1, 200), [](const Job&) {});
+  site.submit(job(3, 1, 2, 1, 50), [](const Job&) {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(site.cpu_seconds_per_vo().at(VoId(0)), 400.0);
+  EXPECT_DOUBLE_EQ(site.cpu_seconds_per_vo().at(VoId(1)), 50.0);
+  EXPECT_DOUBLE_EQ(site.cpu_seconds_per_group().at(GroupId(0)), 200.0);
+  EXPECT_DOUBLE_EQ(site.cpu_seconds_per_group().at(GroupId(1)), 200.0);
+  EXPECT_DOUBLE_EQ(site.cpu_seconds_per_group().at(GroupId(2)), 50.0);
+}
+
+}  // namespace
+}  // namespace digruber::grid

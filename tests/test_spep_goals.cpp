@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "digruber/usla/goals.hpp"
+#include "digruber/usla/spep.hpp"
+
+namespace digruber::usla {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  grid::Site site{sim, SiteId(0), "s0", {{100, 1.0}}};
+  grid::VoCatalog catalog = grid::VoCatalog::uniform(2, 1);
+  AllocationTree tree;
+
+  Fixture() {
+    const auto agreement = parse_agreement(
+        "agreement t\n"
+        "term a: grid -> vo:vo0 cpu 30+\n"
+        "term b: grid -> vo:vo1 cpu 70+\n");
+    tree = AllocationTree::build({agreement.value()}, catalog).value();
+  }
+
+  grid::Job job(std::uint64_t id, std::uint64_t vo, int cpus) {
+    grid::Job j;
+    j.id = JobId(id);
+    j.vo = VoId(vo);
+    j.group = GroupId(vo);
+    j.user = UserId(vo);
+    j.cpus = cpus;
+    j.runtime = sim::Duration::minutes(30);
+    return j;
+  }
+};
+
+TEST(Spep, EnforcesVoShareAtAdmission) {
+  Fixture f;
+  const UslaEvaluator evaluator(f.tree, f.catalog);
+  SitePolicyEnforcementPoint::Options options;
+  options.enforce = true;
+  SitePolicyEnforcementPoint spep(f.site, evaluator, options);
+
+  // vo0 is capped at 30% of 100 CPUs.
+  EXPECT_TRUE(spep.submit(f.job(1, 0, 20), [](const grid::Job&) {}));
+  EXPECT_TRUE(spep.submit(f.job(2, 0, 10), [](const grid::Job&) {}));
+  EXPECT_FALSE(spep.submit(f.job(3, 0, 1), [](const grid::Job&) {}));  // over cap
+  EXPECT_EQ(spep.admitted(), 2u);
+  EXPECT_EQ(spep.rejected(), 1u);
+  // vo1 still has its share available.
+  EXPECT_TRUE(spep.submit(f.job(4, 1, 50), [](const grid::Job&) {}));
+}
+
+TEST(Spep, AuditModeLetsViolationsThrough) {
+  Fixture f;
+  const UslaEvaluator evaluator(f.tree, f.catalog);
+  SitePolicyEnforcementPoint spep(f.site, evaluator,
+                                  SitePolicyEnforcementPoint::Options{false});
+  EXPECT_TRUE(spep.submit(f.job(1, 0, 30), [](const grid::Job&) {}));
+  EXPECT_TRUE(spep.submit(f.job(2, 0, 30), [](const grid::Job&) {}));  // violation
+  EXPECT_EQ(spep.rejected(), 0u);
+  EXPECT_EQ(spep.audited_violations(), 1u);
+  EXPECT_EQ(f.site.running_for_vo(VoId(0)), 60);
+}
+
+TEST(Spep, CapFreesUpAsJobsComplete) {
+  Fixture f;
+  const UslaEvaluator evaluator(f.tree, f.catalog);
+  SitePolicyEnforcementPoint spep(f.site, evaluator);
+  EXPECT_TRUE(spep.submit(f.job(1, 0, 30), [](const grid::Job&) {}));
+  EXPECT_FALSE(spep.submit(f.job(2, 0, 5), [](const grid::Job&) {}));
+  f.sim.run();  // job 1 completes
+  EXPECT_TRUE(spep.submit(f.job(3, 0, 5), [](const grid::Job&) {}));
+}
+
+TEST(Spep, DownSiteRefuses) {
+  Fixture f;
+  const UslaEvaluator evaluator(f.tree, f.catalog);
+  SitePolicyEnforcementPoint spep(f.site, evaluator);
+  f.site.take_down(sim::Duration::minutes(5));
+  EXPECT_FALSE(spep.submit(f.job(1, 0, 1), [](const grid::Job&) {}));
+}
+
+TEST(GoalMonitor, TracksViolationsPerMetric) {
+  GoalMonitor monitor({Goal{"qtime", "<", 60.0}, Goal{"accuracy", ">", 0.9}});
+  monitor.observe("qtime", 10.0);
+  monitor.observe("qtime", 120.0);  // violation
+  monitor.observe("accuracy", 0.95);
+  monitor.observe("accuracy", 0.5);  // violation
+  monitor.observe("unrelated", 1.0);
+
+  ASSERT_EQ(monitor.statuses().size(), 2u);
+  const auto& qtime = monitor.statuses()[0];
+  EXPECT_EQ(qtime.observations, 2u);
+  EXPECT_EQ(qtime.violations, 1u);
+  EXPECT_DOUBLE_EQ(qtime.mean, 65.0);
+  EXPECT_DOUBLE_EQ(qtime.worst, 120.0);
+
+  const auto& accuracy = monitor.statuses()[1];
+  EXPECT_EQ(accuracy.violations, 1u);
+  EXPECT_DOUBLE_EQ(accuracy.worst, 0.5);
+}
+
+TEST(GoalMonitor, SatisfiedWithinTolerance) {
+  GoalMonitor monitor({Goal{"qtime", "<", 60.0}});
+  // 1 violation out of 20 observations: within the 10% tolerance.
+  for (int i = 0; i < 19; ++i) monitor.observe("qtime", 5.0);
+  monitor.observe("qtime", 100.0);
+  EXPECT_TRUE(monitor.all_satisfied());
+  // Push past the tolerance.
+  for (int i = 0; i < 5; ++i) monitor.observe("qtime", 100.0);
+  EXPECT_FALSE(monitor.all_satisfied());
+}
+
+TEST(GoalMonitor, EmptyAndUnobserved) {
+  GoalMonitor empty({});
+  EXPECT_TRUE(empty.all_satisfied());
+
+  GoalMonitor unobserved({Goal{"qtime", "<", 1.0}});
+  EXPECT_TRUE(unobserved.all_satisfied());
+  EXPECT_TRUE(unobserved.statuses()[0].satisfied());
+}
+
+TEST(GoalMonitor, SummaryMentionsEveryGoal) {
+  GoalMonitor monitor({Goal{"qtime", "<", 60.0}, Goal{"util", ">", 0.2}});
+  monitor.observe("qtime", 10.0);
+  const std::string summary = monitor.summary();
+  EXPECT_NE(summary.find("qtime"), std::string::npos);
+  EXPECT_NE(summary.find("util"), std::string::npos);
+  EXPECT_NE(summary.find("SATISFIED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace digruber::usla

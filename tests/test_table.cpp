@@ -1,0 +1,49 @@
+#include "digruber/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace digruber {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.render(os));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.1234), "12.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  std::ostringstream os;
+  t.render_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("k,v\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace digruber

@@ -1,0 +1,166 @@
+#include "digruber/grid/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace digruber::grid {
+namespace {
+
+TEST(Topology, Osg2005Preset) {
+  const TopologySpec spec = TopologySpec::osg2005();
+  EXPECT_EQ(spec.sites.size(), 30u);
+  const std::int64_t cpus = spec.total_cpus();
+  EXPECT_GT(cpus, 2500);
+  EXPECT_LT(cpus, 3500);
+  // Heavy tail: the largest site dominates the smallest by >10x.
+  std::int64_t largest = 0, smallest = 1 << 30;
+  for (const auto& site : spec.sites) {
+    std::int64_t total = 0;
+    for (const auto& c : site.clusters) total += c.cpus;
+    largest = std::max(largest, total);
+    smallest = std::min(smallest, total);
+  }
+  EXPECT_GT(largest, smallest * 10);
+}
+
+TEST(Topology, ScaledGridApproximatesTargets) {
+  Rng rng(1);
+  const TopologySpec spec = TopologySpec::osg_scaled(10, rng);
+  EXPECT_EQ(spec.sites.size(), 300u);
+  // Target ~30k CPUs, allow generator slack.
+  EXPECT_GT(spec.total_cpus(), 24000);
+  EXPECT_LT(spec.total_cpus(), 40000);
+}
+
+TEST(Topology, GenerateRespectsFloor) {
+  Rng rng(2);
+  const TopologySpec spec = TopologySpec::generate(50, 500, rng);
+  EXPECT_EQ(spec.sites.size(), 50u);
+  for (const auto& site : spec.sites) {
+    std::int64_t total = 0;
+    for (const auto& c : site.clusters) total += c.cpus;
+    EXPECT_GE(total, 4);
+  }
+}
+
+TEST(Topology, GenerateRejectsBadParameters) {
+  Rng rng(3);
+  EXPECT_THROW(TopologySpec::generate(0, 100, rng), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::generate(10, 5, rng), std::invalid_argument);
+}
+
+TEST(Topology, GenerateDeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  const TopologySpec sa = TopologySpec::generate(20, 2000, a);
+  const TopologySpec sb = TopologySpec::generate(20, 2000, b);
+  const TopologySpec sc = TopologySpec::generate(20, 2000, c);
+  auto sizes = [](const TopologySpec& spec) {
+    std::vector<std::int64_t> out;
+    for (const auto& site : spec.sites) {
+      std::int64_t total = 0;
+      for (const auto& cluster : site.clusters) total += cluster.cpus;
+      out.push_back(total);
+    }
+    return out;
+  };
+  EXPECT_EQ(sizes(sa), sizes(sb));
+  EXPECT_NE(sizes(sa), sizes(sc));
+}
+
+TEST(Grid, OwnsSitesWithStableIds) {
+  sim::Simulation sim;
+  const TopologySpec spec = TopologySpec::osg2005();
+  Grid grid(sim, spec);
+  EXPECT_EQ(grid.site_count(), 30u);
+  EXPECT_EQ(grid.total_cpus(), spec.total_cpus());
+  for (std::size_t i = 0; i < grid.site_count(); ++i) {
+    EXPECT_EQ(grid.site(SiteId(i)).id(), SiteId(i));
+    EXPECT_EQ(grid.site(SiteId(i)).name(), spec.sites[i].name);
+  }
+}
+
+TEST(Grid, FreeAndBestTracking) {
+  sim::Simulation sim;
+  TopologySpec spec;
+  spec.sites.push_back({"a", {{10, 1.0}}});
+  spec.sites.push_back({"b", {{50, 1.0}}});
+  spec.sites.push_back({"c", {{20, 1.0}}});
+  Grid grid(sim, spec);
+  EXPECT_EQ(grid.total_free_cpus(), 80);
+  EXPECT_EQ(grid.best_site().id(), SiteId(1));
+
+  Job job;
+  job.id = JobId(1);
+  job.vo = VoId(0);
+  job.cpus = 45;
+  job.runtime = sim::Duration::seconds(100);
+  grid.site(SiteId(1)).submit(std::move(job), [](const Job&) {});
+  EXPECT_EQ(grid.total_free_cpus(), 35);
+  EXPECT_EQ(grid.best_site().id(), SiteId(2));
+  sim.run();
+  EXPECT_EQ(grid.best_site().id(), SiteId(1));
+  EXPECT_DOUBLE_EQ(grid.cpu_seconds_consumed(), 4500.0);
+}
+
+TEST(Grid, SnapshotAllCoversEverySite) {
+  sim::Simulation sim;
+  Rng rng(4);
+  Grid grid(sim, TopologySpec::generate(25, 1000, rng));
+  const auto snapshots = grid.snapshot_all();
+  ASSERT_EQ(snapshots.size(), 25u);
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].site, SiteId(i));
+    EXPECT_EQ(snapshots[i].free_cpus, snapshots[i].total_cpus);
+  }
+}
+
+TEST(VoCatalog, UniformBuilder) {
+  const VoCatalog catalog = VoCatalog::uniform(3, 4);
+  EXPECT_EQ(catalog.vo_count(), 3u);
+  EXPECT_EQ(catalog.group_count(), 12u);
+  EXPECT_EQ(catalog.user_count(), 12u);
+  EXPECT_EQ(catalog.vo_name(VoId(1)), "vo1");
+  EXPECT_EQ(catalog.groups_of(VoId(2)).size(), 4u);
+  const GroupId g = catalog.groups_of(VoId(2))[1];
+  EXPECT_EQ(catalog.group_vo(g), VoId(2));
+  EXPECT_EQ(catalog.group_name(g), "vo2.g1");
+}
+
+TEST(VoCatalog, UserGroupLinks) {
+  const VoCatalog catalog = VoCatalog::uniform(2, 2);
+  for (std::size_t u = 0; u < catalog.user_count(); ++u) {
+    const GroupId g = catalog.user_group(UserId(u));
+    EXPECT_LT(g.value(), catalog.group_count());
+  }
+}
+
+TEST(VoCatalog, ManualConstruction) {
+  VoCatalog catalog;
+  const VoId cms = catalog.add_vo("cms");
+  const VoId atlas = catalog.add_vo("atlas");
+  const GroupId higgs = catalog.add_group(cms, "cms.higgs");
+  const UserId alice = catalog.add_user(higgs, "alice");
+  EXPECT_EQ(catalog.vo_name(atlas), "atlas");
+  EXPECT_EQ(catalog.group_vo(higgs), cms);
+  EXPECT_EQ(catalog.user_group(alice), higgs);
+}
+
+/// Property sweep: generated grids always hit the site count and stay
+/// within a factor of the CPU budget across scales.
+class TopologyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologyProperty, BudgetRoughlyRespected) {
+  const int scale = GetParam();
+  Rng rng{std::uint64_t(scale)};
+  const TopologySpec spec = TopologySpec::osg_scaled(scale, rng);
+  EXPECT_EQ(spec.sites.size(), 30u * std::size_t(scale));
+  const double target = double(TopologySpec::osg2005().total_cpus()) * scale;
+  EXPECT_GT(double(spec.total_cpus()), target * 0.7);
+  EXPECT_LT(double(spec.total_cpus()), target * 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TopologyProperty, ::testing::Values(1, 2, 5, 10, 20));
+
+}  // namespace
+}  // namespace digruber::grid

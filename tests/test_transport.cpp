@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "digruber/net/inproc_transport.hpp"
+#include "digruber/net/sim_transport.hpp"
+
+namespace digruber::net {
+namespace {
+
+class RecordingEndpoint : public Endpoint {
+ public:
+  void on_packet(Packet packet) override { received.push_back(std::move(packet)); }
+  std::vector<Packet> received;
+};
+
+TEST(SimTransport, DeliversAfterWanDelay) {
+  sim::Simulation sim;
+  WanParams params;
+  params.jitter_cv = 0.0;
+  SimTransport transport(sim, WanModel(params, 1));
+
+  RecordingEndpoint a, b;
+  const NodeId na = transport.attach(a);
+  const NodeId nb = transport.attach(b);
+
+  transport.send(Packet{na, nb, {1, 2, 3}});
+  EXPECT_TRUE(b.received.empty());  // not yet delivered
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].src, na);
+  EXPECT_EQ(b.received[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_GT(sim.now().to_seconds(), 0.0);  // WAN latency elapsed
+  EXPECT_EQ(transport.packets_sent(), 1u);
+}
+
+TEST(SimTransport, UnknownDestinationDropped) {
+  sim::Simulation sim;
+  SimTransport transport(sim, WanModel(WanParams{}, 2));
+  RecordingEndpoint a;
+  const NodeId na = transport.attach(a);
+  transport.send(Packet{na, NodeId(999), {1}});
+  sim.run();  // must not crash
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(SimTransport, DetachStopsDelivery) {
+  sim::Simulation sim;
+  SimTransport transport(sim, WanModel(WanParams{}, 3));
+  RecordingEndpoint a, b;
+  const NodeId na = transport.attach(a);
+  const NodeId nb = transport.attach(b);
+  transport.send(Packet{na, nb, {1}});
+  transport.detach(nb);  // detach while in flight
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST(SimTransport, LossyLinkDropsSomePackets) {
+  sim::Simulation sim;
+  WanParams params;
+  params.loss_rate = 0.5;
+  SimTransport transport(sim, WanModel(params, 4));
+  RecordingEndpoint a, b;
+  const NodeId na = transport.attach(a);
+  const NodeId nb = transport.attach(b);
+  for (int i = 0; i < 200; ++i) transport.send(Packet{na, nb, {std::uint8_t(i)}});
+  sim.run();
+  EXPECT_GT(transport.packets_dropped(), 50u);
+  EXPECT_LT(transport.packets_dropped(), 150u);
+  EXPECT_EQ(b.received.size(), 200u - transport.packets_dropped());
+}
+
+class CountingEndpoint : public Endpoint {
+ public:
+  void on_packet(Packet) override { count.fetch_add(1, std::memory_order_relaxed); }
+  std::atomic<int> count{0};
+};
+
+TEST(InProcTransport, DeliversAcrossThreads) {
+  InProcTransport transport;
+  CountingEndpoint a, b;
+  const NodeId na = transport.attach(a);
+  const NodeId nb = transport.attach(b);
+  for (int i = 0; i < 100; ++i) transport.send(Packet{na, nb, {std::uint8_t(i)}});
+  transport.drain();
+  EXPECT_EQ(b.count.load(), 100);
+  EXPECT_EQ(a.count.load(), 0);
+}
+
+/// Endpoint that forwards each packet to another node (tests that drain
+/// handles delivery chains).
+class ForwardingEndpoint : public Endpoint {
+ public:
+  ForwardingEndpoint(InProcTransport& transport, std::atomic<int>& sink_count)
+      : transport_(transport), sink_count_(sink_count) {}
+
+  void configure(NodeId self, NodeId next) {
+    self_ = self;
+    next_ = next;
+  }
+
+  void on_packet(Packet packet) override {
+    if (next_.valid()) {
+      transport_.send(Packet{self_, next_, std::move(packet.payload)});
+    } else {
+      sink_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  InProcTransport& transport_;
+  std::atomic<int>& sink_count_;
+  NodeId self_, next_;
+};
+
+TEST(InProcTransport, DrainWaitsForForwardingChains) {
+  InProcTransport transport;
+  std::atomic<int> sink{0};
+  ForwardingEndpoint e1(transport, sink), e2(transport, sink), e3(transport, sink);
+  const NodeId n1 = transport.attach(e1);
+  const NodeId n2 = transport.attach(e2);
+  const NodeId n3 = transport.attach(e3);
+  e1.configure(n1, n2);
+  e2.configure(n2, n3);
+  e3.configure(n3, NodeId{});
+
+  for (int i = 0; i < 50; ++i) transport.send(Packet{NodeId(999), n1, {1}});
+  transport.drain();
+  EXPECT_EQ(sink.load(), 50);
+}
+
+TEST(InProcTransport, DetachedMailboxDropsSends) {
+  InProcTransport transport;
+  CountingEndpoint a, b;
+  const NodeId na = transport.attach(a);
+  const NodeId nb = transport.attach(b);
+  transport.detach(nb);
+  transport.send(Packet{na, nb, {1}});
+  transport.drain();
+  EXPECT_EQ(b.count.load(), 0);
+}
+
+TEST(InProcTransport, ManySendersOneReceiver) {
+  InProcTransport transport;
+  CountingEndpoint sink;
+  const NodeId ns = transport.attach(sink);
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&transport, ns] {
+      for (int i = 0; i < 250; ++i) {
+        transport.send(Packet{NodeId(1000), ns, {std::uint8_t(i)}});
+      }
+    });
+  }
+  threads.clear();  // join
+  transport.drain();
+  EXPECT_EQ(sink.count.load(), 1000);
+}
+
+}  // namespace
+}  // namespace digruber::net

@@ -1,0 +1,87 @@
+#include "digruber/net/wan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace digruber::net {
+namespace {
+
+TEST(Wan, BaseLatencyWithinConfiguredBounds) {
+  WanParams params;
+  params.min_latency_ms = 10;
+  params.max_latency_ms = 100;
+  WanModel wan(params, 1);
+  for (std::uint64_t a = 1; a < 30; ++a) {
+    for (std::uint64_t b = a + 1; b < 30; ++b) {
+      const double ms = wan.base_latency(NodeId(a), NodeId(b)).to_seconds() * 1e3;
+      EXPECT_GE(ms, 10.0 - 1e-9);
+      EXPECT_LE(ms, 100.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Wan, BaseLatencyIsSymmetricAndStable) {
+  WanModel wan(WanParams{}, 2);
+  const auto ab = wan.base_latency(NodeId(3), NodeId(9));
+  const auto ba = wan.base_latency(NodeId(9), NodeId(3));
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab, wan.base_latency(NodeId(3), NodeId(9)));  // deterministic
+}
+
+TEST(Wan, LoopbackIsFast) {
+  WanModel wan(WanParams{}, 3);
+  EXPECT_LT(wan.base_latency(NodeId(5), NodeId(5)).to_seconds(), 0.001);
+}
+
+TEST(Wan, TransmissionDelayScalesWithSize) {
+  WanParams params;
+  params.jitter_cv = 0.0;  // deterministic
+  params.bandwidth_bps = 8e6;
+  params.envelope_factor = 1.0;
+  WanModel wan(params, 4);
+  const double small = wan.delay(NodeId(1), NodeId(2), 1000).to_seconds();
+  const double big = wan.delay(NodeId(1), NodeId(2), 1001000).to_seconds();
+  // Extra 1 MB at 8 Mb/s = 1 s.
+  EXPECT_NEAR(big - small, 1.0, 5e-6);  // integer-microsecond quantization
+}
+
+TEST(Wan, EnvelopeFactorInflatesWireBytes) {
+  WanParams plain;
+  plain.jitter_cv = 0.0;
+  plain.envelope_factor = 1.0;
+  WanParams soap = plain;
+  soap.envelope_factor = 4.0;
+  WanModel a(plain, 5), b(soap, 5);
+  const double d1 = a.delay(NodeId(1), NodeId(2), 100000).to_seconds();
+  const double d4 = b.delay(NodeId(1), NodeId(2), 100000).to_seconds();
+  EXPECT_GT(d4, d1);
+  const double base = a.base_latency(NodeId(1), NodeId(2)).to_seconds();
+  EXPECT_NEAR((d4 - base) / (d1 - base), 4.0, 1e-6);
+}
+
+TEST(Wan, JitterVariesDelay) {
+  WanParams params;
+  params.jitter_cv = 0.3;
+  WanModel wan(params, 6);
+  const double d1 = wan.delay(NodeId(1), NodeId(2), 100).to_seconds();
+  double different = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (wan.delay(NodeId(1), NodeId(2), 100).to_seconds() != d1) ++different;
+  }
+  EXPECT_GT(different, 0);
+}
+
+TEST(Wan, LossRate) {
+  WanParams lossy;
+  lossy.loss_rate = 0.5;
+  WanModel wan(lossy, 7);
+  int drops = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) drops += wan.drop() ? 1 : 0;
+  EXPECT_NEAR(double(drops) / n, 0.5, 0.03);
+
+  WanModel reliable(WanParams{}, 8);
+  for (int i = 0; i < 1000; ++i) ASSERT_FALSE(reliable.drop());
+}
+
+}  // namespace
+}  // namespace digruber::net

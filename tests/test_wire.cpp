@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "digruber/common/rng.hpp"
+#include "digruber/digruber/protocol.hpp"
+#include "digruber/net/wire/archive.hpp"
+#include "digruber/net/wire/frame.hpp"
+
+namespace digruber::net::wire {
+namespace {
+
+using ::digruber::digruber::ExchangeMessage;
+using ::digruber::digruber::GetSiteLoadsReply;
+using ::digruber::digruber::GetSiteLoadsRequest;
+using ::digruber::digruber::ReportSelectionRequest;
+using ::digruber::digruber::SaturationSignal;
+
+// Serializable fixtures (namespace scope: local classes cannot declare the
+// member template serialize()).
+struct Ints {
+  std::int8_t a = -5;
+  std::uint16_t b = 65535;
+  std::int32_t c = -123456;
+  std::uint64_t d = ~0ULL;
+  template <class A>
+  void serialize(A& ar) { ar & a & b & c & d; }
+};
+
+struct Floats {
+  double x = 3.14159265358979;
+  float y = -1.5f;
+  bool t = true, f = false;
+  template <class A>
+  void serialize(A& ar) { ar & x & y & t & f; }
+};
+
+struct Mixed {
+  std::string name = "hello world";
+  std::vector<std::uint32_t> nums{1, 2, 3};
+  std::map<std::string, std::int32_t> table{{"a", 1}, {"b", -2}};
+  std::optional<std::string> some = "x";
+  std::optional<std::string> none;
+  std::pair<std::uint8_t, std::string> p{7, "pair"};
+  template <class A>
+  void serialize(A& ar) { ar & name & nums & table & some & none & p; }
+};
+
+struct Empties {
+  std::vector<int> v;
+  std::string s;
+  std::map<int, int> m;
+  template <class A>
+  void serialize(A& ar) { ar & v & s & m; }
+};
+
+template <class T>
+T roundtrip(const T& value) {
+  T out{};
+  const std::vector<std::uint8_t> bytes = encode(value);
+  EXPECT_TRUE(decode(std::span<const std::uint8_t>(bytes), out));
+  return out;
+}
+
+TEST(Wire, Integers) {
+  Ints v;
+  const Ints w = roundtrip(v);
+  EXPECT_EQ(w.a, v.a);
+  EXPECT_EQ(w.b, v.b);
+  EXPECT_EQ(w.c, v.c);
+  EXPECT_EQ(w.d, v.d);
+}
+
+TEST(Wire, FloatsBools) {
+  Floats v;
+  const Floats w = roundtrip(v);
+  EXPECT_DOUBLE_EQ(w.x, v.x);
+  EXPECT_FLOAT_EQ(w.y, v.y);
+  EXPECT_TRUE(w.t);
+  EXPECT_FALSE(w.f);
+}
+
+TEST(Wire, StringsAndContainers) {
+  Mixed v;
+  const Mixed w = roundtrip(v);
+  EXPECT_EQ(w.name, v.name);
+  EXPECT_EQ(w.nums, v.nums);
+  EXPECT_EQ(w.table, v.table);
+  EXPECT_EQ(w.some, v.some);
+  EXPECT_FALSE(w.none.has_value());
+  EXPECT_EQ(w.p, v.p);
+}
+
+TEST(Wire, EmptyContainers) {
+  Empties in;
+  const Empties out = roundtrip(in);
+  EXPECT_TRUE(out.v.empty());
+  EXPECT_TRUE(out.s.empty());
+  EXPECT_TRUE(out.m.empty());
+}
+
+TEST(Wire, TruncatedBufferFailsCleanly) {
+  GetSiteLoadsRequest request;
+  request.vo = VoId(3);
+  std::vector<std::uint8_t> bytes = encode(request);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    GetSiteLoadsRequest out;
+    EXPECT_FALSE(decode(std::span<const std::uint8_t>(bytes.data(), cut), out))
+        << "cut at " << cut;
+  }
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+  GetSiteLoadsRequest request;
+  std::vector<std::uint8_t> bytes = encode(request);
+  bytes.push_back(0xAB);
+  GetSiteLoadsRequest out;
+  EXPECT_FALSE(decode(std::span<const std::uint8_t>(bytes), out));
+}
+
+TEST(Wire, HostileLengthPrefixRejected) {
+  // A vector claiming 2^31 elements in a 16-byte buffer must not allocate.
+  Writer w;
+  w & std::uint32_t{0x7fffffff};
+  std::vector<std::uint8_t> bytes = w.take();
+  bytes.resize(16, 0);
+  Reader r{std::span<const std::uint8_t>(bytes)};
+  std::vector<std::uint64_t> out;
+  r & out;
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Wire, ProtocolStructsRoundtrip) {
+  GetSiteLoadsRequest q;
+  q.job = JobId(9);
+  q.vo = VoId(2);
+  q.group = GroupId(5);
+  q.user = UserId(8);
+  q.cpus = 4;
+  const auto q2 = roundtrip(q);
+  EXPECT_EQ(q2.job, q.job);
+  EXPECT_EQ(q2.cpus, 4);
+
+  GetSiteLoadsReply reply;
+  for (int i = 0; i < 50; ++i) {
+    gruber::SiteLoad load;
+    load.site = SiteId(std::uint64_t(i));
+    load.total_cpus = 100 + i;
+    load.free_estimate = i;
+    load.raw_free = i * 2;
+    load.queued = 1;
+    reply.candidates.push_back(load);
+  }
+  reply.as_of = sim::Time::from_seconds(12.5);
+  const auto r2 = roundtrip(reply);
+  ASSERT_EQ(r2.candidates.size(), 50u);
+  EXPECT_EQ(r2.candidates[10].raw_free, 20);
+  EXPECT_EQ(r2.as_of, reply.as_of);
+
+  ExchangeMessage ex;
+  ex.from = DpId(1);
+  ex.exchange_round = 4;
+  gruber::DispatchRecord record;
+  record.origin = DpId(1);
+  record.seq = 77;
+  record.site = SiteId(3);
+  record.vo = VoId(0);
+  record.cpus = 2;
+  record.when = sim::Time::from_seconds(100);
+  record.est_runtime = sim::Duration::seconds(300);
+  ex.dispatches.push_back(record);
+  const auto ex2 = roundtrip(ex);
+  ASSERT_EQ(ex2.dispatches.size(), 1u);
+  EXPECT_EQ(ex2.dispatches[0].seq, 77u);
+  EXPECT_EQ(ex2.dispatches[0].est_runtime, record.est_runtime);
+
+  SaturationSignal sig;
+  sig.from = DpId(2);
+  sig.avg_response_s = 31.5;
+  sig.queue_depth = 17;
+  const auto sig2 = roundtrip(sig);
+  EXPECT_DOUBLE_EQ(sig2.avg_response_s, 31.5);
+  EXPECT_EQ(sig2.queue_depth, 17);
+}
+
+TEST(Frame, RoundtripAndParse) {
+  ReportSelectionRequest body;
+  body.site = SiteId(42);
+  body.cpus = 2;
+  const std::vector<std::uint8_t> frame =
+      make_frame(2, FrameKind::kRequest, 12345, body);
+
+  FrameHeader header;
+  std::span<const std::uint8_t> payload;
+  ASSERT_TRUE(parse_frame(frame, header, payload));
+  EXPECT_EQ(header.method, 2);
+  EXPECT_EQ(header.correlation, 12345u);
+  EXPECT_EQ(static_cast<FrameKind>(header.kind), FrameKind::kRequest);
+
+  ReportSelectionRequest out;
+  ASSERT_TRUE(decode(payload, out));
+  EXPECT_EQ(out.site, SiteId(42));
+}
+
+TEST(Frame, RejectsCorruptHeader) {
+  std::vector<std::uint8_t> junk(frame_header_size() - 1, 0);
+  FrameHeader header;
+  std::span<const std::uint8_t> body;
+  EXPECT_FALSE(parse_frame(junk, header, body));
+
+  const std::vector<std::uint8_t> frame =
+      make_frame(1, FrameKind::kReply, 1, std::string("x"));
+  std::vector<std::uint8_t> wrong_version = frame;
+  wrong_version[0] = 0xFF;  // clobber version
+  EXPECT_FALSE(parse_frame(wrong_version, header, body));
+
+  std::vector<std::uint8_t> short_body = frame;
+  short_body.pop_back();
+  EXPECT_FALSE(parse_frame(short_body, header, body));
+}
+
+/// Property sweep: random SiteLoad vectors of many sizes roundtrip
+/// bit-exactly.
+class WireProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireProperty, RandomLoadVectorsRoundtrip) {
+  Rng rng(std::uint64_t(GetParam()) * 7919);
+  GetSiteLoadsReply reply;
+  const int n = GetParam();
+  for (int i = 0; i < n; ++i) {
+    gruber::SiteLoad load;
+    load.site = SiteId(rng());
+    load.total_cpus = std::int32_t(rng.uniform_index(100000));
+    load.free_estimate = std::int32_t(rng.uniform_index(100000));
+    load.raw_free = std::int32_t(rng.uniform_index(100000));
+    load.queued = std::int32_t(rng.uniform_index(1000));
+    reply.candidates.push_back(load);
+  }
+  const std::vector<std::uint8_t> bytes = encode(reply);
+  GetSiteLoadsReply out;
+  ASSERT_TRUE(decode(std::span<const std::uint8_t>(bytes), out));
+  ASSERT_EQ(out.candidates.size(), reply.candidates.size());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(out.candidates[std::size_t(i)].site, reply.candidates[std::size_t(i)].site);
+    EXPECT_EQ(out.candidates[std::size_t(i)].raw_free,
+              reply.candidates[std::size_t(i)].raw_free);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WireProperty,
+                         ::testing::Values(0, 1, 2, 17, 300, 1000));
+
+}  // namespace
+}  // namespace digruber::net::wire

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "digruber/workload/generator.hpp"
+#include "digruber/workload/trace.hpp"
+
+namespace digruber::workload {
+namespace {
+
+TEST(JobFactory, IdsGloballyUnique) {
+  const grid::VoCatalog catalog = grid::VoCatalog::uniform(3, 3);
+  auto ids = std::make_shared<JobIdAllocator>();
+  WorkloadSpec spec;
+  JobFactory a(spec, catalog, ids, Rng(1));
+  JobFactory b(spec, catalog, ids, Rng(2));
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(a.next(sim::Time::zero()).id.value());
+    seen.insert(b.next(sim::Time::zero()).id.value());
+  }
+  EXPECT_EQ(seen.size(), 200u);
+  EXPECT_EQ(ids->issued(), 200u);
+}
+
+TEST(JobFactory, FieldsWithinSpec) {
+  const grid::VoCatalog catalog = grid::VoCatalog::uniform(4, 5);
+  auto ids = std::make_shared<JobIdAllocator>();
+  WorkloadSpec spec;
+  spec.cpus_min = 2;
+  spec.cpus_max = 6;
+  spec.runtime_mean_s = 100;
+  JobFactory factory(spec, catalog, ids, Rng(3));
+  for (int i = 0; i < 500; ++i) {
+    const grid::Job job = factory.next(sim::Time::from_seconds(i));
+    EXPECT_GE(job.cpus, 2);
+    EXPECT_LE(job.cpus, 6);
+    EXPECT_GE(job.runtime.to_seconds(), 1.0);
+    EXPECT_LT(job.vo.value(), 4u);
+    EXPECT_EQ(catalog.group_vo(job.group), job.vo);
+    EXPECT_EQ(catalog.user_group(job.user), job.group);
+    EXPECT_DOUBLE_EQ(job.created.to_seconds(), double(i));
+    EXPECT_EQ(job.input_bytes, 0u);
+  }
+}
+
+TEST(JobFactory, RuntimeMeanApproximatelyRespected) {
+  const grid::VoCatalog catalog = grid::VoCatalog::uniform(2, 2);
+  auto ids = std::make_shared<JobIdAllocator>();
+  WorkloadSpec spec;
+  spec.runtime_mean_s = 500;
+  spec.runtime_cv = 0.4;
+  JobFactory factory(spec, catalog, ids, Rng(4));
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += factory.next(sim::Time::zero()).runtime.to_seconds();
+  EXPECT_NEAR(sum / n, 500.0, 15.0);
+}
+
+TEST(JobFactory, VoSkewConcentratesLoad) {
+  const grid::VoCatalog catalog = grid::VoCatalog::uniform(5, 1);
+  auto ids = std::make_shared<JobIdAllocator>();
+  WorkloadSpec spec;
+  spec.vo_skew = 1.5;
+  JobFactory factory(spec, catalog, ids, Rng(5));
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[factory.next(sim::Time::zero()).vo.value()];
+  EXPECT_GT(counts[0], counts[4] * 2);
+}
+
+TEST(JobFactory, FileSizesWhenConfigured) {
+  const grid::VoCatalog catalog = grid::VoCatalog::uniform(1, 1);
+  auto ids = std::make_shared<JobIdAllocator>();
+  WorkloadSpec spec;
+  spec.input_bytes_mean = 1'000'000;
+  spec.output_bytes_mean = 500'000;
+  JobFactory factory(spec, catalog, ids, Rng(6));
+  double in_sum = 0, out_sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const grid::Job job = factory.next(sim::Time::zero());
+    in_sum += double(job.input_bytes);
+    out_sum += double(job.output_bytes);
+  }
+  EXPECT_NEAR(in_sum / n, 1e6, 5e4);
+  EXPECT_NEAR(out_sum / n, 5e5, 2.5e4);
+}
+
+TEST(JobFactory, DeterministicPerSeed) {
+  const grid::VoCatalog catalog = grid::VoCatalog::uniform(3, 3);
+  WorkloadSpec spec;
+  auto ids1 = std::make_shared<JobIdAllocator>();
+  auto ids2 = std::make_shared<JobIdAllocator>();
+  JobFactory a(spec, catalog, ids1, Rng(7));
+  JobFactory b(spec, catalog, ids2, Rng(7));
+  for (int i = 0; i < 50; ++i) {
+    const grid::Job ja = a.next(sim::Time::zero());
+    const grid::Job jb = b.next(sim::Time::zero());
+    EXPECT_EQ(ja.vo, jb.vo);
+    EXPECT_EQ(ja.group, jb.group);
+    EXPECT_EQ(ja.runtime, jb.runtime);
+  }
+}
+
+TEST(TraceLog, CsvRoundtrip) {
+  TraceLog log;
+  for (int i = 0; i < 20; ++i) {
+    QueryTrace t;
+    t.client = ClientId(std::uint64_t(i % 4));
+    t.dp_index = std::uint32_t(i % 3);
+    t.issued = sim::Time::from_seconds(i * 1.5);
+    t.response_s = 0.25 * i;
+    t.handled = i % 2 == 0;
+    log.add(t);
+  }
+  std::ostringstream os;
+  log.write_csv(os);
+  std::istringstream is(os.str());
+  const auto loaded = TraceLog::read_csv(is);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ASSERT_EQ(loaded.value().size(), 20u);
+  EXPECT_EQ(loaded.value().entries(), log.entries());
+}
+
+TEST(TraceLog, RejectsGarbage) {
+  std::istringstream empty("");
+  EXPECT_FALSE(TraceLog::read_csv(empty).ok());
+
+  std::istringstream bad_header("nope,nope\n1,2,3,4,5\n");
+  EXPECT_FALSE(TraceLog::read_csv(bad_header).ok());
+
+  std::istringstream bad_row("client,dp_index,issued_s,response_s,handled\nx,y,z,w,v\n");
+  EXPECT_FALSE(TraceLog::read_csv(bad_row).ok());
+}
+
+TEST(TraceLog, SkipsBlankLines) {
+  std::istringstream is("client,dp_index,issued_s,response_s,handled\n\n1,0,2.5,0.5,1\n\n");
+  const auto loaded = TraceLog::read_csv(is);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_TRUE(loaded.value().entries()[0].handled);
+  EXPECT_DOUBLE_EQ(loaded.value().entries()[0].issued.to_seconds(), 2.5);
+}
+
+}  // namespace
+}  // namespace digruber::workload

@@ -1,0 +1,82 @@
+// grubsim-replay: run GRUB-SIM over a saved brokering-query trace and
+// report how many decision points the load needs.
+//
+//   grubsim-replay trace.csv [--dps N] [--capacity QPS] [--threshold S]
+//                  [--open-loop] [--think S]
+//
+// Produce a trace with `digruber-run ... --trace trace.csv` or from any
+// real broker log converted to the CSV schema in workload/trace.hpp.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "digruber/common/table.hpp"
+#include "digruber/grubsim/grubsim.hpp"
+
+using namespace digruber;
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  grubsim::GrubSimConfig config;
+  config.mode = grubsim::ReplayMode::kClosedLoop;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> double {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return std::stod(argv[++i]);
+    };
+    if (arg == "--dps") config.initial_dps = int(next("--dps"));
+    else if (arg == "--capacity") config.dp_capacity_qps = next("--capacity");
+    else if (arg == "--threshold") config.response_threshold_s = next("--threshold");
+    else if (arg == "--think") config.think_s = next("--think");
+    else if (arg == "--open-loop") config.mode = grubsim::ReplayMode::kOpenTrace;
+    else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " trace.csv [--dps N] [--capacity QPS] [--threshold S]"
+                   " [--open-loop] [--think S]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    } else {
+      trace_path = arg;
+    }
+  }
+  if (trace_path.empty()) {
+    std::cerr << "usage: " << argv[0] << " trace.csv [options]\n";
+    return 2;
+  }
+
+  const auto trace = workload::TraceLog::load(trace_path);
+  if (!trace.ok()) {
+    std::cerr << "error: " << trace.error() << "\n";
+    return 1;
+  }
+  std::cerr << "replaying " << trace.value().size() << " queries ("
+            << (config.mode == grubsim::ReplayMode::kClosedLoop ? "closed-loop"
+                                                                : "open-loop")
+            << ", " << config.initial_dps << " initial decision point(s), "
+            << config.dp_capacity_qps << " q/s each)\n";
+
+  const grubsim::GrubSimResult result = grubsim::run_grubsim(trace.value(), config);
+
+  Table table({"metric", "value"});
+  table.add_row({"initial decision points", std::to_string(result.initial_dps)});
+  table.add_row({"additional provisioned", std::to_string(result.added_dps)});
+  table.add_row({"total required", std::to_string(result.total_dps())});
+  table.add_row({"overload events", std::to_string(result.overload_events)});
+  table.add_row({"avg response (s)", Table::num(result.avg_response_s, 2)});
+  table.add_row({"max response (s)", Table::num(result.max_response_s, 2)});
+  table.add_row({"queries replayed", std::to_string(result.queries_replayed)});
+  table.render(std::cout);
+  for (std::size_t i = 0; i < result.provision_times_s.size(); ++i) {
+    std::cout << "decision point " << result.initial_dps + int(i)
+              << " provisioned at t=" << Table::num(result.provision_times_s[i], 0)
+              << " s\n";
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// digruber-run: drive a full DI-GRUBER experiment from a flat config file
+// without recompiling.
+//
+//   digruber-run [scenario.conf] [key=value ...] [--trace out.csv]
+//
+// Prints the DiPerF figure (load / response / throughput vs time), the
+// Tables-1/2-style performance breakdown, and per-decision-point stats;
+// optionally saves the brokering-query trace for grubsim-replay.
+//
+// Example config (all keys optional; see experiments/config.hpp):
+//   dps = 3
+//   profile = gt3          # gt3 | gt4 | gt4-c
+//   clients = 120
+//   duration_minutes = 60
+//   exchange_minutes = 3
+#include <cstring>
+#include <iostream>
+
+#include "digruber/common/table.hpp"
+#include "digruber/diperf/report.hpp"
+#include "digruber/experiments/config.hpp"
+
+using namespace digruber;
+
+int main(int argc, char** argv) {
+  Config config;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [scenario.conf] [key=value ...] [--trace out.csv]\n";
+      return 0;
+    } else if (arg.find('=') != std::string::npos) {
+      const std::size_t eq = arg.find('=');
+      config.set(arg.substr(0, eq), arg.substr(eq + 1));
+    } else {
+      try {
+        const Config file = Config::from_file(arg);
+        for (const auto& [key, value] : file.entries()) {
+          if (!config.has(key)) config.set(key, value);
+        }
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+      }
+    }
+  }
+
+  const auto scenario = experiments::scenario_from_config(config);
+  if (!scenario.ok()) {
+    std::cerr << "config error: " << scenario.error() << "\n";
+    return 1;
+  }
+  const experiments::ScenarioConfig& cfg = scenario.value();
+
+  std::cerr << "running '" << cfg.name << "': " << cfg.n_dps << " x "
+            << cfg.profile.name << " decision point(s), " << cfg.n_clients
+            << " clients, " << cfg.duration.to_minutes() << " min...\n";
+  experiments::ScenarioResult r;
+  try {
+    r = experiments::run_scenario(cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "scenario failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  diperf::render_figure(std::cout, cfg.name, r.collector, cfg.duration.to_seconds());
+
+  Table perf({"", "% of Req", "# of Req", "Response (s)", "QTime (s)", "Util",
+              "Accuracy"});
+  auto row = [&](const char* label, const metrics::MetricValues& v, bool acc) {
+    perf.add_row({label, Table::pct(v.request_share), std::to_string(v.requests),
+                  Table::num(v.response_s, 2), Table::num(v.qtime_s, 1),
+                  Table::pct(v.utilization),
+                  acc && v.requests ? Table::pct(v.accuracy) : "-"});
+  };
+  row("Handled by GRUBER", r.handled, true);
+  row("NOT handled (fallback)", r.not_handled, false);
+  row("All requests", r.all, true);
+  perf.render(std::cout);
+
+  Table dps({"DP", "Queries", "Selections", "Exchanges out/in", "Records",
+             "Sojourn (s)", "Container util"});
+  for (std::size_t i = 0; i < r.dps.size(); ++i) {
+    const experiments::DpStats& d = r.dps[i];
+    dps.add_row({std::to_string(i), std::to_string(d.queries),
+                 std::to_string(d.selections),
+                 std::to_string(d.exchanges_sent) + "/" +
+                     std::to_string(d.exchanges_received),
+                 std::to_string(d.records_applied),
+                 Table::num(d.mean_sojourn_s, 2),
+                 Table::pct(d.container_utilization)});
+  }
+  dps.render(std::cout);
+
+  std::cout << "grid: " << r.sites << " sites, " << r.total_cpus << " CPUs; "
+            << r.jobs_completed << " jobs completed, "
+            << Table::num(r.grid_cpu_seconds / 3600.0, 1) << " cpu-hours\n";
+  if (r.final_dps != cfg.n_dps) {
+    std::cout << "dynamic provisioning grew the deployment to " << r.final_dps
+              << " decision points\n";
+  }
+
+  if (!trace_path.empty()) {
+    r.trace.save(trace_path);
+    std::cout << "trace (" << r.trace.size() << " queries) -> " << trace_path << "\n";
+  }
+  return 0;
+}
