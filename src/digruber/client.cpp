@@ -10,15 +10,30 @@ DiGruberClient::DiGruberClient(sim::Simulation& sim, net::Transport& transport,
                                std::vector<SiteId> all_sites,
                                std::unique_ptr<gruber::SiteSelector> selector,
                                Rng rng, ClientOptions options)
+    : DiGruberClient(sim, transport, id, std::vector<NodeId>{decision_point},
+                     std::move(all_sites), std::move(selector), rng, options) {}
+
+DiGruberClient::DiGruberClient(sim::Simulation& sim, net::Transport& transport,
+                               ClientId id, std::vector<NodeId> decision_points,
+                               std::vector<SiteId> all_sites,
+                               std::unique_ptr<gruber::SiteSelector> selector,
+                               Rng rng, ClientOptions options)
     : sim_(sim),
       rpc_(sim, transport),
       id_(id),
-      decision_point_(decision_point),
+      dps_(std::move(decision_points)),
+      health_(dps_.size()),
       all_sites_(std::move(all_sites)),
       selector_(std::move(selector)),
       rng_(rng),
       options_(options) {
+  assert(!dps_.empty());
   assert(!all_sites_.empty());
+}
+
+void DiGruberClient::rebind(NodeId decision_point) {
+  dps_.front() = decision_point;
+  health_.front() = DpHealth{};
 }
 
 void DiGruberClient::finish_with_fallback(grid::Job job, Done done, sim::Time t0,
@@ -33,10 +48,99 @@ void DiGruberClient::finish_with_fallback(grid::Job job, Done done, sim::Time t0
   done(std::move(job), outcome);
 }
 
+int DiGruberClient::pick_dp() {
+  for (std::size_t i = 0; i < dps_.size(); ++i) {
+    if (!health_[i].open) return int(i);
+  }
+  for (std::size_t i = 0; i < dps_.size(); ++i) {
+    DpHealth& h = health_[i];
+    if (!h.half_open && sim_.now() >= h.open_until) {
+      h.half_open = true;  // one probe at a time per decision point
+      return int(i);
+    }
+  }
+  return -1;
+}
+
+void DiGruberClient::on_dp_failure(std::size_t idx) {
+  DpHealth& h = health_[idx];
+  ++h.consecutive_failures;
+  if (h.half_open) {
+    // Failed probe: back to open for another cooldown.
+    h.half_open = false;
+    h.open_until = sim_.now() + options_.breaker_cooldown;
+    ++breaker_trips_;
+    return;
+  }
+  if (!h.open && h.consecutive_failures >= options_.breaker_threshold) {
+    h.open = true;
+    h.open_until = sim_.now() + options_.breaker_cooldown;
+    ++breaker_trips_;
+  }
+}
+
+void DiGruberClient::on_dp_success(std::size_t idx) { health_[idx] = DpHealth{}; }
+
+void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
+                                         NodeId dp,
+                                         const GetSiteLoadsReply& reply) {
+  const std::optional<SiteId> site = selector_->select(reply.candidates, job);
+  if (!site) {
+    finish_with_fallback(std::move(job), std::move(done), t0, true);
+    return;
+  }
+  std::int32_t believed_free = -1;
+  for (const gruber::SiteLoad& load : reply.candidates) {
+    if (load.site == *site) {
+      believed_free = load.raw_free;
+      break;
+    }
+  }
+
+  // Second round trip: inform the decision point of the selection so
+  // it can steer subsequent queries. The query is complete when the
+  // acknowledgement arrives (or its share of the deadline expires).
+  ReportSelectionRequest report;
+  report.job = job.id;
+  report.site = *site;
+  report.vo = job.vo;
+  report.group = job.group;
+  report.user = job.user;
+  report.cpus = job.cpus;
+  report.est_runtime = job.runtime;
+
+  const sim::Duration elapsed = sim_.now() - t0;
+  sim::Duration remaining = options_.timeout - elapsed;
+  if (remaining < sim::Duration::seconds(1)) remaining = sim::Duration::seconds(1);
+
+  rpc_.call<ReportSelectionRequest, Ack>(
+      dp, kReportSelection, report, remaining,
+      [this, job = std::move(job), done = std::move(done), t0, site = *site,
+       believed_free, dp](Result<Ack> /*ack*/) mutable {
+        // Whether or not the ack made it back, the selection stands:
+        // it was computed from decision-point state.
+        ++handled_;
+        QueryOutcome outcome;
+        outcome.site = site;
+        outcome.handled_by_gruber = true;
+        outcome.response = sim_.now() - t0;
+        outcome.believed_free = believed_free;
+        outcome.served_by = dp;
+        done(std::move(job), outcome);
+      });
+}
+
 void DiGruberClient::schedule(grid::Job job, Done done) {
   ++queries_;
   const sim::Time t0 = sim_.now();
 
+  if (failover_active()) {
+    attempt(std::move(job), std::move(done), t0, 0);
+    return;
+  }
+
+  // Legacy single-shot path: one attempt against the primary with the
+  // full deadline, random fallback on any failure.
   GetSiteLoadsRequest request;
   request.job = job.id;
   request.vo = job.vo;
@@ -45,57 +149,82 @@ void DiGruberClient::schedule(grid::Job job, Done done) {
   request.cpus = job.cpus;
 
   rpc_.call<GetSiteLoadsRequest, GetSiteLoadsReply>(
-      decision_point_, kGetSiteLoads, request, options_.timeout,
+      dps_.front(), kGetSiteLoads, request, options_.timeout,
       [this, job = std::move(job), done = std::move(done), t0](
           Result<GetSiteLoadsReply> result) mutable {
         if (!result.ok()) {
           finish_with_fallback(std::move(job), std::move(done), t0, false);
           return;
         }
-        const GetSiteLoadsReply& reply = result.value();
-        const std::optional<SiteId> site = selector_->select(reply.candidates, job);
-        if (!site) {
-          finish_with_fallback(std::move(job), std::move(done), t0, true);
+        // dps_.front() re-read here: a mid-query rebind directs the
+        // report to the new primary, as the pre-failover client did.
+        complete_with_reply(std::move(job), std::move(done), t0, dps_.front(),
+                            result.value());
+      });
+}
+
+void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
+                             std::uint32_t attempt_n) {
+  const sim::Time deadline = t0 + options_.timeout;
+  const int idx = pick_dp();
+  if (idx < 0) {
+    // Every decision point's breaker is open and cooling down (or probing).
+    ++all_down_fallbacks_;
+    finish_with_fallback(std::move(job), std::move(done), t0, false);
+    return;
+  }
+  const sim::Duration remaining = deadline - sim_.now();
+  if (remaining < sim::Duration::seconds(1)) {
+    finish_with_fallback(std::move(job), std::move(done), t0, false);
+    return;
+  }
+  sim::Duration per_attempt = remaining;
+  if (options_.attempt_timeout > sim::Duration::zero() &&
+      options_.attempt_timeout < per_attempt) {
+    per_attempt = options_.attempt_timeout;
+  }
+
+  GetSiteLoadsRequest request;
+  request.job = job.id;
+  request.vo = job.vo;
+  request.group = job.group;
+  request.user = job.user;
+  request.cpus = job.cpus;
+
+  const NodeId dp = dps_[std::size_t(idx)];
+  rpc_.call<GetSiteLoadsRequest, GetSiteLoadsReply>(
+      dp, kGetSiteLoads, request, per_attempt,
+      [this, job = std::move(job), done = std::move(done), t0, attempt_n, idx,
+       dp](Result<GetSiteLoadsReply> result) mutable {
+        if (result.ok()) {
+          on_dp_success(std::size_t(idx));
+          complete_with_reply(std::move(job), std::move(done), t0, dp,
+                              result.value());
           return;
         }
-        std::int32_t believed_free = -1;
-        for (const gruber::SiteLoad& load : reply.candidates) {
-          if (load.site == *site) {
-            believed_free = load.raw_free;
-            break;
-          }
+        on_dp_failure(std::size_t(idx));
+
+        // Exponential backoff with jitter before the next attempt. The
+        // jitter draw happens only on this (faulted) path.
+        double delay_s = options_.backoff_base_s;
+        for (std::uint32_t i = 0; i < attempt_n && delay_s < options_.backoff_max_s;
+             ++i) {
+          delay_s *= 2.0;
         }
+        if (delay_s > options_.backoff_max_s) delay_s = options_.backoff_max_s;
+        delay_s *= 1.0 + options_.backoff_jitter * rng_.uniform();
 
-        // Second round trip: inform the decision point of the selection so
-        // it can steer subsequent queries. The query is complete when the
-        // acknowledgement arrives (or its share of the deadline expires).
-        ReportSelectionRequest report;
-        report.job = job.id;
-        report.site = *site;
-        report.vo = job.vo;
-        report.group = job.group;
-        report.user = job.user;
-        report.cpus = job.cpus;
-        report.est_runtime = job.runtime;
-
-        const sim::Duration elapsed = sim_.now() - t0;
-        sim::Duration remaining = options_.timeout - elapsed;
-        if (remaining < sim::Duration::seconds(1)) remaining = sim::Duration::seconds(1);
-
-        rpc_.call<ReportSelectionRequest, Ack>(
-            decision_point_, kReportSelection, report, remaining,
-            [this, job = std::move(job), done = std::move(done), t0, site = *site,
-             believed_free](Result<Ack> /*ack*/) mutable {
-              // Whether or not the ack made it back, the selection stands:
-              // it was computed from decision-point state.
-              ++handled_;
-              QueryOutcome outcome;
-              outcome.site = site;
-              outcome.handled_by_gruber = true;
-              outcome.response = sim_.now() - t0;
-              outcome.believed_free = believed_free;
-              done(std::move(job), outcome);
-            });
+        const sim::Time deadline = t0 + options_.timeout;
+        const sim::Time next = sim_.now() + sim::Duration::seconds(delay_s);
+        if (next + sim::Duration::seconds(1) > deadline) {
+          finish_with_fallback(std::move(job), std::move(done), t0, false);
+          return;
+        }
+        ++failovers_;
+        sim_.schedule_at(next, [this, job = std::move(job),
+                                done = std::move(done), t0, attempt_n]() mutable {
+          attempt(std::move(job), std::move(done), t0, attempt_n + 1);
+        });
       });
 }
 

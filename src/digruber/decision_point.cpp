@@ -29,7 +29,15 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
                           [this](std::span<const std::uint8_t> body, NodeId from) {
                             return handle_exchange(body, from);
                           });
+  server_.register_method(kCatchUp,
+                          [this](std::span<const std::uint8_t> body, NodeId from) {
+                            return handle_catch_up(body, from);
+                          });
 
+  start_timers();
+}
+
+void DecisionPoint::start_timers() {
   if (options_.dissemination != Dissemination::kNone) {
     exchange_timer_ = std::make_unique<sim::PeriodicTimer>(
         sim_, options_.exchange_interval, [this] { run_exchange(); },
@@ -45,6 +53,93 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
 void DecisionPoint::stop() {
   if (exchange_timer_) exchange_timer_->stop();
   if (saturation_timer_) saturation_timer_->stop();
+}
+
+void DecisionPoint::crash() {
+  if (!running_) return;
+  running_ = false;
+  exchange_timer_.reset();
+  saturation_timer_.reset();
+  server_.shutdown();
+  peer_client_.shutdown();
+  // Everything below is volatile process state: gone with the crash.
+  fresh_.clear();
+  applied_.clear();
+  last_peer_round_.clear();
+  engine_.view().clear();
+  log::info("digruber", "dp ", id_.value(), " crashed");
+}
+
+void DecisionPoint::restart(const std::vector<grid::SiteSnapshot>& snapshots) {
+  if (running_) return;
+  ++incarnation_;
+  ++restarts_;
+  const bool server_up = server_.restart();
+  const bool client_up = peer_client_.restart();
+  if (!server_up || !client_up) {
+    log::info("digruber", "dp ", id_.value(), " restart failed: address in use");
+    return;
+  }
+  running_ = true;
+  // Fresh sequence epoch: next_seq_ died with the crash, and peers hold
+  // dedup entries for every pre-crash (origin, seq). A disjoint epoch keeps
+  // post-restart records flooding correctly without waiting for catch-up.
+  next_seq_ = (std::uint64_t(incarnation_) << 32) + 1;
+  engine_.view().clear();
+  bootstrap(snapshots);
+  // Re-base the saturation window on the container's surviving statistics
+  // so the first post-restart check does not average over the outage.
+  const StreamingStats& stats = server_.container().sojourn_stats();
+  window_base_count_ = stats.count();
+  window_base_sum_s_ = stats.mean() * double(stats.count());
+  last_signal_ = sim::Time::zero();
+  start_timers();
+  run_catch_up();
+  log::info("digruber", "dp ", id_.value(), " restarted (incarnation ",
+            incarnation_, ")");
+}
+
+void DecisionPoint::run_catch_up() {
+  last_catch_up_ = sim_.now();
+  CatchUpRequest request;
+  request.from = id_;
+  request.incarnation = incarnation_;
+  for (const NodeId neighbor : neighbors_) {
+    peer_client_.call<CatchUpRequest, CatchUpReply>(
+        neighbor, kCatchUp, request, options_.catchup_timeout,
+        [this, incarnation = incarnation_](Result<CatchUpReply> result) {
+          // A second crash while this call was in flight invalidates it.
+          if (!running_ || incarnation_ != incarnation) return;
+          if (!result.ok()) return;
+          for (const gruber::DispatchRecord& record : result.value().records) {
+            auto& seen = applied_[record.origin];
+            if (!seen.insert(record.seq).second) {
+              ++records_duplicate_;
+              continue;
+            }
+            engine_.record(record);
+            ++resync_applied_;
+            // Not re-buffered into fresh_: neighbors already hold these.
+          }
+        });
+  }
+}
+
+net::Served DecisionPoint::handle_catch_up(std::span<const std::uint8_t> body,
+                                           NodeId /*from*/) {
+  CatchUpRequest request;
+  if (!net::wire::decode(body, request)) return {};
+  ++catchups_served_;
+
+  CatchUpReply reply;
+  reply.from = id_;
+  reply.records = engine_.view().active_records(sim_.now());
+
+  net::Served served;
+  served.handler_cost =
+      sim::Duration::millis(0.2) * double(reply.records.size() + 1);
+  served.reply = net::wire::encode(reply);
+  return served;
 }
 
 void DecisionPoint::bootstrap(const std::vector<grid::SiteSnapshot>& snapshots) {
@@ -111,6 +206,24 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
   ExchangeMessage message;
   if (!net::wire::decode(body, message)) return {};
   ++exchanges_received_;
+
+  // Flooding never retransmits: a jump in the peer's round counter means
+  // dropped rounds (partition, loss) whose records would otherwise stay
+  // unknown here until they age out. Re-sync via the catch-up exchange,
+  // at most once per exchange interval (a heal makes every peer's gap
+  // visible at the same tick). A round at or below the last one seen is a
+  // peer restart — its counter reset — not a gap.
+  const auto [it, first_contact] =
+      last_peer_round_.try_emplace(message.from, message.exchange_round);
+  if (!first_contact) {
+    const bool gap = message.exchange_round > it->second + 1;
+    it->second = message.exchange_round;
+    if (gap && (last_catch_up_ == sim::Time::zero() ||
+                sim_.now() - last_catch_up_ >= options_.exchange_interval)) {
+      ++gap_resyncs_;
+      run_catch_up();
+    }
+  }
 
   for (const gruber::DispatchRecord& record : message.dispatches) {
     auto& seen = applied_[record.origin];

@@ -14,6 +14,23 @@ struct ClientOptions {
   /// Per-query deadline; on expiry the client's site selector picks a
   /// random site without considering USLAs (paper Section 4.3).
   sim::Duration timeout = sim::Duration::seconds(60);
+
+  /// Failover (all within the `timeout` budget above; the paper's 60 s
+  /// total-deadline semantics are unchanged). Zero disables per-attempt
+  /// deadlines: with a single decision point that reproduces the original
+  /// one-shot client byte for byte.
+  sim::Duration attempt_timeout = sim::Duration::zero();
+  /// Exponential backoff between attempts: base * 2^(n-1), capped.
+  double backoff_base_s = 0.5;
+  double backoff_max_s = 8.0;
+  /// Multiplicative jitter: delay *= 1 + jitter * U[0,1). Drawn only when
+  /// a retry actually happens, so fault-free runs consume no extra
+  /// randomness.
+  double backoff_jitter = 0.2;
+  /// Circuit breaker: consecutive failures that open a decision point's
+  /// breaker, and how long it stays open before a half-open probe.
+  std::uint32_t breaker_threshold = 3;
+  sim::Duration breaker_cooldown = sim::Duration::seconds(30);
 };
 
 struct QueryOutcome {
@@ -25,12 +42,17 @@ struct QueryOutcome {
   /// the random fallback, which picks blind). Scheduling accuracy compares
   /// this belief against ground truth.
   std::int32_t believed_free = -1;
+  /// Which decision point answered (invalid for the random fallback).
+  NodeId served_by;
 };
 
-/// A DI-GRUBER client: a submission host statically bound to one decision
-/// point. Runs the two-round-trip brokering query (fetch loads, report
-/// selection) with client-side site-selector logic, degrading gracefully
-/// to random site selection when the decision point saturates.
+/// A DI-GRUBER client: a submission host bound to a decision point — or,
+/// with failover enabled, to an ordered list of them. Runs the
+/// two-round-trip brokering query (fetch loads, report selection) with
+/// client-side site-selector logic. On decision-point failure it retries
+/// across the list with exponential backoff and a per-point circuit
+/// breaker, degrading to random site selection only when the deadline
+/// expires or every decision point is down.
 class DiGruberClient {
  public:
   using Done = std::function<void(grid::Job job, QueryOutcome outcome)>;
@@ -40,26 +62,68 @@ class DiGruberClient {
                  std::unique_ptr<gruber::SiteSelector> selector, Rng rng,
                  ClientOptions options = {});
 
+  /// Failover form: `decision_points[0]` is the primary, the rest are
+  /// backups tried in order when earlier entries fail or trip the breaker.
+  DiGruberClient(sim::Simulation& sim, net::Transport& transport, ClientId id,
+                 std::vector<NodeId> decision_points, std::vector<SiteId> all_sites,
+                 std::unique_ptr<gruber::SiteSelector> selector, Rng rng,
+                 ClientOptions options = {});
+
   /// Schedule one job; `done` fires exactly once with the chosen site.
   void schedule(grid::Job job, Done done);
 
   [[nodiscard]] ClientId id() const { return id_; }
-  [[nodiscard]] NodeId decision_point() const { return decision_point_; }
+  [[nodiscard]] NodeId decision_point() const { return dps_.front(); }
+  [[nodiscard]] const std::vector<NodeId>& decision_points() const { return dps_; }
   [[nodiscard]] std::uint64_t queries() const { return queries_; }
   [[nodiscard]] std::uint64_t handled() const { return handled_; }
   [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
   [[nodiscard]] std::uint64_t starvations() const { return starvations_; }
+  /// Attempts retried on another (or the same, after backoff) decision
+  /// point because an earlier attempt failed.
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  /// Circuit-breaker transitions to open (including failed half-open probes).
+  [[nodiscard]] std::uint64_t breaker_trips() const { return breaker_trips_; }
+  /// Random-site fallbacks taken because no decision point was eligible.
+  [[nodiscard]] std::uint64_t all_dps_down_fallbacks() const {
+    return all_down_fallbacks_;
+  }
 
-  /// Rebind to a different decision point (dynamic rebalancing, Section 5).
-  void rebind(NodeId decision_point) { decision_point_ = decision_point; }
+  /// Rebind the primary to a different decision point (dynamic
+  /// rebalancing, Section 5). Backups are kept; the new primary starts
+  /// with a closed breaker.
+  void rebind(NodeId decision_point);
 
  private:
+  /// Per-decision-point circuit-breaker state.
+  struct DpHealth {
+    std::uint32_t consecutive_failures = 0;
+    bool open = false;
+    bool half_open = false;  // probe in flight
+    sim::Time open_until;
+  };
+
+  [[nodiscard]] bool failover_active() const {
+    return dps_.size() > 1 || options_.attempt_timeout > sim::Duration::zero();
+  }
+  /// First decision point with a closed breaker; failing that, the first
+  /// open one whose cooldown expired (marked half-open). -1 if all down.
+  [[nodiscard]] int pick_dp();
+  void on_dp_failure(std::size_t idx);
+  void on_dp_success(std::size_t idx);
+
+  void attempt(grid::Job job, Done done, sim::Time t0, std::uint32_t attempt_n);
+  /// Shared second round trip: run the selector over `reply` and report
+  /// the selection to `dp` (the decision point that answered).
+  void complete_with_reply(grid::Job job, Done done, sim::Time t0, NodeId dp,
+                           const GetSiteLoadsReply& reply);
   void finish_with_fallback(grid::Job job, Done done, sim::Time t0, bool starved);
 
   sim::Simulation& sim_;
   net::RpcClient rpc_;
   ClientId id_;
-  NodeId decision_point_;
+  std::vector<NodeId> dps_;
+  std::vector<DpHealth> health_;
   std::vector<SiteId> all_sites_;
   std::unique_ptr<gruber::SiteSelector> selector_;
   Rng rng_;
@@ -69,6 +133,9 @@ class DiGruberClient {
   std::uint64_t handled_ = 0;
   std::uint64_t fallbacks_ = 0;
   std::uint64_t starvations_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t breaker_trips_ = 0;
+  std::uint64_t all_down_fallbacks_ = 0;
 };
 
 }  // namespace digruber::digruber

@@ -40,6 +40,9 @@ struct DecisionPointOptions {
   double saturation_response_s = 30.0;
   sim::Duration saturation_cooldown = sim::Duration::minutes(2);
   std::optional<NodeId> infrastructure_monitor;
+  /// Deadline for each per-neighbor anti-entropy catch-up call after a
+  /// restart.
+  sim::Duration catchup_timeout = sim::Duration::seconds(30);
 };
 
 /// A DI-GRUBER decision point: a GRUBER engine exposed as a Web service
@@ -53,6 +56,9 @@ class DecisionPoint {
 
   [[nodiscard]] DpId id() const { return id_; }
   [[nodiscard]] NodeId node() const { return server_.node(); }
+  /// Address of the outbound peer-RPC endpoint (needed when partitioning:
+  /// both of the host's endpoints live on the same island).
+  [[nodiscard]] NodeId peer_node() const { return peer_client_.node(); }
   [[nodiscard]] gruber::GruberEngine& engine() { return engine_; }
   [[nodiscard]] const net::RpcServer& server() const { return server_; }
   [[nodiscard]] const DecisionPointOptions& options() const { return options_; }
@@ -63,6 +69,23 @@ class DecisionPoint {
   /// Peers this decision point pushes exchange messages to.
   void set_neighbors(std::vector<NodeId> neighbors);
 
+  /// Fault injection: kill this decision point. It detaches from the
+  /// network (in-flight requests are lost, packets to it drop), its timers
+  /// stop, and all volatile brokering state — grid view, dedup sets, the
+  /// un-flooded record buffer — is discarded. Idempotent.
+  void crash();
+
+  /// Bring a crashed decision point back at the same address: re-bootstrap
+  /// static grid knowledge, restart timers, and run an anti-entropy
+  /// catch-up exchange with every neighbor so dedup state and dispatch
+  /// records re-converge. New own records use a fresh sequence epoch so
+  /// peers never mistake them for pre-crash duplicates.
+  void restart(const std::vector<grid::SiteSnapshot>& snapshots);
+
+  [[nodiscard]] bool running() const { return running_; }
+  /// Restart generation (0 until the first restart).
+  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+
   /// Counters for the experiment harness.
   [[nodiscard]] std::uint64_t queries_served() const { return queries_; }
   [[nodiscard]] std::uint64_t selections_recorded() const { return selections_; }
@@ -71,6 +94,13 @@ class DecisionPoint {
   [[nodiscard]] std::uint64_t records_applied() const { return records_applied_; }
   [[nodiscard]] std::uint64_t records_duplicate() const { return records_duplicate_; }
   [[nodiscard]] std::uint64_t saturation_signals() const { return saturation_signals_; }
+  [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+  /// Records re-learned from neighbors during post-restart catch-up.
+  [[nodiscard]] std::uint64_t resync_records_applied() const { return resync_applied_; }
+  /// Catch-ups triggered by a flooding-round gap (partition/loss rejoin).
+  [[nodiscard]] std::uint64_t gap_resyncs() const { return gap_resyncs_; }
+  /// Catch-up requests this point answered for restarted neighbors.
+  [[nodiscard]] std::uint64_t catchups_served() const { return catchups_served_; }
 
   /// Response-time samples the detector monitors (exposed for GRUB-SIM).
   [[nodiscard]] const StreamingStats& response_stats() const {
@@ -83,8 +113,11 @@ class DecisionPoint {
   net::Served handle_get_site_loads(std::span<const std::uint8_t> body, NodeId from);
   net::Served handle_report_selection(std::span<const std::uint8_t> body, NodeId from);
   net::Served handle_exchange(std::span<const std::uint8_t> body, NodeId from);
+  net::Served handle_catch_up(std::span<const std::uint8_t> body, NodeId from);
   void run_exchange();
+  void run_catch_up();
   void check_saturation();
+  void start_timers();
 
   sim::Simulation& sim_;
   DpId id_;
@@ -100,6 +133,14 @@ class DecisionPoint {
   std::vector<gruber::DispatchRecord> fresh_;
   /// Dedup for flooding: per-origin applied sequence numbers.
   std::unordered_map<DpId, std::unordered_set<std::uint64_t>> applied_;
+  /// Last exchange round seen per peer. A jump of more than one means
+  /// flooding rounds were lost (partition, loss) — since flooding never
+  /// retransmits, the gap triggers an anti-entropy catch-up.
+  std::unordered_map<DpId, std::uint64_t> last_peer_round_;
+  sim::Time last_catch_up_;
+
+  bool running_ = true;
+  std::uint32_t incarnation_ = 0;
 
   std::uint64_t queries_ = 0;
   std::uint64_t selections_ = 0;
@@ -108,6 +149,10 @@ class DecisionPoint {
   std::uint64_t records_applied_ = 0;
   std::uint64_t records_duplicate_ = 0;
   std::uint64_t saturation_signals_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t resync_applied_ = 0;
+  std::uint64_t catchups_served_ = 0;
+  std::uint64_t gap_resyncs_ = 0;
 
   /// Saturation detector state: last emitted signal and the completed
   /// count / sojourn sum at the previous check (for windowed averages).

@@ -21,6 +21,10 @@ enum Method : std::uint16_t {
   kCreateInstance = 4,
   /// Decision point -> infrastructure monitor: saturation signal (one-way).
   kSaturation = 5,
+  /// Restarted decision point -> neighbor: anti-entropy catch-up. The
+  /// neighbor replies with every dispatch record still active in its view
+  /// so the restarted point's dedup state and utilization re-converge.
+  kCatchUp = 6,
 };
 
 struct GetSiteLoadsRequest {
@@ -100,6 +104,28 @@ struct CreateInstanceReply {
   template <class Archive>
   void serialize(Archive& ar) {
     ar & nonce & instance;
+  }
+};
+
+struct CatchUpRequest {
+  DpId from;
+  /// Restart generation of the requester (diagnostic; lets a neighbor log
+  /// repeated crash loops).
+  std::uint32_t incarnation = 0;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & from & incarnation;
+  }
+};
+
+struct CatchUpReply {
+  DpId from;
+  std::vector<gruber::DispatchRecord> records;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & from & records;
   }
 };
 

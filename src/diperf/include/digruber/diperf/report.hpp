@@ -4,6 +4,7 @@
 #include <string>
 
 #include "digruber/diperf/diperf.hpp"
+#include "digruber/metrics/metrics.hpp"
 
 namespace digruber::diperf {
 
@@ -13,5 +14,9 @@ namespace digruber::diperf {
 void render_figure(std::ostream& os, const std::string& title,
                    const Collector& collector, double end_s,
                    double bucket_s = 60.0, std::size_t max_rows = 20);
+
+/// Render the fault-tolerance counter block the resilience bench appends
+/// below its figure.
+void render_resilience(std::ostream& os, const metrics::ResilienceCounters& counters);
 
 }  // namespace digruber::diperf

@@ -43,4 +43,29 @@ void render_figure(std::ostream& os, const std::string& title,
      << ", failures: " << collector.failures() << "\n\n";
 }
 
+void render_resilience(std::ostream& os,
+                       const metrics::ResilienceCounters& counters) {
+  os << "== resilience counters ==\n";
+  Table table({"counter", "value"});
+  table.add_row({"client failovers", Table::num(double(counters.failovers), 0)});
+  table.add_row({"breaker trips", Table::num(double(counters.breaker_trips), 0)});
+  table.add_row(
+      {"all-DPs-down fallbacks", Table::num(double(counters.all_dps_down_fallbacks), 0)});
+  table.add_row({"DP restarts", Table::num(double(counters.dp_restarts), 0)});
+  table.add_row(
+      {"re-sync records applied", Table::num(double(counters.resync_records), 0)});
+  table.add_row(
+      {"catch-ups served", Table::num(double(counters.catchups_served), 0)});
+  table.add_row(
+      {"round-gap re-syncs", Table::num(double(counters.gap_resyncs), 0)});
+  table.add_row({"drops: loss", Table::num(double(counters.drops_loss), 0)});
+  table.add_row(
+      {"drops: partition", Table::num(double(counters.drops_partition), 0)});
+  table.add_row({"drops: unknown destination",
+                 Table::num(double(counters.drops_unknown_destination), 0)});
+  table.add_row({"drops: total", Table::num(double(counters.drops_total()), 0)});
+  table.render(os);
+  os << "\n";
+}
+
 }  // namespace digruber::diperf

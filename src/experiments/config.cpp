@@ -45,7 +45,9 @@ const std::set<std::string>& known_keys() {
       "wan_bandwidth_mbps", "wan_loss",
       "envelope_factor", "uslas",
       "dynamic_provisioning", "max_dynamic_dps",
-      "saturation_response_s"};
+      "saturation_response_s", "fault_plan",
+      "failover",      "failover_backups",
+      "attempt_timeout_s"};
   return keys;
 }
 
@@ -116,6 +118,20 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
     out.max_dynamic_dps = int(config.get_int("max_dynamic_dps", out.max_dynamic_dps));
     out.saturation_response_s =
         config.get_double("saturation_response_s", out.saturation_response_s);
+
+    // Fault injection / failover: events ';'-separated on one line, e.g.
+    //   fault_plan = at=120 crash dp=0; at=300 restart dp=0
+    const std::string plan_text = config.get_string("fault_plan", "");
+    if (!plan_text.empty()) {
+      auto plan = sim::FaultPlan::parse(plan_text);
+      if (!plan.ok()) return Fail::failure(plan.error());
+      out.fault_plan = plan.value();
+    }
+    out.enable_failover = config.get_bool("failover", out.enable_failover);
+    out.failover_backups =
+        int(config.get_int("failover_backups", out.failover_backups));
+    out.attempt_timeout = sim::Duration::seconds(
+        config.get_double("attempt_timeout_s", out.attempt_timeout.to_seconds()));
   } catch (const std::exception& e) {
     return Fail::failure(e.what());
   }
@@ -128,6 +144,11 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
   }
   if (out.wan.loss_rate < 0 || out.wan.loss_rate >= 1) {
     return Fail::failure("wan_loss must be in [0, 1)");
+  }
+  if (out.failover_backups < 0) return Fail::failure("failover_backups must be >= 0");
+  if (!out.fault_plan.empty() &&
+      out.fault_plan.max_dp_index() >= std::size_t(out.n_dps)) {
+    return Fail::failure("fault_plan names a dp index >= dps");
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include "digruber/diperf/diperf.hpp"
 #include "digruber/metrics/metrics.hpp"
 #include "digruber/net/wan.hpp"
+#include "digruber/sim/fault_plan.hpp"
 #include "digruber/workload/generator.hpp"
 #include "digruber/workload/trace.hpp"
 
@@ -63,6 +64,17 @@ struct ScenarioConfig {
   /// Windowed mean response above which a decision point signals
   /// saturation to the infrastructure monitor.
   double saturation_response_s = 30.0;
+
+  // Fault injection (resilience bench). Indices in the plan name decision
+  // points by deployment order; an empty plan changes nothing — the run is
+  // byte-identical to a build without the fault subsystem.
+  sim::FaultPlan fault_plan;
+  /// Give each client a failover list (its primary plus `failover_backups`
+  /// subsequent decision points) with per-attempt deadlines inside the
+  /// 60 s budget. Implied by a non-empty fault plan.
+  bool enable_failover = false;
+  int failover_backups = 2;
+  sim::Duration attempt_timeout = sim::Duration::seconds(10);
 };
 
 struct DpStats {
@@ -74,6 +86,9 @@ struct DpStats {
   std::uint64_t records_duplicate = 0;
   std::uint64_t saturation_signals = 0;
   std::uint64_t refused = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t resync_records = 0;
+  std::uint64_t catchups_served = 0;
   double container_utilization = 0.0;
   double mean_sojourn_s = 0.0;
 };
@@ -92,6 +107,13 @@ struct ScenarioResult {
 
   std::vector<DpStats> dps;
   workload::TraceLog trace;
+
+  /// Per-request samples with issue timestamps (the resilience bench
+  /// buckets these into an availability/accuracy timeline).
+  std::vector<metrics::RequestSample> samples;
+
+  /// Fault-tolerance counters (all zero for fault-free configurations).
+  metrics::ResilienceCounters resilience;
 
   // Grid-level facts.
   std::size_t sites = 0;

@@ -1,6 +1,7 @@
 #include "digruber/experiments/scenario.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <memory>
 #include <stdexcept>
@@ -141,6 +142,14 @@ OracleAccuracy oracle_accuracy(const grid::Grid& grid,
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (config.n_dps < 1) throw std::invalid_argument("scenario needs >= 1 decision point");
   if (config.n_clients < 1) throw std::invalid_argument("scenario needs >= 1 client");
+  if (!config.fault_plan.empty() &&
+      config.fault_plan.max_dp_index() >= std::size_t(config.n_dps)) {
+    throw std::invalid_argument("fault plan names dp " +
+                                std::to_string(config.fault_plan.max_dp_index()) +
+                                " but the deployment has only " +
+                                std::to_string(config.n_dps));
+  }
+  const bool failover = config.enable_failover || !config.fault_plan.empty();
 
   sim::Simulation sim(config.seed);
   net::SimTransport transport(sim, net::WanModel(config.wan, config.seed ^ 0xA11CEULL));
@@ -231,13 +240,25 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
   digruber::ClientOptions client_options;
   client_options.timeout = config.client_timeout;
+  if (failover) client_options.attempt_timeout = config.attempt_timeout;
 
   for (int c = 0; c < config.n_clients; ++c) {
     Rng client_rng = sim.rng().fork();
     // Static random binding of each submission host to one decision point.
     const std::size_t dp = client_rng.uniform_index(dps.size());
+    // With failover, the next `failover_backups` points (deployment order,
+    // wrapping) back the primary. Fault-free configs keep the one-DP
+    // binding and the legacy single-shot client path.
+    std::vector<NodeId> targets{dps[dp]->node()};
+    if (failover) {
+      const std::size_t backups =
+          std::min(std::size_t(std::max(0, config.failover_backups)), dps.size() - 1);
+      for (std::size_t b = 1; b <= backups; ++b) {
+        targets.push_back(dps[(dp + b) % dps.size()]->node());
+      }
+    }
     clients.push_back(std::make_unique<digruber::DiGruberClient>(
-        sim, transport, ClientId(std::uint64_t(c)), dps[dp]->node(), all_sites,
+        sim, transport, ClientId(std::uint64_t(c)), std::move(targets), all_sites,
         gruber::make_selector(config.selector, client_rng.fork()),
         client_rng.fork(), client_options));
     factories.emplace_back(config.workload, catalog, ids, client_rng.fork());
@@ -255,7 +276,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
             // Trace entry for GRUB-SIM.
             workload::QueryTrace trace;
             trace.client = client->id();
-            const auto dp_it = shared.dp_index.find(client->decision_point());
+            // Attribute the query to the decision point that actually
+            // answered (differs from the primary after a failover).
+            const auto dp_it = shared.dp_index.find(outcome.served_by.valid()
+                                                        ? outcome.served_by
+                                                        : client->decision_point());
             trace.dp_index = dp_it != shared.dp_index.end() ? dp_it->second : 0;
             trace.issued = t0;
             trace.response_s = outcome.response.to_seconds();
@@ -265,6 +290,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
             // Metric sample; accuracy is sampled by the oracle *before*
             // this job occupies the site.
             auto sample = std::make_shared<metrics::RequestSample>();
+            sample->issued_s = t0.to_seconds();
             sample->handled = outcome.handled_by_gruber;
             sample->response_s = outcome.response.to_seconds();
             grid::Site& selected = grid.site(outcome.site);
@@ -295,6 +321,76 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     };
     controller.add_tester(std::make_unique<diperf::Tester>(
         sim, ClientId(std::uint64_t(c)), std::move(op), config.think, collector));
+  }
+
+  // --- Fault plan. ---------------------------------------------------------
+  // Indices in the plan name decision points by deployment order; the
+  // applier resolves them to live objects and (both of) their transport
+  // addresses at fire time, so restarts and provisioning stay consistent.
+  if (!config.fault_plan.empty()) {
+    log::info("scenario", "fault plan armed:\n", config.fault_plan.describe());
+    config.fault_plan.arm(sim, [&dps, &transport, &grid](const sim::FaultEvent& event) {
+      auto nodes_of = [&dps](std::size_t i) {
+        return std::array<NodeId, 2>{dps[i]->node(), dps[i]->peer_node()};
+      };
+      auto each_link = [&](std::size_t a, std::size_t b, auto&& fn) {
+        for (const NodeId na : nodes_of(a)) {
+          for (const NodeId nb : nodes_of(b)) fn(na, nb);
+        }
+      };
+      auto peers_of = [&dps](const sim::FaultEvent& e) {
+        std::vector<std::size_t> peers;
+        if (e.all_peers) {
+          for (std::size_t i = 0; i < dps.size(); ++i) {
+            if (i != e.dp) peers.push_back(i);
+          }
+        } else {
+          peers.push_back(e.peer);
+        }
+        return peers;
+      };
+      switch (event.kind) {
+        case sim::FaultKind::kDpCrash:
+          dps[event.dp]->crash();
+          break;
+        case sim::FaultKind::kDpRestart:
+          dps[event.dp]->restart(grid.snapshot_all());
+          break;
+        case sim::FaultKind::kPartition:
+          // Each partition event describes the complete island layout.
+          // Clients and unlisted decision points stay on island 0.
+          transport.heal_partition();
+          for (std::size_t k = 0; k < event.islands.size(); ++k) {
+            for (const std::size_t i : event.islands[k]) {
+              for (const NodeId n : nodes_of(i)) {
+                transport.set_island(n, std::uint32_t(k));
+              }
+            }
+          }
+          break;
+        case sim::FaultKind::kHeal:
+          transport.heal_partition();
+          break;
+        case sim::FaultKind::kLinkDegrade: {
+          net::LinkOverride degraded;
+          degraded.latency_factor = event.latency_factor;
+          degraded.extra_loss = event.extra_loss;
+          for (const std::size_t p : peers_of(event)) {
+            each_link(event.dp, p, [&](NodeId a, NodeId b) {
+              transport.wan().set_link_override(a, b, degraded);
+            });
+          }
+          break;
+        }
+        case sim::FaultKind::kLinkRestore:
+          for (const std::size_t p : peers_of(event)) {
+            each_link(event.dp, p, [&](NodeId a, NodeId b) {
+              transport.wan().clear_link_override(a, b);
+            });
+          }
+          break;
+      }
+    });
   }
 
   // --- Ramp schedule and run. ----------------------------------------------
@@ -336,6 +432,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     stats.records_duplicate = dp->records_duplicate();
     stats.saturation_signals = dp->saturation_signals();
     stats.refused = dp->server().container().refused();
+    stats.restarts = dp->restarts();
+    stats.resync_records = dp->resync_records_applied();
+    stats.catchups_served = dp->catchups_served();
     stats.container_utilization =
         dp->server().container().utilization(sim::Time::zero() + config.duration);
     stats.mean_sojourn_s = dp->response_stats().mean();
@@ -366,6 +465,28 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.vo_fairness = metrics::fairness(vo_values);
     result.group_fairness = metrics::fairness(group_values);
   }
+
+  {
+    metrics::ResilienceCounters& res = result.resilience;
+    for (const auto& client : clients) {
+      res.failovers += client->failovers();
+      res.breaker_trips += client->breaker_trips();
+      res.all_dps_down_fallbacks += client->all_dps_down_fallbacks();
+    }
+    for (const auto& dp : dps) {
+      res.dp_restarts += dp->restarts();
+      res.resync_records += dp->resync_records_applied();
+      res.catchups_served += dp->catchups_served();
+      res.gap_resyncs += dp->gap_resyncs();
+    }
+    res.drops_loss = transport.packets_dropped(net::DropCause::kLoss);
+    res.drops_partition = transport.packets_dropped(net::DropCause::kPartition);
+    res.drops_unknown_destination =
+        transport.packets_dropped(net::DropCause::kUnknownDestination);
+  }
+
+  result.samples.reserve(shared.samples.size());
+  for (const auto& sample : shared.samples) result.samples.push_back(*sample);
 
   result.model = diperf::fit_model(collector, 60.0, shared.window_s);
   result.collector = std::move(collector);

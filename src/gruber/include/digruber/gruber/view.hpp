@@ -80,6 +80,14 @@ class GridView {
   /// Per-site load vector (the GetSiteLoads reply body).
   [[nodiscard]] std::vector<SiteLoad> loads(sim::Time now) const;
 
+  /// Every dispatch record that has not yet aged out, across all sites —
+  /// the payload a peer hands a restarted decision point during the
+  /// anti-entropy catch-up exchange. Deterministic order (site, then age).
+  [[nodiscard]] std::vector<DispatchRecord> active_records(sim::Time now) const;
+
+  /// Forget everything (crash semantics: the view is volatile state).
+  void clear();
+
   [[nodiscard]] std::uint64_t dispatches_recorded() const { return recorded_; }
 
  private:

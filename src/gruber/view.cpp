@@ -80,6 +80,20 @@ std::int32_t GridView::active_for_user(SiteId site, UserId user, sim::Time now) 
   return cpus;
 }
 
+std::vector<DispatchRecord> GridView::active_records(sim::Time now) const {
+  std::vector<DispatchRecord> out;
+  for (auto& [site, state] : sites_) {
+    prune(state, now);
+    out.insert(out.end(), state.active.begin(), state.active.end());
+  }
+  return out;
+}
+
+void GridView::clear() {
+  sites_.clear();
+  recorded_ = 0;
+}
+
 std::vector<SiteLoad> GridView::loads(sim::Time now) const {
   std::vector<SiteLoad> out;
   out.reserve(sites_.size());

@@ -35,6 +35,9 @@ struct MetricValues {
 
 /// One brokering request + job, accumulated by the harness.
 struct RequestSample {
+  /// When the query was issued, seconds from window start (lets the
+  /// resilience bench bucket availability/accuracy over time).
+  double issued_s = 0.0;
   bool handled = false;
   double response_s = 0.0;
 
@@ -86,6 +89,31 @@ struct FairnessReport {
 };
 
 FairnessReport fairness(const std::vector<double>& delivered);
+
+/// Fault-tolerance counters aggregated across a scenario run (decision
+/// points + client fleet + transport), surfaced through the DiPerF report
+/// by the resilience bench.
+struct ResilienceCounters {
+  // Client fleet.
+  std::uint64_t failovers = 0;          // retries on another decision point
+  std::uint64_t breaker_trips = 0;      // circuit-breaker open transitions
+  std::uint64_t all_dps_down_fallbacks = 0;
+
+  // Decision points.
+  std::uint64_t dp_restarts = 0;
+  std::uint64_t resync_records = 0;     // records re-learned via catch-up
+  std::uint64_t catchups_served = 0;
+  std::uint64_t gap_resyncs = 0;        // catch-ups from flooding-round gaps
+
+  // Transport (SimTransport drop accounting by cause).
+  std::uint64_t drops_loss = 0;
+  std::uint64_t drops_partition = 0;
+  std::uint64_t drops_unknown_destination = 0;
+
+  [[nodiscard]] std::uint64_t drops_total() const {
+    return drops_loss + drops_partition + drops_unknown_destination;
+  }
+};
 
 /// CPU-seconds a job consumed inside the window [0, window_s], given the
 /// job's start/completion times in seconds (completion may exceed the

@@ -77,13 +77,21 @@ void ServiceContainer::start(Request request) {
   busy_time_ = busy_time_ + service;
   const sim::Time arrived = request.arrived;
   sim_.schedule_after(
-      service, [this, arrived, done = std::move(request.done),
+      service, [this, arrived, epoch = epoch_, done = std::move(request.done),
                 reply = std::move(served.reply)]() mutable {
+        if (epoch != epoch_) return;  // aborted by a crash: orphaned work
         ++completed_;
         sojourn_.add((sim_.now() - arrived).to_seconds());
         done(std::move(reply));
         finish();
       });
+}
+
+void ServiceContainer::abort_all() {
+  aborted_ += queue_.size() + std::uint64_t(busy_);
+  queue_.clear();
+  busy_ = 0;
+  ++epoch_;
 }
 
 void ServiceContainer::finish() {

@@ -58,6 +58,11 @@ class ServiceContainer {
   /// picks the request up; `done` fires when its service time elapses.
   bool submit(std::size_t request_bytes, Handler run, Completion done);
 
+  /// Crash semantics: drop every queued request and orphan in-flight work
+  /// (its completion never fires and it is not counted as completed). The
+  /// container keeps serving requests submitted afterwards.
+  void abort_all();
+
   /// Service time charged for a request of the given sizes and handler cost.
   [[nodiscard]] sim::Duration service_time(std::size_t request_bytes,
                                            std::size_t reply_bytes,
@@ -68,6 +73,7 @@ class ServiceContainer {
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
   [[nodiscard]] std::uint64_t refused() const { return refused_; }
+  [[nodiscard]] std::uint64_t aborted() const { return aborted_; }
   /// Fraction of elapsed time the worker pool spent busy, up to `now`.
   [[nodiscard]] double utilization(sim::Time now) const;
   [[nodiscard]] const StreamingStats& sojourn_stats() const { return sojourn_; }
@@ -89,6 +95,10 @@ class ServiceContainer {
   std::deque<Request> queue_;
   std::uint64_t completed_ = 0;
   std::uint64_t refused_ = 0;
+  std::uint64_t aborted_ = 0;
+  /// Bumped by abort_all(); completion events from an older epoch are
+  /// orphaned work from before a crash and must not touch state.
+  std::uint64_t epoch_ = 0;
   sim::Duration busy_time_ = sim::Duration::zero();
   StreamingStats sojourn_;  // queue wait + service, seconds
 };

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -25,7 +26,15 @@ class InProcTransport final : public Transport {
 
   NodeId attach(Endpoint& endpoint) override;
   void detach(NodeId node) override;
+  bool reattach(NodeId node, Endpoint& endpoint) override;
   void send(Packet packet) override;
+
+  /// Packets sent to a node that was never attached (or already detached).
+  /// Mirrors SimTransport::packets_dropped() so tests can assert nothing
+  /// was silently lost.
+  [[nodiscard]] std::uint64_t packets_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Blocks until every mailbox is empty and every delivery thread idle.
   void drain();
@@ -46,6 +55,7 @@ class InProcTransport final : public Transport {
 
   mutable std::mutex registry_mutex_;
   std::uint64_t next_node_ = 1;
+  std::atomic<std::uint64_t> dropped_{0};
   std::unordered_map<NodeId, std::shared_ptr<Mailbox>> mailboxes_;
 };
 

@@ -29,6 +29,14 @@ class RpcServer : public Endpoint {
   [[nodiscard]] ServiceContainer& container() { return container_; }
   [[nodiscard]] const ServiceContainer& container() const { return container_; }
 
+  /// Crash semantics: detach from the network and abort queued and
+  /// in-flight requests (their completions never fire). Idempotent.
+  void shutdown();
+  /// Come back at the same address after `shutdown`. Returns false if the
+  /// address could not be re-acquired (or the server is already up).
+  bool restart();
+  [[nodiscard]] bool attached() const { return attached_; }
+
   void register_method(std::uint16_t method, Method handler);
 
   /// Convenience: register a typed handler `Reply(const Request&, NodeId)`
@@ -58,6 +66,7 @@ class RpcServer : public Endpoint {
   NodeId node_;
   ServiceContainer container_;
   std::unordered_map<std::uint16_t, Method> methods_;
+  bool attached_ = true;
   std::uint64_t received_ = 0;
   std::uint64_t bad_ = 0;
 };
@@ -71,9 +80,18 @@ class RpcClient : public Endpoint {
   using RawResult = Result<std::vector<std::uint8_t>>;
 
   RpcClient(sim::Simulation& sim, Transport& transport);
+  /// Destruction fails every in-flight call with "client shutdown" — a
+  /// `done` callback always fires exactly once, even across teardown.
   ~RpcClient() override;
 
   [[nodiscard]] NodeId node() const { return node_; }
+
+  /// Crash semantics: detach and fail in-flight calls with "client
+  /// shutdown". Idempotent.
+  void shutdown();
+  /// Re-acquire the same address after `shutdown`.
+  bool restart();
+  [[nodiscard]] bool attached() const { return attached_; }
 
   /// Raw call; `done` fires exactly once with the reply body or an error
   /// ("timeout", "refused", or a server error string).
@@ -111,6 +129,9 @@ class RpcClient : public Endpoint {
   [[nodiscard]] std::uint64_t calls_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t calls_timed_out() const { return timed_out_; }
   [[nodiscard]] std::size_t calls_in_flight() const { return pending_.size(); }
+  /// Replies that arrived after their call's timeout (or for a correlation
+  /// this client never issued) and were discarded.
+  [[nodiscard]] std::uint64_t replies_discarded_late() const { return late_; }
 
   void on_packet(Packet packet) override;
 
@@ -120,12 +141,18 @@ class RpcClient : public Endpoint {
     std::function<void(RawResult)> done;
   };
 
+  /// Cancel timers and fail every pending call with `reason`, exactly once
+  /// each. Safe against callbacks issuing new calls reentrantly.
+  void fail_all_pending(const std::string& reason);
+
   sim::Simulation& sim_;
   Transport& transport_;
   NodeId node_;
+  bool attached_ = true;
   std::uint64_t next_correlation_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t timed_out_ = 0;
+  std::uint64_t late_ = 0;
   std::unordered_map<std::uint64_t, Pending> pending_;
 };
 

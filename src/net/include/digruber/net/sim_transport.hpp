@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <unordered_map>
 
 #include "digruber/net/transport.hpp"
@@ -8,29 +9,55 @@
 
 namespace digruber::net {
 
+/// Why the simulated network dropped a packet (fault-injection accounting).
+enum class DropCause : std::uint8_t {
+  kLoss = 0,            // WAN loss rate (global or per-link degradation)
+  kPartition,           // src and dst on different reachability islands
+  kUnknownDestination,  // dst never attached or detached (e.g. crashed host)
+  kCount,
+};
+
 /// Transport running on the discrete-event kernel: each send schedules a
-/// delivery event after the WAN model's one-way delay.
+/// delivery event after the WAN model's one-way delay. Supports injected
+/// network partitions (reachability islands) and per-link degradation via
+/// the WAN model's link overrides.
 class SimTransport final : public Transport {
  public:
   SimTransport(sim::Simulation& sim, WanModel wan);
 
   NodeId attach(Endpoint& endpoint) override;
   void detach(NodeId node) override;
+  bool reattach(NodeId node, Endpoint& endpoint) override;
   void send(Packet packet) override;
+
+  /// Partition control: every node starts on island 0; packets cross
+  /// islands only after `heal_partition`. Assignments are sticky until
+  /// healed or reassigned.
+  void set_island(NodeId node, std::uint32_t island);
+  void heal_partition();
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
 
   [[nodiscard]] WanModel& wan() { return wan_; }
   [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t packets_dropped(DropCause cause) const {
+    return dropped_by_cause_[std::size_t(cause)];
+  }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
 
  private:
+  [[nodiscard]] std::uint32_t island_of(NodeId node) const;
+  void count_drop(DropCause cause);
+
   sim::Simulation& sim_;
   WanModel wan_;
   std::uint64_t next_node_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
+  std::array<std::uint64_t, std::size_t(DropCause::kCount)> dropped_by_cause_{};
   std::uint64_t bytes_ = 0;
   std::unordered_map<NodeId, Endpoint*> endpoints_;
+  std::unordered_map<NodeId, std::uint32_t> islands_;
 };
 
 }  // namespace digruber::net

@@ -33,6 +33,11 @@ class Transport {
   virtual NodeId attach(Endpoint& endpoint) = 0;
   virtual void detach(NodeId node) = 0;
 
+  /// Re-register an endpoint at a previously assigned address — a host
+  /// coming back after a crash keeps its network identity. Returns false
+  /// if the address was never issued or is currently in use.
+  virtual bool reattach(NodeId node, Endpoint& endpoint) = 0;
+
   /// Fire-and-forget send. Packets to unknown nodes are dropped (as on a
   /// real network); delivery order between distinct pairs is not
   /// guaranteed, per-pair order follows the latency model.

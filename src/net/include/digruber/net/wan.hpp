@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "digruber/common/ids.hpp"
 #include "digruber/common/rng.hpp"
@@ -24,6 +26,14 @@ struct WanParams {
   double envelope_factor = 4.0;   // XML/SOAP inflation of payload bytes
 };
 
+/// Fault-injection override for one (undirected) node pair: propagation
+/// latency scaled by `latency_factor`, per-message loss raised by
+/// `extra_loss` on top of the global loss rate.
+struct LinkOverride {
+  double latency_factor = 1.0;
+  double extra_loss = 0.0;
+};
+
 class WanModel {
  public:
   explicit WanModel(WanParams params = {}, std::uint64_t seed = 42);
@@ -31,11 +41,23 @@ class WanModel {
   /// One-way delay for a message of `payload_bytes` logical bytes.
   sim::Duration delay(NodeId from, NodeId to, std::size_t payload_bytes);
 
-  /// True if the message should be dropped.
+  /// True if the message should be dropped (global loss rate only).
   bool drop();
+  /// True if a message on this link should be dropped (global loss rate
+  /// plus any per-link degradation).
+  bool drop(NodeId from, NodeId to);
 
-  /// Deterministic (jitter-free) base propagation delay between two nodes.
+  /// Deterministic (jitter-free) base propagation delay between two nodes,
+  /// including any per-link latency degradation in force.
   sim::Duration base_latency(NodeId from, NodeId to) const;
+
+  /// Per-link degradation (symmetric). Setting an override replaces any
+  /// previous one for the pair.
+  void set_link_override(NodeId a, NodeId b, LinkOverride override_);
+  void clear_link_override(NodeId a, NodeId b);
+  void clear_link_overrides();
+  [[nodiscard]] const LinkOverride* link_override(NodeId a, NodeId b) const;
+  [[nodiscard]] std::size_t link_overrides() const { return overrides_.size(); }
 
   [[nodiscard]] const WanParams& params() const { return params_; }
 
@@ -43,10 +65,14 @@ class WanModel {
   struct Position {
     double x, y;
   };
+  using LinkKey = std::pair<std::uint64_t, std::uint64_t>;
+  static LinkKey link_key(NodeId a, NodeId b);
   Position position_of(NodeId node) const;
 
   WanParams params_;
   mutable Rng rng_;
+  /// Ordered map: iteration order (unused today) stays deterministic.
+  std::map<LinkKey, LinkOverride> overrides_;
 };
 
 }  // namespace digruber::net

@@ -48,17 +48,35 @@ void InProcTransport::detach(NodeId node) {
   if (box->worker.joinable()) box->worker.join();
 }
 
+bool InProcTransport::reattach(NodeId node, Endpoint& endpoint) {
+  const std::scoped_lock lock(registry_mutex_);
+  if (!node.valid() || node.value() >= next_node_) return false;  // never issued
+  if (mailboxes_.count(node)) return false;                       // in use
+  auto box = std::make_shared<Mailbox>(endpoint);
+  box->worker = std::thread([raw = box.get()] { run_mailbox(*raw); });
+  mailboxes_.emplace(node, std::move(box));
+  return true;
+}
+
 void InProcTransport::send(Packet packet) {
   std::shared_ptr<Mailbox> box;
   {
     const std::scoped_lock lock(registry_mutex_);
     const auto it = mailboxes_.find(packet.dst);
-    if (it == mailboxes_.end()) return;  // unknown destination: drop
+    if (it == mailboxes_.end()) {
+      // Unknown destination: drop, but never silently — crashed-host tests
+      // and leak hunts read this counter.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     box = it->second;
   }
   {
     const std::scoped_lock lock(box->mutex);
-    if (box->closing) return;
+    if (box->closing) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     box->queue.push_back(std::move(packet));
   }
   box->cv.notify_one();

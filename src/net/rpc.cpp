@@ -14,7 +14,23 @@ RpcServer::RpcServer(sim::Simulation& sim, Transport& transport,
       node_(transport.attach(*this)),
       container_(sim, std::move(profile)) {}
 
-RpcServer::~RpcServer() { transport_.detach(node_); }
+RpcServer::~RpcServer() {
+  if (attached_) transport_.detach(node_);
+}
+
+void RpcServer::shutdown() {
+  if (!attached_) return;
+  transport_.detach(node_);
+  attached_ = false;
+  container_.abort_all();
+}
+
+bool RpcServer::restart() {
+  if (attached_) return false;
+  if (!transport_.reattach(node_, *this)) return false;
+  attached_ = true;
+  return true;
+}
 
 void RpcServer::register_method(std::uint16_t method, Method handler) {
   methods_[method] = std::move(handler);
@@ -78,8 +94,34 @@ RpcClient::RpcClient(sim::Simulation& sim, Transport& transport)
     : sim_(sim), transport_(transport), node_(transport.attach(*this)) {}
 
 RpcClient::~RpcClient() {
+  if (attached_) transport_.detach(node_);
+  // In-flight calls must not leak: their `done` contract is exactly-once.
+  fail_all_pending("client shutdown");
+}
+
+void RpcClient::shutdown() {
+  if (!attached_) return;
   transport_.detach(node_);
-  for (auto& [correlation, pending] : pending_) sim_.cancel(pending.timeout_event);
+  attached_ = false;
+  fail_all_pending("client shutdown");
+}
+
+bool RpcClient::restart() {
+  if (attached_) return false;
+  if (!transport_.reattach(node_, *this)) return false;
+  attached_ = true;
+  return true;
+}
+
+void RpcClient::fail_all_pending(const std::string& reason) {
+  // Swap out first: a done callback may issue fresh calls through this
+  // client, which must land in a clean pending_ map.
+  std::unordered_map<std::uint64_t, Pending> failing;
+  failing.swap(pending_);
+  for (auto& [correlation, pending] : failing) {
+    sim_.cancel(pending.timeout_event);
+    pending.done(RawResult::failure(reason));
+  }
 }
 
 void RpcClient::call_raw(NodeId server, std::uint16_t method,
@@ -115,7 +157,10 @@ void RpcClient::on_packet(Packet packet) {
   if (!wire::parse_frame(packet.payload, header, body)) return;
 
   const auto it = pending_.find(header.correlation);
-  if (it == pending_.end()) return;  // late reply after timeout: discard
+  if (it == pending_.end()) {
+    ++late_;  // late reply after timeout (or never ours): discard
+    return;
+  }
 
   auto pending = std::move(it->second);
   pending_.erase(it);

@@ -17,17 +17,51 @@ NodeId SimTransport::attach(Endpoint& endpoint) {
 
 void SimTransport::detach(NodeId node) { endpoints_.erase(node); }
 
+bool SimTransport::reattach(NodeId node, Endpoint& endpoint) {
+  if (!node.valid() || node.value() >= next_node_) return false;  // never issued
+  return endpoints_.emplace(node, &endpoint).second;
+}
+
+void SimTransport::set_island(NodeId node, std::uint32_t island) {
+  islands_[node] = island;
+}
+
+void SimTransport::heal_partition() { islands_.clear(); }
+
+std::uint32_t SimTransport::island_of(NodeId node) const {
+  const auto it = islands_.find(node);
+  return it == islands_.end() ? 0 : it->second;
+}
+
+bool SimTransport::partitioned(NodeId a, NodeId b) const {
+  if (islands_.empty()) return false;
+  return island_of(a) != island_of(b);
+}
+
+void SimTransport::count_drop(DropCause cause) {
+  ++dropped_;
+  ++dropped_by_cause_[std::size_t(cause)];
+}
+
 void SimTransport::send(Packet packet) {
   ++sent_;
   bytes_ += packet.payload.size();
-  if (wan_.drop()) {
-    ++dropped_;
+  // Partition check first: it draws no randomness, so runs without
+  // partitions keep the exact pre-fault RNG sequence.
+  if (partitioned(packet.src, packet.dst)) {
+    count_drop(DropCause::kPartition);
+    return;
+  }
+  if (wan_.drop(packet.src, packet.dst)) {
+    count_drop(DropCause::kLoss);
     return;
   }
   const sim::Duration delay = wan_.delay(packet.src, packet.dst, packet.payload.size());
   sim_.schedule_after(delay, [this, p = std::move(packet)]() mutable {
     const auto it = endpoints_.find(p.dst);
     if (it == endpoints_.end()) {
+      // Destination crashed/detached while the packet was in flight.
+      count_drop(DropCause::kUnknownDestination);
       log::debug("net", "packet to detached node ", p.dst.value(), " dropped");
       return;
     }

@@ -37,7 +37,34 @@ sim::Duration WanModel::base_latency(NodeId from, NodeId to) const {
   const double dist = std::hypot(a.x - b.x, a.y - b.y) / std::sqrt(2.0);
   const double ms =
       params_.min_latency_ms + dist * (params_.max_latency_ms - params_.min_latency_ms);
-  return sim::Duration::millis(ms);
+  const sim::Duration base = sim::Duration::millis(ms);
+  // Apply degradation only when present so un-faulted links keep the exact
+  // pre-override arithmetic (bit-identical runs with an empty plan).
+  if (const LinkOverride* link = link_override(from, to)) {
+    return base * link->latency_factor;
+  }
+  return base;
+}
+
+WanModel::LinkKey WanModel::link_key(NodeId a, NodeId b) {
+  return a.value() < b.value() ? LinkKey{a.value(), b.value()}
+                               : LinkKey{b.value(), a.value()};
+}
+
+void WanModel::set_link_override(NodeId a, NodeId b, LinkOverride override_) {
+  overrides_[link_key(a, b)] = override_;
+}
+
+void WanModel::clear_link_override(NodeId a, NodeId b) {
+  overrides_.erase(link_key(a, b));
+}
+
+void WanModel::clear_link_overrides() { overrides_.clear(); }
+
+const LinkOverride* WanModel::link_override(NodeId a, NodeId b) const {
+  if (overrides_.empty()) return nullptr;
+  const auto it = overrides_.find(link_key(a, b));
+  return it == overrides_.end() ? nullptr : &it->second;
 }
 
 sim::Duration WanModel::delay(NodeId from, NodeId to, std::size_t payload_bytes) {
@@ -51,6 +78,14 @@ sim::Duration WanModel::delay(NodeId from, NodeId to, std::size_t payload_bytes)
 
 bool WanModel::drop() {
   return params_.loss_rate > 0 && rng_.bernoulli(params_.loss_rate);
+}
+
+bool WanModel::drop(NodeId from, NodeId to) {
+  double loss = params_.loss_rate;
+  if (const LinkOverride* link = link_override(from, to)) {
+    loss = std::min(1.0, loss + link->extra_loss);
+  }
+  return loss > 0 && rng_.bernoulli(loss);
 }
 
 }  // namespace digruber::net

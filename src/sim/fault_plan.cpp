@@ -1,0 +1,345 @@
+#include "digruber/sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace digruber::sim {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+/// Split on whitespace.
+Tokens tokenize(const std::string& line) {
+  Tokens out;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) out.push_back(token);
+  return out;
+}
+
+/// `key=value` accessor over an event's tokens.
+bool find_value(const Tokens& tokens, const std::string& key, std::string& out) {
+  const std::string prefix = key + "=";
+  for (const std::string& token : tokens) {
+    if (token.rfind(prefix, 0) == 0) {
+      out = token.substr(prefix.size());
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+bool parse_index(const std::string& text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || text.empty()) return false;
+  out = std::size_t(v);
+  return true;
+}
+
+/// `90`, `90s`, `1.5m`, `2h` -> simulated Time.
+bool parse_time(std::string text, Time& out) {
+  double scale = 1.0;
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 's': scale = 1.0; text.pop_back(); break;
+      case 'm': scale = 60.0; text.pop_back(); break;
+      case 'h': scale = 3600.0; text.pop_back(); break;
+      default: break;
+    }
+  }
+  double seconds = 0.0;
+  if (!parse_double(text, seconds) || seconds < 0) return false;
+  out = Time::from_seconds(seconds * scale);
+  return true;
+}
+
+/// `3,1,4` -> {3, 1, 4}.
+bool parse_index_list(const std::string& text, std::vector<std::size_t>& out) {
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    std::size_t index = 0;
+    if (!parse_index(item, index)) return false;
+    out.push_back(index);
+  }
+  return !out.empty();
+}
+
+/// `link=a:b` or `dp=i` target for degrade/restore.
+Status<> parse_link_target(const Tokens& tokens, FaultEvent& event) {
+  std::string value;
+  if (find_value(tokens, "link", value)) {
+    const auto colon = value.find(':');
+    if (colon == std::string::npos || !parse_index(value.substr(0, colon), event.dp) ||
+        !parse_index(value.substr(colon + 1), event.peer)) {
+      return Status<>::failure("bad link spec (want link=a:b): " + value);
+    }
+    if (event.dp == event.peer) {
+      return Status<>::failure("link endpoints must differ: " + value);
+    }
+    return {};
+  }
+  if (find_value(tokens, "dp", value)) {
+    if (!parse_index(value, event.dp)) return Status<>::failure("bad dp index: " + value);
+    event.all_peers = true;
+    return {};
+  }
+  return Status<>::failure("degrade/restore needs link=a:b or dp=i");
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::parse(const std::string& text) {
+  using Fail = Result<FaultPlan>;
+  FaultPlan plan;
+
+  std::string normalized = text;
+  std::replace(normalized.begin(), normalized.end(), ';', '\n');
+  std::istringstream lines(normalized);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const Tokens tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    const std::string where = "fault plan line " + std::to_string(line_no) + ": ";
+    std::string value;
+    FaultEvent event;
+    if (!find_value(tokens, "at", value) || !parse_time(value, event.at)) {
+      return Fail::failure(where + "missing or bad at=<time>");
+    }
+    // The verb is the first token that is not a key=value pair.
+    std::string verb;
+    for (const std::string& token : tokens) {
+      if (token.find('=') == std::string::npos) {
+        verb = token;
+        break;
+      }
+    }
+
+    if (verb == "crash" || verb == "restart") {
+      if (!find_value(tokens, "dp", value) || !parse_index(value, event.dp)) {
+        return Fail::failure(where + verb + " needs dp=<index>");
+      }
+      event.kind = verb == "crash" ? FaultKind::kDpCrash : FaultKind::kDpRestart;
+    } else if (verb == "partition") {
+      if (!find_value(tokens, "islands", value)) {
+        return Fail::failure(where + "partition needs islands=i,..|j,..");
+      }
+      std::istringstream groups(value);
+      std::string group;
+      while (std::getline(groups, group, '|')) {
+        std::vector<std::size_t> island;
+        if (!parse_index_list(group, island)) {
+          return Fail::failure(where + "bad island list: " + group);
+        }
+        event.islands.push_back(std::move(island));
+      }
+      if (event.islands.size() < 2) {
+        return Fail::failure(where + "partition needs at least two islands");
+      }
+      event.kind = FaultKind::kPartition;
+    } else if (verb == "heal") {
+      event.kind = FaultKind::kHeal;
+    } else if (verb == "degrade" || verb == "restore") {
+      if (const Status<> target = parse_link_target(tokens, event); !target.ok()) {
+        return Fail::failure(where + target.error());
+      }
+      if (verb == "degrade") {
+        if (find_value(tokens, "latency", value) &&
+            !parse_double(value, event.latency_factor)) {
+          return Fail::failure(where + "bad latency factor: " + value);
+        }
+        if (find_value(tokens, "loss", value) && !parse_double(value, event.extra_loss)) {
+          return Fail::failure(where + "bad loss rate: " + value);
+        }
+        if (event.latency_factor < 1.0 || event.extra_loss < 0.0 ||
+            event.extra_loss > 1.0) {
+          return Fail::failure(where + "latency must be >= 1, loss in [0, 1]");
+        }
+        event.kind = FaultKind::kLinkDegrade;
+      } else {
+        event.kind = FaultKind::kLinkRestore;
+      }
+    } else {
+      return Fail::failure(where + "unknown fault verb: " +
+                           (verb.empty() ? "(none)" : verb));
+    }
+    plan.add(std::move(event));
+  }
+  return plan;
+}
+
+void FaultPlan::add(FaultEvent event) {
+  // Keep sorted by time with stable insertion order so `arm` schedules
+  // same-instant events in the order the plan listed them.
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event.at,
+      [](Time at, const FaultEvent& e) { return at < e.at; });
+  events_.insert(pos, std::move(event));
+}
+
+FaultPlan& FaultPlan::crash(Time at, std::size_t dp) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDpCrash;
+  e.dp = dp;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(Time at, std::size_t dp) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDpRestart;
+  e.dp = dp;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(Time at, std::vector<std::vector<std::size_t>> islands) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kPartition;
+  e.islands = std::move(islands);
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal(Time at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kHeal;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade_link(Time at, std::size_t a, std::size_t b,
+                                   double latency_factor, double extra_loss) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkDegrade;
+  e.dp = a;
+  e.peer = b;
+  e.latency_factor = latency_factor;
+  e.extra_loss = extra_loss;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade_dp(Time at, std::size_t dp, double latency_factor,
+                                 double extra_loss) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkDegrade;
+  e.dp = dp;
+  e.all_peers = true;
+  e.latency_factor = latency_factor;
+  e.extra_loss = extra_loss;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restore_link(Time at, std::size_t a, std::size_t b) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkRestore;
+  e.dp = a;
+  e.peer = b;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restore_dp(Time at, std::size_t dp) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkRestore;
+  e.dp = dp;
+  e.all_peers = true;
+  add(std::move(e));
+  return *this;
+}
+
+std::size_t FaultPlan::max_dp_index() const {
+  std::size_t max_index = 0;
+  for (const FaultEvent& e : events_) {
+    switch (e.kind) {
+      case FaultKind::kDpCrash:
+      case FaultKind::kDpRestart:
+        max_index = std::max(max_index, e.dp);
+        break;
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kLinkRestore:
+        max_index = std::max(max_index, e.dp);
+        if (!e.all_peers) max_index = std::max(max_index, e.peer);
+        break;
+      case FaultKind::kPartition:
+        for (const auto& island : e.islands)
+          for (const std::size_t dp : island) max_index = std::max(max_index, dp);
+        break;
+      case FaultKind::kHeal:
+        break;
+    }
+  }
+  return max_index;
+}
+
+void FaultPlan::arm(Simulation& sim, std::function<void(const FaultEvent&)> apply) const {
+  for (const FaultEvent& event : events_) {
+    sim.schedule_at(event.at, [event, apply] { apply(event); });
+  }
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : events_) {
+    os << "t=" << e.at.to_seconds() << "s ";
+    switch (e.kind) {
+      case FaultKind::kDpCrash:
+        os << "crash dp" << e.dp;
+        break;
+      case FaultKind::kDpRestart:
+        os << "restart dp" << e.dp;
+        break;
+      case FaultKind::kPartition: {
+        os << "partition ";
+        for (std::size_t i = 0; i < e.islands.size(); ++i) {
+          if (i) os << " | ";
+          for (std::size_t j = 0; j < e.islands[i].size(); ++j) {
+            if (j) os << ",";
+            os << "dp" << e.islands[i][j];
+          }
+        }
+        break;
+      }
+      case FaultKind::kHeal:
+        os << "heal";
+        break;
+      case FaultKind::kLinkDegrade:
+        if (e.all_peers) os << "degrade dp" << e.dp << " all links";
+        else os << "degrade link dp" << e.dp << ":dp" << e.peer;
+        os << " latency x" << e.latency_factor << " +loss " << e.extra_loss;
+        break;
+      case FaultKind::kLinkRestore:
+        if (e.all_peers) os << "restore dp" << e.dp << " all links";
+        else os << "restore link dp" << e.dp << ":dp" << e.peer;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace digruber::sim

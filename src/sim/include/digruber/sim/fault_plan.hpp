@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "digruber/common/result.hpp"
+#include "digruber/sim/simulation.hpp"
+#include "digruber/sim/time.hpp"
+
+namespace digruber::sim {
+
+/// What a scripted fault does when it fires. Decision points are named by
+/// deployment index (not NodeId): a plan is written against the scenario
+/// config, before any transport address exists.
+enum class FaultKind : std::uint8_t {
+  kDpCrash = 0,   // kill a decision point (volatile state lost)
+  kDpRestart,     // bring it back: re-bootstrap + anti-entropy catch-up
+  kPartition,     // split the network into reachability islands
+  kHeal,          // remove all partitions
+  kLinkDegrade,   // inflate latency / add loss on one link (or all of a DP's)
+  kLinkRestore,   // undo a degradation
+};
+
+/// One timed fault. Which fields are meaningful depends on `kind`:
+///   kDpCrash/kDpRestart    — `dp`
+///   kPartition             — `islands` (decision-point indices per island;
+///                            unlisted nodes stay on island 0)
+///   kHeal                  — nothing
+///   kLinkDegrade/kRestore  — `dp` + `peer` (one link) or `dp` +
+///                            `all_peers` (every link of that DP), with
+///                            `latency_factor` / `extra_loss` on degrade
+struct FaultEvent {
+  Time at;
+  FaultKind kind = FaultKind::kDpCrash;
+  std::size_t dp = 0;
+  std::size_t peer = 0;
+  bool all_peers = false;
+  double latency_factor = 1.0;
+  double extra_loss = 0.0;
+  std::vector<std::vector<std::size_t>> islands;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// A deterministic, scriptable fault schedule. The plan is pure data: the
+/// same (config, seed) always replays the same faults at the same simulated
+/// instants, so faulted runs are bit-reproducible. The experiment harness
+/// maps decision-point indices to live objects and network addresses when
+/// an event fires (see experiments/scenario.cpp).
+///
+/// Text grammar — one event per line (or ';'-separated), '#' comments:
+///
+///   at=<time> crash dp=<i>
+///   at=<time> restart dp=<i>
+///   at=<time> partition islands=<i,j,...>|<k,...>[|...]
+///   at=<time> heal
+///   at=<time> degrade link=<a>:<b> [latency=<k>] [loss=<p>]
+///   at=<time> degrade dp=<i> [latency=<k>] [loss=<p>]
+///   at=<time> restore link=<a>:<b>
+///   at=<time> restore dp=<i>
+///
+/// <time> accepts plain seconds or an s/m/h suffix: `90`, `90s`, `1.5m`.
+class FaultPlan {
+ public:
+  static Result<FaultPlan> parse(const std::string& text);
+
+  /// Builder API (mirrors the grammar).
+  FaultPlan& crash(Time at, std::size_t dp);
+  FaultPlan& restart(Time at, std::size_t dp);
+  FaultPlan& partition(Time at, std::vector<std::vector<std::size_t>> islands);
+  FaultPlan& heal(Time at);
+  FaultPlan& degrade_link(Time at, std::size_t a, std::size_t b,
+                          double latency_factor, double extra_loss);
+  FaultPlan& degrade_dp(Time at, std::size_t dp, double latency_factor,
+                        double extra_loss);
+  FaultPlan& restore_link(Time at, std::size_t a, std::size_t b);
+  FaultPlan& restore_dp(Time at, std::size_t dp);
+
+  void add(FaultEvent event);
+
+  /// Events sorted by time; equal times keep insertion order.
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  /// Largest decision-point index the plan references (0 when empty) —
+  /// lets the harness validate a plan against the deployment size.
+  [[nodiscard]] std::size_t max_dp_index() const;
+
+  /// Schedule every event on `sim`; `apply` runs at each event's time.
+  void arm(Simulation& sim, std::function<void(const FaultEvent&)> apply) const;
+
+  /// One-line-per-event human-readable summary (bench banners, logs).
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace digruber::sim

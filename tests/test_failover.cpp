@@ -1,0 +1,261 @@
+// Failover behavior: client retry across backup decision points, circuit
+// breaker with half-open probing, all-points-down fallback, crash/restart
+// catch-up re-convergence, and partition drop accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "digruber/digruber/client.hpp"
+#include "digruber/digruber/decision_point.hpp"
+#include "digruber/net/sim_transport.hpp"
+
+namespace digruber::digruber {
+namespace {
+
+net::ContainerProfile fast_profile() {
+  net::ContainerProfile p;
+  p.workers = 4;
+  p.base_overhead = sim::Duration::millis(5);
+  p.auth_cost = sim::Duration::zero();
+  p.parse_cost_per_kb = sim::Duration::zero();
+  p.serialize_cost_per_kb = sim::Duration::zero();
+  return p;
+}
+
+struct Fixture {
+  sim::Simulation sim;
+  net::SimTransport transport;
+  grid::VoCatalog catalog = grid::VoCatalog::uniform(2, 2);
+  usla::AllocationTree tree;
+
+  explicit Fixture(std::uint64_t seed = 1)
+      : transport(sim, net::WanModel(net::WanParams{}, seed)) {
+    tree = usla::AllocationTree::build({}, catalog).value();
+  }
+
+  DecisionPointOptions dp_options() {
+    DecisionPointOptions o;
+    o.profile = fast_profile();
+    o.exchange_interval = sim::Duration::minutes(1);
+    o.eval_cost_per_site = sim::Duration::millis(0.1);
+    return o;
+  }
+
+  std::vector<grid::SiteSnapshot> snapshots() {
+    std::vector<grid::SiteSnapshot> out;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      grid::SiteSnapshot s;
+      s.site = SiteId(i);
+      s.total_cpus = 100;
+      s.free_cpus = std::int32_t(100 - 10 * i);
+      out.push_back(s);
+    }
+    return out;
+  }
+
+  std::vector<SiteId> sites() { return {SiteId(0), SiteId(1), SiteId(2)}; }
+
+  grid::Job job() {
+    grid::Job j;
+    j.id = JobId(1);
+    j.vo = VoId(0);
+    j.group = GroupId(0);
+    j.user = UserId(0);
+    j.cpus = 1;
+    return j;
+  }
+
+  std::unique_ptr<DiGruberClient> client(std::vector<NodeId> dps,
+                                         ClientOptions options) {
+    return std::make_unique<DiGruberClient>(
+        sim, transport, ClientId(0), std::move(dps), sites(),
+        gruber::make_selector("top-k", sim.rng().fork()), sim.rng().fork(),
+        options);
+  }
+};
+
+TEST(Failover, CrashedPrimaryFailsOverToBackupWithinDeadline) {
+  Fixture f;
+  DecisionPoint a(f.sim, f.transport, DpId(0), f.catalog, f.tree, f.dp_options());
+  DecisionPoint b(f.sim, f.transport, DpId(1), f.catalog, f.tree, f.dp_options());
+  a.bootstrap(f.snapshots());
+  b.bootstrap(f.snapshots());
+  connect({&a, &b}, Overlay::kMesh);
+
+  ClientOptions options;
+  options.attempt_timeout = sim::Duration::seconds(5);
+  auto client = f.client({a.node(), b.node()}, options);
+
+  a.crash();
+
+  bool done = false;
+  client->schedule(f.job(), [&](grid::Job, QueryOutcome outcome) {
+    done = true;
+    EXPECT_TRUE(outcome.handled_by_gruber);
+    EXPECT_EQ(outcome.served_by, b.node());
+    EXPECT_LT(outcome.response.to_seconds(), 60.0);
+  });
+  f.sim.run_until(sim::Time::from_seconds(120));
+  EXPECT_TRUE(done);
+  EXPECT_GE(client->failovers(), 1u);
+  EXPECT_EQ(client->fallbacks(), 0u);
+  EXPECT_EQ(b.queries_served(), 1u);
+  b.stop();
+}
+
+TEST(Failover, BreakerTripsThenHalfOpenProbeRecovers) {
+  Fixture f;
+  DecisionPoint a(f.sim, f.transport, DpId(0), f.catalog, f.tree, f.dp_options());
+  a.bootstrap(f.snapshots());
+
+  ClientOptions options;
+  options.attempt_timeout = sim::Duration::seconds(2);
+  options.breaker_threshold = 2;
+  options.breaker_cooldown = sim::Duration::seconds(30);
+  auto client = f.client({a.node()}, options);
+
+  a.crash();
+
+  // Query 1: two timed-out attempts trip the breaker; with the only
+  // decision point open and cooling down, the query degrades to the
+  // random-site fallback.
+  bool first_done = false;
+  client->schedule(f.job(), [&](grid::Job, QueryOutcome outcome) {
+    first_done = true;
+    EXPECT_FALSE(outcome.handled_by_gruber);
+    EXPECT_FALSE(outcome.served_by.valid());
+  });
+  f.sim.run_until(sim::Time::from_seconds(20));
+  ASSERT_TRUE(first_done);
+  EXPECT_EQ(client->breaker_trips(), 1u);
+  EXPECT_EQ(client->all_dps_down_fallbacks(), 1u);
+  EXPECT_EQ(client->fallbacks(), 1u);
+
+  // Bring the decision point back; once the cooldown has elapsed, the next
+  // query rides the half-open probe and closes the breaker again.
+  a.restart(f.snapshots());
+  ASSERT_TRUE(a.running());
+
+  bool second_done = false;
+  f.sim.schedule_at(sim::Time::from_seconds(60), [&] {
+    client->schedule(f.job(), [&](grid::Job, QueryOutcome outcome) {
+      second_done = true;
+      EXPECT_TRUE(outcome.handled_by_gruber);
+      EXPECT_EQ(outcome.served_by, a.node());
+    });
+  });
+  f.sim.run_until(sim::Time::from_seconds(150));
+  EXPECT_TRUE(second_done);
+  EXPECT_EQ(client->breaker_trips(), 1u);  // no re-trip: probe succeeded
+
+  // Breaker closed: a third query goes straight through.
+  bool third_done = false;
+  client->schedule(f.job(), [&](grid::Job, QueryOutcome outcome) {
+    third_done = true;
+    EXPECT_TRUE(outcome.handled_by_gruber);
+  });
+  f.sim.run_until(sim::Time::from_seconds(300));
+  EXPECT_TRUE(third_done);
+  a.stop();
+}
+
+TEST(Failover, RestartRunsCatchUpAndReconverges) {
+  Fixture f;
+  DecisionPoint a(f.sim, f.transport, DpId(0), f.catalog, f.tree, f.dp_options());
+  DecisionPoint b(f.sim, f.transport, DpId(1), f.catalog, f.tree, f.dp_options());
+  a.bootstrap(f.snapshots());
+  b.bootstrap(f.snapshots());
+  connect({&a, &b}, Overlay::kMesh);
+
+  net::RpcClient rpc(f.sim, f.transport);
+  ReportSelectionRequest report;
+  report.site = SiteId(0);
+  report.vo = VoId(0);
+  report.group = GroupId(0);
+  report.user = UserId(0);
+  report.cpus = 40;
+  report.est_runtime = sim::Duration::minutes(60);
+  rpc.call<ReportSelectionRequest, Ack>(a.node(), kReportSelection, report,
+                                        sim::Duration::seconds(30),
+                                        [](Result<Ack>) {});
+
+  // One exchange round: b has learned a's dispatch.
+  f.sim.run_until(sim::Time::from_seconds(90));
+  ASSERT_EQ(b.records_applied(), 1u);
+
+  // Crash wipes a's volatile state; restart re-bootstraps and re-learns
+  // the still-active record from b via the catch-up exchange.
+  f.sim.schedule_at(sim::Time::from_seconds(100), [&] { a.crash(); });
+  f.sim.schedule_at(sim::Time::from_seconds(110), [&] { a.restart(f.snapshots()); });
+  f.sim.run_until(sim::Time::from_seconds(140));
+
+  EXPECT_EQ(a.restarts(), 1u);
+  EXPECT_EQ(a.incarnation(), 1u);
+  EXPECT_EQ(a.resync_records_applied(), 1u);
+  EXPECT_GE(b.catchups_served(), 1u);
+  EXPECT_EQ(a.engine().view().estimated_free(SiteId(0), f.sim.now()), 60);
+
+  // Post-restart selections use a fresh sequence epoch, so b applies them
+  // rather than mistaking them for pre-crash duplicates.
+  ReportSelectionRequest second = report;
+  second.cpus = 10;
+  rpc.call<ReportSelectionRequest, Ack>(a.node(), kReportSelection, second,
+                                        sim::Duration::seconds(30),
+                                        [](Result<Ack>) {});
+  f.sim.run_until(sim::Time::from_seconds(260));
+  EXPECT_EQ(b.records_applied(), 2u);
+  EXPECT_EQ(b.engine().view().estimated_free(SiteId(0), f.sim.now()), 50);
+  a.stop();
+  b.stop();
+}
+
+TEST(Failover, PartitionDropsExchangeTrafficUntilHealed) {
+  Fixture f;
+  DecisionPoint a(f.sim, f.transport, DpId(0), f.catalog, f.tree, f.dp_options());
+  DecisionPoint b(f.sim, f.transport, DpId(1), f.catalog, f.tree, f.dp_options());
+  a.bootstrap(f.snapshots());
+  b.bootstrap(f.snapshots());
+  connect({&a, &b}, Overlay::kMesh);
+
+  net::RpcClient rpc(f.sim, f.transport);
+  ReportSelectionRequest report;
+  report.site = SiteId(0);
+  report.vo = VoId(0);
+  report.group = GroupId(0);
+  report.user = UserId(0);
+  report.cpus = 40;
+  report.est_runtime = sim::Duration::minutes(60);
+  rpc.call<ReportSelectionRequest, Ack>(a.node(), kReportSelection, report,
+                                        sim::Duration::seconds(30),
+                                        [](Result<Ack>) {});
+
+  // Partition a's island away before the first exchange tick.
+  f.sim.schedule_at(sim::Time::from_seconds(10), [&] {
+    f.transport.set_island(a.node(), 1);
+    f.transport.set_island(a.peer_node(), 1);
+  });
+  f.sim.run_until(sim::Time::from_seconds(90));
+  EXPECT_TRUE(f.transport.partitioned(a.peer_node(), b.node()));
+  EXPECT_EQ(b.records_applied(), 0u);
+  EXPECT_GE(f.transport.packets_dropped(net::DropCause::kPartition), 1u);
+
+  // Heal; flooding does not retransmit the lost round, but records
+  // dispatched after the heal propagate again.
+  f.sim.schedule_at(sim::Time::from_seconds(100), [&] { f.transport.heal_partition(); });
+  f.sim.schedule_at(sim::Time::from_seconds(110), [&] {
+    ReportSelectionRequest second = report;
+    second.cpus = 10;
+    rpc.call<ReportSelectionRequest, Ack>(a.node(), kReportSelection, second,
+                                          sim::Duration::seconds(30),
+                                          [](Result<Ack>) {});
+  });
+  f.sim.run_until(sim::Time::from_seconds(240));
+  EXPECT_FALSE(f.transport.partitioned(a.peer_node(), b.node()));
+  EXPECT_EQ(b.records_applied(), 1u);
+  a.stop();
+  b.stop();
+}
+
+}  // namespace
+}  // namespace digruber::digruber

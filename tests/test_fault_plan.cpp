@@ -1,0 +1,154 @@
+#include "digruber/sim/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace digruber::sim {
+namespace {
+
+TEST(FaultPlan, ParsesEveryVerb) {
+  const auto plan = FaultPlan::parse(
+      "# a comment\n"
+      "at=120 crash dp=0\n"
+      "at=5m restart dp=0\n"
+      "at=360 partition islands=0|1,2\n"
+      "at=400 heal\n"
+      "at=450 degrade link=1:2 latency=3 loss=0.1\n"
+      "at=460 degrade dp=0 latency=2\n"
+      "at=500 restore link=1:2\n"
+      "at=510 restore dp=0\n");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  const auto& events = plan.value().events();
+  ASSERT_EQ(events.size(), 8u);
+
+  EXPECT_EQ(events[0].kind, FaultKind::kDpCrash);
+  EXPECT_EQ(events[0].at, Time::from_seconds(120));
+  EXPECT_EQ(events[0].dp, 0u);
+
+  EXPECT_EQ(events[1].kind, FaultKind::kDpRestart);
+  EXPECT_EQ(events[1].at, Time::from_seconds(300));  // 5m suffix
+
+  EXPECT_EQ(events[2].kind, FaultKind::kPartition);
+  ASSERT_EQ(events[2].islands.size(), 2u);
+  EXPECT_EQ(events[2].islands[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(events[2].islands[1], (std::vector<std::size_t>{1, 2}));
+
+  EXPECT_EQ(events[3].kind, FaultKind::kHeal);
+
+  EXPECT_EQ(events[4].kind, FaultKind::kLinkDegrade);
+  EXPECT_EQ(events[4].dp, 1u);
+  EXPECT_EQ(events[4].peer, 2u);
+  EXPECT_FALSE(events[4].all_peers);
+  EXPECT_DOUBLE_EQ(events[4].latency_factor, 3.0);
+  EXPECT_DOUBLE_EQ(events[4].extra_loss, 0.1);
+
+  EXPECT_EQ(events[5].kind, FaultKind::kLinkDegrade);
+  EXPECT_TRUE(events[5].all_peers);
+  EXPECT_DOUBLE_EQ(events[5].latency_factor, 2.0);
+  EXPECT_DOUBLE_EQ(events[5].extra_loss, 0.0);
+
+  EXPECT_EQ(events[6].kind, FaultKind::kLinkRestore);
+  EXPECT_EQ(events[7].kind, FaultKind::kLinkRestore);
+  EXPECT_TRUE(events[7].all_peers);
+}
+
+TEST(FaultPlan, SemicolonSeparatedSingleLine) {
+  const auto plan = FaultPlan::parse("at=10 crash dp=1; at=20 restart dp=1");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  EXPECT_EQ(plan.value().size(), 2u);
+}
+
+TEST(FaultPlan, ParseMatchesBuilder) {
+  const auto parsed = FaultPlan::parse(
+      "at=120 crash dp=0\n"
+      "at=300 restart dp=0\n"
+      "at=360 partition islands=0|1,2\n"
+      "at=400 heal\n");
+  ASSERT_TRUE(parsed.ok());
+
+  FaultPlan built;
+  built.crash(Time::from_seconds(120), 0)
+      .restart(Time::from_seconds(300), 0)
+      .partition(Time::from_seconds(360), {{0}, {1, 2}})
+      .heal(Time::from_seconds(400));
+  EXPECT_EQ(parsed.value(), built);
+}
+
+TEST(FaultPlan, RejectsMalformedLinesWithLineNumbers) {
+  const char* bad[] = {
+      "crash dp=0",                       // missing at=
+      "at=nope crash dp=0",               // bad time
+      "at=10 crash",                      // missing dp
+      "at=10 partition islands=0",        // single island
+      "at=10 partition islands=0|x",      // bad index
+      "at=10 degrade latency=2",          // no target
+      "at=10 degrade link=1:1",           // self link
+      "at=10 degrade link=1:2 latency=0.5",  // latency < 1
+      "at=10 degrade link=1:2 loss=1.5",  // loss > 1
+      "at=10 explode dp=0",               // unknown verb
+  };
+  for (const char* text : bad) {
+    const auto plan = FaultPlan::parse(text);
+    EXPECT_FALSE(plan.ok()) << "accepted: " << text;
+    if (!plan.ok()) {
+      EXPECT_NE(plan.error().find("fault plan line 1"), std::string::npos)
+          << plan.error();
+    }
+  }
+}
+
+TEST(FaultPlan, EventsSortedByTimeStably) {
+  FaultPlan plan;
+  plan.heal(Time::from_seconds(50));
+  plan.crash(Time::from_seconds(10), 2);
+  plan.restart(Time::from_seconds(50), 2);  // same instant as heal: after it
+  plan.crash(Time::from_seconds(5), 1);
+  const auto& events = plan.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].dp, 1u);
+  EXPECT_EQ(events[1].dp, 2u);
+  EXPECT_EQ(events[2].kind, FaultKind::kHeal);
+  EXPECT_EQ(events[3].kind, FaultKind::kDpRestart);
+}
+
+TEST(FaultPlan, MaxDpIndexCoversAllEventShapes) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.max_dp_index(), 0u);
+  plan.crash(Time::from_seconds(1), 3);
+  EXPECT_EQ(plan.max_dp_index(), 3u);
+  plan.degrade_link(Time::from_seconds(2), 1, 7, 2.0, 0.0);
+  EXPECT_EQ(plan.max_dp_index(), 7u);
+  plan.partition(Time::from_seconds(3), {{0, 9}, {4}});
+  EXPECT_EQ(plan.max_dp_index(), 9u);
+}
+
+TEST(FaultPlan, ArmFiresEventsAtTheirInstants) {
+  FaultPlan plan;
+  plan.crash(Time::from_seconds(10), 0).restart(Time::from_seconds(20), 0);
+
+  Simulation sim;
+  std::vector<std::pair<double, FaultKind>> fired;
+  plan.arm(sim, [&](const FaultEvent& event) {
+    fired.emplace_back(sim.now().to_seconds(), event.kind);
+  });
+  sim.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0].first, 10.0);
+  EXPECT_EQ(fired[0].second, FaultKind::kDpCrash);
+  EXPECT_DOUBLE_EQ(fired[1].first, 20.0);
+  EXPECT_EQ(fired[1].second, FaultKind::kDpRestart);
+}
+
+TEST(FaultPlan, DescribeMentionsEveryEvent) {
+  FaultPlan plan;
+  plan.crash(Time::from_seconds(10), 0);
+  plan.partition(Time::from_seconds(20), {{0}, {1, 2}});
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("crash dp0"), std::string::npos);
+  EXPECT_NE(text.find("partition dp0 | dp1,dp2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace digruber::sim

@@ -102,6 +102,60 @@ TEST(Rpc, LateReplyAfterTimeoutDiscarded) {
       [&](Result<EchoReply>) { ++callbacks; });
   f.sim.run();
   EXPECT_EQ(callbacks, 1);  // exactly once, the timeout
+  EXPECT_EQ(f.client.calls_timed_out(), 1u);
+  EXPECT_EQ(f.client.replies_discarded_late(), 1u);
+}
+
+TEST(Rpc, LossyWanTimeoutsAndLateRepliesAccounted) {
+  // A lossy WAN plus a server slower than the call deadline: every call
+  // either succeeds or times out (exactly one callback each), and replies
+  // that beat the loss coin but miss the deadline land in the late-discard
+  // counter instead of resurrecting a completed call.
+  sim::Simulation sim;
+  WanParams params;
+  params.loss_rate = 0.3;
+  SimTransport transport(sim, WanModel(params, 23));
+  ContainerProfile slow = fast_profile();
+  slow.base_overhead = sim::Duration::seconds(3);
+  RpcServer server(sim, transport, slow);
+  server.register_typed<EchoRequest, EchoReply>(
+      1, [](const EchoRequest& request, NodeId) {
+        return std::make_pair(EchoReply{request.value + 1, request.text},
+                              sim::Duration::zero());
+      });
+  RpcClient client(sim, transport);
+
+  const int n = 50;
+  int ok = 0, timed_out = 0;
+  for (int i = 0; i < n; ++i) {
+    sim.schedule_at(sim::Time::from_seconds(20.0 * i), [&, i] {
+      EchoRequest request;
+      request.value = std::uint64_t(i);
+      // 3.2 s deadline vs 3 s service time: distant-node jitter decides
+      // whether a surviving reply is on time or discarded late.
+      client.call<EchoRequest, EchoReply>(
+          server.node(), 1, request, sim::Duration::millis(3200),
+          [&](Result<EchoReply> result) {
+            if (result.ok()) {
+              ++ok;
+            } else {
+              EXPECT_EQ(result.error(), "timeout");
+              ++timed_out;
+            }
+          });
+    });
+  }
+  sim.run();
+
+  EXPECT_EQ(ok + timed_out, n);  // exactly one callback per call
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(timed_out, 0);
+  EXPECT_EQ(client.calls_timed_out(), std::uint64_t(timed_out));
+  EXPECT_EQ(client.calls_in_flight(), 0u);
+  // Dropped requests/replies plus late-discarded replies cover every
+  // timeout; a reply can only be late if neither leg was dropped.
+  EXPECT_LE(client.replies_discarded_late(), std::uint64_t(timed_out));
+  EXPECT_GT(transport.packets_dropped(DropCause::kLoss), 0u);
 }
 
 TEST(Rpc, UnknownMethodTimesOut) {
@@ -184,17 +238,24 @@ TEST(Rpc, MalformedRequestSwallowedByTypedHandler) {
   EXPECT_TRUE(done);
 }
 
-TEST(Rpc, ClientDestructionCancelsTimeouts) {
+TEST(Rpc, ClientDestructionFailsPendingCalls) {
   sim::Simulation sim;
   SimTransport transport(sim, WanModel(WanParams{}, 18));
   RpcServer server(sim, transport, fast_profile());
+  int invoked = 0;
   {
     RpcClient client(sim, transport);
     client.call<EchoRequest, EchoReply>(server.node(), 1, EchoRequest{},
                                         sim::Duration::seconds(30),
-                                        [](Result<EchoReply>) { FAIL(); });
-  }  // destroyed with call in flight
-  sim.run();  // must not crash or invoke the dead callback
+                                        [&](Result<EchoReply> result) {
+                                          ++invoked;
+                                          ASSERT_FALSE(result.ok());
+                                          EXPECT_EQ(result.error(), "client shutdown");
+                                        });
+  }  // destroyed with call in flight: done fires exactly once, with an error
+  EXPECT_EQ(invoked, 1);
+  sim.run();  // the cancelled timeout must not re-invoke the callback
+  EXPECT_EQ(invoked, 1);
 }
 
 }  // namespace

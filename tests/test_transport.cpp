@@ -70,6 +70,67 @@ TEST(SimTransport, LossyLinkDropsSomePackets) {
   EXPECT_GT(transport.packets_dropped(), 50u);
   EXPECT_LT(transport.packets_dropped(), 150u);
   EXPECT_EQ(b.received.size(), 200u - transport.packets_dropped());
+  // Every one of those drops was the WAN loss coin, not a fault.
+  EXPECT_EQ(transport.packets_dropped(DropCause::kLoss), transport.packets_dropped());
+  EXPECT_EQ(transport.packets_dropped(DropCause::kPartition), 0u);
+  EXPECT_EQ(transport.packets_dropped(DropCause::kUnknownDestination), 0u);
+}
+
+TEST(SimTransport, UnknownDestinationDropsCountedByCause) {
+  sim::Simulation sim;
+  SimTransport transport(sim, WanModel(WanParams{}, 4));
+  RecordingEndpoint a, b;
+  const NodeId na = transport.attach(a);
+  const NodeId nb = transport.attach(b);
+  transport.send(Packet{na, NodeId(999), {1}});  // never attached
+  transport.send(Packet{na, nb, {2}});
+  transport.detach(nb);  // detach while the second packet is in flight
+  sim.run();
+  EXPECT_EQ(transport.packets_dropped(DropCause::kUnknownDestination), 2u);
+  EXPECT_EQ(transport.packets_dropped(), 2u);
+  EXPECT_EQ(transport.packets_dropped(DropCause::kLoss), 0u);
+}
+
+TEST(SimTransport, PartitionBlocksTrafficUntilHealed) {
+  sim::Simulation sim;
+  SimTransport transport(sim, WanModel(WanParams{}, 5));
+  RecordingEndpoint a, b;
+  const NodeId na = transport.attach(a);
+  const NodeId nb = transport.attach(b);
+
+  transport.set_island(nb, 1);
+  EXPECT_TRUE(transport.partitioned(na, nb));
+  transport.send(Packet{na, nb, {1}});
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(transport.packets_dropped(DropCause::kPartition), 1u);
+
+  transport.heal_partition();
+  EXPECT_FALSE(transport.partitioned(na, nb));
+  transport.send(Packet{na, nb, {2}});
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(transport.packets_dropped(), 1u);  // no new drops after the heal
+}
+
+TEST(SimTransport, ReattachRestoresDelivery) {
+  sim::Simulation sim;
+  SimTransport transport(sim, WanModel(WanParams{}, 6));
+  RecordingEndpoint a, b, b2;
+  const NodeId na = transport.attach(a);
+  const NodeId nb = transport.attach(b);
+  transport.detach(nb);
+  transport.send(Packet{na, nb, {1}});
+  sim.run();
+  EXPECT_EQ(transport.packets_dropped(DropCause::kUnknownDestination), 1u);
+
+  EXPECT_FALSE(transport.reattach(na, b2));           // address still in use
+  EXPECT_FALSE(transport.reattach(NodeId(999), b2));  // never issued
+  ASSERT_TRUE(transport.reattach(nb, b2));
+  transport.send(Packet{na, nb, {2}});
+  sim.run();
+  ASSERT_EQ(b2.received.size(), 1u);  // same address, new endpoint
+  EXPECT_TRUE(b.received.empty());
 }
 
 class CountingEndpoint : public Endpoint {
@@ -140,6 +201,18 @@ TEST(InProcTransport, DetachedMailboxDropsSends) {
   transport.send(Packet{na, nb, {1}});
   transport.drain();
   EXPECT_EQ(b.count.load(), 0);
+  EXPECT_EQ(transport.packets_dropped(), 1u);
+}
+
+TEST(InProcTransport, CountsUnknownDestinationSends) {
+  InProcTransport transport;
+  CountingEndpoint a;
+  const NodeId na = transport.attach(a);
+  transport.send(Packet{na, NodeId(77), {1}});  // never attached
+  transport.send(Packet{na, NodeId(78), {2}});
+  transport.drain();
+  EXPECT_EQ(transport.packets_dropped(), 2u);
+  EXPECT_EQ(a.count.load(), 0);
 }
 
 TEST(InProcTransport, ManySendersOneReceiver) {

@@ -83,5 +83,46 @@ TEST(Wan, LossRate) {
   for (int i = 0; i < 1000; ++i) ASSERT_FALSE(reliable.drop());
 }
 
+TEST(Wan, LinkOverrideScalesLatencyOnlyForThatPair) {
+  WanModel wan(WanParams{}, 9);
+  const sim::Duration base12 = wan.base_latency(NodeId(1), NodeId(2));
+  const sim::Duration base13 = wan.base_latency(NodeId(1), NodeId(3));
+
+  LinkOverride slow;
+  slow.latency_factor = 3.0;
+  wan.set_link_override(NodeId(1), NodeId(2), slow);
+  EXPECT_EQ(wan.link_overrides(), 1u);
+  EXPECT_NEAR(wan.base_latency(NodeId(1), NodeId(2)).to_seconds(),
+              3.0 * base12.to_seconds(), 1e-6);
+  // The override keys the unordered pair, so both directions degrade.
+  EXPECT_EQ(wan.base_latency(NodeId(2), NodeId(1)),
+            wan.base_latency(NodeId(1), NodeId(2)));
+  EXPECT_EQ(wan.base_latency(NodeId(1), NodeId(3)), base13);
+
+  wan.clear_link_override(NodeId(1), NodeId(2));
+  EXPECT_EQ(wan.link_overrides(), 0u);
+  EXPECT_EQ(wan.base_latency(NodeId(1), NodeId(2)), base12);
+}
+
+TEST(Wan, LinkOverrideAddsLossOnTopOfGlobalRate) {
+  WanModel wan(WanParams{}, 10);  // global loss rate 0
+  LinkOverride dead;
+  dead.extra_loss = 1.0;
+  wan.set_link_override(NodeId(1), NodeId(2), dead);
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(wan.drop(NodeId(1), NodeId(2)));
+  for (int i = 0; i < 200; ++i) ASSERT_FALSE(wan.drop(NodeId(1), NodeId(3)));
+
+  LinkOverride partial;  // setting again replaces the previous override
+  partial.extra_loss = 0.5;
+  wan.set_link_override(NodeId(1), NodeId(2), partial);
+  int drops = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) drops += wan.drop(NodeId(2), NodeId(1)) ? 1 : 0;
+  EXPECT_NEAR(double(drops) / n, 0.5, 0.03);
+
+  wan.clear_link_overrides();
+  for (int i = 0; i < 200; ++i) ASSERT_FALSE(wan.drop(NodeId(1), NodeId(2)));
+}
+
 }  // namespace
 }  // namespace digruber::net

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Build the whole tree under ASan+UBSan and run the test suite.
+# Usage: tools/sanitize.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan "$@"
