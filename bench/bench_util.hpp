@@ -3,21 +3,27 @@
 // Shared plumbing for the paper-reproduction benches: canonical scenario
 // configurations (the PlanetLab deployment of Section 4) and table
 // renderers matching the paper's layout. Every bench accepts `--quick`
-// (shorter run for smoke-testing) and `--seed N`.
+// (shorter run for smoke-testing), `--seed N`, and `--trace <path>`
+// (event-trace export, Chrome trace_event JSON by default or JSONL via
+// `--trace-format jsonl`).
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "digruber/common/table.hpp"
 #include "digruber/diperf/report.hpp"
 #include "digruber/experiments/scenario.hpp"
+#include "digruber/trace/export.hpp"
 
 namespace digruber::bench {
 
 struct BenchArgs {
   bool quick = false;
   std::uint64_t seed = 7;
+  std::string trace_path;            // empty = tracing off
+  std::string trace_format = "chrome";  // chrome | jsonl
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -27,12 +33,45 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.quick = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      args.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-format") == 0 && i + 1 < argc) {
+      args.trace_format = argv[++i];
+      if (args.trace_format != "chrome" && args.trace_format != "jsonl") {
+        std::cerr << "unknown trace format '" << args.trace_format
+                  << "' (expected chrome or jsonl)\n";
+        std::exit(2);
+      }
     } else {
-      std::cerr << "usage: " << argv[0] << " [--quick] [--seed N]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--quick] [--seed N] [--trace out.json]"
+                   " [--trace-format chrome|jsonl]\n";
       std::exit(2);
     }
   }
   return args;
+}
+
+/// A tracer for the run when `--trace` was given, else null. Attach it via
+/// `cfg.tracer = tracer.get()`.
+inline std::unique_ptr<trace::Tracer> make_tracer(const BenchArgs& args) {
+  if (args.trace_path.empty()) return nullptr;
+  return std::make_unique<trace::Tracer>();
+}
+
+/// Write the recorded trace to `args.trace_path` (no-op without --trace).
+inline void save_trace(const BenchArgs& args, const trace::Tracer* tracer,
+                       std::ostream& os) {
+  if (!tracer || args.trace_path.empty()) return;
+  const std::string error =
+      trace::write_trace_file(args.trace_path, args.trace_format, *tracer);
+  if (!error.empty()) {
+    std::cerr << "trace export failed: " << error << "\n";
+    return;
+  }
+  os << "event trace (" << tracer->total_recorded() << " events, "
+     << tracer->total_dropped() << " dropped) -> " << args.trace_path << " ["
+     << args.trace_format << "]\n";
 }
 
 /// The paper's PlanetLab experiment (Section 4.3): ~120 submission hosts

@@ -74,7 +74,13 @@ int main(int argc, char** argv) {
   // A non-empty plan implies client failover (primary + 2 backups,
   // 10 s per-attempt deadline inside the paper's 60 s budget).
 
+  // With --trace, the faulted run (not the control) records an event
+  // trace: the crash/heal fault markers, every query's attempt/failover
+  // tree, and the packet hops between them, for Perfetto or trace_inspect.
+  const std::unique_ptr<trace::Tracer> tracer = bench::make_tracer(args);
+  cfg.tracer = tracer.get();
   const experiments::ScenarioResult r = experiments::run_scenario(cfg);
+  cfg.tracer = nullptr;
 
   bench::print_run_banner(std::cout, r);
   std::cout << "fault plan:\n" << cfg.fault_plan.describe() << "\n";
@@ -171,7 +177,11 @@ int main(int argc, char** argv) {
             << Table::pct(healed.mean_accuracy()) << " healed vs "
             << Table::pct(control_healed.mean_accuracy()) << " control)\n\n";
 
+  diperf::render_latency_percentiles(std::cout, r.handled, r.not_handled, r.all);
+
   diperf::render_resilience(std::cout, r.resilience);
+
+  bench::save_trace(args, tracer.get(), std::cout);
 
   std::cout << "Expected shape: with failover, availability stays at the\n"
                "fault-free control level through the dp0 outage (backups\n"

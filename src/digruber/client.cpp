@@ -37,7 +37,7 @@ void DiGruberClient::rebind(NodeId decision_point) {
 }
 
 void DiGruberClient::finish_with_fallback(grid::Job job, Done done, sim::Time t0,
-                                          bool starved) {
+                                          bool starved, trace::SpanContext qctx) {
   ++fallbacks_;
   if (starved) ++starvations_;
   QueryOutcome outcome;
@@ -45,6 +45,12 @@ void DiGruberClient::finish_with_fallback(grid::Job job, Done done, sim::Time t0
   outcome.handled_by_gruber = false;
   outcome.starved = starved;
   outcome.response = sim_.now() - t0;
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kClient, id_.value(), "query.fallback", qctx,
+               std::int64_t(outcome.site.value()), starved ? 1 : 0);
+    t->end(trace::Category::kClient, id_.value(), "query", qctx, /*handled=*/0,
+           std::int64_t(outcome.site.value()));
+  }
   done(std::move(job), outcome);
 }
 
@@ -70,23 +76,31 @@ void DiGruberClient::on_dp_failure(std::size_t idx) {
     h.half_open = false;
     h.open_until = sim_.now() + options_.breaker_cooldown;
     ++breaker_trips_;
+    if (auto* t = trace::current()) {
+      t->instant(trace::Category::kClient, id_.value(), "breaker.probe_failed",
+                 t->ambient(), std::int64_t(idx));
+    }
     return;
   }
   if (!h.open && h.consecutive_failures >= options_.breaker_threshold) {
     h.open = true;
     h.open_until = sim_.now() + options_.breaker_cooldown;
     ++breaker_trips_;
+    if (auto* t = trace::current()) {
+      t->instant(trace::Category::kClient, id_.value(), "breaker.open",
+                 t->ambient(), std::int64_t(idx));
+    }
   }
 }
 
 void DiGruberClient::on_dp_success(std::size_t idx) { health_[idx] = DpHealth{}; }
 
 void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
-                                         NodeId dp,
-                                         const GetSiteLoadsReply& reply) {
+                                         NodeId dp, const GetSiteLoadsReply& reply,
+                                         trace::SpanContext qctx) {
   const std::optional<SiteId> site = selector_->select(reply.candidates, job);
   if (!site) {
-    finish_with_fallback(std::move(job), std::move(done), t0, true);
+    finish_with_fallback(std::move(job), std::move(done), t0, true, qctx);
     return;
   }
   std::int32_t believed_free = -1;
@@ -113,10 +127,18 @@ void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
   sim::Duration remaining = options_.timeout - elapsed;
   if (remaining < sim::Duration::seconds(1)) remaining = sim::Duration::seconds(1);
 
+  // The selection-report round trip gets its own child span; the guard
+  // makes it the ambient context so the rpc layer propagates it.
+  trace::SpanContext rctx;
+  if (auto* t = trace::current()) {
+    rctx = t->begin(trace::Category::kClient, id_.value(), "query.report", qctx,
+                    std::int64_t(site->value()), believed_free);
+  }
+  trace::ContextGuard guard(rctx);
   rpc_.call<ReportSelectionRequest, Ack>(
       dp, kReportSelection, report, remaining,
       [this, job = std::move(job), done = std::move(done), t0, site = *site,
-       believed_free, dp](Result<Ack> /*ack*/) mutable {
+       believed_free, dp, qctx, rctx](Result<Ack> ack) mutable {
         // Whether or not the ack made it back, the selection stands:
         // it was computed from decision-point state.
         ++handled_;
@@ -126,6 +148,12 @@ void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
         outcome.response = sim_.now() - t0;
         outcome.believed_free = believed_free;
         outcome.served_by = dp;
+        if (auto* t = trace::current()) {
+          t->end(trace::Category::kClient, id_.value(), "query.report", rctx,
+                 ack.ok() ? 1 : 0);
+          t->end(trace::Category::kClient, id_.value(), "query", qctx,
+                 /*handled=*/1, std::int64_t(site.value()));
+        }
         done(std::move(job), outcome);
       });
 }
@@ -134,8 +162,16 @@ void DiGruberClient::schedule(grid::Job job, Done done) {
   ++queries_;
   const sim::Time t0 = sim_.now();
 
+  // Root span of this query's trace tree: every attempt, handler, and
+  // packet hop it causes correlates under one trace id.
+  trace::SpanContext qctx;
+  if (auto* t = trace::current()) {
+    qctx = t->begin(trace::Category::kClient, id_.value(), "query", {},
+                    std::int64_t(job.id.value()), std::int64_t(job.vo.value()));
+  }
+
   if (failover_active()) {
-    attempt(std::move(job), std::move(done), t0, 0);
+    attempt(std::move(job), std::move(done), t0, 0, qctx);
     return;
   }
 
@@ -148,34 +184,48 @@ void DiGruberClient::schedule(grid::Job job, Done done) {
   request.user = job.user;
   request.cpus = job.cpus;
 
+  trace::SpanContext actx;
+  if (auto* t = trace::current()) {
+    actx = t->begin(trace::Category::kClient, id_.value(), "query.attempt", qctx,
+                    0, std::int64_t(dps_.front().value()));
+  }
+  trace::ContextGuard guard(actx);
   rpc_.call<GetSiteLoadsRequest, GetSiteLoadsReply>(
       dps_.front(), kGetSiteLoads, request, options_.timeout,
-      [this, job = std::move(job), done = std::move(done), t0](
-          Result<GetSiteLoadsReply> result) mutable {
+      [this, job = std::move(job), done = std::move(done), t0, qctx,
+       actx](Result<GetSiteLoadsReply> result) mutable {
+        if (auto* t = trace::current()) {
+          t->end(trace::Category::kClient, id_.value(), "query.attempt", actx,
+                 result.ok() ? 1 : 0);
+        }
         if (!result.ok()) {
-          finish_with_fallback(std::move(job), std::move(done), t0, false);
+          finish_with_fallback(std::move(job), std::move(done), t0, false, qctx);
           return;
         }
         // dps_.front() re-read here: a mid-query rebind directs the
         // report to the new primary, as the pre-failover client did.
         complete_with_reply(std::move(job), std::move(done), t0, dps_.front(),
-                            result.value());
+                            result.value(), qctx);
       });
 }
 
 void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
-                             std::uint32_t attempt_n) {
+                             std::uint32_t attempt_n, trace::SpanContext qctx) {
   const sim::Time deadline = t0 + options_.timeout;
   const int idx = pick_dp();
   if (idx < 0) {
     // Every decision point's breaker is open and cooling down (or probing).
     ++all_down_fallbacks_;
-    finish_with_fallback(std::move(job), std::move(done), t0, false);
+    if (auto* t = trace::current()) {
+      t->instant(trace::Category::kClient, id_.value(), "query.all_dps_down",
+                 qctx, std::int64_t(attempt_n));
+    }
+    finish_with_fallback(std::move(job), std::move(done), t0, false, qctx);
     return;
   }
   const sim::Duration remaining = deadline - sim_.now();
   if (remaining < sim::Duration::seconds(1)) {
-    finish_with_fallback(std::move(job), std::move(done), t0, false);
+    finish_with_fallback(std::move(job), std::move(done), t0, false, qctx);
     return;
   }
   sim::Duration per_attempt = remaining;
@@ -192,14 +242,24 @@ void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
   request.cpus = job.cpus;
 
   const NodeId dp = dps_[std::size_t(idx)];
+  trace::SpanContext actx;
+  if (auto* t = trace::current()) {
+    actx = t->begin(trace::Category::kClient, id_.value(), "query.attempt", qctx,
+                    std::int64_t(attempt_n), std::int64_t(dp.value()));
+  }
+  trace::ContextGuard guard(actx);
   rpc_.call<GetSiteLoadsRequest, GetSiteLoadsReply>(
       dp, kGetSiteLoads, request, per_attempt,
       [this, job = std::move(job), done = std::move(done), t0, attempt_n, idx,
-       dp](Result<GetSiteLoadsReply> result) mutable {
+       dp, qctx, actx](Result<GetSiteLoadsReply> result) mutable {
+        if (auto* t = trace::current()) {
+          t->end(trace::Category::kClient, id_.value(), "query.attempt", actx,
+                 result.ok() ? 1 : 0);
+        }
         if (result.ok()) {
           on_dp_success(std::size_t(idx));
           complete_with_reply(std::move(job), std::move(done), t0, dp,
-                              result.value());
+                              result.value(), qctx);
           return;
         }
         on_dp_failure(std::size_t(idx));
@@ -217,13 +277,18 @@ void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
         const sim::Time deadline = t0 + options_.timeout;
         const sim::Time next = sim_.now() + sim::Duration::seconds(delay_s);
         if (next + sim::Duration::seconds(1) > deadline) {
-          finish_with_fallback(std::move(job), std::move(done), t0, false);
+          finish_with_fallback(std::move(job), std::move(done), t0, false, qctx);
           return;
         }
         ++failovers_;
-        sim_.schedule_at(next, [this, job = std::move(job),
-                                done = std::move(done), t0, attempt_n]() mutable {
-          attempt(std::move(job), std::move(done), t0, attempt_n + 1);
+        if (auto* t = trace::current()) {
+          t->instant(trace::Category::kClient, id_.value(), "query.failover",
+                     qctx, std::int64_t(attempt_n),
+                     (next - sim_.now()).us());
+        }
+        sim_.schedule_at(next, [this, job = std::move(job), done = std::move(done),
+                                t0, attempt_n, qctx]() mutable {
+          attempt(std::move(job), std::move(done), t0, attempt_n + 1, qctx);
         });
       });
 }

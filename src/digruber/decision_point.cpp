@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "digruber/common/log.hpp"
+#include "digruber/trace/trace.hpp"
 
 namespace digruber::digruber {
 
@@ -67,6 +68,10 @@ void DecisionPoint::crash() {
   applied_.clear();
   last_peer_round_.clear();
   engine_.view().clear();
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "dp.crash", {},
+               std::int64_t(incarnation_));
+  }
   log::info("digruber", "dp ", id_.value(), " crashed");
 }
 
@@ -94,6 +99,10 @@ void DecisionPoint::restart(const std::vector<grid::SiteSnapshot>& snapshots) {
   window_base_sum_s_ = stats.mean() * double(stats.count());
   last_signal_ = sim::Time::zero();
   start_timers();
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "dp.restart", {},
+               std::int64_t(incarnation_));
+  }
   run_catch_up();
   log::info("digruber", "dp ", id_.value(), " restarted (incarnation ",
             incarnation_, ")");
@@ -104,13 +113,23 @@ void DecisionPoint::run_catch_up() {
   CatchUpRequest request;
   request.from = id_;
   request.incarnation = incarnation_;
+  // The catch-up span covers issuing the fan-out; each neighbor's reply
+  // lands later as a "dp.catchup_applied" instant under the same trace.
+  trace::SpanContext cctx;
+  if (auto* t = trace::current()) {
+    cctx = t->begin(trace::Category::kDp, id_.value(), "dp.catchup", {},
+                    std::int64_t(neighbors_.size()),
+                    std::int64_t(incarnation_));
+  }
+  trace::ContextGuard cguard(cctx);
   for (const NodeId neighbor : neighbors_) {
     peer_client_.call<CatchUpRequest, CatchUpReply>(
         neighbor, kCatchUp, request, options_.catchup_timeout,
-        [this, incarnation = incarnation_](Result<CatchUpReply> result) {
+        [this, incarnation = incarnation_, cctx](Result<CatchUpReply> result) {
           // A second crash while this call was in flight invalidates it.
           if (!running_ || incarnation_ != incarnation) return;
           if (!result.ok()) return;
+          std::int64_t applied = 0;
           for (const gruber::DispatchRecord& record : result.value().records) {
             auto& seen = applied_[record.origin];
             if (!seen.insert(record.seq).second) {
@@ -119,9 +138,19 @@ void DecisionPoint::run_catch_up() {
             }
             engine_.record(record);
             ++resync_applied_;
+            ++applied;
             // Not re-buffered into fresh_: neighbors already hold these.
           }
+          if (auto* t = trace::current()) {
+            t->instant(trace::Category::kDp, id_.value(), "dp.catchup_applied",
+                       cctx, applied,
+                       std::int64_t(result.value().records.size()));
+          }
         });
+  }
+  if (auto* t = trace::current()) {
+    t->end(trace::Category::kDp, id_.value(), "dp.catchup", cctx,
+           std::int64_t(neighbors_.size()));
   }
 }
 
@@ -167,6 +196,14 @@ net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> b
   reply.candidates = engine_.candidates(probe, sim_.now());
   reply.as_of = sim_.now();
 
+  // Ambient here is the rpc.serve span, so the instant lands inside the
+  // caller's query trace.
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "dp.get_site_loads",
+               t->ambient(), std::int64_t(reply.candidates.size()),
+               std::int64_t(request.vo.value()));
+  }
+
   net::Served served;
   served.handler_cost =
       options_.eval_cost_per_site * double(engine_.view().site_count());
@@ -194,6 +231,12 @@ net::Served DecisionPoint::handle_report_selection(std::span<const std::uint8_t>
   engine_.record(record);
   applied_[id_].insert(record.seq);
   if (options_.dissemination != Dissemination::kNone) fresh_.push_back(record);
+
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "dp.report_selection",
+               t->ambient(), std::int64_t(request.site.value()),
+               std::int64_t(request.cpus));
+  }
 
   net::Served served;
   served.handler_cost = sim::Duration::millis(5);
@@ -240,6 +283,12 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
     engine_.view().apply_snapshot(snapshot);
   }
 
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "dp.exchange_recv",
+               t->ambient(), std::int64_t(message.dispatches.size()),
+               std::int64_t(message.from.value()));
+  }
+
   net::Served served;
   served.handler_cost =
       sim::Duration::millis(0.2) * double(message.dispatches.size() + 1);
@@ -253,6 +302,13 @@ void DecisionPoint::run_exchange() {
   message.exchange_round = ++exchange_round_;
   message.dispatches = std::move(fresh_);
   fresh_.clear();
+  trace::SpanContext xctx;
+  if (auto* t = trace::current()) {
+    xctx = t->begin(trace::Category::kDp, id_.value(), "dp.exchange", {},
+                    std::int64_t(message.exchange_round),
+                    std::int64_t(message.dispatches.size()));
+  }
+  trace::ContextGuard xguard(xctx);
   if (options_.dissemination == Dissemination::kUslaAndUsage) {
     // Strategy 1 also ships the sender's estimated site states. They are
     // stamped one exchange interval in the past: the sender cannot know
@@ -273,6 +329,10 @@ void DecisionPoint::run_exchange() {
     peer_client_.notify(neighbor, kExchange, message);
     ++exchanges_sent_;
   }
+  if (auto* t = trace::current()) {
+    t->end(trace::Category::kDp, id_.value(), "dp.exchange", xctx,
+           std::int64_t(neighbors_.size()));
+  }
 }
 
 void DecisionPoint::check_saturation() {
@@ -292,6 +352,12 @@ void DecisionPoint::check_saturation() {
   }
   last_signal_ = sim_.now();
   ++saturation_signals_;
+
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "dp.saturated", {},
+               std::int64_t(server_.container().queue_depth()),
+               std::int64_t(window_avg * 1e6));
+  }
 
   SaturationSignal signal;
   signal.from = id_;

@@ -7,6 +7,7 @@
 #include "digruber/digruber/protocol.hpp"
 #include "digruber/gruber/selectors.hpp"
 #include "digruber/net/rpc.hpp"
+#include "digruber/trace/trace.hpp"
 
 namespace digruber::digruber {
 
@@ -112,12 +113,14 @@ class DiGruberClient {
   void on_dp_failure(std::size_t idx);
   void on_dp_success(std::size_t idx);
 
-  void attempt(grid::Job job, Done done, sim::Time t0, std::uint32_t attempt_n);
+  void attempt(grid::Job job, Done done, sim::Time t0, std::uint32_t attempt_n,
+               trace::SpanContext qctx);
   /// Shared second round trip: run the selector over `reply` and report
   /// the selection to `dp` (the decision point that answered).
   void complete_with_reply(grid::Job job, Done done, sim::Time t0, NodeId dp,
-                           const GetSiteLoadsReply& reply);
-  void finish_with_fallback(grid::Job job, Done done, sim::Time t0, bool starved);
+                           const GetSiteLoadsReply& reply, trace::SpanContext qctx);
+  void finish_with_fallback(grid::Job job, Done done, sim::Time t0, bool starved,
+                            trace::SpanContext qctx);
 
   sim::Simulation& sim_;
   net::RpcClient rpc_;

@@ -19,4 +19,13 @@ void render_figure(std::ostream& os, const std::string& title,
 /// below its figure.
 void render_resilience(std::ostream& os, const metrics::ResilienceCounters& counters);
 
+/// Render the response-time percentile block (p50/p95/p99 from the
+/// HDR-style histogram in MetricValues) for the handled / not-handled /
+/// all slices. Kept out of render_figure so the paper-figure benches stay
+/// byte-identical with tracing and telemetry disabled.
+void render_latency_percentiles(std::ostream& os,
+                                const metrics::MetricValues& handled,
+                                const metrics::MetricValues& not_handled,
+                                const metrics::MetricValues& all);
+
 }  // namespace digruber::diperf

@@ -43,6 +43,28 @@ void render_figure(std::ostream& os, const std::string& title,
      << ", failures: " << collector.failures() << "\n\n";
 }
 
+void render_latency_percentiles(std::ostream& os,
+                                const metrics::MetricValues& handled,
+                                const metrics::MetricValues& not_handled,
+                                const metrics::MetricValues& all) {
+  os << "== response-time percentiles ==\n";
+  Table table({"", "# of Req", "Mean (s)", "p50 (s)", "p95 (s)", "p99 (s)"});
+  auto row = [&](const char* label, const metrics::MetricValues& v) {
+    if (v.requests == 0) {
+      table.add_row({label, "0", "-", "-", "-", "-"});
+      return;
+    }
+    table.add_row({label, std::to_string(v.requests), Table::num(v.response_s, 2),
+                   Table::num(v.response_p50_s, 2), Table::num(v.response_p95_s, 2),
+                   Table::num(v.response_p99_s, 2)});
+  };
+  row("Handled by GRUBER", handled);
+  row("NOT handled (fallback)", not_handled);
+  row("All requests", all);
+  table.render(os);
+  os << "\n";
+}
+
 void render_resilience(std::ostream& os,
                        const metrics::ResilienceCounters& counters) {
   os << "== resilience counters ==\n";

@@ -8,6 +8,7 @@
 #include "digruber/metrics/metrics.hpp"
 #include "digruber/net/wan.hpp"
 #include "digruber/sim/fault_plan.hpp"
+#include "digruber/trace/trace.hpp"
 #include "digruber/workload/generator.hpp"
 #include "digruber/workload/trace.hpp"
 
@@ -75,6 +76,15 @@ struct ScenarioConfig {
   bool enable_failover = false;
   int failover_backups = 2;
   sim::Duration attempt_timeout = sim::Duration::seconds(10);
+
+  /// Event tracing (optional, off by default). When set, the tracer is
+  /// installed as the thread-current tracer for the whole run and bound to
+  /// the scenario's simulation clock; phase boundaries, fault injections,
+  /// queries, rpc serves, and packet hops are recorded into it. Tracing
+  /// never perturbs the simulation: no events are scheduled and no
+  /// randomness is drawn, so traced and untraced runs produce identical
+  /// results.
+  trace::Tracer* tracer = nullptr;
 };
 
 struct DpStats {

@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -153,6 +154,18 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
   sim::Simulation sim(config.seed);
   net::SimTransport transport(sim, net::WanModel(config.wan, config.seed ^ 0xA11CEULL));
+
+  // Install the caller's tracer (if any) for the duration of this run and
+  // stamp events with this scenario's simulation clock. The session object
+  // restores any previously-current tracer on scope exit.
+  std::optional<trace::TraceSession> trace_session;
+  if (config.tracer) {
+    config.tracer->bind_clock(&sim);
+    trace_session.emplace(*config.tracer);
+    config.tracer->instant(trace::Category::kScenario, 0, "scenario.start", {},
+                           std::int64_t(config.n_dps),
+                           std::int64_t(config.n_clients));
+  }
 
   // --- Emulated grid (OSG x scale) and VO catalog. ------------------------
   Rng topo_rng = sim.rng().fork();
@@ -349,6 +362,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
         }
         return peers;
       };
+      if (auto* t = trace::current()) {
+        static const char* const kFaultNames[] = {
+            "fault.crash",        "fault.restart",      "fault.partition",
+            "fault.heal",         "fault.link_degrade", "fault.link_restore"};
+        t->instant(trace::Category::kScenario, 0,
+                   kFaultNames[std::size_t(event.kind)], {},
+                   std::int64_t(event.dp));
+      }
       switch (event.kind) {
         case sim::FaultKind::kDpCrash:
           dps[event.dp]->crash();
@@ -400,10 +421,23 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   const sim::Duration spacing = span * (1.0 / double(config.n_clients));
   controller.schedule(sim::Duration::seconds(1), spacing,
                       sim::Time::zero() + config.duration);
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kScenario, 0, "ramp.begin", {},
+               spacing.us(), span.us());
+  }
 
   sim.run_until(sim::Time::zero() + config.duration);
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kScenario, 0, "scenario.window_end", {},
+               std::int64_t(sim.events_processed()));
+  }
   for (auto& dp : dps) dp->stop();
   sim.run();  // drain in-flight queries and running jobs
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kScenario, 0, "scenario.end", {},
+               std::int64_t(sim.events_processed()),
+               std::int64_t(dps.size()));
+  }
 
   // --- Harvest. --------------------------------------------------------------
   ScenarioResult result;

@@ -5,6 +5,7 @@
 
 #include "digruber/common/stats.hpp"
 #include "digruber/grid/job.hpp"
+#include "digruber/trace/histogram.hpp"
 
 namespace digruber::metrics {
 
@@ -23,6 +24,13 @@ namespace digruber::metrics {
 /// variant is also computed and reported as `accuracy_total_share`.
 struct MetricValues {
   double response_s = 0.0;
+  /// Response-time distribution tail, from an HDR-style log-bucketed
+  /// histogram over the slice (<1% relative error). Mean response hides
+  /// the deadline-bound worst case; the paper's 60 s client timeout makes
+  /// the tail the interesting part.
+  double response_p50_s = 0.0;
+  double response_p95_s = 0.0;
+  double response_p99_s = 0.0;
   double throughput_qps = 0.0;
   double qtime_s = 0.0;
   double norm_qtime_s = 0.0;  // QTime / #requests (paper Table 1 column)

@@ -14,6 +14,7 @@ void MetricsAccumulator::add(const RequestSample& sample) {
 MetricValues MetricsAccumulator::compute(Slice slice) const {
   MetricValues out;
   double response_sum = 0.0;
+  trace::LogHistogram response_hist;
   double qtime_sum = 0.0;
   std::uint64_t started = 0;
   double accuracy_sum = 0.0;
@@ -28,6 +29,7 @@ MetricValues MetricsAccumulator::compute(Slice slice) const {
     if (!in_slice) continue;
     ++out.requests;
     response_sum += s.response_s;
+    response_hist.record(std::int64_t(s.response_s * 1e6));  // µs resolution
     if (s.dispatched) {
       ++dispatched;
       accuracy_sum += s.accuracy;
@@ -43,6 +45,9 @@ MetricValues MetricsAccumulator::compute(Slice slice) const {
   if (out.requests == 0) return out;
   out.request_share = double(out.requests) / double(std::max<std::size_t>(1, samples_.size()));
   out.response_s = response_sum / double(out.requests);
+  out.response_p50_s = double(response_hist.p50()) * 1e-6;
+  out.response_p95_s = double(response_hist.p95()) * 1e-6;
+  out.response_p99_s = double(response_hist.p99()) * 1e-6;
   out.throughput_qps = window_s_ > 0 ? double(out.requests) / window_s_ : 0.0;
   out.qtime_s = started ? qtime_sum / double(started) : 0.0;
   out.norm_qtime_s = out.qtime_s / double(out.requests);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "digruber/common/log.hpp"
+#include "digruber/trace/trace.hpp"
 
 namespace digruber::net {
 
@@ -61,15 +62,35 @@ void RpcServer::on_packet(Packet packet) {
   const std::uint16_t method = header.method;
   const bool wants_reply = kind == wire::FrameKind::kRequest;
 
+  // Serve span: request arrival -> reply sent, joining the caller's trace
+  // via the propagation side channel (zero wire-format impact). Covers the
+  // container's queue wait plus modelled service time — the sojourn.
+  trace::SpanContext serve_ctx;
+  if (auto* t = trace::current()) {
+    const trace::SpanContext caller = t->take_rpc(from.value(), correlation);
+    serve_ctx = t->begin(trace::Category::kRpc, node_.value(), "rpc.serve",
+                         caller, std::int64_t(method),
+                         std::int64_t(packet.payload.size()));
+  }
+
   // Copy the body: the container may queue the request past this packet's
   // lifetime.
   auto body_copy = std::make_shared<std::vector<std::uint8_t>>(body.begin(), body.end());
   const bool accepted = container_.submit(
       packet.payload.size(),
-      [this, body_copy, from, handler = &it->second]() -> Served {
+      [this, body_copy, from, serve_ctx, handler = &it->second]() -> Served {
+        // Ambient serve context while the handler runs, so handler-level
+        // events (and anything the handler sends) correlate to this serve.
+        trace::ContextGuard guard(serve_ctx);
         return (*handler)(std::span<const std::uint8_t>(*body_copy), from);
       },
-      [this, from, correlation, method, wants_reply](std::vector<std::uint8_t> reply) {
+      [this, from, correlation, method, wants_reply,
+       serve_ctx](std::vector<std::uint8_t> reply) {
+        trace::ContextGuard guard(serve_ctx);
+        if (auto* t = trace::current()) {
+          t->end(trace::Category::kRpc, node_.value(), "rpc.serve", serve_ctx,
+                 std::int64_t(method), std::int64_t(reply.size()));
+        }
         if (!wants_reply) return;
         wire::Writer w;
         wire::FrameHeader h;
@@ -82,8 +103,15 @@ void RpcServer::on_packet(Packet packet) {
         transport_.send(Packet{node_, from, w.take()});
       });
   if (!accepted && wants_reply) {
+    if (auto* t = trace::current()) {
+      t->end(trace::Category::kRpc, node_.value(), "rpc.serve", serve_ctx,
+             std::int64_t(method), -1);
+      t->instant(trace::Category::kRpc, node_.value(), "rpc.refused", serve_ctx,
+                 std::int64_t(method));
+    }
     // Connection refused: tell the caller immediately.
     const std::string reason = "refused";
+    trace::ContextGuard guard(serve_ctx);
     transport_.send(Packet{node_, from,
                            wire::make_frame(method, wire::FrameKind::kError,
                                             correlation, reason)});
@@ -120,6 +148,7 @@ void RpcClient::fail_all_pending(const std::string& reason) {
   failing.swap(pending_);
   for (auto& [correlation, pending] : failing) {
     sim_.cancel(pending.timeout_event);
+    if (auto* t = trace::current()) t->drop_rpc(node_.value(), correlation);
     pending.done(RawResult::failure(reason));
   }
 }
@@ -139,12 +168,26 @@ void RpcClient::call_raw(NodeId server, std::uint16_t method,
   w & header;
   w.raw(body.data(), body.size());
 
+  // Register the ambient span under (node, correlation) so the server's
+  // handler joins the caller's trace when the request arrives.
+  if (auto* t = trace::current()) {
+    const trace::SpanContext ctx = t->ambient();
+    if (ctx.valid()) t->propagate_rpc(node_.value(), correlation, ctx);
+  }
+
   const sim::EventId timeout_event = sim_.schedule_after(timeout, [this, correlation] {
     const auto it = pending_.find(correlation);
     if (it == pending_.end()) return;
     auto done = std::move(it->second.done);
     pending_.erase(it);
     ++timed_out_;
+    if (auto* t = trace::current()) {
+      // The request may still be in flight or queued server-side; forget
+      // the propagated context if nobody took it.
+      t->drop_rpc(node_.value(), correlation);
+      t->instant(trace::Category::kRpc, node_.value(), "rpc.timeout",
+                 t->ambient(), std::int64_t(correlation));
+    }
     done(RawResult::failure("timeout"));
   });
   pending_.emplace(correlation, Pending{timeout_event, std::move(done)});
@@ -159,6 +202,10 @@ void RpcClient::on_packet(Packet packet) {
   const auto it = pending_.find(header.correlation);
   if (it == pending_.end()) {
     ++late_;  // late reply after timeout (or never ours): discard
+    if (auto* t = trace::current()) {
+      t->instant(trace::Category::kRpc, node_.value(), "rpc.late_reply", {},
+                 std::int64_t(header.correlation));
+    }
     return;
   }
 

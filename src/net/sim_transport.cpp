@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "digruber/common/log.hpp"
+#include "digruber/trace/trace.hpp"
 
 namespace digruber::net {
 
@@ -46,24 +47,52 @@ void SimTransport::count_drop(DropCause cause) {
 void SimTransport::send(Packet packet) {
   ++sent_;
   bytes_ += packet.payload.size();
+  // Tag packet events with whatever span is sending (an rpc attempt, a
+  // serve reply, an exchange round) so the wire hop shows up inside the
+  // right trace tree. ctx stays zeroed when tracing is off.
+  trace::SpanContext ctx;
+  if (auto* t = trace::current()) {
+    ctx = t->ambient();
+    t->instant(trace::Category::kNet, packet.src.value(), "net.send", ctx,
+               std::int64_t(packet.dst.value()),
+               std::int64_t(packet.payload.size()));
+  }
   // Partition check first: it draws no randomness, so runs without
   // partitions keep the exact pre-fault RNG sequence.
   if (partitioned(packet.src, packet.dst)) {
     count_drop(DropCause::kPartition);
+    if (auto* t = trace::current()) {
+      t->instant(trace::Category::kNet, packet.src.value(), "net.drop", ctx,
+                 std::int64_t(DropCause::kPartition),
+                 std::int64_t(packet.dst.value()));
+    }
     return;
   }
   if (wan_.drop(packet.src, packet.dst)) {
     count_drop(DropCause::kLoss);
+    if (auto* t = trace::current()) {
+      t->instant(trace::Category::kNet, packet.src.value(), "net.drop", ctx,
+                 std::int64_t(DropCause::kLoss), std::int64_t(packet.dst.value()));
+    }
     return;
   }
   const sim::Duration delay = wan_.delay(packet.src, packet.dst, packet.payload.size());
-  sim_.schedule_after(delay, [this, p = std::move(packet)]() mutable {
+  sim_.schedule_after(delay, [this, ctx, p = std::move(packet)]() mutable {
     const auto it = endpoints_.find(p.dst);
     if (it == endpoints_.end()) {
       // Destination crashed/detached while the packet was in flight.
       count_drop(DropCause::kUnknownDestination);
+      if (auto* t = trace::current()) {
+        t->instant(trace::Category::kNet, p.dst.value(), "net.drop", ctx,
+                   std::int64_t(DropCause::kUnknownDestination),
+                   std::int64_t(p.src.value()));
+      }
       log::debug("net", "packet to detached node ", p.dst.value(), " dropped");
       return;
+    }
+    if (auto* t = trace::current()) {
+      t->instant(trace::Category::kNet, p.dst.value(), "net.deliver", ctx,
+                 std::int64_t(p.src.value()), std::int64_t(p.payload.size()));
     }
     it->second->on_packet(std::move(p));
   });

@@ -1,0 +1,127 @@
+#include "digruber/trace/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace digruber::trace {
+
+namespace {
+
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  if (v < 2) return 2;
+  return std::uint32_t(1) << (32 - std::countl_zero(v - 1));
+}
+
+}  // namespace
+
+LogHistogram::LogHistogram(std::uint32_t sub_buckets)
+    : sub_buckets_(round_up_pow2(sub_buckets)),
+      sub_shift_(std::uint32_t(std::countr_zero(sub_buckets_))) {}
+
+std::size_t LogHistogram::index_of(std::int64_t value) const {
+  const auto v = std::uint64_t(value);
+  if (v < sub_buckets_) return std::size_t(v);
+  // v >= sub_buckets_: shift so v >> k lands in [sub/2, sub); each
+  // power-of-two range contributes sub/2 linear sub-buckets.
+  const auto k = std::uint32_t(std::bit_width(v)) - sub_shift_;
+  const std::uint64_t half = sub_buckets_ / 2;
+  return std::size_t(sub_buckets_ + (k - 1) * half + ((v >> k) - half));
+}
+
+std::int64_t LogHistogram::lower_of(std::size_t index) const {
+  if (index < sub_buckets_) return std::int64_t(index);
+  const std::uint64_t half = sub_buckets_ / 2;
+  const std::uint64_t k = (index - sub_buckets_) / half + 1;
+  const std::uint64_t m = half + (index - sub_buckets_) % half;
+  return std::int64_t(m << k);
+}
+
+std::int64_t LogHistogram::upper_of(std::size_t index) const {
+  if (index < sub_buckets_) return std::int64_t(index) + 1;
+  const std::uint64_t half = sub_buckets_ / 2;
+  const std::uint64_t k = (index - sub_buckets_) / half + 1;
+  const std::uint64_t m = half + (index - sub_buckets_) % half;
+  return std::int64_t((m + 1) << k);
+}
+
+std::int64_t LogHistogram::representative(std::size_t index) const {
+  if (index < sub_buckets_) return std::int64_t(index);  // exact range
+  const std::int64_t lo = lower_of(index);
+  const std::int64_t hi = upper_of(index);
+  return lo + (hi - lo) / 2;
+}
+
+void LogHistogram::record_n(std::int64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  if (value < 0) {
+    value = 0;
+    clamped_ += count;
+  }
+  const std::size_t index = index_of(value);
+  if (index >= counts_.size()) counts_.resize(index + 1, 0);
+  counts_[index] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += double(value) * double(count);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.sub_buckets_ == sub_buckets_) {
+    if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];
+    min_ = count_ ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ ? std::max(max_, other.max_) : other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    clamped_ += other.clamped_;
+    return;
+  }
+  // Mismatched precision: re-record by representative (rare path).
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    if (other.counts_[i]) record_n(other.representative(i), other.counts_[i]);
+  }
+}
+
+void LogHistogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  clamped_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0;
+}
+
+double LogHistogram::mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+
+std::int64_t LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const auto rank = std::uint64_t(std::ceil(q * double(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(1, std::min(rank, count_));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      return std::clamp(representative(i), min_, max_);
+    }
+  }
+  return max_;  // unreachable when counters are consistent
+}
+
+std::vector<LogHistogram::Bucket> LogHistogram::buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out.push_back(Bucket{lower_of(i), upper_of(i), counts_[i]});
+  }
+  return out;
+}
+
+}  // namespace digruber::trace

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "digruber/trace/trace.hpp"
+
+namespace digruber::trace {
+
+/// Write every retained event as Chrome `trace_event` JSON, loadable in
+/// chrome://tracing and Perfetto. Each (category, actor) ring renders as
+/// one named track; spans become B/E duration events, instants become "i"
+/// events, counters become "C" events, and cross-actor correlation is
+/// drawn with flow arrows (s/t phases keyed by trace id).
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// Write every retained event as line-oriented JSON (one object per line,
+/// (ts, seq)-ordered) for scripting: jq, awk, and tools/trace_inspect.
+void write_jsonl(std::ostream& os, const Tracer& tracer);
+
+/// Write to `path` in the given format ("chrome" or "jsonl"). Returns an
+/// empty string on success, else an error message.
+std::string write_trace_file(const std::string& path, const std::string& format,
+                             const Tracer& tracer);
+
+}  // namespace digruber::trace

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace digruber::trace {
+
+/// HDR-style log-bucketed latency histogram over non-negative integer
+/// values (the trace subsystem records microseconds). Values below
+/// `sub_buckets` are counted exactly; above that, each power-of-two range
+/// is split into `sub_buckets / 2` linear sub-buckets, bounding the
+/// relative quantile error by 1 / sub_buckets (0.78% at the default 128).
+/// Memory is O(sub_buckets * log2(max value)) regardless of sample count,
+/// and min / max are tracked exactly so p0 / p100 are never approximated.
+class LogHistogram {
+ public:
+  explicit LogHistogram(std::uint32_t sub_buckets = 128);
+
+  void record(std::int64_t value) { record_n(value, 1); }
+  void record_n(std::int64_t value, std::uint64_t count);
+  void merge(const LogHistogram& other);
+  void clear();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::int64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::int64_t max() const { return count_ ? max_ : 0; }
+  [[nodiscard]] double mean() const;
+  /// Negative inputs clamped to zero before bucketing (latency cannot be
+  /// negative; a clamp beats silently corrupting the index math).
+  [[nodiscard]] std::uint64_t clamped() const { return clamped_; }
+
+  /// Value at quantile q in [0, 1]: the representative (range midpoint) of
+  /// the bucket holding the ceil(q * count)-th sample, clamped to the exact
+  /// observed [min, max]. q <= 0 returns min, q >= 1 returns max, exactly.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+  [[nodiscard]] std::int64_t p50() const { return quantile(0.50); }
+  [[nodiscard]] std::int64_t p90() const { return quantile(0.90); }
+  [[nodiscard]] std::int64_t p95() const { return quantile(0.95); }
+  [[nodiscard]] std::int64_t p99() const { return quantile(0.99); }
+
+  /// Largest relative error quantile() can make for values >= sub_buckets
+  /// (exact below that): half a sub-bucket width over the range start.
+  [[nodiscard]] double max_relative_error() const {
+    return 1.0 / double(sub_buckets_);
+  }
+
+  /// One populated bucket, for exporters and inspection.
+  struct Bucket {
+    std::int64_t lower = 0;  // inclusive range start
+    std::int64_t upper = 0;  // exclusive range end
+    std::uint64_t count = 0;
+  };
+  [[nodiscard]] std::vector<Bucket> buckets() const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(std::int64_t value) const;
+  [[nodiscard]] std::int64_t lower_of(std::size_t index) const;
+  [[nodiscard]] std::int64_t upper_of(std::size_t index) const;
+  [[nodiscard]] std::int64_t representative(std::size_t index) const;
+
+  std::uint32_t sub_buckets_;
+  std::uint32_t sub_shift_;  // log2(sub_buckets_)
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t clamped_ = 0;
+  double sum_ = 0.0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace digruber::trace

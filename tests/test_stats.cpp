@@ -103,6 +103,61 @@ TEST(Summary, MatchesSampleSet) {
   EXPECT_EQ(sum.count, 9u);
 }
 
+// --- Percentile edge cases (audit regression tests). -----------------------
+
+TEST(SampleSet, QuantileClampsOutOfRangeQ) {
+  SampleSet s;
+  for (const double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(-0.5), 1.0);  // below range -> min
+  EXPECT_DOUBLE_EQ(s.quantile(1.5), 3.0);   // above range -> max
+}
+
+TEST(SampleSet, SingleSampleEveryQuantile) {
+  SampleSet s;
+  s.add(42.0);
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(SampleSet, DuplicateValuesStable) {
+  SampleSet s;
+  for (int i = 0; i < 10; ++i) s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.01), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleSet, InterpolationBetweenAdjacentRanks) {
+  // Type-7 interpolation: pos = q*(n-1). For n=4, q=0.5 -> pos 1.5, the
+  // midpoint of the 2nd and 3rd order statistics.
+  SampleSet s;
+  for (const double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 25.0);
+  // Exactly on a rank: no interpolation error.
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.quantile(2.0 / 3.0), 30.0);
+}
+
+TEST(SampleSet, NegativeValues) {
+  SampleSet s;
+  for (const double x : {-5.0, -1.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.median(), -1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), -3.0);
+}
+
+TEST(SampleSet, MonotoneInQ) {
+  SampleSet s;
+  for (int i = 0; i < 101; ++i) s.add(double((i * 37) % 101));
+  double prev = s.quantile(0.0);
+  for (double q = 0.01; q <= 1.0; q += 0.01) {
+    const double cur = s.quantile(q);
+    EXPECT_GE(cur, prev) << "quantile not monotone at q=" << q;
+    prev = cur;
+  }
+}
+
 TEST(LinearFit, RecoversExactLine) {
   std::vector<double> x, y;
   for (int i = 0; i < 20; ++i) {

@@ -1,0 +1,328 @@
+#include "digruber/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "digruber/common/rng.hpp"
+#include "digruber/trace/export.hpp"
+#include "digruber/trace/histogram.hpp"
+
+namespace digruber::trace {
+namespace {
+
+// --- LogHistogram ----------------------------------------------------------
+
+TEST(LogHistogram, EmptyIsZero) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.p50(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, ExactBelowSubBucketCount) {
+  // Values below sub_buckets land in unit-width buckets: quantiles exact.
+  LogHistogram h(128);
+  for (std::int64_t v = 0; v < 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 99);
+  EXPECT_EQ(h.quantile(0.5), 49);   // ceil(0.5*100) = 50th sample = value 49
+  EXPECT_EQ(h.quantile(0.01), 0);
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(1.0), 99);
+}
+
+TEST(LogHistogram, BoundedRelativeErrorVsExact) {
+  // Log-normal-ish latencies across five decades; every quantile must fall
+  // within the documented relative-error bound of the exact answer.
+  LogHistogram h(128);
+  Rng rng(42);
+  std::vector<std::int64_t> exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    const auto v = std::int64_t(std::pow(10.0, 1.0 + 5.0 * u));
+    exact.push_back(v);
+    h.record(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const std::size_t rank =
+        std::min(exact.size() - 1,
+                 std::size_t(std::ceil(q * double(exact.size()))) - 1);
+    const double truth = double(exact[rank]);
+    const double est = double(h.quantile(q));
+    EXPECT_NEAR(est, truth, truth * 2.0 * h.max_relative_error())
+        << "q=" << q;
+  }
+  EXPECT_EQ(h.min(), exact.front());
+  EXPECT_EQ(h.max(), exact.back());
+}
+
+TEST(LogHistogram, QuantileClampedToObservedRange) {
+  // A single huge value: the bucket representative (range midpoint) must
+  // never leak outside the exact observed min/max.
+  LogHistogram h;
+  h.record(1'000'003);
+  EXPECT_EQ(h.quantile(0.5), 1'000'003);
+  EXPECT_EQ(h.p99(), 1'000'003);
+}
+
+TEST(LogHistogram, NegativeValuesClampAndCount) {
+  LogHistogram h;
+  h.record(-5);
+  h.record(10);
+  EXPECT_EQ(h.clamped(), 1u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0);  // the clamp records a zero
+  EXPECT_EQ(h.max(), 10);
+}
+
+TEST(LogHistogram, MergeMatchesSingleStream) {
+  LogHistogram a, b, whole;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = std::int64_t(rng.uniform() * 1e6);
+    (i % 2 ? a : b).record(v);
+    whole.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, MonotoneInQ) {
+  LogHistogram h;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) h.record(std::int64_t(rng.uniform() * 1e5));
+  std::int64_t prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const std::int64_t cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(LogHistogram, BucketsCoverEveryCount) {
+  LogHistogram h;
+  for (std::int64_t v : {3, 3, 200, 5000, 100000}) h.record(v);
+  std::uint64_t total = 0;
+  for (const LogHistogram::Bucket& b : h.buckets()) {
+    EXPECT_LT(b.lower, b.upper);
+    total += b.count;
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(LogHistogram, ClearResets) {
+  LogHistogram h;
+  h.record(123);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.p50(), 0);
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+TEST(Tracer, SpanParentAndTraceInheritance) {
+  Tracer t;
+  const SpanContext root = t.begin(Category::kClient, 1, "query");
+  const SpanContext child =
+      t.begin(Category::kClient, 1, "query.attempt", root);
+  EXPECT_EQ(child.trace, root.trace);
+  EXPECT_NE(child.span, root.span);
+  t.end(Category::kClient, 1, "query.attempt", child);
+  t.end(Category::kClient, 1, "query", root);
+
+  const auto events = t.query();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[1].parent, root.span);  // child begin points at root
+  EXPECT_EQ(events[0].parent, 0u);         // root has no parent
+  for (const TraceEvent& e : events) EXPECT_EQ(e.trace, root.trace);
+}
+
+TEST(Tracer, FreshRootsGetDistinctTraces) {
+  Tracer t;
+  const SpanContext a = t.begin(Category::kClient, 1, "query");
+  const SpanContext b = t.begin(Category::kClient, 2, "query");
+  EXPECT_NE(a.trace, b.trace);
+}
+
+TEST(Tracer, RingWrapKeepsNewestAndCountsDropped) {
+  TracerOptions options;
+  options.ring_capacity = 8;
+  Tracer t(options);
+  for (int i = 0; i < 20; ++i) {
+    t.instant(Category::kNet, 5, "net.send", {}, i);
+  }
+  const Tracer::RingStats stats = t.ring_stats(Category::kNet, 5);
+  EXPECT_EQ(stats.recorded, 20u);
+  EXPECT_EQ(stats.kept, 8u);
+  EXPECT_EQ(stats.dropped, 12u);
+  EXPECT_EQ(t.total_recorded(), 20u);
+  EXPECT_EQ(t.total_dropped(), 12u);
+
+  // The survivors are exactly the 8 newest events (a0 = 12..19).
+  const auto events = t.query();
+  ASSERT_EQ(events.size(), 8u);
+  std::vector<std::int64_t> kept;
+  for (const TraceEvent& e : events) kept.push_back(e.a0);
+  std::sort(kept.begin(), kept.end());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(kept[std::size_t(i)], 12 + i);
+}
+
+TEST(Tracer, RingsAreIsolatedPerActor) {
+  TracerOptions options;
+  options.ring_capacity = 4;
+  Tracer t(options);
+  for (int i = 0; i < 10; ++i) t.instant(Category::kNet, 1, "net.send");
+  t.instant(Category::kNet, 2, "net.send");
+  EXPECT_EQ(t.ring_stats(Category::kNet, 1).dropped, 6u);
+  EXPECT_EQ(t.ring_stats(Category::kNet, 2).dropped, 0u);
+  EXPECT_EQ(t.actors().size(), 2u);
+}
+
+TEST(Tracer, QueryFilters) {
+  Tracer t;
+  const SpanContext q = t.begin(Category::kClient, 1, "query");
+  t.instant(Category::kDp, 2, "dp.get_site_loads", q);
+  t.instant(Category::kNet, 3, "net.send");
+  t.end(Category::kClient, 1, "query", q);
+
+  Tracer::Filter by_cat;
+  by_cat.category = Category::kDp;
+  EXPECT_EQ(t.query(by_cat).size(), 1u);
+
+  Tracer::Filter by_actor;
+  by_actor.actor = 1;
+  EXPECT_EQ(t.query(by_actor).size(), 2u);
+
+  Tracer::Filter by_trace;
+  by_trace.trace = q.trace;
+  EXPECT_EQ(t.query(by_trace).size(), 3u);  // net.send has no trace
+
+  Tracer::Filter by_name;
+  by_name.name = "net.send";
+  EXPECT_EQ(t.query(by_name).size(), 1u);
+}
+
+TEST(Tracer, AmbientContextStack) {
+  Tracer t;
+  EXPECT_FALSE(t.ambient().valid());
+  const SpanContext outer = t.begin(Category::kClient, 1, "outer");
+  t.push_context(outer);
+  EXPECT_EQ(t.ambient().span, outer.span);
+  const SpanContext inner = t.begin(Category::kClient, 1, "inner", outer);
+  t.push_context(inner);
+  EXPECT_EQ(t.ambient().span, inner.span);
+  t.pop_context();
+  EXPECT_EQ(t.ambient().span, outer.span);
+  t.pop_context();
+  EXPECT_FALSE(t.ambient().valid());
+  t.pop_context();  // underflow is a no-op
+}
+
+TEST(Tracer, ContextGuardRequiresSession) {
+  Tracer t;
+  TraceSession session(t);
+  const SpanContext ctx = t.begin(Category::kClient, 1, "span");
+  {
+    ContextGuard guard(ctx);
+    EXPECT_EQ(current()->ambient().span, ctx.span);
+  }
+  EXPECT_FALSE(current()->ambient().valid());
+}
+
+TEST(Tracer, RpcPropagationTakeOnce) {
+  Tracer t;
+  const SpanContext ctx = t.begin(Category::kClient, 1, "query");
+  t.propagate_rpc(9, 1234, ctx);
+  const SpanContext taken = t.take_rpc(9, 1234);
+  EXPECT_EQ(taken.span, ctx.span);
+  EXPECT_FALSE(t.take_rpc(9, 1234).valid());  // consumed
+  EXPECT_FALSE(t.take_rpc(9, 9999).valid());  // never registered
+
+  t.propagate_rpc(9, 77, ctx);
+  t.drop_rpc(9, 77);
+  EXPECT_FALSE(t.take_rpc(9, 77).valid());
+}
+
+TEST(Tracer, SessionInstallsAndRestores) {
+  EXPECT_EQ(current(), nullptr);
+  Tracer outer_tracer;
+  {
+    TraceSession outer(outer_tracer);
+    EXPECT_EQ(current(), &outer_tracer);
+    Tracer inner_tracer;
+    {
+      TraceSession inner(inner_tracer);
+      EXPECT_EQ(current(), &inner_tracer);
+    }
+    EXPECT_EQ(current(), &outer_tracer);
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+// --- Exporters -------------------------------------------------------------
+
+TEST(Export, ChromeTraceShape) {
+  Tracer t;
+  const SpanContext q = t.begin(Category::kClient, 1, "query", {}, 11, 22);
+  t.instant(Category::kDp, 2, "dp.get_site_loads", q);
+  t.counter(Category::kNet, 3, "queue_depth", 4);
+  t.end(Category::kClient, 1, "query", q);
+
+  std::ostringstream os;
+  write_chrome_trace(os, t);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("client/1"), std::string::npos);
+  // Flow events stitch the cross-actor correlation.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Export, JsonlOneObjectPerEvent) {
+  Tracer t;
+  const SpanContext q = t.begin(Category::kClient, 1, "query");
+  t.end(Category::kClient, 1, "query", q);
+  t.instant(Category::kScenario, 0, "scenario.start");
+
+  std::ostringstream os;
+  write_jsonl(os, t);
+  const std::string text = os.str();
+  std::size_t lines = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(text.find("\"kind\":\"B\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"scenario.start\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace digruber::trace

@@ -4,8 +4,8 @@
 //   grubsim-replay trace.csv [--dps N] [--capacity QPS] [--threshold S]
 //                  [--open-loop] [--think S]
 //
-// Produce a trace with `digruber-run ... --trace trace.csv` or from any
-// real broker log converted to the CSV schema in workload/trace.hpp.
+// Produce a trace with `digruber-run ... --query-trace trace.csv` or from
+// any real broker log converted to the CSV schema in workload/trace.hpp.
 #include <cstring>
 #include <iostream>
 #include <string>

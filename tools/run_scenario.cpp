@@ -1,11 +1,15 @@
 // digruber-run: drive a full DI-GRUBER experiment from a flat config file
 // without recompiling.
 //
-//   digruber-run [scenario.conf] [key=value ...] [--trace out.csv]
+//   digruber-run [scenario.conf] [key=value ...]
+//                [--query-trace out.csv]
+//                [--trace out.json] [--trace-format chrome|jsonl]
 //
 // Prints the DiPerF figure (load / response / throughput vs time), the
-// Tables-1/2-style performance breakdown, and per-decision-point stats;
-// optionally saves the brokering-query trace for grubsim-replay.
+// Tables-1/2-style performance breakdown, response-time percentiles, and
+// per-decision-point stats. `--query-trace` saves the brokering-query
+// trace for grubsim-replay; `--trace` records the event trace (spans,
+// instants, packet hops) for Perfetto (chrome) or trace_inspect (jsonl).
 //
 // Example config (all keys optional; see experiments/config.hpp):
 //   dps = 3
@@ -19,20 +23,33 @@
 #include "digruber/common/table.hpp"
 #include "digruber/diperf/report.hpp"
 #include "digruber/experiments/config.hpp"
+#include "digruber/trace/export.hpp"
 
 using namespace digruber;
 
 int main(int argc, char** argv) {
   Config config;
+  std::string query_trace_path;
   std::string trace_path;
+  std::string trace_format = "chrome";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--trace" && i + 1 < argc) {
+    if (arg == "--query-trace" && i + 1 < argc) {
+      query_trace_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--trace-format" && i + 1 < argc) {
+      trace_format = argv[++i];
+      if (trace_format != "chrome" && trace_format != "jsonl") {
+        std::cerr << "unknown trace format '" << trace_format
+                  << "' (expected chrome or jsonl)\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [scenario.conf] [key=value ...] [--trace out.csv]\n";
+                << " [scenario.conf] [key=value ...] [--query-trace out.csv]"
+                   " [--trace out.json] [--trace-format chrome|jsonl]\n";
       return 0;
     } else if (arg.find('=') != std::string::npos) {
       const std::size_t eq = arg.find('=');
@@ -55,7 +72,10 @@ int main(int argc, char** argv) {
     std::cerr << "config error: " << scenario.error() << "\n";
     return 1;
   }
-  const experiments::ScenarioConfig& cfg = scenario.value();
+  experiments::ScenarioConfig cfg = scenario.value();
+
+  trace::Tracer tracer;
+  if (!trace_path.empty()) cfg.tracer = &tracer;
 
   std::cerr << "running '" << cfg.name << "': " << cfg.n_dps << " x "
             << cfg.profile.name << " decision point(s), " << cfg.n_clients
@@ -83,6 +103,8 @@ int main(int argc, char** argv) {
   row("All requests", r.all, true);
   perf.render(std::cout);
 
+  diperf::render_latency_percentiles(std::cout, r.handled, r.not_handled, r.all);
+
   Table dps({"DP", "Queries", "Selections", "Exchanges out/in", "Records",
              "Sojourn (s)", "Container util"});
   for (std::size_t i = 0; i < r.dps.size(); ++i) {
@@ -105,9 +127,21 @@ int main(int argc, char** argv) {
               << " decision points\n";
   }
 
+  if (!query_trace_path.empty()) {
+    r.trace.save(query_trace_path);
+    std::cout << "query trace (" << r.trace.size() << " queries) -> "
+              << query_trace_path << "\n";
+  }
   if (!trace_path.empty()) {
-    r.trace.save(trace_path);
-    std::cout << "trace (" << r.trace.size() << " queries) -> " << trace_path << "\n";
+    const std::string error =
+        trace::write_trace_file(trace_path, trace_format, tracer);
+    if (!error.empty()) {
+      std::cerr << "trace export failed: " << error << "\n";
+      return 1;
+    }
+    std::cout << "event trace (" << tracer.total_recorded() << " events, "
+              << tracer.total_dropped() << " dropped) -> " << trace_path
+              << " [" << trace_format << "]\n";
   }
   return 0;
 }
