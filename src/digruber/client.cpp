@@ -1,5 +1,6 @@
 #include "digruber/digruber/client.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -29,11 +30,26 @@ DiGruberClient::DiGruberClient(sim::Simulation& sim, net::Transport& transport,
       options_(options) {
   assert(!dps_.empty());
   assert(!all_sites_.empty());
+  dp_score_.assign(dps_.size(), 0.0);
+  retry_tokens_ = options_.retry_budget_capacity;
 }
 
 void DiGruberClient::rebind(NodeId decision_point) {
   dps_.front() = decision_point;
   health_.front() = DpHealth{};
+  dp_score_.front() = 0.0;
+}
+
+void DiGruberClient::apply_load_hints(const std::vector<DpLoadHint>& hints) {
+  if (!options_.overload_aware) return;
+  for (const DpLoadHint& hint : hints) {
+    for (std::size_t i = 0; i < dps_.size(); ++i) {
+      if (dps_[i].value() == hint.node) {
+        dp_score_[i] = hint.est_wait_s + 0.01 * double(hint.queue_depth);
+        break;
+      }
+    }
+  }
 }
 
 void DiGruberClient::finish_with_fallback(grid::Job job, Done done, sim::Time t0,
@@ -55,8 +71,30 @@ void DiGruberClient::finish_with_fallback(grid::Job job, Done done, sim::Time t0
 }
 
 int DiGruberClient::pick_dp() {
-  for (std::size_t i = 0; i < dps_.size(); ++i) {
-    if (!health_[i].open) return int(i);
+  if (options_.overload_aware) {
+    // Power-of-two-choices over the healthy set: sample two distinct
+    // candidates and take the one with the lower advertised load. Near-
+    // optimal load spreading with O(1) state, and immune to herding —
+    // unlike "everyone picks the least loaded", which stampedes the
+    // momentarily-idlest decision point.
+    std::vector<std::size_t> closed;
+    closed.reserve(dps_.size());
+    for (std::size_t i = 0; i < dps_.size(); ++i) {
+      if (!health_[i].open) closed.push_back(i);
+    }
+    if (closed.size() >= 2) {
+      const std::size_t a = closed[rng_.uniform_index(closed.size())];
+      std::size_t b = a;
+      while (b == a) b = closed[rng_.uniform_index(closed.size())];
+      ++p2c_decisions_;
+      return int(dp_score_[a] <= dp_score_[b] ? a : b);
+    }
+    if (closed.size() == 1) return int(closed.front());
+    // All breakers open: fall through to the half-open probe scan.
+  } else {
+    for (std::size_t i = 0; i < dps_.size(); ++i) {
+      if (!health_[i].open) return int(i);
+    }
   }
   for (std::size_t i = 0; i < dps_.size(); ++i) {
     DpHealth& h = health_[i];
@@ -98,6 +136,7 @@ void DiGruberClient::on_dp_success(std::size_t idx) { health_[idx] = DpHealth{};
 void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
                                          NodeId dp, const GetSiteLoadsReply& reply,
                                          trace::SpanContext qctx) {
+  apply_load_hints(reply.dp_loads);
   const std::optional<SiteId> site = selector_->select(reply.candidates, job);
   if (!site) {
     finish_with_fallback(std::move(job), std::move(done), t0, true, qctx);
@@ -135,8 +174,10 @@ void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
                     std::int64_t(site->value()), believed_free);
   }
   trace::ContextGuard guard(rctx);
+  net::RpcClient::CallOptions copts;
+  if (options_.overload_aware) copts.deadline = t0 + options_.timeout;
   rpc_.call<ReportSelectionRequest, Ack>(
-      dp, kReportSelection, report, remaining,
+      dp, kReportSelection, report, remaining, copts,
       [this, job = std::move(job), done = std::move(done), t0, site = *site,
        believed_free, dp, qctx, rctx](Result<Ack> ack) mutable {
         // Whether or not the ack made it back, the selection stands:
@@ -170,8 +211,15 @@ void DiGruberClient::schedule(grid::Job job, Done done) {
                     std::int64_t(job.id.value()), std::int64_t(job.vo.value()));
   }
 
+  if (options_.overload_aware) {
+    // Refill the retry bucket per scheduled query: sustained retry rate is
+    // bounded at `refill` retries per query, bursts at `capacity`.
+    retry_tokens_ = std::min(options_.retry_budget_capacity,
+                             retry_tokens_ + options_.retry_budget_refill);
+  }
+
   if (failover_active()) {
-    attempt(std::move(job), std::move(done), t0, 0, qctx);
+    attempt(std::move(job), std::move(done), t0, 0, options_.backoff_base_s, qctx);
     return;
   }
 
@@ -210,7 +258,8 @@ void DiGruberClient::schedule(grid::Job job, Done done) {
 }
 
 void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
-                             std::uint32_t attempt_n, trace::SpanContext qctx) {
+                             std::uint32_t attempt_n, double prev_delay_s,
+                             trace::SpanContext qctx) {
   const sim::Time deadline = t0 + options_.timeout;
   const int idx = pick_dp();
   if (idx < 0) {
@@ -248,10 +297,16 @@ void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
                     std::int64_t(attempt_n), std::int64_t(dp.value()));
   }
   trace::ContextGuard guard(actx);
+  net::RpcClient::CallOptions copts;
+  // The wire deadline is the ATTEMPT deadline, not the full query budget: a
+  // reply that lands after this attempt's timeout is discarded client-side,
+  // so serving past it is wasted worker time even with budget remaining.
+  if (options_.overload_aware) copts.deadline = sim_.now() + per_attempt;
   rpc_.call<GetSiteLoadsRequest, GetSiteLoadsReply>(
-      dp, kGetSiteLoads, request, per_attempt,
-      [this, job = std::move(job), done = std::move(done), t0, attempt_n, idx,
-       dp, qctx, actx](Result<GetSiteLoadsReply> result) mutable {
+      dp, kGetSiteLoads, request, per_attempt, copts,
+      [this, job = std::move(job), done = std::move(done), t0, attempt_n,
+       prev_delay_s, idx, dp, qctx,
+       actx](Result<GetSiteLoadsReply> result) mutable {
         if (auto* t = trace::current()) {
           t->end(trace::Category::kClient, id_.value(), "query.attempt", actx,
                  result.ok() ? 1 : 0);
@@ -262,17 +317,56 @@ void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
                               result.value(), qctx);
           return;
         }
-        on_dp_failure(std::size_t(idx));
 
-        // Exponential backoff with jitter before the next attempt. The
-        // jitter draw happens only on this (faulted) path.
-        double delay_s = options_.backoff_base_s;
-        for (std::uint32_t i = 0; i < attempt_n && delay_s < options_.backoff_max_s;
-             ++i) {
-          delay_s *= 2.0;
+        // A typed overload NACK means the decision point is alive but
+        // saturated: keep its breaker closed (it answered), but penalize
+        // its load score so power-of-two-choices steers elsewhere until a
+        // fresh hint arrives.
+        sim::Duration retry_after = sim::Duration::zero();
+        const bool overloaded =
+            net::parse_overload_error(result.error(), retry_after);
+        if (overloaded) {
+          ++overload_nacks_;
+          on_dp_success(std::size_t(idx));
+          dp_score_[std::size_t(idx)] += retry_after.to_seconds() + 1.0;
+        } else {
+          on_dp_failure(std::size_t(idx));
         }
-        if (delay_s > options_.backoff_max_s) delay_s = options_.backoff_max_s;
-        delay_s *= 1.0 + options_.backoff_jitter * rng_.uniform();
+
+        // Adaptive retry: each retry spends a token; an empty bucket means
+        // this client is already amplifying load and must degrade to the
+        // random fallback instead of hammering the saturated mesh.
+        if (options_.overload_aware) {
+          if (retry_tokens_ < 1.0) {
+            ++retries_budget_denied_;
+            if (auto* t = trace::current()) {
+              t->instant(trace::Category::kClient, id_.value(),
+                         "retry.budget_denied", qctx, std::int64_t(attempt_n));
+            }
+            finish_with_fallback(std::move(job), std::move(done), t0, false,
+                                 qctx);
+            return;
+          }
+          retry_tokens_ -= 1.0;
+        }
+
+        // Decorrelated jitter: spread the next attempt uniformly over
+        // [base, 3 * previous delay), capped. One draw per retry.
+        const double hi =
+            std::max(options_.backoff_base_s * 1.001, 3.0 * prev_delay_s);
+        double delay_s = std::min(options_.backoff_max_s,
+                                  rng_.uniform(options_.backoff_base_s, hi));
+        // Honor the server's own drain estimate: retrying sooner than
+        // retry_after is guaranteed wasted work.
+        if (overloaded && retry_after.to_seconds() > delay_s) {
+          delay_s = retry_after.to_seconds();
+          ++retry_after_honored_;
+          if (auto* t = trace::current()) {
+            t->instant(trace::Category::kClient, id_.value(),
+                       "overload.retry_after", qctx, std::int64_t(attempt_n),
+                       retry_after.us());
+          }
+        }
 
         const sim::Time deadline = t0 + options_.timeout;
         const sim::Time next = sim_.now() + sim::Duration::seconds(delay_s);
@@ -287,8 +381,9 @@ void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
                      (next - sim_.now()).us());
         }
         sim_.schedule_at(next, [this, job = std::move(job), done = std::move(done),
-                                t0, attempt_n, qctx]() mutable {
-          attempt(std::move(job), std::move(done), t0, attempt_n + 1, qctx);
+                                t0, attempt_n, delay_s, qctx]() mutable {
+          attempt(std::move(job), std::move(done), t0, attempt_n + 1, delay_s,
+                  qctx);
         });
       });
 }

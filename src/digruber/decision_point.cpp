@@ -26,14 +26,21 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
                           [this](std::span<const std::uint8_t> body, NodeId from) {
                             return handle_report_selection(body, from);
                           });
-  server_.register_method(kExchange,
-                          [this](std::span<const std::uint8_t> body, NodeId from) {
-                            return handle_exchange(body, from);
-                          });
-  server_.register_method(kCatchUp,
-                          [this](std::span<const std::uint8_t> body, NodeId from) {
-                            return handle_catch_up(body, from);
-                          });
+  // Exchange and catch-up are control-plane traffic: under overload the
+  // container must keep the mesh converging, so they are never shed behind
+  // the query backlog.
+  server_.register_method(
+      kExchange,
+      [this](std::span<const std::uint8_t> body, NodeId from) {
+        return handle_exchange(body, from);
+      },
+      net::Priority::kControl);
+  server_.register_method(
+      kCatchUp,
+      [this](std::span<const std::uint8_t> body, NodeId from) {
+        return handle_catch_up(body, from);
+      },
+      net::Priority::kControl);
 
   start_timers();
 }
@@ -67,6 +74,7 @@ void DecisionPoint::crash() {
   fresh_.clear();
   applied_.clear();
   last_peer_round_.clear();
+  peer_hints_.clear();
   engine_.view().clear();
   if (auto* t = trace::current()) {
     t->instant(trace::Category::kDp, id_.value(), "dp.crash", {},
@@ -195,6 +203,14 @@ net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> b
   GetSiteLoadsReply reply;
   reply.candidates = engine_.candidates(probe, sim_.now());
   reply.as_of = sim_.now();
+  if (options_.advertise_load) {
+    // Own hint plus whatever peers piggybacked on recent exchanges, in
+    // node order so the reply bytes are deterministic across runs.
+    reply.dp_loads.push_back(self_hint());
+    for (const auto& [node, hint] : peer_hints_) reply.dp_loads.push_back(hint);
+    std::sort(reply.dp_loads.begin(), reply.dp_loads.end(),
+              [](const DpLoadHint& a, const DpLoadHint& b) { return a.node < b.node; });
+  }
 
   // Ambient here is the rpc.serve span, so the instant lands inside the
   // caller's query trace.
@@ -282,6 +298,7 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
   for (const grid::SiteSnapshot& snapshot : message.snapshots) {
     engine_.view().apply_snapshot(snapshot);
   }
+  if (message.has_load) peer_hints_[message.load.node] = message.load;
 
   if (auto* t = trace::current()) {
     t->instant(trace::Category::kDp, id_.value(), "dp.exchange_recv",
@@ -295,6 +312,17 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
   return served;  // one-way: empty reply
 }
 
+DpLoadHint DecisionPoint::self_hint() const {
+  const net::ServiceContainer& container = server_.container();
+  DpLoadHint hint;
+  hint.node = server_.node().value();
+  hint.queue_depth = std::int32_t(container.queue_depth());
+  hint.utilization =
+      double(container.busy_workers()) / double(container.profile().workers);
+  hint.est_wait_s = container.est_sojourn().to_seconds();
+  return hint;
+}
+
 void DecisionPoint::run_exchange() {
   if (neighbors_.empty() || options_.dissemination == Dissemination::kNone) return;
   ExchangeMessage message;
@@ -302,6 +330,10 @@ void DecisionPoint::run_exchange() {
   message.exchange_round = ++exchange_round_;
   message.dispatches = std::move(fresh_);
   fresh_.clear();
+  if (options_.advertise_load) {
+    message.has_load = true;
+    message.load = self_hint();
+  }
   trace::SpanContext xctx;
   if (auto* t = trace::current()) {
     xctx = t->begin(trace::Category::kDp, id_.value(), "dp.exchange", {},

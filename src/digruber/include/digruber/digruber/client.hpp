@@ -21,17 +21,34 @@ struct ClientOptions {
   /// deadlines: with a single decision point that reproduces the original
   /// one-shot client byte for byte.
   sim::Duration attempt_timeout = sim::Duration::zero();
-  /// Exponential backoff between attempts: base * 2^(n-1), capped.
+  /// Decorrelated-jitter backoff between attempts:
+  /// delay = min(backoff_max_s, U[backoff_base_s, 3 * previous delay)).
+  /// Unlike jittered exponential, consecutive retries across a fleet
+  /// desynchronize instead of phase-locking into retry waves. One rng draw
+  /// per retry, and only when a retry actually happens, so fault-free runs
+  /// consume no extra randomness.
   double backoff_base_s = 0.5;
   double backoff_max_s = 8.0;
-  /// Multiplicative jitter: delay *= 1 + jitter * U[0,1). Drawn only when
-  /// a retry actually happens, so fault-free runs consume no extra
-  /// randomness.
-  double backoff_jitter = 0.2;
   /// Circuit breaker: consecutive failures that open a decision point's
   /// breaker, and how long it stays open before a half-open probe.
   std::uint32_t breaker_threshold = 3;
   sim::Duration breaker_cooldown = sim::Duration::seconds(30);
+
+  /// Overload-aware mode (off by default; enabling changes rng consumption
+  /// and wire bytes, so default runs stay byte-identical):
+  ///  - attaches the query's absolute deadline to each RPC so containers
+  ///    can shed doomed work,
+  ///  - honors the retry_after hint in typed overload NACKs,
+  ///  - spends retries from a per-client token bucket (adaptive retry:
+  ///    bounded amplification under overload),
+  ///  - picks failover targets by power-of-two-choices over the DP load
+  ///    hints piggybacked on query replies.
+  bool overload_aware = false;
+  /// Token bucket: capacity and per-scheduled-query refill. At ~10% refill
+  /// a client can retry every query occasionally or a few queries hard,
+  /// but cannot multiply offered load when the whole mesh is saturated.
+  double retry_budget_capacity = 10.0;
+  double retry_budget_refill = 0.1;
 };
 
 struct QueryOutcome {
@@ -89,6 +106,18 @@ class DiGruberClient {
   [[nodiscard]] std::uint64_t all_dps_down_fallbacks() const {
     return all_down_fallbacks_;
   }
+  /// Typed overload rejections received from decision points.
+  [[nodiscard]] std::uint64_t overload_nacks() const { return overload_nacks_; }
+  /// Retries whose delay was stretched to honor a server retry_after hint.
+  [[nodiscard]] std::uint64_t retry_after_honored() const {
+    return retry_after_honored_;
+  }
+  /// Retries suppressed because the token bucket was empty.
+  [[nodiscard]] std::uint64_t retries_budget_denied() const {
+    return retries_budget_denied_;
+  }
+  /// Attempts routed by power-of-two-choices over DP load hints.
+  [[nodiscard]] std::uint64_t p2c_decisions() const { return p2c_decisions_; }
 
   /// Rebind the primary to a different decision point (dynamic
   /// rebalancing, Section 5). Backups are kept; the new primary starts
@@ -112,9 +141,12 @@ class DiGruberClient {
   [[nodiscard]] int pick_dp();
   void on_dp_failure(std::size_t idx);
   void on_dp_success(std::size_t idx);
+  /// Fold the DP load hints piggybacked on a query reply into the
+  /// power-of-two-choices scores (overload-aware mode only).
+  void apply_load_hints(const std::vector<DpLoadHint>& hints);
 
   void attempt(grid::Job job, Done done, sim::Time t0, std::uint32_t attempt_n,
-               trace::SpanContext qctx);
+               double prev_delay_s, trace::SpanContext qctx);
   /// Shared second round trip: run the selector over `reply` and report
   /// the selection to `dp` (the decision point that answered).
   void complete_with_reply(grid::Job job, Done done, sim::Time t0, NodeId dp,
@@ -127,6 +159,9 @@ class DiGruberClient {
   ClientId id_;
   std::vector<NodeId> dps_;
   std::vector<DpHealth> health_;
+  /// Per-DP load score (estimated wait + queue-depth tiebreak) fed by
+  /// piggybacked hints; lower is better. Only used in overload-aware mode.
+  std::vector<double> dp_score_;
   std::vector<SiteId> all_sites_;
   std::unique_ptr<gruber::SiteSelector> selector_;
   Rng rng_;
@@ -139,6 +174,13 @@ class DiGruberClient {
   std::uint64_t failovers_ = 0;
   std::uint64_t breaker_trips_ = 0;
   std::uint64_t all_down_fallbacks_ = 0;
+  std::uint64_t overload_nacks_ = 0;
+  std::uint64_t retry_after_honored_ = 0;
+  std::uint64_t retries_budget_denied_ = 0;
+  std::uint64_t p2c_decisions_ = 0;
+  /// Retry token bucket (overload-aware mode): refilled on schedule(),
+  /// debited one token per retry attempt.
+  double retry_tokens_ = 0.0;
 };
 
 }  // namespace digruber::digruber

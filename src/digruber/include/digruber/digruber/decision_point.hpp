@@ -43,6 +43,10 @@ struct DecisionPointOptions {
   /// Deadline for each per-neighbor anti-entropy catch-up call after a
   /// restart.
   sim::Duration catchup_timeout = sim::Duration::seconds(30);
+  /// Piggyback this point's container-load hint on outgoing exchanges and
+  /// attach known DP loads to query replies (for client-side load-aware
+  /// failover). Off by default: legacy messages stay byte-identical.
+  bool advertise_load = false;
 };
 
 /// A DI-GRUBER decision point: a GRUBER engine exposed as a Web service
@@ -114,6 +118,8 @@ class DecisionPoint {
   net::Served handle_report_selection(std::span<const std::uint8_t> body, NodeId from);
   net::Served handle_exchange(std::span<const std::uint8_t> body, NodeId from);
   net::Served handle_catch_up(std::span<const std::uint8_t> body, NodeId from);
+  /// Snapshot of this point's container load for piggybacking.
+  [[nodiscard]] DpLoadHint self_hint() const;
   void run_exchange();
   void run_catch_up();
   void check_saturation();
@@ -138,6 +144,10 @@ class DecisionPoint {
   /// retransmits, the gap triggers an anti-entropy catch-up.
   std::unordered_map<DpId, std::uint64_t> last_peer_round_;
   sim::Time last_catch_up_;
+  /// Freshest load hint heard from each peer (keyed by its server node),
+  /// attached to query replies when advertise_load is on. Volatile: lost
+  /// on crash like the rest of the soft state.
+  std::unordered_map<std::uint64_t, DpLoadHint> peer_hints_;
 
   bool running_ = true;
   std::uint32_t incarnation_ = 0;

@@ -40,13 +40,37 @@ struct GetSiteLoadsRequest {
   }
 };
 
+/// Per-decision-point load hint piggybacked on existing traffic (state
+/// exchange and query replies) so peers and clients can do load-aware DP
+/// selection without extra probe RPCs. Always a trailing optional field:
+/// senders that do not advertise load emit byte-identical legacy messages.
+struct DpLoadHint {
+  std::uint64_t node = 0;       // RPC address of the advertising DP
+  std::int32_t queue_depth = 0;
+  double utilization = 0.0;     // busy workers / pool size, EWMA-free sample
+  double est_wait_s = 0.0;      // predicted admission-queue sojourn
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & node & queue_depth & utilization & est_wait_s;
+  }
+};
+
 struct GetSiteLoadsReply {
   std::vector<gruber::SiteLoad> candidates;
   sim::Time as_of;
+  /// Optional trailing field: the serving DP's own hint plus what it has
+  /// heard from peers, for power-of-two-choices failover on the client.
+  std::vector<DpLoadHint> dp_loads;
 
   template <class Archive>
   void serialize(Archive& ar) {
     ar & candidates & as_of;
+    if constexpr (Archive::kIsWriter) {
+      if (!dp_loads.empty()) ar & dp_loads;
+    } else {
+      if (ar.remaining() > 0) ar & dp_loads;
+    }
   }
 };
 
@@ -80,10 +104,22 @@ struct ExchangeMessage {
   std::vector<gruber::DispatchRecord> dispatches;
   /// Dissemination strategy 1 additionally carries fresh site snapshots.
   std::vector<grid::SiteSnapshot> snapshots;
+  /// Optional trailing field: sender's container-load hint (set when the
+  /// DP advertises load; absent keeps the legacy byte layout).
+  bool has_load = false;
+  DpLoadHint load;
 
   template <class Archive>
   void serialize(Archive& ar) {
     ar & from & exchange_round & dispatches & snapshots;
+    if constexpr (Archive::kIsWriter) {
+      if (has_load) ar & load;
+    } else {
+      if (ar.remaining() > 0) {
+        ar & load;
+        has_load = true;
+      }
+    }
   }
 };
 

@@ -19,6 +19,11 @@ void render_figure(std::ostream& os, const std::string& title,
 /// below its figure.
 void render_resilience(std::ostream& os, const metrics::ResilienceCounters& counters);
 
+/// Render the overload-control counter block (container shedding + client
+/// adaptive-retry accounting). Queue-full drops appear here as typed
+/// rejections, distinguishable from network loss in the resilience block.
+void render_overload(std::ostream& os, const metrics::OverloadCounters& counters);
+
 /// Render the response-time percentile block (p50/p95/p99 from the
 /// HDR-style histogram in MetricValues) for the handled / not-handled /
 /// all slices. Kept out of render_figure so the paper-figure benches stay

@@ -90,4 +90,27 @@ void render_resilience(std::ostream& os,
   os << "\n";
 }
 
+void render_overload(std::ostream& os, const metrics::OverloadCounters& counters) {
+  os << "== overload counters ==\n";
+  Table table({"counter", "value"});
+  table.add_row({"requests submitted", Table::num(double(counters.submitted), 0)});
+  table.add_row(
+      {"shed: queue full", Table::num(double(counters.shed_queue_full), 0)});
+  table.add_row(
+      {"shed: deadline doomed", Table::num(double(counters.shed_deadline), 0)});
+  table.add_row({"shed: total", Table::num(double(counters.shed_total()), 0)});
+  table.add_row({"LIFO pickups", Table::num(double(counters.lifo_pickups), 0)});
+  table.add_row({"aborted by crash", Table::num(double(counters.aborted), 0)});
+  table.add_row(
+      {"overload NACKs received", Table::num(double(counters.overload_nacks), 0)});
+  table.add_row(
+      {"retry_after honored", Table::num(double(counters.retry_after_honored), 0)});
+  table.add_row({"retries denied (budget)",
+                 Table::num(double(counters.retries_budget_denied), 0)});
+  table.add_row(
+      {"p2c routing decisions", Table::num(double(counters.p2c_decisions), 0)});
+  table.render(os);
+  os << "\n";
+}
+
 }  // namespace digruber::diperf

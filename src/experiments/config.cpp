@@ -47,7 +47,7 @@ const std::set<std::string>& known_keys() {
       "dynamic_provisioning", "max_dynamic_dps",
       "saturation_response_s", "fault_plan",
       "failover",      "failover_backups",
-      "attempt_timeout_s"};
+      "attempt_timeout_s", "overload"};
   return keys;
 }
 
@@ -132,6 +132,7 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
         int(config.get_int("failover_backups", out.failover_backups));
     out.attempt_timeout = sim::Duration::seconds(
         config.get_double("attempt_timeout_s", out.attempt_timeout.to_seconds()));
+    out.overload_control = config.get_bool("overload", out.overload_control);
   } catch (const std::exception& e) {
     return Fail::failure(e.what());
   }

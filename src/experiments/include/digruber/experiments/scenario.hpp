@@ -77,6 +77,15 @@ struct ScenarioConfig {
   int failover_backups = 2;
   sim::Duration attempt_timeout = sim::Duration::seconds(10);
 
+  /// Overload control (off by default: default runs stay byte-identical).
+  /// Enables deadline-aware admission, typed overload NACKs, and
+  /// LIFO-under-overload at every decision-point container; load-hint
+  /// piggybacking on exchanges and query replies; and the client fleet's
+  /// adaptive retry (token budget, retry_after honoring, power-of-two-
+  /// choices failover).
+  bool overload_control = false;
+  net::OverloadPolicy overload_policy{};
+
   /// Event tracing (optional, off by default). When set, the tracer is
   /// installed as the thread-current tracer for the whole run and bound to
   /// the scenario's simulation clock; phase boundaries, fault injections,
@@ -101,6 +110,23 @@ struct DpStats {
   std::uint64_t catchups_served = 0;
   double container_utilization = 0.0;
   double mean_sojourn_s = 0.0;
+  /// Container admission accounting (chaos-harness conservation input:
+  /// submitted == completed + refused + shed_deadline + aborted + residue).
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t lifo_pickups = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t queue_residue = 0;  // still queued/busy at harvest
+};
+
+/// Client-fleet totals (chaos-harness conservation input: every scheduled
+/// query resolves exactly once, so queries == handled + fallbacks).
+struct ClientTotals {
+  std::uint64_t queries = 0;
+  std::uint64_t handled = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t starvations = 0;
 };
 
 struct ScenarioResult {
@@ -124,6 +150,17 @@ struct ScenarioResult {
 
   /// Fault-tolerance counters (all zero for fault-free configurations).
   metrics::ResilienceCounters resilience;
+
+  /// Overload-control counters (all zero with overload_control off and no
+  /// queue-full refusals).
+  metrics::OverloadCounters overload;
+
+  /// Client-fleet conservation totals.
+  ClientTotals clients;
+
+  /// Sites whose free-CPU accounting is negative at harvest — any nonzero
+  /// value means allocation bookkeeping leaked (USLA over-allocation).
+  std::size_t sites_overcommitted = 0;
 
   // Grid-level facts.
   std::size_t sites = 0;

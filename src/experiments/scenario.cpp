@@ -205,6 +205,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   dp_options.exchange_interval = config.exchange_interval;
   dp_options.dissemination = config.dissemination;
   dp_options.saturation_response_s = config.saturation_response_s;
+  if (config.overload_control) {
+    dp_options.profile.overload = config.overload_policy;
+    dp_options.profile.overload.enabled = true;
+    dp_options.advertise_load = true;
+  }
 
   std::unique_ptr<digruber::InfrastructureMonitor> monitor;
   auto reconnect_all = [&] {
@@ -254,6 +259,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   digruber::ClientOptions client_options;
   client_options.timeout = config.client_timeout;
   if (failover) client_options.attempt_timeout = config.attempt_timeout;
+  if (config.overload_control) client_options.overload_aware = true;
 
   for (int c = 0; c < config.n_clients; ++c) {
     Rng client_rng = sim.rng().fork();
@@ -472,6 +478,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     stats.container_utilization =
         dp->server().container().utilization(sim::Time::zero() + config.duration);
     stats.mean_sojourn_s = dp->response_stats().mean();
+    const net::ServiceContainer& container = dp->server().container();
+    stats.submitted = container.submitted();
+    stats.completed = container.completed();
+    stats.shed_deadline = container.shed_deadline();
+    stats.lifo_pickups = container.lifo_pickups();
+    stats.aborted = container.aborted();
+    stats.queue_residue =
+        container.queue_depth() + std::size_t(container.busy_workers());
     result.dps.push_back(stats);
   }
 
@@ -517,6 +531,31 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     res.drops_partition = transport.packets_dropped(net::DropCause::kPartition);
     res.drops_unknown_destination =
         transport.packets_dropped(net::DropCause::kUnknownDestination);
+  }
+
+  {
+    metrics::OverloadCounters& ov = result.overload;
+    for (const auto& dp : dps) {
+      const net::ServiceContainer& container = dp->server().container();
+      ov.submitted += container.submitted();
+      ov.shed_queue_full += container.refused();
+      ov.shed_deadline += container.shed_deadline();
+      ov.lifo_pickups += container.lifo_pickups();
+      ov.aborted += container.aborted();
+    }
+    for (const auto& client : clients) {
+      ov.overload_nacks += client->overload_nacks();
+      ov.retry_after_honored += client->retry_after_honored();
+      ov.retries_budget_denied += client->retries_budget_denied();
+      ov.p2c_decisions += client->p2c_decisions();
+      result.clients.queries += client->queries();
+      result.clients.handled += client->handled();
+      result.clients.fallbacks += client->fallbacks();
+      result.clients.starvations += client->starvations();
+    }
+    for (const auto& site : grid.sites()) {
+      if (site->free_cpus() < 0) ++result.sites_overcommitted;
+    }
   }
 
   result.samples.reserve(shared.samples.size());

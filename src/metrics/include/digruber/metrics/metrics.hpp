@@ -123,6 +123,28 @@ struct ResilienceCounters {
   }
 };
 
+/// Overload-control counters aggregated across a scenario run (container
+/// admission + client retry layer), surfaced through the DiPerF report by
+/// the overload-shedding bench and the chaos harness.
+struct OverloadCounters {
+  // Containers (decision-point servers).
+  std::uint64_t submitted = 0;        // requests reaching admission
+  std::uint64_t shed_queue_full = 0;  // typed rejections: queue at limit
+  std::uint64_t shed_deadline = 0;    // typed rejections: deadline doomed
+  std::uint64_t lifo_pickups = 0;     // query pickups served newest-first
+  std::uint64_t aborted = 0;          // queued/in-flight work lost to crashes
+
+  // Client fleet (adaptive retry).
+  std::uint64_t overload_nacks = 0;        // typed NACKs received
+  std::uint64_t retry_after_honored = 0;   // delays stretched to the hint
+  std::uint64_t retries_budget_denied = 0; // retries suppressed, bucket empty
+  std::uint64_t p2c_decisions = 0;         // power-of-two-choices routings
+
+  [[nodiscard]] std::uint64_t shed_total() const {
+    return shed_queue_full + shed_deadline;
+  }
+};
+
 /// CPU-seconds a job consumed inside the window [0, window_s], given the
 /// job's start/completion times in seconds (completion may exceed the
 /// window or be unset/-1 for still-running jobs).

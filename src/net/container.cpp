@@ -1,5 +1,6 @@
 #include "digruber/net/container.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -55,18 +56,67 @@ sim::Duration ServiceContainer::service_time(std::size_t request_bytes,
   return raw * (1.0 / profile_.speed);
 }
 
+sim::Duration ServiceContainer::est_sojourn() const {
+  if (busy_ < profile_.workers) return sim::Duration::zero();
+  const double ahead = double(queue_depth()) + 1.0;
+  return sim::Duration::seconds(ewma_service_s_ * ahead /
+                                double(profile_.workers));
+}
+
+sim::Duration ServiceContainer::retry_after_hint() const {
+  const sim::Duration drain = sim::Duration::seconds(
+      ewma_service_s_ * double(queue_depth() + 1) / double(profile_.workers));
+  return std::clamp(drain, profile_.overload.min_retry_after,
+                    profile_.overload.max_retry_after);
+}
+
 bool ServiceContainer::submit(std::size_t request_bytes, Handler run, Completion done) {
-  Request request{sim_.now(), request_bytes, std::move(run), std::move(done)};
+  return submit_ex(request_bytes, std::move(run), std::move(done),
+                   Priority::kQuery)
+      .accepted();
+}
+
+Admission ServiceContainer::submit_ex(std::size_t request_bytes, Handler run,
+                                      Completion done, Priority priority,
+                                      sim::Time deadline, Shed on_shed) {
+  ++submitted_;
+  Request request{sim_.now(), request_bytes, std::move(run), std::move(done),
+                  deadline,   std::move(on_shed)};
   if (busy_ < profile_.workers) {
     start(std::move(request));
-    return true;
+    return {};
   }
-  if (queue_.size() >= profile_.queue_limit) {
+  if (!profile_.overload.enabled) {
+    // Legacy model: one FIFO queue, silent refusal at the limit, priority
+    // and deadline ignored.
+    if (queue_.size() >= profile_.queue_limit) {
+      ++refused_;
+      return {AdmitResult::kQueueFull, sim::Duration::zero()};
+    }
+    queue_.push_back(std::move(request));
+    return {};
+  }
+
+  // Overload control. Control traffic is always admitted: shedding the
+  // state-exchange/anti-entropy plane behind query traffic would stop the
+  // mesh from converging exactly when it is needed most.
+  if (priority == Priority::kControl) {
+    control_.push_back(std::move(request));
+    return {};
+  }
+  if (queue_depth() >= profile_.queue_limit) {
     ++refused_;
-    return false;
+    return {AdmitResult::kQueueFull, retry_after_hint()};
+  }
+  // Deadline-aware admission: a request whose predicted sojourn already
+  // overruns its deadline is doomed — serving it would waste a worker on
+  // work the client has given up on.
+  if (deadline > sim::Time::zero() && sim_.now() + est_sojourn() > deadline) {
+    ++shed_deadline_;
+    return {AdmitResult::kDeadline, retry_after_hint()};
   }
   queue_.push_back(std::move(request));
-  return true;
+  return {};
 }
 
 void ServiceContainer::start(Request request) {
@@ -75,6 +125,11 @@ void ServiceContainer::start(Request request) {
   const sim::Duration service =
       service_time(request.bytes, served.reply.size(), served.handler_cost);
   busy_time_ = busy_time_ + service;
+  const double alpha = profile_.overload.ewma_alpha;
+  ewma_service_s_ = ewma_service_s_ > 0.0
+                        ? alpha * service.to_seconds() +
+                              (1.0 - alpha) * ewma_service_s_
+                        : service.to_seconds();
   const sim::Time arrived = request.arrived;
   sim_.schedule_after(
       service, [this, arrived, epoch = epoch_, done = std::move(request.done),
@@ -88,15 +143,57 @@ void ServiceContainer::start(Request request) {
 }
 
 void ServiceContainer::abort_all() {
-  aborted_ += queue_.size() + std::uint64_t(busy_);
+  aborted_ += queue_.size() + control_.size() + std::uint64_t(busy_);
   queue_.clear();
+  control_.clear();
   busy_ = 0;
   ++epoch_;
 }
 
+bool ServiceContainer::start_next_overload() {
+  // Control first, FIFO: exchange and catch-up traffic keeps its ordering
+  // guarantees and is never starved by the query backlog.
+  if (!control_.empty()) {
+    Request next = std::move(control_.front());
+    control_.pop_front();
+    start(std::move(next));
+    return true;
+  }
+  const std::size_t lifo_threshold = std::size_t(
+      profile_.overload.lifo_fraction * double(profile_.queue_limit));
+  while (!queue_.empty()) {
+    const bool lifo = queue_.size() >= std::max<std::size_t>(lifo_threshold, 1);
+    Request next = lifo ? std::move(queue_.back()) : std::move(queue_.front());
+    if (lifo) {
+      queue_.pop_back();
+    } else {
+      queue_.pop_front();
+    }
+    // Pickup-time shed: the deadline passed while this request queued.
+    // Under overload, FIFO would make the container a machine that serves
+    // only expired work; LIFO + shedding keeps fresh requests inside their
+    // deadline at the cost of the stale tail (which already timed out
+    // client-side).
+    if (next.deadline > sim::Time::zero() && sim_.now() > next.deadline) {
+      ++shed_deadline_;
+      if (next.on_shed) next.on_shed(retry_after_hint());
+      continue;
+    }
+    if (lifo) ++lifo_pickups_;
+    start(std::move(next));
+    return true;
+  }
+  return false;
+}
+
 void ServiceContainer::finish() {
   --busy_;
-  if (!queue_.empty() && busy_ < profile_.workers) {
+  if (busy_ >= profile_.workers) return;
+  if (profile_.overload.enabled) {
+    start_next_overload();
+    return;
+  }
+  if (!queue_.empty()) {
     Request next = std::move(queue_.front());
     queue_.pop_front();
     start(std::move(next));

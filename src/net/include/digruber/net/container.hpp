@@ -11,6 +11,32 @@
 
 namespace digruber::net {
 
+/// Request class for admission and drain ordering under overload. Control
+/// traffic (state exchange, anti-entropy catch-up, saturation signals) keeps
+/// the mesh converging and must never be shed behind query traffic.
+enum class Priority : std::uint8_t { kControl = 0, kQuery = 1 };
+
+/// Overload-control policy for a ServiceContainer. Disabled by default:
+/// the container then behaves exactly like the legacy model (single FIFO
+/// queue, silent refusal at queue_limit), so existing runs are
+/// byte-identical. Enabled, the container becomes deadline-aware: requests
+/// doomed to miss their deadline are shed at admission (and again at
+/// pickup), queue-full drops become typed rejections with a retry_after
+/// hint, and the query queue drains newest-first once it is deep enough
+/// that FIFO order would serve only already-expired work.
+struct OverloadPolicy {
+  bool enabled = false;
+  /// Query-queue depth, as a fraction of queue_limit, above which pickup
+  /// flips to LIFO for the query class (control stays FIFO).
+  double lifo_fraction = 0.5;
+  /// EWMA smoothing for the per-request service-time estimate that feeds
+  /// the queue-sojourn prediction.
+  double ewma_alpha = 0.2;
+  /// Bounds on the retry_after hint attached to typed rejections.
+  sim::Duration min_retry_after = sim::Duration::millis(250);
+  sim::Duration max_retry_after = sim::Duration::seconds(30);
+};
+
 /// Queueing model of a Globus-Toolkit-style Web-service container: a small
 /// worker pool behind an admission queue, with per-request CPU charges for
 /// the security handshake and XML (de)serialization proportional to
@@ -26,6 +52,7 @@ struct ContainerProfile {
   sim::Duration parse_cost_per_kb = sim::Duration::millis(10);      // request
   sim::Duration serialize_cost_per_kb = sim::Duration::millis(10);  // reply
   double speed = 1.0;  // host speed multiplier (>1 is faster)
+  OverloadPolicy overload;
 
   /// GT3.2 Java WS container (the paper's faster implementation).
   static ContainerProfile gt3();
@@ -46,10 +73,29 @@ struct Served {
   sim::Duration handler_cost = sim::Duration::zero();
 };
 
+/// Why a request was not admitted (or was later shed from the queue).
+enum class AdmitResult : std::uint8_t {
+  kAccepted = 0,
+  kQueueFull,  // accept queue at queue_limit
+  kDeadline,   // estimated sojourn already exceeds the request's deadline
+};
+
+/// Typed admission outcome: rejected requests carry a retry_after hint
+/// (estimated queue-drain time) so callers can back off intelligently
+/// instead of hammering a saturated container.
+struct Admission {
+  AdmitResult result = AdmitResult::kAccepted;
+  sim::Duration retry_after = sim::Duration::zero();
+  [[nodiscard]] bool accepted() const { return result == AdmitResult::kAccepted; }
+};
+
 class ServiceContainer {
  public:
   using Handler = std::function<Served()>;
   using Completion = std::function<void(std::vector<std::uint8_t> reply)>;
+  /// Fires when a queued request is shed at pickup (its deadline passed
+  /// while it waited); the completion never runs for a shed request.
+  using Shed = std::function<void(sim::Duration retry_after)>;
 
   ServiceContainer(sim::Simulation& sim, ContainerProfile profile);
 
@@ -57,6 +103,13 @@ class ServiceContainer {
   /// request is refused and never runs). `run` executes when a worker
   /// picks the request up; `done` fires when its service time elapses.
   bool submit(std::size_t request_bytes, Handler run, Completion done);
+
+  /// Deadline- and priority-aware admission (overload-control path). With
+  /// the policy disabled this is exactly `submit` — priority, deadline,
+  /// and the shed callback are ignored. A zero `deadline` means none.
+  Admission submit_ex(std::size_t request_bytes, Handler run, Completion done,
+                      Priority priority, sim::Time deadline = sim::Time::zero(),
+                      Shed on_shed = nullptr);
 
   /// Crash semantics: drop every queued request and orphan in-flight work
   /// (its completion never fires and it is not counted as completed). The
@@ -68,12 +121,28 @@ class ServiceContainer {
                                            std::size_t reply_bytes,
                                            sim::Duration handler_cost) const;
 
+  /// Predicted queue sojourn for a newly-arriving query-class request:
+  /// zero while a worker is free, else the EWMA service estimate scaled by
+  /// the work queued ahead of it.
+  [[nodiscard]] sim::Duration est_sojourn() const;
+  /// Suggested retry_after for a rejected request: the estimated time for
+  /// the current backlog to drain, clamped to the policy bounds.
+  [[nodiscard]] sim::Duration retry_after_hint() const;
+
   [[nodiscard]] const ContainerProfile& profile() const { return profile_; }
   [[nodiscard]] int busy_workers() const { return busy_; }
-  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_depth() const {
+    return queue_.size() + control_.size();
+  }
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
   [[nodiscard]] std::uint64_t refused() const { return refused_; }
   [[nodiscard]] std::uint64_t aborted() const { return aborted_; }
+  /// Requests shed because they could not (admission) or did not (pickup)
+  /// make their deadline.
+  [[nodiscard]] std::uint64_t shed_deadline() const { return shed_deadline_; }
+  /// Query-class pickups served newest-first under overload.
+  [[nodiscard]] std::uint64_t lifo_pickups() const { return lifo_pickups_; }
   /// Fraction of elapsed time the worker pool spent busy, up to `now`.
   [[nodiscard]] double utilization(sim::Time now) const;
   [[nodiscard]] const StreamingStats& sojourn_stats() const { return sojourn_; }
@@ -84,22 +153,32 @@ class ServiceContainer {
     std::size_t bytes;
     Handler run;
     Completion done;
+    sim::Time deadline;  // zero = none
+    Shed on_shed;
   };
 
   void start(Request request);
   void finish();
+  /// Overload-mode pickup: control FIFO first, then query (LIFO when deep),
+  /// shedding queued query requests whose deadline already passed.
+  bool start_next_overload();
 
   sim::Simulation& sim_;
   ContainerProfile profile_;
   int busy_ = 0;
-  std::deque<Request> queue_;
+  std::deque<Request> queue_;    // query class (the only queue when disabled)
+  std::deque<Request> control_;  // control class (overload mode only)
+  std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t refused_ = 0;
   std::uint64_t aborted_ = 0;
+  std::uint64_t shed_deadline_ = 0;
+  std::uint64_t lifo_pickups_ = 0;
   /// Bumped by abort_all(); completion events from an older epoch are
   /// orphaned work from before a crash and must not touch state.
   std::uint64_t epoch_ = 0;
   sim::Duration busy_time_ = sim::Duration::zero();
+  double ewma_service_s_ = 0.0;
   StreamingStats sojourn_;  // queue wait + service, seconds
 };
 

@@ -13,6 +13,13 @@
 
 namespace digruber::net {
 
+/// In-process form of a typed overload rejection, carried through the
+/// Result error channel as "overloaded:<retry_after_us>". The wire form is
+/// wire::OverloadNack; these helpers are the bridge.
+[[nodiscard]] std::string make_overload_error(const wire::OverloadNack& nack);
+/// True iff `error` is an overload rejection; extracts the retry hint.
+bool parse_overload_error(const std::string& error, sim::Duration& retry_after);
+
 /// RPC server: an Endpoint that routes request frames through a
 /// ServiceContainer (modelling GT3/GT4 per-request costs) into registered
 /// method handlers, and sends reply frames back.
@@ -37,7 +44,11 @@ class RpcServer : public Endpoint {
   bool restart();
   [[nodiscard]] bool attached() const { return attached_; }
 
-  void register_method(std::uint16_t method, Method handler);
+  /// `priority` classes requests for overload control: control-class
+  /// methods (state exchange, catch-up) are never shed behind query
+  /// traffic. Ignored while the container's overload policy is disabled.
+  void register_method(std::uint16_t method, Method handler,
+                       Priority priority = Priority::kQuery);
 
   /// Convenience: register a typed handler `Reply(const Request&, NodeId)`
   /// with a fixed-or-computed handler cost returned alongside the reply.
@@ -61,11 +72,16 @@ class RpcServer : public Endpoint {
   void on_packet(Packet packet) override;
 
  private:
+  struct Registered {
+    Method handler;
+    Priority priority = Priority::kQuery;
+  };
+
   sim::Simulation& sim_;
   Transport& transport_;
   NodeId node_;
   ServiceContainer container_;
-  std::unordered_map<std::uint16_t, Method> methods_;
+  std::unordered_map<std::uint16_t, Registered> methods_;
   bool attached_ = true;
   std::uint64_t received_ = 0;
   std::uint64_t bad_ = 0;
@@ -93,17 +109,37 @@ class RpcClient : public Endpoint {
   bool restart();
   [[nodiscard]] bool attached() const { return attached_; }
 
+  /// Per-call knobs beyond the timeout.
+  struct CallOptions {
+    /// Absolute sim-time deadline carried to the server for deadline-aware
+    /// admission (zero = none). Attaching one upgrades the request frame to
+    /// the v2 header; without it the wire format is unchanged.
+    sim::Time deadline = sim::Time::zero();
+  };
+
   /// Raw call; `done` fires exactly once with the reply body or an error
-  /// ("timeout", "refused", or a server error string).
+  /// ("timeout", "refused", "overloaded:<us>", or a server error string).
   void call_raw(NodeId server, std::uint16_t method,
                 std::vector<std::uint8_t> body, sim::Duration timeout,
-                std::function<void(RawResult)> done);
+                std::function<void(RawResult)> done) {
+    call_raw(server, method, std::move(body), timeout, CallOptions{},
+             std::move(done));
+  }
+  void call_raw(NodeId server, std::uint16_t method,
+                std::vector<std::uint8_t> body, sim::Duration timeout,
+                CallOptions options, std::function<void(RawResult)> done);
 
   /// Typed call.
   template <class Request, class Reply>
   void call(NodeId server, std::uint16_t method, const Request& request,
             sim::Duration timeout, std::function<void(Result<Reply>)> done) {
-    call_raw(server, method, wire::encode(request), timeout,
+    call(server, method, request, timeout, CallOptions{}, std::move(done));
+  }
+  template <class Request, class Reply>
+  void call(NodeId server, std::uint16_t method, const Request& request,
+            sim::Duration timeout, CallOptions options,
+            std::function<void(Result<Reply>)> done) {
+    call_raw(server, method, wire::encode(request), timeout, options,
              [done = std::move(done)](RawResult raw) {
                if (!raw.ok()) {
                  done(Result<Reply>::failure(raw.error()));
@@ -128,6 +164,8 @@ class RpcClient : public Endpoint {
 
   [[nodiscard]] std::uint64_t calls_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t calls_timed_out() const { return timed_out_; }
+  /// Calls rejected by a server with a typed overload NACK.
+  [[nodiscard]] std::uint64_t calls_overloaded() const { return overloaded_; }
   [[nodiscard]] std::size_t calls_in_flight() const { return pending_.size(); }
   /// Replies that arrived after their call's timeout (or for a correlation
   /// this client never issued) and were discarded.
@@ -153,6 +191,7 @@ class RpcClient : public Endpoint {
   std::uint64_t sent_ = 0;
   std::uint64_t timed_out_ = 0;
   std::uint64_t late_ = 0;
+  std::uint64_t overloaded_ = 0;
   std::unordered_map<std::uint64_t, Pending> pending_;
 };
 

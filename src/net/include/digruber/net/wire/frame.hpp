@@ -10,26 +10,53 @@ namespace digruber::net::wire {
 
 /// On-the-wire frame header. Every packet payload starts with one; the
 /// body that follows is the encoded message struct for (service, method).
+///
+/// Version 2 appends a request deadline (absolute simulation time in
+/// microseconds; 0 = none) used by deadline-aware admission at overloaded
+/// containers. Version 1 frames carry no deadline field and stay
+/// byte-identical to the pre-overload-control wire format; senders emit
+/// v2 only when they actually attach a deadline.
 struct FrameHeader {
   static constexpr std::uint16_t kCurrentVersion = 1;
+  static constexpr std::uint16_t kDeadlineVersion = 2;
+  static constexpr std::uint16_t kMaxVersion = 2;
 
   std::uint16_t version = kCurrentVersion;
   std::uint16_t method = 0;       // service-defined method id
   std::uint8_t kind = 0;          // FrameKind
   std::uint64_t correlation = 0;  // matches replies to requests
   std::uint32_t body_size = 0;    // bytes of body following the header
+  std::int64_t deadline_us = 0;   // v2 only: absolute sim-time deadline
 
   template <class Archive>
   void serialize(Archive& ar) {
     ar & version & method & kind & correlation & body_size;
+    if (version >= kDeadlineVersion) ar & deadline_us;
   }
 };
 
 enum class FrameKind : std::uint8_t {
   kRequest = 0,
   kReply = 1,
-  kError = 2,   // body is an encoded error string
-  kOneWay = 3,  // no reply expected
+  kError = 2,       // body is an encoded error string
+  kOneWay = 3,      // no reply expected
+  kOverloaded = 4,  // body is an encoded OverloadNack
+};
+
+/// Typed overload rejection: the body of a kOverloaded frame. Sent instead
+/// of silently dropping when an admission queue sheds a request, so the
+/// caller can distinguish server overload from network loss and back off
+/// by the server's own drain estimate.
+struct OverloadNack {
+  /// Queue-full (0) or deadline-doomed (1) — see net::AdmitResult.
+  std::uint8_t reason = 0;
+  /// Server's estimate of when retrying could succeed, relative, in us.
+  std::int64_t retry_after_us = 0;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & reason & retry_after_us;
+  }
 };
 
 /// Serialized size of a FrameHeader (fixed layout).

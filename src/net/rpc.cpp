@@ -1,12 +1,33 @@
 #include "digruber/net/rpc.hpp"
 
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "digruber/common/log.hpp"
 #include "digruber/trace/trace.hpp"
 
 namespace digruber::net {
+
+namespace {
+constexpr std::string_view kOverloadPrefix = "overloaded:";
+}  // namespace
+
+std::string make_overload_error(const wire::OverloadNack& nack) {
+  return std::string(kOverloadPrefix) + std::to_string(nack.retry_after_us);
+}
+
+bool parse_overload_error(const std::string& error, sim::Duration& retry_after) {
+  if (error.size() <= kOverloadPrefix.size() ||
+      error.compare(0, kOverloadPrefix.size(), kOverloadPrefix) != 0) {
+    return false;
+  }
+  const std::int64_t us = std::strtoll(error.c_str() + kOverloadPrefix.size(),
+                                       nullptr, 10);
+  retry_after = sim::Duration::micros(us < 0 ? 0 : us);
+  return true;
+}
 
 RpcServer::RpcServer(sim::Simulation& sim, Transport& transport,
                      ContainerProfile profile)
@@ -33,8 +54,9 @@ bool RpcServer::restart() {
   return true;
 }
 
-void RpcServer::register_method(std::uint16_t method, Method handler) {
-  methods_[method] = std::move(handler);
+void RpcServer::register_method(std::uint16_t method, Method handler,
+                                Priority priority) {
+  methods_[method] = Registered{std::move(handler), priority};
 }
 
 void RpcServer::on_packet(Packet packet) {
@@ -73,12 +95,29 @@ void RpcServer::on_packet(Packet packet) {
                          std::int64_t(packet.payload.size()));
   }
 
+  // Deadline-aware admission input: only v2 frames carry one.
+  sim::Time deadline = sim::Time::zero();
+  if (header.version >= wire::FrameHeader::kDeadlineVersion &&
+      header.deadline_us > 0) {
+    deadline = sim::Time::zero() + sim::Duration::micros(header.deadline_us);
+  }
+
+  auto send_nack = [this, from, correlation, method](std::uint8_t reason,
+                                                     sim::Duration retry_after) {
+    wire::OverloadNack nack;
+    nack.reason = reason;
+    nack.retry_after_us = retry_after.us();
+    transport_.send(Packet{node_, from,
+                           wire::make_frame(method, wire::FrameKind::kOverloaded,
+                                            correlation, nack)});
+  };
+
   // Copy the body: the container may queue the request past this packet's
   // lifetime.
   auto body_copy = std::make_shared<std::vector<std::uint8_t>>(body.begin(), body.end());
-  const bool accepted = container_.submit(
+  const Admission admission = container_.submit_ex(
       packet.payload.size(),
-      [this, body_copy, from, serve_ctx, handler = &it->second]() -> Served {
+      [this, body_copy, from, serve_ctx, handler = &it->second.handler]() -> Served {
         // Ambient serve context while the handler runs, so handler-level
         // events (and anything the handler sends) correlate to this serve.
         trace::ContextGuard guard(serve_ctx);
@@ -101,20 +140,42 @@ void RpcServer::on_packet(Packet packet) {
         w & h;
         w.raw(reply.data(), reply.size());
         transport_.send(Packet{node_, from, w.take()});
+      },
+      it->second.priority, deadline,
+      // Pickup-time shed: the deadline expired while the request queued.
+      [this, from, correlation, method, wants_reply, send_nack,
+       serve_ctx](sim::Duration retry_after) {
+        trace::ContextGuard guard(serve_ctx);
+        if (auto* t = trace::current()) {
+          t->end(trace::Category::kRpc, node_.value(), "rpc.serve", serve_ctx,
+                 std::int64_t(method), -1);
+          t->instant(trace::Category::kRpc, node_.value(), "overload.shed",
+                     serve_ctx, std::int64_t(method), retry_after.us());
+        }
+        if (wants_reply) send_nack(1, retry_after);
       });
-  if (!accepted && wants_reply) {
+  if (!admission.accepted() && wants_reply) {
+    const bool overload = container_.profile().overload.enabled;
     if (auto* t = trace::current()) {
       t->end(trace::Category::kRpc, node_.value(), "rpc.serve", serve_ctx,
              std::int64_t(method), -1);
-      t->instant(trace::Category::kRpc, node_.value(), "rpc.refused", serve_ctx,
+      t->instant(trace::Category::kRpc, node_.value(),
+                 overload ? "overload.shed" : "rpc.refused", serve_ctx,
                  std::int64_t(method));
     }
-    // Connection refused: tell the caller immediately.
-    const std::string reason = "refused";
     trace::ContextGuard guard(serve_ctx);
-    transport_.send(Packet{node_, from,
-                           wire::make_frame(method, wire::FrameKind::kError,
-                                            correlation, reason)});
+    if (overload) {
+      // Typed rejection: distinguishable from network loss, and carries the
+      // server's own drain estimate so the caller backs off usefully.
+      send_nack(admission.result == AdmitResult::kDeadline ? 1 : 0,
+                admission.retry_after);
+    } else {
+      // Connection refused: tell the caller immediately.
+      const std::string reason = "refused";
+      transport_.send(Packet{node_, from,
+                             wire::make_frame(method, wire::FrameKind::kError,
+                                              correlation, reason)});
+    }
   }
 }
 
@@ -155,6 +216,7 @@ void RpcClient::fail_all_pending(const std::string& reason) {
 
 void RpcClient::call_raw(NodeId server, std::uint16_t method,
                          std::vector<std::uint8_t> body, sim::Duration timeout,
+                         CallOptions options,
                          std::function<void(RawResult)> done) {
   const std::uint64_t correlation = next_correlation_++;
   ++sent_;
@@ -165,6 +227,12 @@ void RpcClient::call_raw(NodeId server, std::uint16_t method,
   header.kind = static_cast<std::uint8_t>(wire::FrameKind::kRequest);
   header.correlation = correlation;
   header.body_size = static_cast<std::uint32_t>(body.size());
+  if (options.deadline > sim::Time::zero()) {
+    // Deadline upgrades the frame to the v2 header; deadline-free calls
+    // keep the v1 format byte-for-byte.
+    header.version = wire::FrameHeader::kDeadlineVersion;
+    header.deadline_us = options.deadline.us();
+  }
   w & header;
   w.raw(body.data(), body.size());
 
@@ -221,6 +289,16 @@ void RpcClient::on_packet(Packet packet) {
       std::string reason;
       if (!wire::decode(body, reason)) reason = "malformed error";
       pending.done(RawResult::failure(reason));
+      break;
+    }
+    case wire::FrameKind::kOverloaded: {
+      wire::OverloadNack nack;
+      if (!wire::decode(body, nack)) {
+        pending.done(RawResult::failure("malformed overload nack"));
+        break;
+      }
+      ++overloaded_;
+      pending.done(RawResult::failure(make_overload_error(nack)));
       break;
     }
     default:

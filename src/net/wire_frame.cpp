@@ -14,14 +14,18 @@ std::size_t frame_header_size() {
 
 bool parse_frame(std::span<const std::uint8_t> frame, FrameHeader& header,
                  std::span<const std::uint8_t>& body) {
-  const std::size_t hsize = frame_header_size();
-  if (frame.size() < hsize) return false;
-  Reader r(frame.first(hsize));
+  // The header is variable-length from v2 on (serialize reads the version
+  // first and then any version-gated fields), so parse over the whole
+  // frame and take what the header left as the body.
+  Reader r(frame);
   r & header;
-  if (!r.complete()) return false;
-  if (header.version != FrameHeader::kCurrentVersion) return false;
-  if (frame.size() - hsize != header.body_size) return false;
-  body = frame.subspan(hsize);
+  if (!r.ok()) return false;
+  if (header.version < FrameHeader::kCurrentVersion ||
+      header.version > FrameHeader::kMaxVersion) {
+    return false;
+  }
+  if (r.remaining() != header.body_size) return false;
+  body = frame.subspan(frame.size() - r.remaining());
   return true;
 }
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "digruber/common/rng.hpp"
+
 namespace digruber::sim {
 namespace {
 
@@ -178,6 +180,109 @@ Result<FaultPlan> FaultPlan::parse(const std::string& text) {
                            (verb.empty() ? "(none)" : verb));
     }
     plan.add(std::move(event));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& options) {
+  FaultPlan plan;
+  const double horizon_s = options.horizon.to_seconds();
+  const double lo = horizon_s * 0.1;
+  const double hi = horizon_s * 0.9;
+  if (options.n_dps == 0 || hi <= lo) return plan;
+
+  std::vector<int> kinds;
+  if (options.allow_crashes) kinds.push_back(0);
+  if (options.allow_partitions && options.n_dps >= 2) kinds.push_back(1);
+  if (options.allow_degrades && options.n_dps >= 2) kinds.push_back(2);
+  if (kinds.empty()) return plan;
+
+  Rng rng(seed);
+  // Every fault is a matched begin/end pair tracked as a span, so episodes
+  // of the same kind never overlap in a way their undo can't express
+  // (heal removes ALL partitions; restore_dp undoes that DP's override).
+  struct Span {
+    std::size_t dp;
+    double start;
+    double end;
+  };
+  std::vector<Span> down, degraded;
+  std::vector<std::pair<double, double>> partitioned;
+  auto overlaps = [](double s, double e, double s2, double e2) {
+    return s < e2 && s2 < e;
+  };
+
+  for (std::size_t ep = 0; ep < options.episodes; ++ep) {
+    const int kind = kinds[rng.uniform_index(kinds.size())];
+    const double start = rng.uniform(lo, lo + (hi - lo) * 0.75);
+    const double duration =
+        rng.uniform(horizon_s * 0.05, horizon_s * 0.25);
+    const double end = std::min(hi, start + duration);
+    if (end <= start) continue;
+
+    switch (kind) {
+      case 0: {  // crash + restart
+        std::vector<std::size_t> candidates;
+        for (std::size_t d = 0; d < options.n_dps; ++d) {
+          bool busy = false;
+          std::size_t concurrent = 0;
+          for (const Span& s : down) {
+            if (!overlaps(start, end, s.start, s.end)) continue;
+            if (s.dp == d) busy = true;
+            ++concurrent;
+          }
+          // keep_one_alive: a crash window may cover at most n_dps - 1
+          // decision points at once.
+          if (busy) continue;
+          if (options.keep_one_alive && concurrent + 1 >= options.n_dps) continue;
+          candidates.push_back(d);
+        }
+        if (candidates.empty()) break;
+        const std::size_t dp = candidates[rng.uniform_index(candidates.size())];
+        plan.crash(Time::from_seconds(start), dp);
+        plan.restart(Time::from_seconds(end), dp);
+        down.push_back({dp, start, end});
+        break;
+      }
+      case 1: {  // partition into two islands + heal
+        bool clash = false;
+        for (const auto& [s, e] : partitioned) {
+          if (overlaps(start, end, s, e)) clash = true;
+        }
+        if (clash) break;
+        std::vector<std::size_t> order(options.n_dps);
+        for (std::size_t d = 0; d < options.n_dps; ++d) order[d] = d;
+        for (std::size_t d = options.n_dps - 1; d > 0; --d) {
+          std::swap(order[d], order[rng.uniform_index(d + 1)]);
+        }
+        const std::size_t cut = 1 + rng.uniform_index(options.n_dps - 1);
+        std::vector<std::vector<std::size_t>> islands(2);
+        islands[0].assign(order.begin(), order.begin() + std::ptrdiff_t(cut));
+        islands[1].assign(order.begin() + std::ptrdiff_t(cut), order.end());
+        plan.partition(Time::from_seconds(start), std::move(islands));
+        plan.heal(Time::from_seconds(end));
+        partitioned.emplace_back(start, end);
+        break;
+      }
+      case 2: {  // degrade every link of one DP + restore
+        std::vector<std::size_t> candidates;
+        for (std::size_t d = 0; d < options.n_dps; ++d) {
+          bool busy = false;
+          for (const Span& s : degraded) {
+            if (s.dp == d && overlaps(start, end, s.start, s.end)) busy = true;
+          }
+          if (!busy) candidates.push_back(d);
+        }
+        if (candidates.empty()) break;
+        const std::size_t dp = candidates[rng.uniform_index(candidates.size())];
+        const double latency_factor = rng.uniform(2.0, 8.0);
+        const double extra_loss = rng.uniform(0.0, 0.3);
+        plan.degrade_dp(Time::from_seconds(start), dp, latency_factor, extra_loss);
+        plan.restore_dp(Time::from_seconds(end), dp);
+        degraded.push_back({dp, start, end});
+        break;
+      }
+    }
   }
   return plan;
 }

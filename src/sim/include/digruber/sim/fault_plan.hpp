@@ -62,9 +62,33 @@ struct FaultEvent {
 ///   at=<time> restore dp=<i>
 ///
 /// <time> accepts plain seconds or an s/m/h suffix: `90`, `90s`, `1.5m`.
+/// Knobs for FaultPlan::random (the chaos harness's schedule generator).
+struct RandomFaultOptions {
+  std::size_t n_dps = 3;
+  /// Faults are scheduled inside [horizon * 0.1, horizon * 0.9] so the run
+  /// has clean lead-in and recovery phases.
+  Duration horizon = Duration::minutes(10);
+  /// Independent fault episodes to compose (each is a crash+restart pair,
+  /// a partition+heal pair, or a degrade+restore pair).
+  std::size_t episodes = 4;
+  bool allow_crashes = true;
+  bool allow_partitions = true;
+  bool allow_degrades = true;
+  /// Never schedule a crash that would leave zero running decision points
+  /// (crash episodes pick among DPs not already down at that instant).
+  bool keep_one_alive = true;
+};
+
 class FaultPlan {
  public:
   static Result<FaultPlan> parse(const std::string& text);
+
+  /// Generate a random-but-reproducible fault schedule: the same
+  /// (seed, options) always yields the same plan. Each episode is a
+  /// matched pair (crash/restart, partition/heal, degrade/restore), so
+  /// every fault heals within the horizon and post-run invariants can
+  /// expect a reconverged mesh.
+  static FaultPlan random(std::uint64_t seed, const RandomFaultOptions& options);
 
   /// Builder API (mirrors the grammar).
   FaultPlan& crash(Time at, std::size_t dp);

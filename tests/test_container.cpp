@@ -158,5 +158,184 @@ TEST_P(ContainerProperty, MakespanFormula) {
 
 INSTANTIATE_TEST_SUITE_P(Workers, ContainerProperty, ::testing::Values(1, 2, 3, 5, 8));
 
+// ---------------------------------------------------------------------------
+// Overload control (deadline-aware admission, typed rejections, priority
+// classes, LIFO-under-overload). The policy is opt-in; the first test pins
+// the disabled path to the legacy semantics.
+
+ContainerProfile overload_profile(int workers, double service_ms,
+                                  std::size_t queue_limit) {
+  ContainerProfile p = flat_profile(workers, service_ms, queue_limit);
+  p.overload.enabled = true;
+  return p;
+}
+
+TEST(ContainerOverload, DisabledSubmitExMatchesLegacy) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, flat_profile(1, 1000, /*queue_limit=*/2));
+  // An absurdly tight deadline and a shed callback: both must be ignored
+  // with the policy off.
+  bool shed_fired = false;
+  int completions = 0;
+  for (int i = 0; i < 5; ++i) {
+    const Admission a = c.submit_ex(
+        0, noop, [&](auto) { ++completions; }, Priority::kQuery,
+        sim::Time::from_seconds(0.001),
+        [&](sim::Duration) { shed_fired = true; });
+    if (i < 3) {
+      EXPECT_TRUE(a.accepted());
+    } else {
+      EXPECT_EQ(a.result, AdmitResult::kQueueFull);
+      EXPECT_EQ(a.retry_after, sim::Duration::zero());  // no hint when legacy
+    }
+  }
+  sim.run();
+  EXPECT_EQ(completions, 3);  // doomed requests served anyway
+  EXPECT_FALSE(shed_fired);
+  EXPECT_EQ(c.refused(), 2u);
+  EXPECT_EQ(c.shed_deadline(), 0u);
+}
+
+TEST(ContainerOverload, QueueFullRejectionIsTypedWithRetryAfter) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, overload_profile(1, 1000, /*queue_limit=*/2));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(c.submit_ex(0, noop, [](auto) {}, Priority::kQuery).accepted());
+  }
+  const Admission a = c.submit_ex(0, noop, [](auto) {}, Priority::kQuery);
+  EXPECT_EQ(a.result, AdmitResult::kQueueFull);
+  // The hint is the drain estimate clamped to the policy bounds: 2 queued
+  // + 1 arriving at 1 s each = 3 s, within [250 ms, 30 s].
+  EXPECT_NEAR(a.retry_after.to_seconds(), 3.0, 1e-6);
+  EXPECT_EQ(c.refused(), 1u);
+  sim.run();
+}
+
+TEST(ContainerOverload, AdmissionShedsDoomedRequests) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, overload_profile(1, 1000, /*queue_limit=*/64));
+  int completions = 0;
+  // First request starts immediately and seeds the service-time EWMA (1 s);
+  // three more stack up behind it.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        c.submit_ex(0, noop, [&](auto) { ++completions; }, Priority::kQuery)
+            .accepted());
+  }
+  // Predicted sojourn is now ~4 s; a request due in 1 s is doomed.
+  const Admission doomed =
+      c.submit_ex(0, noop, [&](auto) { ++completions; }, Priority::kQuery,
+                  sim::Time::from_seconds(1));
+  EXPECT_EQ(doomed.result, AdmitResult::kDeadline);
+  EXPECT_GT(doomed.retry_after, sim::Duration::zero());
+  // The same deadline is fine once it is actually reachable.
+  const Admission viable =
+      c.submit_ex(0, noop, [&](auto) { ++completions; }, Priority::kQuery,
+                  sim::Time::from_seconds(60));
+  EXPECT_TRUE(viable.accepted());
+  sim.run();
+  EXPECT_EQ(completions, 5);
+  EXPECT_EQ(c.shed_deadline(), 1u);
+}
+
+TEST(ContainerOverload, PickupShedFiresCallbackInsteadOfCompletion) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, overload_profile(1, 100, /*queue_limit=*/64));
+  // A short first request seeds a 0.1 s EWMA, so admission predicts a 0.2 s
+  // sojourn for the doomed request and lets it in...
+  c.submit_ex(0, noop, [](auto) {}, Priority::kQuery);
+  // ...but a 2 s handler sneaks in ahead of it, so by pickup time the
+  // deadline has long passed.
+  c.submit_ex(
+      0, [] { return Served{{}, sim::Duration::seconds(2)}; }, [](auto) {},
+      Priority::kQuery);
+  bool completion_fired = false;
+  sim::Duration retry_after = sim::Duration::zero();
+  const Admission a = c.submit_ex(
+      0, noop, [&](auto) { completion_fired = true; }, Priority::kQuery,
+      sim::Time::from_seconds(0.5),
+      [&](sim::Duration hint) { retry_after = hint; });
+  ASSERT_TRUE(a.accepted());
+  sim.run();
+  EXPECT_FALSE(completion_fired);
+  EXPECT_GT(retry_after, sim::Duration::zero());
+  EXPECT_EQ(c.shed_deadline(), 1u);
+  EXPECT_EQ(c.completed(), 2u);
+}
+
+TEST(ContainerOverload, LifoPickupAboveThresholdFifoBelow) {
+  // queue_limit 8 x lifo_fraction 0.5 = LIFO while depth >= 4.
+  sim::Simulation sim;
+  ServiceContainer c(sim, overload_profile(1, 1000, /*queue_limit=*/8));
+  std::vector<int> order;
+  auto enqueue = [&](int id) {
+    ASSERT_TRUE(c.submit_ex(0, noop, [&order, id](auto) { order.push_back(id); },
+                            Priority::kQuery)
+                    .accepted());
+  };
+  for (int i = 0; i < 6; ++i) enqueue(i);  // 0 in service, 1..5 queued
+  sim.run();
+  // Depth at each pickup: 5,4 -> LIFO (newest first), then 3,2,1 -> FIFO.
+  EXPECT_EQ(order, (std::vector<int>{0, 5, 4, 1, 2, 3}));
+  EXPECT_EQ(c.lifo_pickups(), 2u);
+}
+
+TEST(ContainerOverload, ControlClassBypassesLimitAndDrainsFirst) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, overload_profile(1, 1000, /*queue_limit=*/1));
+  std::vector<std::string> order;
+  auto tag = [&order](std::string label) {
+    return [&order, label = std::move(label)](std::vector<std::uint8_t>) {
+      order.push_back(label);
+    };
+  };
+  ASSERT_TRUE(c.submit_ex(0, noop, tag("q0"), Priority::kQuery).accepted());
+  ASSERT_TRUE(c.submit_ex(0, noop, tag("q1"), Priority::kQuery).accepted());
+  // Query queue is at its limit now — queries bounce, control does not.
+  EXPECT_EQ(c.submit_ex(0, noop, tag("q2"), Priority::kQuery).result,
+            AdmitResult::kQueueFull);
+  ASSERT_TRUE(c.submit_ex(0, noop, tag("c0"), Priority::kControl).accepted());
+  ASSERT_TRUE(c.submit_ex(0, noop, tag("c1"), Priority::kControl).accepted());
+  sim.run();
+  // Control drains before the queued query, in FIFO order.
+  EXPECT_EQ(order, (std::vector<std::string>{"q0", "c0", "c1", "q1"}));
+}
+
+TEST(ContainerOverload, AbortAccountsQueuedControlAndBusy) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, overload_profile(2, 1000, /*queue_limit=*/16));
+  int completions = 0;
+  for (int i = 0; i < 5; ++i) {
+    c.submit_ex(0, noop, [&](auto) { ++completions; }, Priority::kQuery);
+  }
+  c.submit_ex(0, noop, [&](auto) { ++completions; }, Priority::kControl);
+  // 2 busy + 3 queued queries + 1 queued control.
+  c.abort_all();
+  EXPECT_EQ(c.aborted(), 6u);
+  EXPECT_EQ(c.queue_depth(), 0u);
+  EXPECT_EQ(c.busy_workers(), 0);
+  sim.run();
+  EXPECT_EQ(completions, 0);  // orphaned work never completes
+  // Conservation: submitted == completed + refused + shed + aborted.
+  EXPECT_EQ(c.submitted(),
+            c.completed() + c.refused() + c.shed_deadline() + c.aborted());
+  // The container still serves post-crash work.
+  c.submit_ex(0, noop, [&](auto) { ++completions; }, Priority::kQuery);
+  sim.run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(c.completed(), 1u);
+}
+
+TEST(ContainerOverload, EstSojournZeroWhileWorkerFree) {
+  sim::Simulation sim;
+  ServiceContainer c(sim, overload_profile(2, 1000, /*queue_limit=*/16));
+  EXPECT_EQ(c.est_sojourn(), sim::Duration::zero());
+  c.submit_ex(0, noop, [](auto) {}, Priority::kQuery);
+  EXPECT_EQ(c.est_sojourn(), sim::Duration::zero());  // second worker free
+  c.submit_ex(0, noop, [](auto) {}, Priority::kQuery);
+  EXPECT_GT(c.est_sojourn(), sim::Duration::zero());  // pool saturated
+  sim.run();
+}
+
 }  // namespace
 }  // namespace digruber::net

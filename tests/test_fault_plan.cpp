@@ -141,6 +141,114 @@ TEST(FaultPlan, ArmFiresEventsAtTheirInstants) {
   EXPECT_EQ(fired[1].second, FaultKind::kDpRestart);
 }
 
+// ---------------------------------------------------------------------------
+// Random plans (the chaos harness's schedule generator).
+
+TEST(FaultPlanRandom, SameSeedSamePlanDifferentSeedDiffers) {
+  RandomFaultOptions options;
+  const FaultPlan a = FaultPlan::random(42, options);
+  const FaultPlan b = FaultPlan::random(42, options);
+  EXPECT_EQ(a, b);
+  // With several episodes the odds of a seed collision are negligible; a
+  // handful of alternative seeds must produce at least one different plan.
+  bool any_differ = false;
+  for (std::uint64_t seed = 43; seed < 48; ++seed) {
+    if (!(FaultPlan::random(seed, options) == a)) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(FaultPlanRandom, EventsStayInsideTheSchedulingWindow) {
+  RandomFaultOptions options;
+  options.horizon = Duration::minutes(10);
+  const Time lo = Time::zero() + options.horizon * 0.1;
+  const Time hi = Time::zero() + options.horizon * 0.9;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, options);
+    for (const FaultEvent& event : plan.events()) {
+      EXPECT_GE(event.at, lo) << "seed " << seed;
+      EXPECT_LE(event.at, hi) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FaultPlanRandom, EveryFaultHealsAndIndicesFitDeployment) {
+  RandomFaultOptions options;
+  options.n_dps = 4;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, options);
+    EXPECT_LT(plan.max_dp_index(), options.n_dps) << "seed " << seed;
+    // Matched pairs: replaying the schedule must leave nothing down,
+    // partitioned, or degraded at the end.
+    std::vector<int> down(options.n_dps, 0);
+    std::vector<int> degraded(options.n_dps, 0);
+    int partitions = 0;
+    for (const FaultEvent& event : plan.events()) {
+      switch (event.kind) {
+        case FaultKind::kDpCrash:
+          EXPECT_EQ(down[event.dp], 0) << "seed " << seed << ": double crash";
+          down[event.dp] = 1;
+          break;
+        case FaultKind::kDpRestart:
+          EXPECT_EQ(down[event.dp], 1) << "seed " << seed << ": stray restart";
+          down[event.dp] = 0;
+          break;
+        case FaultKind::kPartition:
+          ++partitions;
+          break;
+        case FaultKind::kHeal:
+          EXPECT_GT(partitions, 0) << "seed " << seed << ": stray heal";
+          --partitions;
+          break;
+        case FaultKind::kLinkDegrade:
+          EXPECT_EQ(degraded[event.dp], 0) << "seed " << seed;
+          degraded[event.dp] = 1;
+          break;
+        case FaultKind::kLinkRestore:
+          EXPECT_EQ(degraded[event.dp], 1) << "seed " << seed;
+          degraded[event.dp] = 0;
+          break;
+      }
+    }
+    EXPECT_EQ(partitions, 0) << "seed " << seed;
+    for (std::size_t d = 0; d < options.n_dps; ++d) {
+      EXPECT_EQ(down[d], 0) << "seed " << seed << " dp" << d;
+      EXPECT_EQ(degraded[d], 0) << "seed " << seed << " dp" << d;
+    }
+  }
+}
+
+TEST(FaultPlanRandom, KeepOneAliveNeverCrashesWholeMesh) {
+  RandomFaultOptions options;
+  options.n_dps = 2;  // tightest case: any two overlapping crashes kill all
+  options.episodes = 8;
+  options.allow_partitions = false;
+  options.allow_degrades = false;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, options);
+    int down = 0;
+    for (const FaultEvent& event : plan.events()) {
+      if (event.kind == FaultKind::kDpCrash) ++down;
+      if (event.kind == FaultKind::kDpRestart) --down;
+      EXPECT_LT(down, int(options.n_dps)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FaultPlanRandom, HonorsKindAllowFlags) {
+  RandomFaultOptions options;
+  options.allow_crashes = false;
+  options.allow_degrades = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, options);
+    for (const FaultEvent& event : plan.events()) {
+      EXPECT_TRUE(event.kind == FaultKind::kPartition ||
+                  event.kind == FaultKind::kHeal)
+          << "seed " << seed;
+    }
+  }
+}
+
 TEST(FaultPlan, DescribeMentionsEveryEvent) {
   FaultPlan plan;
   plan.crash(Time::from_seconds(10), 0);

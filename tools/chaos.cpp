@@ -1,0 +1,197 @@
+// chaos: seeded random fault-injection soak for the DI-GRUBER mesh.
+//
+//   chaos [--seeds N | --seed K] [--quick] [--verbose]
+//
+// Each seed deterministically generates a random fault schedule (crashes,
+// partitions, link degradations) via FaultPlan::random, runs a small
+// overload-controlled scenario under it, and checks conservation
+// invariants the architecture must uphold no matter what the schedule did:
+//
+//   I1  every scheduled query resolves exactly once
+//       (queries == handled + fallbacks per fleet),
+//   I2  container admission conserves requests
+//       (submitted == completed + refused + shed_deadline + aborted
+//        + residue, and residue == 0 after the drain),
+//   I3  no site's free-CPU accounting goes negative (USLA allocation
+//       bookkeeping never over-commits).
+//
+// Exit status 0 iff every seed passes; failing seeds are printed so a
+// failure reproduces with `chaos --seed K`.
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "digruber/common/table.hpp"
+#include "digruber/experiments/scenario.hpp"
+#include "digruber/sim/fault_plan.hpp"
+
+using namespace digruber;
+
+namespace {
+
+struct SeedReport {
+  std::uint64_t seed = 0;
+  bool pass = true;
+  std::size_t faults = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t restarts = 0;
+  std::vector<std::string> violations;
+};
+
+SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose) {
+  sim::RandomFaultOptions fault_options;
+  fault_options.n_dps = 3;
+  fault_options.horizon = quick ? sim::Duration::minutes(6) : sim::Duration::minutes(15);
+  fault_options.episodes = quick ? 3 : 5;
+  const sim::FaultPlan plan = sim::FaultPlan::random(seed, fault_options);
+
+  experiments::ScenarioConfig config;
+  config.name = "chaos-" + std::to_string(seed);
+  config.seed = seed;
+  config.n_dps = int(fault_options.n_dps);
+  config.grid_scale = 2;
+  config.n_clients = quick ? 16 : 32;
+  config.duration = fault_options.horizon;
+  config.exchange_interval = sim::Duration::seconds(30);
+  config.fault_plan = plan;
+  config.enable_failover = true;
+  config.attempt_timeout = sim::Duration::seconds(5);
+  config.overload_control = true;
+  // A tight queue keeps the shedding machinery exercised even at this
+  // small scale.
+  config.profile.queue_limit = 64;
+
+  if (verbose) {
+    std::cout << "seed " << seed << " plan:\n"
+              << (plan.empty() ? std::string("  (no faults)\n") : plan.describe());
+  }
+
+  const experiments::ScenarioResult result = experiments::run_scenario(config);
+
+  SeedReport report;
+  report.seed = seed;
+  report.faults = plan.size();
+  report.queries = result.clients.queries;
+  report.shed = result.overload.shed_total();
+
+  auto violate = [&report](std::string what) {
+    report.pass = false;
+    report.violations.push_back(std::move(what));
+  };
+
+  // I1: exactly-once query resolution across the fleet.
+  if (result.clients.queries != result.clients.handled + result.clients.fallbacks) {
+    std::ostringstream os;
+    os << "I1 queries=" << result.clients.queries
+       << " != handled=" << result.clients.handled
+       << " + fallbacks=" << result.clients.fallbacks;
+    violate(os.str());
+  }
+
+  // I2: per-container request conservation, with an empty queue after the
+  // post-window drain.
+  for (std::size_t d = 0; d < result.dps.size(); ++d) {
+    const experiments::DpStats& dp = result.dps[d];
+    report.restarts += dp.restarts;
+    const std::uint64_t accounted =
+        dp.completed + dp.refused + dp.shed_deadline + dp.aborted + dp.queue_residue;
+    if (dp.submitted != accounted) {
+      std::ostringstream os;
+      os << "I2 dp" << d << " submitted=" << dp.submitted
+         << " != completed=" << dp.completed << " + refused=" << dp.refused
+         << " + shed_deadline=" << dp.shed_deadline << " + aborted=" << dp.aborted
+         << " + residue=" << dp.queue_residue;
+      violate(os.str());
+    }
+    if (dp.queue_residue != 0) {
+      std::ostringstream os;
+      os << "I2 dp" << d << " residue=" << dp.queue_residue << " after drain";
+      violate(os.str());
+    }
+  }
+
+  // I3: allocation bookkeeping never over-commits a site.
+  if (result.sites_overcommitted != 0) {
+    std::ostringstream os;
+    os << "I3 sites_overcommitted=" << result.sites_overcommitted;
+    violate(os.str());
+  }
+
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t n_seeds = 20;
+  bool single = false;
+  std::uint64_t single_seed = 0;
+  bool quick = false;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::uint64_t {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return std::stoull(argv[++i]);
+    };
+    if (arg == "--seeds") {
+      n_seeds = next("--seeds");
+    } else if (arg == "--seed") {
+      single = true;
+      single_seed = next("--seed");
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--seeds N | --seed K] [--quick] [--verbose]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::uint64_t> seeds;
+  if (single) {
+    seeds.push_back(single_seed);
+  } else {
+    for (std::uint64_t s = 1; s <= n_seeds; ++s) seeds.push_back(s);
+  }
+
+  Table table({"seed", "faults", "queries", "shed", "restarts", "verdict"});
+  std::vector<std::uint64_t> failing;
+  for (const std::uint64_t seed : seeds) {
+    const SeedReport report = run_seed(seed, quick, verbose);
+    table.add_row({std::to_string(report.seed), std::to_string(report.faults),
+                   std::to_string(report.queries), std::to_string(report.shed),
+                   std::to_string(report.restarts),
+                   report.pass ? "PASS" : "FAIL"});
+    if (!report.pass) {
+      failing.push_back(report.seed);
+      for (const std::string& v : report.violations) {
+        std::cout << "seed " << report.seed << " VIOLATION: " << v << "\n";
+      }
+    }
+  }
+  table.render(std::cout);
+
+  if (failing.empty()) {
+    std::cout << "chaos: " << seeds.size() << "/" << seeds.size()
+              << " seeds passed all invariants\n";
+    return 0;
+  }
+  std::cout << "chaos: " << failing.size() << " failing seed(s):";
+  for (const std::uint64_t s : failing) std::cout << " " << s;
+  std::cout << "\nreproduce with: " << argv[0] << " --seed <K> --verbose"
+            << (quick ? " --quick" : "") << "\n";
+  return 1;
+}

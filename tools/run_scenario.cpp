@@ -105,6 +105,14 @@ int main(int argc, char** argv) {
 
   diperf::render_latency_percentiles(std::cout, r.handled, r.not_handled, r.all);
 
+  // Queue-full drops and deadline sheds surface as typed overload
+  // rejections rather than vanishing into the fallback population.
+  if (r.overload.submitted > 0 &&
+      (r.overload.shed_total() > 0 || r.overload.overload_nacks > 0 ||
+       r.overload.aborted > 0)) {
+    diperf::render_overload(std::cout, r.overload);
+  }
+
   Table dps({"DP", "Queries", "Selections", "Exchanges out/in", "Records",
              "Sojourn (s)", "Container util"});
   for (std::size_t i = 0; i < r.dps.size(); ++i) {
