@@ -100,6 +100,47 @@ void BM_FrameRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_FrameRoundtrip);
 
+void BM_EncodeSiteLoadsBuffer(benchmark::State& state) {
+  // Same encode as BM_EncodeSiteLoads, landing in shared immutable storage
+  // (the form every frame and reply actually ships in).
+  const GetSiteLoadsReply reply = make_reply(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    const net::Buffer encoded = net::wire::encode_buffer(reply);
+    benchmark::DoNotOptimize(encoded.data());
+  }
+}
+BENCHMARK(BM_EncodeSiteLoadsBuffer)->Arg(30)->Arg(300)->Arg(3000);
+
+void BM_ExchangeFanOut(benchmark::State& state) {
+  // The state-exchange broadcast primitive: one encode, N shared handles.
+  // Cost should be flat in N up to the refcount bumps — compare against
+  // BM_EncodeExchange/100 scaled by peer count for the old N-encode cost.
+  const ExchangeMessage msg = make_exchange(100);
+  const std::size_t peers = std::size_t(state.range(0));
+  std::vector<net::Buffer> mailboxes(peers);
+  for (auto _ : state) {
+    const net::Buffer frame = net::wire::make_frame(
+        Method::kExchange, net::wire::FrameKind::kOneWay, 1, msg);
+    for (std::size_t i = 0; i < peers; ++i) mailboxes[i] = frame;
+    benchmark::DoNotOptimize(mailboxes.data());
+  }
+  state.counters["peers"] = double(peers);
+}
+BENCHMARK(BM_ExchangeFanOut)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BufferSlice(benchmark::State& state) {
+  const net::Buffer frame = net::wire::make_frame(
+      Method::kGetSiteLoads, net::wire::FrameKind::kReply, 7, make_reply(300));
+  for (auto _ : state) {
+    net::wire::FrameHeader header;
+    net::Buffer body;
+    const bool ok = net::wire::parse_frame(frame, header, body);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(body.data());
+  }
+}
+BENCHMARK(BM_BufferSlice);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -30,6 +30,7 @@ DiGruberClient::DiGruberClient(sim::Simulation& sim, net::Transport& transport,
       options_(options) {
   assert(!dps_.empty());
   assert(!all_sites_.empty());
+  install_wire_categorizer();
   dp_score_.assign(dps_.size(), 0.0);
   retry_tokens_ = options_.retry_budget_capacity;
 }

@@ -18,6 +18,7 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
       engine_(catalog, tree),
       server_(sim, transport, options_.profile),
       peer_client_(sim, transport) {
+  install_wire_categorizer();
   server_.register_method(kGetSiteLoads,
                           [this](std::span<const std::uint8_t> body, NodeId from) {
                             return handle_get_site_loads(body, from);
@@ -175,7 +176,7 @@ net::Served DecisionPoint::handle_catch_up(std::span<const std::uint8_t> body,
   net::Served served;
   served.handler_cost =
       sim::Duration::millis(0.2) * double(reply.records.size() + 1);
-  served.reply = net::wire::encode(reply);
+  served.reply = net::wire::encode_buffer(reply);
   return served;
 }
 
@@ -223,7 +224,7 @@ net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> b
   net::Served served;
   served.handler_cost =
       options_.eval_cost_per_site * double(engine_.view().site_count());
-  served.reply = net::wire::encode(reply);
+  served.reply = net::wire::encode_buffer(reply);
   return served;
 }
 
@@ -256,7 +257,7 @@ net::Served DecisionPoint::handle_report_selection(std::span<const std::uint8_t>
 
   net::Served served;
   served.handler_cost = sim::Duration::millis(5);
-  served.reply = net::wire::encode(Ack{});
+  served.reply = net::wire::encode_buffer(Ack{});
   return served;
 }
 
@@ -357,10 +358,11 @@ void DecisionPoint::run_exchange() {
       message.snapshots.push_back(std::move(snapshot));
     }
   }
-  for (const NodeId neighbor : neighbors_) {
-    peer_client_.notify(neighbor, kExchange, message);
-    ++exchanges_sent_;
-  }
+  // Single-encode fan-out: the message is serialized once and the shared
+  // frame handed to every neighbor — the exchange cost paid per round is
+  // one encode plus N refcount bumps, not N encodes of the same bytes.
+  peer_client_.notify_all(neighbors_, kExchange, message);
+  exchanges_sent_ += neighbors_.size();
   if (auto* t = trace::current()) {
     t->end(trace::Category::kDp, id_.value(), "dp.exchange", xctx,
            std::int64_t(neighbors_.size()));

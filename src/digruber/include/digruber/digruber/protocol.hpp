@@ -5,6 +5,7 @@
 
 #include "digruber/grid/job.hpp"
 #include "digruber/gruber/view.hpp"
+#include "digruber/net/wire/stats.hpp"
 
 namespace digruber::digruber {
 
@@ -26,6 +27,32 @@ enum Method : std::uint16_t {
   /// so the restarted point's dedup state and utilization re-converge.
   kCatchUp = 6,
 };
+
+/// Traffic class of each protocol method, for the wire layer's per-category
+/// bytes-on-wire and encode-count telemetry (the wire layer itself knows
+/// nothing about DI-GRUBER method ids).
+constexpr net::wire::MsgCategory method_category(std::uint16_t method) {
+  switch (method) {
+    case kGetSiteLoads:
+    case kReportSelection:
+    case kCreateInstance:
+      return net::wire::MsgCategory::kQuery;
+    case kExchange:
+      return net::wire::MsgCategory::kStateExchange;
+    case kSaturation:
+    case kCatchUp:
+      return net::wire::MsgCategory::kControl;
+    default:
+      return net::wire::MsgCategory::kOther;
+  }
+}
+
+/// Install `method_category` as the wire layer's categorizer. Idempotent;
+/// called from every protocol actor's constructor so any run that touches
+/// DI-GRUBER traffic gets classified counters.
+inline void install_wire_categorizer() {
+  net::wire::set_method_categorizer(&method_category);
+}
 
 struct GetSiteLoadsRequest {
   JobId job;

@@ -24,6 +24,15 @@ void render_resilience(std::ostream& os, const metrics::ResilienceCounters& coun
 /// rejections, distinguishable from network loss in the resilience block.
 void render_overload(std::ostream& os, const metrics::OverloadCounters& counters);
 
+/// Render the per-category bytes-on-wire / encode-count block. With the
+/// zero-copy message path, `encodes` counts serializations (one per
+/// exchange round, not one per peer); bytes are the frames those encodes
+/// produced.
+void render_wire(std::ostream& os, const metrics::WireCounters& counters);
+
+/// Snapshot the process-wide wire telemetry into report-ready counters.
+[[nodiscard]] metrics::WireCounters snapshot_wire_counters();
+
 /// Render the response-time percentile block (p50/p95/p99 from the
 /// HDR-style histogram in MetricValues) for the handled / not-handled /
 /// all slices. Kept out of render_figure so the paper-figure benches stay

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "digruber/common/table.hpp"
+#include "digruber/net/wire/stats.hpp"
 
 namespace digruber::diperf {
 
@@ -111,6 +112,38 @@ void render_overload(std::ostream& os, const metrics::OverloadCounters& counters
       {"p2c routing decisions", Table::num(double(counters.p2c_decisions), 0)});
   table.render(os);
   os << "\n";
+}
+
+void render_wire(std::ostream& os, const metrics::WireCounters& counters) {
+  os << "== wire traffic by category ==\n";
+  Table table({"category", "encodes", "bytes"});
+  const auto row = [&](const char* name, std::uint64_t encodes,
+                       std::uint64_t bytes) {
+    table.add_row({name, Table::num(double(encodes), 0),
+                   Table::num(double(bytes), 0)});
+  };
+  row("queries", counters.query_encodes, counters.query_bytes);
+  row("state exchange", counters.exchange_encodes, counters.exchange_bytes);
+  row("control", counters.control_encodes, counters.control_bytes);
+  row("other", counters.other_encodes, counters.other_bytes);
+  row("total", counters.total_encodes(), counters.total_bytes());
+  table.render(os);
+  os << "\n";
+}
+
+metrics::WireCounters snapshot_wire_counters() {
+  const net::wire::WireStats& stats = net::wire::wire_stats();
+  using net::wire::MsgCategory;
+  metrics::WireCounters counters;
+  counters.query_encodes = stats.encodes(MsgCategory::kQuery);
+  counters.query_bytes = stats.bytes(MsgCategory::kQuery);
+  counters.exchange_encodes = stats.encodes(MsgCategory::kStateExchange);
+  counters.exchange_bytes = stats.bytes(MsgCategory::kStateExchange);
+  counters.control_encodes = stats.encodes(MsgCategory::kControl);
+  counters.control_bytes = stats.bytes(MsgCategory::kControl);
+  counters.other_encodes = stats.encodes(MsgCategory::kOther);
+  counters.other_bytes = stats.bytes(MsgCategory::kOther);
+  return counters;
 }
 
 }  // namespace digruber::diperf

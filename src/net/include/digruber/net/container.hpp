@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "digruber/common/stats.hpp"
+#include "digruber/net/wire/buffer.hpp"
 #include "digruber/sim/simulation.hpp"
 
 namespace digruber::net {
@@ -68,8 +69,10 @@ struct ContainerProfile {
 
 /// Result of running a service handler: the encoded reply payload (empty
 /// for one-way messages) plus the handler's own declared compute cost.
+/// The reply is shared immutable storage, so parking it in the container's
+/// drain queue and handing it to the completion costs refcounts, not copies.
 struct Served {
-  std::vector<std::uint8_t> reply;
+  Buffer reply;
   sim::Duration handler_cost = sim::Duration::zero();
 };
 
@@ -92,7 +95,7 @@ struct Admission {
 class ServiceContainer {
  public:
   using Handler = std::function<Served()>;
-  using Completion = std::function<void(std::vector<std::uint8_t> reply)>;
+  using Completion = std::function<void(Buffer reply)>;
   /// Fires when a queued request is shed at pickup (its deadline passed
   /// while it waited); the completion never runs for a shed request.
   using Shed = std::function<void(sim::Duration retry_after)>;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <span>
@@ -19,6 +20,17 @@ namespace digruber::net {
 [[nodiscard]] std::string make_overload_error(const wire::OverloadNack& nack);
 /// True iff `error` is an overload rejection; extracts the retry hint.
 bool parse_overload_error(const std::string& error, sim::Duration& retry_after);
+
+/// Why an incoming packet was rejected before reaching a handler. Split by
+/// cause so a frame whose header claims more (or fewer) body bytes than the
+/// packet carries is distinguishable from outright header corruption.
+enum class BadFrameCause : std::uint8_t {
+  kHeader = 0,       // truncated header or unsupported version
+  kBodySize,         // header body_size disagrees with bytes present
+  kKind,             // parseable, but not a request/one-way frame
+  kUnknownMethod,    // no handler registered for the method id
+  kCount,
+};
 
 /// RPC server: an Endpoint that routes request frames through a
 /// ServiceContainer (modelling GT3/GT4 per-request costs) into registered
@@ -62,12 +74,16 @@ class RpcServer : public Endpoint {
         return Served{};  // malformed: swallow; client will time out
       }
       auto [reply, cost] = fn(request, from);
-      return Served{wire::encode(reply), cost};
+      return Served{wire::encode_buffer(reply), cost};
     });
   }
 
   [[nodiscard]] std::uint64_t requests_received() const { return received_; }
   [[nodiscard]] std::uint64_t requests_bad() const { return bad_; }
+  /// Rejected-packet count for one cause (sums to `requests_bad`).
+  [[nodiscard]] std::uint64_t requests_bad(BadFrameCause cause) const {
+    return bad_by_cause_[std::size_t(cause)];
+  }
 
   void on_packet(Packet packet) override;
 
@@ -77,6 +93,8 @@ class RpcServer : public Endpoint {
     Priority priority = Priority::kQuery;
   };
 
+  void count_bad(BadFrameCause cause);
+
   sim::Simulation& sim_;
   Transport& transport_;
   NodeId node_;
@@ -85,6 +103,7 @@ class RpcServer : public Endpoint {
   bool attached_ = true;
   std::uint64_t received_ = 0;
   std::uint64_t bad_ = 0;
+  std::array<std::uint64_t, std::size_t(BadFrameCause::kCount)> bad_by_cause_{};
 };
 
 /// RPC client: issues requests with per-call timeouts; late or unknown
@@ -93,7 +112,9 @@ class RpcServer : public Endpoint {
 /// GRUBER" population).
 class RpcClient : public Endpoint {
  public:
-  using RawResult = Result<std::vector<std::uint8_t>>;
+  /// Raw replies are zero-copy slices of the reply frame's shared storage;
+  /// holding one past `done` is safe and costs no copy.
+  using RawResult = Result<Buffer>;
 
   RpcClient(sim::Simulation& sim, Transport& transport);
   /// Destruction fails every in-flight call with "client shutdown" — a
@@ -129,7 +150,8 @@ class RpcClient : public Endpoint {
                 std::vector<std::uint8_t> body, sim::Duration timeout,
                 CallOptions options, std::function<void(RawResult)> done);
 
-  /// Typed call.
+  /// Typed call. The request is encoded directly into its frame: one sized
+  /// allocation, no intermediate body vector.
   template <class Request, class Reply>
   void call(NodeId server, std::uint16_t method, const Request& request,
             sim::Duration timeout, std::function<void(Result<Reply>)> done) {
@@ -139,19 +161,23 @@ class RpcClient : public Endpoint {
   void call(NodeId server, std::uint16_t method, const Request& request,
             sim::Duration timeout, CallOptions options,
             std::function<void(Result<Reply>)> done) {
-    call_raw(server, method, wire::encode(request), timeout, options,
-             [done = std::move(done)](RawResult raw) {
-               if (!raw.ok()) {
-                 done(Result<Reply>::failure(raw.error()));
-                 return;
-               }
-               Reply reply{};
-               if (!wire::decode(std::span<const std::uint8_t>(raw.value()), reply)) {
-                 done(Result<Reply>::failure("malformed reply"));
-                 return;
-               }
-               done(std::move(reply));
-             });
+    const std::uint64_t correlation = next_correlation_++;
+    ++sent_;
+    call_frame(server, correlation,
+               wire::make_frame(method, wire::FrameKind::kRequest, correlation,
+                                request, options.deadline.us()),
+               timeout, [done = std::move(done)](RawResult raw) {
+                 if (!raw.ok()) {
+                   done(Result<Reply>::failure(raw.error()));
+                   return;
+                 }
+                 Reply reply{};
+                 if (!wire::decode(raw.value(), reply)) {
+                   done(Result<Reply>::failure("malformed reply"));
+                   return;
+                 }
+                 done(std::move(reply));
+               });
   }
 
   /// One-way notification (no reply, no timeout).
@@ -160,6 +186,21 @@ class RpcClient : public Endpoint {
     transport_.send(Packet{node_, server,
                            wire::make_frame(method, wire::FrameKind::kOneWay,
                                             next_correlation_++, request)});
+  }
+
+  /// One-way fan-out: the request is serialized exactly once and the same
+  /// shared frame is handed to every destination (a refcount bump per peer,
+  /// not a re-encode). This is the state-exchange broadcast primitive: one
+  /// ExchangeMessage encode per round, regardless of mesh size.
+  template <class Request>
+  void notify_all(std::span<const NodeId> servers, std::uint16_t method,
+                  const Request& request) {
+    if (servers.empty()) return;
+    const Buffer frame = wire::make_frame(method, wire::FrameKind::kOneWay,
+                                          next_correlation_++, request);
+    for (const NodeId server : servers) {
+      transport_.send(Packet{node_, server, frame});
+    }
   }
 
   [[nodiscard]] std::uint64_t calls_sent() const { return sent_; }
@@ -178,6 +219,11 @@ class RpcClient : public Endpoint {
     sim::EventId timeout_event;
     std::function<void(RawResult)> done;
   };
+
+  /// Common tail of every request: register tracing/timeout bookkeeping for
+  /// `correlation` and put the already-built frame on the wire.
+  void call_frame(NodeId server, std::uint64_t correlation, Buffer frame,
+                  sim::Duration timeout, std::function<void(RawResult)> done);
 
   /// Cancel timers and fail every pending call with `reason`, exactly once
   /// each. Safe against callbacks issuing new calls reentrantly.

@@ -19,7 +19,7 @@ namespace digruber::net {
 class SyncService : public Endpoint {
  public:
   using Method =
-      std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t> body, NodeId from)>;
+      std::function<Buffer(std::span<const std::uint8_t> body, NodeId from)>;
 
   explicit SyncService(Transport& transport);
   ~SyncService() override;
@@ -33,8 +33,8 @@ class SyncService : public Endpoint {
     register_method(method, [fn = std::move(fn)](std::span<const std::uint8_t> body,
                                                  NodeId from) {
       Request request{};
-      if (!wire::decode(body, request)) return std::vector<std::uint8_t>{};
-      return wire::encode(fn(request, from));
+      if (!wire::decode(body, request)) return Buffer{};
+      return wire::encode_buffer(fn(request, from));
     });
   }
 
@@ -49,7 +49,9 @@ class SyncService : public Endpoint {
 
 class SyncClient : public Endpoint {
  public:
-  using RawResult = Result<std::vector<std::uint8_t>>;
+  /// Reply bodies are zero-copy slices of the reply frame, handed across
+  /// the delivery thread via the Buffer's atomic refcount.
+  using RawResult = Result<Buffer>;
 
   explicit SyncClient(Transport& transport);
   ~SyncClient() override;
@@ -67,7 +69,7 @@ class SyncClient : public Endpoint {
     RawResult raw = call_raw(server, method, wire::encode(request), timeout);
     if (!raw.ok()) return Result<Reply>::failure(raw.error());
     Reply reply{};
-    if (!wire::decode(std::span<const std::uint8_t>(raw.value()), reply)) {
+    if (!wire::decode(raw.value(), reply)) {
       return Result<Reply>::failure("malformed reply");
     }
     return reply;
@@ -77,7 +79,7 @@ class SyncClient : public Endpoint {
 
  private:
   struct Waiter {
-    std::vector<std::uint8_t> reply;
+    Buffer reply;
     std::string error;
     bool done = false;
     bool failed = false;

@@ -1,17 +1,21 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "digruber/common/ids.hpp"
+#include "digruber/net/wire/buffer.hpp"
 
 namespace digruber::net {
 
-/// A datagram between two endpoints. `payload` is a complete wire frame.
+/// A datagram between two endpoints. `payload` is a complete wire frame in
+/// shared immutable storage: transports copy the Buffer (a refcount bump),
+/// never the bytes, so one encoded frame can sit in several delivery
+/// queues at once. Receivers may keep slices of the payload past
+/// `on_packet` returning — the storage lives as long as any slice does.
 struct Packet {
   NodeId src;
   NodeId dst;
-  std::vector<std::uint8_t> payload;
+  Buffer payload;
 };
 
 /// Receives packets addressed to a registered node.

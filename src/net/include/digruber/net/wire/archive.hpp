@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -9,6 +10,8 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "digruber/net/wire/buffer.hpp"
 
 namespace digruber::net::wire {
 
@@ -24,18 +27,62 @@ namespace digruber::net::wire {
 /// length prefixes for strings/containers. The Reader never throws on
 /// malformed input — it sets a fail flag and yields zero values, so
 /// truncated or hostile packets are handled by checking `ok()`.
+///
+/// Three archives share the format:
+///   Writer — appends bytes, bulk-encoding integers via memcpy on
+///            little-endian hosts (byte-swap fallback elsewhere);
+///   Sizer  — computes the exact encoded size without touching memory, so
+///            encode() can reserve once and never reallocate;
+///   Reader — decodes from a non-owning std::span view; it never copies
+///            the input and never reads past it.
+
+namespace detail {
+
+template <class U>
+constexpr U to_little_endian(U u) {
+  static_assert(std::is_unsigned_v<U>);
+  if constexpr (std::endian::native == std::endian::little) {
+    return u;
+  } else {
+    U swapped = 0;
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      swapped = static_cast<U>((swapped << 8) | (u & 0xff));
+      u = static_cast<U>(u >> 8);
+    }
+    return swapped;
+  }
+}
+
+}  // namespace detail
 
 class Writer {
  public:
   static constexpr bool kIsWriter = true;
 
-  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
-  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {buf_.data(), pos_};
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    buf_.resize(pos_);
+    pos_ = 0;
+    return std::move(buf_);
+  }
+  /// Move the encoded bytes into shared, immutable storage (one allocation
+  /// for the Buffer control block; the byte array itself is not copied).
+  [[nodiscard]] net::Buffer take_buffer() { return net::Buffer(take()); }
+  [[nodiscard]] std::size_t size() const { return pos_; }
+
+  /// Reserve room for `n` more bytes. encode() sizes messages exactly with
+  /// a Sizer pass, so every subsequent write is a branch-predicted bounds
+  /// check plus an unchecked memcpy at the cursor — no per-field insert()
+  /// bookkeeping and no reallocation on the hot path.
+  void reserve(std::size_t n) { buf_.resize(pos_ + n); }
 
   void raw(const void* data, std::size_t n) {
-    const auto* p = static_cast<const std::uint8_t*>(data);
-    buf_.insert(buf_.end(), p, p + n);
+    if (n == 0) return;  // empty spans may carry a null data pointer
+    ensure(n);
+    std::memcpy(buf_.data() + pos_, data, n);
+    pos_ += n;
   }
 
   template <class T>
@@ -45,20 +92,30 @@ class Writer {
   }
 
  private:
+  /// Grow the backing store when a write was not covered by reserve().
+  /// Geometric so unsized use stays amortized-O(1).
+  void ensure(std::size_t n) {
+    if (pos_ + n > buf_.size()) {
+      buf_.resize(std::max(buf_.size() * 2, pos_ + n));
+    }
+  }
+
   template <class T>
   void write_integral(T v) {
     using U = std::make_unsigned_t<T>;
-    auto u = static_cast<U>(v);
-    for (std::size_t i = 0; i < sizeof(U); ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(u & 0xff));
-      u = static_cast<U>(u >> 8);
-    }
+    const U u = detail::to_little_endian(static_cast<U>(v));
+    // Bulk encode: one memcpy at the cursor instead of sizeof(U)
+    // push_backs.
+    ensure(sizeof(U));
+    std::memcpy(buf_.data() + pos_, &u, sizeof(U));
+    pos_ += sizeof(U);
   }
 
   template <class T>
   void write(const T& v) {
     if constexpr (std::is_same_v<T, bool>) {
-      buf_.push_back(v ? 1 : 0);
+      ensure(1);
+      buf_[pos_++] = v ? 1 : 0;
     } else if constexpr (std::is_enum_v<T>) {
       write_integral(static_cast<std::underlying_type_t<T>>(v));
     } else if constexpr (std::is_integral_v<T>) {
@@ -79,7 +136,12 @@ class Writer {
   template <class T>
   void write(const std::vector<T>& v) {
     write_integral(static_cast<std::uint32_t>(v.size()));
-    for (const auto& e : v) write(e);
+    if constexpr (std::is_integral_v<T> && sizeof(T) == 1 &&
+                  !std::is_same_v<T, bool>) {
+      raw(v.data(), v.size());  // byte vectors encode as one block
+    } else {
+      for (const auto& e : v) write(e);
+    }
   }
 
   template <class K, class V>
@@ -110,7 +172,86 @@ class Writer {
   }
 
   std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
 };
+
+/// Computes the exact encoded size of a message without writing a byte.
+/// Mirrors Writer's layout rules; `kIsWriter` is true so version-gated
+/// serialize() branches take the writing path.
+class Sizer {
+ public:
+  static constexpr bool kIsWriter = true;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void raw(const void* /*data*/, std::size_t n) { size_ += n; }
+
+  template <class T>
+  Sizer& operator&(const T& v) {
+    measure(v);
+    return *this;
+  }
+
+ private:
+  template <class T>
+  void measure(const T& v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      size_ += 1;
+    } else if constexpr (std::is_enum_v<T>) {
+      size_ += sizeof(std::underlying_type_t<T>);
+    } else if constexpr (std::is_integral_v<T>) {
+      size_ += sizeof(std::make_unsigned_t<T>);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      size_ += sizeof(std::uint64_t);
+    } else if constexpr (std::is_same_v<T, std::string>) {
+      size_ += sizeof(std::uint32_t) + v.size();
+    } else {
+      const_cast<T&>(v).serialize(*this);
+    }
+  }
+
+  template <class T>
+  void measure(const std::vector<T>& v) {
+    size_ += sizeof(std::uint32_t);
+    if constexpr (std::is_integral_v<T> && sizeof(T) == 1 &&
+                  !std::is_same_v<T, bool>) {
+      size_ += v.size();
+    } else {
+      for (const auto& e : v) measure(e);
+    }
+  }
+
+  template <class K, class V>
+  void measure(const std::map<K, V>& m) {
+    size_ += sizeof(std::uint32_t);
+    for (const auto& [k, v] : m) {
+      measure(k);
+      measure(v);
+    }
+  }
+
+  template <class T>
+  void measure(const std::optional<T>& o) {
+    size_ += 1;
+    if (o) measure(*o);
+  }
+
+  template <class A, class B>
+  void measure(const std::pair<A, B>& p) {
+    measure(p.first);
+    measure(p.second);
+  }
+
+  std::size_t size_ = 0;
+};
+
+/// Exact encoded size of any serializable value.
+template <class T>
+std::size_t encoded_size(const T& msg) {
+  Sizer s;
+  s & msg;
+  return s.size();
+}
 
 class Reader {
  public:
@@ -144,14 +285,14 @@ class Reader {
   template <class T>
   void read_integral(T& v) {
     using U = std::make_unsigned_t<T>;
-    std::uint8_t raw[sizeof(U)];
-    if (!take(raw, sizeof raw)) {
+    // Bulk decode: one bounds check + one memcpy, byte-swapped only on
+    // big-endian hosts.
+    U u = 0;
+    if (!take(&u, sizeof(U))) {
       v = T{};
       return;
     }
-    U u = 0;
-    for (std::size_t i = sizeof(U); i-- > 0;) u = static_cast<U>((u << 8) | raw[i]);
-    v = static_cast<T>(u);
+    v = static_cast<T>(detail::to_little_endian(u));
   }
 
   template <class T>
@@ -197,10 +338,17 @@ class Reader {
       if (n != 0) ok_ = false;
       return;
     }
-    v.reserve(n);
-    for (std::uint32_t i = 0; i < n && ok_; ++i) {
-      v.emplace_back();
-      read(v.back());
+    if constexpr (std::is_integral_v<T> && sizeof(T) == 1 &&
+                  !std::is_same_v<T, bool>) {
+      v.assign(reinterpret_cast<const T*>(data_.data() + pos_),
+               reinterpret_cast<const T*>(data_.data() + pos_) + n);
+      pos_ += n;
+    } else {
+      v.reserve(n);
+      for (std::uint32_t i = 0; i < n && ok_; ++i) {
+        v.emplace_back();
+        read(v.back());
+      }
     }
   }
 
@@ -245,12 +393,23 @@ class Reader {
   bool ok_ = true;
 };
 
-/// Encode any serializable struct to bytes.
+/// Encode any serializable struct to bytes. A Sizer pass first computes
+/// the exact length, so the output vector is allocated once.
 template <class T>
 std::vector<std::uint8_t> encode(const T& msg) {
   Writer w;
+  w.reserve(encoded_size(msg));
   w & msg;
   return w.take();
+}
+
+/// Encode into shared, immutable storage (one allocation total).
+template <class T>
+net::Buffer encode_buffer(const T& msg) {
+  Writer w;
+  w.reserve(encoded_size(msg));
+  w & msg;
+  return w.take_buffer();
 }
 
 /// Decode bytes into `out`; false if the buffer is malformed or has

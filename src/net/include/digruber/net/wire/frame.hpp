@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "digruber/net/wire/archive.hpp"
+#include "digruber/net/wire/buffer.hpp"
+#include "digruber/net/wire/stats.hpp"
 
 namespace digruber::net::wire {
 
@@ -62,24 +64,63 @@ struct OverloadNack {
 /// Serialized size of a FrameHeader (fixed layout).
 std::size_t frame_header_size();
 
-/// Build a complete frame: header + encoded body.
+/// Build a complete frame into a single shared buffer: the body is sized
+/// with a Sizer pass and encoded directly behind the header — exactly one
+/// allocation and zero intermediate copies. `deadline_us > 0` upgrades the
+/// header to v2; otherwise the v1 layout is emitted byte-for-byte.
 template <class Body>
-std::vector<std::uint8_t> make_frame(std::uint16_t method, FrameKind kind,
-                                     std::uint64_t correlation, const Body& body) {
-  Writer w;
-  std::vector<std::uint8_t> encoded_body = encode(body);
+net::Buffer make_frame(std::uint16_t method, FrameKind kind,
+                       std::uint64_t correlation, const Body& body,
+                       std::int64_t deadline_us = 0) {
   FrameHeader header;
   header.method = method;
   header.kind = static_cast<std::uint8_t>(kind);
   header.correlation = correlation;
-  header.body_size = static_cast<std::uint32_t>(encoded_body.size());
+  header.body_size = static_cast<std::uint32_t>(encoded_size(body));
+  if (deadline_us > 0) {
+    header.version = FrameHeader::kDeadlineVersion;
+    header.deadline_us = deadline_us;
+  }
+  Writer w;
+  w.reserve(encoded_size(header) + header.body_size);
   w & header;
-  w.raw(encoded_body.data(), encoded_body.size());
-  return w.take();
+  w & body;
+  net::Buffer frame = w.take_buffer();
+  wire_stats().record_encode(categorize_method(method), frame.size());
+  return frame;
 }
+
+/// Build a frame around an already-encoded body (the reply path: handlers
+/// hand back encoded bytes, the server splices them behind a fresh header).
+net::Buffer frame_from_body(std::uint16_t method, FrameKind kind,
+                            std::uint64_t correlation,
+                            std::span<const std::uint8_t> body,
+                            std::int64_t deadline_us = 0);
+
+/// Outcome of frame parsing, split so endpoints can count a header whose
+/// declared body_size disagrees with the bytes actually present —
+/// distinctly from outright header corruption — instead of silently
+/// decoding a short body.
+enum class FrameParse : std::uint8_t {
+  kOk = 0,
+  kBadHeader,          // truncated header or unsupported version
+  kBodySizeMismatch,   // header parsed, but body_size != remaining bytes
+};
+
+FrameParse parse_frame_ex(std::span<const std::uint8_t> frame,
+                          FrameHeader& header,
+                          std::span<const std::uint8_t>& body);
 
 /// Parse a frame header; on success returns the body span via `body`.
 bool parse_frame(std::span<const std::uint8_t> frame, FrameHeader& header,
                  std::span<const std::uint8_t>& body);
+
+/// Buffer-native parse: `body` is a zero-copy slice sharing the frame's
+/// storage, so it can outlive the Packet that carried it (admission
+/// queues, cross-thread delivery).
+FrameParse parse_frame_ex(const net::Buffer& frame, FrameHeader& header,
+                          net::Buffer& body);
+bool parse_frame(const net::Buffer& frame, FrameHeader& header,
+                 net::Buffer& body);
 
 }  // namespace digruber::net::wire

@@ -59,21 +59,35 @@ void RpcServer::register_method(std::uint16_t method, Method handler,
   methods_[method] = Registered{std::move(handler), priority};
 }
 
+void RpcServer::count_bad(BadFrameCause cause) {
+  ++bad_;
+  ++bad_by_cause_[std::size_t(cause)];
+}
+
 void RpcServer::on_packet(Packet packet) {
   wire::FrameHeader header;
-  std::span<const std::uint8_t> body;
-  if (!wire::parse_frame(packet.payload, header, body)) {
-    ++bad_;
-    return;
+  Buffer body;  // zero-copy slice of the frame: safe to queue past the packet
+  switch (wire::parse_frame_ex(packet.payload, header, body)) {
+    case wire::FrameParse::kOk:
+      break;
+    case wire::FrameParse::kBadHeader:
+      count_bad(BadFrameCause::kHeader);
+      return;
+    case wire::FrameParse::kBodySizeMismatch:
+      // The header parsed but promised a different body than the packet
+      // carries. Decoding the bytes anyway would hand handlers a silently
+      // truncated (or padded) message; refuse before dispatch instead.
+      count_bad(BadFrameCause::kBodySize);
+      return;
   }
   const auto kind = static_cast<wire::FrameKind>(header.kind);
   if (kind != wire::FrameKind::kRequest && kind != wire::FrameKind::kOneWay) {
-    ++bad_;
+    count_bad(BadFrameCause::kKind);
     return;
   }
   const auto it = methods_.find(header.method);
   if (it == methods_.end()) {
-    ++bad_;
+    count_bad(BadFrameCause::kUnknownMethod);
     log::debug("rpc", "no handler for method ", header.method);
     return;
   }
@@ -112,34 +126,26 @@ void RpcServer::on_packet(Packet packet) {
                                             correlation, nack)});
   };
 
-  // Copy the body: the container may queue the request past this packet's
-  // lifetime.
-  auto body_copy = std::make_shared<std::vector<std::uint8_t>>(body.begin(), body.end());
   const Admission admission = container_.submit_ex(
       packet.payload.size(),
-      [this, body_copy, from, serve_ctx, handler = &it->second.handler]() -> Served {
+      [this, body, from, serve_ctx, handler = &it->second.handler]() -> Served {
         // Ambient serve context while the handler runs, so handler-level
         // events (and anything the handler sends) correlate to this serve.
         trace::ContextGuard guard(serve_ctx);
-        return (*handler)(std::span<const std::uint8_t>(*body_copy), from);
+        return (*handler)(body.span(), from);
       },
       [this, from, correlation, method, wants_reply,
-       serve_ctx](std::vector<std::uint8_t> reply) {
+       serve_ctx](Buffer reply) {
         trace::ContextGuard guard(serve_ctx);
         if (auto* t = trace::current()) {
           t->end(trace::Category::kRpc, node_.value(), "rpc.serve", serve_ctx,
                  std::int64_t(method), std::int64_t(reply.size()));
         }
         if (!wants_reply) return;
-        wire::Writer w;
-        wire::FrameHeader h;
-        h.method = method;
-        h.kind = static_cast<std::uint8_t>(wire::FrameKind::kReply);
-        h.correlation = correlation;
-        h.body_size = static_cast<std::uint32_t>(reply.size());
-        w & h;
-        w.raw(reply.data(), reply.size());
-        transport_.send(Packet{node_, from, w.take()});
+        transport_.send(Packet{
+            node_, from,
+            wire::frame_from_body(method, wire::FrameKind::kReply, correlation,
+                                  reply.span())});
       },
       it->second.priority, deadline,
       // Pickup-time shed: the deadline expired while the request queued.
@@ -220,22 +226,15 @@ void RpcClient::call_raw(NodeId server, std::uint16_t method,
                          std::function<void(RawResult)> done) {
   const std::uint64_t correlation = next_correlation_++;
   ++sent_;
+  call_frame(server, correlation,
+             wire::frame_from_body(method, wire::FrameKind::kRequest,
+                                   correlation, body, options.deadline.us()),
+             timeout, std::move(done));
+}
 
-  wire::Writer w;
-  wire::FrameHeader header;
-  header.method = method;
-  header.kind = static_cast<std::uint8_t>(wire::FrameKind::kRequest);
-  header.correlation = correlation;
-  header.body_size = static_cast<std::uint32_t>(body.size());
-  if (options.deadline > sim::Time::zero()) {
-    // Deadline upgrades the frame to the v2 header; deadline-free calls
-    // keep the v1 format byte-for-byte.
-    header.version = wire::FrameHeader::kDeadlineVersion;
-    header.deadline_us = options.deadline.us();
-  }
-  w & header;
-  w.raw(body.data(), body.size());
-
+void RpcClient::call_frame(NodeId server, std::uint64_t correlation,
+                           Buffer frame, sim::Duration timeout,
+                           std::function<void(RawResult)> done) {
   // Register the ambient span under (node, correlation) so the server's
   // handler joins the caller's trace when the request arrives.
   if (auto* t = trace::current()) {
@@ -259,12 +258,12 @@ void RpcClient::call_raw(NodeId server, std::uint16_t method,
     done(RawResult::failure("timeout"));
   });
   pending_.emplace(correlation, Pending{timeout_event, std::move(done)});
-  transport_.send(Packet{node_, server, w.take()});
+  transport_.send(Packet{node_, server, std::move(frame)});
 }
 
 void RpcClient::on_packet(Packet packet) {
   wire::FrameHeader header;
-  std::span<const std::uint8_t> body;
+  Buffer body;  // shares the frame's storage: free to outlive the packet
   if (!wire::parse_frame(packet.payload, header, body)) return;
 
   const auto it = pending_.find(header.correlation);
@@ -283,7 +282,7 @@ void RpcClient::on_packet(Packet packet) {
 
   switch (static_cast<wire::FrameKind>(header.kind)) {
     case wire::FrameKind::kReply:
-      pending.done(std::vector<std::uint8_t>(body.begin(), body.end()));
+      pending.done(std::move(body));
       break;
     case wire::FrameKind::kError: {
       std::string reason;

@@ -26,18 +26,13 @@ void SyncService::on_packet(Packet packet) {
     if (it == methods_.end()) return;
     handler = it->second;  // copy so the handler runs without the lock held
   }
-  std::vector<std::uint8_t> reply = handler(body, packet.src);
+  const Buffer reply = handler(body, packet.src);
   if (kind != wire::FrameKind::kRequest) return;
 
-  wire::Writer w;
-  wire::FrameHeader h;
-  h.method = header.method;
-  h.kind = static_cast<std::uint8_t>(wire::FrameKind::kReply);
-  h.correlation = header.correlation;
-  h.body_size = static_cast<std::uint32_t>(reply.size());
-  w & h;
-  w.raw(reply.data(), reply.size());
-  transport_.send(Packet{node_, packet.src, w.take()});
+  transport_.send(Packet{node_, packet.src,
+                         wire::frame_from_body(header.method,
+                                               wire::FrameKind::kReply,
+                                               header.correlation, reply.span())});
 }
 
 SyncClient::SyncClient(Transport& transport)
@@ -56,15 +51,9 @@ SyncClient::RawResult SyncClient::call_raw(NodeId server, std::uint16_t method,
     waiters_.emplace(correlation, &waiter);
   }
 
-  wire::Writer w;
-  wire::FrameHeader header;
-  header.method = method;
-  header.kind = static_cast<std::uint8_t>(wire::FrameKind::kRequest);
-  header.correlation = correlation;
-  header.body_size = static_cast<std::uint32_t>(body.size());
-  w & header;
-  w.raw(body.data(), body.size());
-  transport_.send(Packet{node_, server, w.take()});
+  transport_.send(Packet{node_, server,
+                         wire::frame_from_body(method, wire::FrameKind::kRequest,
+                                               correlation, body)});
 
   std::unique_lock lock(mutex_);
   const bool completed = cv_.wait_for(lock, timeout, [&] { return waiter.done; });
@@ -76,7 +65,7 @@ SyncClient::RawResult SyncClient::call_raw(NodeId server, std::uint16_t method,
 
 void SyncClient::on_packet(Packet packet) {
   wire::FrameHeader header;
-  std::span<const std::uint8_t> body;
+  Buffer body;  // shares the frame storage: survives this packet's lifetime
   if (!wire::parse_frame(packet.payload, header, body)) return;
 
   const std::scoped_lock lock(mutex_);
@@ -85,7 +74,7 @@ void SyncClient::on_packet(Packet packet) {
   Waiter& waiter = *it->second;
   switch (static_cast<wire::FrameKind>(header.kind)) {
     case wire::FrameKind::kReply:
-      waiter.reply.assign(body.begin(), body.end());
+      waiter.reply = std::move(body);
       break;
     case wire::FrameKind::kError: {
       std::string reason;

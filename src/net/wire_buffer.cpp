@@ -1,0 +1,38 @@
+#include "digruber/net/wire/buffer.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace digruber::net {
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+Buffer::Buffer(std::vector<std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  storage_ = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  data_ = storage_->data();
+  size_ = storage_->size();
+}
+
+Buffer::Buffer(std::initializer_list<std::uint8_t> bytes)
+    : Buffer(std::vector<std::uint8_t>(bytes)) {}
+
+Buffer Buffer::copy(std::span<const std::uint8_t> bytes) {
+  return Buffer(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+}
+
+Buffer Buffer::slice(std::size_t offset, std::size_t n) const {
+  if (offset > size_) offset = size_;
+  if (n > size_ - offset) n = size_ - offset;
+  if (n == 0) return Buffer();
+  return Buffer(storage_, data_ + offset, n);
+}
+
+std::uint64_t Buffer::allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace digruber::net

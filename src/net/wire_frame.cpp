@@ -1,32 +1,93 @@
 #include "digruber/net/wire/frame.hpp"
 
+#include <atomic>
+
 namespace digruber::net::wire {
 
+namespace {
+std::atomic<MethodCategorizer> g_categorizer{nullptr};
+}  // namespace
+
+WireStats& wire_stats() {
+  static WireStats stats;
+  return stats;
+}
+
+void set_method_categorizer(MethodCategorizer fn) {
+  g_categorizer.store(fn, std::memory_order_relaxed);
+}
+
+MsgCategory categorize_method(std::uint16_t method) {
+  const MethodCategorizer fn = g_categorizer.load(std::memory_order_relaxed);
+  return fn ? fn(method) : MsgCategory::kOther;
+}
+
 std::size_t frame_header_size() {
-  static const std::size_t size = [] {
-    Writer w;
-    FrameHeader h;
-    w & h;
-    return w.size();
-  }();
+  static const std::size_t size = encoded_size(FrameHeader{});
   return size;
 }
 
-bool parse_frame(std::span<const std::uint8_t> frame, FrameHeader& header,
-                 std::span<const std::uint8_t>& body) {
+net::Buffer frame_from_body(std::uint16_t method, FrameKind kind,
+                            std::uint64_t correlation,
+                            std::span<const std::uint8_t> body,
+                            std::int64_t deadline_us) {
+  FrameHeader header;
+  header.method = method;
+  header.kind = static_cast<std::uint8_t>(kind);
+  header.correlation = correlation;
+  header.body_size = static_cast<std::uint32_t>(body.size());
+  if (deadline_us > 0) {
+    header.version = FrameHeader::kDeadlineVersion;
+    header.deadline_us = deadline_us;
+  }
+  Writer w;
+  w.reserve(encoded_size(header) + body.size());
+  w & header;
+  w.raw(body.data(), body.size());
+  net::Buffer frame = w.take_buffer();
+  wire_stats().record_encode(categorize_method(method), frame.size());
+  return frame;
+}
+
+FrameParse parse_frame_ex(std::span<const std::uint8_t> frame,
+                          FrameHeader& header,
+                          std::span<const std::uint8_t>& body) {
   // The header is variable-length from v2 on (serialize reads the version
   // first and then any version-gated fields), so parse over the whole
   // frame and take what the header left as the body.
   Reader r(frame);
   r & header;
-  if (!r.ok()) return false;
+  if (!r.ok()) return FrameParse::kBadHeader;
   if (header.version < FrameHeader::kCurrentVersion ||
       header.version > FrameHeader::kMaxVersion) {
-    return false;
+    return FrameParse::kBadHeader;
   }
-  if (r.remaining() != header.body_size) return false;
   body = frame.subspan(frame.size() - r.remaining());
-  return true;
+  if (r.remaining() != header.body_size) return FrameParse::kBodySizeMismatch;
+  return FrameParse::kOk;
+}
+
+bool parse_frame(std::span<const std::uint8_t> frame, FrameHeader& header,
+                 std::span<const std::uint8_t>& body) {
+  return parse_frame_ex(frame, header, body) == FrameParse::kOk;
+}
+
+FrameParse parse_frame_ex(const net::Buffer& frame, FrameHeader& header,
+                          net::Buffer& body) {
+  std::span<const std::uint8_t> body_span;
+  const FrameParse result = parse_frame_ex(frame.span(), header, body_span);
+  if (result == FrameParse::kBadHeader) {
+    body = net::Buffer();
+    return result;
+  }
+  body = frame.slice(std::size_t(body_span.data() - frame.data()),
+                     body_span.size());
+  return result;
+}
+
+bool parse_frame(const net::Buffer& frame, FrameHeader& header,
+                 net::Buffer& body) {
+  return parse_frame_ex(frame, header, body) == FrameParse::kOk;
 }
 
 }  // namespace digruber::net::wire

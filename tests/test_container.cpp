@@ -104,12 +104,12 @@ TEST(Container, SojournIncludesQueueWait) {
 TEST(Container, HandlerReplyFedToCompletion) {
   sim::Simulation sim;
   ServiceContainer c(sim, flat_profile(1, 10));
-  std::vector<std::uint8_t> got;
+  Buffer got;
   c.submit(
       100, [] { return Served{{9, 8, 7}, sim::Duration::millis(5)}; },
-      [&](std::vector<std::uint8_t> reply) { got = std::move(reply); });
+      [&](Buffer reply) { got = std::move(reply); });
   sim.run();
-  EXPECT_EQ(got, (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_EQ(got, Buffer({9, 8, 7}));
 }
 
 TEST(Container, HandlerCostExtendsService) {
@@ -285,7 +285,7 @@ TEST(ContainerOverload, ControlClassBypassesLimitAndDrainsFirst) {
   ServiceContainer c(sim, overload_profile(1, 1000, /*queue_limit=*/1));
   std::vector<std::string> order;
   auto tag = [&order](std::string label) {
-    return [&order, label = std::move(label)](std::vector<std::uint8_t>) {
+    return [&order, label = std::move(label)](net::Buffer) {
       order.push_back(label);
     };
   };

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "digruber/digruber/infrastructure_monitor.hpp"
 #include "digruber/net/sim_transport.hpp"
 
@@ -150,6 +152,45 @@ TEST(DecisionPoint, ExchangePropagatesDispatchRecords) {
   EXPECT_GE(b.exchanges_received(), 1u);
   a.stop();
   b.stop();
+}
+
+TEST(DecisionPoint, ExchangeRoundEncodesOnceRegardlessOfPeerCount) {
+  // The state-exchange broadcast serializes its ExchangeMessage exactly
+  // once per round and shares the frame across all N-1 mesh peers; the
+  // wire layer's encode counter is the witness. Counters are process-wide,
+  // so assert on deltas.
+  Fixture f;
+  DecisionPointOptions options = f.options();
+  std::vector<std::unique_ptr<DecisionPoint>> dps;
+  std::vector<DecisionPoint*> raw;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    dps.push_back(std::make_unique<DecisionPoint>(f.sim, f.transport, DpId(i),
+                                                  f.catalog, f.tree, options));
+    dps.back()->bootstrap(f.snapshots());
+    raw.push_back(dps.back().get());
+  }
+  connect(raw, Overlay::kMesh);
+
+  const net::wire::WireStats& stats = net::wire::wire_stats();
+  const std::uint64_t encodes_before =
+      stats.encodes(net::wire::MsgCategory::kStateExchange);
+  const std::uint64_t bytes_before =
+      stats.bytes(net::wire::MsgCategory::kStateExchange);
+
+  // One exchange tick for each of the 4 decision points.
+  f.sim.run_until(sim::Time::from_seconds(70));
+
+  const std::uint64_t encodes =
+      stats.encodes(net::wire::MsgCategory::kStateExchange) - encodes_before;
+  // 4 DPs x 1 round = 4 serializations — NOT 4 DPs x 3 peers = 12.
+  EXPECT_EQ(encodes, 4u);
+  EXPECT_GT(stats.bytes(net::wire::MsgCategory::kStateExchange), bytes_before);
+  // Every peer still got its copy: deliveries scale with the mesh degree.
+  for (DecisionPoint* dp : raw) {
+    EXPECT_EQ(dp->exchanges_sent(), 3u);
+    EXPECT_EQ(dp->exchanges_received(), 3u);
+    dp->stop();
+  }
 }
 
 TEST(DecisionPoint, FloodingDedupsAcrossMesh) {

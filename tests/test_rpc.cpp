@@ -238,6 +238,38 @@ TEST(Rpc, MalformedRequestSwallowedByTypedHandler) {
   EXPECT_TRUE(done);
 }
 
+TEST(Rpc, BadFramesCountedByCause) {
+  Fixture f;
+  // Header parses but declares one more body byte than the packet carries:
+  // must be refused before dispatch, as a body-size mismatch specifically.
+  std::vector<std::uint8_t> short_body =
+      wire::make_frame(1, wire::FrameKind::kRequest, 1, EchoRequest{}).to_vector();
+  short_body.pop_back();
+  f.transport.send(
+      Packet{f.client.node(), f.server.node(), Buffer(std::move(short_body))});
+
+  // Too short for even a frame header.
+  f.transport.send(Packet{f.client.node(), f.server.node(), {1, 2, 3}});
+
+  // Parseable frame of a kind a server never accepts.
+  f.transport.send(Packet{f.client.node(), f.server.node(),
+                          wire::make_frame(1, wire::FrameKind::kReply, 9,
+                                           EchoRequest{})});
+
+  // Well-formed request for a method nobody registered.
+  f.transport.send(Packet{f.client.node(), f.server.node(),
+                          wire::make_frame(99, wire::FrameKind::kOneWay, 0,
+                                           EchoRequest{})});
+
+  f.sim.run();
+  EXPECT_EQ(f.server.requests_received(), 0u);
+  EXPECT_EQ(f.server.requests_bad(), 4u);
+  EXPECT_EQ(f.server.requests_bad(BadFrameCause::kBodySize), 1u);
+  EXPECT_EQ(f.server.requests_bad(BadFrameCause::kHeader), 1u);
+  EXPECT_EQ(f.server.requests_bad(BadFrameCause::kKind), 1u);
+  EXPECT_EQ(f.server.requests_bad(BadFrameCause::kUnknownMethod), 1u);
+}
+
 TEST(Rpc, ClientDestructionFailsPendingCalls) {
   sim::Simulation sim;
   SimTransport transport(sim, WanModel(WanParams{}, 18));

@@ -215,6 +215,88 @@ TEST(InProcTransport, CountsUnknownDestinationSends) {
   EXPECT_EQ(a.count.load(), 0);
 }
 
+/// Endpoint that checks each delivered payload against the expected frame
+/// and deliberately retains a reference past on_packet returning — the
+/// pattern an rpc reply takes when its body outlives the packet.
+class VerifyingEndpoint : public Endpoint {
+ public:
+  explicit VerifyingEndpoint(const Buffer& expected) : expected_(expected) {}
+
+  void on_packet(Packet packet) override {
+    if (packet.payload == expected_) {
+      good_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      bad_.fetch_add(1, std::memory_order_relaxed);
+    }
+    retained_ = packet.payload.slice(1, packet.payload.size());
+  }
+
+  void release() { retained_ = Buffer(); }
+  [[nodiscard]] int good() const { return good_.load(std::memory_order_relaxed); }
+  [[nodiscard]] int bad() const { return bad_.load(std::memory_order_relaxed); }
+
+ private:
+  const Buffer& expected_;
+  Buffer retained_;  // touched only by this endpoint's mailbox thread
+  std::atomic<int> good_{0};
+  std::atomic<int> bad_{0};
+};
+
+TEST(InProcTransport, ReattachRacesSharedBufferDelivery) {
+  // One frame, encoded once, fanned out across threads while the receiving
+  // endpoint detaches and reattaches: references are dropped concurrently
+  // by sender threads, mailbox queues being destroyed mid-flight, and
+  // delivery threads. The atomic refcount must keep the bytes alive until
+  // the last holder lets go — ASan/UBSan turns any violation into a
+  // hard failure.
+  std::vector<std::uint8_t> bytes(256);
+  for (std::size_t i = 0; i < bytes.size(); ++i) bytes[i] = std::uint8_t(i);
+  const Buffer frame(std::move(bytes));
+
+  InProcTransport transport;
+  VerifyingEndpoint stable(frame), churned(frame), churned2(frame);
+  const NodeId ns = transport.attach(stable);
+  const NodeId nc = transport.attach(churned);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> senders;
+  for (int t = 0; t < 3; ++t) {
+    senders.emplace_back([&transport, &frame, ns, nc] {
+      for (int i = 0; i < 400; ++i) {
+        transport.send(Packet{NodeId(1000), ns, frame});
+        transport.send(Packet{NodeId(1000), nc, frame});
+      }
+    });
+  }
+  // Churn the second endpoint's registration while deliveries are in
+  // flight; detach drops that mailbox's queued Buffer references on the
+  // spot (sends during the gap count as drops, not corruption).
+  VerifyingEndpoint* receivers[] = {&churned2, &churned};
+  for (int round = 0; round < 50; ++round) {
+    transport.detach(nc);
+    ASSERT_TRUE(transport.reattach(nc, *receivers[round % 2]));
+  }
+  senders.clear();  // join
+  transport.drain();
+
+  EXPECT_EQ(stable.good(), 1200);
+  EXPECT_EQ(stable.bad(), 0);
+  EXPECT_EQ(churned.bad(), 0);
+  EXPECT_EQ(churned2.bad(), 0);
+  EXPECT_EQ(std::uint64_t(churned.good()) + std::uint64_t(churned2.good()) +
+                transport.packets_dropped(),
+            1200u);
+
+  // Once every retained reference is released, the original is the sole
+  // owner again — nothing leaked a storage reference.
+  transport.detach(ns);
+  transport.detach(nc);
+  stable.release();
+  churned.release();
+  churned2.release();
+  EXPECT_EQ(frame.owners(), 1);
+}
+
 TEST(InProcTransport, ManySendersOneReceiver) {
   InProcTransport transport;
   CountingEndpoint sink;

@@ -191,8 +191,7 @@ TEST(Frame, RoundtripAndParse) {
   ReportSelectionRequest body;
   body.site = SiteId(42);
   body.cpus = 2;
-  const std::vector<std::uint8_t> frame =
-      make_frame(2, FrameKind::kRequest, 12345, body);
+  const net::Buffer frame = make_frame(2, FrameKind::kRequest, 12345, body);
 
   FrameHeader header;
   std::span<const std::uint8_t> payload;
@@ -213,7 +212,7 @@ TEST(Frame, RejectsCorruptHeader) {
   EXPECT_FALSE(parse_frame(junk, header, body));
 
   const std::vector<std::uint8_t> frame =
-      make_frame(1, FrameKind::kReply, 1, std::string("x"));
+      make_frame(1, FrameKind::kReply, 1, std::string("x")).to_vector();
   std::vector<std::uint8_t> wrong_version = frame;
   wrong_version[0] = 0xFF;  // clobber version
   EXPECT_FALSE(parse_frame(wrong_version, header, body));
@@ -221,6 +220,82 @@ TEST(Frame, RejectsCorruptHeader) {
   std::vector<std::uint8_t> short_body = frame;
   short_body.pop_back();
   EXPECT_FALSE(parse_frame(short_body, header, body));
+}
+
+TEST(Frame, BodySizeMismatchIsDistinctCause) {
+  const net::Buffer frame =
+      make_frame(1, FrameKind::kRequest, 7, std::string("abc"));
+  FrameHeader header;
+  std::span<const std::uint8_t> body;
+  EXPECT_EQ(parse_frame_ex(frame, header, body), FrameParse::kOk);
+
+  // Chop body bytes: the header still parses but its declared body_size
+  // no longer matches what is present.
+  std::vector<std::uint8_t> truncated = frame.to_vector();
+  truncated.pop_back();
+  EXPECT_EQ(parse_frame_ex(truncated, header, body),
+            FrameParse::kBodySizeMismatch);
+
+  std::vector<std::uint8_t> padded = frame.to_vector();
+  padded.push_back(0);
+  EXPECT_EQ(parse_frame_ex(padded, header, body),
+            FrameParse::kBodySizeMismatch);
+
+  // Too short for even a header is the other cause.
+  std::vector<std::uint8_t> stub(frame_header_size() - 1, 0);
+  EXPECT_EQ(parse_frame_ex(std::span<const std::uint8_t>(stub), header, body),
+            FrameParse::kBadHeader);
+}
+
+TEST(Buffer, SliceSharesStorageWithoutCopy) {
+  net::Buffer buffer = net::Buffer({10, 20, 30, 40, 50});
+  EXPECT_EQ(buffer.owners(), 1);
+
+  const std::uint64_t allocs_before = net::Buffer::allocations();
+  net::Buffer mid = buffer.slice(1, 3);
+  EXPECT_EQ(net::Buffer::allocations(), allocs_before);  // no new storage
+  EXPECT_EQ(buffer.owners(), 2);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.data(), buffer.data() + 1);
+  EXPECT_EQ(mid, net::Buffer({20, 30, 40}));
+
+  // Clamped, never out of bounds.
+  EXPECT_EQ(buffer.slice(4, 100).size(), 1u);
+  EXPECT_EQ(buffer.slice(99, 1).size(), 0u);
+
+  // The slice keeps the storage alive after the original goes away.
+  buffer = net::Buffer();
+  EXPECT_EQ(mid.owners(), 1);
+  EXPECT_EQ(mid, net::Buffer({20, 30, 40}));
+}
+
+TEST(Buffer, ParsedBodyOutlivesFrame) {
+  net::Buffer frame = make_frame(1, FrameKind::kReply, 3, std::string("hello"));
+  FrameHeader header;
+  net::Buffer body;
+  ASSERT_TRUE(parse_frame(frame, header, body));
+  EXPECT_EQ(frame.owners(), 2);  // body is a view into the same storage
+
+  frame = net::Buffer();  // drop the frame: body must stay valid
+  std::string out;
+  ASSERT_TRUE(decode(body, out));
+  EXPECT_EQ(out, "hello");
+}
+
+TEST(Buffer, FrameIsSingleAllocation) {
+  GetSiteLoadsReply reply;
+  for (int i = 0; i < 300; ++i) {
+    gruber::SiteLoad load;
+    load.site = SiteId(std::uint64_t(i));
+    reply.candidates.push_back(load);
+  }
+  // Warm up any lazy statics (frame_header_size caches a Sizer pass).
+  (void)frame_header_size();
+  const std::uint64_t before = net::Buffer::allocations();
+  const net::Buffer frame = make_frame(1, FrameKind::kReply, 1, reply);
+  EXPECT_EQ(net::Buffer::allocations(), before + 1);
+  EXPECT_EQ(frame.size(),
+            frame_header_size() + encoded_size(reply));
 }
 
 /// Property sweep: random SiteLoad vectors of many sizes roundtrip

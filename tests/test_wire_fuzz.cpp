@@ -1,0 +1,321 @@
+// Fuzz-style robustness sweep over the wire layer. The Reader's contract
+// (archive.hpp) is that hostile input never throws, never reads out of
+// bounds, and failed reads yield zero values — these tests drive that
+// contract with deterministic Rng-generated corruption over every protocol
+// message the broker ships: truncation at every prefix, random bit flips,
+// hostile length prefixes, and outright garbage. Run under the asan-ubsan
+// preset this doubles as an out-of-bounds-read detector.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "digruber/common/rng.hpp"
+#include "digruber/digruber/protocol.hpp"
+#include "digruber/net/wire/frame.hpp"
+
+namespace digruber::net {
+namespace {
+
+namespace proto = ::digruber::digruber;
+
+// One valid frame plus a type-erased decoder for its body, so the sweeps
+// below can corrupt any message without knowing its static type.
+struct CorpusEntry {
+  std::string name;
+  Buffer frame;
+  std::function<bool(std::span<const std::uint8_t>)> decode_body;
+};
+
+template <class T>
+CorpusEntry entry(std::string name, std::uint16_t method, wire::FrameKind kind,
+                  const T& msg, std::int64_t deadline_us = 0) {
+  return {std::move(name),
+          wire::make_frame(method, kind, 77, msg, deadline_us),
+          [](std::span<const std::uint8_t> body) {
+            T out;
+            return wire::decode(body, out);
+          }};
+}
+
+proto::GetSiteLoadsReply make_loads_reply(bool with_hints) {
+  proto::GetSiteLoadsReply reply;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    gruber::SiteLoad load;
+    load.site = SiteId(i);
+    load.total_cpus = 64;
+    load.free_estimate = std::int32_t(i * 3);
+    load.raw_free = load.free_estimate;
+    load.queued = 2;
+    reply.candidates.push_back(load);
+  }
+  reply.as_of = sim::Time::from_seconds(12.5);
+  if (with_hints) {
+    proto::DpLoadHint hint;
+    hint.node = 9;
+    hint.queue_depth = 4;
+    hint.utilization = 0.7;
+    hint.est_wait_s = 1.25;
+    reply.dp_loads.push_back(hint);
+  }
+  return reply;
+}
+
+proto::ExchangeMessage make_exchange(bool with_hint) {
+  proto::ExchangeMessage msg;
+  msg.from = DpId(3);
+  msg.exchange_round = 41;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    gruber::DispatchRecord r;
+    r.origin = DpId(i % 2);
+    r.seq = i;
+    r.site = SiteId(i);
+    r.vo = VoId(1);
+    r.group = GroupId(2);
+    r.user = UserId(3);
+    r.cpus = 1;
+    r.when = sim::Time::from_seconds(double(i));
+    r.est_runtime = sim::Duration::seconds(450);
+    msg.dispatches.push_back(r);
+  }
+  grid::SiteSnapshot snap;
+  snap.site = SiteId(1);
+  snap.total_cpus = 128;
+  snap.free_cpus = 32;
+  snap.queued_jobs = 5;
+  snap.running_per_vo[VoId(1)] = 7;
+  snap.total_storage_bytes = 1 << 20;
+  snap.free_storage_bytes = 1 << 18;
+  snap.storage_per_vo[VoId(1)] = 1 << 16;
+  snap.as_of = sim::Time::from_seconds(40.0);
+  msg.snapshots.push_back(snap);
+  if (with_hint) {
+    msg.has_load = true;
+    msg.load.node = 12;
+    msg.load.queue_depth = 9;
+    msg.load.utilization = 0.4;
+    msg.load.est_wait_s = 0.2;
+  }
+  return msg;
+}
+
+// Every message the protocol can put on the wire, including the optional
+// trailing-field variants, the v2 deadline frame, and the OverloadNack.
+std::vector<CorpusEntry> corpus() {
+  using wire::FrameKind;
+  using proto::Method;
+  std::vector<CorpusEntry> out;
+
+  proto::GetSiteLoadsRequest loads_req;
+  loads_req.job = JobId(100);
+  loads_req.vo = VoId(1);
+  loads_req.group = GroupId(2);
+  loads_req.user = UserId(3);
+  loads_req.cpus = 4;
+  out.push_back(entry("GetSiteLoadsRequest", Method::kGetSiteLoads,
+                      FrameKind::kRequest, loads_req));
+  out.push_back(entry("GetSiteLoadsRequest.v2deadline", Method::kGetSiteLoads,
+                      FrameKind::kRequest, loads_req, 123'456'789));
+  out.push_back(entry("GetSiteLoadsReply", Method::kGetSiteLoads,
+                      FrameKind::kReply, make_loads_reply(false)));
+  out.push_back(entry("GetSiteLoadsReply.hints", Method::kGetSiteLoads,
+                      FrameKind::kReply, make_loads_reply(true)));
+
+  proto::ReportSelectionRequest sel;
+  sel.job = JobId(100);
+  sel.site = SiteId(7);
+  sel.vo = VoId(1);
+  sel.group = GroupId(2);
+  sel.user = UserId(3);
+  sel.cpus = 4;
+  sel.est_runtime = sim::Duration::seconds(900);
+  out.push_back(entry("ReportSelectionRequest", Method::kReportSelection,
+                      FrameKind::kRequest, sel));
+  out.push_back(entry("ReportSelectionRequest.v2deadline",
+                      Method::kReportSelection, FrameKind::kRequest, sel,
+                      10'000'000));
+  out.push_back(
+      entry("Ack", Method::kReportSelection, FrameKind::kReply, proto::Ack{}));
+
+  out.push_back(entry("ExchangeMessage", Method::kExchange, FrameKind::kOneWay,
+                      make_exchange(false)));
+  out.push_back(entry("ExchangeMessage.hint", Method::kExchange,
+                      FrameKind::kOneWay, make_exchange(true)));
+
+  proto::CreateInstanceRequest create;
+  create.nonce = 0xdeadbeef;
+  create.payload = std::string(256, 'x');
+  out.push_back(entry("CreateInstanceRequest", Method::kCreateInstance,
+                      FrameKind::kRequest, create));
+  proto::CreateInstanceReply created;
+  created.nonce = 0xdeadbeef;
+  created.instance = 17;
+  out.push_back(entry("CreateInstanceReply", Method::kCreateInstance,
+                      FrameKind::kReply, created));
+
+  proto::CatchUpRequest catch_up;
+  catch_up.from = DpId(2);
+  catch_up.incarnation = 3;
+  out.push_back(entry("CatchUpRequest", Method::kCatchUp, FrameKind::kRequest,
+                      catch_up));
+  proto::CatchUpReply catch_up_reply;
+  catch_up_reply.from = DpId(1);
+  catch_up_reply.records = make_exchange(false).dispatches;
+  out.push_back(entry("CatchUpReply", Method::kCatchUp, FrameKind::kReply,
+                      catch_up_reply));
+
+  proto::SaturationSignal saturation;
+  saturation.from = DpId(4);
+  saturation.avg_response_s = 2.5;
+  saturation.observed_qps = 40.0;
+  saturation.queue_depth = 12;
+  out.push_back(entry("SaturationSignal", Method::kSaturation,
+                      FrameKind::kOneWay, saturation));
+
+  wire::OverloadNack nack;
+  nack.reason = 1;
+  nack.retry_after_us = 750'000;
+  out.push_back(entry("OverloadNack", Method::kGetSiteLoads,
+                      FrameKind::kOverloaded, nack));
+
+  return out;
+}
+
+// Parse + (when a body survived) decode. The only hard guarantee fuzzed
+// inputs get is "no throw, no out-of-bounds"; callers check the returned
+// parse result for the cases with a defined outcome.
+wire::FrameParse parse_and_decode(const CorpusEntry& e,
+                                  std::span<const std::uint8_t> bytes) {
+  wire::FrameHeader header;
+  std::span<const std::uint8_t> body;
+  const wire::FrameParse result = wire::parse_frame_ex(bytes, header, body);
+  if (result != wire::FrameParse::kBadHeader) {
+    // Body decode on corrupt input may fail or may (for messages with
+    // optional trailing fields) succeed on a shorter valid encoding; it
+    // must simply never misbehave.
+    (void)e.decode_body(body);
+  }
+  return result;
+}
+
+TEST(WireFuzz, FullFramesParseAndDecode) {
+  for (const CorpusEntry& e : corpus()) {
+    wire::FrameHeader header;
+    std::span<const std::uint8_t> body;
+    ASSERT_EQ(wire::parse_frame_ex(e.frame, header, body),
+              wire::FrameParse::kOk)
+        << e.name;
+    EXPECT_EQ(body.size(), header.body_size) << e.name;
+    EXPECT_TRUE(e.decode_body(body)) << e.name;
+  }
+}
+
+TEST(WireFuzz, EveryTruncationIsRejected) {
+  for (const CorpusEntry& e : corpus()) {
+    const std::vector<std::uint8_t> bytes = e.frame.to_vector();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const std::span<const std::uint8_t> prefix(bytes.data(), len);
+      // A strict prefix can never be kOk: either the header is cut short
+      // (kBadHeader) or body_size exceeds what's left (kBodySizeMismatch).
+      EXPECT_NE(parse_and_decode(e, prefix), wire::FrameParse::kOk)
+          << e.name << " truncated to " << len;
+    }
+  }
+}
+
+TEST(WireFuzz, BitFlipsNeverThrowOrOverread) {
+  Rng rng(0x5eed);
+  for (const CorpusEntry& e : corpus()) {
+    const std::vector<std::uint8_t> original = e.frame.to_vector();
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<std::uint8_t> mutated = original;
+      // 1-3 independent bit flips anywhere in the frame (header or body).
+      const std::uint64_t flips = 1 + rng.uniform_index(3);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        const std::uint64_t bit = rng.uniform_index(mutated.size() * 8);
+        mutated[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+      }
+      wire::FrameHeader header;
+      std::span<const std::uint8_t> body;
+      const wire::FrameParse result =
+          wire::parse_frame_ex(mutated, header, body);
+      if (result == wire::FrameParse::kOk) {
+        // A flip confined to the body keeps the frame well-formed; the
+        // typed decode still must not misbehave on the damaged payload.
+        EXPECT_EQ(body.size(), header.body_size) << e.name;
+        (void)e.decode_body(body);
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, HostileBodySizeInHeaderIsAMismatch) {
+  for (const CorpusEntry& e : corpus()) {
+    std::vector<std::uint8_t> bytes = e.frame.to_vector();
+    // body_size sits after version(2) + method(2) + kind(1) +
+    // correlation(8) in both v1 and v2 layouts.
+    const std::size_t offset = 2 + 2 + 1 + 8;
+    ASSERT_GE(bytes.size(), offset + 4) << e.name;
+    for (std::size_t i = 0; i < 4; ++i) bytes[offset + i] = 0xff;
+    wire::FrameHeader header;
+    std::span<const std::uint8_t> body;
+    EXPECT_EQ(wire::parse_frame_ex(bytes, header, body),
+              wire::FrameParse::kBodySizeMismatch)
+        << e.name;
+  }
+}
+
+TEST(WireFuzz, HostileVectorLengthPrefixFailsCleanly) {
+  // The first bytes of a GetSiteLoadsReply body are the candidates count;
+  // claim 2^32-1 elements and the Reader must refuse (each element needs
+  // >= 1 byte) without allocating or overreading.
+  const std::vector<std::uint8_t> encoded =
+      wire::encode(make_loads_reply(false));
+  std::vector<std::uint8_t> hostile = encoded;
+  for (std::size_t i = 0; i < 4; ++i) hostile[i] = 0xff;
+  proto::GetSiteLoadsReply out;
+  EXPECT_FALSE(wire::decode(std::span<const std::uint8_t>(hostile), out));
+  EXPECT_TRUE(out.candidates.empty());
+
+  // Same for a string length prefix (CreateInstanceRequest.payload, which
+  // follows the 8-byte nonce).
+  proto::CreateInstanceRequest create;
+  create.nonce = 5;
+  create.payload = "hello";
+  std::vector<std::uint8_t> hostile_str = wire::encode(create);
+  for (std::size_t i = 0; i < 4; ++i) hostile_str[8 + i] = 0xff;
+  proto::CreateInstanceRequest out_create;
+  EXPECT_FALSE(
+      wire::decode(std::span<const std::uint8_t>(hostile_str), out_create));
+  EXPECT_TRUE(out_create.payload.empty());
+}
+
+TEST(WireFuzz, FailedDecodeYieldsZeroValues) {
+  // Reads past the end zero their targets instead of leaving garbage.
+  proto::SaturationSignal out;
+  out.from = DpId(9);
+  out.avg_response_s = 3.5;
+  out.observed_qps = 10.0;
+  out.queue_depth = 7;
+  EXPECT_FALSE(wire::decode(std::span<const std::uint8_t>{}, out));
+  EXPECT_EQ(out.from.value(), 0u);
+  EXPECT_EQ(out.avg_response_s, 0.0);
+  EXPECT_EQ(out.observed_qps, 0.0);
+  EXPECT_EQ(out.queue_depth, 0);
+}
+
+TEST(WireFuzz, RandomGarbageNeverThrows) {
+  Rng rng(0xfacade);
+  const std::vector<CorpusEntry> entries = corpus();
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.uniform_index(64));
+    for (std::uint8_t& b : garbage) b = std::uint8_t(rng.uniform_index(256));
+    for (const CorpusEntry& e : entries) (void)parse_and_decode(e, garbage);
+  }
+}
+
+}  // namespace
+}  // namespace digruber::net

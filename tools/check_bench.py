@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare a Google Benchmark JSON run against a committed baseline.
+
+Usage: check_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Matches benchmarks by name and fails (exit 1) when any benchmark's cpu_time
+regressed by more than the threshold (default +25%). Benchmarks present in
+only one file are reported but do not fail the check, so adding or retiring
+benchmarks does not require touching the checker.
+
+Stdlib only — runs anywhere CI has a python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) are recomputed here instead:
+        # take the MIN cpu_time across repetitions. On shared CI runners the
+        # min is the least-noisy estimate of a benchmark's true cost —
+        # scheduling interference and frequency dips only ever add time.
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("run_name", b["name"])
+        cpu = float(b["cpu_time"])
+        out[name] = min(cpu, out.get(name, cpu))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional cpu_time regression")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if not baseline:
+        print(f"error: no benchmarks in baseline {args.baseline}")
+        return 2
+
+    failures = []
+    width = max(len(n) for n in set(baseline) | set(current))
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"{name:<{width}}  {baseline[name]:>12.1f}  {'absent':>12}  (ignored)")
+            continue
+        if name not in baseline:
+            print(f"{name:<{width}}  {'absent':>12}  {current[name]:>12.1f}  (new, ignored)")
+            continue
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
+        delta = (ratio - 1.0) * 100.0
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            failures.append(name)
+            flag = "  REGRESSED"
+        print(f"{name:<{width}}  {baseline[name]:>12.1f}  {current[name]:>12.1f}  "
+              f"{delta:+6.1f}%{flag}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} vs baseline: {', '.join(failures)}")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
