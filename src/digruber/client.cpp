@@ -53,6 +53,67 @@ void DiGruberClient::apply_load_hints(const std::vector<DpLoadHint>& hints) {
   }
 }
 
+void DiGruberClient::quarantine(std::size_t idx) {
+  DpHealth& h = health_[idx];
+  h = DpHealth{};
+  h.quarantined = true;
+  dp_score_[idx] = 0.0;
+  ++dps_quarantined_;
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kClient, id_.value(), "membership.quarantine",
+               t->ambient(), std::int64_t(idx),
+               std::int64_t(dps_[idx].value()));
+  }
+}
+
+void DiGruberClient::apply_membership(const MembershipUpdate& update) {
+  if (!options_.membership_aware || update.epoch <= epoch_) return;
+  epoch_ = update.epoch;
+  ++membership_updates_;
+  for (const MemberInfo& member : update.members) {
+    if (member.node == 0) continue;
+    std::size_t idx = dps_.size();
+    for (std::size_t i = 0; i < dps_.size(); ++i) {
+      if (dps_[i].value() == member.node) {
+        idx = i;
+        break;
+      }
+    }
+    const bool known = idx < dps_.size();
+    switch (member.state) {
+      case MemberState::kAlive:
+        if (!known) {
+          // A point that joined mid-run: append as a live routing target
+          // with a fresh breaker. p2c and the failover scans pick it up
+          // on the next attempt.
+          dps_.push_back(NodeId(member.node));
+          health_.push_back(DpHealth{});
+          dp_score_.push_back(0.0);
+          ++dps_added_;
+          if (auto* t = trace::current()) {
+            t->instant(trace::Category::kClient, id_.value(),
+                       "membership.dp_added", t->ambient(),
+                       std::int64_t(member.node),
+                       std::int64_t(update.epoch));
+          }
+        } else if (health_[idx].quarantined) {
+          // Resurrected (restarted under a newer incarnation): lift the
+          // quarantine with a clean bill of health.
+          health_[idx] = DpHealth{};
+          dp_score_[idx] = 0.0;
+        }
+        break;
+      case MemberState::kSuspect:
+        // Suspicion is not eviction; the breaker handles flakiness.
+        break;
+      case MemberState::kDead:
+      case MemberState::kLeft:
+        if (known && !health_[idx].quarantined) quarantine(idx);
+        break;
+    }
+  }
+}
+
 void DiGruberClient::finish_with_fallback(grid::Job job, Done done, sim::Time t0,
                                           bool starved, trace::SpanContext qctx) {
   ++fallbacks_;
@@ -81,7 +142,7 @@ int DiGruberClient::pick_dp() {
     std::vector<std::size_t> closed;
     closed.reserve(dps_.size());
     for (std::size_t i = 0; i < dps_.size(); ++i) {
-      if (!health_[i].open) closed.push_back(i);
+      if (!health_[i].open && !health_[i].quarantined) closed.push_back(i);
     }
     if (closed.size() >= 2) {
       const std::size_t a = closed[rng_.uniform_index(closed.size())];
@@ -94,11 +155,15 @@ int DiGruberClient::pick_dp() {
     // All breakers open: fall through to the half-open probe scan.
   } else {
     for (std::size_t i = 0; i < dps_.size(); ++i) {
-      if (!health_[i].open) return int(i);
+      if (!health_[i].open && !health_[i].quarantined) return int(i);
     }
   }
   for (std::size_t i = 0; i < dps_.size(); ++i) {
     DpHealth& h = health_[i];
+    // Quarantined points are exempt from half-open probing: membership
+    // declared them dead/left, so probes would re-discover a permanent
+    // failure one timeout at a time, forever.
+    if (h.quarantined) continue;
     if (!h.half_open && sim_.now() >= h.open_until) {
       h.half_open = true;  // one probe at a time per decision point
       return int(i);
@@ -137,6 +202,7 @@ void DiGruberClient::on_dp_success(std::size_t idx) { health_[idx] = DpHealth{};
 void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
                                          NodeId dp, const GetSiteLoadsReply& reply,
                                          trace::SpanContext qctx) {
+  if (reply.has_membership) apply_membership(reply.membership);
   apply_load_hints(reply.dp_loads);
   const std::optional<SiteId> site = selector_->select(reply.candidates, job);
   if (!site) {
@@ -232,6 +298,10 @@ void DiGruberClient::schedule(grid::Job job, Done done) {
   request.group = job.group;
   request.user = job.user;
   request.cpus = job.cpus;
+  if (options_.membership_aware) {
+    request.has_epoch = true;
+    request.membership_epoch = epoch_;
+  }
 
   trace::SpanContext actx;
   if (auto* t = trace::current()) {
@@ -290,6 +360,10 @@ void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
   request.group = job.group;
   request.user = job.user;
   request.cpus = job.cpus;
+  if (options_.membership_aware) {
+    request.has_epoch = true;
+    request.membership_epoch = epoch_;
+  }
 
   const NodeId dp = dps_[std::size_t(idx)];
   trace::SpanContext actx;
@@ -322,14 +396,23 @@ void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
         // A typed overload NACK means the decision point is alive but
         // saturated: keep its breaker closed (it answered), but penalize
         // its load score so power-of-two-choices steers elsewhere until a
-        // fresh hint arrives.
+        // fresh hint arrives. A draining NACK means it is leaving or
+        // still joining: with membership-aware routing, quarantine it
+        // outright (a membership update lifts the quarantine if it ever
+        // comes back) and redirect instead of penalizing.
         sim::Duration retry_after = sim::Duration::zero();
+        std::uint8_t nack_reason = net::kNackQueueFull;
         const bool overloaded =
-            net::parse_overload_error(result.error(), retry_after);
+            net::parse_overload_error(result.error(), retry_after, nack_reason);
         if (overloaded) {
           ++overload_nacks_;
           on_dp_success(std::size_t(idx));
-          dp_score_[std::size_t(idx)] += retry_after.to_seconds() + 1.0;
+          if (nack_reason == net::kNackDraining && options_.membership_aware) {
+            ++drain_redirects_;
+            quarantine(std::size_t(idx));
+          } else {
+            dp_score_[std::size_t(idx)] += retry_after.to_seconds() + 1.0;
+          }
         } else {
           on_dp_failure(std::size_t(idx));
         }

@@ -8,6 +8,26 @@
 
 namespace digruber::digruber {
 
+namespace {
+
+/// Trace-instant names per membership transition target (TraceEvent keeps
+/// a `const char*`, so the names must be literals).
+const char* transition_instant_name(MemberState state) {
+  switch (state) {
+    case MemberState::kAlive:
+      return "membership.alive";
+    case MemberState::kSuspect:
+      return "membership.suspect";
+    case MemberState::kDead:
+      return "membership.dead";
+    case MemberState::kLeft:
+      return "membership.left";
+  }
+  return "membership.?";
+}
+
+}  // namespace
+
 DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
                              DpId id, const grid::VoCatalog& catalog,
                              const usla::AllocationTree& tree,
@@ -43,7 +63,254 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
       },
       net::Priority::kControl);
 
+  if (options_.membership.enabled) {
+    membership_ = std::make_unique<MembershipTable>(
+        id_, server_.node().value(), options_.membership);
+    server_.register_method(
+        kJoinSnapshot,
+        [this](std::span<const std::uint8_t> body, NodeId from) {
+          return handle_join_snapshot(body, from);
+        },
+        net::Priority::kControl);
+    server_.register_method(
+        kLeave,
+        [this](std::span<const std::uint8_t> body, NodeId from) {
+          return handle_leave(body, from);
+        },
+        net::Priority::kControl);
+    // Door policy while joining or draining: refuse query-class work with
+    // a typed NACK before it consumes a container slot; control frames
+    // (exchange, catch-up, join, leave) always flow.
+    server_.set_refusal_gate(
+        [this](std::uint16_t method, net::wire::OverloadNack& nack) {
+          if (serving_) return false;
+          switch (method) {
+            case kGetSiteLoads:
+            case kReportSelection:
+            case kCreateInstance:
+              break;
+            default:
+              return false;
+          }
+          nack.reason = net::kNackDraining;
+          nack.retry_after_us =
+              joining_ ? options_.membership.join_retry_backoff.us() : 0;
+          return true;
+        });
+  }
+
   start_timers();
+}
+
+void DecisionPoint::refresh_neighbors() {
+  if (!membership_) return;
+  neighbors_ = membership_->live_peer_nodes();
+}
+
+void DecisionPoint::trace_transitions(
+    const std::vector<MembershipTransition>& transitions) {
+  auto* t = trace::current();
+  if (!t) return;
+  for (const MembershipTransition& tr : transitions) {
+    t->instant(trace::Category::kDp, id_.value(),
+               transition_instant_name(tr.to), t->ambient(),
+               std::int64_t(tr.peer.value()), std::int64_t(tr.incarnation));
+  }
+}
+
+void DecisionPoint::seed_membership(const std::vector<MemberInfo>& members) {
+  if (!membership_) return;
+  membership_->seed(members, sim_.now());
+  refresh_neighbors();
+}
+
+void DecisionPoint::join(std::vector<NodeId> seeds) {
+  if (!membership_ || !running_ || left_ || joining_) return;
+  serving_ = false;
+  joining_ = true;
+  join_seeds_ = std::move(seeds);
+  join_started_ = sim_.now();
+  join_attempt_ = 0;
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "membership.join_start", {},
+               std::int64_t(join_seeds_.size()));
+  }
+  if (join_seeds_.empty()) {
+    // Mesh founder: nothing to bootstrap from, serve immediately.
+    joining_ = false;
+    serving_ = true;
+    serving_since_ = sim_.now();
+    return;
+  }
+  try_join();
+}
+
+void DecisionPoint::try_join() {
+  if (!running_ || !joining_) return;
+  const NodeId seed = join_seeds_[join_attempt_ % join_seeds_.size()];
+  ++join_attempt_;
+  JoinSnapshotRequest request;
+  request.from = id_;
+  request.node = server_.node().value();
+  request.incarnation = incarnation_;
+  trace::SpanContext jctx;
+  if (auto* t = trace::current()) {
+    jctx = t->begin(trace::Category::kDp, id_.value(),
+                    "membership.join_snapshot", {},
+                    std::int64_t(seed.value()), std::int64_t(join_attempt_));
+  }
+  trace::ContextGuard jguard(jctx);
+  peer_client_.call<JoinSnapshotRequest, JoinSnapshotReply>(
+      seed, kJoinSnapshot, request, options_.membership.join_snapshot_timeout,
+      [this, incarnation = incarnation_,
+       jctx](Result<JoinSnapshotReply> result) {
+        // A crash while the transfer was in flight invalidates it.
+        if (!running_ || incarnation_ != incarnation || !joining_) return;
+        trace::ContextGuard guard(jctx);
+        if (!result.ok()) {
+          // Transfer failed (seed crashed, partitioned, or itself not
+          // serving): abort cleanly — no partial state was applied — and
+          // rotate to the next seed after a backoff.
+          ++join_retries_;
+          if (auto* t = trace::current()) {
+            t->instant(trace::Category::kDp, id_.value(),
+                       "membership.join_retry", jctx,
+                       std::int64_t(join_retries_));
+          }
+          sim_.schedule_after(
+              options_.membership.join_retry_backoff, [this, incarnation] {
+                if (running_ && incarnation_ == incarnation && joining_) {
+                  try_join();
+                }
+              });
+          return;
+        }
+        const JoinSnapshotReply& reply = result.value();
+        // Bootstrap = the seed's base snapshots + its recent-dispatch
+        // window, registered in the dedup sets so the flooded copies of
+        // the same records are recognized as duplicates.
+        for (const grid::SiteSnapshot& base : reply.bases) {
+          engine_.view().apply_snapshot(base);
+        }
+        for (const gruber::DispatchRecord& record : reply.records) {
+          auto& seen = applied_[record.origin];
+          if (!seen.insert(record.seq).second) {
+            ++records_duplicate_;
+            continue;
+          }
+          engine_.record(record);
+          ++join_snapshot_records_;
+        }
+        for (const DpLoadHint& hint : reply.hints) {
+          if (hint.node != server_.node().value()) {
+            peer_hints_[hint.node] = hint;
+          }
+        }
+        trace_transitions(membership_->absorb(reply.membership, sim_.now()));
+        refresh_neighbors();
+        joining_ = false;
+        serving_ = true;
+        serving_since_ = sim_.now();
+        // The learned view is this point's durable config from here on: a
+        // later crash restarts against these members, not the join seeds.
+        membership_->adopt_current_as_seeds();
+        if (auto* t = trace::current()) {
+          t->end(trace::Category::kDp, id_.value(), "membership.join_snapshot",
+                 jctx, std::int64_t(join_snapshot_records_),
+                 std::int64_t(join_retries_));
+          t->instant(trace::Category::kDp, id_.value(),
+                     "membership.join_complete", jctx,
+                     std::int64_t(join_snapshot_records_),
+                     std::int64_t((sim_.now() - join_started_).us()));
+        }
+        // Announce: the first exchange carries this point's alive entry,
+        // so peers admit it and start flooding records its way...
+        run_exchange();
+        // ...and the post-snapshot delta rides the anti-entropy path; the
+        // dedup sets discard whatever overlaps the snapshot window.
+        run_catch_up();
+        log::info("digruber", "dp ", id_.value(), " joined via snapshot (",
+                  join_snapshot_records_, " records, ", join_retries_,
+                  " retries)");
+      });
+}
+
+void DecisionPoint::leave() {
+  if (!membership_ || !running_ || left_ || joining_) return;
+  left_ = true;
+  serving_ = false;
+  membership_->set_self_state(MemberState::kLeft);
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "membership.leave", {},
+               std::int64_t(fresh_.size()));
+  }
+  // Final flush: ship the not-yet-flooded records (with the kLeft self
+  // entry on the trailer), then the explicit announcement so peers drop
+  // this point without waiting out the suspicion thresholds.
+  run_exchange(/*final_flush=*/true);
+  LeaveAnnouncement announce;
+  announce.from = id_;
+  announce.node = server_.node().value();
+  announce.incarnation = incarnation_;
+  peer_client_.notify_all(neighbors_, kLeave, announce);
+  exchange_timer_.reset();
+  saturation_timer_.reset();
+  log::info("digruber", "dp ", id_.value(), " left the mesh");
+}
+
+net::Served DecisionPoint::handle_join_snapshot(
+    std::span<const std::uint8_t> body, NodeId /*from*/) {
+  JoinSnapshotRequest request;
+  if (!net::wire::decode(body, request)) return {};
+  // A non-serving point must not hand out bootstrap state: a joiner fed a
+  // partial view would itself go partial. Swallow the request — the
+  // joiner's transfer deadline rotates it to another seed. The joiner is
+  // NOT admitted to the membership view here: it announces itself with
+  // its first exchange once it is actually able to serve, so clients
+  // never learn (and route to) a still-bootstrapping point.
+  if (!membership_ || !serving_) return {};
+  ++snapshots_served_;
+
+  JoinSnapshotReply reply;
+  reply.from = id_;
+  reply.exchange_round = exchange_round_;
+  reply.membership = membership_->update();
+  reply.bases = engine_.view().base_snapshots();
+  reply.records = engine_.view().active_records(sim_.now());
+  reply.hints.push_back(self_hint());
+  for (const auto& [node, hint] : peer_hints_) reply.hints.push_back(hint);
+  std::sort(reply.hints.begin(), reply.hints.end(),
+            [](const DpLoadHint& a, const DpLoadHint& b) {
+              return a.node < b.node;
+            });
+
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "membership.snapshot_served",
+               t->ambient(), std::int64_t(request.from.value()),
+               std::int64_t(reply.records.size()));
+  }
+
+  net::Served served;
+  served.handler_cost = sim::Duration::millis(0.2) *
+                        double(reply.records.size() + reply.bases.size() + 1);
+  served.reply = net::wire::encode_buffer(reply);
+  return served;
+}
+
+net::Served DecisionPoint::handle_leave(std::span<const std::uint8_t> body,
+                                        NodeId /*from*/) {
+  LeaveAnnouncement announce;
+  if (!net::wire::decode(body, announce)) return {};
+  if (membership_) {
+    if (auto tr = membership_->mark_left(announce.from, announce.incarnation,
+                                         sim_.now())) {
+      trace_transitions({*tr});
+      refresh_neighbors();
+    }
+  }
+  net::Served served;
+  served.handler_cost = sim::Duration::millis(0.2);
+  return served;  // one-way: empty reply
 }
 
 void DecisionPoint::start_timers() {
@@ -85,7 +352,7 @@ void DecisionPoint::crash() {
 }
 
 void DecisionPoint::restart(const std::vector<grid::SiteSnapshot>& snapshots) {
-  if (running_) return;
+  if (running_ || left_) return;
   ++incarnation_;
   ++restarts_;
   const bool server_up = server_.restart();
@@ -107,6 +374,15 @@ void DecisionPoint::restart(const std::vector<grid::SiteSnapshot>& snapshots) {
   window_base_count_ = stats.count();
   window_base_sum_s_ = stats.mean() * double(stats.count());
   last_signal_ = sim::Time::zero();
+  if (membership_) {
+    // Everything learned at runtime was volatile; restart against the
+    // durable seed list with the bumped incarnation, so peers holding a
+    // dead verdict for the previous life resurrect this one.
+    membership_->reset_to_seeds(sim_.now(), incarnation_);
+    serving_ = true;
+    joining_ = false;
+    refresh_neighbors();
+  }
   start_timers();
   if (auto* t = trace::current()) {
     t->instant(trace::Category::kDp, id_.value(), "dp.restart", {},
@@ -204,13 +480,22 @@ net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> b
   GetSiteLoadsReply reply;
   reply.candidates = engine_.candidates(probe, sim_.now());
   reply.as_of = sim_.now();
-  if (options_.advertise_load) {
+  // Membership piggyback: the client told us its epoch; attach the view
+  // only when it is stale. Trailing fields stack positionally, so the
+  // membership trailer forces the dp_loads one (at least the self hint).
+  const bool attach_membership = membership_ && request.has_epoch &&
+                                 request.membership_epoch < membership_->epoch();
+  if (options_.advertise_load || attach_membership) {
     // Own hint plus whatever peers piggybacked on recent exchanges, in
     // node order so the reply bytes are deterministic across runs.
     reply.dp_loads.push_back(self_hint());
     for (const auto& [node, hint] : peer_hints_) reply.dp_loads.push_back(hint);
     std::sort(reply.dp_loads.begin(), reply.dp_loads.end(),
               [](const DpLoadHint& a, const DpLoadHint& b) { return a.node < b.node; });
+  }
+  if (attach_membership) {
+    reply.has_membership = true;
+    reply.membership = membership_->update();
   }
 
   // Ambient here is the rpc.serve span, so the instant lands inside the
@@ -301,6 +586,28 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
   }
   if (message.has_load) peer_hints_[message.load.node] = message.load;
 
+  if (membership_ && message.has_membership) {
+    // The frame itself is the heartbeat: refresh the sender's last-heard
+    // time (refuting any suspicion) using the incarnation it claims for
+    // itself, then merge the rest of the gossiped view.
+    bool changed = false;
+    for (const MemberInfo& info : message.membership.members) {
+      if (info.dp != message.from) continue;
+      if (info.state == MemberState::kAlive) {
+        if (auto tr = membership_->heard_from(info.dp, info.node,
+                                              info.incarnation, sim_.now())) {
+          trace_transitions({*tr});
+          changed = true;
+        }
+      }
+      break;
+    }
+    const auto transitions =
+        membership_->absorb(message.membership, sim_.now());
+    trace_transitions(transitions);
+    if (changed || !transitions.empty()) refresh_neighbors();
+  }
+
   if (auto* t = trace::current()) {
     t->instant(trace::Category::kDp, id_.value(), "dp.exchange_recv",
                t->ambient(), std::int64_t(message.dispatches.size()),
@@ -324,16 +631,29 @@ DpLoadHint DecisionPoint::self_hint() const {
   return hint;
 }
 
-void DecisionPoint::run_exchange() {
+void DecisionPoint::run_exchange(bool final_flush) {
+  if (membership_ && !serving_ && !final_flush) return;
+  if (membership_ && !final_flush) {
+    // Failure-detector tick, swept on the heartbeat cadence it measures
+    // against — no extra timer. Dead peers drop out of the neighbor set
+    // before this round's fan-out, so nothing is sent to them.
+    const auto swept = membership_->sweep(sim_.now(), options_.exchange_interval);
+    trace_transitions(swept.transitions);
+    if (!swept.transitions.empty()) refresh_neighbors();
+  }
   if (neighbors_.empty() || options_.dissemination == Dissemination::kNone) return;
   ExchangeMessage message;
   message.from = id_;
   message.exchange_round = ++exchange_round_;
   message.dispatches = std::move(fresh_);
   fresh_.clear();
-  if (options_.advertise_load) {
+  if (options_.advertise_load || membership_) {
     message.has_load = true;
     message.load = self_hint();
+  }
+  if (membership_) {
+    message.has_membership = true;
+    message.membership = membership_->update();
   }
   trace::SpanContext xctx;
   if (auto* t = trace::current()) {
@@ -370,6 +690,7 @@ void DecisionPoint::run_exchange() {
 }
 
 void DecisionPoint::check_saturation() {
+  if (!serving_) return;  // joining/draining: not taking query load
   const StreamingStats& stats = server_.container().sojourn_stats();
   const std::uint64_t count = stats.count();
   const double sum = stats.mean() * double(count);

@@ -49,6 +49,17 @@ struct ClientOptions {
   /// but cannot multiply offered load when the whole mesh is saturated.
   double retry_budget_capacity = 10.0;
   double retry_budget_refill = 0.1;
+
+  /// Membership-aware routing (off by default; enabling changes wire
+  /// bytes, so default runs stay byte-identical):
+  ///  - attaches the client's membership epoch to each query so a
+  ///    decision point with a newer view piggybacks it on the reply,
+  ///  - folds those updates into the DP list: newly joined points become
+  ///    failover targets, dead/left points are quarantined — removed from
+  ///    p2c and failover order with NO half-open re-probing (membership,
+  ///    not per-call timeouts, decides when a point is gone),
+  ///  - treats a typed draining NACK as a redirect, not a failure.
+  bool membership_aware = false;
 };
 
 struct QueryOutcome {
@@ -119,6 +130,22 @@ class DiGruberClient {
   /// Attempts routed by power-of-two-choices over DP load hints.
   [[nodiscard]] std::uint64_t p2c_decisions() const { return p2c_decisions_; }
 
+  /// Membership-aware routing telemetry.
+  [[nodiscard]] std::uint64_t membership_epoch() const { return epoch_; }
+  [[nodiscard]] std::uint64_t membership_updates_applied() const {
+    return membership_updates_;
+  }
+  /// Decision points learned (joined mid-run) via membership updates.
+  [[nodiscard]] std::uint64_t dps_added() const { return dps_added_; }
+  /// Decision points quarantined because membership declared them dead or
+  /// left. Quarantined points get no probes — not even half-open ones.
+  [[nodiscard]] std::uint64_t dps_quarantined() const { return dps_quarantined_; }
+  /// Attempts answered with a typed draining NACK and redirected.
+  [[nodiscard]] std::uint64_t drain_redirects() const { return drain_redirects_; }
+  [[nodiscard]] bool is_quarantined(std::size_t idx) const {
+    return idx < health_.size() && health_[idx].quarantined;
+  }
+
   /// Rebind the primary to a different decision point (dynamic
   /// rebalancing, Section 5). Backups are kept; the new primary starts
   /// with a closed breaker.
@@ -130,6 +157,10 @@ class DiGruberClient {
     std::uint32_t consecutive_failures = 0;
     bool open = false;
     bool half_open = false;  // probe in flight
+    /// Membership declared this point dead or left: excluded from every
+    /// scan, including the half-open probe loop. Cleared only by a
+    /// membership update that reports the point alive again (restart).
+    bool quarantined = false;
     sim::Time open_until;
   };
 
@@ -144,6 +175,10 @@ class DiGruberClient {
   /// Fold the DP load hints piggybacked on a query reply into the
   /// power-of-two-choices scores (overload-aware mode only).
   void apply_load_hints(const std::vector<DpLoadHint>& hints);
+  /// Fold a piggybacked membership update into the DP list (add joiners,
+  /// quarantine dead/left, un-quarantine resurrected). Epoch-gated.
+  void apply_membership(const MembershipUpdate& update);
+  void quarantine(std::size_t idx);
 
   void attempt(grid::Job job, Done done, sim::Time t0, std::uint32_t attempt_n,
                double prev_delay_s, trace::SpanContext qctx);
@@ -181,6 +216,12 @@ class DiGruberClient {
   /// Retry token bucket (overload-aware mode): refilled on schedule(),
   /// debited one token per retry attempt.
   double retry_tokens_ = 0.0;
+  /// Membership-aware routing state: last applied epoch + telemetry.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t membership_updates_ = 0;
+  std::uint64_t dps_added_ = 0;
+  std::uint64_t dps_quarantined_ = 0;
+  std::uint64_t drain_redirects_ = 0;
 };
 
 }  // namespace digruber::digruber

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "digruber/common/stats.hpp"
+#include "digruber/digruber/membership.hpp"
 #include "digruber/digruber/protocol.hpp"
 #include "digruber/grid/topology.hpp"
 #include "digruber/gruber/engine.hpp"
@@ -47,6 +48,12 @@ struct DecisionPointOptions {
   /// attach known DP loads to query replies (for client-side load-aware
   /// failover). Off by default: legacy messages stay byte-identical.
   bool advertise_load = false;
+  /// Dynamic membership (failure detector + runtime join/leave). Off by
+  /// default: the mesh is the static `set_neighbors` wiring and all
+  /// messages keep their legacy byte layout. When enabled, the neighbor
+  /// set is derived from the membership table, exchanges carry the
+  /// gossiped view, and heartbeats piggyback on the exchange rounds.
+  MembershipOptions membership{};
 };
 
 /// A DI-GRUBER decision point: a GRUBER engine exposed as a Web service
@@ -90,6 +97,45 @@ class DecisionPoint {
   /// Restart generation (0 until the first restart).
   [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
 
+  /// --- Dynamic membership (no-ops unless options.membership.enabled) ---
+
+  /// Install the deployment-time member set (self included or not; the
+  /// table filters its own entry) and derive the neighbor list from it.
+  void seed_membership(const std::vector<MemberInfo>& members);
+  /// Runtime join: bootstrap from one of `seeds` via a state snapshot,
+  /// then serve. Until the snapshot lands this point is *not serving*:
+  /// query traffic is refused with a typed draining NACK, and no exchange
+  /// frames are emitted. A failed transfer rotates to the next seed after
+  /// a backoff.
+  void join(std::vector<NodeId> seeds);
+  /// Graceful leave: stop accepting queries, flush the final exchange,
+  /// announce departure to every neighbor, and stop the timers. The
+  /// server stays attached so stragglers get drain NACKs.
+  void leave();
+
+  /// False while joining (pre-snapshot) or after leave().
+  [[nodiscard]] bool serving() const { return serving_; }
+  [[nodiscard]] bool left() const { return left_; }
+  /// The membership view (nullptr when membership is disabled).
+  [[nodiscard]] const MembershipTable* membership() const {
+    return membership_.get();
+  }
+  /// Join lifecycle timestamps (zero until reached): when join() was
+  /// called and when the point reached query-serving state.
+  [[nodiscard]] sim::Time join_started_at() const { return join_started_; }
+  [[nodiscard]] sim::Time serving_since() const { return serving_since_; }
+  [[nodiscard]] std::uint64_t join_retries() const { return join_retries_; }
+  /// Bootstrap snapshots this point served to joiners.
+  [[nodiscard]] std::uint64_t snapshots_served() const { return snapshots_served_; }
+  /// Dispatch records applied from a join snapshot (vs full-history replay).
+  [[nodiscard]] std::uint64_t join_snapshot_records() const {
+    return join_snapshot_records_;
+  }
+  /// Query requests refused at the door while joining or draining.
+  [[nodiscard]] std::uint64_t drain_nacks_sent() const {
+    return server_.requests_refused_by_gate();
+  }
+
   /// Counters for the experiment harness.
   [[nodiscard]] std::uint64_t queries_served() const { return queries_; }
   [[nodiscard]] std::uint64_t selections_recorded() const { return selections_; }
@@ -118,12 +164,20 @@ class DecisionPoint {
   net::Served handle_report_selection(std::span<const std::uint8_t> body, NodeId from);
   net::Served handle_exchange(std::span<const std::uint8_t> body, NodeId from);
   net::Served handle_catch_up(std::span<const std::uint8_t> body, NodeId from);
+  net::Served handle_join_snapshot(std::span<const std::uint8_t> body, NodeId from);
+  net::Served handle_leave(std::span<const std::uint8_t> body, NodeId from);
   /// Snapshot of this point's container load for piggybacking.
   [[nodiscard]] DpLoadHint self_hint() const;
-  void run_exchange();
+  void run_exchange(bool final_flush = false);
   void run_catch_up();
   void check_saturation();
   void start_timers();
+  /// Re-derive the neighbor list from the membership table's live set.
+  void refresh_neighbors();
+  /// Emit one trace instant per membership transition ("membership.<state>").
+  void trace_transitions(const std::vector<MembershipTransition>& transitions);
+  /// One join attempt against the next seed in rotation.
+  void try_join();
 
   sim::Simulation& sim_;
   DpId id_;
@@ -151,6 +205,20 @@ class DecisionPoint {
 
   bool running_ = true;
   std::uint32_t incarnation_ = 0;
+
+  /// Dynamic-membership state (unused when options.membership.enabled is
+  /// false: membership_ stays null and serving_ stays true forever).
+  std::unique_ptr<MembershipTable> membership_;
+  bool serving_ = true;
+  bool joining_ = false;
+  bool left_ = false;
+  std::vector<NodeId> join_seeds_;
+  std::uint32_t join_attempt_ = 0;
+  sim::Time join_started_;
+  sim::Time serving_since_;
+  std::uint64_t join_retries_ = 0;
+  std::uint64_t snapshots_served_ = 0;
+  std::uint64_t join_snapshot_records_ = 0;
 
   std::uint64_t queries_ = 0;
   std::uint64_t selections_ = 0;

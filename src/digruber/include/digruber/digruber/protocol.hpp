@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "digruber/digruber/membership.hpp"
 #include "digruber/grid/job.hpp"
 #include "digruber/gruber/view.hpp"
 #include "digruber/net/wire/stats.hpp"
@@ -26,6 +27,13 @@ enum Method : std::uint16_t {
   /// neighbor replies with every dispatch record still active in its view
   /// so the restarted point's dedup state and utilization re-converge.
   kCatchUp = 6,
+  /// Joining decision point -> seed peer: request a bootstrap snapshot
+  /// (base site states + recent-dispatch window + load hints + membership
+  /// view). Only sent by membership-enabled deployments.
+  kJoinSnapshot = 7,
+  /// Departing decision point -> peers: graceful leave announcement
+  /// (one-way), so the mesh drops it without waiting for suspicion.
+  kLeave = 8,
 };
 
 /// Traffic class of each protocol method, for the wire layer's per-category
@@ -41,6 +49,8 @@ constexpr net::wire::MsgCategory method_category(std::uint16_t method) {
       return net::wire::MsgCategory::kStateExchange;
     case kSaturation:
     case kCatchUp:
+    case kJoinSnapshot:
+    case kLeave:
       return net::wire::MsgCategory::kControl;
     default:
       return net::wire::MsgCategory::kOther;
@@ -60,10 +70,23 @@ struct GetSiteLoadsRequest {
   GroupId group;
   UserId user;
   std::int32_t cpus = 1;
+  /// Optional trailing field (membership-aware clients only): the client's
+  /// current membership epoch. A decision point whose view is newer
+  /// attaches a MembershipUpdate to the reply. Absent -> legacy bytes.
+  bool has_epoch = false;
+  std::uint64_t membership_epoch = 0;
 
   template <class Archive>
   void serialize(Archive& ar) {
     ar & job & vo & group & user & cpus;
+    if constexpr (Archive::kIsWriter) {
+      if (has_epoch) ar & membership_epoch;
+    } else {
+      if (ar.remaining() > 0) {
+        ar & membership_epoch;
+        has_epoch = true;
+      }
+    }
   }
 };
 
@@ -89,14 +112,26 @@ struct GetSiteLoadsReply {
   /// Optional trailing field: the serving DP's own hint plus what it has
   /// heard from peers, for power-of-two-choices failover on the client.
   std::vector<DpLoadHint> dp_loads;
+  /// Second optional trailing field: the DP's membership view, attached
+  /// only when the requesting client reported a stale epoch. Trailing
+  /// fields stack positionally, so a sender attaching the membership
+  /// trailer MUST also emit `dp_loads` (membership-enabled DPs always
+  /// include at least their own hint).
+  bool has_membership = false;
+  MembershipUpdate membership;
 
   template <class Archive>
   void serialize(Archive& ar) {
     ar & candidates & as_of;
     if constexpr (Archive::kIsWriter) {
       if (!dp_loads.empty()) ar & dp_loads;
+      if (has_membership) ar & membership;
     } else {
       if (ar.remaining() > 0) ar & dp_loads;
+      if (ar.remaining() > 0) {
+        ar & membership;
+        has_membership = true;
+      }
     }
   }
 };
@@ -135,16 +170,28 @@ struct ExchangeMessage {
   /// DP advertises load; absent keeps the legacy byte layout).
   bool has_load = false;
   DpLoadHint load;
+  /// Second optional trailing field: the sender's membership view,
+  /// gossiped so join/leave/death verdicts flood the mesh on the frames
+  /// it already sends. Positional stacking rule: a sender attaching the
+  /// membership trailer MUST also set `has_load` (membership-enabled DPs
+  /// always advertise their own hint).
+  bool has_membership = false;
+  MembershipUpdate membership;
 
   template <class Archive>
   void serialize(Archive& ar) {
     ar & from & exchange_round & dispatches & snapshots;
     if constexpr (Archive::kIsWriter) {
       if (has_load) ar & load;
+      if (has_membership) ar & membership;
     } else {
       if (ar.remaining() > 0) {
         ar & load;
         has_load = true;
+      }
+      if (ar.remaining() > 0) {
+        ar & membership;
+        has_membership = true;
       }
     }
   }
@@ -189,6 +236,54 @@ struct CatchUpReply {
   template <class Archive>
   void serialize(Archive& ar) {
     ar & from & records;
+  }
+};
+
+/// Joining DP -> seed peer: ask for the bootstrap snapshot. The joiner
+/// identifies itself so the seed can admit it into the membership view
+/// (and start exchanging with it) as a side effect of serving the
+/// snapshot.
+struct JoinSnapshotRequest {
+  DpId from;
+  std::uint64_t node = 0;  // joiner's RPC server address
+  std::uint32_t incarnation = 0;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & from & node & incarnation;
+  }
+};
+
+/// The bootstrap snapshot: enough for the joiner to serve queries without
+/// a full-history replay. `bases` are the seed's base site states (the
+/// USLA-filtered capacity ground truth), `records` its recent-dispatch
+/// window (every record still active, i.e. not yet aged out), `hints` the
+/// load picture, and `membership` the current view + epoch. The
+/// post-snapshot delta rides the existing kCatchUp anti-entropy path.
+struct JoinSnapshotReply {
+  DpId from;
+  std::uint64_t exchange_round = 0;  // seed's flooding round (diagnostic)
+  MembershipUpdate membership;
+  std::vector<grid::SiteSnapshot> bases;
+  std::vector<gruber::DispatchRecord> records;
+  std::vector<DpLoadHint> hints;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & from & exchange_round & membership & bases & records & hints;
+  }
+};
+
+/// Departing DP -> peers (one-way): graceful leave. Peers mark the member
+/// kLeft immediately instead of waiting out the suspicion thresholds.
+struct LeaveAnnouncement {
+  DpId from;
+  std::uint64_t node = 0;
+  std::uint32_t incarnation = 0;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & from & node & incarnation;
   }
 };
 

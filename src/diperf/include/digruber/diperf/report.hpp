@@ -24,6 +24,10 @@ void render_resilience(std::ostream& os, const metrics::ResilienceCounters& coun
 /// rejections, distinguishable from network loss in the resilience block.
 void render_overload(std::ostream& os, const metrics::OverloadCounters& counters);
 
+/// Render the dynamic-membership counter block (failure-detector verdicts,
+/// join/leave protocol traffic, client-side quarantine accounting).
+void render_membership(std::ostream& os, const metrics::MembershipCounters& counters);
+
 /// Render the per-category bytes-on-wire / encode-count block. With the
 /// zero-copy message path, `encodes` counts serializations (one per
 /// exchange round, not one per peer); bytes are the frames those encodes

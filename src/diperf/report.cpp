@@ -114,6 +114,42 @@ void render_overload(std::ostream& os, const metrics::OverloadCounters& counters
   os << "\n";
 }
 
+void render_membership(std::ostream& os,
+                       const metrics::MembershipCounters& counters) {
+  os << "== membership counters ==\n";
+  Table table({"counter", "value"});
+  table.add_row({"suspicions", Table::num(double(counters.suspicions), 0)});
+  table.add_row(
+      {"deaths declared", Table::num(double(counters.deaths_declared), 0)});
+  table.add_row({"refutations", Table::num(double(counters.refutations), 0)});
+  table.add_row(
+      {"joins observed", Table::num(double(counters.joins_observed), 0)});
+  table.add_row(
+      {"leaves observed", Table::num(double(counters.leaves_observed), 0)});
+  table.add_row(
+      {"joins started", Table::num(double(counters.joins_started), 0)});
+  table.add_row(
+      {"joins completed", Table::num(double(counters.joins_completed), 0)});
+  table.add_row({"join snapshot retries",
+                 Table::num(double(counters.join_snapshot_retries), 0)});
+  table.add_row({"join snapshot records",
+                 Table::num(double(counters.join_snapshot_records), 0)});
+  table.add_row(
+      {"snapshots served", Table::num(double(counters.snapshots_served), 0)});
+  table.add_row(
+      {"drain NACKs sent", Table::num(double(counters.drain_nacks), 0)});
+  table.add_row({"client updates applied",
+                 Table::num(double(counters.client_updates_applied), 0)});
+  table.add_row(
+      {"client DPs added", Table::num(double(counters.client_dps_added), 0)});
+  table.add_row({"client DPs quarantined",
+                 Table::num(double(counters.client_dps_quarantined), 0)});
+  table.add_row({"client drain redirects",
+                 Table::num(double(counters.client_drain_redirects), 0)});
+  table.render(os);
+  os << "\n";
+}
+
 void render_wire(std::ostream& os, const metrics::WireCounters& counters) {
   os << "== wire traffic by category ==\n";
   Table table({"category", "encodes", "bytes"});

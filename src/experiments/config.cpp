@@ -47,7 +47,10 @@ const std::set<std::string>& known_keys() {
       "dynamic_provisioning", "max_dynamic_dps",
       "saturation_response_s", "fault_plan",
       "failover",      "failover_backups",
-      "attempt_timeout_s", "overload"};
+      "attempt_timeout_s", "overload",
+      "membership",    "suspect_after",
+      "dead_after",    "join_timeout_s",
+      "join_backoff_s"};
   return keys;
 }
 
@@ -133,6 +136,20 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
     out.attempt_timeout = sim::Duration::seconds(
         config.get_double("attempt_timeout_s", out.attempt_timeout.to_seconds()));
     out.overload_control = config.get_bool("overload", out.overload_control);
+
+    // Dynamic membership: detector thresholds are multiples of the
+    // exchange interval; join knobs are wall-clock seconds.
+    out.membership = config.get_bool("membership", out.membership);
+    out.membership_options.suspect_after =
+        config.get_double("suspect_after", out.membership_options.suspect_after);
+    out.membership_options.dead_after =
+        config.get_double("dead_after", out.membership_options.dead_after);
+    out.membership_options.join_snapshot_timeout = sim::Duration::seconds(
+        config.get_double("join_timeout_s",
+                          out.membership_options.join_snapshot_timeout.to_seconds()));
+    out.membership_options.join_retry_backoff = sim::Duration::seconds(
+        config.get_double("join_backoff_s",
+                          out.membership_options.join_retry_backoff.to_seconds()));
   } catch (const std::exception& e) {
     return Fail::failure(e.what());
   }
@@ -150,6 +167,14 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
   if (!out.fault_plan.empty() &&
       out.fault_plan.max_dp_index() >= std::size_t(out.n_dps)) {
     return Fail::failure("fault_plan names a dp index >= dps");
+  }
+  if (!out.membership) {
+    for (const sim::FaultEvent& event : out.fault_plan.events()) {
+      if (event.kind == sim::FaultKind::kDpJoin ||
+          event.kind == sim::FaultKind::kDpLeave) {
+        return Fail::failure("fault_plan uses join/leave but membership is off");
+      }
+    }
   }
   return out;
 }

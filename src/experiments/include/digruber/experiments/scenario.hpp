@@ -86,6 +86,14 @@ struct ScenarioConfig {
   bool overload_control = false;
   net::OverloadPolicy overload_policy{};
 
+  /// Dynamic membership (off by default: default runs stay byte-identical).
+  /// Enables the heartbeat failure detector piggybacked on exchanges, the
+  /// join/leave fault verbs (snapshot bootstrap / graceful drain), and
+  /// membership-aware client routing (joiners become targets, dead points
+  /// are quarantined). Implies client failover.
+  bool membership = false;
+  digruber::MembershipOptions membership_options{};
+
   /// Event tracing (optional, off by default). When set, the tracer is
   /// installed as the thread-current tracer for the whole run and bound to
   /// the scenario's simulation clock; phase boundaries, fault injections,
@@ -118,6 +126,21 @@ struct DpStats {
   std::uint64_t lifo_pickups = 0;
   std::uint64_t aborted = 0;
   std::uint64_t queue_residue = 0;  // still queued/busy at harvest
+
+  // Dynamic membership (defaults with membership off).
+  bool serving = true;
+  bool left = false;
+  std::uint64_t suspicions = 0;
+  std::uint64_t deaths_declared = 0;
+  std::uint64_t refutations = 0;
+  std::uint64_t snapshots_served = 0;
+  std::uint64_t drain_nacks = 0;
+  /// Join lifecycle (-1 for points that never joined at runtime).
+  double join_started_s = -1.0;
+  double serving_since_s = -1.0;
+  /// Every membership transition this point's table observed, in order
+  /// (the churn soak and the bench derive time-to-detect from these).
+  std::vector<digruber::MembershipTransition> membership_transitions;
 };
 
 /// Client-fleet totals (chaos-harness conservation input: every scheduled
@@ -154,6 +177,9 @@ struct ScenarioResult {
   /// Overload-control counters (all zero with overload_control off and no
   /// queue-full refusals).
   metrics::OverloadCounters overload;
+
+  /// Dynamic-membership counters (all zero with membership off).
+  metrics::MembershipCounters membership;
 
   /// Client-fleet conservation totals.
   ClientTotals clients;

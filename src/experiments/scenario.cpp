@@ -143,14 +143,26 @@ OracleAccuracy oracle_accuracy(const grid::Grid& grid,
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (config.n_dps < 1) throw std::invalid_argument("scenario needs >= 1 decision point");
   if (config.n_clients < 1) throw std::invalid_argument("scenario needs >= 1 client");
+  // Each join event grows the deployment by one, so a plan may name
+  // indices up to n_dps + join_count - 1 (events that fire before "their"
+  // joiner exists are skipped at fire time).
   if (!config.fault_plan.empty() &&
-      config.fault_plan.max_dp_index() >= std::size_t(config.n_dps)) {
+      config.fault_plan.max_dp_index() >=
+          std::size_t(config.n_dps) + config.fault_plan.join_count()) {
     throw std::invalid_argument("fault plan names dp " +
                                 std::to_string(config.fault_plan.max_dp_index()) +
                                 " but the deployment has only " +
                                 std::to_string(config.n_dps));
   }
-  const bool failover = config.enable_failover || !config.fault_plan.empty();
+  for (const sim::FaultEvent& e : config.fault_plan.events()) {
+    if ((e.kind == sim::FaultKind::kDpJoin || e.kind == sim::FaultKind::kDpLeave) &&
+        !config.membership) {
+      throw std::invalid_argument(
+          "fault plan uses join/leave but membership is disabled");
+    }
+  }
+  const bool failover =
+      config.enable_failover || config.membership || !config.fault_plan.empty();
 
   sim::Simulation sim(config.seed);
   net::SimTransport transport(sim, net::WanModel(config.wan, config.seed ^ 0xA11CEULL));
@@ -210,6 +222,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     dp_options.profile.overload.enabled = true;
     dp_options.advertise_load = true;
   }
+  if (config.membership) {
+    dp_options.membership = config.membership_options;
+    dp_options.membership.enabled = true;
+  }
 
   std::unique_ptr<digruber::InfrastructureMonitor> monitor;
   auto reconnect_all = [&] {
@@ -225,6 +241,21 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     shared.dp_index.emplace(dp->node(), std::uint32_t(dps.size()));
     dps.push_back(std::move(dp));
   };
+  // Runtime join: the new decision point gets NO grid bootstrap and no
+  // static wiring — it fetches a state snapshot from a live seed, refuses
+  // queries until the snapshot lands, then announces itself; the mesh
+  // (and the client fleet) learn it through membership gossip.
+  auto join_dp = [&] {
+    std::vector<NodeId> seeds;
+    for (const auto& dp : dps) {
+      if (dp->running() && dp->serving()) seeds.push_back(dp->node());
+    }
+    auto joiner = std::make_unique<digruber::DecisionPoint>(
+        sim, transport, DpId(dps.size()), catalog, tree.value(), dp_options);
+    shared.dp_index.emplace(joiner->node(), std::uint32_t(dps.size()));
+    joiner->join(std::move(seeds));
+    dps.push_back(std::move(joiner));
+  };
 
   if (config.dynamic_provisioning) {
     monitor = std::make_unique<digruber::InfrastructureMonitor>(
@@ -232,6 +263,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
           if (int(dps.size()) >= config.max_dynamic_dps) return;
           log::info("scenario", "provisioning decision point ", dps.size(),
                     " after saturation of dp ", signal.from.value());
+          if (config.membership) {
+            // Provision via the runtime-join path: clients learn the new
+            // point from membership updates instead of a forced rebind
+            // (rebinding onto a still-bootstrapping DP would only draw
+            // drain NACKs).
+            join_dp();
+            return;
+          }
           add_dp();
           reconnect_all();
           for (std::size_t i = 0; i < clients.size(); ++i) {
@@ -243,6 +282,19 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
   for (int d = 0; d < config.n_dps; ++d) add_dp();
   reconnect_all();
+  if (config.membership) {
+    // Deployment-time member set: every initial decision point knows every
+    // other as alive at incarnation 0.
+    std::vector<digruber::MemberInfo> members;
+    members.reserve(dps.size());
+    for (const auto& dp : dps) {
+      digruber::MemberInfo info;
+      info.dp = dp->id();
+      info.node = dp->node().value();
+      members.push_back(info);
+    }
+    for (auto& dp : dps) dp->seed_membership(members);
+  }
 
   // --- Client fleet. -------------------------------------------------------
   std::vector<SiteId> all_sites;
@@ -260,6 +312,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   client_options.timeout = config.client_timeout;
   if (failover) client_options.attempt_timeout = config.attempt_timeout;
   if (config.overload_control) client_options.overload_aware = true;
+  if (config.membership) client_options.membership_aware = true;
 
   for (int c = 0; c < config.n_clients; ++c) {
     Rng client_rng = sim.rng().fork();
@@ -348,7 +401,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // addresses at fire time, so restarts and provisioning stay consistent.
   if (!config.fault_plan.empty()) {
     log::info("scenario", "fault plan armed:\n", config.fault_plan.describe());
-    config.fault_plan.arm(sim, [&dps, &transport, &grid](const sim::FaultEvent& event) {
+    config.fault_plan.arm(sim, [&](const sim::FaultEvent& event) {
       auto nodes_of = [&dps](std::size_t i) {
         return std::array<NodeId, 2>{dps[i]->node(), dps[i]->peer_node()};
       };
@@ -371,17 +424,21 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       if (auto* t = trace::current()) {
         static const char* const kFaultNames[] = {
             "fault.crash",        "fault.restart",      "fault.partition",
-            "fault.heal",         "fault.link_degrade", "fault.link_restore"};
+            "fault.heal",         "fault.link_degrade", "fault.link_restore",
+            "fault.join",         "fault.leave"};
         t->instant(trace::Category::kScenario, 0,
                    kFaultNames[std::size_t(event.kind)], {},
                    std::int64_t(event.dp));
       }
+      // A plan may name a joiner's index; any dp-targeted event that fires
+      // before that joiner exists is a no-op.
+      const bool dp_exists = event.dp < dps.size();
       switch (event.kind) {
         case sim::FaultKind::kDpCrash:
-          dps[event.dp]->crash();
+          if (dp_exists) dps[event.dp]->crash();
           break;
         case sim::FaultKind::kDpRestart:
-          dps[event.dp]->restart(grid.snapshot_all());
+          if (dp_exists) dps[event.dp]->restart(grid.snapshot_all());
           break;
         case sim::FaultKind::kPartition:
           // Each partition event describes the complete island layout.
@@ -389,6 +446,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
           transport.heal_partition();
           for (std::size_t k = 0; k < event.islands.size(); ++k) {
             for (const std::size_t i : event.islands[k]) {
+              if (i >= dps.size()) continue;
               for (const NodeId n : nodes_of(i)) {
                 transport.set_island(n, std::uint32_t(k));
               }
@@ -399,10 +457,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
           transport.heal_partition();
           break;
         case sim::FaultKind::kLinkDegrade: {
+          if (!dp_exists) break;
           net::LinkOverride degraded;
           degraded.latency_factor = event.latency_factor;
           degraded.extra_loss = event.extra_loss;
           for (const std::size_t p : peers_of(event)) {
+            if (p >= dps.size()) continue;
             each_link(event.dp, p, [&](NodeId a, NodeId b) {
               transport.wan().set_link_override(a, b, degraded);
             });
@@ -410,11 +470,19 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
           break;
         }
         case sim::FaultKind::kLinkRestore:
+          if (!dp_exists) break;
           for (const std::size_t p : peers_of(event)) {
+            if (p >= dps.size()) continue;
             each_link(event.dp, p, [&](NodeId a, NodeId b) {
               transport.wan().clear_link_override(a, b);
             });
           }
+          break;
+        case sim::FaultKind::kDpJoin:
+          join_dp();
+          break;
+        case sim::FaultKind::kDpLeave:
+          if (dp_exists) dps[event.dp]->leave();
           break;
       }
     });
@@ -486,6 +554,22 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     stats.aborted = container.aborted();
     stats.queue_residue =
         container.queue_depth() + std::size_t(container.busy_workers());
+    if (const digruber::MembershipTable* table = dp->membership()) {
+      stats.serving = dp->serving();
+      stats.left = dp->left();
+      stats.suspicions = table->counters().suspicions;
+      stats.deaths_declared = table->counters().deaths;
+      stats.refutations = table->counters().refutations;
+      stats.snapshots_served = dp->snapshots_served();
+      stats.drain_nacks = dp->drain_nacks_sent();
+      if (dp->join_started_at().to_seconds() > 0.0) {
+        stats.join_started_s = dp->join_started_at().to_seconds();
+      }
+      if (dp->serving_since().to_seconds() > 0.0) {
+        stats.serving_since_s = dp->serving_since().to_seconds();
+      }
+      stats.membership_transitions = table->transitions();
+    }
     result.dps.push_back(stats);
   }
 
@@ -555,6 +639,33 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
     for (const auto& site : grid.sites()) {
       if (site->free_cpus() < 0) ++result.sites_overcommitted;
+    }
+  }
+
+  if (config.membership) {
+    metrics::MembershipCounters& mem = result.membership;
+    for (const auto& dp : dps) {
+      if (const digruber::MembershipTable* table = dp->membership()) {
+        mem.suspicions += table->counters().suspicions;
+        mem.deaths_declared += table->counters().deaths;
+        mem.refutations += table->counters().refutations;
+        mem.joins_observed += table->counters().joins_observed;
+        mem.leaves_observed += table->counters().leaves_observed;
+      }
+      if (dp->join_started_at().to_seconds() > 0.0) {
+        ++mem.joins_started;
+        if (dp->serving_since().to_seconds() > 0.0) ++mem.joins_completed;
+      }
+      mem.join_snapshot_retries += dp->join_retries();
+      mem.join_snapshot_records += dp->join_snapshot_records();
+      mem.snapshots_served += dp->snapshots_served();
+      mem.drain_nacks += dp->drain_nacks_sent();
+    }
+    for (const auto& client : clients) {
+      mem.client_updates_applied += client->membership_updates_applied();
+      mem.client_dps_added += client->dps_added();
+      mem.client_dps_quarantined += client->dps_quarantined();
+      mem.client_drain_redirects += client->drain_redirects();
     }
   }
 

@@ -85,6 +85,13 @@ class GridView {
   /// anti-entropy catch-up exchange. Deterministic order (site, then age).
   [[nodiscard]] std::vector<DispatchRecord> active_records(sim::Time now) const;
 
+  /// The base snapshots as held (static knowledge plus any applied monitor
+  /// or strategy-1 snapshots), *without* folding in active records — paired
+  /// with `active_records`, this is a lossless copy of the view, which is
+  /// what a joining decision point bootstraps from. Deterministic site
+  /// order.
+  [[nodiscard]] std::vector<grid::SiteSnapshot> base_snapshots() const;
+
   /// Forget everything (crash semantics: the view is volatile state).
   void clear();
 

@@ -89,6 +89,13 @@ std::vector<DispatchRecord> GridView::active_records(sim::Time now) const {
   return out;
 }
 
+std::vector<grid::SiteSnapshot> GridView::base_snapshots() const {
+  std::vector<grid::SiteSnapshot> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, state] : sites_) out.push_back(state.base);
+  return out;
+}
+
 void GridView::clear() {
   sites_.clear();
   recorded_ = 0;

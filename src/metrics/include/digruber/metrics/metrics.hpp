@@ -145,6 +145,33 @@ struct OverloadCounters {
   }
 };
 
+/// Dynamic-membership counters aggregated across a scenario run (decision-
+/// point failure detectors + join/leave protocol + client-side routing),
+/// surfaced through the DiPerF report by the resilience bench and the
+/// churn soak.
+struct MembershipCounters {
+  // Failure detectors (summed over every decision point's table).
+  std::uint64_t suspicions = 0;       // alive -> suspect verdicts
+  std::uint64_t deaths_declared = 0;  // -> dead (detector or gossip)
+  std::uint64_t refutations = 0;      // suspect/dead -> alive resurrections
+  std::uint64_t joins_observed = 0;   // new members learned
+  std::uint64_t leaves_observed = 0;  // graceful departures learned
+
+  // Join/leave protocol.
+  std::uint64_t joins_started = 0;        // join() bootstraps initiated
+  std::uint64_t joins_completed = 0;      // joiners that reached serving
+  std::uint64_t join_snapshot_retries = 0;  // failed transfers, seed rotated
+  std::uint64_t join_snapshot_records = 0;  // records bootstrapped (no replay)
+  std::uint64_t snapshots_served = 0;     // bootstrap snapshots handed out
+  std::uint64_t drain_nacks = 0;          // query refusals while not serving
+
+  // Client fleet (membership-aware routing).
+  std::uint64_t client_updates_applied = 0;  // epoch-gated updates folded in
+  std::uint64_t client_dps_added = 0;        // joiners added as targets
+  std::uint64_t client_dps_quarantined = 0;  // dead/left points quarantined
+  std::uint64_t client_drain_redirects = 0;  // draining NACKs redirected
+};
+
 /// Wire-traffic counters by message category (queries vs state exchange vs
 /// control), snapshotted from net::wire::wire_stats() over a run and
 /// surfaced through the DiPerF report. `encodes` counts serializations —

@@ -14,12 +14,24 @@
 
 namespace digruber::net {
 
+/// OverloadNack reason codes. kQueueFull / kDeadline come from the
+/// container's admission control; kDraining is a membership-layer refusal
+/// (the server exists but is joining or leaving and must not take query
+/// work).
+inline constexpr std::uint8_t kNackQueueFull = 0;
+inline constexpr std::uint8_t kNackDeadline = 1;
+inline constexpr std::uint8_t kNackDraining = 2;
+
 /// In-process form of a typed overload rejection, carried through the
-/// Result error channel as "overloaded:<retry_after_us>". The wire form is
-/// wire::OverloadNack; these helpers are the bridge.
+/// Result error channel as "overloaded:<retry_after_us>" (legacy reasons)
+/// or "overloaded:<retry_after_us>:drain" (kNackDraining). The wire form
+/// is wire::OverloadNack; these helpers are the bridge.
 [[nodiscard]] std::string make_overload_error(const wire::OverloadNack& nack);
 /// True iff `error` is an overload rejection; extracts the retry hint.
 bool parse_overload_error(const std::string& error, sim::Duration& retry_after);
+/// As above, additionally extracting the reason code.
+bool parse_overload_error(const std::string& error, sim::Duration& retry_after,
+                          std::uint8_t& reason);
 
 /// Why an incoming packet was rejected before reaching a handler. Split by
 /// cause so a frame whose header claims more (or fewer) body bytes than the
@@ -62,6 +74,19 @@ class RpcServer : public Endpoint {
   void register_method(std::uint16_t method, Method handler,
                        Priority priority = Priority::kQuery);
 
+  /// Pre-admission refusal gate. When set, every request/one-way frame is
+  /// offered to the gate before touching the container; returning true
+  /// rejects it with the typed Overloaded NACK the gate filled in (the
+  /// handler never runs and no container slot is consumed). This is how a
+  /// draining or still-joining decision point refuses query traffic at
+  /// the door while control frames keep flowing.
+  using RefusalGate =
+      std::function<bool(std::uint16_t method, wire::OverloadNack& nack)>;
+  void set_refusal_gate(RefusalGate gate) { gate_ = std::move(gate); }
+  [[nodiscard]] std::uint64_t requests_refused_by_gate() const {
+    return gate_refused_;
+  }
+
   /// Convenience: register a typed handler `Reply(const Request&, NodeId)`
   /// with a fixed-or-computed handler cost returned alongside the reply.
   template <class Request, class Reply>
@@ -100,8 +125,10 @@ class RpcServer : public Endpoint {
   NodeId node_;
   ServiceContainer container_;
   std::unordered_map<std::uint16_t, Registered> methods_;
+  RefusalGate gate_;
   bool attached_ = true;
   std::uint64_t received_ = 0;
+  std::uint64_t gate_refused_ = 0;
   std::uint64_t bad_ = 0;
   std::array<std::uint64_t, std::size_t(BadFrameCause::kCount)> bad_by_cause_{};
 };

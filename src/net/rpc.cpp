@@ -12,13 +12,26 @@ namespace digruber::net {
 
 namespace {
 constexpr std::string_view kOverloadPrefix = "overloaded:";
+constexpr std::string_view kDrainSuffix = ":drain";
 }  // namespace
 
 std::string make_overload_error(const wire::OverloadNack& nack) {
-  return std::string(kOverloadPrefix) + std::to_string(nack.retry_after_us);
+  std::string error =
+      std::string(kOverloadPrefix) + std::to_string(nack.retry_after_us);
+  // The retry_after number is parsed with strtoll, which stops at the
+  // first non-digit — appending a reason tag is backward-compatible with
+  // callers using the two-argument parse.
+  if (nack.reason == kNackDraining) error += kDrainSuffix;
+  return error;
 }
 
 bool parse_overload_error(const std::string& error, sim::Duration& retry_after) {
+  std::uint8_t reason = 0;
+  return parse_overload_error(error, retry_after, reason);
+}
+
+bool parse_overload_error(const std::string& error, sim::Duration& retry_after,
+                          std::uint8_t& reason) {
   if (error.size() <= kOverloadPrefix.size() ||
       error.compare(0, kOverloadPrefix.size(), kOverloadPrefix) != 0) {
     return false;
@@ -26,6 +39,11 @@ bool parse_overload_error(const std::string& error, sim::Duration& retry_after) 
   const std::int64_t us = std::strtoll(error.c_str() + kOverloadPrefix.size(),
                                        nullptr, 10);
   retry_after = sim::Duration::micros(us < 0 ? 0 : us);
+  reason = error.size() >= kDrainSuffix.size() &&
+                   error.compare(error.size() - kDrainSuffix.size(),
+                                 kDrainSuffix.size(), kDrainSuffix) == 0
+               ? kNackDraining
+               : kNackQueueFull;
   return true;
 }
 
@@ -97,6 +115,26 @@ void RpcServer::on_packet(Packet packet) {
   const std::uint64_t correlation = header.correlation;
   const std::uint16_t method = header.method;
   const bool wants_reply = kind == wire::FrameKind::kRequest;
+
+  if (gate_) {
+    wire::OverloadNack nack;
+    nack.reason = kNackDraining;
+    if (gate_(method, nack)) {
+      ++gate_refused_;
+      if (auto* t = trace::current()) {
+        t->instant(trace::Category::kRpc, node_.value(), "rpc.drain_nack",
+                   t->take_rpc(from.value(), correlation),
+                   std::int64_t(method), nack.retry_after_us);
+      }
+      if (wants_reply) {
+        transport_.send(
+            Packet{node_, from,
+                   wire::make_frame(method, wire::FrameKind::kOverloaded,
+                                    correlation, nack)});
+      }
+      return;
+    }
+  }
 
   // Serve span: request arrival -> reply sent, joining the caller's trace
   // via the propagation side channel (zero wire-format impact). Covers the

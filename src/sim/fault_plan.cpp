@@ -155,6 +155,13 @@ Result<FaultPlan> FaultPlan::parse(const std::string& text) {
       event.kind = FaultKind::kPartition;
     } else if (verb == "heal") {
       event.kind = FaultKind::kHeal;
+    } else if (verb == "join") {
+      event.kind = FaultKind::kDpJoin;
+    } else if (verb == "leave") {
+      if (!find_value(tokens, "dp", value) || !parse_index(value, event.dp)) {
+        return Fail::failure(where + "leave needs dp=<index>");
+      }
+      event.kind = FaultKind::kDpLeave;
     } else if (verb == "degrade" || verb == "restore") {
       if (const Status<> target = parse_link_target(tokens, event); !target.ok()) {
         return Fail::failure(where + target.error());
@@ -195,6 +202,8 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& option
   if (options.allow_crashes) kinds.push_back(0);
   if (options.allow_partitions && options.n_dps >= 2) kinds.push_back(1);
   if (options.allow_degrades && options.n_dps >= 2) kinds.push_back(2);
+  if (options.allow_joins) kinds.push_back(3);
+  if (options.allow_leaves && options.n_dps >= 2) kinds.push_back(4);
   if (kinds.empty()) return plan;
 
   Rng rng(seed);
@@ -280,6 +289,33 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& option
         plan.degrade_dp(Time::from_seconds(start), dp, latency_factor, extra_loss);
         plan.restore_dp(Time::from_seconds(end), dp);
         degraded.push_back({dp, start, end});
+        break;
+      }
+      case 3: {  // join: a fresh decision point bootstraps mid-run
+        plan.join(Time::from_seconds(start));
+        break;
+      }
+      case 4: {  // leave: drain an initial DP permanently
+        // A left DP is down for the rest of the horizon: it must not be
+        // crashed later and still counts against keep_one_alive, so its
+        // down-span runs to the horizon.
+        std::vector<std::size_t> candidates;
+        for (std::size_t d = 0; d < options.n_dps; ++d) {
+          bool busy = false;
+          std::size_t concurrent = 0;
+          for (const Span& s : down) {
+            if (!overlaps(start, horizon_s, s.start, s.end)) continue;
+            if (s.dp == d) busy = true;
+            ++concurrent;
+          }
+          if (busy) continue;
+          if (options.keep_one_alive && concurrent + 1 >= options.n_dps) continue;
+          candidates.push_back(d);
+        }
+        if (candidates.empty()) break;
+        const std::size_t dp = candidates[rng.uniform_index(candidates.size())];
+        plan.leave(Time::from_seconds(start), dp);
+        down.push_back({dp, start, horizon_s});
         break;
       }
     }
@@ -377,12 +413,30 @@ FaultPlan& FaultPlan::restore_dp(Time at, std::size_t dp) {
   return *this;
 }
 
+FaultPlan& FaultPlan::join(Time at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDpJoin;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::leave(Time at, std::size_t dp) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDpLeave;
+  e.dp = dp;
+  add(std::move(e));
+  return *this;
+}
+
 std::size_t FaultPlan::max_dp_index() const {
   std::size_t max_index = 0;
   for (const FaultEvent& e : events_) {
     switch (e.kind) {
       case FaultKind::kDpCrash:
       case FaultKind::kDpRestart:
+      case FaultKind::kDpLeave:
         max_index = std::max(max_index, e.dp);
         break;
       case FaultKind::kLinkDegrade:
@@ -395,10 +449,19 @@ std::size_t FaultPlan::max_dp_index() const {
           for (const std::size_t dp : island) max_index = std::max(max_index, dp);
         break;
       case FaultKind::kHeal:
+      case FaultKind::kDpJoin:
         break;
     }
   }
   return max_index;
+}
+
+std::size_t FaultPlan::join_count() const {
+  std::size_t joins = 0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kDpJoin) ++joins;
+  }
+  return joins;
 }
 
 void FaultPlan::arm(Simulation& sim, std::function<void(const FaultEvent&)> apply) const {
@@ -440,6 +503,12 @@ std::string FaultPlan::describe() const {
       case FaultKind::kLinkRestore:
         if (e.all_peers) os << "restore dp" << e.dp << " all links";
         else os << "restore link dp" << e.dp << ":dp" << e.peer;
+        break;
+      case FaultKind::kDpJoin:
+        os << "join";
+        break;
+      case FaultKind::kDpLeave:
+        os << "leave dp" << e.dp;
         break;
     }
     os << "\n";

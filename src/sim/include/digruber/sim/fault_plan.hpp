@@ -21,6 +21,8 @@ enum class FaultKind : std::uint8_t {
   kHeal,          // remove all partitions
   kLinkDegrade,   // inflate latency / add loss on one link (or all of a DP's)
   kLinkRestore,   // undo a degradation
+  kDpJoin,        // a brand-new decision point joins via snapshot bootstrap
+  kDpLeave,       // a decision point drains and departs gracefully
 };
 
 /// One timed fault. Which fields are meaningful depends on `kind`:
@@ -31,6 +33,9 @@ enum class FaultKind : std::uint8_t {
 ///   kLinkDegrade/kRestore  — `dp` + `peer` (one link) or `dp` +
 ///                            `all_peers` (every link of that DP), with
 ///                            `latency_factor` / `extra_loss` on degrade
+///   kDpJoin                — nothing (the harness assigns the next free
+///                            deployment index to each join in plan order)
+///   kDpLeave               — `dp`
 struct FaultEvent {
   Time at;
   FaultKind kind = FaultKind::kDpCrash;
@@ -60,6 +65,8 @@ struct FaultEvent {
 ///   at=<time> degrade dp=<i> [latency=<k>] [loss=<p>]
 ///   at=<time> restore link=<a>:<b>
 ///   at=<time> restore dp=<i>
+///   at=<time> join
+///   at=<time> leave dp=<i>
 ///
 /// <time> accepts plain seconds or an s/m/h suffix: `90`, `90s`, `1.5m`.
 /// Knobs for FaultPlan::random (the chaos harness's schedule generator).
@@ -77,6 +84,13 @@ struct RandomFaultOptions {
   /// Never schedule a crash that would leave zero running decision points
   /// (crash episodes pick among DPs not already down at that instant).
   bool keep_one_alive = true;
+  /// Membership churn (default off so existing chaos seeds replay the same
+  /// schedules byte for byte). Joins add fresh decision points mid-run;
+  /// leaves drain an initial DP permanently — a left DP counts as down for
+  /// the rest of the horizon, so it is never crashed afterwards and still
+  /// honors keep_one_alive.
+  bool allow_joins = false;
+  bool allow_leaves = false;
 };
 
 class FaultPlan {
@@ -101,6 +115,8 @@ class FaultPlan {
                         double extra_loss);
   FaultPlan& restore_link(Time at, std::size_t a, std::size_t b);
   FaultPlan& restore_dp(Time at, std::size_t dp);
+  FaultPlan& join(Time at);
+  FaultPlan& leave(Time at, std::size_t dp);
 
   void add(FaultEvent event);
 
@@ -111,6 +127,9 @@ class FaultPlan {
   /// Largest decision-point index the plan references (0 when empty) —
   /// lets the harness validate a plan against the deployment size.
   [[nodiscard]] std::size_t max_dp_index() const;
+  /// Number of kDpJoin events — each one grows the deployment by one, so
+  /// the harness validates `max_dp_index() < n_dps + join_count()`.
+  [[nodiscard]] std::size_t join_count() const;
 
   /// Schedule every event on `sim`; `apply` runs at each event's time.
   void arm(Simulation& sim, std::function<void(const FaultEvent&)> apply) const;

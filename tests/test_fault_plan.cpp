@@ -54,6 +54,39 @@ TEST(FaultPlan, ParsesEveryVerb) {
   EXPECT_TRUE(events[7].all_peers);
 }
 
+TEST(FaultPlan, ParsesChurnVerbs) {
+  const auto plan = FaultPlan::parse(
+      "at=100 join\n"
+      "at=200 leave dp=1\n");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  const auto& events = plan.value().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, FaultKind::kDpJoin);
+  EXPECT_EQ(events[0].at, Time::from_seconds(100));
+  EXPECT_EQ(events[1].kind, FaultKind::kDpLeave);
+  EXPECT_EQ(events[1].dp, 1u);
+
+  FaultPlan built;
+  built.join(Time::from_seconds(100)).leave(Time::from_seconds(200), 1);
+  EXPECT_EQ(plan.value(), built);
+
+  // `leave` names a decision point; `join` never does (the harness assigns
+  // the next free deployment index in plan order).
+  EXPECT_FALSE(FaultPlan::parse("at=10 leave").ok());
+}
+
+TEST(FaultPlan, JoinCountAndMaxDpIndexCoverChurn) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.join_count(), 0u);
+  plan.join(Time::from_seconds(10)).join(Time::from_seconds(20));
+  EXPECT_EQ(plan.join_count(), 2u);
+  // Joins carry no index and must not widen the deployment-bound check...
+  EXPECT_EQ(plan.max_dp_index(), 0u);
+  // ...while a leave's target does.
+  plan.leave(Time::from_seconds(30), 5);
+  EXPECT_EQ(plan.max_dp_index(), 5u);
+}
+
 TEST(FaultPlan, SemicolonSeparatedSingleLine) {
   const auto plan = FaultPlan::parse("at=10 crash dp=1; at=20 restart dp=1");
   ASSERT_TRUE(plan.ok()) << plan.error();
@@ -208,6 +241,10 @@ TEST(FaultPlanRandom, EveryFaultHealsAndIndicesFitDeployment) {
           EXPECT_EQ(degraded[event.dp], 1) << "seed " << seed;
           degraded[event.dp] = 0;
           break;
+        case FaultKind::kDpJoin:
+        case FaultKind::kDpLeave:
+          FAIL() << "seed " << seed << ": churn events without opt-in";
+          break;
       }
     }
     EXPECT_EQ(partitions, 0) << "seed " << seed;
@@ -249,13 +286,75 @@ TEST(FaultPlanRandom, HonorsKindAllowFlags) {
   }
 }
 
+TEST(FaultPlanRandom, ChurnIsOptInSoDefaultSchedulesStayByteIdentical) {
+  // allow_joins / allow_leaves default to false: the kind list (and hence
+  // every rng draw) is unchanged, so pre-churn chaos seeds replay exactly.
+  RandomFaultOptions options;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, options);
+    for (const FaultEvent& event : plan.events()) {
+      EXPECT_NE(event.kind, FaultKind::kDpJoin) << "seed " << seed;
+      EXPECT_NE(event.kind, FaultKind::kDpLeave) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FaultPlanRandom, ChurnSchedulesAreDeterministicAndWellFormed) {
+  RandomFaultOptions options;
+  options.n_dps = 3;
+  options.episodes = 6;
+  options.allow_joins = true;
+  options.allow_leaves = true;
+  bool saw_join = false, saw_leave = false;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, options);
+    EXPECT_EQ(plan, FaultPlan::random(seed, options)) << "seed " << seed;
+    // A left decision point is gone for good: never crashed, restarted, or
+    // left again afterwards — and leaves count as down for keep_one_alive.
+    std::vector<int> left(options.n_dps, 0);
+    int down = 0;
+    for (const FaultEvent& event : plan.events()) {
+      switch (event.kind) {
+        case FaultKind::kDpJoin:
+          saw_join = true;
+          break;
+        case FaultKind::kDpLeave:
+          saw_leave = true;
+          EXPECT_EQ(left[event.dp], 0) << "seed " << seed << ": double leave";
+          left[event.dp] = 1;
+          ++down;
+          break;
+        case FaultKind::kDpCrash:
+          EXPECT_EQ(left[event.dp], 0) << "seed " << seed
+                                       << ": crash of a departed dp";
+          ++down;
+          break;
+        case FaultKind::kDpRestart:
+          EXPECT_EQ(left[event.dp], 0) << "seed " << seed
+                                       << ": restart of a departed dp";
+          --down;
+          break;
+        default:
+          break;
+      }
+      EXPECT_LT(down, int(options.n_dps)) << "seed " << seed;
+    }
+  }
+  EXPECT_TRUE(saw_join);
+  EXPECT_TRUE(saw_leave);
+}
+
 TEST(FaultPlan, DescribeMentionsEveryEvent) {
   FaultPlan plan;
   plan.crash(Time::from_seconds(10), 0);
   plan.partition(Time::from_seconds(20), {{0}, {1, 2}});
+  plan.join(Time::from_seconds(30));
+  plan.leave(Time::from_seconds(40), 2);
   const std::string text = plan.describe();
   EXPECT_NE(text.find("crash dp0"), std::string::npos);
   EXPECT_NE(text.find("partition dp0 | dp1,dp2"), std::string::npos);
+  EXPECT_NE(text.find("join"), std::string::npos);
+  EXPECT_NE(text.find("leave dp2"), std::string::npos);
 }
 
 }  // namespace

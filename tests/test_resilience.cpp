@@ -92,6 +92,58 @@ TEST(Resilience, PlanNamingMissingDpIsRejected) {
   EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
 }
 
+TEST(Resilience, MembershipChurnRunJoinsLeavesAndQuarantines) {
+  ScenarioConfig cfg = small_config();
+  cfg.membership = true;
+  cfg.exchange_interval = sim::Duration::seconds(15);
+  cfg.membership_options.suspect_after = 1.5;
+  cfg.membership_options.dead_after = 2.0;
+  cfg.membership_options.join_snapshot_timeout = sim::Duration::seconds(5);
+  cfg.membership_options.join_retry_backoff = sim::Duration::seconds(5);
+  cfg.fault_plan.crash(sim::Time::from_seconds(120), 0)
+      .join(sim::Time::from_seconds(240))
+      .leave(sim::Time::from_seconds(360), 1);
+  const ScenarioResult r = run_scenario(cfg);
+
+  // The crash was detected (dp0 silent well past the 45 s budget), the
+  // join completed via snapshot bootstrap, and the leave was observed.
+  EXPECT_GT(r.membership.deaths_declared, 0u);
+  EXPECT_EQ(r.membership.joins_started, 1u);
+  EXPECT_EQ(r.membership.joins_completed, 1u);
+  EXPECT_GT(r.membership.snapshots_served, 0u);
+  EXPECT_GT(r.membership.leaves_observed, 0u);
+
+  // The joiner is a fourth decision point that reached serving and took
+  // real traffic; the departed one drained.
+  ASSERT_EQ(r.dps.size(), 4u);
+  EXPECT_GE(r.dps[3].serving_since_s, 240.0);
+  EXPECT_TRUE(r.dps[3].serving);
+  EXPECT_TRUE(r.dps[1].left);
+  EXPECT_FALSE(r.dps[1].serving);
+
+  // Clients re-routed off the dead/left points via membership updates.
+  EXPECT_GT(r.membership.client_updates_applied, 0u);
+  EXPECT_GT(r.membership.client_dps_added, 0u);
+  EXPECT_GT(r.membership.client_dps_quarantined, 0u);
+
+  // Conservation still holds under churn (the chaos soak's I1/I2).
+  EXPECT_EQ(r.clients.queries, r.clients.handled + r.clients.fallbacks);
+  for (const DpStats& dp : r.dps) {
+    EXPECT_EQ(dp.submitted, dp.completed + dp.refused + dp.shed_deadline +
+                                dp.aborted + dp.queue_residue);
+  }
+}
+
+TEST(Resilience, ChurnVerbsRequireMembership) {
+  ScenarioConfig cfg = small_config();
+  cfg.fault_plan.join(sim::Time::from_seconds(120));
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+
+  ScenarioConfig leave_cfg = small_config();
+  leave_cfg.fault_plan.leave(sim::Time::from_seconds(120), 0);
+  EXPECT_THROW(run_scenario(leave_cfg), std::invalid_argument);
+}
+
 TEST(Resilience, SamplesCarryIssueTimestamps) {
   const ScenarioResult r = run_scenario(small_config());
   ASSERT_EQ(r.samples.size(), r.all.requests);

@@ -205,6 +205,46 @@ TEST(Rpc, OneWayNotifyDelivered) {
   EXPECT_EQ(f.client.calls_in_flight(), 0u);
 }
 
+TEST(Rpc, NotifyAllSurvivesPeerSetShrinkingMidRound) {
+  // The broadcast frame is encoded once and shared by refcount across
+  // every destination. A peer departing between the send and the delivery
+  // (runtime leave / crash) must not leak, double-free, or misdeliver:
+  // the detached destination's copy is dropped with a typed cause and the
+  // remaining peers still decode the same bytes. (ASan/UBSan guard the
+  // lifetime claims.)
+  Fixture f;
+  sim::Simulation& sim = f.sim;
+  RpcServer second(sim, f.transport, fast_profile());
+  RpcServer third(sim, f.transport, fast_profile());
+  int delivered = 0;
+  for (RpcServer* server : {&f.server, &second, &third}) {
+    server->register_method(7, [&](std::span<const std::uint8_t> body, NodeId) {
+      EchoRequest request;
+      EXPECT_TRUE(wire::decode(body, request));
+      EXPECT_EQ(request.value, 5u);
+      EXPECT_EQ(request.text, "fan-out");
+      ++delivered;
+      return Served{};
+    });
+  }
+
+  {
+    // The caller's peer list dies before any packet is delivered; the
+    // shared buffer alone must keep the frame bytes alive in flight.
+    std::vector<NodeId> peers{f.server.node(), second.node(), third.node()};
+    EchoRequest request;
+    request.value = 5;
+    request.text = "fan-out";
+    f.client.notify_all(peers, 7, request);
+  }
+  // One peer departs while the round is in flight.
+  f.transport.detach(third.node());
+
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(f.transport.packets_dropped(DropCause::kUnknownDestination), 1u);
+}
+
 TEST(Rpc, ConcurrentCallsCorrelatedCorrectly) {
   Fixture f;
   std::vector<std::uint64_t> replies;

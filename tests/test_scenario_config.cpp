@@ -69,6 +69,34 @@ saturation_response_s = 12
   EXPECT_DOUBLE_EQ(cfg.saturation_response_s, 12.0);
 }
 
+TEST(ScenarioFromConfig, ParsesMembershipSection) {
+  const auto result = scenario_from_config(Config::parse(R"(
+membership = true
+suspect_after = 1.5
+dead_after = 2.0
+join_timeout_s = 5
+join_backoff_s = 4
+fault_plan = at=120 crash dp=0; at=240 join; at=420 leave dp=1
+)"));
+  ASSERT_TRUE(result.ok()) << result.error();
+  const ScenarioConfig& cfg = result.value();
+  EXPECT_TRUE(cfg.membership);
+  EXPECT_DOUBLE_EQ(cfg.membership_options.suspect_after, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.membership_options.dead_after, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.membership_options.join_snapshot_timeout.to_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(cfg.membership_options.join_retry_backoff.to_seconds(), 4.0);
+  EXPECT_EQ(cfg.fault_plan.join_count(), 1u);
+}
+
+TEST(ScenarioFromConfig, RejectsChurnVerbsWithMembershipOff) {
+  const auto join_only =
+      scenario_from_config(Config::parse("fault_plan = at=120 join\n"));
+  ASSERT_FALSE(join_only.ok());
+  EXPECT_NE(join_only.error().find("membership is off"), std::string::npos);
+  EXPECT_FALSE(
+      scenario_from_config(Config::parse("fault_plan = at=120 leave dp=0\n")).ok());
+}
+
 TEST(ScenarioFromConfig, RejectsUnknownKeys) {
   const auto result = scenario_from_config(Config::parse("dp_count = 3\n"));
   ASSERT_FALSE(result.ok());

@@ -1,6 +1,6 @@
 // chaos: seeded random fault-injection soak for the DI-GRUBER mesh.
 //
-//   chaos [--seeds N | --seed K] [--quick] [--verbose]
+//   chaos [--seeds N | --seed K] [--quick] [--verbose] [--churn]
 //
 // Each seed deterministically generates a random fault schedule (crashes,
 // partitions, link degradations) via FaultPlan::random, runs a small
@@ -14,6 +14,16 @@
 //        + residue, and residue == 0 after the drain),
 //   I3  no site's free-CPU accounting goes negative (USLA allocation
 //       bookkeeping never over-commits).
+//
+// `--churn` turns on dynamic membership and adds runtime join/leave events
+// to the random schedules, plus two membership invariants:
+//
+//   I4  every decision point that stays crashed for at least the
+//       detection budget (two suspicion intervals) is declared dead by
+//       every surviving initial peer within that budget,
+//   I5  a joiner that never completed its snapshot bootstrap answered
+//       zero queries (no partial-state decision point serves) — this
+//       covers schedules that crash or partition the seed mid-transfer.
 //
 // Exit status 0 iff every seed passes; failing seeds are printed so a
 // failure reproduces with `chaos --seed K`.
@@ -38,14 +48,21 @@ struct SeedReport {
   std::uint64_t queries = 0;
   std::uint64_t shed = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t deaths = 0;
   std::vector<std::string> violations;
 };
 
-SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose) {
+SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn) {
   sim::RandomFaultOptions fault_options;
   fault_options.n_dps = 3;
   fault_options.horizon = quick ? sim::Duration::minutes(6) : sim::Duration::minutes(15);
   fault_options.episodes = quick ? 3 : 5;
+  if (churn) {
+    fault_options.allow_joins = true;
+    fault_options.allow_leaves = true;
+    fault_options.episodes += 2;  // keep crash/partition pressure alongside churn
+  }
   const sim::FaultPlan plan = sim::FaultPlan::random(seed, fault_options);
 
   experiments::ScenarioConfig config;
@@ -63,6 +80,17 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose) {
   // A tight queue keeps the shedding machinery exercised even at this
   // small scale.
   config.profile.queue_limit = 64;
+  if (churn) {
+    config.membership = true;
+    // Tighten the detector so dead verdicts land inside the random crash
+    // windows (5%-25% of the horizon): 15 s heartbeats, dead after 30 s of
+    // silence, detection budget = 2 suspicion intervals = 45 s.
+    config.exchange_interval = sim::Duration::seconds(15);
+    config.membership_options.suspect_after = 1.5;
+    config.membership_options.dead_after = 2.0;
+    config.membership_options.join_snapshot_timeout = sim::Duration::seconds(5);
+    config.membership_options.join_retry_backoff = sim::Duration::seconds(5);
+  }
 
   if (verbose) {
     std::cout << "seed " << seed << " plan:\n"
@@ -120,6 +148,81 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose) {
     violate(os.str());
   }
 
+  if (churn) {
+    report.joins = plan.join_count();
+    report.deaths = result.membership.deaths_declared;
+
+    // Reconstruct each initial DP's downtime from the plan: crash->restart
+    // spans plus permanent leaves (a left DP stays silent to the horizon).
+    struct DownSpan {
+      double start, end;
+      bool crash;
+    };
+    const double horizon_s = fault_options.horizon.to_seconds();
+    std::vector<std::vector<DownSpan>> down(fault_options.n_dps);
+    for (const auto& e : plan.events()) {
+      if (e.dp >= fault_options.n_dps) continue;
+      if (e.kind == sim::FaultKind::kDpCrash) {
+        down[e.dp].push_back({e.at.to_seconds(), horizon_s, true});
+      } else if (e.kind == sim::FaultKind::kDpRestart) {
+        if (!down[e.dp].empty()) down[e.dp].back().end = e.at.to_seconds();
+      } else if (e.kind == sim::FaultKind::kDpLeave) {
+        down[e.dp].push_back({e.at.to_seconds(), horizon_s, false});
+      }
+    }
+    auto down_in = [&](std::size_t p, double lo, double hi) {
+      for (const DownSpan& s : down[p]) {
+        if (s.start < hi && lo < s.end) return true;
+      }
+      return false;
+    };
+
+    // I4: every crash that outlasts the detection budget is declared dead
+    // by every initial peer that was itself up (and hearing heartbeats)
+    // through the whole detection window. The observer's verdict for the
+    // crashed point at the deadline must be kDead — partition-induced
+    // earlier verdicts count too, since nothing can refute them while the
+    // target is actually down.
+    const double interval_s = config.exchange_interval.to_seconds();
+    const double budget_s =
+        2.0 * config.membership_options.suspect_after * interval_s;
+    for (std::size_t d = 0; d < down.size(); ++d) {
+      for (const DownSpan& span : down[d]) {
+        if (!span.crash) continue;
+        if (span.end - span.start < budget_s + 1.0) continue;  // too brief
+        const double deadline = span.start + budget_s + 1e-6;
+        for (std::size_t p = 0; p < std::size_t(fault_options.n_dps); ++p) {
+          if (p == d) continue;
+          if (down_in(p, span.start - interval_s, deadline)) continue;
+          bool dead_at_deadline = false;
+          for (const auto& tr : result.dps[p].membership_transitions) {
+            if (tr.peer != DpId(d) || tr.at.to_seconds() > deadline) continue;
+            dead_at_deadline = tr.to == ::digruber::digruber::MemberState::kDead;
+          }
+          if (!dead_at_deadline) {
+            std::ostringstream os;
+            os << "I4 dp" << p << " did not declare dp" << d
+               << " dead within " << budget_s << "s of the crash at "
+               << span.start << "s";
+            violate(os.str());
+          }
+        }
+      }
+    }
+
+    // I5: a joiner that never reached serving answered zero queries.
+    for (std::size_t d = std::size_t(fault_options.n_dps); d < result.dps.size();
+         ++d) {
+      const experiments::DpStats& dp = result.dps[d];
+      if (dp.serving_since_s < 0.0 && dp.queries > 0) {
+        std::ostringstream os;
+        os << "I5 joiner dp" << d << " answered " << dp.queries
+           << " queries without completing its bootstrap";
+        violate(os.str());
+      }
+    }
+  }
+
   return report;
 }
 
@@ -131,6 +234,7 @@ int main(int argc, char** argv) {
   std::uint64_t single_seed = 0;
   bool quick = false;
   bool verbose = false;
+  bool churn = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -150,9 +254,11 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--churn") {
+      churn = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--seeds N | --seed K] [--quick] [--verbose]\n";
+                << " [--seeds N | --seed K] [--quick] [--verbose] [--churn]\n";
       return 0;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
@@ -167,14 +273,24 @@ int main(int argc, char** argv) {
     for (std::uint64_t s = 1; s <= n_seeds; ++s) seeds.push_back(s);
   }
 
-  Table table({"seed", "faults", "queries", "shed", "restarts", "verdict"});
+  Table table(churn ? std::vector<std::string>{"seed", "faults", "queries", "shed",
+                                               "restarts", "joins", "deaths",
+                                               "verdict"}
+                    : std::vector<std::string>{"seed", "faults", "queries", "shed",
+                                               "restarts", "verdict"});
   std::vector<std::uint64_t> failing;
   for (const std::uint64_t seed : seeds) {
-    const SeedReport report = run_seed(seed, quick, verbose);
-    table.add_row({std::to_string(report.seed), std::to_string(report.faults),
-                   std::to_string(report.queries), std::to_string(report.shed),
-                   std::to_string(report.restarts),
-                   report.pass ? "PASS" : "FAIL"});
+    const SeedReport report = run_seed(seed, quick, verbose, churn);
+    std::vector<std::string> row{
+        std::to_string(report.seed), std::to_string(report.faults),
+        std::to_string(report.queries), std::to_string(report.shed),
+        std::to_string(report.restarts)};
+    if (churn) {
+      row.push_back(std::to_string(report.joins));
+      row.push_back(std::to_string(report.deaths));
+    }
+    row.push_back(report.pass ? "PASS" : "FAIL");
+    table.add_row(row);
     if (!report.pass) {
       failing.push_back(report.seed);
       for (const std::string& v : report.violations) {
@@ -192,6 +308,6 @@ int main(int argc, char** argv) {
   std::cout << "chaos: " << failing.size() << " failing seed(s):";
   for (const std::uint64_t s : failing) std::cout << " " << s;
   std::cout << "\nreproduce with: " << argv[0] << " --seed <K> --verbose"
-            << (quick ? " --quick" : "") << "\n";
+            << (quick ? " --quick" : "") << (churn ? " --churn" : "") << "\n";
   return 1;
 }

@@ -131,8 +131,18 @@ int main(int argc, char** argv) {
             << r.jobs_completed << " jobs completed, "
             << Table::num(r.grid_cpu_seconds / 3600.0, 1) << " cpu-hours\n";
   if (r.final_dps != cfg.n_dps) {
-    std::cout << "dynamic provisioning grew the deployment to " << r.final_dps
-              << " decision points\n";
+    std::cout << (r.membership.joins_completed > 0
+                      ? "membership joins grew the deployment to "
+                      : "dynamic provisioning grew the deployment to ")
+              << r.final_dps << " decision points\n";
+  }
+  if (cfg.membership) {
+    std::cout << "membership: " << r.membership.deaths_declared
+              << " death(s) declared, " << r.membership.joins_completed << "/"
+              << r.membership.joins_started << " join(s) completed, "
+              << r.membership.leaves_observed << " leave notice(s), "
+              << r.membership.client_dps_quarantined
+              << " client quarantine(s)\n";
   }
 
   if (!query_trace_path.empty()) {
