@@ -31,6 +31,7 @@ DiGruberClient::DiGruberClient(sim::Simulation& sim, net::Transport& transport,
   assert(!dps_.empty());
   assert(!all_sites_.empty());
   install_wire_categorizer();
+  if (options_.frame_checksums) rpc_.set_frame_checksums(true);
   dp_score_.assign(dps_.size(), 0.0);
   retry_tokens_ = options_.retry_budget_capacity;
 }
@@ -204,6 +205,20 @@ void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
                                          trace::SpanContext qctx) {
   if (reply.has_membership) apply_membership(reply.membership);
   apply_load_hints(reply.dp_loads);
+  if (reply.has_degraded && reply.degraded.level >= 1) {
+    // Level-1 degraded reply: the answer is usable (capacity already
+    // discounted server-side) but the point's view is stale — nudge p2c
+    // toward fresher peers for the next queries.
+    ++degraded_hints_seen_;
+    if (options_.overload_aware) {
+      for (std::size_t i = 0; i < dps_.size(); ++i) {
+        if (dps_[i] == dp) {
+          dp_score_[i] += double(reply.degraded.level);
+          break;
+        }
+      }
+    }
+  }
   const std::optional<SiteId> site = selector_->select(reply.candidates, job);
   if (!site) {
     finish_with_fallback(std::move(job), std::move(done), t0, true, qctx);
@@ -407,7 +422,23 @@ void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
         if (overloaded) {
           ++overload_nacks_;
           on_dp_success(std::size_t(idx));
-          if (nack_reason == net::kNackDraining && options_.membership_aware) {
+          if (nack_reason == net::kNackDegraded) {
+            // Degraded is a routing hint, not a death verdict: the point
+            // is alive but partitioned from a quorum of its peers, and it
+            // recovers the moment the partition heals. Penalize its score
+            // so p2c steers elsewhere meanwhile, but NEVER quarantine —
+            // quarantine is reserved for membership-declared dead/left
+            // points, and a quarantined entry would stay unroutable until
+            // a membership epoch bump that a mere heal does not produce.
+            ++degraded_redirects_;
+            dp_score_[std::size_t(idx)] += retry_after.to_seconds() + 1.0;
+            if (auto* t = trace::current()) {
+              t->instant(trace::Category::kClient, id_.value(),
+                         "query.degraded_redirect", qctx,
+                         std::int64_t(attempt_n), std::int64_t(dp.value()));
+            }
+          } else if (nack_reason == net::kNackDraining &&
+                     options_.membership_aware) {
             ++drain_redirects_;
             quarantine(std::size_t(idx));
           } else {

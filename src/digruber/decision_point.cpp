@@ -39,6 +39,10 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
       server_(sim, transport, options_.profile),
       peer_client_(sim, transport) {
   install_wire_categorizer();
+  if (options_.frame_checksums) {
+    server_.set_frame_checksums(true);
+    peer_client_.set_frame_checksums(true);
+  }
   server_.register_method(kGetSiteLoads,
                           [this](std::span<const std::uint8_t> body, NodeId from) {
                             return handle_get_site_loads(body, from);
@@ -62,6 +66,16 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
         return handle_catch_up(body, from);
       },
       net::Priority::kControl);
+  if (options_.partition.enabled) {
+    // Delta anti-entropy is control-plane traffic like catch-up: a healing
+    // mesh must reconcile even while the query backlog is deep.
+    server_.register_method(
+        kDeltaPull,
+        [this](std::span<const std::uint8_t> body, NodeId from) {
+          return handle_delta_pull(body, from);
+        },
+        net::Priority::kControl);
+  }
 
   if (options_.membership.enabled) {
     membership_ = std::make_unique<MembershipTable>(
@@ -78,12 +92,15 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
           return handle_leave(body, from);
         },
         net::Priority::kControl);
-    // Door policy while joining or draining: refuse query-class work with
-    // a typed NACK before it consumes a container slot; control frames
-    // (exchange, catch-up, join, leave) always flow.
+  }
+  if (options_.membership.enabled || options_.partition.enabled) {
+    // Door policy: refuse query-class work with a typed NACK before it
+    // consumes a container slot; control frames (exchange, catch-up, join,
+    // leave, delta pull) always flow. Two refusal causes share the gate:
+    // joining/draining (kNackDraining) and degraded-mode admission while a
+    // quorum of peers is stale (kNackDegraded).
     server_.set_refusal_gate(
         [this](std::uint16_t method, net::wire::OverloadNack& nack) {
-          if (serving_) return false;
           switch (method) {
             case kGetSiteLoads:
             case kReportSelection:
@@ -92,10 +109,25 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
             default:
               return false;
           }
-          nack.reason = net::kNackDraining;
-          nack.retry_after_us =
-              joining_ ? options_.membership.join_retry_backoff.us() : 0;
-          return true;
+          if (!serving_) {
+            nack.reason = net::kNackDraining;
+            nack.retry_after_us =
+                joining_ ? options_.membership.join_retry_backoff.us() : 0;
+            return true;
+          }
+          // Degraded level 2 (quorum lost): refuse *placement* work so the
+          // split cannot widen — but let kReportSelection through. The
+          // client already committed that dispatch; refusing the report
+          // would lose the record and worsen the accounting gap the
+          // refusal exists to contain.
+          if (options_.partition.enabled && method != kReportSelection &&
+              degraded_hint(sim_.now()).level >= 2) {
+            ++degraded_refusals_;
+            nack.reason = net::kNackDegraded;
+            nack.retry_after_us = options_.exchange_interval.us() / 2;
+            return true;
+          }
+          return false;
         });
   }
 
@@ -343,6 +375,8 @@ void DecisionPoint::crash() {
   applied_.clear();
   last_peer_round_.clear();
   peer_hints_.clear();
+  peer_last_heard_.clear();
+  last_delta_pull_.clear();
   engine_.view().clear();
   if (auto* t = trace::current()) {
     t->instant(trace::Category::kDp, id_.value(), "dp.crash", {},
@@ -456,6 +490,187 @@ net::Served DecisionPoint::handle_catch_up(std::span<const std::uint8_t> body,
   return served;
 }
 
+gruber::ViewDigest DecisionPoint::settled_digest(sim::Time now) const {
+  const sim::Duration slack = options_.partition.digest_slack;
+  return engine_.view().digest(now - (options_.exchange_interval + slack),
+                               now + slack);
+}
+
+void DecisionPoint::maybe_delta_pull(const ExchangeMessage& message) {
+  // Evaluate the *sender's* window, not a fresh local one: both sides must
+  // summarize the same (as_of, horizon] slice for equality to mean
+  // agreement.
+  const gruber::ViewDigest local =
+      engine_.view().digest(message.digest.as_of, message.digest.horizon);
+  if (local == message.digest) return;
+  ++digest_mismatches_;
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "dp.digest_mismatch",
+               t->ambient(), std::int64_t(message.from.value()),
+               std::int64_t(message.exchange_round));
+  }
+  // The digest trailer forces the load trailer, so the sender's server
+  // address is always on the frame; a malformed one just skips the pull
+  // (the next round re-detects the divergence).
+  if (!message.has_load || message.load.node == 0) return;
+  // Throttle per peer: the mismatch repeats every exchange round until the
+  // views converge, and one in-flight pull is enough to get there.
+  const auto [it, first_pull] =
+      last_delta_pull_.try_emplace(message.from, sim_.now());
+  if (!first_pull) {
+    if (sim_.now() - it->second < options_.partition.delta_pull_min_gap) return;
+    it->second = sim_.now();
+  }
+  std::vector<VoId> vos = gruber::diverged_vos(local, message.digest);
+  const bool want_bases = local.base_hash != message.digest.base_hash;
+  if (vos.empty() && !want_bases) return;  // epoch-only skew: nothing to pull
+  run_delta_pull(NodeId(message.load.node), message.from,
+                 message.exchange_round, std::move(vos), want_bases);
+}
+
+void DecisionPoint::run_delta_pull(NodeId peer_node, DpId peer,
+                                   std::uint64_t round, std::vector<VoId> vos,
+                                   bool want_bases) {
+  ++delta_pulls_sent_;
+  DeltaPullRequest request;
+  request.from = id_;
+  request.digest_round = round;
+  request.vos = std::move(vos);
+  request.want_bases = want_bases;
+  trace::SpanContext dctx;
+  if (auto* t = trace::current()) {
+    dctx = t->begin(trace::Category::kDp, id_.value(), "dp.delta_pull", {},
+                    std::int64_t(peer.value()),
+                    std::int64_t(request.vos.size()));
+  }
+  trace::ContextGuard dguard(dctx);
+  peer_client_.call<DeltaPullRequest, DeltaPullReply>(
+      peer_node, kDeltaPull, request, options_.partition.delta_pull_timeout,
+      [this, incarnation = incarnation_, dctx](Result<DeltaPullReply> result) {
+        // A crash while the pull was in flight invalidates it.
+        if (!running_ || incarnation_ != incarnation) return;
+        if (!result.ok()) return;
+        trace::ContextGuard guard(dctx);
+        const DeltaPullReply& reply = result.value();
+        const sim::Time now = sim_.now();
+        std::int64_t applied = 0;
+        for (const grid::SiteSnapshot& base : reply.bases) {
+          engine_.view().apply_snapshot(base);  // as_of guard drops stale ones
+        }
+        for (const gruber::DispatchRecord& record : reply.records) {
+          // An already-expired record must not resurrect: the merge would
+          // re-admit it for one prune cycle and skew the digest.
+          if (record.when + record.est_runtime <= now) continue;
+          // Register in the flooding dedup set *before* merging, so a
+          // full kCatchUp racing this pull (a round gap and a digest
+          // mismatch often fire together) cannot re-apply the record.
+          applied_[record.origin].insert(record.seq);
+          const auto merged = engine_.view().merge_record(record, now);
+          if (merged.conflict) ++delta_conflicts_;
+          if (merged.double_commit) ++double_commits_;
+          if (merged.applied) {
+            ++delta_records_applied_;
+            ++applied;
+            // Not re-buffered into fresh_: the peer holds these, and other
+            // peers detect their own divergence from its digest.
+          } else if (!merged.conflict) {
+            ++records_duplicate_;
+          }
+        }
+        // The reply carried the peer's settled digest at serve time:
+        // matching it over the same window means this single pull fully
+        // reconciled the pair.
+        if (engine_.view().digest(reply.digest.as_of, reply.digest.horizon) ==
+            reply.digest) {
+          ++delta_converged_;
+        }
+        if (auto* t = trace::current()) {
+          t->end(trace::Category::kDp, id_.value(), "dp.delta_pull", dctx,
+                 applied, std::int64_t(result.value().records.size()));
+        }
+      });
+}
+
+net::Served DecisionPoint::handle_delta_pull(std::span<const std::uint8_t> body,
+                                             NodeId /*from*/) {
+  DeltaPullRequest request;
+  if (!net::wire::decode(body, request)) return {};
+  ++delta_pulls_served_;
+
+  DeltaPullReply reply;
+  reply.from = id_;
+  reply.records = engine_.view().records_for_vos(request.vos, sim_.now());
+  if (request.want_bases) reply.bases = engine_.view().base_snapshots();
+  reply.digest = settled_digest(sim_.now());
+
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "dp.delta_served",
+               t->ambient(), std::int64_t(request.from.value()),
+               std::int64_t(reply.records.size()));
+  }
+
+  net::Served served;
+  served.handler_cost =
+      sim::Duration::millis(0.2) * double(reply.records.size() + 1);
+  served.reply = net::wire::encode_buffer(reply);
+  return served;
+}
+
+DegradedHint DecisionPoint::degraded_hint(sim::Time now) const {
+  DegradedHint hint;
+  if (!options_.partition.enabled) return hint;
+  const sim::Duration threshold = options_.partition.staleness_threshold;
+  std::size_t stale = 0;
+  std::size_t known = 0;
+  std::int64_t worst = 0;
+  if (membership_) {
+    // The failure detector is the staleness oracle: suspect/dead verdicts
+    // mark a peer stale immediately, the last-heard clock catches peers
+    // the detector has not yet judged. Left members departed on purpose —
+    // their absence carries no information this point is missing.
+    for (const MemberInfo& info : membership_->members()) {
+      if (info.dp == id_ || info.state == MemberState::kLeft) continue;
+      ++known;
+      bool is_stale = info.state != MemberState::kAlive;
+      const auto it = peer_last_heard_.find(info.dp);
+      if (it != peer_last_heard_.end() && now - it->second > threshold) {
+        is_stale = true;
+      }
+      if (is_stale) {
+        ++stale;
+        const std::int64_t age = it != peer_last_heard_.end()
+                                     ? (now - it->second).us()
+                                     : threshold.us();
+        worst = std::max(worst, age);
+      }
+    }
+  } else {
+    // Static mesh: every configured neighbor is expected to keep
+    // exchanging. Neighbors never heard from count as stale only once the
+    // staleness clock could have expired at all (grace for startup).
+    known = neighbors_.size();
+    for (const auto& [dp, heard] : peer_last_heard_) {
+      const sim::Duration age = now - heard;
+      if (age > threshold) {
+        ++stale;
+        worst = std::max(worst, age.us());
+      }
+    }
+    if (now - sim::Time::zero() > threshold &&
+        known > peer_last_heard_.size()) {
+      stale += known - peer_last_heard_.size();
+      worst = std::max(worst, (now - sim::Time::zero()).us());
+    }
+  }
+  hint.stale_peers = std::uint32_t(stale);
+  hint.stale_sites =
+      std::uint32_t(engine_.view().stale_site_count(now, threshold));
+  hint.staleness_us = worst;
+  if (known == 0 || (stale == 0 && hint.stale_sites == 0)) return hint;
+  hint.level = (stale * 2 > known) ? 2 : 1;
+  return hint;
+}
+
 void DecisionPoint::bootstrap(const std::vector<grid::SiteSnapshot>& snapshots) {
   engine_.view().bootstrap(snapshots);
 }
@@ -480,12 +695,28 @@ net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> b
   GetSiteLoadsReply reply;
   reply.candidates = engine_.candidates(probe, sim_.now());
   reply.as_of = sim_.now();
+  // Staleness-guarded admission, level 1: some peers (or site state) are
+  // stale, so part of the believed-free capacity may already be committed
+  // on the far side of a split. Discount the usable estimate — clients
+  // place conservatively — but keep raw_free as the undiscounted belief
+  // for scheduling-accuracy audits. (Level 2 never reaches this handler:
+  // the refusal gate NACKs the query as degraded first.)
+  const DegradedHint degraded =
+      options_.partition.enabled ? degraded_hint(sim_.now()) : DegradedHint{};
+  if (degraded.level >= 1 && options_.partition.stale_discount > 0.0) {
+    const double keep = 1.0 - options_.partition.stale_discount;
+    for (gruber::SiteLoad& load : reply.candidates) {
+      load.free_estimate = std::int32_t(double(load.free_estimate) * keep);
+    }
+  }
   // Membership piggyback: the client told us its epoch; attach the view
   // only when it is stale. Trailing fields stack positionally, so the
-  // membership trailer forces the dp_loads one (at least the self hint).
+  // membership trailer forces the dp_loads one (at least the self hint),
+  // and the partition-tolerance digest trailer forces both.
   const bool attach_membership = membership_ && request.has_epoch &&
                                  request.membership_epoch < membership_->epoch();
-  if (options_.advertise_load || attach_membership) {
+  const bool attach_digest = options_.partition.enabled;
+  if (options_.advertise_load || attach_membership || attach_digest) {
     // Own hint plus whatever peers piggybacked on recent exchanges, in
     // node order so the reply bytes are deterministic across runs.
     reply.dp_loads.push_back(self_hint());
@@ -493,9 +724,20 @@ net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> b
     std::sort(reply.dp_loads.begin(), reply.dp_loads.end(),
               [](const DpLoadHint& a, const DpLoadHint& b) { return a.node < b.node; });
   }
-  if (attach_membership) {
+  if (attach_membership || attach_digest) {
     reply.has_membership = true;
-    reply.membership = membership_->update();
+    // Without a membership table the slot is an empty update — a no-op on
+    // the receiver, emitted only to keep the trailer positions aligned.
+    if (membership_) reply.membership = membership_->update();
+  }
+  if (attach_digest) {
+    reply.has_digest = true;
+    reply.digest = settled_digest(sim_.now());
+    if (degraded.level >= 1) {
+      reply.has_degraded = true;
+      reply.degraded = degraded;
+      ++degraded_replies_;
+    }
   }
 
   // Ambient here is the rpc.serve span, so the instant lands inside the
@@ -586,6 +828,16 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
   }
   if (message.has_load) peer_hints_[message.load.node] = message.load;
 
+  if (options_.partition.enabled) {
+    // The frame doubles as the staleness heartbeat for degraded-mode
+    // admission, and its piggybacked digest — compared only *after* the
+    // frame's own records were applied above — is the split-brain
+    // detector: any divergence the frame itself did not repair triggers a
+    // targeted delta pull.
+    peer_last_heard_[message.from] = sim_.now();
+    if (message.has_digest) maybe_delta_pull(message);
+  }
+
   if (membership_ && message.has_membership) {
     // The frame itself is the heartbeat: refresh the sender's last-heard
     // time (refuting any suspicion) using the incarnation it claims for
@@ -647,13 +899,23 @@ void DecisionPoint::run_exchange(bool final_flush) {
   message.exchange_round = ++exchange_round_;
   message.dispatches = std::move(fresh_);
   fresh_.clear();
-  if (options_.advertise_load || membership_) {
+  if (options_.advertise_load || membership_ || options_.partition.enabled) {
     message.has_load = true;
     message.load = self_hint();
   }
   if (membership_) {
     message.has_membership = true;
     message.membership = membership_->update();
+  }
+  if (options_.partition.enabled) {
+    // Trailing fields stack positionally: the digest is the third trailer,
+    // so the membership slot must be emitted even without a membership
+    // table (an empty update is a no-op on the receiver). The load hint
+    // (forced above) carries this point's server address — the target a
+    // diverged peer pulls from.
+    message.has_membership = true;
+    message.has_digest = true;
+    message.digest = settled_digest(sim_.now());
   }
   trace::SpanContext xctx;
   if (auto* t = trace::current()) {

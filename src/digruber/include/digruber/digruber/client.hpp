@@ -60,6 +60,10 @@ struct ClientOptions {
   ///    not per-call timeouts, decides when a point is gone),
   ///  - treats a typed draining NACK as a redirect, not a failure.
   bool membership_aware = false;
+
+  /// Emit CRC-32C frame-checksum trailers (v3 frames) on every request
+  /// this client sends. Off by default: legacy bytes.
+  bool frame_checksums = false;
 };
 
 struct QueryOutcome {
@@ -102,6 +106,9 @@ class DiGruberClient {
   void schedule(grid::Job job, Done done);
 
   [[nodiscard]] ClientId id() const { return id_; }
+  /// This client's own transport address (needed when a partition plan
+  /// splits the client fleet across islands).
+  [[nodiscard]] NodeId node() const { return rpc_.node(); }
   [[nodiscard]] NodeId decision_point() const { return dps_.front(); }
   [[nodiscard]] const std::vector<NodeId>& decision_points() const { return dps_; }
   [[nodiscard]] std::uint64_t queries() const { return queries_; }
@@ -142,6 +149,16 @@ class DiGruberClient {
   [[nodiscard]] std::uint64_t dps_quarantined() const { return dps_quarantined_; }
   /// Attempts answered with a typed draining NACK and redirected.
   [[nodiscard]] std::uint64_t drain_redirects() const { return drain_redirects_; }
+  /// Attempts answered with a typed degraded NACK (partition tolerance)
+  /// and rerouted. Unlike dead/left points, a degraded point is alive and
+  /// is NEVER quarantined — it recovers as soon as its partition heals.
+  [[nodiscard]] std::uint64_t degraded_redirects() const {
+    return degraded_redirects_;
+  }
+  /// Replies that carried a degraded-mode hint (level >= 1).
+  [[nodiscard]] std::uint64_t degraded_hints_seen() const {
+    return degraded_hints_seen_;
+  }
   [[nodiscard]] bool is_quarantined(std::size_t idx) const {
     return idx < health_.size() && health_[idx].quarantined;
   }
@@ -222,6 +239,8 @@ class DiGruberClient {
   std::uint64_t dps_added_ = 0;
   std::uint64_t dps_quarantined_ = 0;
   std::uint64_t drain_redirects_ = 0;
+  std::uint64_t degraded_redirects_ = 0;
+  std::uint64_t degraded_hints_seen_ = 0;
 };
 
 }  // namespace digruber::digruber

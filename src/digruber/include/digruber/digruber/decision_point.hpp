@@ -30,6 +30,35 @@ enum class Dissemination : std::uint8_t {
   kNone,
 };
 
+/// Partition tolerance: split-brain detection via piggybacked state
+/// digests, targeted delta anti-entropy on divergence, and
+/// staleness-guarded admission. Off by default — no digest trailers are
+/// emitted, no delta pulls happen, admission is never degraded, and every
+/// message keeps its legacy byte layout.
+struct PartitionToleranceOptions {
+  bool enabled = false;
+  /// A peer not heard from for longer than this is *stale*: its dispatch
+  /// decisions may be missing from the local view. With membership on,
+  /// suspect/dead verdicts also mark a peer stale regardless of this
+  /// clock, so the failure detector drives admission directly.
+  sim::Duration staleness_threshold = sim::Duration::minutes(2);
+  /// Fraction of believed-free capacity discounted in query replies while
+  /// degraded (level 1): stale peers may have committed part of that
+  /// capacity on the other side of the split.
+  double stale_discount = 0.5;
+  /// Settled-window padding for digests (see gruber::ViewDigest): records
+  /// younger than one exchange interval plus this slack are too fresh to
+  /// compare (still propagating), and records expiring within this slack
+  /// of the sender's clock are excluded so in-flight expiry cannot fake a
+  /// divergence. Must exceed the worst one-way exchange delay.
+  sim::Duration digest_slack = sim::Duration::seconds(5);
+  /// Throttle: at most one delta pull per peer per this interval (a digest
+  /// mismatch repeats on every exchange round until the views converge).
+  sim::Duration delta_pull_min_gap = sim::Duration::seconds(30);
+  /// Deadline for each targeted delta anti-entropy pull.
+  sim::Duration delta_pull_timeout = sim::Duration::seconds(30);
+};
+
 struct DecisionPointOptions {
   net::ContainerProfile profile = net::ContainerProfile::gt3();
   sim::Duration exchange_interval = sim::Duration::minutes(3);
@@ -54,6 +83,13 @@ struct DecisionPointOptions {
   /// set is derived from the membership table, exchanges carry the
   /// gossiped view, and heartbeats piggyback on the exchange rounds.
   MembershipOptions membership{};
+  /// Partition tolerance (digest piggyback + delta anti-entropy +
+  /// staleness-guarded admission). Off by default: byte-identical wire.
+  PartitionToleranceOptions partition{};
+  /// Emit CRC-32C frame-checksum trailers (v3 frames) on every frame this
+  /// point sends. Verification of incoming v3 frames is always on; this
+  /// only controls emission, so the default stays byte-identical.
+  bool frame_checksums = false;
 };
 
 /// A DI-GRUBER decision point: a GRUBER engine exposed as a Web service
@@ -152,6 +188,30 @@ class DecisionPoint {
   /// Catch-up requests this point answered for restarted neighbors.
   [[nodiscard]] std::uint64_t catchups_served() const { return catchups_served_; }
 
+  /// --- Partition tolerance (all zero unless options.partition.enabled) ---
+
+  /// Exchange rounds whose piggybacked digest disagreed with the local view.
+  [[nodiscard]] std::uint64_t digest_mismatches() const { return digest_mismatches_; }
+  /// Targeted delta anti-entropy pulls issued / answered.
+  [[nodiscard]] std::uint64_t delta_pulls_sent() const { return delta_pulls_sent_; }
+  [[nodiscard]] std::uint64_t delta_pulls_served() const { return delta_pulls_served_; }
+  /// Records learned through delta pulls (vs full kCatchUp snapshots).
+  [[nodiscard]] std::uint64_t delta_records_applied() const {
+    return delta_records_applied_;
+  }
+  /// (origin, seq) twins that disagreed on content and had to be resolved.
+  [[nodiscard]] std::uint64_t delta_conflicts() const { return delta_conflicts_; }
+  /// Same logical work admitted by two origins across a split.
+  [[nodiscard]] std::uint64_t double_commits() const { return double_commits_; }
+  /// Delta pulls after which the local digest matched the peer's.
+  [[nodiscard]] std::uint64_t delta_converged() const { return delta_converged_; }
+  /// Queries refused with kNackDegraded (quorum of peers stale).
+  [[nodiscard]] std::uint64_t degraded_refusals() const { return degraded_refusals_; }
+  /// Replies that carried a degraded-mode hint (level >= 1).
+  [[nodiscard]] std::uint64_t degraded_replies() const { return degraded_replies_; }
+  /// Current degraded assessment (level 0 when healthy or PT disabled).
+  [[nodiscard]] DegradedHint degraded_hint(sim::Time now) const;
+
   /// Response-time samples the detector monitors (exposed for GRUB-SIM).
   [[nodiscard]] const StreamingStats& response_stats() const {
     return server_.container().sojourn_stats();
@@ -166,6 +226,18 @@ class DecisionPoint {
   net::Served handle_catch_up(std::span<const std::uint8_t> body, NodeId from);
   net::Served handle_join_snapshot(std::span<const std::uint8_t> body, NodeId from);
   net::Served handle_leave(std::span<const std::uint8_t> body, NodeId from);
+  net::Served handle_delta_pull(std::span<const std::uint8_t> body, NodeId from);
+  /// Digest-mismatch check on a received exchange (after its records were
+  /// applied); issues a throttled delta pull when the views diverge.
+  /// This point's digest over the settled window ending one exchange
+  /// interval (plus slack) before `now` — the window every healthy peer
+  /// has fully absorbed, so any mismatch is real divergence.
+  [[nodiscard]] gruber::ViewDigest settled_digest(sim::Time now) const;
+  void maybe_delta_pull(const ExchangeMessage& message);
+  /// Pull the diverged VO ranges (and base state when `want_bases`) from a
+  /// peer and merge the reply deterministically.
+  void run_delta_pull(NodeId peer_node, DpId peer, std::uint64_t round,
+                      std::vector<VoId> vos, bool want_bases);
   /// Snapshot of this point's container load for piggybacking.
   [[nodiscard]] DpLoadHint self_hint() const;
   void run_exchange(bool final_flush = false);
@@ -231,6 +303,21 @@ class DecisionPoint {
   std::uint64_t resync_applied_ = 0;
   std::uint64_t catchups_served_ = 0;
   std::uint64_t gap_resyncs_ = 0;
+
+  /// Partition-tolerance state (only touched when options.partition.enabled):
+  /// per-peer last-heard times — the staleness clock behind degraded-mode
+  /// admission — and per-peer delta-pull throttle stamps. Volatile.
+  std::unordered_map<DpId, sim::Time> peer_last_heard_;
+  std::unordered_map<DpId, sim::Time> last_delta_pull_;
+  std::uint64_t digest_mismatches_ = 0;
+  std::uint64_t delta_pulls_sent_ = 0;
+  std::uint64_t delta_pulls_served_ = 0;
+  std::uint64_t delta_records_applied_ = 0;
+  std::uint64_t delta_conflicts_ = 0;
+  std::uint64_t double_commits_ = 0;
+  std::uint64_t delta_converged_ = 0;
+  std::uint64_t degraded_refusals_ = 0;
+  std::uint64_t degraded_replies_ = 0;
 
   /// Saturation detector state: last emitted signal and the completed
   /// count / sojourn sum at the previous check (for windowed averages).

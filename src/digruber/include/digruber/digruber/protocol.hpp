@@ -34,6 +34,10 @@ enum Method : std::uint16_t {
   /// Departing decision point -> peers: graceful leave announcement
   /// (one-way), so the mesh drops it without waiting for suspicion.
   kLeave = 8,
+  /// Decision point -> decision point: targeted delta anti-entropy. After
+  /// a digest mismatch, pull only the diverged VO ranges (and base state
+  /// if its hash differed) instead of a full kCatchUp snapshot.
+  kDeltaPull = 9,
 };
 
 /// Traffic class of each protocol method, for the wire layer's per-category
@@ -51,6 +55,7 @@ constexpr net::wire::MsgCategory method_category(std::uint16_t method) {
     case kCatchUp:
     case kJoinSnapshot:
     case kLeave:
+    case kDeltaPull:
       return net::wire::MsgCategory::kControl;
     default:
       return net::wire::MsgCategory::kOther;
@@ -106,6 +111,24 @@ struct DpLoadHint {
   }
 };
 
+/// Typed degraded-mode hint (partition tolerance): the serving DP's own
+/// assessment of how stale its view is. `level` 1 = some site state is
+/// stale and believed-free capacity is being discounted; 2 = quorum lost
+/// (a majority of peers unreachable past the staleness threshold) and the
+/// DP is refusing query admission with kNackDegraded. Clients use the hint
+/// to reroute without treating the DP as dead.
+struct DegradedHint {
+  std::uint8_t level = 0;
+  std::uint32_t stale_sites = 0;
+  std::uint32_t stale_peers = 0;
+  std::int64_t staleness_us = 0;  // worst observed view staleness
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & level & stale_sites & stale_peers & staleness_us;
+  }
+};
+
 struct GetSiteLoadsReply {
   std::vector<gruber::SiteLoad> candidates;
   sim::Time as_of;
@@ -119,6 +142,16 @@ struct GetSiteLoadsReply {
   /// include at least their own hint).
   bool has_membership = false;
   MembershipUpdate membership;
+  /// Third optional trailing field (partition tolerance): the DP's state
+  /// digest, so any observer can detect divergence between decision
+  /// points from query traffic alone. Attaching it forces the two earlier
+  /// trailers (an empty MembershipUpdate is a harmless no-op on apply).
+  bool has_digest = false;
+  gruber::ViewDigest digest;
+  /// Fourth optional trailing field (partition tolerance): degraded-mode
+  /// admission hint. Same stacking rule: attaching it forces the digest.
+  bool has_degraded = false;
+  DegradedHint degraded;
 
   template <class Archive>
   void serialize(Archive& ar) {
@@ -126,11 +159,21 @@ struct GetSiteLoadsReply {
     if constexpr (Archive::kIsWriter) {
       if (!dp_loads.empty()) ar & dp_loads;
       if (has_membership) ar & membership;
+      if (has_digest) ar & digest;
+      if (has_degraded) ar & degraded;
     } else {
       if (ar.remaining() > 0) ar & dp_loads;
       if (ar.remaining() > 0) {
         ar & membership;
         has_membership = true;
+      }
+      if (ar.remaining() > 0) {
+        ar & digest;
+        has_digest = true;
+      }
+      if (ar.remaining() > 0) {
+        ar & degraded;
+        has_degraded = true;
       }
     }
   }
@@ -177,6 +220,13 @@ struct ExchangeMessage {
   /// always advertise their own hint).
   bool has_membership = false;
   MembershipUpdate membership;
+  /// Third optional trailing field (partition tolerance): the sender's
+  /// per-VO state digest, piggybacked so peers detect divergence on the
+  /// first frame that crosses a healed partition. Positional stacking
+  /// rule again: attaching the digest forces `load` and `membership`
+  /// (empty ones are harmless no-ops on the receiver).
+  bool has_digest = false;
+  gruber::ViewDigest digest;
 
   template <class Archive>
   void serialize(Archive& ar) {
@@ -184,6 +234,7 @@ struct ExchangeMessage {
     if constexpr (Archive::kIsWriter) {
       if (has_load) ar & load;
       if (has_membership) ar & membership;
+      if (has_digest) ar & digest;
     } else {
       if (ar.remaining() > 0) {
         ar & load;
@@ -192,6 +243,10 @@ struct ExchangeMessage {
       if (ar.remaining() > 0) {
         ar & membership;
         has_membership = true;
+      }
+      if (ar.remaining() > 0) {
+        ar & digest;
+        has_digest = true;
       }
     }
   }
@@ -284,6 +339,39 @@ struct LeaveAnnouncement {
   template <class Archive>
   void serialize(Archive& ar) {
     ar & from & node & incarnation;
+  }
+};
+
+/// Digest-mismatch follow-up: pull exactly the diverged state. `vos` is
+/// the ascending list of VOs whose digests disagreed; `want_bases` is set
+/// when the base-state hash differed too. Contrast with kCatchUp, which
+/// transfers every active record regardless of what actually diverged.
+struct DeltaPullRequest {
+  DpId from;
+  /// Exchange round whose digest exposed the divergence (diagnostic).
+  std::uint64_t digest_round = 0;
+  std::vector<VoId> vos;
+  bool want_bases = false;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & from & digest_round & vos & want_bases;
+  }
+};
+
+struct DeltaPullReply {
+  DpId from;
+  /// Active records in the requested VOs only.
+  std::vector<gruber::DispatchRecord> records;
+  /// Base snapshots, present only when the request set `want_bases`.
+  std::vector<grid::SiteSnapshot> bases;
+  /// The replier's digest at serve time, letting the puller verify
+  /// convergence without waiting for the next exchange round.
+  gruber::ViewDigest digest;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & from & records & bases & digest;
   }
 };
 

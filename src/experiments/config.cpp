@@ -50,7 +50,9 @@ const std::set<std::string>& known_keys() {
       "attempt_timeout_s", "overload",
       "membership",    "suspect_after",
       "dead_after",    "join_timeout_s",
-      "join_backoff_s"};
+      "join_backoff_s", "partition_tolerance",
+      "staleness_s",   "stale_discount",
+      "delta_pull_gap_s", "checksums"};
   return keys;
 }
 
@@ -150,6 +152,20 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
     out.membership_options.join_retry_backoff = sim::Duration::seconds(
         config.get_double("join_backoff_s",
                           out.membership_options.join_retry_backoff.to_seconds()));
+
+    // Partition tolerance: staleness/throttle knobs are wall-clock
+    // seconds; checksums switch every endpoint to v3 (CRC-32C) frames.
+    out.partition_tolerance =
+        config.get_bool("partition_tolerance", out.partition_tolerance);
+    out.partition_options.staleness_threshold = sim::Duration::seconds(
+        config.get_double("staleness_s",
+                          out.partition_options.staleness_threshold.to_seconds()));
+    out.partition_options.stale_discount = config.get_double(
+        "stale_discount", out.partition_options.stale_discount);
+    out.partition_options.delta_pull_min_gap = sim::Duration::seconds(
+        config.get_double("delta_pull_gap_s",
+                          out.partition_options.delta_pull_min_gap.to_seconds()));
+    out.frame_checksums = config.get_bool("checksums", out.frame_checksums);
   } catch (const std::exception& e) {
     return Fail::failure(e.what());
   }
@@ -164,6 +180,10 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
     return Fail::failure("wan_loss must be in [0, 1)");
   }
   if (out.failover_backups < 0) return Fail::failure("failover_backups must be >= 0");
+  if (out.partition_options.stale_discount < 0 ||
+      out.partition_options.stale_discount > 1) {
+    return Fail::failure("stale_discount must be in [0, 1]");
+  }
   if (!out.fault_plan.empty() &&
       out.fault_plan.max_dp_index() >= std::size_t(out.n_dps)) {
     return Fail::failure("fault_plan names a dp index >= dps");

@@ -94,6 +94,20 @@ struct ScenarioConfig {
   bool membership = false;
   digruber::MembershipOptions membership_options{};
 
+  /// Partition tolerance (off by default: default runs stay byte-identical).
+  /// Enables the per-VO state digest piggybacked on exchanges and query
+  /// replies, targeted delta anti-entropy on digest mismatch, and
+  /// staleness-guarded admission (capacity discounting + typed degraded
+  /// NACKs when a quorum of peers is stale).
+  bool partition_tolerance = false;
+  digruber::PartitionToleranceOptions partition_options{};
+
+  /// CRC-32C frame checksums (off by default: legacy v2/v1 frames). When
+  /// on, every decision point and client emits v3 frames with a checksum
+  /// trailer; corrupted frames are dropped at parse with a typed counter
+  /// instead of feeding garbage to handlers.
+  bool frame_checksums = false;
+
   /// Event tracing (optional, off by default). When set, the tracer is
   /// installed as the thread-current tracer for the whole run and bound to
   /// the scenario's simulation clock; phase boundaries, fault injections,
@@ -141,6 +155,17 @@ struct DpStats {
   /// Every membership transition this point's table observed, in order
   /// (the churn soak and the bench derive time-to-detect from these).
   std::vector<digruber::MembershipTransition> membership_transitions;
+
+  // Partition tolerance (defaults with partition_tolerance off).
+  std::uint64_t digest_mismatches = 0;
+  std::uint64_t delta_pulls_sent = 0;
+  std::uint64_t delta_pulls_served = 0;
+  std::uint64_t delta_records_applied = 0;
+  std::uint64_t delta_conflicts = 0;
+  std::uint64_t double_commits = 0;
+  std::uint64_t delta_converged = 0;
+  std::uint64_t degraded_refusals = 0;
+  std::uint64_t degraded_replies = 0;
 };
 
 /// Client-fleet totals (chaos-harness conservation input: every scheduled
@@ -181,12 +206,25 @@ struct ScenarioResult {
   /// Dynamic-membership counters (all zero with membership off).
   metrics::MembershipCounters membership;
 
+  /// Partition-tolerance counters (all zero with partition_tolerance off
+  /// and no corruption/checksum activity).
+  metrics::PartitionCounters partition;
+
   /// Client-fleet conservation totals.
   ClientTotals clients;
 
   /// Sites whose free-CPU accounting is negative at harvest — any nonzero
   /// value means allocation bookkeeping leaked (USLA over-allocation).
   std::size_t sites_overcommitted = 0;
+
+  /// Brokered placements that pushed a VO past its USLA cap at the
+  /// selected site, judged against ground truth at dispatch time. A
+  /// single fresh view never admits past the cap; breaches appear when
+  /// divergent views (a split) each admitted within their own believed
+  /// headroom and the union breached the entitlement. The worst single
+  /// excess is in CPUs.
+  std::uint64_t entitlement_breaches = 0;
+  std::int32_t entitlement_worst_excess = 0;
 
   // Grid-level facts.
   std::size_t sites = 0;

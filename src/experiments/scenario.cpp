@@ -89,6 +89,8 @@ struct Shared {
   double window_s = 0.0;
   std::uint64_t jobs_started = 0;
   std::uint64_t jobs_completed = 0;
+  std::uint64_t entitlement_breaches = 0;
+  std::int32_t entitlement_worst_excess = 0;
 };
 
 /// Oracle scheduling accuracy, computed from true grid state at dispatch:
@@ -226,6 +228,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     dp_options.membership = config.membership_options;
     dp_options.membership.enabled = true;
   }
+  if (config.partition_tolerance) {
+    dp_options.partition = config.partition_options;
+    dp_options.partition.enabled = true;
+  }
+  if (config.frame_checksums) dp_options.frame_checksums = true;
 
   std::unique_ptr<digruber::InfrastructureMonitor> monitor;
   auto reconnect_all = [&] {
@@ -313,6 +320,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (failover) client_options.attempt_timeout = config.attempt_timeout;
   if (config.overload_control) client_options.overload_aware = true;
   if (config.membership) client_options.membership_aware = true;
+  if (config.frame_checksums) client_options.frame_checksums = true;
 
   for (int c = 0; c < config.n_clients; ++c) {
     Rng client_rng = sim.rng().fork();
@@ -373,6 +381,23 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
             sample->accuracy_total_share = oracle.total_share;
             shared.samples.push_back(sample);
 
+            // Ground-truth entitlement audit, sampled before this job
+            // occupies the site: a brokered placement that pushes the VO
+            // past its USLA cap means the admitting view could not see
+            // capacity already committed elsewhere (the split-brain
+            // over-commit signature — see usla::VoOverCommit).
+            if (outcome.handled_by_gruber) {
+              const std::int32_t cap = shared.evaluator->vo_cap_cpus(
+                  outcome.site, job.vo, selected.total_cpus());
+              const std::int32_t after =
+                  selected.running_for_vo(job.vo) + job.cpus;
+              if (after > cap) {
+                ++shared.entitlement_breaches;
+                shared.entitlement_worst_excess =
+                    std::max(shared.entitlement_worst_excess, after - cap);
+              }
+            }
+
             job.handled_by_gruber = outcome.handled_by_gruber;
             job.accuracy = sample->accuracy;
             const double window_s = shared.window_s;
@@ -425,7 +450,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
         static const char* const kFaultNames[] = {
             "fault.crash",        "fault.restart",      "fault.partition",
             "fault.heal",         "fault.link_degrade", "fault.link_restore",
-            "fault.join",         "fault.leave"};
+            "fault.join",         "fault.leave",        "fault.oneway",
+            "fault.oneway_heal",  "fault.corrupt"};
         t->instant(trace::Category::kScenario, 0,
                    kFaultNames[std::size_t(event.kind)], {},
                    std::int64_t(event.dp));
@@ -442,7 +468,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
           break;
         case sim::FaultKind::kPartition:
           // Each partition event describes the complete island layout.
-          // Clients and unlisted decision points stay on island 0.
+          // Unlisted decision points stay on island 0; so do clients,
+          // unless the event asks for a client split — round-robin across
+          // the islands, so both sides keep taking queries against
+          // divergent views (genuine split-brain pressure).
           transport.heal_partition();
           for (std::size_t k = 0; k < event.islands.size(); ++k) {
             for (const std::size_t i : event.islands[k]) {
@@ -450,6 +479,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
               for (const NodeId n : nodes_of(i)) {
                 transport.set_island(n, std::uint32_t(k));
               }
+            }
+          }
+          if (event.split_clients && !event.islands.empty()) {
+            for (std::size_t c = 0; c < clients.size(); ++c) {
+              transport.set_island(clients[c]->node(),
+                                   std::uint32_t(c % event.islands.size()));
             }
           }
           break;
@@ -483,6 +518,31 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
           break;
         case sim::FaultKind::kDpLeave:
           if (dp_exists) dps[event.dp]->leave();
+          break;
+        case sim::FaultKind::kOneWayPartition:
+          // Asymmetric cut: event.dp's frames toward the peer(s) vanish,
+          // but the reverse direction keeps flowing — the pathological
+          // case for flooding, since the cut point keeps *hearing* rounds
+          // while its own records silently stop propagating.
+          if (!dp_exists) break;
+          for (const std::size_t p : peers_of(event)) {
+            if (p >= dps.size()) continue;
+            each_link(event.dp, p, [&](NodeId a, NodeId b) {
+              transport.block_direction(a, b);
+            });
+          }
+          break;
+        case sim::FaultKind::kOneWayHeal:
+          if (!dp_exists) break;
+          for (const std::size_t p : peers_of(event)) {
+            if (p >= dps.size()) continue;
+            each_link(event.dp, p, [&](NodeId a, NodeId b) {
+              transport.unblock_direction(a, b);
+            });
+          }
+          break;
+        case sim::FaultKind::kCorrupt:
+          transport.set_corruption(event.corrupt_rate);
           break;
       }
     });
@@ -520,6 +580,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.total_cpus = grid.total_cpus();
   result.jobs_completed = shared.jobs_completed;
   result.jobs_started = shared.jobs_started;
+  result.entitlement_breaches = shared.entitlement_breaches;
+  result.entitlement_worst_excess = shared.entitlement_worst_excess;
   result.grid_cpu_seconds = grid.cpu_seconds_consumed();
   result.final_dps = int(dps.size());
   result.sim_events = sim.events_processed();
@@ -570,6 +632,15 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       }
       stats.membership_transitions = table->transitions();
     }
+    stats.digest_mismatches = dp->digest_mismatches();
+    stats.delta_pulls_sent = dp->delta_pulls_sent();
+    stats.delta_pulls_served = dp->delta_pulls_served();
+    stats.delta_records_applied = dp->delta_records_applied();
+    stats.delta_conflicts = dp->delta_conflicts();
+    stats.double_commits = dp->double_commits();
+    stats.delta_converged = dp->delta_converged();
+    stats.degraded_refusals = dp->degraded_refusals();
+    stats.degraded_replies = dp->degraded_replies();
     result.dps.push_back(stats);
   }
 
@@ -667,6 +738,30 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       mem.client_dps_quarantined += client->dps_quarantined();
       mem.client_drain_redirects += client->drain_redirects();
     }
+  }
+
+  {
+    metrics::PartitionCounters& pt = result.partition;
+    for (const DpStats& stats : result.dps) {
+      pt.digest_mismatches += stats.digest_mismatches;
+      pt.delta_pulls_sent += stats.delta_pulls_sent;
+      pt.delta_pulls_served += stats.delta_pulls_served;
+      pt.delta_records_applied += stats.delta_records_applied;
+      pt.delta_conflicts += stats.delta_conflicts;
+      pt.double_commits += stats.double_commits;
+      pt.delta_converged += stats.delta_converged;
+      pt.degraded_refusals += stats.degraded_refusals;
+      pt.degraded_replies += stats.degraded_replies;
+    }
+    for (const auto& client : clients) {
+      pt.client_degraded_redirects += client->degraded_redirects();
+      pt.client_degraded_hints += client->degraded_hints_seen();
+    }
+    for (const auto& dp : dps) {
+      pt.frames_bad_checksum +=
+          dp->server().requests_bad(net::BadFrameCause::kChecksum);
+    }
+    pt.packets_corrupted = transport.packets_corrupted();
   }
 
   result.samples.reserve(shared.samples.size());

@@ -45,7 +45,78 @@ struct DispatchRecord {
   void serialize(Archive& ar) {
     ar & origin & seq & site & vo & group & user & cpus & when & est_runtime;
   }
+
+  friend bool operator==(const DispatchRecord&, const DispatchRecord&) = default;
 };
+
+/// Per-VO summary of the active dispatch records a view holds: an
+/// order-independent hash (XOR of per-record mixes) plus totals, so two
+/// peers can localize divergence to exactly the VOs whose allocation state
+/// differs — the targeting input for delta anti-entropy.
+struct VoDigest {
+  VoId vo;
+  std::uint64_t hash = 0;
+  std::uint32_t records = 0;
+  std::int32_t cpus = 0;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & vo & hash & records & cpus;
+  }
+
+  friend bool operator==(const VoDigest&, const VoDigest&) = default;
+};
+
+/// Per-origin epoch-vector entry: the highest dispatch sequence this view
+/// has absorbed from `origin`. Sequence numbers are incarnation-shifted
+/// (high 32 bits = restart epoch), so the vector also captures restarts.
+struct OriginEpoch {
+  DpId origin;
+  std::uint64_t max_seq = 0;
+  std::uint32_t records = 0;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & origin & max_seq & records;
+  }
+
+  friend bool operator==(const OriginEpoch&, const OriginEpoch&) = default;
+};
+
+/// Compact whole-view digest piggybacked on exchange messages and site-load
+/// replies (partition tolerance). A digest summarizes the *settled* window
+/// of a view — records old enough (`when <= as_of`) that normal exchange
+/// propagation has delivered them everywhere, and long-lived enough
+/// (`when + est_runtime > horizon`) that they cannot expire between the
+/// sender computing the digest and the receiver comparing against it.
+/// Both bounds ride in the digest so the receiver evaluates the *same*
+/// window; within it, digest equality means the views agree on base state
+/// and on every VO's active allocations, and inequality means a partition
+/// (not propagation lag or expiry skew) diverged them.
+struct ViewDigest {
+  sim::Time as_of;                   // settled cutoff: records `when <= as_of`
+  sim::Time horizon;                 // expiry guard: `when + est > horizon`
+  std::uint64_t base_hash = 0;       // over base snapshots
+  std::vector<VoDigest> vos;         // ascending vo id
+  std::vector<OriginEpoch> epochs;   // ascending origin id
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & as_of & horizon & base_hash & vos & epochs;
+  }
+
+  /// Window bounds are comparison parameters, not state: two digests match
+  /// iff they summarize the same contents over their (shared) window.
+  friend bool operator==(const ViewDigest& a, const ViewDigest& b) {
+    return a.base_hash == b.base_hash && a.vos == b.vos && a.epochs == b.epochs;
+  }
+};
+
+/// VOs whose allocation state differs between the two digests (union of
+/// mismatched and one-sided entries), ascending — the pull set for delta
+/// anti-entropy.
+[[nodiscard]] std::vector<VoId> diverged_vos(const ViewDigest& a,
+                                             const ViewDigest& b);
 
 /// A decision point's model of the grid. Per the paper's experimental
 /// setup, the view starts from complete *static* knowledge of resources
@@ -96,6 +167,39 @@ class GridView {
   void clear();
 
   [[nodiscard]] std::uint64_t dispatches_recorded() const { return recorded_; }
+
+  /// Compact digest of the settled window `(when <= as_of, expiry >
+  /// horizon)` — see ViewDigest. Order-independent: two views holding the
+  /// same records inside the window digest identically regardless of
+  /// arrival order, physical prune history, or the comparer's clock.
+  [[nodiscard]] ViewDigest digest(sim::Time as_of, sim::Time horizon) const;
+
+  /// Active records belonging to any VO in `vos` (ascending input),
+  /// deterministic (site, then age) order — a delta anti-entropy reply.
+  [[nodiscard]] std::vector<DispatchRecord> records_for_vos(
+      const std::vector<VoId>& vos, sim::Time now) const;
+
+  /// Outcome of merging one remote record during anti-entropy.
+  struct MergeResult {
+    bool applied = false;        // the record now lives in this view
+    bool conflict = false;       // an (origin, seq) twin disagreed on content
+    bool double_commit = false;  // same logical work seen from another origin
+  };
+
+  /// Idempotent, deterministic record merge: drops exact duplicates,
+  /// resolves (origin, seq) conflicts by severity (more CPUs held) then
+  /// epoch (higher incarnation-shifted seq semantics: later `when` wins the
+  /// tie), and flags double-commits — the same (vo, group, user, when) work
+  /// admitted by two different origins across a split. Both sides of a
+  /// healed partition converge to the same record set whatever the merge
+  /// order.
+  MergeResult merge_record(const DispatchRecord& record, sim::Time now);
+
+  /// Sites whose base snapshot has gone stale: refreshed at least once
+  /// (as_of > 0 — static strategy-2 knowledge never stales) but not within
+  /// `threshold` of `now`. Feeds the degraded-mode admission hint.
+  [[nodiscard]] std::size_t stale_site_count(sim::Time now,
+                                             sim::Duration threshold) const;
 
  private:
   struct SiteState {

@@ -172,6 +172,34 @@ struct MembershipCounters {
   std::uint64_t client_drain_redirects = 0;  // draining NACKs redirected
 };
 
+/// Partition-tolerance counters aggregated across a scenario run (digest
+/// piggyback + delta anti-entropy at every decision point, staleness-
+/// guarded admission, client rerouting, and the transport/wire corruption
+/// accounting), surfaced by the partition-divergence bench and the
+/// partition soak. All zero with partition tolerance off.
+struct PartitionCounters {
+  // Split-brain detection and delta anti-entropy (decision points).
+  std::uint64_t digest_mismatches = 0;     // exchange digests that disagreed
+  std::uint64_t delta_pulls_sent = 0;      // targeted pulls issued
+  std::uint64_t delta_pulls_served = 0;    // targeted pulls answered
+  std::uint64_t delta_records_applied = 0; // records learned via pulls
+  std::uint64_t delta_conflicts = 0;       // (origin, seq) twins resolved
+  std::uint64_t double_commits = 0;        // split-brain double admissions
+  std::uint64_t delta_converged = 0;       // pulls that fully reconciled
+
+  // Staleness-guarded admission.
+  std::uint64_t degraded_refusals = 0;  // queries NACKed: quorum stale
+  std::uint64_t degraded_replies = 0;   // replies carrying a degraded hint
+
+  // Client fleet.
+  std::uint64_t client_degraded_redirects = 0;  // degraded NACKs rerouted
+  std::uint64_t client_degraded_hints = 0;      // degraded hints absorbed
+
+  // Transport / wire (corruption injection + checksum verification).
+  std::uint64_t packets_corrupted = 0;    // bit flips injected in flight
+  std::uint64_t frames_bad_checksum = 0;  // frames dropped by CRC mismatch
+};
+
 /// Wire-traffic counters by message category (queries vs state exchange vs
 /// control), snapshotted from net::wire::wire_stats() over a run and
 /// surfaced through the DiPerF report. `encodes` counts serializations —

@@ -17,14 +17,19 @@ namespace digruber::net {
 /// OverloadNack reason codes. kQueueFull / kDeadline come from the
 /// container's admission control; kDraining is a membership-layer refusal
 /// (the server exists but is joining or leaving and must not take query
-/// work).
+/// work). kNackDegraded is a partition-tolerance refusal: the server is
+/// healthy but its view of the mesh is too stale to admit query work
+/// accurately — callers should reroute, NOT quarantine (the condition
+/// clears as soon as connectivity heals).
 inline constexpr std::uint8_t kNackQueueFull = 0;
 inline constexpr std::uint8_t kNackDeadline = 1;
 inline constexpr std::uint8_t kNackDraining = 2;
+inline constexpr std::uint8_t kNackDegraded = 3;
 
 /// In-process form of a typed overload rejection, carried through the
-/// Result error channel as "overloaded:<retry_after_us>" (legacy reasons)
-/// or "overloaded:<retry_after_us>:drain" (kNackDraining). The wire form
+/// Result error channel as "overloaded:<retry_after_us>" (legacy reasons),
+/// "overloaded:<retry_after_us>:drain" (kNackDraining), or
+/// "overloaded:<retry_after_us>:degraded" (kNackDegraded). The wire form
 /// is wire::OverloadNack; these helpers are the bridge.
 [[nodiscard]] std::string make_overload_error(const wire::OverloadNack& nack);
 /// True iff `error` is an overload rejection; extracts the retry hint.
@@ -41,6 +46,7 @@ enum class BadFrameCause : std::uint8_t {
   kBodySize,         // header body_size disagrees with bytes present
   kKind,             // parseable, but not a request/one-way frame
   kUnknownMethod,    // no handler registered for the method id
+  kChecksum,         // v3 frame whose CRC-32C trailer failed verification
   kCount,
 };
 
@@ -103,6 +109,10 @@ class RpcServer : public Endpoint {
     });
   }
 
+  /// Emit CRC-32C (wire v3) trailers on every frame this server sends
+  /// (replies, NACKs). Verification of incoming v3 frames is always on.
+  void set_frame_checksums(bool enabled) { checksums_ = enabled; }
+
   [[nodiscard]] std::uint64_t requests_received() const { return received_; }
   [[nodiscard]] std::uint64_t requests_bad() const { return bad_; }
   /// Rejected-packet count for one cause (sums to `requests_bad`).
@@ -127,6 +137,7 @@ class RpcServer : public Endpoint {
   std::unordered_map<std::uint16_t, Registered> methods_;
   RefusalGate gate_;
   bool attached_ = true;
+  bool checksums_ = false;
   std::uint64_t received_ = 0;
   std::uint64_t gate_refused_ = 0;
   std::uint64_t bad_ = 0;
@@ -192,7 +203,7 @@ class RpcClient : public Endpoint {
     ++sent_;
     call_frame(server, correlation,
                wire::make_frame(method, wire::FrameKind::kRequest, correlation,
-                                request, options.deadline.us()),
+                                request, options.deadline.us(), checksums_),
                timeout, [done = std::move(done)](RawResult raw) {
                  if (!raw.ok()) {
                    done(Result<Reply>::failure(raw.error()));
@@ -207,12 +218,16 @@ class RpcClient : public Endpoint {
                });
   }
 
+  /// Emit CRC-32C (wire v3) trailers on every frame this client sends.
+  void set_frame_checksums(bool enabled) { checksums_ = enabled; }
+
   /// One-way notification (no reply, no timeout).
   template <class Request>
   void notify(NodeId server, std::uint16_t method, const Request& request) {
     transport_.send(Packet{node_, server,
                            wire::make_frame(method, wire::FrameKind::kOneWay,
-                                            next_correlation_++, request)});
+                                            next_correlation_++, request, 0,
+                                            checksums_)});
   }
 
   /// One-way fan-out: the request is serialized exactly once and the same
@@ -223,8 +238,9 @@ class RpcClient : public Endpoint {
   void notify_all(std::span<const NodeId> servers, std::uint16_t method,
                   const Request& request) {
     if (servers.empty()) return;
-    const Buffer frame = wire::make_frame(method, wire::FrameKind::kOneWay,
-                                          next_correlation_++, request);
+    const Buffer frame =
+        wire::make_frame(method, wire::FrameKind::kOneWay, next_correlation_++,
+                         request, 0, checksums_);
     for (const NodeId server : servers) {
       transport_.send(Packet{node_, server, frame});
     }
@@ -260,6 +276,7 @@ class RpcClient : public Endpoint {
   Transport& transport_;
   NodeId node_;
   bool attached_ = true;
+  bool checksums_ = false;
   std::uint64_t next_correlation_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t timed_out_ = 0;

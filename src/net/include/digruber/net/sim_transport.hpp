@@ -1,8 +1,11 @@
 #pragma once
 
 #include <array>
+#include <set>
 #include <unordered_map>
+#include <utility>
 
+#include "digruber/common/rng.hpp"
 #include "digruber/net/transport.hpp"
 #include "digruber/net/wan.hpp"
 #include "digruber/sim/simulation.hpp"
@@ -37,6 +40,21 @@ class SimTransport final : public Transport {
   void heal_partition();
   [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
 
+  /// Asymmetric partition control: drop packets flowing `from` -> `to`
+  /// only (the reverse direction still works). Composes with island
+  /// partitions; `heal_partition` clears directed blocks too, so one heal
+  /// event restores full connectivity.
+  void block_direction(NodeId from, NodeId to);
+  void unblock_direction(NodeId from, NodeId to);
+  [[nodiscard]] bool direction_blocked(NodeId from, NodeId to) const;
+
+  /// In-flight corruption: with probability `rate` per sent packet, flip
+  /// one random bit of the payload (on a private copy — frames are shared
+  /// between fan-out destinations). Uses its own RNG stream so runs with
+  /// rate 0 draw nothing and keep the exact pre-fault randomness sequence.
+  void set_corruption(double rate);
+  [[nodiscard]] std::uint64_t packets_corrupted() const { return corrupted_; }
+
   [[nodiscard]] WanModel& wan() { return wan_; }
   [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
@@ -56,8 +74,13 @@ class SimTransport final : public Transport {
   std::uint64_t dropped_ = 0;
   std::array<std::uint64_t, std::size_t(DropCause::kCount)> dropped_by_cause_{};
   std::uint64_t bytes_ = 0;
+  std::uint64_t corrupted_ = 0;
+  double corruption_rate_ = 0.0;
+  Rng corruption_rng_{0x5ca1ab1edeadbeefULL};
   std::unordered_map<NodeId, Endpoint*> endpoints_;
   std::unordered_map<NodeId, std::uint32_t> islands_;
+  /// Ordered set: deterministic no matter the insertion pattern.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> blocked_;
 };
 
 }  // namespace digruber::net

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace digruber::net::wire {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) over `data`,
+/// continuing from `seed` (pass a previous return value to checksum a
+/// message in pieces). Software table implementation — the simulator runs
+/// single-threaded over small frames, so hardware CRC instructions are not
+/// worth a platform gate here.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                                   std::uint32_t seed = 0);
+
+}  // namespace digruber::net::wire

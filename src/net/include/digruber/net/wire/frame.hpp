@@ -18,10 +18,20 @@ namespace digruber::net::wire {
 /// containers. Version 1 frames carry no deadline field and stay
 /// byte-identical to the pre-overload-control wire format; senders emit
 /// v2 only when they actually attach a deadline.
+///
+/// Version 3 frames additionally carry a 4-byte CRC-32C of the body as a
+/// trailer AFTER the body bytes (the header layout itself is unchanged, so
+/// this header still self-describes: body_size counts body bytes only,
+/// excluding the trailer). Senders emit v3 only when checksums are
+/// explicitly enabled; receivers verify the trailer and drop mismatches
+/// as FrameParse::kBadChecksum.
 struct FrameHeader {
   static constexpr std::uint16_t kCurrentVersion = 1;
   static constexpr std::uint16_t kDeadlineVersion = 2;
-  static constexpr std::uint16_t kMaxVersion = 2;
+  static constexpr std::uint16_t kChecksumVersion = 3;
+  static constexpr std::uint16_t kMaxVersion = 3;
+  /// Bytes of the v3 CRC-32C trailer following the body.
+  static constexpr std::size_t kChecksumTrailerSize = 4;
 
   std::uint16_t version = kCurrentVersion;
   std::uint16_t method = 0;       // service-defined method id
@@ -64,14 +74,19 @@ struct OverloadNack {
 /// Serialized size of a FrameHeader (fixed layout).
 std::size_t frame_header_size();
 
+/// Append the v3 CRC-32C trailer for the last `body_size` bytes already in
+/// `w` (the encoded body). Defined in wire_frame.cpp.
+void append_checksum_trailer(Writer& w, std::size_t body_size);
+
 /// Build a complete frame into a single shared buffer: the body is sized
 /// with a Sizer pass and encoded directly behind the header — exactly one
 /// allocation and zero intermediate copies. `deadline_us > 0` upgrades the
 /// header to v2; otherwise the v1 layout is emitted byte-for-byte.
+/// `checksum` upgrades to v3 and appends a CRC-32C trailer over the body.
 template <class Body>
 net::Buffer make_frame(std::uint16_t method, FrameKind kind,
                        std::uint64_t correlation, const Body& body,
-                       std::int64_t deadline_us = 0) {
+                       std::int64_t deadline_us = 0, bool checksum = false) {
   FrameHeader header;
   header.method = method;
   header.kind = static_cast<std::uint8_t>(kind);
@@ -81,10 +96,13 @@ net::Buffer make_frame(std::uint16_t method, FrameKind kind,
     header.version = FrameHeader::kDeadlineVersion;
     header.deadline_us = deadline_us;
   }
+  if (checksum) header.version = FrameHeader::kChecksumVersion;
   Writer w;
-  w.reserve(encoded_size(header) + header.body_size);
+  w.reserve(encoded_size(header) + header.body_size +
+            (checksum ? FrameHeader::kChecksumTrailerSize : 0));
   w & header;
   w & body;
+  if (checksum) append_checksum_trailer(w, header.body_size);
   net::Buffer frame = w.take_buffer();
   wire_stats().record_encode(categorize_method(method), frame.size());
   return frame;
@@ -95,7 +113,8 @@ net::Buffer make_frame(std::uint16_t method, FrameKind kind,
 net::Buffer frame_from_body(std::uint16_t method, FrameKind kind,
                             std::uint64_t correlation,
                             std::span<const std::uint8_t> body,
-                            std::int64_t deadline_us = 0);
+                            std::int64_t deadline_us = 0,
+                            bool checksum = false);
 
 /// Outcome of frame parsing, split so endpoints can count a header whose
 /// declared body_size disagrees with the bytes actually present —
@@ -105,6 +124,7 @@ enum class FrameParse : std::uint8_t {
   kOk = 0,
   kBadHeader,          // truncated header or unsupported version
   kBodySizeMismatch,   // header parsed, but body_size != remaining bytes
+  kBadChecksum,        // v3 frame whose CRC-32C trailer fails verification
 };
 
 FrameParse parse_frame_ex(std::span<const std::uint8_t> frame,

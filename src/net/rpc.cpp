@@ -13,6 +13,12 @@ namespace digruber::net {
 namespace {
 constexpr std::string_view kOverloadPrefix = "overloaded:";
 constexpr std::string_view kDrainSuffix = ":drain";
+constexpr std::string_view kDegradedSuffix = ":degraded";
+
+bool has_suffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
 }  // namespace
 
 std::string make_overload_error(const wire::OverloadNack& nack) {
@@ -22,6 +28,7 @@ std::string make_overload_error(const wire::OverloadNack& nack) {
   // first non-digit — appending a reason tag is backward-compatible with
   // callers using the two-argument parse.
   if (nack.reason == kNackDraining) error += kDrainSuffix;
+  if (nack.reason == kNackDegraded) error += kDegradedSuffix;
   return error;
 }
 
@@ -39,11 +46,13 @@ bool parse_overload_error(const std::string& error, sim::Duration& retry_after,
   const std::int64_t us = std::strtoll(error.c_str() + kOverloadPrefix.size(),
                                        nullptr, 10);
   retry_after = sim::Duration::micros(us < 0 ? 0 : us);
-  reason = error.size() >= kDrainSuffix.size() &&
-                   error.compare(error.size() - kDrainSuffix.size(),
-                                 kDrainSuffix.size(), kDrainSuffix) == 0
-               ? kNackDraining
-               : kNackQueueFull;
+  if (has_suffix(error, kDrainSuffix)) {
+    reason = kNackDraining;
+  } else if (has_suffix(error, kDegradedSuffix)) {
+    reason = kNackDegraded;
+  } else {
+    reason = kNackQueueFull;
+  }
   return true;
 }
 
@@ -97,6 +106,12 @@ void RpcServer::on_packet(Packet packet) {
       // truncated (or padded) message; refuse before dispatch instead.
       count_bad(BadFrameCause::kBodySize);
       return;
+    case wire::FrameParse::kBadChecksum:
+      // A v3 frame arrived damaged in flight (injected bit flips, or a
+      // hostile sender). Drop before dispatch; the caller times out and
+      // retries on an undamaged path.
+      count_bad(BadFrameCause::kChecksum);
+      return;
   }
   const auto kind = static_cast<wire::FrameKind>(header.kind);
   if (kind != wire::FrameKind::kRequest && kind != wire::FrameKind::kOneWay) {
@@ -130,7 +145,7 @@ void RpcServer::on_packet(Packet packet) {
         transport_.send(
             Packet{node_, from,
                    wire::make_frame(method, wire::FrameKind::kOverloaded,
-                                    correlation, nack)});
+                                    correlation, nack, 0, checksums_)});
       }
       return;
     }
@@ -161,7 +176,7 @@ void RpcServer::on_packet(Packet packet) {
     nack.retry_after_us = retry_after.us();
     transport_.send(Packet{node_, from,
                            wire::make_frame(method, wire::FrameKind::kOverloaded,
-                                            correlation, nack)});
+                                            correlation, nack, 0, checksums_)});
   };
 
   const Admission admission = container_.submit_ex(
@@ -183,7 +198,7 @@ void RpcServer::on_packet(Packet packet) {
         transport_.send(Packet{
             node_, from,
             wire::frame_from_body(method, wire::FrameKind::kReply, correlation,
-                                  reply.span())});
+                                  reply.span(), 0, checksums_)});
       },
       it->second.priority, deadline,
       // Pickup-time shed: the deadline expired while the request queued.
@@ -218,7 +233,8 @@ void RpcServer::on_packet(Packet packet) {
       const std::string reason = "refused";
       transport_.send(Packet{node_, from,
                              wire::make_frame(method, wire::FrameKind::kError,
-                                              correlation, reason)});
+                                              correlation, reason, 0,
+                                              checksums_)});
     }
   }
 }

@@ -27,7 +27,25 @@ void SimTransport::set_island(NodeId node, std::uint32_t island) {
   islands_[node] = island;
 }
 
-void SimTransport::heal_partition() { islands_.clear(); }
+void SimTransport::heal_partition() {
+  islands_.clear();
+  blocked_.clear();
+}
+
+void SimTransport::block_direction(NodeId from, NodeId to) {
+  blocked_.emplace(from.value(), to.value());
+}
+
+void SimTransport::unblock_direction(NodeId from, NodeId to) {
+  blocked_.erase({from.value(), to.value()});
+}
+
+bool SimTransport::direction_blocked(NodeId from, NodeId to) const {
+  if (blocked_.empty()) return false;
+  return blocked_.contains({from.value(), to.value()});
+}
+
+void SimTransport::set_corruption(double rate) { corruption_rate_ = rate; }
 
 std::uint32_t SimTransport::island_of(NodeId node) const {
   const auto it = islands_.find(node);
@@ -57,9 +75,11 @@ void SimTransport::send(Packet packet) {
                std::int64_t(packet.dst.value()),
                std::int64_t(packet.payload.size()));
   }
-  // Partition check first: it draws no randomness, so runs without
-  // partitions keep the exact pre-fault RNG sequence.
-  if (partitioned(packet.src, packet.dst)) {
+  // Partition checks first: they draw no randomness, so runs without
+  // partitions keep the exact pre-fault RNG sequence. A directed block is
+  // the same failure class as an island split, just one-way.
+  if (partitioned(packet.src, packet.dst) ||
+      direction_blocked(packet.src, packet.dst)) {
     count_drop(DropCause::kPartition);
     if (auto* t = trace::current()) {
       t->instant(trace::Category::kNet, packet.src.value(), "net.drop", ctx,
@@ -75,6 +95,18 @@ void SimTransport::send(Packet packet) {
                  std::int64_t(DropCause::kLoss), std::int64_t(packet.dst.value()));
     }
     return;
+  }
+  // Bit-flip injection (fault plans only): corrupt a private copy — the
+  // payload Buffer may be shared with other fan-out destinations. The gate
+  // on rate keeps the dedicated RNG untouched when corruption is off.
+  if (corruption_rate_ > 0.0 && !packet.payload.empty() &&
+      corruption_rng_.bernoulli(corruption_rate_)) {
+    std::vector<std::uint8_t> bytes(packet.payload.span().begin(),
+                                    packet.payload.span().end());
+    const std::uint64_t bit = corruption_rng_.uniform_index(bytes.size() * 8);
+    bytes[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+    packet.payload = Buffer(std::move(bytes));
+    ++corrupted_;
   }
   const sim::Duration delay = wan_.delay(packet.src, packet.dst, packet.payload.size());
   sim_.schedule_after(delay, [this, ctx, p = std::move(packet)]() mutable {

@@ -1,6 +1,9 @@
 #include "digruber/net/wire/frame.hpp"
 
 #include <atomic>
+#include <cstring>
+
+#include "digruber/net/wire/crc32c.hpp"
 
 namespace digruber::net::wire {
 
@@ -27,10 +30,23 @@ std::size_t frame_header_size() {
   return size;
 }
 
+void append_checksum_trailer(Writer& w, std::size_t body_size) {
+  const std::span<const std::uint8_t> written = w.bytes();
+  const std::uint32_t crc =
+      crc32c(written.subspan(written.size() - body_size));
+  // The trailer is a raw little-endian u32, NOT archive-encoded — it sits
+  // outside the body that body_size describes.
+  std::uint8_t trailer[FrameHeader::kChecksumTrailerSize];
+  for (std::size_t i = 0; i < sizeof(trailer); ++i) {
+    trailer[i] = std::uint8_t((crc >> (8 * i)) & 0xffu);
+  }
+  w.raw(trailer, sizeof(trailer));
+}
+
 net::Buffer frame_from_body(std::uint16_t method, FrameKind kind,
                             std::uint64_t correlation,
                             std::span<const std::uint8_t> body,
-                            std::int64_t deadline_us) {
+                            std::int64_t deadline_us, bool checksum) {
   FrameHeader header;
   header.method = method;
   header.kind = static_cast<std::uint8_t>(kind);
@@ -40,10 +56,13 @@ net::Buffer frame_from_body(std::uint16_t method, FrameKind kind,
     header.version = FrameHeader::kDeadlineVersion;
     header.deadline_us = deadline_us;
   }
+  if (checksum) header.version = FrameHeader::kChecksumVersion;
   Writer w;
-  w.reserve(encoded_size(header) + body.size());
+  w.reserve(encoded_size(header) + body.size() +
+            (checksum ? FrameHeader::kChecksumTrailerSize : 0));
   w & header;
   w.raw(body.data(), body.size());
+  if (checksum) append_checksum_trailer(w, body.size());
   net::Buffer frame = w.take_buffer();
   wire_stats().record_encode(categorize_method(method), frame.size());
   return frame;
@@ -63,6 +82,23 @@ FrameParse parse_frame_ex(std::span<const std::uint8_t> frame,
     return FrameParse::kBadHeader;
   }
   body = frame.subspan(frame.size() - r.remaining());
+  if (header.version >= FrameHeader::kChecksumVersion) {
+    // v3: the last four bytes are a CRC-32C trailer over the body, outside
+    // the span body_size describes.
+    if (body.size() < FrameHeader::kChecksumTrailerSize) {
+      return FrameParse::kBodySizeMismatch;
+    }
+    const std::span<const std::uint8_t> trailer =
+        body.subspan(body.size() - FrameHeader::kChecksumTrailerSize);
+    body = body.first(body.size() - FrameHeader::kChecksumTrailerSize);
+    if (body.size() != header.body_size) return FrameParse::kBodySizeMismatch;
+    std::uint32_t expected = 0;
+    for (std::size_t i = 0; i < FrameHeader::kChecksumTrailerSize; ++i) {
+      expected |= std::uint32_t(trailer[i]) << (8 * i);
+    }
+    if (crc32c(body) != expected) return FrameParse::kBadChecksum;
+    return FrameParse::kOk;
+  }
   if (r.remaining() != header.body_size) return FrameParse::kBodySizeMismatch;
   return FrameParse::kOk;
 }

@@ -152,9 +152,38 @@ Result<FaultPlan> FaultPlan::parse(const std::string& text) {
       if (event.islands.size() < 2) {
         return Fail::failure(where + "partition needs at least two islands");
       }
+      if (find_value(tokens, "clients", value)) {
+        if (value != "split") {
+          return Fail::failure(where + "partition clients= only accepts 'split'");
+        }
+        event.split_clients = true;
+      }
       event.kind = FaultKind::kPartition;
     } else if (verb == "heal") {
       event.kind = FaultKind::kHeal;
+    } else if (verb == "oneway" || verb == "healoneway") {
+      if (!find_value(tokens, "from", value) || !parse_index(value, event.dp)) {
+        return Fail::failure(where + verb + " needs from=<index>");
+      }
+      if (find_value(tokens, "to", value)) {
+        if (!parse_index(value, event.peer)) {
+          return Fail::failure(where + "bad to index: " + value);
+        }
+        if (event.dp == event.peer) {
+          return Fail::failure(where + "oneway endpoints must differ");
+        }
+      } else {
+        event.all_peers = true;
+      }
+      event.kind = verb == "oneway" ? FaultKind::kOneWayPartition
+                                    : FaultKind::kOneWayHeal;
+    } else if (verb == "corrupt") {
+      if (!find_value(tokens, "rate", value) ||
+          !parse_double(value, event.corrupt_rate) || event.corrupt_rate < 0.0 ||
+          event.corrupt_rate > 1.0) {
+        return Fail::failure(where + "corrupt needs rate=<p> in [0, 1]");
+      }
+      event.kind = FaultKind::kCorrupt;
     } else if (verb == "join") {
       event.kind = FaultKind::kDpJoin;
     } else if (verb == "leave") {
@@ -204,6 +233,8 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& option
   if (options.allow_degrades && options.n_dps >= 2) kinds.push_back(2);
   if (options.allow_joins) kinds.push_back(3);
   if (options.allow_leaves && options.n_dps >= 2) kinds.push_back(4);
+  if (options.allow_oneway_partitions && options.n_dps >= 2) kinds.push_back(5);
+  if (options.allow_corruption) kinds.push_back(6);
   if (kinds.empty()) return plan;
 
   Rng rng(seed);
@@ -216,7 +247,7 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& option
     double end;
   };
   std::vector<Span> down, degraded;
-  std::vector<std::pair<double, double>> partitioned;
+  std::vector<std::pair<double, double>> partitioned, corrupting;
   auto overlaps = [](double s, double e, double s2, double e2) {
     return s < e2 && s2 < e;
   };
@@ -268,7 +299,8 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& option
         std::vector<std::vector<std::size_t>> islands(2);
         islands[0].assign(order.begin(), order.begin() + std::ptrdiff_t(cut));
         islands[1].assign(order.begin() + std::ptrdiff_t(cut), order.end());
-        plan.partition(Time::from_seconds(start), std::move(islands));
+        plan.partition(Time::from_seconds(start), std::move(islands),
+                       options.split_clients_in_partitions);
         plan.heal(Time::from_seconds(end));
         partitioned.emplace_back(start, end);
         break;
@@ -318,6 +350,34 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& option
         down.push_back({dp, start, horizon_s});
         break;
       }
+      case 5: {  // one-way partition + matched heal
+        // Shares the partition overlap list: a kHeal from an island
+        // episode clears directed blocks too, so overlapping the two
+        // partition flavors would let one episode truncate the other.
+        bool clash = false;
+        for (const auto& [s, e] : partitioned) {
+          if (overlaps(start, end, s, e)) clash = true;
+        }
+        if (clash) break;
+        const std::size_t from = rng.uniform_index(options.n_dps);
+        std::size_t to = rng.uniform_index(options.n_dps - 1);
+        if (to >= from) ++to;
+        plan.oneway(Time::from_seconds(start), from, to);
+        plan.heal_oneway(Time::from_seconds(end), from, to);
+        partitioned.emplace_back(start, end);
+        break;
+      }
+      case 6: {  // bit-flip corruption burst + matched stop
+        bool clash = false;
+        for (const auto& [s, e] : corrupting) {
+          if (overlaps(start, end, s, e)) clash = true;
+        }
+        if (clash) break;
+        plan.corrupt(Time::from_seconds(start), rng.uniform(0.02, 0.15));
+        plan.corrupt(Time::from_seconds(end), 0.0);
+        corrupting.emplace_back(start, end);
+        break;
+      }
     }
   }
   return plan;
@@ -350,11 +410,62 @@ FaultPlan& FaultPlan::restart(Time at, std::size_t dp) {
   return *this;
 }
 
-FaultPlan& FaultPlan::partition(Time at, std::vector<std::vector<std::size_t>> islands) {
+FaultPlan& FaultPlan::partition(Time at, std::vector<std::vector<std::size_t>> islands,
+                                bool split_clients) {
   FaultEvent e;
   e.at = at;
   e.kind = FaultKind::kPartition;
   e.islands = std::move(islands);
+  e.split_clients = split_clients;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::oneway(Time at, std::size_t from, std::size_t to) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kOneWayPartition;
+  e.dp = from;
+  e.peer = to;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::oneway_all(Time at, std::size_t from) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kOneWayPartition;
+  e.dp = from;
+  e.all_peers = true;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal_oneway(Time at, std::size_t from, std::size_t to) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kOneWayHeal;
+  e.dp = from;
+  e.peer = to;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal_oneway_all(Time at, std::size_t from) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kOneWayHeal;
+  e.dp = from;
+  e.all_peers = true;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(Time at, double rate) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCorrupt;
+  e.corrupt_rate = rate;
   add(std::move(e));
   return *this;
 }
@@ -441,6 +552,8 @@ std::size_t FaultPlan::max_dp_index() const {
         break;
       case FaultKind::kLinkDegrade:
       case FaultKind::kLinkRestore:
+      case FaultKind::kOneWayPartition:
+      case FaultKind::kOneWayHeal:
         max_index = std::max(max_index, e.dp);
         if (!e.all_peers) max_index = std::max(max_index, e.peer);
         break;
@@ -450,6 +563,7 @@ std::size_t FaultPlan::max_dp_index() const {
         break;
       case FaultKind::kHeal:
       case FaultKind::kDpJoin:
+      case FaultKind::kCorrupt:
         break;
     }
   }
@@ -490,6 +604,7 @@ std::string FaultPlan::describe() const {
             os << "dp" << e.islands[i][j];
           }
         }
+        if (e.split_clients) os << " (clients split)";
         break;
       }
       case FaultKind::kHeal:
@@ -509,6 +624,20 @@ std::string FaultPlan::describe() const {
         break;
       case FaultKind::kDpLeave:
         os << "leave dp" << e.dp;
+        break;
+      case FaultKind::kOneWayPartition:
+        os << "oneway dp" << e.dp << " -> ";
+        if (e.all_peers) os << "all";
+        else os << "dp" << e.peer;
+        break;
+      case FaultKind::kOneWayHeal:
+        os << "heal oneway dp" << e.dp << " -> ";
+        if (e.all_peers) os << "all";
+        else os << "dp" << e.peer;
+        break;
+      case FaultKind::kCorrupt:
+        if (e.corrupt_rate > 0.0) os << "corrupt rate " << e.corrupt_rate;
+        else os << "corrupt off";
         break;
     }
     os << "\n";

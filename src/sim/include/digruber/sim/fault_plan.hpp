@@ -23,6 +23,9 @@ enum class FaultKind : std::uint8_t {
   kLinkRestore,   // undo a degradation
   kDpJoin,        // a brand-new decision point joins via snapshot bootstrap
   kDpLeave,       // a decision point drains and departs gracefully
+  kOneWayPartition,  // drop traffic from one DP towards another (or all)
+  kOneWayHeal,       // undo a one-way partition (kHeal also clears them)
+  kCorrupt,          // set the transport's bit-flip corruption rate
 };
 
 /// One timed fault. Which fields are meaningful depends on `kind`:
@@ -36,6 +39,10 @@ enum class FaultKind : std::uint8_t {
 ///   kDpJoin                — nothing (the harness assigns the next free
 ///                            deployment index to each join in plan order)
 ///   kDpLeave               — `dp`
+///   kOneWayPartition/kHeal — `dp` (the sender) + `peer`, or `dp` +
+///                            `all_peers` to cut the sender's traffic to
+///                            every other decision point
+///   kCorrupt               — `corrupt_rate` (0 turns corruption off)
 struct FaultEvent {
   Time at;
   FaultKind kind = FaultKind::kDpCrash;
@@ -44,6 +51,12 @@ struct FaultEvent {
   bool all_peers = false;
   double latency_factor = 1.0;
   double extra_loss = 0.0;
+  double corrupt_rate = 0.0;
+  /// kPartition only: also spread the client fleet round-robin across the
+  /// islands (default keeps every client on island 0). This is what makes
+  /// genuine split-brain reachable: both sides keep taking queries against
+  /// divergent views.
+  bool split_clients = false;
   std::vector<std::vector<std::size_t>> islands;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
@@ -59,7 +72,7 @@ struct FaultEvent {
 ///
 ///   at=<time> crash dp=<i>
 ///   at=<time> restart dp=<i>
-///   at=<time> partition islands=<i,j,...>|<k,...>[|...]
+///   at=<time> partition islands=<i,j,...>|<k,...>[|...] [clients=split]
 ///   at=<time> heal
 ///   at=<time> degrade link=<a>:<b> [latency=<k>] [loss=<p>]
 ///   at=<time> degrade dp=<i> [latency=<k>] [loss=<p>]
@@ -67,6 +80,9 @@ struct FaultEvent {
 ///   at=<time> restore dp=<i>
 ///   at=<time> join
 ///   at=<time> leave dp=<i>
+///   at=<time> oneway from=<a> [to=<b>]
+///   at=<time> healoneway from=<a> [to=<b>]
+///   at=<time> corrupt rate=<p>
 ///
 /// <time> accepts plain seconds or an s/m/h suffix: `90`, `90s`, `1.5m`.
 /// Knobs for FaultPlan::random (the chaos harness's schedule generator).
@@ -91,6 +107,14 @@ struct RandomFaultOptions {
   /// honors keep_one_alive.
   bool allow_joins = false;
   bool allow_leaves = false;
+  /// Asymmetric partition episodes (one-way sender cut + matched heal).
+  /// Default off so existing chaos seeds replay the same schedules.
+  bool allow_oneway_partitions = false;
+  /// Bit-flip corruption episodes (corrupt rate=p ... corrupt rate=0).
+  bool allow_corruption = false;
+  /// Make island partitions split the client fleet across islands so both
+  /// sides keep receiving queries (true split-brain pressure).
+  bool split_clients_in_partitions = false;
 };
 
 class FaultPlan {
@@ -107,8 +131,14 @@ class FaultPlan {
   /// Builder API (mirrors the grammar).
   FaultPlan& crash(Time at, std::size_t dp);
   FaultPlan& restart(Time at, std::size_t dp);
-  FaultPlan& partition(Time at, std::vector<std::vector<std::size_t>> islands);
+  FaultPlan& partition(Time at, std::vector<std::vector<std::size_t>> islands,
+                       bool split_clients = false);
   FaultPlan& heal(Time at);
+  FaultPlan& oneway(Time at, std::size_t from, std::size_t to);
+  FaultPlan& oneway_all(Time at, std::size_t from);
+  FaultPlan& heal_oneway(Time at, std::size_t from, std::size_t to);
+  FaultPlan& heal_oneway_all(Time at, std::size_t from);
+  FaultPlan& corrupt(Time at, double rate);
   FaultPlan& degrade_link(Time at, std::size_t a, std::size_t b,
                           double latency_factor, double extra_loss);
   FaultPlan& degrade_dp(Time at, std::size_t dp, double latency_factor,

@@ -54,6 +54,19 @@ struct EvaluatorOptions {
   bool default_open = true;
 };
 
+/// One (site, VO) pair holding more running CPUs than the VO's USLA cap
+/// allows — the ground-truth signature of split-brain over-commitment,
+/// where two decision points each admitted up to the cap against views
+/// that could not see each other's placements.
+struct VoOverCommit {
+  SiteId site;
+  VoId vo;
+  std::int32_t running = 0;   // CPUs actually held by the VO
+  std::int32_t cap_cpus = 0;  // CPUs its USLA chain allows at this site
+
+  [[nodiscard]] std::int32_t excess() const { return running - cap_cpus; }
+};
+
 /// Answers "how many more CPUs may this VO/group/user take at this site
 /// without violating USLAs?" given a site snapshot plus the broker's own
 /// accounting of group/user usage (sites only report per-VO usage).
@@ -91,6 +104,23 @@ class UslaEvaluator {
   /// True if a job of `cpus` for `vo` fits at the snapshot under USLAs.
   [[nodiscard]] bool admissible(const grid::SiteSnapshot& snapshot, VoId vo,
                                 std::int32_t cpus) const;
+
+  /// CPUs of `vo`'s cap at a site of `total_cpus` — the absolute ceiling
+  /// the headroom computations enforce against *local* knowledge. Useful
+  /// on its own to audit ground truth, where local knowledge may have
+  /// been wrong (a partition hid the other side's placements).
+  [[nodiscard]] std::int32_t vo_cap_cpus(SiteId site, VoId vo,
+                                         std::int32_t total_cpus) const;
+
+  /// Ground-truth entitlement audit: every (site, VO) in `sites` whose
+  /// actually-running CPUs exceed the VO's cap. A single honest broker
+  /// never admits past the cap, so on fresh state this is empty; entries
+  /// appear when divergent views each admitted within their own believed
+  /// headroom and the union breached the entitlement — the over-commit a
+  /// partition causes and reconciliation must surface. Deterministic
+  /// (site, then VO) order.
+  [[nodiscard]] std::vector<VoOverCommit> over_commit_audit(
+      const std::vector<grid::SiteSnapshot>& sites) const;
 
   /// Guaranteed (lower-limit) fraction, 0 when none declared.
   [[nodiscard]] double guarantee_fraction(VoId vo) const;

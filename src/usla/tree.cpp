@@ -158,13 +158,31 @@ double UslaEvaluator::cap_fraction(VoId vo, std::optional<SiteId> site) const {
 
 std::int32_t UslaEvaluator::vo_headroom(const grid::SiteSnapshot& snapshot,
                                         VoId vo) const {
-  const double cap = cap_fraction(vo, snapshot.site);
-  const auto allowed =
-      std::int32_t(std::floor(cap * double(snapshot.total_cpus) + 1e-9));
+  const std::int32_t allowed =
+      vo_cap_cpus(snapshot.site, vo, snapshot.total_cpus);
   std::int32_t used = 0;
   const auto it = snapshot.running_per_vo.find(vo);
   if (it != snapshot.running_per_vo.end()) used = it->second;
   return std::max(0, std::min(allowed - used, snapshot.free_cpus));
+}
+
+std::int32_t UslaEvaluator::vo_cap_cpus(SiteId site, VoId vo,
+                                        std::int32_t total_cpus) const {
+  const double cap = cap_fraction(vo, site);
+  return std::int32_t(std::floor(cap * double(total_cpus) + 1e-9));
+}
+
+std::vector<VoOverCommit> UslaEvaluator::over_commit_audit(
+    const std::vector<grid::SiteSnapshot>& sites) const {
+  std::vector<VoOverCommit> out;
+  for (const grid::SiteSnapshot& snapshot : sites) {
+    for (const auto& [vo, running] : snapshot.running_per_vo) {
+      if (running <= 0) continue;
+      const std::int32_t cap = vo_cap_cpus(snapshot.site, vo, snapshot.total_cpus);
+      if (running > cap) out.push_back({snapshot.site, vo, running, cap});
+    }
+  }
+  return out;
 }
 
 std::int32_t UslaEvaluator::chain_headroom(const grid::SiteSnapshot& snapshot,

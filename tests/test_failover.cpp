@@ -257,5 +257,148 @@ TEST(Failover, PartitionDropsExchangeTrafficUntilHealed) {
   b.stop();
 }
 
+TEST(Failover, RoundGapCatchUpRacingDeltaPullLosesNothingDoublesNothing) {
+  // After a heal the SAME exchange frame triggers both repair paths at
+  // once: the round gap fires a full kCatchUp fan-out while the
+  // piggybacked digest mismatch fires a targeted delta pull. Both replies
+  // carry overlapping record sets; the flooding dedup set plus the
+  // idempotent merge must land every split-era record exactly once on
+  // each side — applying one twice would double-subtract its CPUs,
+  // losing one would leave the views diverged forever.
+  Fixture f;
+  auto dp_opts = f.dp_options();
+  dp_opts.partition.enabled = true;
+  dp_opts.partition.delta_pull_min_gap = sim::Duration::seconds(5);
+  DecisionPoint a(f.sim, f.transport, DpId(0), f.catalog, f.tree, dp_opts);
+  DecisionPoint b(f.sim, f.transport, DpId(1), f.catalog, f.tree, dp_opts);
+  a.bootstrap(f.snapshots());
+  b.bootstrap(f.snapshots());
+  connect({&a, &b}, Overlay::kMesh);
+
+  net::RpcClient rpc_a(f.sim, f.transport);
+  net::RpcClient rpc_b(f.sim, f.transport);
+  auto report = [&](net::RpcClient& rpc, NodeId dp, std::int32_t cpus) {
+    ReportSelectionRequest r;
+    r.site = SiteId(0);
+    r.vo = VoId(0);
+    r.group = GroupId(0);
+    r.user = UserId(0);
+    r.cpus = cpus;
+    r.est_runtime = sim::Duration::minutes(180);
+    rpc.call<ReportSelectionRequest, Ack>(dp, kReportSelection, r,
+                                          sim::Duration::seconds(30),
+                                          [](Result<Ack>) {});
+  };
+
+  // A shared pre-split record, exchanged normally.
+  f.sim.schedule_at(sim::Time::from_seconds(30),
+                    [&] { report(rpc_a, a.node(), 40); });
+  // Split both of b's endpoints away, with rpc_b alongside so the minority
+  // side keeps taking placements; each side admits work the other cannot
+  // see, and the exchange rounds crossing the cut are dropped for good
+  // (flooding never retransmits a lost round).
+  f.sim.schedule_at(sim::Time::from_seconds(100), [&] {
+    f.transport.set_island(b.node(), 1);
+    f.transport.set_island(b.peer_node(), 1);
+    f.transport.set_island(rpc_b.node(), 1);
+  });
+  f.sim.schedule_at(sim::Time::from_seconds(110),
+                    [&] { report(rpc_a, a.node(), 10); });
+  f.sim.schedule_at(sim::Time::from_seconds(115),
+                    [&] { report(rpc_b, b.node(), 5); });
+  f.sim.schedule_at(sim::Time::from_seconds(250),
+                    [&] { f.transport.heal_partition(); });
+
+  // Give the post-heal rounds time to detect the gap, race both repair
+  // paths, and let the split-era records settle into the digest window.
+  f.sim.run_until(sim::Time::from_seconds(600));
+
+  // The race actually happened: a round gap fired a catch-up somewhere,
+  // and at least one digest mismatch fired a targeted pull.
+  EXPECT_GE(a.gap_resyncs() + b.gap_resyncs(), 1u);
+  EXPECT_GE(a.digest_mismatches() + b.digest_mismatches(), 1u);
+  EXPECT_GE(a.delta_pulls_sent() + b.delta_pulls_sent(), 1u);
+
+  // Exactly-once accounting: every record (40 + 10 + 5 CPUs, all still
+  // running) is counted once on both sides — a lost record would leave
+  // one side above 45 free, a double-applied one would drop it below.
+  const sim::Time now = f.sim.now();
+  EXPECT_EQ(a.engine().view().estimated_free(SiteId(0), now), 45);
+  EXPECT_EQ(b.engine().view().estimated_free(SiteId(0), now), 45);
+
+  // And the settled digests agree: the pair fully reconciled.
+  const auto da = a.engine().view().digest(sim::Time::from_seconds(500),
+                                           sim::Time::from_seconds(505));
+  const auto db = b.engine().view().digest(sim::Time::from_seconds(500),
+                                           sim::Time::from_seconds(505));
+  EXPECT_TRUE(da == db);
+  a.stop();
+  b.stop();
+}
+
+TEST(Failover, DegradedNackRedirectsWithoutQuarantine) {
+  // Regression: a level-2 degraded NACK (quorum stale behind a partition)
+  // used to be treated like a draining NACK and quarantined the decision
+  // point permanently — a mere heal produces no membership epoch bump, so
+  // the client never routed to it again. Degraded must only penalize the
+  // p2c score; the point has to be routable the moment the split heals.
+  Fixture f;
+  auto dp_opts = f.dp_options();
+  dp_opts.partition.enabled = true;
+  dp_opts.partition.staleness_threshold = sim::Duration::seconds(45);
+  DecisionPoint a(f.sim, f.transport, DpId(0), f.catalog, f.tree, dp_opts);
+  DecisionPoint b(f.sim, f.transport, DpId(1), f.catalog, f.tree, dp_opts);
+  a.bootstrap(f.snapshots());
+  b.bootstrap(f.snapshots());
+  connect({&a, &b}, Overlay::kMesh);
+
+  ClientOptions options;
+  options.attempt_timeout = sim::Duration::seconds(5);
+  options.membership_aware = true;  // the buggy path quarantined via this
+  auto client = f.client({a.node()}, options);
+
+  // Cut b away before the first exchange round: a keeps serving clients
+  // but its only peer goes stale, so its quorum view degrades to level 2.
+  f.sim.schedule_at(sim::Time::from_seconds(10), [&] {
+    f.transport.set_island(b.node(), 1);
+    f.transport.set_island(b.peer_node(), 1);
+  });
+
+  bool split_done = false;
+  f.sim.schedule_at(sim::Time::from_seconds(120), [&] {
+    client->schedule(f.job(), [&](grid::Job, QueryOutcome outcome) {
+      split_done = true;
+      // The only configured decision point refuses placement work while
+      // degraded, so this query degrades to the random-site fallback.
+      EXPECT_FALSE(outcome.handled_by_gruber);
+    });
+  });
+  // The refused query retries inside its 60 s budget, then falls back.
+  f.sim.run_until(sim::Time::from_seconds(190));
+  ASSERT_TRUE(split_done);
+  EXPECT_GE(a.degraded_refusals(), 1u);
+  EXPECT_GE(client->degraded_redirects(), 1u);
+  EXPECT_EQ(client->dps_quarantined(), 0u) << "degraded NACK must not "
+                                              "quarantine a live point";
+
+  // Heal; the next exchange round refreshes a's staleness clock and the
+  // same client must be able to route to a again with no membership event.
+  f.sim.schedule_at(sim::Time::from_seconds(190),
+                    [&] { f.transport.heal_partition(); });
+  bool healed_done = false;
+  f.sim.schedule_at(sim::Time::from_seconds(280), [&] {
+    client->schedule(f.job(), [&](grid::Job, QueryOutcome outcome) {
+      healed_done = true;
+      EXPECT_TRUE(outcome.handled_by_gruber);
+      EXPECT_EQ(outcome.served_by, a.node());
+    });
+  });
+  f.sim.run_until(sim::Time::from_seconds(400));
+  ASSERT_TRUE(healed_done);
+  EXPECT_EQ(client->dps_quarantined(), 0u);
+  a.stop();
+  b.stop();
+}
+
 }  // namespace
 }  // namespace digruber::digruber

@@ -75,6 +75,113 @@ TEST(FaultPlan, ParsesChurnVerbs) {
   EXPECT_FALSE(FaultPlan::parse("at=10 leave").ok());
 }
 
+TEST(FaultPlan, ParsesPartitionToleranceVerbs) {
+  const auto plan = FaultPlan::parse(
+      "at=100 partition islands=0|1,2 clients=split\n"
+      "at=200 oneway from=0 to=2\n"
+      "at=250 oneway from=1\n"
+      "at=300 healoneway from=0 to=2\n"
+      "at=320 healoneway from=1\n"
+      "at=400 corrupt rate=0.05\n"
+      "at=500 corrupt rate=0\n");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  const auto& events = plan.value().events();
+  ASSERT_EQ(events.size(), 7u);
+
+  EXPECT_EQ(events[0].kind, FaultKind::kPartition);
+  EXPECT_TRUE(events[0].split_clients);
+
+  EXPECT_EQ(events[1].kind, FaultKind::kOneWayPartition);
+  EXPECT_EQ(events[1].dp, 0u);
+  EXPECT_EQ(events[1].peer, 2u);
+  EXPECT_FALSE(events[1].all_peers);
+
+  EXPECT_EQ(events[2].kind, FaultKind::kOneWayPartition);
+  EXPECT_EQ(events[2].dp, 1u);
+  EXPECT_TRUE(events[2].all_peers);
+
+  EXPECT_EQ(events[3].kind, FaultKind::kOneWayHeal);
+  EXPECT_EQ(events[3].peer, 2u);
+  EXPECT_EQ(events[4].kind, FaultKind::kOneWayHeal);
+  EXPECT_TRUE(events[4].all_peers);
+
+  EXPECT_EQ(events[5].kind, FaultKind::kCorrupt);
+  EXPECT_DOUBLE_EQ(events[5].corrupt_rate, 0.05);
+  EXPECT_EQ(events[6].kind, FaultKind::kCorrupt);
+  EXPECT_DOUBLE_EQ(events[6].corrupt_rate, 0.0);
+
+  FaultPlan built;
+  built.partition(Time::from_seconds(100), {{0}, {1, 2}}, /*split_clients=*/true)
+      .oneway(Time::from_seconds(200), 0, 2)
+      .oneway_all(Time::from_seconds(250), 1)
+      .heal_oneway(Time::from_seconds(300), 0, 2)
+      .heal_oneway_all(Time::from_seconds(320), 1)
+      .corrupt(Time::from_seconds(400), 0.05)
+      .corrupt(Time::from_seconds(500), 0.0);
+  EXPECT_EQ(plan.value(), built);
+
+  EXPECT_FALSE(FaultPlan::parse("at=10 oneway to=1").ok());
+  EXPECT_FALSE(FaultPlan::parse("at=10 oneway from=1 to=1").ok());
+  EXPECT_FALSE(FaultPlan::parse("at=10 corrupt rate=1.5").ok());
+  EXPECT_FALSE(FaultPlan::parse("at=10 partition islands=0|1 clients=keep").ok());
+}
+
+TEST(FaultPlanRandom, PartitionToleranceFaultsAreOptIn) {
+  // allow_oneway_partitions / allow_corruption / split_clients_in_partitions
+  // default to false: pre-existing chaos seeds replay byte-identically.
+  RandomFaultOptions options;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, options);
+    for (const FaultEvent& event : plan.events()) {
+      EXPECT_NE(event.kind, FaultKind::kOneWayPartition) << "seed " << seed;
+      EXPECT_NE(event.kind, FaultKind::kCorrupt) << "seed " << seed;
+      EXPECT_FALSE(event.split_clients) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FaultPlanRandom, OneWayAndCorruptionEpisodesAlwaysHeal) {
+  RandomFaultOptions options;
+  options.n_dps = 3;
+  options.episodes = 8;
+  options.allow_oneway_partitions = true;
+  options.allow_corruption = true;
+  options.split_clients_in_partitions = true;
+  bool saw_oneway = false, saw_corrupt = false;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, options);
+    EXPECT_EQ(plan, FaultPlan::random(seed, options)) << "seed " << seed;
+    int oneway_open = 0;
+    double corrupt_rate = 0.0;
+    for (const FaultEvent& event : plan.events()) {
+      switch (event.kind) {
+        case FaultKind::kOneWayPartition:
+          saw_oneway = true;
+          ++oneway_open;
+          break;
+        case FaultKind::kOneWayHeal:
+          --oneway_open;
+          break;
+        case FaultKind::kHeal:
+          // A full heal clears directed blocks too.
+          oneway_open = 0;
+          break;
+        case FaultKind::kCorrupt:
+          if (event.corrupt_rate > 0.0) saw_corrupt = true;
+          corrupt_rate = event.corrupt_rate;
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_EQ(oneway_open, 0) << "unhealed one-way partition, seed " << seed;
+    EXPECT_DOUBLE_EQ(corrupt_rate, 0.0)
+        << "corruption left running, seed " << seed;
+  }
+  EXPECT_TRUE(saw_oneway);
+  EXPECT_TRUE(saw_corrupt);
+}
+
 TEST(FaultPlan, JoinCountAndMaxDpIndexCoverChurn) {
   FaultPlan plan;
   EXPECT_EQ(plan.join_count(), 0u);

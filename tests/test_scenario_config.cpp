@@ -88,6 +88,28 @@ fault_plan = at=120 crash dp=0; at=240 join; at=420 leave dp=1
   EXPECT_EQ(cfg.fault_plan.join_count(), 1u);
 }
 
+TEST(ScenarioFromConfig, ParsesPartitionToleranceSection) {
+  const auto result = scenario_from_config(Config::parse(R"(
+partition_tolerance = true
+checksums = true
+staleness_s = 90
+stale_discount = 0.25
+delta_pull_gap_s = 15
+fault_plan = at=120 partition islands=0|1,2 clients=split; at=300 oneway from=1 to=2; at=360 healoneway from=1 to=2; at=420 heal; at=500 corrupt rate=0.02; at=560 corrupt rate=0
+)"));
+  ASSERT_TRUE(result.ok()) << result.error();
+  const ScenarioConfig& cfg = result.value();
+  EXPECT_TRUE(cfg.partition_tolerance);
+  EXPECT_TRUE(cfg.frame_checksums);
+  EXPECT_DOUBLE_EQ(cfg.partition_options.staleness_threshold.to_seconds(), 90.0);
+  EXPECT_DOUBLE_EQ(cfg.partition_options.stale_discount, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.partition_options.delta_pull_min_gap.to_seconds(), 15.0);
+  EXPECT_EQ(cfg.fault_plan.events().size(), 6u);
+
+  EXPECT_FALSE(
+      scenario_from_config(Config::parse("stale_discount = 1.5\n")).ok());
+}
+
 TEST(ScenarioFromConfig, RejectsChurnVerbsWithMembershipOff) {
   const auto join_only =
       scenario_from_config(Config::parse("fault_plan = at=120 join\n"));

@@ -251,6 +251,52 @@ TEST(Evaluator, Admissible) {
   EXPECT_FALSE(eval.admissible(snapshot(100, 100), VoId(0), 11));
 }
 
+TEST(Evaluator, VoCapCpusIsTheHeadroomCeiling) {
+  const grid::VoCatalog catalog = two_vo_catalog();
+  const Agreement a =
+      parse_agreement("agreement t\nterm c: grid -> vo:cms cpu 25+\n").value();
+  const auto tree = AllocationTree::build({a}, catalog);
+  const UslaEvaluator eval(tree.value(), catalog);
+
+  EXPECT_EQ(eval.vo_cap_cpus(SiteId(0), VoId(0), 100), 25);
+  EXPECT_EQ(eval.vo_cap_cpus(SiteId(0), VoId(0), 90), 22);  // floor, not round
+  // Unruled VO under the open default: the whole site.
+  EXPECT_EQ(eval.vo_cap_cpus(SiteId(0), VoId(1), 100), 100);
+  // The cap is exactly what vo_headroom enforces from an empty site.
+  EXPECT_EQ(eval.vo_headroom(snapshot(100, 100), VoId(0)),
+            eval.vo_cap_cpus(SiteId(0), VoId(0), 100));
+}
+
+TEST(Evaluator, OverCommitAuditFlagsOnlyBreachedPairs) {
+  const grid::VoCatalog catalog = two_vo_catalog();
+  const Agreement a = parse_agreement(R"(
+agreement t
+term c: grid -> vo:cms cpu 25+
+term a: grid -> vo:atlas cpu 40+
+)").value();
+  const auto tree = AllocationTree::build({a}, catalog);
+  const UslaEvaluator eval(tree.value(), catalog);
+
+  // Site 0: cms holds 30 of a 25-CPU cap (a split admitted on both sides);
+  // atlas is within entitlement. Site 1: everyone within entitlement.
+  grid::SiteSnapshot breached =
+      snapshot(100, 50, {{VoId(0), 30}, {VoId(1), 20}});
+  grid::SiteSnapshot clean = snapshot(200, 150, {{VoId(0), 40}});
+  clean.site = SiteId(1);
+
+  const std::vector<VoOverCommit> audit = eval.over_commit_audit({breached, clean});
+  ASSERT_EQ(audit.size(), 1u);
+  EXPECT_EQ(audit[0].site, SiteId(0));
+  EXPECT_EQ(audit[0].vo, VoId(0));
+  EXPECT_EQ(audit[0].running, 30);
+  EXPECT_EQ(audit[0].cap_cpus, 25);
+  EXPECT_EQ(audit[0].excess(), 5);
+
+  // A single honest broker never admits past the cap: fresh state audits
+  // clean.
+  EXPECT_TRUE(eval.over_commit_audit({clean}).empty());
+}
+
 /// Property sweep over bound kinds: headroom is always within [0, free].
 class EvaluatorProperty : public ::testing::TestWithParam<char> {};
 

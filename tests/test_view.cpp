@@ -129,5 +129,159 @@ TEST(GridView, LoadsCoverAllSites) {
   EXPECT_EQ(loads[1].total_cpus, 40);
 }
 
+DispatchRecord origin_record(std::uint64_t origin, std::uint64_t seq,
+                             std::uint64_t site, std::int32_t cpus,
+                             double when_s, double runtime_s,
+                             std::uint64_t vo = 0) {
+  DispatchRecord r = record(site, cpus, when_s, runtime_s, vo, seq);
+  r.origin = DpId(origin);
+  return r;
+}
+
+// Window wide open for records dispatched around t=0..100 with long
+// runtimes: everything below is settled and nowhere near expiry.
+const sim::Time kAsOf = sim::Time::from_seconds(200);
+const sim::Time kHorizon = sim::Time::from_seconds(210);
+
+TEST(ViewDigest, OrderIndependentAndContentOnly) {
+  const std::vector<DispatchRecord> records = {
+      origin_record(0, 1, 0, 4, 10, 900, /*vo=*/1),
+      origin_record(1, 1, 1, 2, 20, 900, /*vo=*/2),
+      origin_record(1, 2, 0, 8, 30, 900, /*vo=*/1),
+  };
+  GridView a, b;
+  a.bootstrap({snapshot(0, 100, 100), snapshot(1, 50, 50)});
+  b.bootstrap({snapshot(0, 100, 100), snapshot(1, 50, 50)});
+  for (const auto& r : records) a.record_dispatch(r);
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    b.record_dispatch(*it);
+  }
+  EXPECT_TRUE(a.digest(kAsOf, kHorizon) == b.digest(kAsOf, kHorizon));
+  // The bounds are comparison parameters, not identity: a digest of the
+  // same content over a different (but equally covering) window matches.
+  EXPECT_TRUE(a.digest(kAsOf, kHorizon) ==
+              b.digest(kAsOf + sim::Duration::seconds(50), kHorizon));
+}
+
+TEST(ViewDigest, SettledWindowExcludesFreshAndExpiringRecords) {
+  GridView a, b;
+  a.bootstrap({snapshot(0, 100, 100)});
+  b.bootstrap({snapshot(0, 100, 100)});
+  const DispatchRecord settled = origin_record(0, 1, 0, 4, 10, 3600);
+  a.record_dispatch(settled);
+  b.record_dispatch(settled);
+  // Only a holds a record newer than as_of (still propagating through
+  // normal exchange) and one expiring before the horizon (could age out
+  // between sender compute and receiver compare): neither may show up as
+  // divergence.
+  a.record_dispatch(origin_record(0, 2, 0, 2, /*when=*/205, 3600));
+  a.record_dispatch(origin_record(0, 3, 0, 2, /*when=*/20, /*runtime=*/185));
+  EXPECT_TRUE(a.digest(kAsOf, kHorizon) == b.digest(kAsOf, kHorizon));
+  // A settled, long-lived difference IS divergence.
+  a.record_dispatch(origin_record(0, 4, 0, 2, 40, 3600));
+  EXPECT_FALSE(a.digest(kAsOf, kHorizon) == b.digest(kAsOf, kHorizon));
+}
+
+TEST(ViewDigest, DivergedVosTargetsExactlyTheDifferingVos) {
+  GridView a, b;
+  a.bootstrap({snapshot(0, 100, 100)});
+  b.bootstrap({snapshot(0, 100, 100)});
+  const DispatchRecord shared = origin_record(0, 1, 0, 4, 10, 3600, /*vo=*/1);
+  a.record_dispatch(shared);
+  b.record_dispatch(shared);
+  b.record_dispatch(origin_record(2, 7, 0, 2, 50, 3600, /*vo=*/3));
+  const std::vector<VoId> vos =
+      diverged_vos(a.digest(kAsOf, kHorizon), b.digest(kAsOf, kHorizon));
+  ASSERT_EQ(vos.size(), 1u);
+  EXPECT_EQ(vos[0], VoId(3));
+  // The epoch vector pinpoints the origin whose tail is missing.
+  const ViewDigest db = b.digest(kAsOf, kHorizon);
+  ASSERT_EQ(db.epochs.size(), 2u);
+  EXPECT_EQ(db.epochs[1].origin, DpId(2));
+  EXPECT_EQ(db.epochs[1].max_seq, 7u);
+}
+
+TEST(ViewDigest, BaseStateDivergenceIsDetected) {
+  GridView a, b;
+  a.bootstrap({snapshot(0, 100, 100)});
+  b.bootstrap({snapshot(0, 100, 90)});
+  EXPECT_FALSE(a.digest(kAsOf, kHorizon) == b.digest(kAsOf, kHorizon));
+  EXPECT_TRUE(diverged_vos(a.digest(kAsOf, kHorizon), b.digest(kAsOf, kHorizon))
+                  .empty());
+}
+
+TEST(GridViewMerge, DuplicateIsDroppedConflictResolvedBySeverity) {
+  const sim::Time now = sim::Time::from_seconds(100);
+  GridView view;
+  view.bootstrap({snapshot(0, 100, 100)});
+  const DispatchRecord r = origin_record(0, 1, 0, 4, 10, 3600);
+  ASSERT_TRUE(view.merge_record(r, now).applied);
+
+  const auto dup = view.merge_record(r, now);
+  EXPECT_FALSE(dup.applied);
+  EXPECT_FALSE(dup.conflict);
+  EXPECT_EQ(view.estimated_free(SiteId(0), now), 96);
+
+  // An (origin, seq) twin claiming MORE cpus wins (severity-first: the
+  // reconciled view never under-counts committed capacity)...
+  DispatchRecord bigger = r;
+  bigger.cpus = 9;
+  const auto up = view.merge_record(bigger, now);
+  EXPECT_TRUE(up.conflict);
+  EXPECT_TRUE(up.applied);
+  EXPECT_EQ(view.estimated_free(SiteId(0), now), 91);
+
+  // ...and a smaller twin loses against the incumbent.
+  DispatchRecord smaller = r;
+  smaller.cpus = 1;
+  const auto down = view.merge_record(smaller, now);
+  EXPECT_TRUE(down.conflict);
+  EXPECT_FALSE(down.applied);
+  EXPECT_EQ(view.estimated_free(SiteId(0), now), 91);
+}
+
+TEST(GridViewMerge, DoubleCommitFlaggedAndBothSidesKept) {
+  // The split-brain signature: two origins independently admitted the
+  // same logical work (vo, group, user, when). Both allocations really
+  // consumed capacity, so both stay — but the merge surfaces it.
+  const sim::Time now = sim::Time::from_seconds(100);
+  GridView view;
+  view.bootstrap({snapshot(0, 100, 100)});
+  const DispatchRecord from_a = origin_record(0, 1, 0, 4, 10, 3600, /*vo=*/2);
+  DispatchRecord from_b = origin_record(1, 1, 0, 4, 10, 3600, /*vo=*/2);
+  ASSERT_TRUE(view.merge_record(from_a, now).applied);
+  const auto merged = view.merge_record(from_b, now);
+  EXPECT_TRUE(merged.applied);
+  EXPECT_TRUE(merged.double_commit);
+  EXPECT_EQ(view.estimated_free(SiteId(0), now), 92);
+}
+
+TEST(GridViewMerge, ConvergesToSameDigestRegardlessOfMergeOrder) {
+  const sim::Time now = sim::Time::from_seconds(100);
+  std::vector<DispatchRecord> records = {
+      origin_record(0, 1, 0, 4, 10, 3600, 1),
+      origin_record(1, 1, 0, 6, 20, 3600, 2),
+      origin_record(1, 2, 1, 2, 30, 3600, 1),
+      origin_record(2, 5, 1, 3, 40, 3600, 3),
+  };
+  // A conflicting twin of records[1] with higher severity, mixed in at
+  // different positions on each side.
+  DispatchRecord twin = records[1];
+  twin.cpus = 8;
+
+  GridView a, b;
+  a.bootstrap({snapshot(0, 100, 100), snapshot(1, 50, 50)});
+  b.bootstrap({snapshot(0, 100, 100), snapshot(1, 50, 50)});
+  for (const auto& r : records) a.merge_record(r, now);
+  a.merge_record(twin, now);
+  b.merge_record(twin, now);
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    b.merge_record(*it, now);
+  }
+  EXPECT_TRUE(a.digest(kAsOf, kHorizon) == b.digest(kAsOf, kHorizon));
+  EXPECT_EQ(a.estimated_free(SiteId(0), now), b.estimated_free(SiteId(0), now));
+  EXPECT_EQ(a.estimated_free(SiteId(1), now), b.estimated_free(SiteId(1), now));
+}
+
 }  // namespace
 }  // namespace digruber::gruber

@@ -25,8 +25,28 @@
 //       zero queries (no partial-state decision point serves) — this
 //       covers schedules that crash or partition the seed mid-transfer.
 //
+// `--partition` turns on partition tolerance plus frame checksums and adds
+// asymmetric (one-way) partitions, client-splitting island partitions, and
+// bit-flip corruption to the random schedules, plus four more invariants:
+//
+//   I6  reconciliation converges: after the last disruptive episode ends,
+//       no decision point reports a digest mismatch once K exchange
+//       rounds have elapsed (split brains heal bounded-fast),
+//   I7  divergence triggers repair: any digest mismatch is answered by at
+//       least one targeted delta pull (detection is never silent),
+//   I8  checksum soundness: frames dropped for a bad CRC never exceed the
+//       bit flips actually injected (no false-positive drops), and the
+//       conservation invariants I1-I3 still hold with corruption live
+//       (no corrupted frame poisons broker state),
+//   I9  degraded points are not quarantined: a decision point that NACKs
+//       degraded during a partition stays routable — without churn the
+//       client fleet performs zero quarantines.
+//
+// `--partition --churn` composes both schedules and both invariant sets.
+//
 // Exit status 0 iff every seed passes; failing seeds are printed so a
 // failure reproduces with `chaos --seed K`.
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <sstream>
@@ -36,6 +56,7 @@
 #include "digruber/common/table.hpp"
 #include "digruber/experiments/scenario.hpp"
 #include "digruber/sim/fault_plan.hpp"
+#include "digruber/trace/trace.hpp"
 
 using namespace digruber;
 
@@ -50,10 +71,14 @@ struct SeedReport {
   std::uint64_t restarts = 0;
   std::uint64_t joins = 0;
   std::uint64_t deaths = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t pulls = 0;
+  std::uint64_t double_commits = 0;
   std::vector<std::string> violations;
 };
 
-SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn) {
+SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
+                    bool partition) {
   sim::RandomFaultOptions fault_options;
   fault_options.n_dps = 3;
   fault_options.horizon = quick ? sim::Duration::minutes(6) : sim::Duration::minutes(15);
@@ -62,6 +87,12 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn) {
     fault_options.allow_joins = true;
     fault_options.allow_leaves = true;
     fault_options.episodes += 2;  // keep crash/partition pressure alongside churn
+  }
+  if (partition) {
+    fault_options.allow_oneway_partitions = true;
+    fault_options.allow_corruption = true;
+    fault_options.split_clients_in_partitions = true;
+    fault_options.episodes += 2;  // dedicated one-way / corruption pressure
   }
   const sim::FaultPlan plan = sim::FaultPlan::random(seed, fault_options);
 
@@ -90,6 +121,18 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn) {
     config.membership_options.dead_after = 2.0;
     config.membership_options.join_snapshot_timeout = sim::Duration::seconds(5);
     config.membership_options.join_retry_backoff = sim::Duration::seconds(5);
+  }
+  trace::Tracer tracer;
+  if (partition) {
+    config.partition_tolerance = true;
+    config.frame_checksums = true;
+    // Frequent rounds so digests disagree, pulls fire, and convergence is
+    // observable inside the random partition windows (5%-25% of horizon).
+    config.exchange_interval = sim::Duration::seconds(15);
+    config.partition_options.staleness_threshold = sim::Duration::seconds(45);
+    config.partition_options.delta_pull_min_gap = sim::Duration::seconds(10);
+    // I6 needs mismatch timestamps, not just counts: trace the run.
+    config.tracer = &tracer;
   }
 
   if (verbose) {
@@ -223,6 +266,100 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn) {
     }
   }
 
+  if (partition) {
+    report.mismatches = result.partition.digest_mismatches;
+    report.pulls = result.partition.delta_pulls_sent;
+    report.double_commits = result.partition.double_commits;
+
+    // I6: bounded convergence. Find when the last disruptive condition
+    // ended (heal / restore / restart / corruption off); K exchange rounds
+    // later every pairwise digest must agree again, so no mismatch instant
+    // may be traced after that deadline. Vacuous when the schedule leaves
+    // no quiet tail to observe.
+    const double horizon_s = fault_options.horizon.to_seconds();
+    double last_heal_s = 0.0;
+    bool disrupted = false;
+    for (const auto& e : plan.events()) {
+      switch (e.kind) {
+        case sim::FaultKind::kPartition:
+        case sim::FaultKind::kOneWayPartition:
+        case sim::FaultKind::kLinkDegrade:
+        case sim::FaultKind::kDpCrash:
+          disrupted = true;
+          break;
+        case sim::FaultKind::kCorrupt:
+          if (e.corrupt_rate > 0.0) {
+            disrupted = true;
+          } else {
+            last_heal_s = std::max(last_heal_s, e.at.to_seconds());
+          }
+          break;
+        case sim::FaultKind::kHeal:
+        case sim::FaultKind::kOneWayHeal:
+        case sim::FaultKind::kLinkRestore:
+        case sim::FaultKind::kDpRestart:
+          last_heal_s = std::max(last_heal_s, e.at.to_seconds());
+          break;
+        default:
+          break;
+      }
+    }
+    // Budget: ~1.3 rounds for the digest settle window (interval + slack),
+    // one round to receive a divergent digest, the pull round trip, and a
+    // second detect+pull hop for cascades through peers that were
+    // themselves partially diverged (churn joiners make these real).
+    constexpr double kConvergenceRounds = 6.0;
+    const double deadline_s =
+        last_heal_s + kConvergenceRounds * config.exchange_interval.to_seconds();
+    if (disrupted && deadline_s < horizon_s) {
+      trace::Tracer::Filter filter;
+      filter.category = trace::Category::kDp;
+      filter.name = "dp.digest_mismatch";
+      filter.from = sim::Time::from_seconds(deadline_s);
+      const auto late = tracer.query(filter);
+      if (!late.empty()) {
+        std::ostringstream os;
+        os << "I6 " << late.size() << " digest mismatch(es) after the "
+           << "convergence deadline at " << deadline_s << "s (last heal "
+           << last_heal_s << "s + " << kConvergenceRounds
+           << " exchange rounds); first at " << late.front().ts.to_seconds()
+           << "s on dp" << late.front().actor;
+        violate(os.str());
+      }
+    }
+
+    // I7: detection is never silent — any digest mismatch triggers at
+    // least one targeted delta pull.
+    if (result.partition.digest_mismatches > 0 &&
+        result.partition.delta_pulls_sent == 0) {
+      std::ostringstream os;
+      os << "I7 " << result.partition.digest_mismatches
+         << " digest mismatches but zero delta pulls";
+      violate(os.str());
+    }
+
+    // I8: checksum soundness — every CRC drop maps to an injected flip
+    // (conservation under the surviving corruption is covered by I1-I3).
+    if (result.partition.frames_bad_checksum > result.partition.packets_corrupted) {
+      std::ostringstream os;
+      os << "I8 frames_bad_checksum=" << result.partition.frames_bad_checksum
+         << " > packets_corrupted=" << result.partition.packets_corrupted;
+      violate(os.str());
+    }
+
+    // I9: degraded NACKs never quarantine. Quarantine is reserved for
+    // membership-declared dead/left points, so without churn the client
+    // fleet must perform zero quarantines no matter how many degraded
+    // redirects the partitions caused.
+    if (!churn && result.membership.client_dps_quarantined != 0) {
+      std::ostringstream os;
+      os << "I9 " << result.membership.client_dps_quarantined
+         << " client quarantine(s) without membership churn (degraded "
+         << "points must stay routable)";
+      violate(os.str());
+    }
+  }
+
   return report;
 }
 
@@ -235,6 +372,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool verbose = false;
   bool churn = false;
+  bool partition = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -256,9 +394,12 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--churn") {
       churn = true;
+    } else if (arg == "--partition") {
+      partition = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--seeds N | --seed K] [--quick] [--verbose] [--churn]\n";
+                << " [--seeds N | --seed K] [--quick] [--verbose] [--churn]"
+                << " [--partition]\n";
       return 0;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
@@ -273,14 +414,21 @@ int main(int argc, char** argv) {
     for (std::uint64_t s = 1; s <= n_seeds; ++s) seeds.push_back(s);
   }
 
-  Table table(churn ? std::vector<std::string>{"seed", "faults", "queries", "shed",
-                                               "restarts", "joins", "deaths",
-                                               "verdict"}
-                    : std::vector<std::string>{"seed", "faults", "queries", "shed",
-                                               "restarts", "verdict"});
+  std::vector<std::string> header{"seed", "faults", "queries", "shed", "restarts"};
+  if (churn) {
+    header.push_back("joins");
+    header.push_back("deaths");
+  }
+  if (partition) {
+    header.push_back("mismatch");
+    header.push_back("pulls");
+    header.push_back("dblcommit");
+  }
+  header.push_back("verdict");
+  Table table(header);
   std::vector<std::uint64_t> failing;
   for (const std::uint64_t seed : seeds) {
-    const SeedReport report = run_seed(seed, quick, verbose, churn);
+    const SeedReport report = run_seed(seed, quick, verbose, churn, partition);
     std::vector<std::string> row{
         std::to_string(report.seed), std::to_string(report.faults),
         std::to_string(report.queries), std::to_string(report.shed),
@@ -288,6 +436,11 @@ int main(int argc, char** argv) {
     if (churn) {
       row.push_back(std::to_string(report.joins));
       row.push_back(std::to_string(report.deaths));
+    }
+    if (partition) {
+      row.push_back(std::to_string(report.mismatches));
+      row.push_back(std::to_string(report.pulls));
+      row.push_back(std::to_string(report.double_commits));
     }
     row.push_back(report.pass ? "PASS" : "FAIL");
     table.add_row(row);
@@ -308,6 +461,7 @@ int main(int argc, char** argv) {
   std::cout << "chaos: " << failing.size() << " failing seed(s):";
   for (const std::uint64_t s : failing) std::cout << " " << s;
   std::cout << "\nreproduce with: " << argv[0] << " --seed <K> --verbose"
-            << (quick ? " --quick" : "") << (churn ? " --churn" : "") << "\n";
+            << (quick ? " --quick" : "") << (churn ? " --churn" : "")
+            << (partition ? " --partition" : "") << "\n";
   return 1;
 }

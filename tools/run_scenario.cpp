@@ -144,6 +144,21 @@ int main(int argc, char** argv) {
               << r.membership.client_dps_quarantined
               << " client quarantine(s)\n";
   }
+  if (cfg.partition_tolerance || r.partition.frames_bad_checksum > 0) {
+    std::cout << "partition: " << r.partition.digest_mismatches
+              << " digest mismatch(es), " << r.partition.delta_pulls_sent
+              << " delta pull(s) moving " << r.partition.delta_records_applied
+              << " record(s), " << r.partition.double_commits
+              << " double commit(s), " << r.partition.degraded_refusals
+              << " degraded refusal(s), " << r.partition.frames_bad_checksum
+              << "/" << r.partition.packets_corrupted
+              << " corrupt frame(s) caught\n";
+  }
+  if (r.entitlement_breaches > 0) {
+    std::cout << "usla: " << r.entitlement_breaches
+              << " entitlement breach(es), worst "
+              << r.entitlement_worst_excess << " CPU(s) past a VO cap\n";
+  }
 
   if (!query_trace_path.empty()) {
     r.trace.save(query_trace_path);
