@@ -51,5 +51,85 @@ int main(int argc, char** argv) {
                "must not skew the distribution of the resources. (A 10-VO\n"
                "Jain index of 0.9 means the effective number of equally\n"
                "served VOs is 9 of 10.)\n";
-  return 0;
+
+  // --- Strategic-VO scenario: one VO submits 10x its share. -----------------
+  // Under the proportional baseline the broker grants demand-shaped CPU:
+  // the strategic VO walks away with most of the brokered capacity and
+  // Jain collapses toward 1/n. The karma allocator makes over-use cost
+  // credits, so the same workload is clamped to entitlements. Fairness is
+  // measured over *brokered granted* CPU (fallback placements excluded) —
+  // that is the allocation the gate governs; denied jobs model out-of-band
+  // submission and still run somewhere.
+  auto strategic_config = [&](bool karma) {
+    experiments::ScenarioConfig cfg;
+    cfg.seed = args.seed;
+    cfg.name = std::string("fairness-strategic-") + (karma ? "karma" : "prop");
+    cfg.n_dps = 1;  // fresh view: isolates the allocator from split-brain
+    cfg.n_clients = 50;
+    cfg.think = sim::Duration::seconds(18);
+    cfg.duration = sim::Duration::minutes(20);
+    cfg.ramp_span = sim::Duration::seconds(60);
+    cfg.grid_scale = 1;
+    cfg.background_util = 0.35;
+    cfg.selector = "least-used";
+    cfg.workload.n_vos = 5;
+    cfg.workload.strategic_vo = 0;
+    cfg.workload.strategic_factor = 10.0;
+    if (karma) {
+      cfg.economy_options.allocator = economy::Allocator::kKarma;
+      cfg.economy_options.epoch = sim::Duration::seconds(240);
+      // Ration ~30% of the grid through the broker so entitlements bind.
+      cfg.economy_options.capacity_cpus = 933;
+      cfg.economy_options.scarce_free_fraction = 0.6;
+      cfg.economy_options.initial_credit_epochs = 0.25;
+    }
+    return cfg;
+  };
+
+  Table strategic({"Allocator", "Brokered VO fairness (Jain)", "min/max share",
+                   "Denials", "Breaches", "Queries"});
+  const experiments::ScenarioResult prop =
+      experiments::run_scenario(strategic_config(false));
+  const experiments::ScenarioResult karma =
+      experiments::run_scenario(strategic_config(true));
+  auto strategic_row = [&](const std::string& label,
+                           const experiments::ScenarioResult& r) {
+    strategic.add_row({label, Table::num(r.brokered_vo_fairness.jain, 3),
+                       Table::pct(r.brokered_vo_fairness.min_share) + " / " +
+                           Table::pct(r.brokered_vo_fairness.max_share),
+                       std::to_string(r.economy.credit_denials),
+                       std::to_string(r.entitlement_breaches),
+                       std::to_string(r.all.requests)});
+  };
+  strategic_row("proportional (baseline)", prop);
+  strategic_row("karma (credit bank)", karma);
+
+  std::cout << "\n== Strategic VO: one collaboration submits 10x its share ==\n";
+  strategic.render(std::cout);
+  std::cout << "Proportional grants track demand, so the strategic VO crowds\n"
+               "out the honest four; karma prices the overage in credits and\n"
+               "holds brokered grants to entitlements without breaching any\n"
+               "USLA cap.\n";
+
+  // Acceptance floor (also the CI economy smoke): karma holds fairness
+  // where proportional collapses, and the credit gate never pushes a
+  // brokered placement past a USLA cap.
+  bool ok = true;
+  if (karma.brokered_vo_fairness.jain < 0.9) {
+    std::cout << "FAIL: karma brokered Jain "
+              << Table::num(karma.brokered_vo_fairness.jain, 3) << " < 0.9\n";
+    ok = false;
+  }
+  if (prop.brokered_vo_fairness.jain >= 0.7) {
+    std::cout << "FAIL: proportional brokered Jain "
+              << Table::num(prop.brokered_vo_fairness.jain, 3)
+              << " did not collapse below 0.7\n";
+    ok = false;
+  }
+  if (karma.entitlement_breaches != 0) {
+    std::cout << "FAIL: karma run recorded " << karma.entitlement_breaches
+              << " entitlement breach(es)\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

@@ -33,6 +33,8 @@ DiGruberClient::DiGruberClient(sim::Simulation& sim, net::Transport& transport,
   install_wire_categorizer();
   if (options_.frame_checksums) rpc_.set_frame_checksums(true);
   dp_score_.assign(dps_.size(), 0.0);
+  dp_price_.assign(dps_.size(), 0.0);
+  dp_wait_.assign(dps_.size(), 0.0);
   retry_tokens_ = options_.retry_budget_capacity;
 }
 
@@ -40,14 +42,26 @@ void DiGruberClient::rebind(NodeId decision_point) {
   dps_.front() = decision_point;
   health_.front() = DpHealth{};
   dp_score_.front() = 0.0;
+  dp_price_.front() = 0.0;
+  dp_wait_.front() = 0.0;
 }
 
-void DiGruberClient::apply_load_hints(const std::vector<DpLoadHint>& hints) {
-  if (!options_.overload_aware) return;
-  for (const DpLoadHint& hint : hints) {
+void DiGruberClient::apply_load_hints(const std::vector<DpLoadHint>& hints,
+                                      const std::vector<double>& prices) {
+  if (!options_.overload_aware && !options_.market_placement) return;
+  for (std::size_t k = 0; k < hints.size(); ++k) {
+    const DpLoadHint& hint = hints[k];
     for (std::size_t i = 0; i < dps_.size(); ++i) {
       if (dps_[i].value() == hint.node) {
-        dp_score_[i] = hint.est_wait_s + 0.01 * double(hint.queue_depth);
+        if (options_.overload_aware) {
+          dp_score_[i] = hint.est_wait_s + 0.01 * double(hint.queue_depth);
+        }
+        if (options_.market_placement) {
+          dp_wait_[i] = hint.est_wait_s;
+          // Quotes align index-wise with the hints; a missing or zero
+          // entry means "no quote", which keeps the point p2c-only.
+          if (k < prices.size()) dp_price_[i] = prices[k];
+        }
         break;
       }
     }
@@ -59,6 +73,8 @@ void DiGruberClient::quarantine(std::size_t idx) {
   h = DpHealth{};
   h.quarantined = true;
   dp_score_[idx] = 0.0;
+  dp_price_[idx] = 0.0;
+  dp_wait_[idx] = 0.0;
   ++dps_quarantined_;
   if (auto* t = trace::current()) {
     t->instant(trace::Category::kClient, id_.value(), "membership.quarantine",
@@ -90,6 +106,8 @@ void DiGruberClient::apply_membership(const MembershipUpdate& update) {
           dps_.push_back(NodeId(member.node));
           health_.push_back(DpHealth{});
           dp_score_.push_back(0.0);
+          dp_price_.push_back(0.0);
+          dp_wait_.push_back(0.0);
           ++dps_added_;
           if (auto* t = trace::current()) {
             t->instant(trace::Category::kClient, id_.value(),
@@ -102,6 +120,8 @@ void DiGruberClient::apply_membership(const MembershipUpdate& update) {
           // quarantine with a clean bill of health.
           health_[idx] = DpHealth{};
           dp_score_[idx] = 0.0;
+          dp_price_[idx] = 0.0;
+          dp_wait_[idx] = 0.0;
         }
         break;
       case MemberState::kSuspect:
@@ -133,7 +153,41 @@ void DiGruberClient::finish_with_fallback(grid::Job job, Done done, sim::Time t0
   done(std::move(job), outcome);
 }
 
-int DiGruberClient::pick_dp() {
+int DiGruberClient::pick_dp(const grid::Job& job) {
+  if (options_.market_placement && (job.budget > 0 || job.deadline_s > 0)) {
+    // Market placement: minimize quoted cost (price * cpus * runtime)
+    // over the quoted, deadline-feasible, closed-breaker set. Ties break
+    // toward the lower index, so the choice is deterministic (no rng
+    // draws — economic jobs consume no p2c randomness).
+    int best = -1;
+    double best_cost = 0;
+    const double runtime_s = job.runtime.to_seconds();
+    for (std::size_t i = 0; i < dps_.size(); ++i) {
+      if (health_[i].open || health_[i].quarantined) continue;
+      if (dp_price_[i] <= 0) continue;  // no quote heard yet
+      if (job.deadline_s > 0 && dp_wait_[i] + runtime_s > job.deadline_s) {
+        continue;  // cannot meet the deadline through this point
+      }
+      const double cost = dp_price_[i] * double(job.cpus) * runtime_s;
+      if (best < 0 || cost < best_cost) {
+        best = int(i);
+        best_cost = cost;
+      }
+    }
+    if (best >= 0) {
+      if (job.budget > 0 && best_cost > job.budget) {
+        // Too expensive everywhere: decline to buy. The job still runs —
+        // the load-based path below places it — but the rejection is
+        // visible to the economy counters.
+        ++budget_rejections_;
+      } else {
+        ++priced_dispatches_;
+        return best;
+      }
+    } else {
+      ++market_fallbacks_;  // no usable offer: fall back to p2c
+    }
+  }
   if (options_.overload_aware) {
     // Power-of-two-choices over the healthy set: sample two distinct
     // candidates and take the one with the lower advertised load. Near-
@@ -204,7 +258,7 @@ void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
                                          NodeId dp, const GetSiteLoadsReply& reply,
                                          trace::SpanContext qctx) {
   if (reply.has_membership) apply_membership(reply.membership);
-  apply_load_hints(reply.dp_loads);
+  apply_load_hints(reply.dp_loads, reply.dp_prices);
   if (reply.has_degraded && reply.degraded.level >= 1) {
     // Level-1 degraded reply: the answer is usable (capacity already
     // discounted server-side) but the point's view is stale — nudge p2c
@@ -243,6 +297,11 @@ void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
   report.user = job.user;
   report.cpus = job.cpus;
   report.est_runtime = job.runtime;
+  if (options_.market_placement && (job.budget > 0 || job.deadline_s > 0)) {
+    report.has_bid = true;
+    report.budget = job.budget;
+    report.deadline_s = job.deadline_s;
+  }
 
   const sim::Duration elapsed = sim_.now() - t0;
   sim::Duration remaining = options_.timeout - elapsed;
@@ -317,6 +376,14 @@ void DiGruberClient::schedule(grid::Job job, Done done) {
     request.has_epoch = true;
     request.membership_epoch = epoch_;
   }
+  if (options_.market_placement && (job.budget > 0 || job.deadline_s > 0)) {
+    // The bid rides second, forcing the epoch trailer (epoch 0 is a
+    // no-op on a decision point without a newer membership view).
+    request.has_epoch = true;
+    request.has_bid = true;
+    request.budget = job.budget;
+    request.deadline_s = job.deadline_s;
+  }
 
   trace::SpanContext actx;
   if (auto* t = trace::current()) {
@@ -347,7 +414,7 @@ void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
                              std::uint32_t attempt_n, double prev_delay_s,
                              trace::SpanContext qctx) {
   const sim::Time deadline = t0 + options_.timeout;
-  const int idx = pick_dp();
+  const int idx = pick_dp(job);
   if (idx < 0) {
     // Every decision point's breaker is open and cooling down (or probing).
     ++all_down_fallbacks_;
@@ -378,6 +445,14 @@ void DiGruberClient::attempt(grid::Job job, Done done, sim::Time t0,
   if (options_.membership_aware) {
     request.has_epoch = true;
     request.membership_epoch = epoch_;
+  }
+  if (options_.market_placement && (job.budget > 0 || job.deadline_s > 0)) {
+    // The bid rides second, forcing the epoch trailer (epoch 0 is a
+    // no-op on a decision point without a newer membership view).
+    request.has_epoch = true;
+    request.has_bid = true;
+    request.budget = job.budget;
+    request.deadline_s = job.deadline_s;
   }
 
   const NodeId dp = dps_[std::size_t(idx)];

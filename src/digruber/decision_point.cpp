@@ -43,6 +43,12 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
     server_.set_frame_checksums(true);
     peer_client_.set_frame_checksums(true);
   }
+  if (options_.economy.enabled &&
+      options_.economy.allocator == economy::Allocator::kKarma &&
+      options_.economy.capacity_cpus > 0) {
+    bank_ = std::make_unique<economy::CreditBank>(
+        options_.economy, economy::shares_from_tree(tree, catalog.vo_count()));
+  }
   server_.register_method(kGetSiteLoads,
                           [this](std::span<const std::uint8_t> body, NodeId from) {
                             return handle_get_site_loads(body, from);
@@ -232,6 +238,7 @@ void DecisionPoint::try_join() {
           }
           engine_.record(record);
           ++join_snapshot_records_;
+          charge_bank(record);
         }
         for (const DpLoadHint& hint : reply.hints) {
           if (hint.node != server_.node().value()) {
@@ -375,9 +382,13 @@ void DecisionPoint::crash() {
   applied_.clear();
   last_peer_round_.clear();
   peer_hints_.clear();
+  peer_prices_.clear();
   peer_last_heard_.clear();
   last_delta_pull_.clear();
   engine_.view().clear();
+  // Credit ledgers are soft state too: the next life starts from a fresh
+  // endowment (the conservation identity holds over the new lifetime).
+  if (bank_) bank_->reset(sim_.now());
   if (auto* t = trace::current()) {
     t->instant(trace::Category::kDp, id_.value(), "dp.crash", {},
                std::int64_t(incarnation_));
@@ -458,6 +469,7 @@ void DecisionPoint::run_catch_up() {
             engine_.record(record);
             ++resync_applied_;
             ++applied;
+            charge_bank(record);
             // Not re-buffered into fresh_: neighbors already hold these.
           }
           if (auto* t = trace::current()) {
@@ -571,6 +583,7 @@ void DecisionPoint::run_delta_pull(NodeId peer_node, DpId peer,
           if (merged.applied) {
             ++delta_records_applied_;
             ++applied;
+            charge_bank(record);
             // Not re-buffered into fresh_: the peer holds these, and other
             // peers detect their own divergence from its digest.
           } else if (!merged.conflict) {
@@ -695,6 +708,24 @@ net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> b
   GetSiteLoadsReply reply;
   reply.candidates = engine_.candidates(probe, sim_.now());
   reply.as_of = sim_.now();
+  // Karma admission gate: a VO past its fair share plus credits keeps
+  // brokering only while the grid has idle capacity *and* it wins the
+  // severity-then-credit arbitration among over-allowance contenders.
+  // Denial empties the candidate list — the client falls back — so the
+  // broker stops amplifying a strategic VO without touching the wire shape.
+  if (bank_ && !reply.candidates.empty()) {
+    switch (bank_->admit(request.vo, sim_.now(), free_fraction(sim_.now()))) {
+      case economy::Admit::kWithinShare:
+        break;
+      case economy::Admit::kGrace:
+        ++grace_admissions_;
+        break;
+      case economy::Admit::kDenied:
+        ++credit_denials_;
+        reply.candidates.clear();
+        break;
+    }
+  }
   // Staleness-guarded admission, level 1: some peers (or site state) are
   // stale, so part of the believed-free capacity may already be committed
   // on the far side of a split. Discount the usable estimate — clients
@@ -716,7 +747,9 @@ net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> b
   const bool attach_membership = membership_ && request.has_epoch &&
                                  request.membership_epoch < membership_->epoch();
   const bool attach_digest = options_.partition.enabled;
-  if (options_.advertise_load || attach_membership || attach_digest) {
+  const bool attach_prices = options_.economy.enabled;
+  if (options_.advertise_load || attach_membership || attach_digest ||
+      attach_prices) {
     // Own hint plus whatever peers piggybacked on recent exchanges, in
     // node order so the reply bytes are deterministic across runs.
     reply.dp_loads.push_back(self_hint());
@@ -724,20 +757,39 @@ net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> b
     std::sort(reply.dp_loads.begin(), reply.dp_loads.end(),
               [](const DpLoadHint& a, const DpLoadHint& b) { return a.node < b.node; });
   }
-  if (attach_membership || attach_digest) {
+  if (attach_membership || attach_digest || attach_prices) {
     reply.has_membership = true;
     // Without a membership table the slot is an empty update — a no-op on
     // the receiver, emitted only to keep the trailer positions aligned.
     if (membership_) reply.membership = membership_->update();
   }
-  if (attach_digest) {
+  if (attach_digest || attach_prices) {
+    // The price trailer rides fifth, so it forces the digest and degraded
+    // slots; without partition tolerance both are empty no-ops.
     reply.has_digest = true;
-    reply.digest = settled_digest(sim_.now());
-    if (degraded.level >= 1) {
+    if (attach_digest) reply.digest = settled_digest(sim_.now());
+    if (attach_digest && degraded.level >= 1) {
       reply.has_degraded = true;
       reply.degraded = degraded;
       ++degraded_replies_;
+    } else if (attach_prices) {
+      reply.has_degraded = true;  // empty level-0 hint: receiver no-op
     }
+  }
+  if (attach_prices) {
+    // Quotes aligned index-wise with dp_loads: own price for the self
+    // hint, the freshest exchanged quote for each peer (0 = no quote yet).
+    reply.dp_prices.reserve(reply.dp_loads.size());
+    const std::uint64_t self_node = server_.node().value();
+    for (const DpLoadHint& hint : reply.dp_loads) {
+      if (hint.node == self_node) {
+        reply.dp_prices.push_back(self_price());
+      } else {
+        const auto it = peer_prices_.find(hint.node);
+        reply.dp_prices.push_back(it != peer_prices_.end() ? it->second : 0.0);
+      }
+    }
+    ++priced_replies_;
   }
 
   // Ambient here is the rpc.serve span, so the instant lands inside the
@@ -774,6 +826,8 @@ net::Served DecisionPoint::handle_report_selection(std::span<const std::uint8_t>
 
   engine_.record(record);
   applied_[id_].insert(record.seq);
+  charge_bank(record);
+  if (request.has_bid) ++priced_selections_;
   if (options_.dissemination != Dissemination::kNone) fresh_.push_back(record);
 
   if (auto* t = trace::current()) {
@@ -820,6 +874,7 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
     }
     engine_.record(record);
     ++records_applied_;
+    charge_bank(record);
     // Flooding: relay fresh records onward at the next exchange tick.
     fresh_.push_back(record);
   }
@@ -827,15 +882,23 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
     engine_.view().apply_snapshot(snapshot);
   }
   if (message.has_load) peer_hints_[message.load.node] = message.load;
+  if (message.has_price && message.has_load && message.load.node != 0) {
+    peer_prices_[message.load.node] = message.price;
+  }
 
   if (options_.partition.enabled) {
     // The frame doubles as the staleness heartbeat for degraded-mode
     // admission, and its piggybacked digest — compared only *after* the
     // frame's own records were applied above — is the split-brain
     // detector: any divergence the frame itself did not repair triggers a
-    // targeted delta pull.
+    // targeted delta pull. An economy-only sender emits an *empty* digest
+    // slot just to reach the price trailer; empty means "no digest", not
+    // "diverged from an empty view" — there is nothing to pull from it.
     peer_last_heard_[message.from] = sim_.now();
-    if (message.has_digest) maybe_delta_pull(message);
+    const bool digest_empty = message.digest.base_hash == 0 &&
+                              message.digest.vos.empty() &&
+                              message.digest.epochs.empty();
+    if (message.has_digest && !digest_empty) maybe_delta_pull(message);
   }
 
   if (membership_ && message.has_membership) {
@@ -883,6 +946,32 @@ DpLoadHint DecisionPoint::self_hint() const {
   return hint;
 }
 
+double DecisionPoint::self_price() const {
+  const DpLoadHint hint = self_hint();
+  return economy::quote_price(options_.economy, hint.utilization,
+                              hint.est_wait_s);
+}
+
+double DecisionPoint::free_fraction(sim::Time now) const {
+  std::int64_t total = 0;
+  std::int64_t free = 0;
+  for (const gruber::SiteLoad& load : engine_.view().loads(now)) {
+    total += load.total_cpus;
+    free += std::max<std::int32_t>(0, load.free_estimate);
+  }
+  return total > 0 ? double(free) / double(total) : 1.0;
+}
+
+void DecisionPoint::charge_bank(const gruber::DispatchRecord& record) {
+  if (!bank_) return;
+  // Meter in CPU-seconds against the record's VO. Every record-apply path
+  // funnels here after the flooding dedup, so replicated banks converge on
+  // the same ledgers without double-charging.
+  bank_->charge(record.vo,
+                double(record.cpus) * record.est_runtime.to_seconds(),
+                sim_.now());
+}
+
 void DecisionPoint::run_exchange(bool final_flush) {
   if (membership_ && !serving_ && !final_flush) return;
   if (membership_ && !final_flush) {
@@ -899,7 +988,8 @@ void DecisionPoint::run_exchange(bool final_flush) {
   message.exchange_round = ++exchange_round_;
   message.dispatches = std::move(fresh_);
   fresh_.clear();
-  if (options_.advertise_load || membership_ || options_.partition.enabled) {
+  if (options_.advertise_load || membership_ || options_.partition.enabled ||
+      options_.economy.enabled) {
     message.has_load = true;
     message.load = self_hint();
   }
@@ -916,6 +1006,15 @@ void DecisionPoint::run_exchange(bool final_flush) {
     message.has_membership = true;
     message.has_digest = true;
     message.digest = settled_digest(sim_.now());
+  }
+  if (options_.economy.enabled) {
+    // The price rides fourth, forcing the membership and digest slots.
+    // Without partition tolerance the digest stays empty — receivers treat
+    // an empty digest as absent, never as divergence.
+    message.has_membership = true;
+    message.has_digest = true;
+    message.has_price = true;
+    message.price = self_price();
   }
   trace::SpanContext xctx;
   if (auto* t = trace::current()) {

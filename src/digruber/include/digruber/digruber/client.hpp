@@ -64,6 +64,16 @@ struct ClientOptions {
   /// Emit CRC-32C frame-checksum trailers (v3 frames) on every request
   /// this client sends. Off by default: legacy bytes.
   bool frame_checksums = false;
+
+  /// Market placement (off by default; enabling changes rng consumption
+  /// and wire bytes, so default runs stay byte-identical):
+  ///  - jobs carrying a budget or deadline ride a bid trailer on the
+  ///    query and selection-report frames,
+  ///  - decision-point choice minimizes quoted cost (price * cpus *
+  ///    runtime) over the deadline-feasible quoted set instead of p2c,
+  ///  - jobs without economic fields — or when no quotes have arrived —
+  ///    fall back to the load-based path unchanged.
+  bool market_placement = false;
 };
 
 struct QueryOutcome {
@@ -137,6 +147,22 @@ class DiGruberClient {
   /// Attempts routed by power-of-two-choices over DP load hints.
   [[nodiscard]] std::uint64_t p2c_decisions() const { return p2c_decisions_; }
 
+  /// Market-placement telemetry (all zero unless market_placement is on).
+  /// Attempts routed by minimizing quoted cost subject to the deadline.
+  [[nodiscard]] std::uint64_t priced_dispatches() const {
+    return priced_dispatches_;
+  }
+  /// Market picks declined because the cheapest feasible quote exceeded
+  /// the job's budget (the job was placed by the load-based path instead).
+  [[nodiscard]] std::uint64_t budget_rejections() const {
+    return budget_rejections_;
+  }
+  /// Economic jobs routed by the load-based path because no decision
+  /// point had a usable (quoted, deadline-feasible) offer.
+  [[nodiscard]] std::uint64_t market_fallbacks() const {
+    return market_fallbacks_;
+  }
+
   /// Membership-aware routing telemetry.
   [[nodiscard]] std::uint64_t membership_epoch() const { return epoch_; }
   [[nodiscard]] std::uint64_t membership_updates_applied() const {
@@ -186,12 +212,17 @@ class DiGruberClient {
   }
   /// First decision point with a closed breaker; failing that, the first
   /// open one whose cooldown expired (marked half-open). -1 if all down.
-  [[nodiscard]] int pick_dp();
+  /// With market placement on, a job carrying economic fields is routed
+  /// to the cheapest deadline-feasible quoted point first.
+  [[nodiscard]] int pick_dp(const grid::Job& job);
   void on_dp_failure(std::size_t idx);
   void on_dp_success(std::size_t idx);
   /// Fold the DP load hints piggybacked on a query reply into the
-  /// power-of-two-choices scores (overload-aware mode only).
-  void apply_load_hints(const std::vector<DpLoadHint>& hints);
+  /// power-of-two-choices scores (overload-aware mode) and the per-DP
+  /// wait/price books (market placement). `prices` aligns index-wise with
+  /// `hints` and may be empty (no quotes on this reply).
+  void apply_load_hints(const std::vector<DpLoadHint>& hints,
+                        const std::vector<double>& prices);
   /// Fold a piggybacked membership update into the DP list (add joiners,
   /// quarantine dead/left, un-quarantine resurrected). Epoch-gated.
   void apply_membership(const MembershipUpdate& update);
@@ -214,6 +245,10 @@ class DiGruberClient {
   /// Per-DP load score (estimated wait + queue-depth tiebreak) fed by
   /// piggybacked hints; lower is better. Only used in overload-aware mode.
   std::vector<double> dp_score_;
+  /// Per-DP price quote and raw estimated wait (market placement only;
+  /// price 0 = no quote heard yet, so the point is not market-eligible).
+  std::vector<double> dp_price_;
+  std::vector<double> dp_wait_;
   std::vector<SiteId> all_sites_;
   std::unique_ptr<gruber::SiteSelector> selector_;
   Rng rng_;
@@ -230,6 +265,9 @@ class DiGruberClient {
   std::uint64_t retry_after_honored_ = 0;
   std::uint64_t retries_budget_denied_ = 0;
   std::uint64_t p2c_decisions_ = 0;
+  std::uint64_t priced_dispatches_ = 0;
+  std::uint64_t budget_rejections_ = 0;
+  std::uint64_t market_fallbacks_ = 0;
   /// Retry token bucket (overload-aware mode): refilled on schedule(),
   /// debited one token per retry attempt.
   double retry_tokens_ = 0.0;

@@ -10,6 +10,7 @@
 #include "digruber/common/stats.hpp"
 #include "digruber/digruber/membership.hpp"
 #include "digruber/digruber/protocol.hpp"
+#include "digruber/economy/economy.hpp"
 #include "digruber/grid/topology.hpp"
 #include "digruber/gruber/engine.hpp"
 #include "digruber/net/rpc.hpp"
@@ -90,6 +91,10 @@ struct DecisionPointOptions {
   /// point sends. Verification of incoming v3 frames is always on; this
   /// only controls emission, so the default stays byte-identical.
   bool frame_checksums = false;
+  /// Economic brokering (price quoting + the karma credit allocator). Off
+  /// by default: no price trailers are emitted, no credit bank exists, and
+  /// every message keeps its legacy byte layout.
+  economy::EconomyOptions economy{};
 };
 
 /// A DI-GRUBER decision point: a GRUBER engine exposed as a Web service
@@ -212,6 +217,19 @@ class DecisionPoint {
   /// Current degraded assessment (level 0 when healthy or PT disabled).
   [[nodiscard]] DegradedHint degraded_hint(sim::Time now) const;
 
+  /// --- Economy (all zero/null unless options.economy.enabled) ---
+
+  /// The credit bank (nullptr unless the karma allocator is active).
+  [[nodiscard]] const economy::CreditBank* bank() const { return bank_.get(); }
+  /// Queries whose VO the karma gate refused to broker (empty candidates).
+  [[nodiscard]] std::uint64_t credit_denials() const { return credit_denials_; }
+  /// Over-allowance queries grace-admitted (arbitration winner, idle grid).
+  [[nodiscard]] std::uint64_t grace_admissions() const { return grace_admissions_; }
+  /// Query replies that carried price quotes.
+  [[nodiscard]] std::uint64_t priced_replies() const { return priced_replies_; }
+  /// Selections reported with an economic bid attached.
+  [[nodiscard]] std::uint64_t priced_selections() const { return priced_selections_; }
+
   /// Response-time samples the detector monitors (exposed for GRUB-SIM).
   [[nodiscard]] const StreamingStats& response_stats() const {
     return server_.container().sojourn_stats();
@@ -240,6 +258,14 @@ class DecisionPoint {
                       std::vector<VoId> vos, bool want_bases);
   /// Snapshot of this point's container load for piggybacking.
   [[nodiscard]] DpLoadHint self_hint() const;
+  /// Congestion-derived price quote for placements through this point.
+  [[nodiscard]] double self_price() const;
+  /// Grid free fraction from the local view (the karma scarcity signal).
+  [[nodiscard]] double free_fraction(sim::Time now) const;
+  /// Meter a newly-applied dispatch record against the credit bank (all
+  /// record-apply paths: own selections, flooding, catch-up, delta pulls,
+  /// join snapshots).
+  void charge_bank(const gruber::DispatchRecord& record);
   void run_exchange(bool final_flush = false);
   void run_catch_up();
   void check_saturation();
@@ -274,6 +300,9 @@ class DecisionPoint {
   /// attached to query replies when advertise_load is on. Volatile: lost
   /// on crash like the rest of the soft state.
   std::unordered_map<std::uint64_t, DpLoadHint> peer_hints_;
+  /// Freshest price quote heard from each peer (keyed by its server node),
+  /// relayed to clients beside the load hints. Volatile like peer_hints_.
+  std::unordered_map<std::uint64_t, double> peer_prices_;
 
   bool running_ = true;
   std::uint32_t incarnation_ = 0;
@@ -318,6 +347,16 @@ class DecisionPoint {
   std::uint64_t delta_converged_ = 0;
   std::uint64_t degraded_refusals_ = 0;
   std::uint64_t degraded_replies_ = 0;
+
+  /// Economy state (only touched when options.economy.enabled): the credit
+  /// bank is created when the karma allocator is selected and survives
+  /// crashes only as a fresh endowment (reset(), like the rest of the soft
+  /// state).
+  std::unique_ptr<economy::CreditBank> bank_;
+  std::uint64_t credit_denials_ = 0;
+  std::uint64_t grace_admissions_ = 0;
+  std::uint64_t priced_replies_ = 0;
+  std::uint64_t priced_selections_ = 0;
 
   /// Saturation detector state: last emitted signal and the completed
   /// count / sojourn sum at the previous check (for windowed averages).

@@ -80,16 +80,28 @@ struct GetSiteLoadsRequest {
   /// attaches a MembershipUpdate to the reply. Absent -> legacy bytes.
   bool has_epoch = false;
   std::uint64_t membership_epoch = 0;
+  /// Second optional trailing field (market placement): the job's economic
+  /// bid — a spend ceiling and a completion deadline. Positional stacking
+  /// rule: attaching the bid forces the epoch trailer (epoch 0 is a
+  /// harmless no-op on decision points). Absent -> legacy bytes.
+  bool has_bid = false;
+  double budget = 0.0;
+  double deadline_s = 0.0;
 
   template <class Archive>
   void serialize(Archive& ar) {
     ar & job & vo & group & user & cpus;
     if constexpr (Archive::kIsWriter) {
       if (has_epoch) ar & membership_epoch;
+      if (has_bid) ar & budget & deadline_s;
     } else {
       if (ar.remaining() > 0) {
         ar & membership_epoch;
         has_epoch = true;
+      }
+      if (ar.remaining() > 0) {
+        ar & budget & deadline_s;
+        has_bid = true;
       }
     }
   }
@@ -152,6 +164,12 @@ struct GetSiteLoadsReply {
   /// admission hint. Same stacking rule: attaching it forces the digest.
   bool has_degraded = false;
   DegradedHint degraded;
+  /// Fifth optional trailing field (economy): per-DP price quotes aligned
+  /// index-wise with `dp_loads`, so market-placement clients can minimize
+  /// cost over the same hint set p2c uses. Attaching it forces every
+  /// earlier trailer (empty digest / level-0 degraded hints are harmless
+  /// no-ops on receivers).
+  std::vector<double> dp_prices;
 
   template <class Archive>
   void serialize(Archive& ar) {
@@ -161,6 +179,7 @@ struct GetSiteLoadsReply {
       if (has_membership) ar & membership;
       if (has_digest) ar & digest;
       if (has_degraded) ar & degraded;
+      if (!dp_prices.empty()) ar & dp_prices;
     } else {
       if (ar.remaining() > 0) ar & dp_loads;
       if (ar.remaining() > 0) {
@@ -175,6 +194,7 @@ struct GetSiteLoadsReply {
         ar & degraded;
         has_degraded = true;
       }
+      if (ar.remaining() > 0) ar & dp_prices;
     }
   }
 };
@@ -187,10 +207,24 @@ struct ReportSelectionRequest {
   UserId user;
   std::int32_t cpus = 1;
   sim::Duration est_runtime;
+  /// Optional trailing field (market placement): the bid the client
+  /// placed this job under, echoed so the serving DP can account priced
+  /// selections. Absent -> legacy bytes.
+  bool has_bid = false;
+  double budget = 0.0;
+  double deadline_s = 0.0;
 
   template <class Archive>
   void serialize(Archive& ar) {
     ar & job & site & vo & group & user & cpus & est_runtime;
+    if constexpr (Archive::kIsWriter) {
+      if (has_bid) ar & budget & deadline_s;
+    } else {
+      if (ar.remaining() > 0) {
+        ar & budget & deadline_s;
+        has_bid = true;
+      }
+    }
   }
 };
 
@@ -227,6 +261,14 @@ struct ExchangeMessage {
   /// (empty ones are harmless no-ops on the receiver).
   bool has_digest = false;
   gruber::ViewDigest digest;
+  /// Fourth optional trailing field (economy): the sender's current price
+  /// quote, flooded so every DP can relay the full price picture to its
+  /// clients. Positional stacking rule: attaching the price forces the
+  /// three earlier trailers. An economy-only sender emits an *empty*
+  /// digest — receivers must treat an empty digest as "no digest", not as
+  /// divergence (see `ViewDigest` equality).
+  bool has_price = false;
+  double price = 0.0;
 
   template <class Archive>
   void serialize(Archive& ar) {
@@ -235,6 +277,7 @@ struct ExchangeMessage {
       if (has_load) ar & load;
       if (has_membership) ar & membership;
       if (has_digest) ar & digest;
+      if (has_price) ar & price;
     } else {
       if (ar.remaining() > 0) {
         ar & load;
@@ -247,6 +290,10 @@ struct ExchangeMessage {
       if (ar.remaining() > 0) {
         ar & digest;
         has_digest = true;
+      }
+      if (ar.remaining() > 0) {
+        ar & price;
+        has_price = true;
       }
     }
   }

@@ -28,6 +28,11 @@ void render_overload(std::ostream& os, const metrics::OverloadCounters& counters
 /// join/leave protocol traffic, client-side quarantine accounting).
 void render_membership(std::ostream& os, const metrics::MembershipCounters& counters);
 
+/// Render the economic-brokering counter block (credit-bank settlement,
+/// karma admission verdicts, market-placement routing). Credit amounts
+/// are CPU-seconds.
+void render_economy(std::ostream& os, const metrics::EconomyCounters& counters);
+
 /// Render the per-category bytes-on-wire / encode-count block. With the
 /// zero-copy message path, `encodes` counts serializations (one per
 /// exchange round, not one per peer); bytes are the frames those encodes

@@ -150,6 +150,39 @@ void render_membership(std::ostream& os,
   os << "\n";
 }
 
+void render_economy(std::ostream& os, const metrics::EconomyCounters& counters) {
+  os << "== economy counters ==\n";
+  Table table({"counter", "value"});
+  table.add_row(
+      {"epochs settled", Table::num(double(counters.epochs_settled), 0)});
+  table.add_row(
+      {"credits endowed (cpu-s)", Table::num(counters.credits_initial, 0)});
+  table.add_row(
+      {"credits earned (cpu-s)", Table::num(counters.credits_earned, 0)});
+  table.add_row(
+      {"credits spent (cpu-s)", Table::num(counters.credits_spent, 0)});
+  table.add_row({"credits expired: pool",
+                 Table::num(counters.credits_expired_pool, 0)});
+  table.add_row(
+      {"credits expired: cap", Table::num(counters.credits_expired_cap, 0)});
+  table.add_row(
+      {"credit denials", Table::num(double(counters.credit_denials), 0)});
+  table.add_row(
+      {"grace admissions", Table::num(double(counters.grace_admissions), 0)});
+  table.add_row(
+      {"priced replies", Table::num(double(counters.priced_replies), 0)});
+  table.add_row(
+      {"priced selections", Table::num(double(counters.priced_selections), 0)});
+  table.add_row(
+      {"priced dispatches", Table::num(double(counters.priced_dispatches), 0)});
+  table.add_row(
+      {"budget rejections", Table::num(double(counters.budget_rejections), 0)});
+  table.add_row(
+      {"market fallbacks", Table::num(double(counters.market_fallbacks), 0)});
+  table.render(os);
+  os << "\n";
+}
+
 void render_wire(std::ostream& os, const metrics::WireCounters& counters) {
   os << "== wire traffic by category ==\n";
   Table table({"category", "encodes", "bytes"});

@@ -27,6 +27,18 @@ Result<digruber::Overlay> parse_overlay(const std::string& name) {
   return Result<digruber::Overlay>::failure("unknown overlay: " + name);
 }
 
+Result<economy::Allocator> parse_allocator(const std::string& name) {
+  if (name == "proportional") return economy::Allocator::kProportional;
+  if (name == "karma") return economy::Allocator::kKarma;
+  return Result<economy::Allocator>::failure("unknown allocator: " + name);
+}
+
+Result<bool> parse_placement(const std::string& name) {
+  if (name == "p2c") return false;
+  if (name == "market") return true;
+  return Result<bool>::failure("unknown placement: " + name);
+}
+
 const std::set<std::string>& known_keys() {
   static const std::set<std::string> keys{
       "name",          "seed",
@@ -52,7 +64,15 @@ const std::set<std::string>& known_keys() {
       "dead_after",    "join_timeout_s",
       "join_backoff_s", "partition_tolerance",
       "staleness_s",   "stale_discount",
-      "delta_pull_gap_s", "checksums"};
+      "delta_pull_gap_s", "checksums",
+      "allocator",     "placement",
+      "economy_epoch_s", "credit_cap_epochs",
+      "initial_credit_epochs", "scarce_free_fraction",
+      "price_base",    "price_utilization",
+      "price_wait",    "economy_capacity_cpus",
+      "strategic_vo",
+      "strategic_factor", "budget_mean",
+      "deadline_slack"};
   return keys;
 }
 
@@ -166,6 +186,43 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
         config.get_double("delta_pull_gap_s",
                           out.partition_options.delta_pull_min_gap.to_seconds()));
     out.frame_checksums = config.get_bool("checksums", out.frame_checksums);
+
+    // Economic brokering: `allocator = karma` turns on the credit banks,
+    // `placement = market` the client-side bid/price path; either one
+    // enables the price/bid wire trailers.
+    const auto allocator =
+        parse_allocator(config.get_string("allocator", "proportional"));
+    if (!allocator.ok()) return Fail::failure(allocator.error());
+    out.economy_options.allocator = allocator.value();
+    const auto placement = parse_placement(config.get_string("placement", "p2c"));
+    if (!placement.ok()) return Fail::failure(placement.error());
+    out.market_placement = placement.value();
+    out.economy_options.epoch = sim::Duration::seconds(config.get_double(
+        "economy_epoch_s", out.economy_options.epoch.to_seconds()));
+    out.economy_options.credit_cap_epochs = config.get_double(
+        "credit_cap_epochs", out.economy_options.credit_cap_epochs);
+    out.economy_options.initial_credit_epochs = config.get_double(
+        "initial_credit_epochs", out.economy_options.initial_credit_epochs);
+    out.economy_options.scarce_free_fraction = config.get_double(
+        "scarce_free_fraction", out.economy_options.scarce_free_fraction);
+    out.economy_options.price_base =
+        config.get_double("price_base", out.economy_options.price_base);
+    out.economy_options.price_utilization = config.get_double(
+        "price_utilization", out.economy_options.price_utilization);
+    out.economy_options.price_wait =
+        config.get_double("price_wait", out.economy_options.price_wait);
+    // Brokered capacity the banks ration, in CPUs (0 = the whole grid).
+    // Entitlements only bind when demand can exceed a VO's share of this.
+    out.economy_options.capacity_cpus = config.get_double(
+        "economy_capacity_cpus", out.economy_options.capacity_cpus);
+    out.workload.strategic_vo =
+        int(config.get_int("strategic_vo", out.workload.strategic_vo));
+    out.workload.strategic_factor =
+        config.get_double("strategic_factor", out.workload.strategic_factor);
+    out.workload.budget_mean =
+        config.get_double("budget_mean", out.workload.budget_mean);
+    out.workload.deadline_slack =
+        config.get_double("deadline_slack", out.workload.deadline_slack);
   } catch (const std::exception& e) {
     return Fail::failure(e.what());
   }
@@ -180,6 +237,20 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
     return Fail::failure("wan_loss must be in [0, 1)");
   }
   if (out.failover_backups < 0) return Fail::failure("failover_backups must be >= 0");
+  if (out.economy_options.epoch <= sim::Duration::zero()) {
+    return Fail::failure("economy_epoch_s must be > 0");
+  }
+  if (out.economy_options.credit_cap_epochs < 0 ||
+      out.economy_options.initial_credit_epochs < 0) {
+    return Fail::failure("credit epochs must be >= 0");
+  }
+  if (out.economy_options.scarce_free_fraction < 0 ||
+      out.economy_options.scarce_free_fraction > 1) {
+    return Fail::failure("scarce_free_fraction must be in [0, 1]");
+  }
+  if (out.workload.strategic_vo >= out.workload.n_vos) {
+    return Fail::failure("strategic_vo must be < vos");
+  }
   if (out.partition_options.stale_discount < 0 ||
       out.partition_options.stale_discount > 1) {
     return Fail::failure("stale_discount must be in [0, 1]");

@@ -102,6 +102,16 @@ struct ScenarioConfig {
   bool partition_tolerance = false;
   digruber::PartitionToleranceOptions partition_options{};
 
+  /// Economic brokering (off by default: default runs stay byte-identical).
+  /// `economy_options.allocator == kKarma` enables the per-decision-point
+  /// credit bank (epoch settlement + severity-then-credit admission);
+  /// `market_placement` enables client-side budget/deadline bids and
+  /// cost-minimizing selection over the price quotes piggybacked on query
+  /// replies. Either one turns on the price/bid wire trailers; grid
+  /// capacity for the banks is filled in from the emulated grid.
+  economy::EconomyOptions economy_options{};
+  bool market_placement = false;
+
   /// CRC-32C frame checksums (off by default: legacy v2/v1 frames). When
   /// on, every decision point and client emits v3 frames with a checksum
   /// trailer; corrupted frames are dropped at parse with a typed counter
@@ -166,6 +176,13 @@ struct DpStats {
   std::uint64_t delta_converged = 0;
   std::uint64_t degraded_refusals = 0;
   std::uint64_t degraded_replies = 0;
+
+  // Economic brokering (defaults with the economy off). `economy` carries
+  // this point's credit-bank ledgers; the chaos harness checks per-bank
+  // conservation against it.
+  economy::BankStats economy{};
+  std::uint64_t priced_replies = 0;
+  std::uint64_t priced_selections = 0;
 };
 
 /// Client-fleet totals (chaos-harness conservation input: every scheduled
@@ -210,6 +227,9 @@ struct ScenarioResult {
   /// and no corruption/checksum activity).
   metrics::PartitionCounters partition;
 
+  /// Economic-brokering counters (all zero with the economy off).
+  metrics::EconomyCounters economy;
+
   /// Client-fleet conservation totals.
   ClientTotals clients;
 
@@ -226,6 +246,13 @@ struct ScenarioResult {
   std::uint64_t entitlement_breaches = 0;
   std::int32_t entitlement_worst_excess = 0;
 
+  /// Ground-truth USLA audit taken at window end (before the drain):
+  /// (site, VO) pairs running past their entitlement cap right then, and
+  /// the worst excess in CPUs. Zero on every honest single-view run;
+  /// reported by every scenario summary.
+  std::uint64_t overcommits_final = 0;
+  std::int32_t overcommit_worst_excess = 0;
+
   // Grid-level facts.
   std::size_t sites = 0;
   std::int64_t total_cpus = 0;
@@ -237,6 +264,13 @@ struct ScenarioResult {
   /// paper's Section 4.1 question), over the brokered workload.
   metrics::FairnessReport vo_fairness;
   metrics::FairnessReport group_fairness;
+
+  /// Fairness of *brokered granted* CPU time across VOs: cpu x runtime for
+  /// jobs a decision point placed (fallback placements excluded). This is
+  /// what the karma allocator governs — denied queries divert to the
+  /// client's random fallback (out-of-band submission), so delivered grid
+  /// CPU stays demand-shaped while brokered grants track entitlements.
+  metrics::FairnessReport brokered_vo_fairness;
 
   int final_dps = 0;  // > n_dps when dynamic provisioning fired
   std::uint64_t sim_events = 0;

@@ -91,6 +91,9 @@ struct Shared {
   std::uint64_t jobs_completed = 0;
   std::uint64_t entitlement_breaches = 0;
   std::int32_t entitlement_worst_excess = 0;
+  /// Brokered granted CPU-seconds per VO (cpus x runtime at dispatch, jobs
+  /// a decision point placed only) — the allocation the karma gate governs.
+  std::vector<double> brokered_granted;
 };
 
 /// Oracle scheduling accuracy, computed from true grid state at dispatch:
@@ -163,8 +166,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
           "fault plan uses join/leave but membership is disabled");
     }
   }
-  const bool failover =
-      config.enable_failover || config.membership || !config.fault_plan.empty();
+  // Market placement routes jobs across decision points by quoted price,
+  // so it needs the multi-target attempt path (the legacy single-shot
+  // client binds to exactly one point and never chooses).
+  const bool failover = config.enable_failover || config.membership ||
+                        config.market_placement || !config.fault_plan.empty();
 
   sim::Simulation sim(config.seed);
   net::SimTransport transport(sim, net::WanModel(config.wan, config.seed ^ 0xA11CEULL));
@@ -210,6 +216,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   shared.grid = &grid;
   shared.evaluator = &oracle_evaluator;
   shared.window_s = config.duration.to_seconds();
+  shared.brokered_granted.assign(catalog.vo_count(), 0.0);
 
   std::vector<std::unique_ptr<digruber::DecisionPoint>> dps;
   std::vector<std::unique_ptr<digruber::DiGruberClient>> clients;
@@ -233,6 +240,17 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     dp_options.partition.enabled = true;
   }
   if (config.frame_checksums) dp_options.frame_checksums = true;
+  const bool economy_on =
+      config.economy_options.enabled ||
+      config.economy_options.allocator == economy::Allocator::kKarma ||
+      config.market_placement;
+  if (economy_on) {
+    dp_options.economy = config.economy_options;
+    dp_options.economy.enabled = true;
+    if (dp_options.economy.capacity_cpus <= 0) {
+      dp_options.economy.capacity_cpus = double(grid.total_cpus());
+    }
+  }
 
   std::unique_ptr<digruber::InfrastructureMonitor> monitor;
   auto reconnect_all = [&] {
@@ -321,6 +339,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (config.overload_control) client_options.overload_aware = true;
   if (config.membership) client_options.membership_aware = true;
   if (config.frame_checksums) client_options.frame_checksums = true;
+  if (config.market_placement) client_options.market_placement = true;
 
   for (int c = 0; c < config.n_clients; ++c) {
     Rng client_rng = sim.rng().fork();
@@ -387,6 +406,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
             // capacity already committed elsewhere (the split-brain
             // over-commit signature — see usla::VoOverCommit).
             if (outcome.handled_by_gruber) {
+              if (std::size_t(job.vo.value()) < shared.brokered_granted.size()) {
+                shared.brokered_granted[std::size_t(job.vo.value())] +=
+                    double(job.cpus) * job.runtime.to_seconds();
+              }
               const std::int32_t cap = shared.evaluator->vo_cap_cpus(
                   outcome.site, job.vo, selected.total_cpus());
               const std::int32_t after =
@@ -565,6 +588,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     t->instant(trace::Category::kScenario, 0, "scenario.window_end", {},
                std::int64_t(sim.events_processed()));
   }
+  // Ground-truth USLA audit at window end, before the drain empties the
+  // sites (post-drain everything is trivially within cap). Every scenario
+  // reports this, not just the partition bench.
+  std::uint64_t overcommits_final = 0;
+  std::int32_t overcommit_worst = 0;
+  for (const usla::VoOverCommit& oc :
+       oracle_evaluator.over_commit_audit(grid.snapshot_all())) {
+    ++overcommits_final;
+    overcommit_worst = std::max(overcommit_worst, oc.excess());
+  }
   for (auto& dp : dps) dp->stop();
   sim.run();  // drain in-flight queries and running jobs
   if (auto* t = trace::current()) {
@@ -582,6 +615,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.jobs_started = shared.jobs_started;
   result.entitlement_breaches = shared.entitlement_breaches;
   result.entitlement_worst_excess = shared.entitlement_worst_excess;
+  result.overcommits_final = overcommits_final;
+  result.overcommit_worst_excess = overcommit_worst;
   result.grid_cpu_seconds = grid.cpu_seconds_consumed();
   result.final_dps = int(dps.size());
   result.sim_events = sim.events_processed();
@@ -641,6 +676,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     stats.delta_converged = dp->delta_converged();
     stats.degraded_refusals = dp->degraded_refusals();
     stats.degraded_replies = dp->degraded_replies();
+    if (const economy::CreditBank* bank = dp->bank()) {
+      stats.economy = bank->stats();
+    }
+    stats.priced_replies = dp->priced_replies();
+    stats.priced_selections = dp->priced_selections();
     result.dps.push_back(stats);
   }
 
@@ -667,6 +707,31 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
     result.vo_fairness = metrics::fairness(vo_values);
     result.group_fairness = metrics::fairness(group_values);
+    result.brokered_vo_fairness = metrics::fairness(shared.brokered_granted);
+  }
+
+  if (economy_on) {
+    metrics::EconomyCounters& eco = result.economy;
+    for (const auto& dp : dps) {
+      if (const economy::CreditBank* bank = dp->bank()) {
+        const economy::BankStats stats = bank->stats();
+        eco.epochs_settled += stats.epochs_settled;
+        eco.credits_initial += stats.initial_total;
+        eco.credits_earned += stats.earned;
+        eco.credits_spent += stats.spent;
+        eco.credits_expired_pool += stats.expired_pool;
+        eco.credits_expired_cap += stats.expired_cap;
+      }
+      eco.credit_denials += dp->credit_denials();
+      eco.grace_admissions += dp->grace_admissions();
+      eco.priced_replies += dp->priced_replies();
+      eco.priced_selections += dp->priced_selections();
+    }
+    for (const auto& client : clients) {
+      eco.priced_dispatches += client->priced_dispatches();
+      eco.budget_rejections += client->budget_rejections();
+      eco.market_fallbacks += client->market_fallbacks();
+    }
   }
 
   {

@@ -28,6 +28,12 @@ struct Job {
   /// Data staged in before execution and out after (Euryale pre/postscript).
   std::uint64_t input_bytes = 0;
   std::uint64_t output_bytes = 0;
+  /// Economic fields (market placement): spend ceiling and completion
+  /// deadline in seconds from submission; 0 = no economic constraint.
+  /// Host-local — they reach the broker via the optional bid wire trailer,
+  /// not the job serialization, so job archives keep their byte layout.
+  double budget = 0.0;
+  double deadline_s = 0.0;
 
   JobState state = JobState::kAtSubmissionHost;
   SiteId site;  // selected by the broker (or the random fallback)

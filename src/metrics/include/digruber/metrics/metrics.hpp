@@ -200,6 +200,31 @@ struct PartitionCounters {
   std::uint64_t frames_bad_checksum = 0;  // frames dropped by CRC mismatch
 };
 
+/// Economic-brokering counters aggregated across a scenario run (credit
+/// banks at every decision point + market-placement clients), surfaced
+/// through the DiPerF report by the economy bench and the chaos harness.
+/// All zero with the economy off. Credit amounts are CPU-seconds.
+struct EconomyCounters {
+  // Credit banks (karma allocator, summed over decision points).
+  std::uint64_t epochs_settled = 0;
+  double credits_initial = 0.0;       // endowments at bank creation/reset
+  double credits_earned = 0.0;        // transferred to under-share VOs
+  double credits_spent = 0.0;         // surrendered by over-share VOs
+  double credits_expired_pool = 0.0;  // spent but unabsorbed (no deficit)
+  double credits_expired_cap = 0.0;   // clipped by the balance cap
+  std::uint64_t credit_denials = 0;     // queries refused: allowance spent
+  std::uint64_t grace_admissions = 0;   // over-allowance admits, idle grid
+
+  // Market placement (decision points).
+  std::uint64_t priced_replies = 0;     // replies carrying price quotes
+  std::uint64_t priced_selections = 0;  // selection reports carrying a bid
+
+  // Client fleet (market placement).
+  std::uint64_t priced_dispatches = 0;  // dispatches won by a price offer
+  std::uint64_t budget_rejections = 0;  // cheapest offer still over budget
+  std::uint64_t market_fallbacks = 0;   // no usable offer, fell back to p2c
+};
+
 /// Wire-traffic counters by message category (queries vs state exchange vs
 /// control), snapshotted from net::wire::wire_stats() over a run and
 /// surfaced through the DiPerF report. `encodes` counts serializations —

@@ -18,9 +18,24 @@ grid::Job JobFactory::next(sim::Time now) {
   job.created = now;
 
   const std::size_t n_vos = catalog_.vo_count();
-  const std::size_t vo_index = spec_.vo_skew > 0
-                                   ? rng_.zipf(n_vos, spec_.vo_skew)
-                                   : rng_.uniform_index(n_vos);
+  std::size_t vo_index = 0;
+  if (n_vos > 1 && spec_.strategic_vo >= 0 &&
+      std::size_t(spec_.strategic_vo) < n_vos) {
+    // Strategic-VO draw: one weighted pick, still a single rng consumption.
+    const std::size_t strategic = std::size_t(spec_.strategic_vo);
+    const double w = std::max(1.0, spec_.strategic_factor);
+    const double total = double(n_vos - 1) + w;
+    const double r = rng_.uniform(0.0, total);
+    if (r < w) {
+      vo_index = strategic;
+    } else {
+      std::size_t k = std::min(n_vos - 2, std::size_t(r - w));
+      vo_index = k < strategic ? k : k + 1;
+    }
+  } else {
+    vo_index = spec_.vo_skew > 0 ? rng_.zipf(n_vos, spec_.vo_skew)
+                                 : rng_.uniform_index(n_vos);
+  }
   job.vo = VoId(vo_index);
   const auto& groups = catalog_.groups_of(job.vo);
   assert(!groups.empty());
@@ -42,6 +57,13 @@ grid::Job JobFactory::next(sim::Time now) {
   }
   if (spec_.output_bytes_mean > 0) {
     job.output_bytes = std::uint64_t(rng_.exponential(double(spec_.output_bytes_mean)));
+  }
+  // Economic fields come last so enabling them never shifts the draws above.
+  if (spec_.budget_mean > 0) {
+    job.budget = rng_.exponential(spec_.budget_mean);
+  }
+  if (spec_.deadline_slack > 0) {
+    job.deadline_s = job.runtime.to_seconds() * spec_.deadline_slack;
   }
   return job;
 }

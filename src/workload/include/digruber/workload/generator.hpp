@@ -28,6 +28,21 @@ struct WorkloadSpec {
   /// Zipf skew across VOs (0 = uniform): physics-style workloads
   /// concentrate on a few large collaborations.
   double vo_skew = 0.0;
+
+  /// Strategic-VO scenario (economy bench): this VO draws jobs with
+  /// `strategic_factor` times the weight of every other VO — one
+  /// collaboration hammering the grid past its share. -1 = off (the
+  /// default keeps the draw sequence byte-identical to the seed).
+  int strategic_vo = -1;
+  double strategic_factor = 10.0;
+
+  /// Economic job fields (market placement). budget_mean > 0 draws each
+  /// job's spend ceiling from an exponential of that mean; deadline_slack
+  /// > 0 sets the completion deadline to runtime * slack (no extra rng
+  /// draw). Both 0 by default: jobs carry no economic fields and the rng
+  /// stream is untouched.
+  double budget_mean = 0.0;
+  double deadline_slack = 0.0;
 };
 
 /// Allocates globally unique job ids across all submission hosts.

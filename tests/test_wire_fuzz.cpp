@@ -65,6 +65,18 @@ proto::GetSiteLoadsReply make_loads_reply(bool with_hints) {
   return reply;
 }
 
+// Price-bearing reply: the dp_prices trailer stacks after membership,
+// digest, and degraded, so attaching it forces all three (defaults are
+// no-ops on receivers — the same rule the DP attach path follows).
+proto::GetSiteLoadsReply make_priced_reply() {
+  proto::GetSiteLoadsReply reply = make_loads_reply(true);
+  reply.has_membership = true;
+  reply.has_digest = true;
+  reply.has_degraded = true;
+  reply.dp_prices = {3.25};  // aligned index-wise with dp_loads
+  return reply;
+}
+
 proto::ExchangeMessage make_exchange(bool with_hint) {
   proto::ExchangeMessage msg;
   msg.from = DpId(3);
@@ -103,6 +115,17 @@ proto::ExchangeMessage make_exchange(bool with_hint) {
   return msg;
 }
 
+// Price-flooding exchange: the price trailer stacks fourth, forcing
+// load, membership, and an empty digest ("no digest", not divergence).
+proto::ExchangeMessage make_priced_exchange() {
+  proto::ExchangeMessage msg = make_exchange(true);
+  msg.has_membership = true;
+  msg.has_digest = true;
+  msg.has_price = true;
+  msg.price = 5.75;
+  return msg;
+}
+
 // Every message the protocol can put on the wire, including the optional
 // trailing-field variants, the v2 deadline frame, and the OverloadNack.
 std::vector<CorpusEntry> corpus() {
@@ -124,6 +147,16 @@ std::vector<CorpusEntry> corpus() {
                       FrameKind::kReply, make_loads_reply(false)));
   out.push_back(entry("GetSiteLoadsReply.hints", Method::kGetSiteLoads,
                       FrameKind::kReply, make_loads_reply(true)));
+  out.push_back(entry("GetSiteLoadsReply.prices", Method::kGetSiteLoads,
+                      FrameKind::kReply, make_priced_reply()));
+
+  proto::GetSiteLoadsRequest bid_req = loads_req;
+  bid_req.has_epoch = true;  // the bid trailer stacks after the epoch
+  bid_req.has_bid = true;
+  bid_req.budget = 42.5;
+  bid_req.deadline_s = 1800.0;
+  out.push_back(entry("GetSiteLoadsRequest.bid", Method::kGetSiteLoads,
+                      FrameKind::kRequest, bid_req));
 
   proto::ReportSelectionRequest sel;
   sel.job = JobId(100);
@@ -138,6 +171,12 @@ std::vector<CorpusEntry> corpus() {
   out.push_back(entry("ReportSelectionRequest.v2deadline",
                       Method::kReportSelection, FrameKind::kRequest, sel,
                       10'000'000));
+  proto::ReportSelectionRequest priced_sel = sel;
+  priced_sel.has_bid = true;
+  priced_sel.budget = 42.5;
+  priced_sel.deadline_s = 1800.0;
+  out.push_back(entry("ReportSelectionRequest.bid", Method::kReportSelection,
+                      FrameKind::kRequest, priced_sel));
   out.push_back(
       entry("Ack", Method::kReportSelection, FrameKind::kReply, proto::Ack{}));
 
@@ -145,8 +184,13 @@ std::vector<CorpusEntry> corpus() {
                       make_exchange(false)));
   out.push_back(entry("ExchangeMessage.hint", Method::kExchange,
                       FrameKind::kOneWay, make_exchange(true)));
+  out.push_back(entry("ExchangeMessage.price", Method::kExchange,
+                      FrameKind::kOneWay, make_priced_exchange()));
   out.push_back(entry("ExchangeMessage.v3checksum", Method::kExchange,
                       FrameKind::kOneWay, make_exchange(true),
+                      /*deadline_us=*/0, /*checksum=*/true));
+  out.push_back(entry("ExchangeMessage.price.v3checksum", Method::kExchange,
+                      FrameKind::kOneWay, make_priced_exchange(),
                       /*deadline_us=*/0, /*checksum=*/true));
   out.push_back(entry("GetSiteLoadsReply.v3checksum", Method::kGetSiteLoads,
                       FrameKind::kReply, make_loads_reply(true),
@@ -395,6 +439,46 @@ TEST(WireFuzz, FailedDecodeYieldsZeroValues) {
   EXPECT_EQ(out.avg_response_s, 0.0);
   EXPECT_EQ(out.observed_qps, 0.0);
   EXPECT_EQ(out.queue_depth, 0);
+}
+
+TEST(WireFuzz, BidAndPriceTrailersRoundTripAndStayOptional) {
+  // Values survive the trailer encoding...
+  proto::ReportSelectionRequest sel;
+  sel.job = JobId(100);
+  sel.site = SiteId(7);
+  sel.has_bid = true;
+  sel.budget = 42.5;
+  sel.deadline_s = 1800.0;
+  proto::ReportSelectionRequest sel_out;
+  ASSERT_TRUE(wire::decode(std::span<const std::uint8_t>(wire::encode(sel)),
+                           sel_out));
+  EXPECT_TRUE(sel_out.has_bid);
+  EXPECT_DOUBLE_EQ(sel_out.budget, 42.5);
+  EXPECT_DOUBLE_EQ(sel_out.deadline_s, 1800.0);
+
+  const proto::GetSiteLoadsReply priced = make_priced_reply();
+  proto::GetSiteLoadsReply priced_out;
+  ASSERT_TRUE(wire::decode(std::span<const std::uint8_t>(wire::encode(priced)),
+                           priced_out));
+  ASSERT_EQ(priced_out.dp_prices.size(), 1u);
+  EXPECT_DOUBLE_EQ(priced_out.dp_prices[0], 3.25);
+
+  const proto::ExchangeMessage flood = make_priced_exchange();
+  proto::ExchangeMessage flood_out;
+  ASSERT_TRUE(wire::decode(std::span<const std::uint8_t>(wire::encode(flood)),
+                           flood_out));
+  EXPECT_TRUE(flood_out.has_price);
+  EXPECT_DOUBLE_EQ(flood_out.price, 5.75);
+
+  // ...and an absent bid leaves the legacy bytes untouched: the economic
+  // fields are a pure suffix, never a layout change.
+  proto::ReportSelectionRequest legacy = sel;
+  legacy.has_bid = false;
+  const std::vector<std::uint8_t> legacy_bytes = wire::encode(legacy);
+  const std::vector<std::uint8_t> bid_bytes = wire::encode(sel);
+  ASSERT_LT(legacy_bytes.size(), bid_bytes.size());
+  EXPECT_TRUE(std::equal(legacy_bytes.begin(), legacy_bytes.end(),
+                         bid_bytes.begin()));
 }
 
 TEST(WireFuzz, RandomGarbageNeverThrows) {

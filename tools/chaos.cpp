@@ -44,9 +44,20 @@
 //
 // `--partition --churn` composes both schedules and both invariant sets.
 //
+// `--economy` runs the same schedules with the karma allocator, market
+// placement, and a strategic budget/deadline workload live, and adds one
+// invariant:
+//
+//   I10 ledger conservation: at every decision point the credit bank is
+//       zero-sum up to recorded expiry — credits spent equal credits
+//       earned plus the unabsorbed pool, and total balance equals the
+//       initial endowment plus net transfers minus cap expiry — no
+//       crash, partition, or churn schedule may mint or leak credit.
+//
 // Exit status 0 iff every seed passes; failing seeds are printed so a
 // failure reproduces with `chaos --seed K`.
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <sstream>
@@ -74,11 +85,13 @@ struct SeedReport {
   std::uint64_t mismatches = 0;
   std::uint64_t pulls = 0;
   std::uint64_t double_commits = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t denials = 0;
   std::vector<std::string> violations;
 };
 
 SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
-                    bool partition) {
+                    bool partition, bool economy) {
   sim::RandomFaultOptions fault_options;
   fault_options.n_dps = 3;
   fault_options.horizon = quick ? sim::Duration::minutes(6) : sim::Duration::minutes(15);
@@ -121,6 +134,26 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
     config.membership_options.dead_after = 2.0;
     config.membership_options.join_snapshot_timeout = sim::Duration::seconds(5);
     config.membership_options.join_retry_backoff = sim::Duration::seconds(5);
+  }
+  if (economy) {
+    // Karma + market + a strategic bidder, all live under the fault
+    // schedule: a short epoch lands several settlements inside even the
+    // quick horizon, and DP crashes reset banks mid-epoch — exactly the
+    // lifecycle I10 must stay zero-sum across.
+    config.economy_options.enabled = true;
+    config.economy_options.allocator = economy::Allocator::kKarma;
+    config.economy_options.epoch = sim::Duration::seconds(30);
+    config.economy_options.scarce_free_fraction = 0.5;
+    config.economy_options.initial_credit_epochs = 0.5;
+    // Ration the brokered capacity well under the grid so the gate binds
+    // and settlements move real credit (not just zeros).
+    config.economy_options.capacity_cpus = 60;
+    config.market_placement = true;
+    config.workload.n_vos = 4;
+    config.workload.strategic_vo = 0;
+    config.workload.strategic_factor = 10.0;
+    config.workload.budget_mean = 50.0;
+    config.workload.deadline_slack = 3.0;
   }
   trace::Tracer tracer;
   if (partition) {
@@ -360,6 +393,39 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
     }
   }
 
+  if (economy) {
+    report.epochs = result.economy.epochs_settled;
+    report.denials = result.economy.credit_denials;
+
+    // I10: per-DP credit conservation, whatever the schedule did. A
+    // crashed DP's bank resets with its other volatile state, so the
+    // identities hold over the final lifetime's stats.
+    for (std::size_t d = 0; d < result.dps.size(); ++d) {
+      const economy::BankStats& bank = result.dps[d].economy;
+      auto eps = [](double scale) { return 1e-6 * std::max(1.0, scale); };
+      const double transfer_gap =
+          bank.spent - (bank.earned + bank.expired_pool);
+      if (std::abs(transfer_gap) > eps(bank.spent)) {
+        std::ostringstream os;
+        os << "I10 dp" << d << " spent=" << bank.spent
+           << " != earned=" << bank.earned
+           << " + expired_pool=" << bank.expired_pool;
+        violate(os.str());
+      }
+      double total_balance = 0;
+      for (const auto& ledger : bank.ledgers) total_balance += ledger.balance;
+      const double expected =
+          bank.initial_total + bank.earned - bank.spent - bank.expired_cap;
+      if (std::abs(total_balance - expected) > eps(expected)) {
+        std::ostringstream os;
+        os << "I10 dp" << d << " total balance=" << total_balance
+           << " != initial=" << bank.initial_total << " + earned=" << bank.earned
+           << " - spent=" << bank.spent << " - expired_cap=" << bank.expired_cap;
+        violate(os.str());
+      }
+    }
+  }
+
   return report;
 }
 
@@ -373,6 +439,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool churn = false;
   bool partition = false;
+  bool economy = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -396,10 +463,12 @@ int main(int argc, char** argv) {
       churn = true;
     } else if (arg == "--partition") {
       partition = true;
+    } else if (arg == "--economy") {
+      economy = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--seeds N | --seed K] [--quick] [--verbose] [--churn]"
-                << " [--partition]\n";
+                << " [--partition] [--economy]\n";
       return 0;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
@@ -424,11 +493,16 @@ int main(int argc, char** argv) {
     header.push_back("pulls");
     header.push_back("dblcommit");
   }
+  if (economy) {
+    header.push_back("epochs");
+    header.push_back("denials");
+  }
   header.push_back("verdict");
   Table table(header);
   std::vector<std::uint64_t> failing;
   for (const std::uint64_t seed : seeds) {
-    const SeedReport report = run_seed(seed, quick, verbose, churn, partition);
+    const SeedReport report =
+        run_seed(seed, quick, verbose, churn, partition, economy);
     std::vector<std::string> row{
         std::to_string(report.seed), std::to_string(report.faults),
         std::to_string(report.queries), std::to_string(report.shed),
@@ -441,6 +515,10 @@ int main(int argc, char** argv) {
       row.push_back(std::to_string(report.mismatches));
       row.push_back(std::to_string(report.pulls));
       row.push_back(std::to_string(report.double_commits));
+    }
+    if (economy) {
+      row.push_back(std::to_string(report.epochs));
+      row.push_back(std::to_string(report.denials));
     }
     row.push_back(report.pass ? "PASS" : "FAIL");
     table.add_row(row);
@@ -462,6 +540,7 @@ int main(int argc, char** argv) {
   for (const std::uint64_t s : failing) std::cout << " " << s;
   std::cout << "\nreproduce with: " << argv[0] << " --seed <K> --verbose"
             << (quick ? " --quick" : "") << (churn ? " --churn" : "")
-            << (partition ? " --partition" : "") << "\n";
+            << (partition ? " --partition" : "")
+            << (economy ? " --economy" : "") << "\n";
   return 1;
 }

@@ -154,10 +154,34 @@ int main(int argc, char** argv) {
               << "/" << r.partition.packets_corrupted
               << " corrupt frame(s) caught\n";
   }
+  // Entitlement state is part of every summary: per-dispatch breaches over
+  // the whole run plus the ground-truth audit snapshot at window end.
+  std::cout << "usla: " << r.entitlement_breaches << " entitlement breach(es)";
   if (r.entitlement_breaches > 0) {
-    std::cout << "usla: " << r.entitlement_breaches
-              << " entitlement breach(es), worst "
-              << r.entitlement_worst_excess << " CPU(s) past a VO cap\n";
+    std::cout << " (worst " << r.entitlement_worst_excess
+              << " CPU(s) past a VO cap)";
+  }
+  std::cout << ", " << r.overcommits_final << " over-commit(s) at window end";
+  if (r.overcommits_final > 0) {
+    std::cout << " (worst " << r.overcommit_worst_excess << " CPU(s))";
+  }
+  std::cout << "\n";
+
+  const bool economy_on =
+      cfg.economy_options.allocator == economy::Allocator::kKarma ||
+      cfg.market_placement || cfg.economy_options.enabled;
+  if (!economy_on && cfg.workload.strategic_vo >= 0) {
+    // Strategic-VO baseline run: show what the gate would have governed.
+    std::cout << "economy: brokered VO fairness (Jain) "
+              << Table::num(r.brokered_vo_fairness.jain, 3) << " (economy off)\n";
+  }
+  if (economy_on) {
+    diperf::render_economy(std::cout, r.economy);
+    std::cout << "economy: brokered VO fairness (Jain) "
+              << Table::num(r.brokered_vo_fairness.jain, 3) << ", "
+              << r.economy.credit_denials << " credit denial(s), "
+              << r.economy.grace_admissions << " grace admission(s), "
+              << r.economy.priced_dispatches << " priced dispatch(es)\n";
   }
 
   if (!query_trace_path.empty()) {
