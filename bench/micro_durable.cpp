@@ -1,0 +1,85 @@
+// Micro-benchmarks for the durability hot paths: every brokered dispatch
+// pays one WAL append (CRC-32C framing + the device cost model) before its
+// ack leaves, recovery replays the whole log through wal_scan, and each
+// checkpoint serializes into a verified image — so these costs bound how
+// cheap "durability enabled" can be and how fast a crashed decision point
+// can be back to serving.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "digruber/durable/disk.hpp"
+#include "digruber/durable/wal.hpp"
+
+using namespace digruber;
+
+namespace {
+
+std::vector<std::uint8_t> payload_of(std::size_t n) {
+  std::vector<std::uint8_t> payload(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payload[i] = std::uint8_t(0xA5 ^ (i * 131));
+  }
+  return payload;
+}
+
+durable::SimDisk log_of(std::size_t frames, std::size_t payload_bytes) {
+  durable::SimDisk disk{durable::DiskOptions{}, /*seed=*/1};
+  const std::vector<std::uint8_t> payload = payload_of(payload_bytes);
+  for (std::size_t i = 0; i < frames; ++i) {
+    durable::wal_append(disk, std::uint8_t(1 + i % 3), payload);
+  }
+  return disk;
+}
+
+// The per-dispatch path: frame + checksum + device append. Typical dispatch
+// records are ~64 bytes; 1 KiB covers the fattest checkpoint-era frames.
+void BM_WalAppend(benchmark::State& state) {
+  durable::SimDisk disk{durable::DiskOptions{}, /*seed=*/1};
+  const std::vector<std::uint8_t> payload = payload_of(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(durable::wal_append(disk, 1, payload));
+    if (disk.log().size() > (64u << 20)) {
+      state.PauseTiming();
+      disk.truncate_log();
+      state.ResumeTiming();
+    }
+  }
+  state.counters["bytes"] = double(payload.size());
+}
+BENCHMARK(BM_WalAppend)->Arg(64)->Arg(1024);
+
+// The recovery path: one full scan of an N-frame log — CRC verification and
+// payload delivery per frame. Replay time at restart is this plus decode.
+void BM_WalScan(benchmark::State& state) {
+  const durable::SimDisk disk = log_of(std::size_t(state.range(0)), 64);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    const durable::WalScan scan = durable::wal_scan(
+        disk.log(),
+        [&sum](std::uint8_t type, std::span<const std::uint8_t> payload) {
+          sum += type + payload.size();
+        });
+    benchmark::DoNotOptimize(scan.frames + sum);
+  }
+  state.counters["frames"] = double(state.range(0));
+}
+BENCHMARK(BM_WalScan)->Arg(100)->Arg(10000);
+
+// The checkpoint path, both directions: seal a payload into a verified
+// image, then verify + open it the way recovery does.
+void BM_CheckpointRoundTrip(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload = payload_of(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    const std::vector<std::uint8_t> image = durable::make_checkpoint_image(payload);
+    const auto view = durable::read_checkpoint_image(image);
+    benchmark::DoNotOptimize(view.has_value() && view->size() == payload.size());
+  }
+  state.counters["bytes"] = double(payload.size());
+}
+BENCHMARK(BM_CheckpointRoundTrip)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -302,10 +302,14 @@ void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
     report.budget = job.budget;
     report.deadline_s = job.deadline_s;
   }
-
-  const sim::Duration elapsed = sim_.now() - t0;
-  sim::Duration remaining = options_.timeout - elapsed;
-  if (remaining < sim::Duration::seconds(1)) remaining = sim::Duration::seconds(1);
+  if (options_.request_ids) {
+    // One id per job, assigned here — the first place the report exists —
+    // and stable across every retry of it, which is what lets the decision
+    // point collapse retries to one dispatch.
+    report.has_request_id = true;
+    report.request_client = id_.value();
+    report.request_seq = next_request_seq_++;
+  }
 
   // The selection-report round trip gets its own child span; the guard
   // makes it the ambient context so the rpc layer propagates it.
@@ -314,13 +318,51 @@ void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
     rctx = t->begin(trace::Category::kClient, id_.value(), "query.report", qctx,
                     std::int64_t(site->value()), believed_free);
   }
+  send_report(std::move(report), std::move(job), std::move(done), t0, dp, *site,
+              believed_free, qctx, rctx, 0);
+}
+
+void DiGruberClient::send_report(ReportSelectionRequest report, grid::Job job,
+                                 Done done, sim::Time t0, NodeId dp, SiteId site,
+                                 std::int32_t believed_free,
+                                 trace::SpanContext qctx, trace::SpanContext rctx,
+                                 std::uint32_t attempt_n) {
+  const sim::Duration elapsed = sim_.now() - t0;
+  sim::Duration remaining = options_.timeout - elapsed;
+  if (remaining < sim::Duration::seconds(1)) remaining = sim::Duration::seconds(1);
+
   trace::ContextGuard guard(rctx);
   net::RpcClient::CallOptions copts;
   if (options_.overload_aware) copts.deadline = t0 + options_.timeout;
   rpc_.call<ReportSelectionRequest, Ack>(
       dp, kReportSelection, report, remaining, copts,
-      [this, job = std::move(job), done = std::move(done), t0, site = *site,
-       believed_free, dp, qctx, rctx](Result<Ack> ack) mutable {
+      [this, report, job = std::move(job), done = std::move(done), t0, site,
+       believed_free, dp, qctx, rctx, attempt_n](Result<Ack> ack) mutable {
+        if (!ack.ok() && options_.request_ids &&
+            attempt_n < options_.report_max_retries &&
+            sim_.now() + options_.report_retry_backoff < t0 + options_.timeout) {
+          // Re-send to the SAME decision point after a fixed (rng-free)
+          // backoff: the point may have crashed with the dispatch already
+          // on disk, and only it can answer from its dedup window. A
+          // re-broker to another point is exactly the double dispatch the
+          // request id exists to prevent.
+          ++report_retries_;
+          if (auto* t = trace::current()) {
+            t->instant(trace::Category::kClient, id_.value(), "report.retry",
+                       rctx, std::int64_t(attempt_n + 1),
+                       std::int64_t(report.request_seq));
+          }
+          sim_.schedule_after(
+              options_.report_retry_backoff,
+              [this, report = std::move(report), job = std::move(job),
+               done = std::move(done), t0, dp, site, believed_free, qctx, rctx,
+               attempt_n]() mutable {
+                send_report(std::move(report), std::move(job), std::move(done),
+                            t0, dp, site, believed_free, qctx, rctx,
+                            attempt_n + 1);
+              });
+          return;
+        }
         // Whether or not the ack made it back, the selection stands:
         // it was computed from decision-point state.
         ++handled_;
@@ -330,6 +372,12 @@ void DiGruberClient::complete_with_reply(grid::Job job, Done done, sim::Time t0,
         outcome.response = sim_.now() - t0;
         outcome.believed_free = believed_free;
         outcome.served_by = dp;
+        if (ack.ok() && ack.value().has_original) {
+          // The retry hit the dedup window: the point had already committed
+          // this request, and the decision that counts is the original one.
+          ++dedup_replies_;
+          outcome.site = ack.value().original_site;
+        }
         if (auto* t = trace::current()) {
           t->end(trace::Category::kClient, id_.value(), "query.report", rctx,
                  ack.ok() ? 1 : 0);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "digruber/common/log.hpp"
+#include "digruber/durable/wal.hpp"
 #include "digruber/trace/trace.hpp"
 
 namespace digruber::digruber {
@@ -48,6 +49,10 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
       options_.economy.capacity_cpus > 0) {
     bank_ = std::make_unique<economy::CreditBank>(
         options_.economy, economy::shares_from_tree(tree, catalog.vo_count()));
+  }
+  if (options_.durability.enabled) {
+    disk_ = std::make_unique<durable::SimDisk>(options_.durability.disk,
+                                               options_.durability.disk_seed);
   }
   server_.register_method(kGetSiteLoads,
                           [this](std::span<const std::uint8_t> body, NodeId from) {
@@ -99,12 +104,15 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
         },
         net::Priority::kControl);
   }
-  if (options_.membership.enabled || options_.partition.enabled) {
+  if (options_.membership.enabled || options_.partition.enabled ||
+      options_.durability.enabled) {
     // Door policy: refuse query-class work with a typed NACK before it
     // consumes a container slot; control frames (exchange, catch-up, join,
-    // leave, delta pull) always flow. Two refusal causes share the gate:
-    // joining/draining (kNackDraining) and degraded-mode admission while a
-    // quorum of peers is stale (kNackDegraded).
+    // leave, delta pull) always flow. Three refusal causes share the gate:
+    // joining/draining (kNackDraining), recovery replay in progress (also
+    // kNackDraining — the point is up but its state is still rebuilding),
+    // and degraded-mode admission while a quorum of peers is stale
+    // (kNackDegraded).
     server_.set_refusal_gate(
         [this](std::uint16_t method, net::wire::OverloadNack& nack) {
           switch (method) {
@@ -238,8 +246,10 @@ void DecisionPoint::try_join() {
           }
           engine_.record(record);
           ++join_snapshot_records_;
-          charge_bank(record);
+          wal_log_dispatch(record, false, 0, 0);
+          charge_bank(record);  // after the frame: settle order, see above
         }
+        wal_commit();
         for (const DpLoadHint& hint : reply.hints) {
           if (hint.node != server_.node().value()) {
             peer_hints_[hint.node] = hint;
@@ -363,11 +373,17 @@ void DecisionPoint::start_timers() {
         sim_, sim::Duration::seconds(30), [this] { check_saturation(); },
         options_.saturation_window);
   }
+  if (disk_) {
+    checkpoint_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, options_.durability.checkpoint_interval,
+        [this] { write_checkpoint(); }, options_.durability.checkpoint_interval);
+  }
 }
 
 void DecisionPoint::stop() {
   if (exchange_timer_) exchange_timer_->stop();
   if (saturation_timer_) saturation_timer_->stop();
+  if (checkpoint_timer_) checkpoint_timer_->stop();
 }
 
 void DecisionPoint::crash() {
@@ -375,9 +391,25 @@ void DecisionPoint::crash() {
   running_ = false;
   exchange_timer_.reset();
   saturation_timer_.reset();
+  checkpoint_timer_.reset();
   server_.shutdown();
   peer_client_.shutdown();
-  // Everything below is volatile process state: gone with the crash.
+  if (disk_) {
+    // I11 audit snapshot: every active record was WAL-logged and fsynced
+    // before its handler replied, so all of them are durably committed at
+    // this instant. Observer-only bookkeeping — it reads state, changes
+    // nothing, and survives the crash the way an external checker's
+    // notebook would.
+    pre_crash_committed_.clear();
+    for (const gruber::DispatchRecord& record :
+         engine_.view().active_records(sim_.now())) {
+      pre_crash_committed_.emplace_back(record.origin, record.seq,
+                                        record.when + record.est_runtime);
+    }
+  }
+  // Everything below is volatile process state: gone with the crash. The
+  // SimDisk is deliberately NOT touched — crash models lost RAM, not lost
+  // disk; its contents are what restart() replays.
   fresh_.clear();
   applied_.clear();
   last_peer_round_.clear();
@@ -385,6 +417,10 @@ void DecisionPoint::crash() {
   peer_prices_.clear();
   peer_last_heard_.clear();
   last_delta_pull_.clear();
+  dedup_.clear();
+  dedup_order_.clear();
+  wal_dirty_ = false;
+  pending_wal_cost_ = sim::Duration::zero();
   engine_.view().clear();
   // Credit ledgers are soft state too: the next life starts from a fresh
   // endowment (the conservation identity holds over the new lifetime).
@@ -398,7 +434,10 @@ void DecisionPoint::crash() {
 
 void DecisionPoint::restart(const std::vector<grid::SiteSnapshot>& snapshots) {
   if (running_ || left_) return;
-  ++incarnation_;
+  // Without a disk the in-memory counter is all there is; the durable path
+  // derives the bump from the persisted floor inside the replay below (the
+  // in-memory value would have died with the process in a real deployment).
+  if (!disk_) ++incarnation_;
   ++restarts_;
   const bool server_up = server_.restart();
   const bool client_up = peer_client_.restart();
@@ -407,12 +446,37 @@ void DecisionPoint::restart(const std::vector<grid::SiteSnapshot>& snapshots) {
     return;
   }
   running_ = true;
+  engine_.view().clear();
+  bootstrap(snapshots);
+  sim::Duration replay_cost;
+  trace::SpanContext rctx;
+  if (disk_) {
+    // Durable recovery: replay checkpoint+WAL into the cleared state, then
+    // resume from a monotonically-advanced incarnation. The replay raises
+    // incarnation_ to the persisted floor; the bump on top guarantees this
+    // life is strictly newer than anything peers ever heard.
+    if (auto* t = trace::current()) {
+      rctx = t->begin(trace::Category::kDp, id_.value(), "dp.recover.replay",
+                      {}, std::int64_t(disk_->log().size()),
+                      std::int64_t(disk_->checkpoint().size()));
+    }
+    trace::ContextGuard rguard(rctx);
+    replay_cost = replay_from_disk();
+    ++incarnation_;
+    ++recoveries_;
+    last_recovery_cost_ = replay_cost;
+    // Persist the bump (with a barrier) so the *next* recovery starts
+    // higher still, even if no checkpoint intervenes.
+    WalIncarnation bump;
+    bump.incarnation = incarnation_;
+    const std::vector<std::uint8_t> payload = net::wire::encode(bump);
+    wal_append_frame(WalRecordType::kIncarnation, payload);
+    wal_commit();
+  }
   // Fresh sequence epoch: next_seq_ died with the crash, and peers hold
   // dedup entries for every pre-crash (origin, seq). A disjoint epoch keeps
   // post-restart records flooding correctly without waiting for catch-up.
   next_seq_ = (std::uint64_t(incarnation_) << 32) + 1;
-  engine_.view().clear();
-  bootstrap(snapshots);
   // Re-base the saturation window on the container's surviving statistics
   // so the first post-restart check does not average over the outage.
   const StreamingStats& stats = server_.container().sojourn_stats();
@@ -422,10 +486,44 @@ void DecisionPoint::restart(const std::vector<grid::SiteSnapshot>& snapshots) {
   if (membership_) {
     // Everything learned at runtime was volatile; restart against the
     // durable seed list with the bumped incarnation, so peers holding a
-    // dead verdict for the previous life resurrect this one.
+    // dead verdict for the previous life resurrect this one. With a disk
+    // the incarnation is the persisted floor + 1 — strictly above anything
+    // gossiped before the crash — so the first heartbeat refutes stale
+    // suspicion immediately instead of waiting a resurrection round trip.
     membership_->reset_to_seeds(sim_.now(), incarnation_);
-    serving_ = true;
     joining_ = false;
+  }
+  if (disk_) {
+    // Serve only once the accounted replay time has elapsed: until then the
+    // door gate drains queries with kNackDraining, modelling a recovering
+    // broker that is up but still reading its log.
+    serving_ = false;
+    sim_.schedule_after(replay_cost, [this, incarnation = incarnation_, rctx] {
+      if (!running_ || incarnation_ != incarnation) return;
+      trace::ContextGuard guard(rctx);
+      serving_ = true;
+      serving_since_ = sim_.now();
+      if (membership_) refresh_neighbors();
+      start_timers();
+      if (auto* t = trace::current()) {
+        t->end(trace::Category::kDp, id_.value(), "dp.recover.replay", rctx,
+               std::int64_t(replay_records_), std::int64_t(replay_frames_));
+        t->instant(trace::Category::kDp, id_.value(), "dp.restart", rctx,
+                   std::int64_t(incarnation_));
+      }
+      // Anti-entropy for the gap only: with partition tolerance on, the
+      // piggybacked digests on the next exchange rounds trigger targeted
+      // delta pulls for exactly the diverged VOs — no full-snapshot
+      // transfer. Without digests there is no way to bound the gap, so
+      // fall back to the full catch-up.
+      if (!options_.partition.enabled) run_catch_up();
+      log::info("digruber", "dp ", id_.value(), " recovered (incarnation ",
+                incarnation_, ", ", replay_records_, " records replayed)");
+    });
+    return;
+  }
+  if (membership_) {
+    serving_ = true;
     refresh_neighbors();
   }
   start_timers();
@@ -459,6 +557,7 @@ void DecisionPoint::run_catch_up() {
           // A second crash while this call was in flight invalidates it.
           if (!running_ || incarnation_ != incarnation) return;
           if (!result.ok()) return;
+          catchup_records_received_ += result.value().records.size();
           std::int64_t applied = 0;
           for (const gruber::DispatchRecord& record : result.value().records) {
             auto& seen = applied_[record.origin];
@@ -469,9 +568,11 @@ void DecisionPoint::run_catch_up() {
             engine_.record(record);
             ++resync_applied_;
             ++applied;
-            charge_bank(record);
+            wal_log_dispatch(record, false, 0, 0);
+            charge_bank(record);  // after the frame: settle order, see above
             // Not re-buffered into fresh_: neighbors already hold these.
           }
+          wal_commit();
           if (auto* t = trace::current()) {
             t->instant(trace::Category::kDp, id_.value(), "dp.catchup_applied",
                        cctx, applied,
@@ -583,13 +684,15 @@ void DecisionPoint::run_delta_pull(NodeId peer_node, DpId peer,
           if (merged.applied) {
             ++delta_records_applied_;
             ++applied;
-            charge_bank(record);
+            wal_log_dispatch(record, false, 0, 0);
+            charge_bank(record);  // after the frame: settle order, see above
             // Not re-buffered into fresh_: the peer holds these, and other
             // peers detect their own divergence from its digest.
           } else if (!merged.conflict) {
             ++records_duplicate_;
           }
         }
+        wal_commit();
         // The reply carried the peer's settled digest at serve time:
         // matching it over the same window means this single pull fully
         // reconciled the pair.
@@ -811,8 +914,34 @@ net::Served DecisionPoint::handle_report_selection(std::span<const std::uint8_t>
                                                    NodeId /*from*/) {
   ReportSelectionRequest request;
   if (!net::wire::decode(body, request)) return {};
-  ++selections_;
 
+  if (disk_ && request.has_request_id) {
+    // Exactly-once: a retry of an already-committed report returns the
+    // original decision instead of re-allocating and re-metering. The
+    // window survives crashes — rebuilt from checkpoint + WAL — so even a
+    // retry that lands after recovery collapses to one dispatch.
+    const auto hit =
+        dedup_.find(std::make_pair(request.request_client, request.request_seq));
+    if (hit != dedup_.end()) {
+      ++dedup_hits_;
+      if (auto* t = trace::current()) {
+        t->instant(trace::Category::kDp, id_.value(), "dp.dedup_hit",
+                   t->ambient(), std::int64_t(request.request_client),
+                   std::int64_t(request.request_seq));
+      }
+      Ack ack;
+      ack.has_original = true;
+      ack.original_site = hit->second;
+      net::Served served;
+      served.handler_cost = sim::Duration::millis(0.5);
+      served.reply = net::wire::encode_buffer(ack);
+      return served;
+    }
+  }
+
+  // Counted here, below the dedup gate: a collapsed retry is not a new
+  // recorded selection.
+  ++selections_;
   gruber::DispatchRecord record;
   record.origin = id_;
   record.seq = next_seq_++;
@@ -826,9 +955,27 @@ net::Served DecisionPoint::handle_report_selection(std::span<const std::uint8_t>
 
   engine_.record(record);
   applied_[id_].insert(record.seq);
-  charge_bank(record);
-  if (request.has_bid) ++priced_selections_;
+  // The request-id trailer forces (possibly all-zero) bid bytes onto the
+  // wire, so presence alone no longer implies a priced report.
+  if (request.has_bid && (request.budget > 0 || request.deadline_s > 0)) {
+    ++priced_selections_;
+  }
   if (options_.dissemination != Dissemination::kNone) fresh_.push_back(record);
+
+  if (disk_) {
+    wal_log_dispatch(record, request.has_request_id, request.request_client,
+                     request.request_seq);
+    if (request.has_request_id) {
+      dedup_insert(request.request_client, request.request_seq, record.site);
+    }
+  }
+  // After the dispatch frame: if this charge crosses an epoch boundary it
+  // appends a settle cross-check frame, and replay verifies that frame
+  // after re-driving the charge — the WAL order must match.
+  charge_bank(record);
+  if (request.has_request_id) {
+    audit_dispatch(request.request_client, request.request_seq);
+  }
 
   if (auto* t = trace::current()) {
     t->instant(trace::Category::kDp, id_.value(), "dp.report_selection",
@@ -837,7 +984,9 @@ net::Served DecisionPoint::handle_report_selection(std::span<const std::uint8_t>
   }
 
   net::Served served;
-  served.handler_cost = sim::Duration::millis(5);
+  // The commit is durable before the ack leaves: the fsync barrier rides
+  // on the handler cost, so the reply cannot outrun the log.
+  served.handler_cost = sim::Duration::millis(5) + wal_commit();
   served.reply = net::wire::encode_buffer(Ack{});
   return served;
 }
@@ -874,6 +1023,10 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
     }
     engine_.record(record);
     ++records_applied_;
+    wal_log_dispatch(record, false, 0, 0);
+    // After the frame: a boundary-crossing charge appends a settle
+    // cross-check frame, which replay verifies after re-driving the
+    // charge — the WAL order must match.
     charge_bank(record);
     // Flooding: relay fresh records onward at the next exchange tick.
     fresh_.push_back(record);
@@ -931,7 +1084,8 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
 
   net::Served served;
   served.handler_cost =
-      sim::Duration::millis(0.2) * double(message.dispatches.size() + 1);
+      sim::Duration::millis(0.2) * double(message.dispatches.size() + 1) +
+      wal_commit();
   return served;  // one-way: empty reply
 }
 
@@ -963,13 +1117,32 @@ double DecisionPoint::free_fraction(sim::Time now) const {
 }
 
 void DecisionPoint::charge_bank(const gruber::DispatchRecord& record) {
+  charge_bank_at(record, sim_.now());
+}
+
+void DecisionPoint::charge_bank_at(const gruber::DispatchRecord& record,
+                                   sim::Time at) {
   if (!bank_) return;
+  const std::uint64_t settled_before = bank_->epochs_settled();
   // Meter in CPU-seconds against the record's VO. Every record-apply path
   // funnels here after the flooding dedup, so replicated banks converge on
-  // the same ledgers without double-charging.
+  // the same ledgers without double-charging. Replay calls with the frame's
+  // original apply time, so restored ledgers settle in the same epochs.
   bank_->charge(record.vo,
-                double(record.cpus) * record.est_runtime.to_seconds(),
-                sim_.now());
+                double(record.cpus) * record.est_runtime.to_seconds(), at);
+  if (disk_ && !replaying_) {
+    const std::uint64_t settled_after = bank_->epochs_settled();
+    if (settled_after != settled_before) {
+      // Epoch boundary crossed under this charge: log the settlement
+      // counters as a replay cross-check. Recovery recomputes settlement
+      // from the charges themselves and verifies it reaches the same spot.
+      WalEpochSettle settle;
+      settle.epochs_settled = settled_after;
+      settle.expired_pool = bank_->stats().expired_pool;
+      const std::vector<std::uint8_t> payload = net::wire::encode(settle);
+      wal_append_frame(WalRecordType::kEpochSettle, payload);
+    }
+  }
 }
 
 void DecisionPoint::run_exchange(bool final_flush) {
@@ -1047,6 +1220,254 @@ void DecisionPoint::run_exchange(bool final_flush) {
   if (auto* t = trace::current()) {
     t->end(trace::Category::kDp, id_.value(), "dp.exchange", xctx,
            std::int64_t(neighbors_.size()));
+  }
+}
+
+void DecisionPoint::wal_append_frame(WalRecordType type,
+                                     std::span<const std::uint8_t> payload) {
+  // No disk: durability is off. Replaying: the frames being applied are
+  // already on disk — re-appending them would double the log every
+  // recovery.
+  if (!disk_ || replaying_) return;
+  const sim::Duration cost =
+      durable::wal_append(*disk_, std::uint8_t(type), payload);
+  pending_wal_cost_ = pending_wal_cost_ + cost;
+  wal_dirty_ = true;
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "wal.append", t->ambient(),
+               std::int64_t(payload.size()), std::int64_t(cost.us()));
+  }
+}
+
+void DecisionPoint::wal_log_dispatch(const gruber::DispatchRecord& record,
+                                     bool has_request_id,
+                                     std::uint64_t request_client,
+                                     std::uint64_t request_seq) {
+  if (!disk_ || replaying_) return;
+  WalDispatch frame;
+  frame.record = record;
+  frame.applied_at = sim_.now();
+  frame.has_request_id = has_request_id;
+  frame.request_client = request_client;
+  frame.request_seq = request_seq;
+  const std::vector<std::uint8_t> payload = net::wire::encode(frame);
+  wal_append_frame(WalRecordType::kDispatch, payload);
+}
+
+sim::Duration DecisionPoint::wal_commit() {
+  if (!disk_ || !wal_dirty_) return sim::Duration{};
+  const sim::Duration cost = pending_wal_cost_ + disk_->fsync();
+  wal_dirty_ = false;
+  pending_wal_cost_ = sim::Duration{};
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "wal.fsync", t->ambient(),
+               std::int64_t(disk_->log().size()), std::int64_t(cost.us()));
+  }
+  return cost;
+}
+
+void DecisionPoint::dedup_insert(std::uint64_t client, std::uint64_t seq,
+                                 SiteId site) {
+  const auto key = std::make_pair(client, seq);
+  if (!dedup_.emplace(key, site).second) return;
+  dedup_order_.push_back(key);
+  while (dedup_order_.size() > options_.durability.dedup_window) {
+    dedup_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+}
+
+void DecisionPoint::audit_dispatch(std::uint64_t client, std::uint64_t seq) {
+  // Observer-only ground truth for I12 — deliberately not cleared by
+  // crash(), so a duplicate committed across a crash/recovery boundary is
+  // still counted.
+  if (++dispatch_audit_[std::make_pair(client, seq)] > 1) {
+    ++duplicate_dispatches_;
+  }
+}
+
+void DecisionPoint::write_checkpoint() {
+  if (!disk_ || !running_) return;
+  DpCheckpoint checkpoint;
+  checkpoint.incarnation = incarnation_;
+  checkpoint.taken_at = sim_.now();
+  checkpoint.active = engine_.view().active_records(sim_.now());
+  checkpoint.dedup.reserve(dedup_order_.size());
+  // Oldest-first, so a restore followed by inserts evicts in the original
+  // order.
+  for (const auto& key : dedup_order_) {
+    const auto it = dedup_.find(key);
+    if (it == dedup_.end()) continue;
+    checkpoint.dedup.push_back({key.first, key.second, it->second});
+  }
+  if (bank_) {
+    checkpoint.has_bank = true;
+    checkpoint.bank = bank_->image();
+  }
+  disk_->write_checkpoint(
+      durable::make_checkpoint_image(net::wire::encode(checkpoint)));
+  // The checkpoint covers everything the log held; truncating bounds both
+  // the device and the next recovery's replay time.
+  disk_->truncate_log();
+  wal_dirty_ = false;
+  pending_wal_cost_ = sim::Duration{};
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "dp.checkpoint", {},
+               std::int64_t(checkpoint.active.size()),
+               std::int64_t(disk_->checkpoint().size()));
+  }
+}
+
+sim::Duration DecisionPoint::replay_from_disk() {
+  replaying_ = true;
+  const sim::Time now = sim_.now();
+  const std::uint64_t frames_before = replay_frames_;
+  std::uint32_t persisted_incarnation = 0;
+  bool bank_restored = false;
+
+  // 1. Checkpoint. A corrupt or torn image reads as "no checkpoint": fall
+  // back to replaying the WAL from a pristine bank. (The WAL was truncated
+  // when that checkpoint was written, so a corrupt image genuinely loses
+  // the pre-checkpoint records — I11 surfaces that as replay mismatches.)
+  if (!disk_->checkpoint().empty()) {
+    const auto payload = durable::read_checkpoint_image(disk_->checkpoint());
+    DpCheckpoint checkpoint;
+    if (payload && net::wire::decode(*payload, checkpoint)) {
+      persisted_incarnation = checkpoint.incarnation;
+      if (checkpoint.has_bank && bank_) {
+        bank_->restore(checkpoint.bank);
+        bank_restored = true;
+      }
+      for (const gruber::DispatchRecord& record : checkpoint.active) {
+        applied_[record.origin].insert(record.seq);
+        if (record.when + record.est_runtime > now) {
+          engine_.record(record);
+          ++replay_records_;
+        }
+      }
+      for (const DedupEntry& entry : checkpoint.dedup) {
+        dedup_insert(entry.client, entry.seq, entry.site);
+        ++replay_dedup_;
+      }
+    } else {
+      ++checkpoint_fallbacks_;
+    }
+  }
+  // Checkpoint bank charges are inside the image; without one, replay
+  // re-drives every logged charge against a pristine bank, which
+  // reproduces the live ledgers exactly (settlement is a pure function of
+  // the charge order and times).
+  if (!bank_restored && bank_) bank_->reset(sim::Time::zero());
+
+  // 2. WAL scan. The scanner stops at the first short or corrupt frame
+  // (torn tail): everything before it is intact by CRC.
+  const durable::WalScan scan = durable::wal_scan(
+      disk_->log(), [&](std::uint8_t type, std::span<const std::uint8_t> payload) {
+        ++replay_frames_;
+        switch (WalRecordType(type)) {
+          case WalRecordType::kDispatch: {
+            WalDispatch frame;
+            if (!net::wire::decode(payload, frame)) {
+              ++replay_mismatches_;
+              return;
+            }
+            const gruber::DispatchRecord& record = frame.record;
+            if (applied_[record.origin].insert(record.seq).second) {
+              if (record.when + record.est_runtime > now) {
+                engine_.record(record);
+              }
+              ++replay_records_;
+            }
+            // Charged per FRAME, not per unique (origin, seq): a
+            // delta-merge twin logs a second frame for a seq already
+            // applied, and its charge really happened — skipping it here
+            // leaves the bank un-rolled past the twin's epoch boundary and
+            // the next settle cross-check reads stale counters.
+            charge_bank_at(record, frame.applied_at);
+            if (frame.has_request_id) {
+              dedup_insert(frame.request_client, frame.request_seq,
+                           record.site);
+              ++replay_dedup_;
+            }
+            break;
+          }
+          case WalRecordType::kEpochSettle: {
+            WalEpochSettle settle;
+            if (!net::wire::decode(payload, settle)) {
+              ++replay_mismatches_;
+              return;
+            }
+            // Cross-check: the recomputed settlement must be exactly where
+            // the live bank was when this frame was logged.
+            if (bank_ && bank_->epochs_settled() != settle.epochs_settled) {
+              ++replay_mismatches_;
+            }
+            break;
+          }
+          case WalRecordType::kIncarnation: {
+            WalIncarnation bump;
+            if (!net::wire::decode(payload, bump)) {
+              ++replay_mismatches_;
+              return;
+            }
+            persisted_incarnation =
+                std::max(persisted_incarnation, bump.incarnation);
+            break;
+          }
+          default:
+            ++replay_mismatches_;
+            break;
+        }
+      });
+  if (scan.truncated) ++replay_truncations_;
+
+  // 3. I11 audit: every record committed (fsynced) before the crash and
+  // still unexpired must be back. pre_crash_committed_ is observer state
+  // captured by crash(); misses on a clean disk are recovery bugs, misses
+  // after injected torn tails / bit rot are the faults working as intended
+  // (chaos gates the invariant on clean-disk points).
+  for (const auto& [origin, seq, expiry] : pre_crash_committed_) {
+    if (expiry <= now) continue;
+    const auto it = applied_.find(origin);
+    if (it == applied_.end() || it->second.count(seq) == 0) {
+      ++replay_mismatches_;
+    }
+  }
+  pre_crash_committed_.clear();
+
+  replaying_ = false;
+  incarnation_ = std::max(incarnation_, persisted_incarnation);
+  // Accounted replay time: one sequential read of checkpoint + log, plus a
+  // small per-frame CPU cost for decode/apply.
+  return disk_->read_all_cost() +
+         sim::Duration::micros(20) * double(replay_frames_ - frames_before);
+}
+
+void DecisionPoint::inject_disk_tear() {
+  if (!disk_) return;
+  disk_->tear_tail();
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "disk.torn", {},
+               std::int64_t(disk_->log().size()));
+  }
+}
+
+void DecisionPoint::inject_disk_rot() {
+  if (!disk_) return;
+  disk_->corrupt_bit();
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "disk.bit_rot", {},
+               std::int64_t(disk_->log().size()),
+               std::int64_t(disk_->checkpoint().size()));
+  }
+}
+
+void DecisionPoint::set_disk_stall(double factor) {
+  if (!disk_) return;
+  disk_->set_stall(factor);
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "disk.stall", {},
+               std::int64_t(factor * 100));
   }
 }
 

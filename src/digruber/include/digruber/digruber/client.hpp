@@ -74,6 +74,18 @@ struct ClientOptions {
   ///  - jobs without economic fields — or when no quotes have arrived —
   ///    fall back to the load-based path unchanged.
   bool market_placement = false;
+
+  /// Exactly-once dispatch (off by default; enabling widens the
+  /// selection-report frame, so default runs stay byte-identical):
+  ///  - stamps every selection report with a durable (client, seq)
+  ///    request id, assigned once per job,
+  ///  - retries a failed report to the SAME decision point after a fixed
+  ///    backoff (deterministic: zero rng draws), bounded by the query
+  ///    deadline; the point's persisted dedup window collapses the
+  ///    retries to one dispatch and returns the original decision.
+  bool request_ids = false;
+  std::uint32_t report_max_retries = 3;
+  sim::Duration report_retry_backoff = sim::Duration::seconds(2);
 };
 
 struct QueryOutcome {
@@ -185,6 +197,13 @@ class DiGruberClient {
   [[nodiscard]] std::uint64_t degraded_hints_seen() const {
     return degraded_hints_seen_;
   }
+
+  /// Exactly-once telemetry (all zero unless request_ids is on).
+  /// Selection reports re-sent after a failed or timed-out attempt.
+  [[nodiscard]] std::uint64_t report_retries() const { return report_retries_; }
+  /// Report acks that returned the original decision from the decision
+  /// point's dedup window (the retry hit an already-committed dispatch).
+  [[nodiscard]] std::uint64_t dedup_replies() const { return dedup_replies_; }
   [[nodiscard]] bool is_quarantined(std::size_t idx) const {
     return idx < health_.size() && health_[idx].quarantined;
   }
@@ -234,6 +253,12 @@ class DiGruberClient {
   /// the selection to `dp` (the decision point that answered).
   void complete_with_reply(grid::Job job, Done done, sim::Time t0, NodeId dp,
                            const GetSiteLoadsReply& reply, trace::SpanContext qctx);
+  /// Send (or re-send) a selection report. With request_ids on, a failed
+  /// attempt is retried to the same decision point after a fixed backoff.
+  void send_report(ReportSelectionRequest report, grid::Job job, Done done,
+                   sim::Time t0, NodeId dp, SiteId site,
+                   std::int32_t believed_free, trace::SpanContext qctx,
+                   trace::SpanContext rctx, std::uint32_t attempt_n);
   void finish_with_fallback(grid::Job job, Done done, sim::Time t0, bool starved,
                             trace::SpanContext qctx);
 
@@ -279,6 +304,11 @@ class DiGruberClient {
   std::uint64_t drain_redirects_ = 0;
   std::uint64_t degraded_redirects_ = 0;
   std::uint64_t degraded_hints_seen_ = 0;
+  /// Exactly-once dispatch state: next request id (assigned once per job,
+  /// stable across that job's report retries) + telemetry.
+  std::uint64_t next_request_seq_ = 1;
+  std::uint64_t report_retries_ = 0;
+  std::uint64_t dedup_replies_ = 0;
 };
 
 }  // namespace digruber::digruber

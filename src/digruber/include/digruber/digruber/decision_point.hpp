@@ -7,7 +7,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include <map>
+#include <tuple>
+
 #include "digruber/common/stats.hpp"
+#include "digruber/digruber/durability.hpp"
 #include "digruber/digruber/membership.hpp"
 #include "digruber/digruber/protocol.hpp"
 #include "digruber/economy/economy.hpp"
@@ -95,6 +99,11 @@ struct DecisionPointOptions {
   /// by default: no price trailers are emitted, no credit bank exists, and
   /// every message keeps its legacy byte layout.
   economy::EconomyOptions economy{};
+  /// Durable local state (WAL + checkpoints on a simulated device) with
+  /// checkpoint+WAL replay on restart and an exactly-once dispatch dedup
+  /// window. Off by default: no disk exists and recovery stays the
+  /// peer-only anti-entropy path.
+  DurabilityOptions durability{};
 };
 
 /// A DI-GRUBER decision point: a GRUBER engine exposed as a Web service
@@ -192,6 +201,12 @@ class DecisionPoint {
   [[nodiscard]] std::uint64_t gap_resyncs() const { return gap_resyncs_; }
   /// Catch-up requests this point answered for restarted neighbors.
   [[nodiscard]] std::uint64_t catchups_served() const { return catchups_served_; }
+  /// Records shipped TO this point in kCatchUp replies (duplicates
+  /// included): the full-snapshot anti-entropy transfer volume a restart
+  /// pays, and the number durable replay + delta pulls exist to shrink.
+  [[nodiscard]] std::uint64_t catchup_records_received() const {
+    return catchup_records_received_;
+  }
 
   /// --- Partition tolerance (all zero unless options.partition.enabled) ---
 
@@ -230,6 +245,41 @@ class DecisionPoint {
   /// Selections reported with an economic bid attached.
   [[nodiscard]] std::uint64_t priced_selections() const { return priced_selections_; }
 
+  /// --- Durability (all zero/null unless options.durability.enabled) ---
+
+  /// The simulated storage device (nullptr when durability is off). The
+  /// device survives crash() by design: crash models lost RAM, not lost
+  /// disk.
+  [[nodiscard]] const durable::SimDisk* disk() const { return disk_.get(); }
+  /// Checkpoint+WAL replays performed at restart.
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  /// WAL frames read back intact during replays.
+  [[nodiscard]] std::uint64_t replay_frames() const { return replay_frames_; }
+  /// Dispatch records re-applied to the view from local state (vs fetched
+  /// from peers through catch-up/delta anti-entropy).
+  [[nodiscard]] std::uint64_t replay_records() const { return replay_records_; }
+  /// Dedup-window entries rebuilt from checkpoint+WAL.
+  [[nodiscard]] std::uint64_t replay_dedup_entries() const { return replay_dedup_; }
+  /// Replays that hit a torn/corrupt WAL tail and truncated there.
+  [[nodiscard]] std::uint64_t replay_truncations() const { return replay_truncations_; }
+  /// Replays whose checkpoint slot was absent or failed its checksum.
+  [[nodiscard]] std::uint64_t checkpoint_fallbacks() const { return checkpoint_fallbacks_; }
+  /// I11 audit: durably-committed records missing after a replay (always
+  /// zero unless a disk fault destroyed committed bytes).
+  [[nodiscard]] std::uint64_t replay_mismatches() const { return replay_mismatches_; }
+  /// Retried reports collapsed by the dedup window to the original decision.
+  [[nodiscard]] std::uint64_t dedup_hits() const { return dedup_hits_; }
+  /// I12 audit: distinct dispatch records created for one request id
+  /// (ground truth across crashes; zero means exactly-once held).
+  [[nodiscard]] std::uint64_t duplicate_dispatches() const { return duplicate_dispatches_; }
+  /// Accounted sim-time cost of the most recent recovery replay.
+  [[nodiscard]] sim::Duration last_recovery_cost() const { return last_recovery_cost_; }
+
+  /// Disk fault hooks (FaultPlan-driven; no-ops when durability is off).
+  void inject_disk_tear();
+  void inject_disk_rot();
+  void set_disk_stall(double factor);
+
   /// Response-time samples the detector monitors (exposed for GRUB-SIM).
   [[nodiscard]] const StreamingStats& response_stats() const {
     return server_.container().sojourn_stats();
@@ -266,6 +316,32 @@ class DecisionPoint {
   /// record-apply paths: own selections, flooding, catch-up, delta pulls,
   /// join snapshots).
   void charge_bank(const gruber::DispatchRecord& record);
+  /// Same, metered at an explicit time: recovery replay re-drives charges
+  /// with their original apply times so settlement lands in the original
+  /// epochs.
+  void charge_bank_at(const gruber::DispatchRecord& record, sim::Time at);
+  /// Append one frame to the WAL (no-op when durability is off or while
+  /// replaying). The accounted write latency accumulates into
+  /// pending_wal_cost_, folded into the next wal_commit().
+  void wal_append_frame(WalRecordType type, std::span<const std::uint8_t> payload);
+  /// Append one applied dispatch record to the WAL.
+  void wal_log_dispatch(const gruber::DispatchRecord& record,
+                        bool has_request_id, std::uint64_t request_client,
+                        std::uint64_t request_seq);
+  /// Durability barrier after a batch of appends. Returns the accumulated
+  /// append latency plus the fsync cost (zero when nothing was appended).
+  sim::Duration wal_commit();
+  /// Remember (client, seq) -> site in the bounded dedup window.
+  void dedup_insert(std::uint64_t client, std::uint64_t seq, SiteId site);
+  /// I12 ground-truth audit: count dispatch records per request id.
+  void audit_dispatch(std::uint64_t client, std::uint64_t seq);
+  /// Periodic checkpoint: serialize state, replace the slot, truncate the
+  /// WAL.
+  void write_checkpoint();
+  /// Recovery replay at restart: restore checkpoint, scan the WAL, rebuild
+  /// view/bank/dedup/incarnation. Returns the accounted replay cost.
+  sim::Duration replay_from_disk();
+
   void run_exchange(bool final_flush = false);
   void run_catch_up();
   void check_saturation();
@@ -331,6 +407,7 @@ class DecisionPoint {
   std::uint64_t restarts_ = 0;
   std::uint64_t resync_applied_ = 0;
   std::uint64_t catchups_served_ = 0;
+  std::uint64_t catchup_records_received_ = 0;
   std::uint64_t gap_resyncs_ = 0;
 
   /// Partition-tolerance state (only touched when options.partition.enabled):
@@ -358,6 +435,34 @@ class DecisionPoint {
   std::uint64_t priced_replies_ = 0;
   std::uint64_t priced_selections_ = 0;
 
+  /// Durable state (only when options.durability.enabled). The disk is
+  /// deliberately *not* reset by crash(); everything else here is volatile
+  /// and rebuilt from the disk at restart.
+  std::unique_ptr<durable::SimDisk> disk_;
+  bool replaying_ = false;
+  bool wal_dirty_ = false;  // appends since the last fsync barrier
+  sim::Duration pending_wal_cost_;  // append latency awaiting the barrier
+  /// Exactly-once dedup window: (client, seq) -> original placement,
+  /// bounded by options.durability.dedup_window, persisted through the WAL.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SiteId> dedup_;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> dedup_order_;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t replay_frames_ = 0;
+  std::uint64_t replay_records_ = 0;
+  std::uint64_t replay_dedup_ = 0;
+  std::uint64_t replay_truncations_ = 0;
+  std::uint64_t checkpoint_fallbacks_ = 0;
+  std::uint64_t replay_mismatches_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+  std::uint64_t duplicate_dispatches_ = 0;
+  sim::Duration last_recovery_cost_;
+  /// Audit state for the I11/I12 invariants. Observer-only ground truth:
+  /// intentionally NOT cleared by crash() (it survives the way an external
+  /// checker's notebook would), never serialized, never read by any
+  /// decision path.
+  std::vector<std::tuple<DpId, std::uint64_t, sim::Time>> pre_crash_committed_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> dispatch_audit_;
+
   /// Saturation detector state: last emitted signal and the completed
   /// count / sojourn sum at the previous check (for windowed averages).
   sim::Time last_signal_;
@@ -366,6 +471,7 @@ class DecisionPoint {
 
   std::unique_ptr<sim::PeriodicTimer> exchange_timer_;
   std::unique_ptr<sim::PeriodicTimer> saturation_timer_;
+  std::unique_ptr<sim::PeriodicTimer> checkpoint_timer_;
 };
 
 /// Overlay topologies connecting decision points (the paper uses a full

@@ -213,16 +213,30 @@ struct ReportSelectionRequest {
   bool has_bid = false;
   double budget = 0.0;
   double deadline_s = 0.0;
+  /// Optional trailing field (exactly-once dispatch): a durable client
+  /// request id, stable across retries of the same placement, letting the
+  /// serving DP collapse a retry to the original decision. Stacks after
+  /// the bid trailer, so stamping a request id forces the (possibly
+  /// all-zero, harmless) bid bytes to keep positional decoding
+  /// unambiguous. Absent -> legacy bytes.
+  bool has_request_id = false;
+  std::uint64_t request_client = 0;
+  std::uint64_t request_seq = 0;
 
   template <class Archive>
   void serialize(Archive& ar) {
     ar & job & site & vo & group & user & cpus & est_runtime;
     if constexpr (Archive::kIsWriter) {
-      if (has_bid) ar & budget & deadline_s;
+      if (has_bid || has_request_id) ar & budget & deadline_s;
+      if (has_request_id) ar & request_client & request_seq;
     } else {
       if (ar.remaining() > 0) {
         ar & budget & deadline_s;
         has_bid = true;
+      }
+      if (ar.remaining() > 0) {
+        ar & request_client & request_seq;
+        has_request_id = true;
       }
     }
   }
@@ -230,10 +244,24 @@ struct ReportSelectionRequest {
 
 struct Ack {
   bool ok = true;
+  /// Optional trailing field (exactly-once dispatch): present when the
+  /// dedup window collapsed a retried report — carries the placement the
+  /// original attempt recorded, so the retry returns the original
+  /// decision instead of a re-allocation. Absent -> legacy bytes.
+  bool has_original = false;
+  SiteId original_site{};
 
   template <class Archive>
   void serialize(Archive& ar) {
     ar & ok;
+    if constexpr (Archive::kIsWriter) {
+      if (has_original) ar & original_site;
+    } else {
+      if (ar.remaining() > 0) {
+        ar & original_site;
+        has_original = true;
+      }
+    }
   }
 };
 

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "digruber/durable/disk.hpp"
+
+namespace digruber::durable {
+
+/// CRC-32C-framed write-ahead log over a SimDisk log region.
+///
+/// Frame layout (little-endian, matching the wire archive):
+///   [u32 length][u32 crc32c(type || payload)][u8 type][payload...]
+/// where length = 1 + payload size. The scanner stops at the first short or
+/// corrupt frame — a torn tail truncates cleanly to the last good frame, and
+/// a bit-rotted frame cuts replay there (anti-entropy refills the rest).
+
+/// Bytes of framing overhead per record (length + crc words).
+inline constexpr std::size_t kWalFrameHeader = 8;
+
+/// Append one frame. Returns the accounted write latency; the record is
+/// durable only after the caller's next disk.fsync() barrier.
+sim::Duration wal_append(SimDisk& disk, std::uint8_t type,
+                         std::span<const std::uint8_t> payload);
+
+struct WalScan {
+  std::uint64_t frames = 0;      ///< intact frames delivered to the callback
+  std::size_t valid_bytes = 0;   ///< log prefix covered by intact frames
+  bool truncated = false;        ///< hit a short/corrupt frame before the end
+};
+
+/// Scan a log image, invoking `apply(type, payload)` per intact frame in
+/// append order. Never throws and never reads past `log`; hostile lengths
+/// and flipped bits terminate the scan (truncated = true).
+WalScan wal_scan(std::span<const std::uint8_t> log,
+                 const std::function<void(std::uint8_t, std::span<const std::uint8_t>)>& apply);
+
+/// Checkpoint image layout: [u32 magic][u32 length][u32 crc32c(payload)][payload].
+/// A corrupt or short image reads as "no checkpoint" — recovery falls back to
+/// WAL-only replay plus anti-entropy rather than trusting damaged state.
+std::vector<std::uint8_t> make_checkpoint_image(std::span<const std::uint8_t> payload);
+
+/// Returns the payload view into `image`, or nullopt if the magic, length,
+/// or checksum do not hold.
+std::optional<std::span<const std::uint8_t>> read_checkpoint_image(
+    std::span<const std::uint8_t> image);
+
+}  // namespace digruber::durable

@@ -1,0 +1,93 @@
+#include "digruber/durable/wal.hpp"
+
+#include <cstring>
+
+#include "digruber/net/wire/crc32c.hpp"
+
+namespace digruber::durable {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x44504331;  // "DPC1"
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(std::uint8_t(v));
+  out.push_back(std::uint8_t(v >> 8));
+  out.push_back(std::uint8_t(v >> 16));
+  out.push_back(std::uint8_t(v >> 24));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t at) {
+  return std::uint32_t(bytes[at]) | std::uint32_t(bytes[at + 1]) << 8 |
+         std::uint32_t(bytes[at + 2]) << 16 | std::uint32_t(bytes[at + 3]) << 24;
+}
+
+std::uint32_t frame_crc(std::uint8_t type, std::span<const std::uint8_t> payload) {
+  const std::uint32_t seed = net::wire::crc32c({&type, 1});
+  return net::wire::crc32c(payload, seed);
+}
+
+}  // namespace
+
+sim::Duration wal_append(SimDisk& disk, std::uint8_t type,
+                         std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kWalFrameHeader + 1 + payload.size());
+  put_u32(frame, std::uint32_t(1 + payload.size()));
+  put_u32(frame, frame_crc(type, payload));
+  frame.push_back(type);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return disk.append(frame);
+}
+
+WalScan wal_scan(std::span<const std::uint8_t> log,
+                 const std::function<void(std::uint8_t, std::span<const std::uint8_t>)>& apply) {
+  WalScan scan;
+  std::size_t at = 0;
+  while (at + kWalFrameHeader <= log.size()) {
+    const std::uint32_t length = get_u32(log, at);
+    const std::uint32_t crc = get_u32(log, at + 4);
+    // Hostile/torn length guard: a frame must hold at least its type byte
+    // and must fit inside the remaining image.
+    if (length < 1 || std::size_t(length) > log.size() - at - kWalFrameHeader) {
+      scan.truncated = true;
+      return scan;
+    }
+    const std::uint8_t type = log[at + kWalFrameHeader];
+    const std::span<const std::uint8_t> payload =
+        log.subspan(at + kWalFrameHeader + 1, length - 1);
+    if (frame_crc(type, payload) != crc) {
+      scan.truncated = true;
+      return scan;
+    }
+    apply(type, payload);
+    ++scan.frames;
+    at += kWalFrameHeader + length;
+    scan.valid_bytes = at;
+  }
+  scan.truncated = scan.truncated || at != log.size();
+  return scan;
+}
+
+std::vector<std::uint8_t> make_checkpoint_image(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> image;
+  image.reserve(12 + payload.size());
+  put_u32(image, kCheckpointMagic);
+  put_u32(image, std::uint32_t(payload.size()));
+  put_u32(image, net::wire::crc32c(payload));
+  image.insert(image.end(), payload.begin(), payload.end());
+  return image;
+}
+
+std::optional<std::span<const std::uint8_t>> read_checkpoint_image(
+    std::span<const std::uint8_t> image) {
+  if (image.size() < 12) return std::nullopt;
+  if (get_u32(image, 0) != kCheckpointMagic) return std::nullopt;
+  const std::uint32_t length = get_u32(image, 4);
+  if (std::size_t(length) != image.size() - 12) return std::nullopt;
+  const std::span<const std::uint8_t> payload = image.subspan(12, length);
+  if (net::wire::crc32c(payload) != get_u32(image, 8)) return std::nullopt;
+  return payload;
+}
+
+}  // namespace digruber::durable

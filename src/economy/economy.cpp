@@ -199,6 +199,41 @@ BankStats CreditBank::stats() const {
   return stats;
 }
 
+BankImage CreditBank::image() const {
+  BankImage image;
+  image.current_epoch = current_epoch_;
+  image.epochs_settled = epochs_settled_;
+  image.initial_total = initial_total_;
+  image.expired_pool = expired_pool_;
+  image.ledgers.reserve(ledgers_.size());
+  for (const auto& [vo, ledger] : ledgers_) {
+    image.ledgers.push_back({vo, ledger.fair_share, ledger.balance,
+                             ledger.used_epoch, ledger.earned, ledger.spent,
+                             ledger.expired_cap, ledger.denials,
+                             ledger.grace_admissions});
+  }
+  return image;
+}
+
+void CreditBank::restore(const BankImage& image) {
+  current_epoch_ = image.current_epoch;
+  epochs_settled_ = image.epochs_settled;
+  initial_total_ = image.initial_total;
+  expired_pool_ = image.expired_pool;
+  ledgers_.clear();
+  for (const BankLedgerImage& entry : image.ledgers) {
+    Ledger& ledger = ledgers_[entry.vo];
+    ledger.fair_share = entry.fair_share;
+    ledger.balance = entry.balance;
+    ledger.used_epoch = entry.used_epoch;
+    ledger.earned = entry.earned;
+    ledger.spent = entry.spent;
+    ledger.expired_cap = entry.expired_cap;
+    ledger.denials = entry.denials;
+    ledger.grace_admissions = entry.grace_admissions;
+  }
+}
+
 double CreditBank::balance(VoId vo) const {
   auto it = ledgers_.find(vo);
   return it == ledgers_.end() ? 0.0 : it->second.balance;

@@ -96,6 +96,42 @@ struct BankStats {
   std::vector<LedgerSnapshot> ledgers;  // ascending VO id
 };
 
+/// Serializable image of one VO ledger inside a BankImage.
+struct BankLedgerImage {
+  VoId vo{};
+  double fair_share = 0;
+  double balance = 0;
+  double used_epoch = 0;
+  double earned = 0;
+  double spent = 0;
+  double expired_cap = 0;
+  std::uint64_t denials = 0;
+  std::uint64_t grace_admissions = 0;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & vo & fair_share & balance & used_epoch & earned & spent & expired_cap &
+        denials & grace_admissions;
+  }
+};
+
+/// Full-state image of a CreditBank, written into durable checkpoints.
+/// Restoring an image makes the bank identical to the instant it was
+/// taken; replayed charges then advance it exactly as the live bank did
+/// (settlement is a pure function of charge order and times).
+struct BankImage {
+  std::int64_t current_epoch = 0;
+  std::uint64_t epochs_settled = 0;
+  double initial_total = 0;
+  double expired_pool = 0;
+  std::vector<BankLedgerImage> ledgers;  // ascending VO id
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar & current_epoch & epochs_settled & initial_total & expired_pool & ledgers;
+  }
+};
+
 /// Per-VO credit ledger with epoch settlement. All state advances
 /// deterministically from (charge, admit) call order, so replicas fed the
 /// same dispatch stream converge and repeated runs produce identical
@@ -146,6 +182,11 @@ class CreditBank {
   [[nodiscard]] BankStats stats() const;
   [[nodiscard]] double balance(VoId vo) const;
   [[nodiscard]] std::uint64_t epochs_settled() const { return epochs_settled_; }
+
+  /// Durable-state support: capture the full bank state for a checkpoint,
+  /// and restore it verbatim during recovery replay.
+  [[nodiscard]] BankImage image() const;
+  void restore(const BankImage& image);
 
  private:
   struct Ledger {

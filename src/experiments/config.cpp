@@ -72,7 +72,10 @@ const std::set<std::string>& known_keys() {
       "price_wait",    "economy_capacity_cpus",
       "strategic_vo",
       "strategic_factor", "budget_mean",
-      "deadline_slack"};
+      "deadline_slack",  "durability",
+      "checkpoint_minutes", "dedup_window",
+      "disk_write_mb_s", "disk_fsync_us",
+      "request_ids"};
   return keys;
 }
 
@@ -223,6 +226,21 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
         config.get_double("budget_mean", out.workload.budget_mean);
     out.workload.deadline_slack =
         config.get_double("deadline_slack", out.workload.deadline_slack);
+
+    // Durable decision points: WAL + checkpoint recovery; `request_ids`
+    // additionally stamps selection reports for exactly-once dispatch.
+    out.durability = config.get_bool("durability", out.durability);
+    out.durability_options.checkpoint_interval = sim::Duration::minutes(
+        config.get_double("checkpoint_minutes",
+                          out.durability_options.checkpoint_interval.to_seconds() / 60.0));
+    out.durability_options.dedup_window = std::size_t(
+        config.get_int("dedup_window", long(out.durability_options.dedup_window)));
+    out.durability_options.disk.write_mb_per_s = config.get_double(
+        "disk_write_mb_s", out.durability_options.disk.write_mb_per_s);
+    out.durability_options.disk.fsync_latency = sim::Duration::micros(std::int64_t(
+        config.get_double("disk_fsync_us",
+                          double(out.durability_options.disk.fsync_latency.us()))));
+    out.request_ids = config.get_bool("request_ids", out.request_ids);
   } catch (const std::exception& e) {
     return Fail::failure(e.what());
   }
@@ -254,6 +272,17 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
   if (out.partition_options.stale_discount < 0 ||
       out.partition_options.stale_discount > 1) {
     return Fail::failure("stale_discount must be in [0, 1]");
+  }
+  if (out.durability) {
+    if (out.durability_options.checkpoint_interval <= sim::Duration::zero()) {
+      return Fail::failure("checkpoint_minutes must be > 0");
+    }
+    if (out.durability_options.dedup_window < 1) {
+      return Fail::failure("dedup_window must be >= 1");
+    }
+    if (out.durability_options.disk.write_mb_per_s <= 0) {
+      return Fail::failure("disk_write_mb_s must be > 0");
+    }
   }
   if (!out.fault_plan.empty() &&
       out.fault_plan.max_dp_index() >= std::size_t(out.n_dps)) {

@@ -112,6 +112,20 @@ struct ScenarioConfig {
   economy::EconomyOptions economy_options{};
   bool market_placement = false;
 
+  /// Durable decision points (off by default: default runs stay
+  /// byte-identical). Every decision point gets a simulated disk with a
+  /// CRC-framed write-ahead log and periodic checkpoints; a restart
+  /// replays checkpoint+WAL locally and runs anti-entropy only for the
+  /// gap. The disktorn/diskrot/diskstall fault verbs act on these disks.
+  bool durability = false;
+  digruber::DurabilityOptions durability_options{};
+  /// Exactly-once dispatch (off by default; implies nothing unless
+  /// durability is also on at the serving point): clients stamp selection
+  /// reports with durable (client, seq) request ids and retry failed
+  /// reports to the same decision point, whose persisted dedup window
+  /// collapses them to one dispatch.
+  bool request_ids = false;
+
   /// CRC-32C frame checksums (off by default: legacy v2/v1 frames). When
   /// on, every decision point and client emits v3 frames with a checksum
   /// trailer; corrupted frames are dropped at parse with a typed counter
@@ -140,6 +154,7 @@ struct DpStats {
   std::uint64_t restarts = 0;
   std::uint64_t resync_records = 0;
   std::uint64_t catchups_served = 0;
+  std::uint64_t catchup_records_received = 0;
   double container_utilization = 0.0;
   double mean_sojourn_s = 0.0;
   /// Container admission accounting (chaos-harness conservation input:
@@ -183,6 +198,26 @@ struct DpStats {
   economy::BankStats economy{};
   std::uint64_t priced_replies = 0;
   std::uint64_t priced_selections = 0;
+
+  // Durability (defaults with durability off).
+  std::uint64_t recoveries = 0;
+  std::uint64_t replay_frames = 0;
+  std::uint64_t replay_records = 0;
+  std::uint64_t replay_dedup_entries = 0;
+  std::uint64_t replay_truncations = 0;
+  std::uint64_t checkpoint_fallbacks = 0;
+  std::uint64_t replay_mismatches = 0;   // I11: committed-but-lost records
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t duplicate_dispatches = 0;  // I12: one request id, 2+ commits
+  double last_recovery_s = 0.0;
+  /// Device counters (copied from the point's SimDisk at harvest).
+  std::uint64_t wal_appends = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t log_truncations = 0;
+  std::uint64_t disk_torn_tails = 0;
+  std::uint64_t disk_bit_flips = 0;
 };
 
 /// Client-fleet totals (chaos-harness conservation input: every scheduled
@@ -192,6 +227,9 @@ struct ClientTotals {
   std::uint64_t handled = 0;
   std::uint64_t fallbacks = 0;
   std::uint64_t starvations = 0;
+  /// Exactly-once dispatch (zero unless request_ids is on).
+  std::uint64_t report_retries = 0;
+  std::uint64_t dedup_replies = 0;
 };
 
 struct ScenarioResult {
@@ -229,6 +267,9 @@ struct ScenarioResult {
 
   /// Economic-brokering counters (all zero with the economy off).
   metrics::EconomyCounters economy;
+
+  /// Durability counters (all zero with durability off).
+  metrics::DurabilityCounters durability;
 
   /// Client-fleet conservation totals.
   ClientTotals clients;

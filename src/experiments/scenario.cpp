@@ -240,6 +240,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     dp_options.partition.enabled = true;
   }
   if (config.frame_checksums) dp_options.frame_checksums = true;
+  if (config.durability) {
+    dp_options.durability = config.durability_options;
+    dp_options.durability.enabled = true;
+  }
   const bool economy_on =
       config.economy_options.enabled ||
       config.economy_options.allocator == economy::Allocator::kKarma ||
@@ -260,6 +264,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     digruber::connect(std::move(raw), config.overlay);
   };
   auto add_dp = [&] {
+    if (dp_options.durability.enabled) {
+      // Per-DP disk seed: fault injection (bit rot) must hit independent
+      // offsets on each decision point's device.
+      dp_options.durability.disk_seed =
+          config.seed ^ (0xD15CULL << 32) ^ std::uint64_t(dps.size());
+    }
     auto dp = std::make_unique<digruber::DecisionPoint>(
         sim, transport, DpId(dps.size()), catalog, tree.value(), dp_options);
     dp->bootstrap(grid.snapshot_all());
@@ -274,6 +284,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     std::vector<NodeId> seeds;
     for (const auto& dp : dps) {
       if (dp->running() && dp->serving()) seeds.push_back(dp->node());
+    }
+    if (dp_options.durability.enabled) {
+      dp_options.durability.disk_seed =
+          config.seed ^ (0xD15CULL << 32) ^ std::uint64_t(dps.size());
     }
     auto joiner = std::make_unique<digruber::DecisionPoint>(
         sim, transport, DpId(dps.size()), catalog, tree.value(), dp_options);
@@ -340,6 +354,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (config.membership) client_options.membership_aware = true;
   if (config.frame_checksums) client_options.frame_checksums = true;
   if (config.market_placement) client_options.market_placement = true;
+  if (config.request_ids) client_options.request_ids = true;
 
   for (int c = 0; c < config.n_clients; ++c) {
     Rng client_rng = sim.rng().fork();
@@ -474,7 +489,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
             "fault.crash",        "fault.restart",      "fault.partition",
             "fault.heal",         "fault.link_degrade", "fault.link_restore",
             "fault.join",         "fault.leave",        "fault.oneway",
-            "fault.oneway_heal",  "fault.corrupt"};
+            "fault.oneway_heal",  "fault.corrupt",      "fault.disk_torn",
+            "fault.disk_rot",     "fault.disk_stall",   "fault.disk_restore"};
         t->instant(trace::Category::kScenario, 0,
                    kFaultNames[std::size_t(event.kind)], {},
                    std::int64_t(event.dp));
@@ -567,6 +583,18 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
         case sim::FaultKind::kCorrupt:
           transport.set_corruption(event.corrupt_rate);
           break;
+        case sim::FaultKind::kDiskTorn:
+          if (dp_exists) dps[event.dp]->inject_disk_tear();
+          break;
+        case sim::FaultKind::kDiskBitRot:
+          if (dp_exists) dps[event.dp]->inject_disk_rot();
+          break;
+        case sim::FaultKind::kDiskStall:
+          if (dp_exists) dps[event.dp]->set_disk_stall(event.latency_factor);
+          break;
+        case sim::FaultKind::kDiskRestore:
+          if (dp_exists) dps[event.dp]->set_disk_stall(1.0);
+          break;
       }
     });
   }
@@ -640,6 +668,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     stats.restarts = dp->restarts();
     stats.resync_records = dp->resync_records_applied();
     stats.catchups_served = dp->catchups_served();
+    stats.catchup_records_received = dp->catchup_records_received();
     stats.container_utilization =
         dp->server().container().utilization(sim::Time::zero() + config.duration);
     stats.mean_sojourn_s = dp->response_stats().mean();
@@ -681,6 +710,26 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
     stats.priced_replies = dp->priced_replies();
     stats.priced_selections = dp->priced_selections();
+    if (const durable::SimDisk* disk = dp->disk()) {
+      stats.recoveries = dp->recoveries();
+      stats.replay_frames = dp->replay_frames();
+      stats.replay_records = dp->replay_records();
+      stats.replay_dedup_entries = dp->replay_dedup_entries();
+      stats.replay_truncations = dp->replay_truncations();
+      stats.checkpoint_fallbacks = dp->checkpoint_fallbacks();
+      stats.replay_mismatches = dp->replay_mismatches();
+      stats.dedup_hits = dp->dedup_hits();
+      stats.duplicate_dispatches = dp->duplicate_dispatches();
+      stats.last_recovery_s = dp->last_recovery_cost().to_seconds();
+      const durable::DiskCounters& dc = disk->counters();
+      stats.wal_appends = dc.appends;
+      stats.wal_bytes = dc.bytes_appended;
+      stats.fsyncs = dc.fsyncs;
+      stats.checkpoints_written = dc.checkpoints_written;
+      stats.log_truncations = dc.log_truncations;
+      stats.disk_torn_tails = dc.torn_tails;
+      stats.disk_bit_flips = dc.bit_flips;
+    }
     result.dps.push_back(stats);
   }
 
@@ -772,9 +821,40 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       result.clients.handled += client->handled();
       result.clients.fallbacks += client->fallbacks();
       result.clients.starvations += client->starvations();
+      result.clients.report_retries += client->report_retries();
+      result.clients.dedup_replies += client->dedup_replies();
     }
     for (const auto& site : grid.sites()) {
       if (site->free_cpus() < 0) ++result.sites_overcommitted;
+    }
+  }
+
+  if (config.durability) {
+    metrics::DurabilityCounters& dur = result.durability;
+    for (const auto& dp : dps) {
+      if (const durable::SimDisk* disk = dp->disk()) {
+        const durable::DiskCounters& dc = disk->counters();
+        dur.wal_appends += dc.appends;
+        dur.wal_bytes += dc.bytes_appended;
+        dur.fsyncs += dc.fsyncs;
+        dur.checkpoints_written += dc.checkpoints_written;
+        dur.log_truncations += dc.log_truncations;
+        dur.torn_tails += dc.torn_tails;
+        dur.bit_flips += dc.bit_flips;
+      }
+      dur.recoveries += dp->recoveries();
+      dur.replay_frames += dp->replay_frames();
+      dur.replay_records += dp->replay_records();
+      dur.replay_dedup_entries += dp->replay_dedup_entries();
+      dur.replay_truncations += dp->replay_truncations();
+      dur.checkpoint_fallbacks += dp->checkpoint_fallbacks();
+      dur.replay_mismatches += dp->replay_mismatches();
+      dur.dedup_hits += dp->dedup_hits();
+      dur.duplicate_dispatches += dp->duplicate_dispatches();
+    }
+    for (const auto& client : clients) {
+      dur.client_report_retries += client->report_retries();
+      dur.client_dedup_replies += client->dedup_replies();
     }
   }
 

@@ -225,6 +225,36 @@ struct EconomyCounters {
   std::uint64_t market_fallbacks = 0;   // no usable offer, fell back to p2c
 };
 
+/// Durability counters aggregated across a scenario run (simulated disks,
+/// write-ahead logs, checkpoint/replay recovery, and the exactly-once
+/// dispatch dedup window), surfaced by the recovery bench and the chaos
+/// harness. All zero with durability off.
+struct DurabilityCounters {
+  // Device (summed over every decision point's SimDisk).
+  std::uint64_t wal_appends = 0;          // frames written
+  std::uint64_t wal_bytes = 0;            // framed bytes written
+  std::uint64_t fsyncs = 0;               // durability barriers
+  std::uint64_t checkpoints_written = 0;  // checkpoint images replaced
+  std::uint64_t log_truncations = 0;      // WAL resets after a checkpoint
+  std::uint64_t torn_tails = 0;           // injected torn-write faults
+  std::uint64_t bit_flips = 0;            // injected bit-rot faults
+
+  // Recovery (checkpoint restore + WAL replay at restart).
+  std::uint64_t recoveries = 0;            // durable restarts replayed
+  std::uint64_t replay_frames = 0;         // WAL frames scanned
+  std::uint64_t replay_records = 0;        // dispatch records restored
+  std::uint64_t replay_dedup_entries = 0;  // dedup entries restored
+  std::uint64_t replay_truncations = 0;    // scans stopped at a torn tail
+  std::uint64_t checkpoint_fallbacks = 0;  // corrupt images discarded
+  std::uint64_t replay_mismatches = 0;     // I11 violations: committed-but-lost
+
+  // Exactly-once dispatch.
+  std::uint64_t dedup_hits = 0;             // retries answered from the window
+  std::uint64_t duplicate_dispatches = 0;   // I12 violations: one id, 2+ commits
+  std::uint64_t client_report_retries = 0;  // report re-sends attempted
+  std::uint64_t client_dedup_replies = 0;   // acks carrying the original decision
+};
+
 /// Wire-traffic counters by message category (queries vs state exchange vs
 /// control), snapshotted from net::wire::wire_stats() over a run and
 /// surfaced through the DiPerF report. `encodes` counts serializations —

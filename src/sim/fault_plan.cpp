@@ -191,6 +191,27 @@ Result<FaultPlan> FaultPlan::parse(const std::string& text) {
         return Fail::failure(where + "leave needs dp=<index>");
       }
       event.kind = FaultKind::kDpLeave;
+    } else if (verb == "disktorn" || verb == "diskrot" ||
+               verb == "diskrestore") {
+      if (!find_value(tokens, "dp", value) || !parse_index(value, event.dp)) {
+        return Fail::failure(where + verb + " needs dp=<index>");
+      }
+      event.kind = verb == "disktorn"  ? FaultKind::kDiskTorn
+                   : verb == "diskrot" ? FaultKind::kDiskBitRot
+                                       : FaultKind::kDiskRestore;
+    } else if (verb == "diskstall") {
+      if (!find_value(tokens, "dp", value) || !parse_index(value, event.dp)) {
+        return Fail::failure(where + "diskstall needs dp=<index>");
+      }
+      event.latency_factor = 8.0;
+      if (find_value(tokens, "factor", value) &&
+          !parse_double(value, event.latency_factor)) {
+        return Fail::failure(where + "bad stall factor: " + value);
+      }
+      if (event.latency_factor < 1.0) {
+        return Fail::failure(where + "stall factor must be >= 1");
+      }
+      event.kind = FaultKind::kDiskStall;
     } else if (verb == "degrade" || verb == "restore") {
       if (const Status<> target = parse_link_target(tokens, event); !target.ok()) {
         return Fail::failure(where + target.error());
@@ -279,7 +300,23 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& option
         }
         if (candidates.empty()) break;
         const std::size_t dp = candidates[rng.uniform_index(candidates.size())];
+        // Disk riders (opt-in: with allow_disk_faults off this arm draws no
+        // extra randomness, so existing seeds replay byte for byte). A torn
+        // tail lands just before the crash — same instant, inserted first,
+        // so it chops frames the crash would otherwise have preserved; bit
+        // rot strikes while the point is down; a stall brackets the
+        // recovery replay.
+        std::size_t disk_variant = 3;  // none
+        if (options.allow_disk_faults) disk_variant = rng.uniform_index(3);
+        if (disk_variant == 0) plan.disk_torn(Time::from_seconds(start), dp);
         plan.crash(Time::from_seconds(start), dp);
+        if (disk_variant == 1) {
+          plan.disk_rot(Time::from_seconds((start + end) / 2), dp);
+        } else if (disk_variant == 2) {
+          plan.disk_stall(Time::from_seconds(start), dp,
+                          rng.uniform(2.0, 10.0));
+          plan.disk_restore(Time::from_seconds(end + 1.0), dp);
+        }
         plan.restart(Time::from_seconds(end), dp);
         down.push_back({dp, start, end});
         break;
@@ -470,6 +507,44 @@ FaultPlan& FaultPlan::corrupt(Time at, double rate) {
   return *this;
 }
 
+FaultPlan& FaultPlan::disk_torn(Time at, std::size_t dp) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDiskTorn;
+  e.dp = dp;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::disk_rot(Time at, std::size_t dp) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDiskBitRot;
+  e.dp = dp;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::disk_stall(Time at, std::size_t dp,
+                                 double latency_factor) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDiskStall;
+  e.dp = dp;
+  e.latency_factor = latency_factor;
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::disk_restore(Time at, std::size_t dp) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDiskRestore;
+  e.dp = dp;
+  add(std::move(e));
+  return *this;
+}
+
 FaultPlan& FaultPlan::heal(Time at) {
   FaultEvent e;
   e.at = at;
@@ -548,6 +623,10 @@ std::size_t FaultPlan::max_dp_index() const {
       case FaultKind::kDpCrash:
       case FaultKind::kDpRestart:
       case FaultKind::kDpLeave:
+      case FaultKind::kDiskTorn:
+      case FaultKind::kDiskBitRot:
+      case FaultKind::kDiskStall:
+      case FaultKind::kDiskRestore:
         max_index = std::max(max_index, e.dp);
         break;
       case FaultKind::kLinkDegrade:
@@ -638,6 +717,18 @@ std::string FaultPlan::describe() const {
       case FaultKind::kCorrupt:
         if (e.corrupt_rate > 0.0) os << "corrupt rate " << e.corrupt_rate;
         else os << "corrupt off";
+        break;
+      case FaultKind::kDiskTorn:
+        os << "disk torn tail dp" << e.dp;
+        break;
+      case FaultKind::kDiskBitRot:
+        os << "disk bit rot dp" << e.dp;
+        break;
+      case FaultKind::kDiskStall:
+        os << "disk stall dp" << e.dp << " x" << e.latency_factor;
+        break;
+      case FaultKind::kDiskRestore:
+        os << "disk restore dp" << e.dp;
         break;
     }
     os << "\n";

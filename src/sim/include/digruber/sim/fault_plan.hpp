@@ -26,6 +26,10 @@ enum class FaultKind : std::uint8_t {
   kOneWayPartition,  // drop traffic from one DP towards another (or all)
   kOneWayHeal,       // undo a one-way partition (kHeal also clears them)
   kCorrupt,          // set the transport's bit-flip corruption rate
+  kDiskTorn,         // tear the tail of a DP's WAL (lost final frames)
+  kDiskBitRot,       // flip one random bit of a DP's on-disk state
+  kDiskStall,        // multiply a DP's disk latency (brown-out)
+  kDiskRestore,      // reset a DP's disk latency to nominal
 };
 
 /// One timed fault. Which fields are meaningful depends on `kind`:
@@ -43,6 +47,9 @@ enum class FaultKind : std::uint8_t {
 ///                            `all_peers` to cut the sender's traffic to
 ///                            every other decision point
 ///   kCorrupt               — `corrupt_rate` (0 turns corruption off)
+///   kDiskTorn/kDiskBitRot  — `dp` (no-op unless that DP has durability on)
+///   kDiskStall             — `dp` + `latency_factor`
+///   kDiskRestore           — `dp`
 struct FaultEvent {
   Time at;
   FaultKind kind = FaultKind::kDpCrash;
@@ -83,6 +90,10 @@ struct FaultEvent {
 ///   at=<time> oneway from=<a> [to=<b>]
 ///   at=<time> healoneway from=<a> [to=<b>]
 ///   at=<time> corrupt rate=<p>
+///   at=<time> disktorn dp=<i>
+///   at=<time> diskrot dp=<i>
+///   at=<time> diskstall dp=<i> [factor=<k>]
+///   at=<time> diskrestore dp=<i>
 ///
 /// <time> accepts plain seconds or an s/m/h suffix: `90`, `90s`, `1.5m`.
 /// Knobs for FaultPlan::random (the chaos harness's schedule generator).
@@ -112,6 +123,12 @@ struct RandomFaultOptions {
   bool allow_oneway_partitions = false;
   /// Bit-flip corruption episodes (corrupt rate=p ... corrupt rate=0).
   bool allow_corruption = false;
+  /// Disk-fault riders on crash episodes (default off so existing chaos
+  /// seeds replay the same schedules). When on, each crash episode may
+  /// tear the victim's WAL tail just before the crash, rot a bit while it
+  /// is down, or bracket the restart with a disk stall. No-ops against
+  /// decision points running without durability.
+  bool allow_disk_faults = false;
   /// Make island partitions split the client fleet across islands so both
   /// sides keep receiving queries (true split-brain pressure).
   bool split_clients_in_partitions = false;
@@ -139,6 +156,10 @@ class FaultPlan {
   FaultPlan& heal_oneway(Time at, std::size_t from, std::size_t to);
   FaultPlan& heal_oneway_all(Time at, std::size_t from);
   FaultPlan& corrupt(Time at, double rate);
+  FaultPlan& disk_torn(Time at, std::size_t dp);
+  FaultPlan& disk_rot(Time at, std::size_t dp);
+  FaultPlan& disk_stall(Time at, std::size_t dp, double latency_factor);
+  FaultPlan& disk_restore(Time at, std::size_t dp);
   FaultPlan& degrade_link(Time at, std::size_t a, std::size_t b,
                           double latency_factor, double extra_loss);
   FaultPlan& degrade_dp(Time at, std::size_t dp, double latency_factor,

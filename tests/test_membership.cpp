@@ -147,6 +147,35 @@ TEST(MembershipTable, SelfClaimIsRefutedByIncarnationBump) {
   EXPECT_EQ(table.counters().refutations, 1u);
 }
 
+TEST(MembershipTable, RestartWithHigherIncarnationSupersedesStaleDeath) {
+  MembershipTable table(DpId(0), 100, table_options());
+  table.seed({info(1, 101)}, sim::Time::zero());
+
+  // Durable restart: recovery replays the persisted incarnation floor (3)
+  // and resumes one above it, resetting to the seed view.
+  table.reset_to_seeds(at(50), 4);
+  EXPECT_EQ(table.self().incarnation, 4u);
+  EXPECT_EQ(table.self().state, MemberState::kAlive);
+
+  // Peers still gossiping the death verdict from the previous life (any
+  // incarnation below the persisted floor + 1) can no longer bite: the
+  // restarted entry is strictly newer, so no refutation round is needed.
+  MembershipUpdate stale;
+  stale.members = {info(0, 100, MemberState::kDead, 3)};
+  EXPECT_TRUE(table.absorb(stale, at(51)).empty());
+  EXPECT_EQ(table.self().state, MemberState::kAlive);
+  EXPECT_EQ(table.self().incarnation, 4u);
+  EXPECT_EQ(table.counters().refutations, 0u);
+
+  // A verdict at the *current* incarnation is genuinely new evidence and
+  // still triggers the usual self-refutation bump.
+  MembershipUpdate current;
+  current.members = {info(0, 100, MemberState::kDead, 4)};
+  EXPECT_TRUE(table.absorb(current, at(52)).empty());
+  EXPECT_GT(table.self().incarnation, 4u);
+  EXPECT_EQ(table.counters().refutations, 1u);
+}
+
 TEST(MembershipTable, AbsorbLearnsJoinersAndMaxMergesEpoch) {
   MembershipTable table(DpId(0), 100, table_options());
   table.seed({info(1, 101)}, sim::Time::zero());
@@ -370,6 +399,43 @@ TEST(Membership, JoinRotatesToNextSeedWhenFirstCrashesMidTransfer) {
   EXPECT_EQ(b.snapshots_served(), 1u);
   EXPECT_EQ(c.queries_served(), 0u);
   EXPECT_GE(c.drain_nacks_sent(), 1u);
+  b.stop();
+  c.stop();
+}
+
+TEST(Membership, JoinerCrashMidTransferDropsLateSnapshot) {
+  Fixture f;
+  DecisionPoint a(f.sim, f.transport, DpId(0), f.catalog, f.tree, f.dp_options());
+  DecisionPoint b(f.sim, f.transport, DpId(1), f.catalog, f.tree, f.dp_options());
+  DecisionPoint c(f.sim, f.transport, DpId(2), f.catalog, f.tree, f.dp_options());
+  a.bootstrap(f.snapshots());
+  b.bootstrap(f.snapshots());
+  f.seed_all({&a, &b});
+
+  net::RpcClient rpc(f.sim, f.transport);
+  f.report_selection(rpc, a.node(), 40);
+
+  // This time the *joiner* dies with the kJoinSnapshot reply in flight. The
+  // seed serves the transfer, but the bytes land on a crashed incarnation —
+  // the abort guard must drop them instead of half-applying state.
+  f.sim.schedule_at(at(25), [&] { c.join({a.node(), b.node()}); });
+  f.sim.schedule_at(sim::Time::from_seconds(25.001), [&] { c.crash(); });
+  f.sim.run_until(at(45));
+
+  EXPECT_EQ(a.snapshots_served(), 1u);
+  EXPECT_FALSE(c.serving());
+  EXPECT_FALSE(c.running());
+  EXPECT_EQ(c.join_snapshot_records(), 0u);
+
+  // The crashed joiner comes back and re-runs the whole join; the mesh
+  // (which never admitted the aborted life) accepts the new one.
+  c.restart(f.snapshots());
+  c.join({a.node(), b.node()});
+  f.sim.run_until(at(90));
+  EXPECT_TRUE(c.serving());
+  EXPECT_EQ(c.join_snapshot_records(), 1u);
+  EXPECT_EQ(a.membership()->state_of(DpId(2)), MemberState::kAlive);
+  a.stop();
   b.stop();
   c.stop();
 }

@@ -15,6 +15,7 @@
 
 #include "digruber/common/rng.hpp"
 #include "digruber/digruber/protocol.hpp"
+#include "digruber/durable/wal.hpp"
 #include "digruber/net/wire/frame.hpp"
 
 namespace digruber::net {
@@ -177,8 +178,19 @@ std::vector<CorpusEntry> corpus() {
   priced_sel.deadline_s = 1800.0;
   out.push_back(entry("ReportSelectionRequest.bid", Method::kReportSelection,
                       FrameKind::kRequest, priced_sel));
+  proto::ReportSelectionRequest rid_sel = sel;
+  rid_sel.has_request_id = true;  // stacks after the (forced) bid bytes
+  rid_sel.request_client = 31;
+  rid_sel.request_seq = 7;
+  out.push_back(entry("ReportSelectionRequest.rid", Method::kReportSelection,
+                      FrameKind::kRequest, rid_sel));
   out.push_back(
       entry("Ack", Method::kReportSelection, FrameKind::kReply, proto::Ack{}));
+  proto::Ack dedup_ack;
+  dedup_ack.has_original = true;
+  dedup_ack.original_site = SiteId(7);
+  out.push_back(entry("Ack.original", Method::kReportSelection,
+                      FrameKind::kReply, dedup_ack));
 
   out.push_back(entry("ExchangeMessage", Method::kExchange, FrameKind::kOneWay,
                       make_exchange(false)));
@@ -479,6 +491,138 @@ TEST(WireFuzz, BidAndPriceTrailersRoundTripAndStayOptional) {
   ASSERT_LT(legacy_bytes.size(), bid_bytes.size());
   EXPECT_TRUE(std::equal(legacy_bytes.begin(), legacy_bytes.end(),
                          bid_bytes.begin()));
+}
+
+TEST(WireFuzz, RequestIdTrailerRoundTripsAndStaysOptional) {
+  // The request-id trailer stacks after the bid bytes, so stamping a
+  // report forces a (possibly all-zero) bid — same stacking rule every
+  // optional trailer in the protocol follows.
+  proto::ReportSelectionRequest sel;
+  sel.job = JobId(100);
+  sel.site = SiteId(7);
+  sel.has_request_id = true;
+  sel.request_client = 31;
+  sel.request_seq = 9;
+  proto::ReportSelectionRequest out;
+  ASSERT_TRUE(
+      wire::decode(std::span<const std::uint8_t>(wire::encode(sel)), out));
+  EXPECT_TRUE(out.has_request_id);
+  EXPECT_EQ(out.request_client, 31u);
+  EXPECT_EQ(out.request_seq, 9u);
+  // The forced bid bytes decode as present-but-zero; the broker's pricing
+  // guard (budget > 0 || deadline > 0) treats that as "no bid".
+  EXPECT_TRUE(out.has_bid);
+  EXPECT_EQ(out.budget, 0.0);
+  EXPECT_EQ(out.deadline_s, 0.0);
+
+  // An unstamped report keeps the legacy bytes: pure suffix, no layout
+  // change.
+  proto::ReportSelectionRequest legacy = sel;
+  legacy.has_request_id = false;
+  const std::vector<std::uint8_t> legacy_bytes = wire::encode(legacy);
+  const std::vector<std::uint8_t> rid_bytes = wire::encode(sel);
+  ASSERT_LT(legacy_bytes.size(), rid_bytes.size());
+  EXPECT_TRUE(std::equal(legacy_bytes.begin(), legacy_bytes.end(),
+                         rid_bytes.begin()));
+
+  // The dedup-hit ack trailer round-trips the original placement.
+  proto::Ack ack;
+  ack.has_original = true;
+  ack.original_site = SiteId(5);
+  proto::Ack ack_out;
+  ASSERT_TRUE(
+      wire::decode(std::span<const std::uint8_t>(wire::encode(ack)), ack_out));
+  EXPECT_TRUE(ack_out.has_original);
+  EXPECT_EQ(ack_out.original_site, SiteId(5));
+}
+
+// ---------------------------------------------------------------------------
+// WAL + checkpoint image fuzz: the on-disk framing makes the same promise
+// the wire makes — hostile lengths, torn tails, and flipped bits terminate
+// the scan cleanly (no throw, no overread). Run under asan-ubsan this is
+// the recovery path's out-of-bounds detector.
+
+std::vector<std::uint8_t> wal_corpus_log() {
+  durable::SimDisk disk({}, 0x3a11);
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    const std::vector<std::uint8_t> payload(24 + std::size_t(i) * 8,
+                                            std::uint8_t(0xA0 + i));
+    durable::wal_append(disk, i, payload);
+  }
+  return disk.log();
+}
+
+TEST(WireFuzz, WalScanOfEveryTornPrefixTerminatesCleanly) {
+  const std::vector<std::uint8_t> log = wal_corpus_log();
+  const durable::WalScan full = durable::wal_scan(log, [](auto, auto) {});
+  ASSERT_EQ(full.frames, 3u);
+  ASSERT_FALSE(full.truncated);
+
+  for (std::size_t len = 0; len < log.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(log.data(), len);
+    std::uint64_t delivered = 0;
+    const durable::WalScan scan = durable::wal_scan(
+        prefix, [&](std::uint8_t, std::span<const std::uint8_t> p) {
+          ++delivered;
+          // Every delivered payload must lie inside the prefix.
+          ASSERT_GE(p.data(), log.data());
+          ASSERT_LE(p.data() + p.size(), log.data() + len);
+        });
+    EXPECT_EQ(scan.frames, delivered);
+    EXPECT_LE(scan.valid_bytes, len);
+    // A strict prefix either ends exactly on a frame boundary (fewer
+    // frames, not truncated) or mid-frame (truncated).
+    if (!scan.truncated) EXPECT_LT(scan.frames, 3u);
+  }
+}
+
+TEST(WireFuzz, WalScanSurvivesEverySingleBitFlip) {
+  const std::vector<std::uint8_t> log = wal_corpus_log();
+  for (std::size_t bit = 0; bit < log.size() * 8; ++bit) {
+    std::vector<std::uint8_t> mutated = log;
+    mutated[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+    const durable::WalScan scan = durable::wal_scan(mutated, [](auto, auto) {});
+    // Every byte belongs to some frame, so one flip always kills exactly
+    // the frame containing it: the scan stops there.
+    EXPECT_TRUE(scan.truncated) << "bit " << bit;
+    EXPECT_LT(scan.frames, 3u) << "bit " << bit;
+  }
+}
+
+TEST(WireFuzz, WalHostileLengthPrefixFailsCleanly) {
+  for (const std::uint32_t hostile :
+       {std::uint32_t(0), std::uint32_t(0xffffffff), std::uint32_t(1u << 30)}) {
+    std::vector<std::uint8_t> log = wal_corpus_log();
+    for (std::size_t i = 0; i < 4; ++i) {
+      log[i] = std::uint8_t(hostile >> (8 * i));
+    }
+    const durable::WalScan scan = durable::wal_scan(log, [](auto, auto) {});
+    EXPECT_TRUE(scan.truncated) << hostile;
+    EXPECT_EQ(scan.frames, 0u) << hostile;
+  }
+}
+
+TEST(WireFuzz, WalRandomGarbageNeverThrows) {
+  Rng rng(0xd15c);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.uniform_index(96));
+    for (std::uint8_t& b : garbage) b = std::uint8_t(rng.uniform_index(256));
+    (void)durable::wal_scan(garbage, [](auto, auto) {});
+    (void)durable::read_checkpoint_image(garbage);
+  }
+}
+
+TEST(WireFuzz, CheckpointImageRejectsEverySingleBitFlip) {
+  const std::vector<std::uint8_t> payload(64, 0x5c);
+  const std::vector<std::uint8_t> image =
+      durable::make_checkpoint_image(payload);
+  ASSERT_TRUE(durable::read_checkpoint_image(image).has_value());
+  for (std::size_t bit = 0; bit < image.size() * 8; ++bit) {
+    std::vector<std::uint8_t> mutated = image;
+    mutated[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+    EXPECT_FALSE(durable::read_checkpoint_image(mutated).has_value())
+        << "bit " << bit;
+  }
 }
 
 TEST(WireFuzz, RandomGarbageNeverThrows) {

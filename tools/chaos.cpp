@@ -1,6 +1,7 @@
 // chaos: seeded random fault-injection soak for the DI-GRUBER mesh.
 //
 //   chaos [--seeds N | --seed K] [--quick] [--verbose] [--churn]
+//         [--partition] [--economy] [--recovery]
 //
 // Each seed deterministically generates a random fault schedule (crashes,
 // partitions, link degradations) via FaultPlan::random, runs a small
@@ -54,6 +55,21 @@
 //       initial endowment plus net transfers minus cap expiry — no
 //       crash, partition, or churn schedule may mint or leak credit.
 //
+// `--recovery` turns on durable decision points (WAL + checkpoints) and
+// client request ids, adds disk faults (torn tails, bit rot, stalls) to the
+// random schedules, and adds two more invariants, each gated per point on a
+// clean disk — a schedule that tore or rotted a point's log is ALLOWED to
+// lose committed suffix state, that is the fault model working:
+//
+//   I11 replay fidelity: a decision point whose disk survived intact
+//       recovers exactly its pre-crash committed state — zero replay
+//       mismatches across every crash/restart in the schedule,
+//   I12 exactly-once dispatch: a decision point whose disk survived intact
+//       never commits the same client request id twice, no matter how the
+//       schedule interleaved retries with crashes and recoveries.
+//
+// `--recovery` composes with every other mode.
+//
 // Exit status 0 iff every seed passes; failing seeds are printed so a
 // failure reproduces with `chaos --seed K`.
 #include <algorithm>
@@ -87,11 +103,15 @@ struct SeedReport {
   std::uint64_t double_commits = 0;
   std::uint64_t epochs = 0;
   std::uint64_t denials = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t dedup_hits = 0;
   std::vector<std::string> violations;
 };
 
 SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
-                    bool partition, bool economy) {
+                    bool partition, bool economy, bool recovery) {
   sim::RandomFaultOptions fault_options;
   fault_options.n_dps = 3;
   fault_options.horizon = quick ? sim::Duration::minutes(6) : sim::Duration::minutes(15);
@@ -106,6 +126,13 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
     fault_options.allow_corruption = true;
     fault_options.split_clients_in_partitions = true;
     fault_options.episodes += 2;  // dedicated one-way / corruption pressure
+  }
+  if (recovery) {
+    // Disk faults ride along with crash episodes (a tear strikes right
+    // before the crash, rot while the point is down, stalls bracket the
+    // window), so extra episodes keep the crash/recovery pressure up.
+    fault_options.allow_disk_faults = true;
+    fault_options.episodes += 2;
   }
   const sim::FaultPlan plan = sim::FaultPlan::random(seed, fault_options);
 
@@ -154,6 +181,16 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
     config.workload.strategic_factor = 10.0;
     config.workload.budget_mean = 50.0;
     config.workload.deadline_slack = 3.0;
+  }
+  if (recovery) {
+    // Durable points + stamped reports. A short checkpoint interval lands
+    // several checkpoint/truncate cycles inside even the quick horizon, so
+    // recoveries exercise the checkpoint-restore path, not just raw WAL
+    // replay; a small dedup window keeps eviction live under load.
+    config.durability = true;
+    config.durability_options.checkpoint_interval = sim::Duration::minutes(2);
+    config.durability_options.dedup_window = 256;
+    config.request_ids = true;
   }
   trace::Tracer tracer;
   if (partition) {
@@ -426,6 +463,41 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
     }
   }
 
+  if (recovery) {
+    report.recoveries = result.durability.recoveries;
+    report.replayed = result.durability.replay_records;
+    report.retries = result.durability.client_report_retries;
+    report.dedup_hits = result.durability.dedup_hits;
+
+    // I11/I12 are gated per decision point on a clean disk: a schedule
+    // that tore this point's WAL tail or flipped a stored bit is allowed
+    // to lose the committed suffix (and with it a dedup entry) — the
+    // recovery machinery's promise only covers media that survived. A
+    // point the schedule never touched must recover perfectly.
+    for (std::size_t d = 0; d < result.dps.size(); ++d) {
+      const experiments::DpStats& dp = result.dps[d];
+      const bool clean_disk = dp.disk_torn_tails == 0 && dp.disk_bit_flips == 0;
+      if (!clean_disk) continue;
+
+      // I11: replay restored exactly the pre-crash committed state.
+      if (dp.replay_mismatches != 0) {
+        std::ostringstream os;
+        os << "I11 dp" << d << " lost " << dp.replay_mismatches
+           << " committed record(s) across " << dp.recoveries
+           << " recover(ies) with an intact disk";
+        violate(os.str());
+      }
+      // I12: one request id, at most one committed dispatch at this point.
+      if (dp.duplicate_dispatches != 0) {
+        std::ostringstream os;
+        os << "I12 dp" << d << " committed " << dp.duplicate_dispatches
+           << " duplicate dispatch(es) for retried request id(s) with an "
+           << "intact disk (dedup_hits=" << dp.dedup_hits << ")";
+        violate(os.str());
+      }
+    }
+  }
+
   return report;
 }
 
@@ -440,6 +512,7 @@ int main(int argc, char** argv) {
   bool churn = false;
   bool partition = false;
   bool economy = false;
+  bool recovery = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -465,10 +538,12 @@ int main(int argc, char** argv) {
       partition = true;
     } else if (arg == "--economy") {
       economy = true;
+    } else if (arg == "--recovery") {
+      recovery = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--seeds N | --seed K] [--quick] [--verbose] [--churn]"
-                << " [--partition] [--economy]\n";
+                << " [--partition] [--economy] [--recovery]\n";
       return 0;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
@@ -497,12 +572,18 @@ int main(int argc, char** argv) {
     header.push_back("epochs");
     header.push_back("denials");
   }
+  if (recovery) {
+    header.push_back("recover");
+    header.push_back("replayed");
+    header.push_back("retries");
+    header.push_back("dedup");
+  }
   header.push_back("verdict");
   Table table(header);
   std::vector<std::uint64_t> failing;
   for (const std::uint64_t seed : seeds) {
     const SeedReport report =
-        run_seed(seed, quick, verbose, churn, partition, economy);
+        run_seed(seed, quick, verbose, churn, partition, economy, recovery);
     std::vector<std::string> row{
         std::to_string(report.seed), std::to_string(report.faults),
         std::to_string(report.queries), std::to_string(report.shed),
@@ -519,6 +600,12 @@ int main(int argc, char** argv) {
     if (economy) {
       row.push_back(std::to_string(report.epochs));
       row.push_back(std::to_string(report.denials));
+    }
+    if (recovery) {
+      row.push_back(std::to_string(report.recoveries));
+      row.push_back(std::to_string(report.replayed));
+      row.push_back(std::to_string(report.retries));
+      row.push_back(std::to_string(report.dedup_hits));
     }
     row.push_back(report.pass ? "PASS" : "FAIL");
     table.add_row(row);

@@ -154,6 +154,18 @@ int main(int argc, char** argv) {
               << "/" << r.partition.packets_corrupted
               << " corrupt frame(s) caught\n";
   }
+  if (cfg.durability) {
+    std::cout << "durability: " << r.durability.wal_appends
+              << " WAL append(s) over " << r.durability.fsyncs
+              << " fsync(s), " << r.durability.checkpoints_written
+              << " checkpoint(s), " << r.durability.recoveries
+              << " recover(ies) replaying " << r.durability.replay_records
+              << " record(s), " << r.durability.dedup_hits
+              << " retry collapse(s), " << r.durability.replay_mismatches
+              << " replay mismatch(es), "
+              << r.durability.torn_tails + r.durability.bit_flips
+              << " disk fault(s) injected\n";
+  }
   // Entitlement state is part of every summary: per-dispatch breaches over
   // the whole run plus the ground-truth audit snapshot at window end.
   std::cout << "usla: " << r.entitlement_breaches << " entitlement breach(es)";

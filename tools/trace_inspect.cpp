@@ -2,12 +2,16 @@
 // --trace out.jsonl --trace-format jsonl` (or any bench's --trace flag).
 //
 //   trace-inspect trace.jsonl [--cat NAME] [--actor N] [--name NAME]
-//                 [--trace-id N] [--from S] [--to S] [--events] [--top N]
+//                 [--trace-id N] [--from S] [--to S] [--recovery]
+//                 [--events] [--top N]
 //
 // Prints per-span-name duration histograms (count, p50/p90/p99/max from
 // the same HDR-style log-bucketed histogram the metrics layer uses),
 // instant/counter tallies, and — with --events — the matching event lines
-// themselves. Filters compose (AND).
+// themselves. Filters compose (AND). `--recovery` is a preset name filter
+// keeping only the durability/recovery lifecycle: WAL appends and fsync
+// barriers, checkpoints, replay spans, restarts, catch-up and delta
+// anti-entropy, dedup hits and client report retries.
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
@@ -95,15 +99,33 @@ struct Options {
   std::optional<std::uint64_t> trace_id;
   std::optional<double> from_s;
   std::optional<double> to_s;
+  bool recovery = false;
   bool events = false;
   std::size_t top = 20;
 };
+
+/// The durability/recovery lifecycle, end to end: device traffic, replay,
+/// the gap-filling anti-entropy that follows it, and the exactly-once
+/// machinery on both sides of the wire.
+constexpr const char* kRecoveryNames[] = {
+    "wal.append",        "wal.fsync",     "dp.checkpoint",
+    "dp.recover.replay", "dp.restart",    "dp.catchup",
+    "dp.catchup_applied", "dp.delta_pull", "dp.delta_served",
+    "dp.dedup_hit",      "report.retry",
+};
+
+bool recovery_name(const std::string& name) {
+  for (const char* candidate : kRecoveryNames) {
+    if (name == candidate) return true;
+  }
+  return false;
+}
 
 int usage(const char* argv0, int code) {
   (code ? std::cerr : std::cout)
       << "usage: " << argv0
       << " trace.jsonl [--cat NAME] [--actor N] [--name NAME] [--trace-id N]"
-         " [--from S] [--to S] [--events] [--top N]\n";
+         " [--from S] [--to S] [--recovery] [--events] [--top N]\n";
   return code;
 }
 
@@ -141,6 +163,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0], 2);
       opt.to_s = std::strtod(v, nullptr);
+    } else if (arg == "--recovery") {
+      opt.recovery = true;
     } else if (arg == "--events") {
       opt.events = true;
     } else if (arg == "--top") {
@@ -173,6 +197,7 @@ int main(int argc, char** argv) {
     if (opt.cat && line.cat != *opt.cat) continue;
     if (opt.actor && line.actor != *opt.actor) continue;
     if (opt.name && line.name != *opt.name) continue;
+    if (opt.recovery && !recovery_name(line.name)) continue;
     if (opt.trace_id && line.trace != *opt.trace_id) continue;
     const double ts_s = double(line.ts_us) * 1e-6;
     if (opt.from_s && ts_s < *opt.from_s) continue;
