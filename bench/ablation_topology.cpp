@@ -1,50 +1,89 @@
-// Ablation: the overlay connecting decision points. The paper adopts a
-// full mesh "to simplify analysis and understanding"; this bench measures
-// what ring and star overlays cost in state freshness (flooding needs
-// multiple exchange rounds to cross the overlay) with 10 decision points.
+// Ablation: the dissemination overlay connecting decision points, swept
+// over deployment size. The paper adopts a full mesh "to simplify
+// analysis and understanding" — O(N^2) exchange messages per round — and
+// its future-work section asks what a hierarchy buys at larger scales.
+// This bench answers with the src/overlay/ strategies: spanning tree,
+// gossip fan-out, and super-peer hierarchy against the mesh baseline at
+// N = 10 / 40 / 100 decision points.
+//
+// Doubles as the acceptance gate for the sparse overlays: at N >= 40 the
+// tree or super-peer strategy must cut exchange bytes per round by at
+// least 60% versus the mesh, or the bench exits nonzero.
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_util.hpp"
 
 using namespace digruber;
-using ::digruber::digruber::Overlay;
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
 
-  struct Row {
-    const char* name;
-    Overlay overlay;
-  };
-  const Row rows[] = {
-      {"mesh (paper)", Overlay::kMesh},
-      {"ring", Overlay::kRing},
-      {"star", Overlay::kStar},
-  };
+  const overlay::Kind kinds[] = {overlay::Kind::kMesh, overlay::Kind::kTree,
+                                 overlay::Kind::kGossip,
+                                 overlay::Kind::kSuperPeer};
+  const int sizes[] = {10, 40, 100};
 
-  Table table({"Overlay", "Accuracy (handled)", "Exchanges sent",
-               "Records applied", "Duplicates", "Response (s)"});
-  for (const Row& row : rows) {
-    experiments::ScenarioConfig cfg =
-        bench::paper_config(args, net::ContainerProfile::gt3(), 10);
-    cfg.name = std::string("overlay-") + row.name;
-    cfg.overlay = row.overlay;
-    const experiments::ScenarioResult r = experiments::run_scenario(cfg);
+  Table table({"N", "Strategy", "Accuracy (handled)", "Exchanges",
+               "Bytes/round", "Cut vs mesh", "Mean fanout", "Max depth",
+               "Response (s)"});
+  bool cut_ok = true;
+  for (const int n : sizes) {
+    double mesh_bytes_per_round = 0.0;
+    double best_sparse_cut = 0.0;  // best of tree/super-peer at this N
+    for (const overlay::Kind kind : kinds) {
+      experiments::ScenarioConfig cfg =
+          bench::paper_config(args, net::ContainerProfile::gt3(), n);
+      // The sweep's 12 runs make the paper's one-hour window impractical;
+      // bytes-per-round stabilizes within a few exchange rounds.
+      cfg.duration =
+          args.quick ? sim::Duration::minutes(12) : sim::Duration::minutes(30);
+      cfg.n_clients = args.quick ? 40 : 120;
+      cfg.name = std::string("topology-") + overlay::kind_name(kind) + "-" +
+                 std::to_string(n);
+      cfg.overlay_options.kind = kind;
+      cfg.overlay_options.seed = args.seed;
+      const experiments::ScenarioResult r = experiments::run_scenario(cfg);
 
-    std::uint64_t exchanges = 0, applied = 0, duplicates = 0;
-    for (const auto& dp : r.dps) {
-      exchanges += dp.exchanges_sent;
-      applied += dp.records_applied;
-      duplicates += dp.records_duplicate;
+      // Aggregate bytes_sent / rounds = mean bytes one point puts on the
+      // wire per round; multiply by N for the deployment-wide figure.
+      const double per_round = r.overlay.bytes_per_round() * double(n);
+      std::string vs_mesh = "-";
+      if (kind == overlay::Kind::kMesh) {
+        mesh_bytes_per_round = per_round;
+      } else if (mesh_bytes_per_round > 0.0) {
+        const double cut = 1.0 - per_round / mesh_bytes_per_round;
+        vs_mesh = Table::pct(cut);
+        if (kind == overlay::Kind::kTree || kind == overlay::Kind::kSuperPeer)
+          best_sparse_cut = std::max(best_sparse_cut, cut);
+      }
+      table.add_row({std::to_string(n), overlay::kind_name(kind),
+                     Table::pct(r.handled.accuracy),
+                     std::to_string(r.overlay.exchanges_sent),
+                     Table::num(per_round, 0), vs_mesh,
+                     Table::num(r.overlay.mean_fanout(), 2),
+                     std::to_string(r.overlay.max_hops),
+                     Table::num(r.handled.response_s, 2)});
     }
-    table.add_row({row.name, Table::pct(r.handled.accuracy),
-                   std::to_string(exchanges), std::to_string(applied),
-                   std::to_string(duplicates), Table::num(r.handled.response_s, 2)});
+    if (n >= 40 && best_sparse_cut < 0.60) {
+      std::cerr << "FAIL: at N=" << n
+                << " neither tree nor super-peer cut exchange bytes/round by"
+                   " >= 60% vs mesh (best cut "
+                << Table::pct(best_sparse_cut) << ")\n";
+      cut_ok = false;
+    }
   }
-  std::cout << "== Ablation: Decision-Point Overlay (10 GT3 decision points) ==\n";
+  std::cout << "== Ablation: Dissemination Overlay x Deployment Size ==\n";
   table.render(std::cout);
-  std::cout << "Mesh floods every record in one exchange round (most messages,\n"
-               "freshest state); ring and star take multiple rounds per hop,\n"
-               "so remote dispatches are staler and accuracy drops slightly.\n";
+  std::cout << "Mesh floods every record in one exchange round (freshest\n"
+               "state, quadratic wire cost). Tree and super-peer trade relay\n"
+               "rounds of staleness for 90%+ traffic cuts; gossip sits\n"
+               "between, with probabilistic latency. The staleness shows up\n"
+               "as an accuracy dip that grows with relay depth and shrinks\n"
+               "with the observation window — no strategy loses records\n"
+               "(dedup + digest anti-entropy deliver everything, just\n"
+               "later), so long-horizon accuracy converges toward mesh.\n";
+  if (!cut_ok) return 1;
+  std::cout << "sparse-overlay byte cut at N>=40: OK (>= 60% vs mesh)\n";
   return 0;
 }

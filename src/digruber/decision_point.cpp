@@ -5,6 +5,7 @@
 
 #include "digruber/common/log.hpp"
 #include "digruber/durable/wal.hpp"
+#include "digruber/overlay/trailer_stack.hpp"
 #include "digruber/trace/trace.hpp"
 
 namespace digruber::digruber {
@@ -40,6 +41,7 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
       server_(sim, transport, options_.profile),
       peer_client_(sim, transport) {
   install_wire_categorizer();
+  strategy_ = overlay::make_strategy(options_.overlay, id_);
   if (options_.frame_checksums) {
     server_.set_frame_checksums(true);
     peer_client_.set_frame_checksums(true);
@@ -77,9 +79,14 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
         return handle_catch_up(body, from);
       },
       net::Priority::kControl);
-  if (options_.partition.enabled) {
+  if (options_.partition.enabled ||
+      options_.overlay.kind != overlay::Kind::kMesh) {
     // Delta anti-entropy is control-plane traffic like catch-up: a healing
-    // mesh must reconcile even while the query backlog is deep.
+    // mesh must reconcile even while the query backlog is deep. Sparse
+    // overlays need it even without partition tolerance: a record flushed
+    // while rosters transiently diverge can dead-end mid-path, and unlike
+    // the full mesh no later round re-offers it — the piggybacked digest
+    // is the only way the hole is ever discovered.
     server_.register_method(
         kDeltaPull,
         [this](std::span<const std::uint8_t> body, NodeId from) {
@@ -151,6 +158,42 @@ DecisionPoint::DecisionPoint(sim::Simulation& sim, net::Transport& transport,
 void DecisionPoint::refresh_neighbors() {
   if (!membership_) return;
   neighbors_ = membership_->live_peer_nodes();
+  if (strategy_->kind() != overlay::Kind::kMesh) {
+    // Feed the same live set (alive + suspect, DpId order) to the overlay
+    // so trees and super-peer assignments repair under churn: every
+    // survivor re-derives the same structure from its converged view.
+    overlay_peers_.clear();
+    for (const MemberInfo& info : membership_->members()) {
+      if (info.dp == id_) continue;
+      if (info.state == MemberState::kAlive ||
+          info.state == MemberState::kSuspect) {
+        overlay_peers_.push_back({info.dp, NodeId(info.node)});
+      }
+    }
+    rebuild_strategy(/*initial=*/false);
+  }
+}
+
+void DecisionPoint::rebuild_strategy(bool initial) {
+  overlay::View view;
+  view.self = id_;
+  view.peers = overlay_peers_;
+  const bool changed = strategy_->rebuild(view);
+  if (changed && membership_) {
+    // A repair re-wires the watch set; peers that just became neighbors
+    // have legitimately never pushed here, so their silence clocks start
+    // from the re-wiring instead of instantly tripping the detector.
+    if (const auto* watch = strategy_->watch_peers()) {
+      membership_->start_watch_grace(*watch, sim_.now());
+    }
+  }
+  if (initial || !changed) return;
+  ++overlay_rebuilds_;
+  if (auto* t = trace::current()) {
+    t->instant(trace::Category::kDp, id_.value(), "overlay.rebuild", {},
+               std::int64_t(overlay_peers_.size()),
+               std::int64_t(overlay_rebuilds_));
+  }
 }
 
 void DecisionPoint::trace_transitions(
@@ -411,6 +454,7 @@ void DecisionPoint::crash() {
   // SimDisk is deliberately NOT touched — crash models lost RAM, not lost
   // disk; its contents are what restart() replays.
   fresh_.clear();
+  fresh_meta_.clear();
   applied_.clear();
   last_peer_round_.clear();
   peer_hints_.clear();
@@ -605,8 +649,13 @@ net::Served DecisionPoint::handle_catch_up(std::span<const std::uint8_t> body,
 
 gruber::ViewDigest DecisionPoint::settled_digest(sim::Time now) const {
   const sim::Duration slack = options_.partition.digest_slack;
-  return engine_.view().digest(now - (options_.exchange_interval + slack),
-                               now + slack);
+  // Sparse overlays deliver over up to ttl() relay rounds; state younger
+  // than that is legitimately in flight, not divergence. Summarizing it
+  // would flag every healthy relay as a mismatch and trigger a delta pull
+  // each round. Mesh keeps the legacy one-interval window (ttl is 0).
+  const double settle_rounds = 1.0 + double(strategy_->ttl());
+  return engine_.view().digest(
+      now - (options_.exchange_interval * settle_rounds + slack), now + slack);
 }
 
 void DecisionPoint::maybe_delta_pull(const ExchangeMessage& message) {
@@ -795,6 +844,18 @@ void DecisionPoint::set_neighbors(std::vector<NodeId> neighbors) {
   neighbors_ = std::move(neighbors);
 }
 
+void DecisionPoint::set_overlay_view(std::vector<overlay::Member> peers) {
+  std::sort(peers.begin(), peers.end(),
+            [](const overlay::Member& a, const overlay::Member& b) {
+              return a.dp < b.dp;
+            });
+  neighbors_.clear();
+  neighbors_.reserve(peers.size());
+  for (const overlay::Member& peer : peers) neighbors_.push_back(peer.node);
+  overlay_peers_ = std::move(peers);
+  rebuild_strategy(/*initial=*/true);
+}
+
 net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> body,
                                                  NodeId /*from*/) {
   GetSiteLoadsRequest request;
@@ -851,49 +912,67 @@ net::Served DecisionPoint::handle_get_site_loads(std::span<const std::uint8_t> b
                                  request.membership_epoch < membership_->epoch();
   const bool attach_digest = options_.partition.enabled;
   const bool attach_prices = options_.economy.enabled;
-  if (options_.advertise_load || attach_membership || attach_digest ||
-      attach_prices) {
-    // Own hint plus whatever peers piggybacked on recent exchanges, in
-    // node order so the reply bytes are deterministic across runs.
-    reply.dp_loads.push_back(self_hint());
-    for (const auto& [node, hint] : peer_hints_) reply.dp_loads.push_back(hint);
-    std::sort(reply.dp_loads.begin(), reply.dp_loads.end(),
-              [](const DpLoadHint& a, const DpLoadHint& b) { return a.node < b.node; });
-  }
-  if (attach_membership || attach_digest || attach_prices) {
-    reply.has_membership = true;
-    // Without a membership table the slot is an empty update — a no-op on
-    // the receiver, emitted only to keep the trailer positions aligned.
-    if (membership_) reply.membership = membership_->update();
-  }
-  if (attach_digest || attach_prices) {
-    // The price trailer rides fifth, so it forces the digest and degraded
-    // slots; without partition tolerance both are empty no-ops.
-    reply.has_digest = true;
-    if (attach_digest) reply.digest = settled_digest(sim_.now());
-    if (attach_digest && degraded.level >= 1) {
-      reply.has_degraded = true;
-      reply.degraded = degraded;
-      ++degraded_replies_;
-    } else if (attach_prices) {
-      reply.has_degraded = true;  // empty level-0 hint: receiver no-op
-    }
-  }
-  if (attach_prices) {
-    // Quotes aligned index-wise with dp_loads: own price for the self
-    // hint, the freshest exchanged quote for each peer (0 = no quote yet).
-    reply.dp_prices.reserve(reply.dp_loads.size());
-    const std::uint64_t self_node = server_.node().value();
-    for (const DpLoadHint& hint : reply.dp_loads) {
-      if (hint.node == self_node) {
-        reply.dp_prices.push_back(self_price());
-      } else {
-        const auto it = peer_prices_.find(hint.node);
-        reply.dp_prices.push_back(it != peer_prices_.end() ? it->second : 0.0);
-      }
-    }
-    ++priced_replies_;
-  }
+  // Same positional TrailerStack contract as the exchange path: a slot is
+  // *wanted* on its own merit; wanting a later slot forces every earlier
+  // one onto the reply (forced dp_loads still carry the full hint set —
+  // the bytes double as the failover hint table — while forced
+  // membership/digest/degraded slots stay empty no-ops).
+  overlay::TrailerStack trailers;
+  trailers
+      .slot(options_.advertise_load,
+            [&](bool) {
+              // Own hint plus whatever peers piggybacked on recent
+              // exchanges, in node order so the reply bytes are
+              // deterministic across runs.
+              reply.dp_loads.push_back(self_hint());
+              for (const auto& [node, hint] : peer_hints_) {
+                reply.dp_loads.push_back(hint);
+              }
+              std::sort(reply.dp_loads.begin(), reply.dp_loads.end(),
+                        [](const DpLoadHint& a, const DpLoadHint& b) {
+                          return a.node < b.node;
+                        });
+            })
+      .slot(attach_membership,
+            [&](bool) {
+              reply.has_membership = true;
+              // Without a membership table the slot is an empty update — a
+              // no-op on the receiver, emitted only to keep the trailer
+              // positions aligned.
+              if (membership_) reply.membership = membership_->update();
+            })
+      .slot(attach_digest,
+            [&](bool forced) {
+              reply.has_digest = true;
+              if (!forced) reply.digest = settled_digest(sim_.now());
+            })
+      .slot(attach_digest && degraded.level >= 1,
+            [&](bool forced) {
+              reply.has_degraded = true;  // forced: empty level-0, a no-op
+              if (!forced) {
+                reply.degraded = degraded;
+                ++degraded_replies_;
+              }
+            })
+      .slot(attach_prices,
+            [&](bool) {
+              // Quotes aligned index-wise with dp_loads: own price for the
+              // self hint, the freshest exchanged quote for each peer
+              // (0 = no quote yet).
+              reply.dp_prices.reserve(reply.dp_loads.size());
+              const std::uint64_t self_node = server_.node().value();
+              for (const DpLoadHint& hint : reply.dp_loads) {
+                if (hint.node == self_node) {
+                  reply.dp_prices.push_back(self_price());
+                } else {
+                  const auto it = peer_prices_.find(hint.node);
+                  reply.dp_prices.push_back(
+                      it != peer_prices_.end() ? it->second : 0.0);
+                }
+              }
+              ++priced_replies_;
+            })
+      .compose();
 
   // Ambient here is the rpc.serve span, so the instant lands inside the
   // caller's query trace.
@@ -955,12 +1034,18 @@ net::Served DecisionPoint::handle_report_selection(std::span<const std::uint8_t>
 
   engine_.record(record);
   applied_[id_].insert(record.seq);
+  if (options_.overlay_audit) {
+    own_record_log_.emplace_back(record.seq, record.when.to_seconds());
+  }
   // The request-id trailer forces (possibly all-zero) bid bytes onto the
   // wire, so presence alone no longer implies a priced report.
   if (request.has_bid && (request.budget > 0 || request.deadline_s > 0)) {
     ++priced_selections_;
   }
-  if (options_.dissemination != Dissemination::kNone) fresh_.push_back(record);
+  if (options_.dissemination != Dissemination::kNone) {
+    fresh_.push_back(record);
+    fresh_meta_.push_back({id_, 0});
+  }
 
   if (disk_) {
     wal_log_dispatch(record, request.has_request_id, request.request_client,
@@ -1015,7 +1100,21 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
     }
   }
 
-  for (const gruber::DispatchRecord& record : message.dispatches) {
+  // Overlay relay depth: each record applied from this frame re-floods
+  // one hop deeper than *it* has traveled (per-record depths ride the hop
+  // trailer — one deep record must not burn the relay budget of a fresh
+  // one in the same frame). Sparse overlays bound the depth by the
+  // strategy TTL — an over-deep record is still *applied* (the bound
+  // suppresses relaying, never learning), leaving residual convergence to
+  // the anti-entropy paths.
+  const std::uint32_t relay_ttl = strategy_->ttl();
+  if (message.has_hops) {
+    overlay_max_hops_ =
+        std::max<std::uint64_t>(overlay_max_hops_, message.hops);
+  }
+  std::uint64_t relays_dropped = 0;
+  for (std::size_t i = 0; i < message.dispatches.size(); ++i) {
+    const gruber::DispatchRecord& record = message.dispatches[i];
     auto& seen = applied_[record.origin];
     if (!seen.insert(record.seq).second) {
       ++records_duplicate_;
@@ -1029,7 +1128,25 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
     // charge — the WAL order must match.
     charge_bank(record);
     // Flooding: relay fresh records onward at the next exchange tick.
-    fresh_.push_back(record);
+    const std::uint32_t prior =
+        message.has_hops && i < message.hop_depths.size()
+            ? message.hop_depths[i]
+            : 0;
+    const std::uint32_t relay_depth = message.has_hops ? prior + 1 : 1;
+    if (relay_ttl == 0 || relay_depth <= relay_ttl) {
+      fresh_.push_back(record);
+      fresh_meta_.push_back({message.from, relay_ttl > 0 ? relay_depth : 0});
+    } else {
+      ++overlay_relays_suppressed_;
+      ++relays_dropped;
+    }
+  }
+  if (relays_dropped > 0) {
+    if (auto* t = trace::current()) {
+      t->instant(trace::Category::kDp, id_.value(), "overlay.relay_drop",
+                 t->ambient(), std::int64_t(relays_dropped),
+                 std::int64_t(message.hops));
+    }
   }
   for (const grid::SiteSnapshot& snapshot : message.snapshots) {
     engine_.view().apply_snapshot(snapshot);
@@ -1039,15 +1156,19 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
     peer_prices_[message.load.node] = message.price;
   }
 
-  if (options_.partition.enabled) {
+  if (options_.partition.enabled) peer_last_heard_[message.from] = sim_.now();
+  if (options_.partition.enabled ||
+      strategy_->kind() != overlay::Kind::kMesh) {
     // The frame doubles as the staleness heartbeat for degraded-mode
-    // admission, and its piggybacked digest — compared only *after* the
-    // frame's own records were applied above — is the split-brain
-    // detector: any divergence the frame itself did not repair triggers a
-    // targeted delta pull. An economy-only sender emits an *empty* digest
-    // slot just to reach the price trailer; empty means "no digest", not
-    // "diverged from an empty view" — there is nothing to pull from it.
-    peer_last_heard_[message.from] = sim_.now();
+    // admission (partition mode only, above), and its piggybacked digest —
+    // compared only *after* the frame's own records were applied — is the
+    // split-brain detector: any divergence the frame itself did not repair
+    // triggers a targeted delta pull. Sparse overlays always compare: a
+    // roster-divergence transient can strand a record mid-path, and the
+    // digest exchange along the surviving edges is what backfills it. An
+    // economy-only sender emits an *empty* digest slot just to reach the
+    // price trailer; empty means "no digest", not "diverged from an empty
+    // view" — there is nothing to pull from it.
     const bool digest_empty = message.digest.base_hash == 0 &&
                               message.digest.vos.empty() &&
                               message.digest.epochs.empty();
@@ -1087,6 +1208,16 @@ net::Served DecisionPoint::handle_exchange(std::span<const std::uint8_t> body,
       sim::Duration::millis(0.2) * double(message.dispatches.size() + 1) +
       wal_commit();
   return served;  // one-way: empty reply
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+DecisionPoint::applied_keys() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> keys;
+  for (const auto& [origin, seqs] : applied_) {
+    for (const std::uint64_t seq : seqs) keys.emplace_back(origin.value(), seq);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 DpLoadHint DecisionPoint::self_hint() const {
@@ -1150,50 +1281,99 @@ void DecisionPoint::run_exchange(bool final_flush) {
   if (membership_ && !final_flush) {
     // Failure-detector tick, swept on the heartbeat cadence it measures
     // against — no extra timer. Dead peers drop out of the neighbor set
-    // before this round's fan-out, so nothing is sent to them.
-    const auto swept = membership_->sweep(sim_.now(), options_.exchange_interval);
+    // before this round's fan-out, so nothing is sent to them. The
+    // strategy scopes the detector: sparse symmetric overlays restrict
+    // the timers to their overlay neighbors (silence from a non-adjacent
+    // peer is the topology working), gossip stretches the clocks by its
+    // expected contact period. The mesh keeps the legacy everyone-every-
+    // round contract bit-identically.
+    const double stretch = strategy_->watch_stretch();
+    const sim::Duration heartbeat =
+        stretch == 1.0 ? options_.exchange_interval
+                       : sim::Duration::seconds(
+                             options_.exchange_interval.to_seconds() * stretch);
+    const auto swept =
+        membership_->sweep(sim_.now(), heartbeat, strategy_->watch_peers());
     trace_transitions(swept.transitions);
     if (!swept.transitions.empty()) refresh_neighbors();
   }
-  if (neighbors_.empty() || options_.dissemination == Dissemination::kNone) return;
+  // Grave-probe pool: a dead verdict is mutually silencing — nobody
+  // pushes to a peer it believes dead, so a falsely-buried survivor
+  // (asymmetric partition verdicts) would never see the accusation it
+  // must refute with an incarnation bump. Sparse overlays copy each
+  // round's frame to one rotating dead peer: a true corpse ignores it; a
+  // zombie reads the gossiped claim about itself, bumps, and its next
+  // frames resurrect it everywhere. Collected before the empty-neighbor
+  // bail so a fully-isolated survivor still probes its way back in.
+  std::vector<NodeId> graves;
+  if (membership_ && !final_flush &&
+      strategy_->kind() != overlay::Kind::kMesh) {
+    for (const MemberInfo& info : membership_->members()) {
+      if (info.dp != id_ && info.state == MemberState::kDead) {
+        graves.push_back(NodeId(info.node));
+      }
+    }
+  }
+  if ((neighbors_.empty() && graves.empty()) ||
+      options_.dissemination == Dissemination::kNone) {
+    return;
+  }
+  const bool sparse = strategy_->kind() != overlay::Kind::kMesh;
   ExchangeMessage message;
   message.from = id_;
   message.exchange_round = ++exchange_round_;
-  message.dispatches = std::move(fresh_);
-  fresh_.clear();
-  if (options_.advertise_load || membership_ || options_.partition.enabled ||
-      options_.economy.enabled) {
-    message.has_load = true;
-    message.load = self_hint();
+  if (!sparse) {
+    // Mesh: one shared frame for every neighbor, exactly the legacy path.
+    message.dispatches = std::move(fresh_);
+    fresh_.clear();
+    fresh_meta_.clear();
   }
-  if (membership_) {
-    message.has_membership = true;
-    message.membership = membership_->update();
-  }
-  if (options_.partition.enabled) {
-    // Trailing fields stack positionally: the digest is the third trailer,
-    // so the membership slot must be emitted even without a membership
-    // table (an empty update is a no-op on the receiver). The load hint
-    // (forced above) carries this point's server address — the target a
-    // diverged peer pulls from.
-    message.has_membership = true;
-    message.has_digest = true;
-    message.digest = settled_digest(sim_.now());
-  }
-  if (options_.economy.enabled) {
-    // The price rides fourth, forcing the membership and digest slots.
-    // Without partition tolerance the digest stays empty — receivers treat
-    // an empty digest as absent, never as divergence.
-    message.has_membership = true;
-    message.has_digest = true;
-    message.has_price = true;
-    message.price = self_price();
-  }
+  const std::size_t flushed = sparse ? fresh_.size() : message.dispatches.size();
+  // Trailing fields stack positionally (see TrailerStack): attaching a
+  // later trailer forces all earlier slots onto the frame. A forced load
+  // hint still carries the full snapshot (it doubles as the sender's
+  // pull-target address), a forced membership slot without a table is an
+  // empty update, a forced digest stays empty — receivers treat an empty
+  // digest as absent, never as divergence — and a forced price is a
+  // no-quote 0.0. The hop trailer rides fifth, wanted only by sparse
+  // overlays, so the mesh default emits nothing and keeps the legacy
+  // byte layout.
+  overlay::TrailerStack trailers;
+  trailers
+      .slot(options_.advertise_load,
+            [&](bool) {
+              message.has_load = true;
+              message.load = self_hint();
+            })
+      .slot(membership_ != nullptr,
+            [&](bool) {
+              message.has_membership = true;
+              if (membership_) message.membership = membership_->update();
+            })
+      .slot(options_.partition.enabled ||
+                strategy_->kind() != overlay::Kind::kMesh,
+            [&](bool forced) {
+              message.has_digest = true;
+              if (!forced) message.digest = settled_digest(sim_.now());
+            })
+      .slot(options_.economy.enabled,
+            [&](bool forced) {
+              message.has_price = true;
+              if (!forced) message.price = self_price();
+            })
+      .slot(strategy_->ttl() > 0,
+            [&](bool) {
+              // Placeholder: sparse frames are composed per target below,
+              // each stamped with the max depth of the records it carries.
+              message.has_hops = true;
+              message.hops = 0;
+            })
+      .compose();
   trace::SpanContext xctx;
   if (auto* t = trace::current()) {
     xctx = t->begin(trace::Category::kDp, id_.value(), "dp.exchange", {},
                     std::int64_t(message.exchange_round),
-                    std::int64_t(message.dispatches.size()));
+                    std::int64_t(flushed));
   }
   trace::ContextGuard xguard(xctx);
   if (options_.dissemination == Dissemination::kUslaAndUsage) {
@@ -1212,14 +1392,73 @@ void DecisionPoint::run_exchange(bool final_flush) {
       message.snapshots.push_back(std::move(snapshot));
     }
   }
-  // Single-encode fan-out: the message is serialized once and the shared
-  // frame handed to every neighbor — the exchange cost paid per round is
-  // one encode plus N refcount bumps, not N encodes of the same bytes.
-  peer_client_.notify_all(neighbors_, kExchange, message);
-  exchanges_sent_ += neighbors_.size();
+  // Strategy fan-out. The mesh pushes one shared frame to every live
+  // neighbor (the paper's flooding: one encode plus K refcount bumps).
+  // Sparse overlays derive a smaller per-round push set from the same
+  // roster and compose one frame *per target* — split-horizon: a record
+  // is never relayed back to the peer it was learned from (a leaf's only
+  // target is its parent, so echoing would both waste the edge and
+  // inflate the frame's hop stamp past the TTL for every record riding
+  // along), and each frame's hop trailer reflects only the records it
+  // actually carries.
+  const std::vector<NodeId>* targets = &neighbors_;
+  std::vector<NodeId> selected;
+  if (sparse) {
+    strategy_->select(message.exchange_round, neighbors_, selected);
+    // A sparse strategy wired through raw set_neighbors (no roster) has
+    // no structure to select from; degrade to the mesh push set rather
+    // than silently sending nothing.
+    if (selected.empty()) selected = neighbors_;
+    targets = &selected;
+    if (!graves.empty()) {
+      selected.push_back(graves[message.exchange_round % graves.size()]);
+      ++overlay_grave_probes_;
+      if (auto* t = trace::current()) {
+        t->instant(trace::Category::kDp, id_.value(), "overlay.grave_probe",
+                   xctx, std::int64_t(graves.size()),
+                   std::int64_t(message.exchange_round));
+      }
+    }
+  }
+  if (!sparse) {
+    // One shared frame, a copy per peer: count every copy so
+    // bytes-per-round comparisons against sparse strategies (which
+    // really do encode per target) stay honest.
+    overlay_bytes_sent_ += net::wire::encoded_size(message) * targets->size();
+    peer_client_.notify_all(*targets, kExchange, message);
+  } else {
+    for (const NodeId target : *targets) {
+      DpId source = id_;  // sentinel: own records are never excluded
+      bool known = false;
+      for (const overlay::Member& m : overlay_peers_) {
+        if (m.node == target) {
+          source = m.dp;
+          known = true;
+          break;
+        }
+      }
+      message.dispatches.clear();
+      message.hop_depths.clear();
+      std::uint32_t hops = 0;
+      for (std::size_t i = 0; i < fresh_.size(); ++i) {
+        if (known && fresh_meta_[i].from == source) continue;
+        message.dispatches.push_back(fresh_[i]);
+        message.hop_depths.push_back(fresh_meta_[i].depth);
+        hops = std::max(hops, fresh_meta_[i].depth);
+      }
+      message.hops = hops;
+      overlay_bytes_sent_ += net::wire::encoded_size(message);
+      peer_client_.notify(target, kExchange, message);
+    }
+    fresh_.clear();
+    fresh_meta_.clear();
+  }
+  exchanges_sent_ += targets->size();
+  overlay_fanout_total_ += targets->size();
+  ++overlay_rounds_;
   if (auto* t = trace::current()) {
     t->end(trace::Category::kDp, id_.value(), "dp.exchange", xctx,
-           std::int64_t(neighbors_.size()));
+           std::int64_t(targets->size()));
   }
 }
 
@@ -1544,6 +1783,26 @@ void connect(std::vector<DecisionPoint*> dps, Overlay overlay) {
     nodes.reserve(neighbors[i].size());
     for (const std::size_t j : neighbors[i]) nodes.push_back(dps[j]->node());
     dps[i]->set_neighbors(std::move(nodes));
+  }
+}
+
+void connect(std::vector<DecisionPoint*> dps, const overlay::Options& options) {
+  if (options.kind == overlay::Kind::kMesh) {
+    // Bit-exact legacy wiring: raw neighbor lists, no roster, no strategy
+    // structure to maintain.
+    connect(std::move(dps), Overlay::kMesh);
+    return;
+  }
+  std::vector<overlay::Member> all;
+  all.reserve(dps.size());
+  for (const DecisionPoint* dp : dps) all.push_back({dp->id(), dp->node()});
+  for (DecisionPoint* dp : dps) {
+    std::vector<overlay::Member> peers;
+    peers.reserve(all.size() - 1);
+    for (const overlay::Member& m : all) {
+      if (m.dp != dp->id()) peers.push_back(m);
+    }
+    dp->set_overlay_view(std::move(peers));
   }
 }
 

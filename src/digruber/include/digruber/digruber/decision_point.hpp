@@ -18,6 +18,7 @@
 #include "digruber/grid/topology.hpp"
 #include "digruber/gruber/engine.hpp"
 #include "digruber/net/rpc.hpp"
+#include "digruber/overlay/overlay.hpp"
 #include "digruber/sim/simulation.hpp"
 
 namespace digruber::digruber {
@@ -104,6 +105,14 @@ struct DecisionPointOptions {
   /// window. Off by default: no disk exists and recovery stays the
   /// peer-only anti-entropy path.
   DurabilityOptions durability{};
+  /// Dissemination overlay strategy (who each exchange round pushes to
+  /// and the relay TTL riding along). Defaults to the paper's full mesh:
+  /// every live neighbor, no hop trailer, byte-identical wire.
+  overlay::Options overlay{};
+  /// Observer-only I13 bookkeeping (chaos --overlay): log every own
+  /// accepted record's (seq, time) so the harness can bound convergence.
+  /// Reads state, changes no decision path.
+  bool overlay_audit = false;
 };
 
 /// A DI-GRUBER decision point: a GRUBER engine exposed as a Web service
@@ -129,6 +138,13 @@ class DecisionPoint {
 
   /// Peers this decision point pushes exchange messages to.
   void set_neighbors(std::vector<NodeId> neighbors);
+
+  /// Static overlay wiring: install the full live peer roster (sorted or
+  /// not; it is sorted by DpId here) and let the strategy derive this
+  /// point's push set from it. `set_neighbors` remains the raw
+  /// mesh-equivalent wiring; under membership the view is re-derived from
+  /// the table instead and both calls are superseded by refresh.
+  void set_overlay_view(std::vector<overlay::Member> peers);
 
   /// Fault injection: kill this decision point. It detaches from the
   /// network (in-flight requests are lost, packets to it drop), its timers
@@ -275,6 +291,44 @@ class DecisionPoint {
   /// Accounted sim-time cost of the most recent recovery replay.
   [[nodiscard]] sim::Duration last_recovery_cost() const { return last_recovery_cost_; }
 
+  /// --- Overlay (mesh defaults: rounds/fanout count, rest stays zero) ---
+
+  /// Exchange rounds that actually pushed to at least one peer.
+  [[nodiscard]] std::uint64_t overlay_rounds() const { return overlay_rounds_; }
+  /// Sum of per-round push-set sizes (fanout_total / rounds = mean fanout).
+  [[nodiscard]] std::uint64_t overlay_fanout_total() const {
+    return overlay_fanout_total_;
+  }
+  /// Deepest relay depth observed on any received exchange frame.
+  [[nodiscard]] std::uint64_t overlay_max_hops() const { return overlay_max_hops_; }
+  /// Fresh records not re-relayed because their frame hit the strategy TTL.
+  [[nodiscard]] std::uint64_t overlay_relays_suppressed() const {
+    return overlay_relays_suppressed_;
+  }
+  /// Strategy structure rebuilds that changed this point's push set
+  /// (tree/super-peer repair under churn).
+  [[nodiscard]] std::uint64_t overlay_rebuilds() const { return overlay_rebuilds_; }
+  /// Exchange frames copied to a rotating dead peer so a falsely-buried
+  /// point can learn the verdict and refute it (sparse overlays only).
+  [[nodiscard]] std::uint64_t overlay_grave_probes() const {
+    return overlay_grave_probes_;
+  }
+  /// Exchange body bytes this point put on the wire, counting every copy
+  /// sent (a mesh broadcast is one encode but fan-out many sends).
+  [[nodiscard]] std::uint64_t overlay_bytes_sent() const {
+    return overlay_bytes_sent_;
+  }
+  /// I13 audit snapshots: every (origin, seq) this point has applied, and
+  /// the (seq, accepted-at-seconds) log of its own records (only kept
+  /// when options.overlay_audit; survives crash like the other audit
+  /// notebooks — observer-only ground truth).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  applied_keys() const;
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, double>>&
+  own_record_log() const {
+    return own_record_log_;
+  }
+
   /// Disk fault hooks (FaultPlan-driven; no-ops when durability is off).
   void inject_disk_tear();
   void inject_disk_rot();
@@ -348,6 +402,10 @@ class DecisionPoint {
   void start_timers();
   /// Re-derive the neighbor list from the membership table's live set.
   void refresh_neighbors();
+  /// Re-derive the strategy's structure from the current overlay view;
+  /// counts (and traces) the rebuild when the push set changed and the
+  /// call is a repair rather than initial wiring.
+  void rebuild_strategy(bool initial);
   /// Emit one trace instant per membership transition ("membership.<state>").
   void trace_transitions(const std::vector<MembershipTransition>& transitions);
   /// One join attempt against the next seed in rotation.
@@ -361,6 +419,31 @@ class DecisionPoint {
   net::RpcClient peer_client_;
 
   std::vector<NodeId> neighbors_;
+  /// Dissemination strategy (never null; FullMesh by default) plus the
+  /// live roster it derives structure from. Under static wiring the
+  /// roster comes from set_overlay_view; under membership it is rebuilt
+  /// from the table's live set on every refresh.
+  std::unique_ptr<overlay::Strategy> strategy_;
+  std::vector<overlay::Member> overlay_peers_;
+  /// Per-record relay bookkeeping parallel to fresh_: which peer the
+  /// record was learned from (self for own records) and the relay depth
+  /// it arrived at. Sparse overlays compose per-target frames from it —
+  /// split-horizon: a record is never relayed back to the peer that sent
+  /// it, and each frame's hop trailer is the max depth of the records it
+  /// actually carries, so one deep record cannot poison the relay budget
+  /// of records that rode in shallow. Volatile, like fresh_.
+  struct FreshMeta {
+    DpId from;
+    std::uint32_t depth = 0;
+  };
+  std::vector<FreshMeta> fresh_meta_;
+  std::uint64_t overlay_rounds_ = 0;
+  std::uint64_t overlay_fanout_total_ = 0;
+  std::uint64_t overlay_max_hops_ = 0;
+  std::uint64_t overlay_relays_suppressed_ = 0;
+  std::uint64_t overlay_rebuilds_ = 0;
+  std::uint64_t overlay_grave_probes_ = 0;
+  std::uint64_t overlay_bytes_sent_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t exchange_round_ = 0;
   /// Records learned since the last exchange tick (own + relayed).
@@ -462,6 +545,8 @@ class DecisionPoint {
   /// decision path.
   std::vector<std::tuple<DpId, std::uint64_t, sim::Time>> pre_crash_committed_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> dispatch_audit_;
+  /// I13 audit log of own accepted records (options.overlay_audit only).
+  std::vector<std::pair<std::uint64_t, double>> own_record_log_;
 
   /// Saturation detector state: last emitted signal and the completed
   /// count / sojourn sum at the previous check (for windowed averages).
@@ -483,5 +568,11 @@ std::vector<std::vector<std::size_t>> overlay_neighbors(std::size_t n, Overlay o
 
 /// Wire a set of decision points together under the given overlay.
 void connect(std::vector<DecisionPoint*> dps, Overlay overlay);
+
+/// Wire a set of decision points under a dissemination strategy: every
+/// point receives the full roster (full-mesh neighbor wiring) and its
+/// strategy derives the actual per-round push set from it. With
+/// `Kind::kMesh` this is exactly `connect(dps, Overlay::kMesh)`.
+void connect(std::vector<DecisionPoint*> dps, const overlay::Options& options);
 
 }  // namespace digruber::digruber

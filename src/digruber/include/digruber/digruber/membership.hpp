@@ -133,7 +133,19 @@ class MembershipTable {
   };
   /// Failure-detector tick: one pass over the table applying the
   /// suspect/dead thresholds against each peer's last-heard time.
-  SweepResult sweep(sim::Time now, sim::Duration heartbeat_interval);
+  /// `watch` (sorted by DpId) restricts the timers to the peers direct
+  /// frames are expected from — under a sparse overlay silence from a
+  /// non-adjacent peer is the topology working, not a failure; verdicts
+  /// about unwatched peers arrive only via gossip (`absorb`) from their
+  /// own watchers. nullptr (the mesh default) watches everyone.
+  SweepResult sweep(sim::Time now, sim::Duration heartbeat_interval,
+                    const std::vector<DpId>* watch = nullptr);
+
+  /// Reset the silence clocks of `peers` to `now` at the latest. Called
+  /// when an overlay repair changes the watch set: a peer that just
+  /// became a neighbor has legitimately never pushed here, so its timer
+  /// must start from the re-wiring, not from deployment time.
+  void start_watch_grace(const std::vector<DpId>& peers, sim::Time now);
 
   void set_self_incarnation(std::uint32_t incarnation);
   /// Flip the self entry (leave announcements gossip this as kLeft).

@@ -297,6 +297,20 @@ struct ExchangeMessage {
   /// divergence (see `ViewDigest` equality).
   bool has_price = false;
   double price = 0.0;
+  /// Fifth optional trailing field (overlay): per-record relay depths for
+  /// `dispatches` (`hop_depths[i]` = relay hops record i has already
+  /// traveled; empty means all zero) plus the batch max in `hops` for
+  /// telemetry. Stamped by sparse overlays (tree, gossip, super-peer) so
+  /// receivers can bound further relaying of each record by the
+  /// strategy's TTL — per record, because one deep record must not burn
+  /// the relay budget of a fresh one riding the same frame. Positional
+  /// stacking rule: attaching hops forces all four earlier trailers
+  /// (empty/neutral payloads are no-ops on the receiver). The mesh
+  /// strategy never attaches it, keeping the default wire layout
+  /// byte-identical to the pre-overlay format.
+  bool has_hops = false;
+  std::uint32_t hops = 0;
+  std::vector<std::uint32_t> hop_depths;
 
   template <class Archive>
   void serialize(Archive& ar) {
@@ -306,6 +320,7 @@ struct ExchangeMessage {
       if (has_membership) ar & membership;
       if (has_digest) ar & digest;
       if (has_price) ar & price;
+      if (has_hops) ar & hops & hop_depths;
     } else {
       if (ar.remaining() > 0) {
         ar & load;
@@ -322,6 +337,10 @@ struct ExchangeMessage {
       if (ar.remaining() > 0) {
         ar & price;
         has_price = true;
+      }
+      if (ar.remaining() > 0) {
+        ar & hops & hop_depths;
+        has_hops = true;
       }
     }
   }

@@ -226,12 +226,16 @@ std::optional<MembershipTransition> MembershipTable::mark_left(
 }
 
 MembershipTable::SweepResult MembershipTable::sweep(
-    sim::Time now, sim::Duration heartbeat_interval) {
+    sim::Time now, sim::Duration heartbeat_interval,
+    const std::vector<DpId>* watch) {
   SweepResult result;
   const double interval_s = heartbeat_interval.to_seconds();
   for (auto& [dp, entry] : peers_) {
     if (entry.info.state != MemberState::kAlive &&
         entry.info.state != MemberState::kSuspect) {
+      continue;
+    }
+    if (watch && !std::binary_search(watch->begin(), watch->end(), dp)) {
       continue;
     }
     const double silent_s = (now - entry.last_heard).to_seconds();
@@ -255,6 +259,15 @@ MembershipTable::SweepResult MembershipTable::sweep(
     }
   }
   return result;
+}
+
+void MembershipTable::start_watch_grace(const std::vector<DpId>& peers,
+                                        sim::Time now) {
+  for (const DpId dp : peers) {
+    auto it = peers_.find(dp);
+    if (it == peers_.end()) continue;
+    it->second.last_heard = std::max(it->second.last_heard, now);
+  }
 }
 
 void MembershipTable::set_self_incarnation(std::uint32_t incarnation) {

@@ -33,6 +33,12 @@ void render_membership(std::ostream& os, const metrics::MembershipCounters& coun
 /// are CPU-seconds.
 void render_economy(std::ostream& os, const metrics::EconomyCounters& counters);
 
+/// Render the dissemination-overlay counter block (per-round fan-out,
+/// observed relay depth, TTL-suppressed relays, churn-driven rebuilds).
+/// `strategy` is overlay::kind_name() of the active strategy.
+void render_overlay(std::ostream& os, const char* strategy,
+                    const metrics::OverlayCounters& counters);
+
 /// Render the per-category bytes-on-wire / encode-count block. With the
 /// zero-copy message path, `encodes` counts serializations (one per
 /// exchange round, not one per peer); bytes are the frames those encodes

@@ -183,6 +183,29 @@ void render_economy(std::ostream& os, const metrics::EconomyCounters& counters) 
   os << "\n";
 }
 
+void render_overlay(std::ostream& os, const char* strategy,
+                    const metrics::OverlayCounters& counters) {
+  os << "== overlay counters (" << strategy << ") ==\n";
+  Table table({"counter", "value"});
+  table.add_row(
+      {"exchanges sent", Table::num(double(counters.exchanges_sent), 0)});
+  table.add_row({"exchange rounds", Table::num(double(counters.rounds), 0)});
+  table.add_row({"mean fan-out", Table::num(counters.mean_fanout(), 2)});
+  table.add_row(
+      {"max relay depth", Table::num(double(counters.max_hops), 0)});
+  table.add_row({"relays suppressed (TTL)",
+                 Table::num(double(counters.relays_suppressed), 0)});
+  table.add_row(
+      {"strategy rebuilds", Table::num(double(counters.rebuilds), 0)});
+  table.add_row(
+      {"grave probes", Table::num(double(counters.grave_probes), 0)});
+  table.add_row({"bytes sent", Table::num(double(counters.bytes_sent), 0)});
+  table.add_row(
+      {"bytes / round", Table::num(counters.bytes_per_round(), 0)});
+  table.render(os);
+  os << "\n";
+}
+
 void render_wire(std::ostream& os, const metrics::WireCounters& counters) {
   os << "== wire traffic by category ==\n";
   Table table({"category", "encodes", "bytes"});

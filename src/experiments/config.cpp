@@ -27,6 +27,17 @@ Result<digruber::Overlay> parse_overlay(const std::string& name) {
   return Result<digruber::Overlay>::failure("unknown overlay: " + name);
 }
 
+// Dissemination strategies live in src/overlay/.  `mesh` is the default
+// full flood (byte-identical to the legacy path); ring/star are the old
+// static wirings; tree/gossip/superpeer select a sparse strategy and
+// route through overlay::Strategy.
+Result<overlay::Kind> parse_overlay_kind(const std::string& name) {
+  if (name == "tree") return overlay::Kind::kTree;
+  if (name == "gossip") return overlay::Kind::kGossip;
+  if (name == "superpeer") return overlay::Kind::kSuperPeer;
+  return Result<overlay::Kind>::failure("unknown overlay: " + name);
+}
+
 Result<economy::Allocator> parse_allocator(const std::string& name) {
   if (name == "proportional") return economy::Allocator::kProportional;
   if (name == "karma") return economy::Allocator::kKarma;
@@ -45,6 +56,8 @@ const std::set<std::string>& known_keys() {
       "dps",           "profile",
       "exchange_minutes", "dissemination",
       "overlay",       "grid_scale",
+      "overlay_degree", "overlay_fanout",
+      "overlay_superpeers",
       "background_util", "clients",
       "timeout_s",     "think_s",
       "ramp_s",        "selector",
@@ -102,9 +115,25 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
         parse_dissemination(config.get_string("dissemination", "usage"));
     if (!dissemination.ok()) return Fail::failure(dissemination.error());
     out.dissemination = dissemination.value();
-    const auto overlay = parse_overlay(config.get_string("overlay", "mesh"));
-    if (!overlay.ok()) return Fail::failure(overlay.error());
-    out.overlay = overlay.value();
+    const std::string overlay_name = config.get_string("overlay", "mesh");
+    const auto overlay = parse_overlay(overlay_name);
+    if (overlay.ok()) {
+      out.overlay = overlay.value();
+    } else {
+      const auto kind = parse_overlay_kind(overlay_name);
+      if (!kind.ok()) return Fail::failure(kind.error());
+      out.overlay = digruber::Overlay::kMesh;
+      out.overlay_options.kind = kind.value();
+    }
+    out.overlay_options.tree_degree =
+        std::uint32_t(config.get_int("overlay_degree",
+                                     long(out.overlay_options.tree_degree)));
+    out.overlay_options.gossip_fanout =
+        std::uint32_t(config.get_int("overlay_fanout",
+                                     long(out.overlay_options.gossip_fanout)));
+    out.overlay_options.superpeers =
+        std::uint32_t(config.get_int("overlay_superpeers",
+                                     long(out.overlay_options.superpeers)));
 
     out.grid_scale = int(config.get_int("grid_scale", out.grid_scale));
     out.background_util = config.get_double("background_util", out.background_util);
@@ -255,6 +284,12 @@ Result<ScenarioConfig> scenario_from_config(const Config& config) {
     return Fail::failure("wan_loss must be in [0, 1)");
   }
   if (out.failover_backups < 0) return Fail::failure("failover_backups must be >= 0");
+  if (out.overlay_options.tree_degree < 1) {
+    return Fail::failure("overlay_degree must be >= 1");
+  }
+  if (out.overlay_options.gossip_fanout < 1) {
+    return Fail::failure("overlay_fanout must be >= 1");
+  }
   if (out.economy_options.epoch <= sim::Duration::zero()) {
     return Fail::failure("economy_epoch_s must be > 0");
   }

@@ -28,6 +28,17 @@ struct ScenarioConfig {
   sim::Duration exchange_interval = sim::Duration::minutes(3);
   digruber::Dissemination dissemination = digruber::Dissemination::kUsageOnly;
   digruber::Overlay overlay = digruber::Overlay::kMesh;
+  /// Dissemination overlay strategy (mesh | tree | gossip | superpeer)
+  /// with its knobs. The default mesh leaves every run byte-identical;
+  /// a sparse strategy keeps the full-mesh `overlay` wiring above (the
+  /// roster every strategy derives structure from) and narrows the
+  /// per-round push set inside each decision point. A zero seed derives
+  /// the gossip stream from `seed` arithmetically — no rng draws, so
+  /// same-seed runs replay bit-identically.
+  overlay::Options overlay_options{};
+  /// Observer-only I13 audit (chaos --overlay): harvest per-point applied
+  /// record keys and own-record acceptance logs into DpStats.
+  bool overlay_audit = false;
 
   // Emulated grid (OSG x grid_scale).
   int grid_scale = 10;
@@ -218,6 +229,20 @@ struct DpStats {
   std::uint64_t log_truncations = 0;
   std::uint64_t disk_torn_tails = 0;
   std::uint64_t disk_bit_flips = 0;
+
+  // Dissemination overlay (under the default mesh only rounds/fanout move).
+  std::uint64_t overlay_rounds = 0;
+  std::uint64_t overlay_fanout_total = 0;
+  std::uint64_t overlay_max_hops = 0;
+  std::uint64_t overlay_relays_suppressed = 0;
+  std::uint64_t overlay_rebuilds = 0;
+  /// Alive at harvest (crashed-and-not-restarted points report false).
+  bool running = true;
+  /// I13 audit payloads (filled only when config.overlay_audit): every
+  /// (origin, seq) this point applied, and its own accepted records as
+  /// (seq, accepted-at-seconds).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> applied_keys;
+  std::vector<std::pair<std::uint64_t, double>> own_records;
 };
 
 /// Client-fleet totals (chaos-harness conservation input: every scheduled
@@ -270,6 +295,9 @@ struct ScenarioResult {
 
   /// Durability counters (all zero with durability off).
   metrics::DurabilityCounters durability;
+
+  /// Dissemination-overlay counters (mesh fanout under the default).
+  metrics::OverlayCounters overlay;
 
   /// Client-fleet conservation totals.
   ClientTotals clients;

@@ -244,6 +244,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     dp_options.durability = config.durability_options;
     dp_options.durability.enabled = true;
   }
+  dp_options.overlay = config.overlay_options;
+  if (dp_options.overlay.seed == 0) {
+    // Derived arithmetically from the scenario seed (no rng draws), so
+    // default runs stay bit-identical and gossip replays with the seed.
+    dp_options.overlay.seed = config.seed ^ 0x07E121A7ULL;
+  }
+  dp_options.overlay_audit = config.overlay_audit;
   const bool economy_on =
       config.economy_options.enabled ||
       config.economy_options.allocator == economy::Allocator::kKarma ||
@@ -261,7 +268,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     std::vector<digruber::DecisionPoint*> raw;
     raw.reserve(dps.size());
     for (auto& dp : dps) raw.push_back(dp.get());
-    digruber::connect(std::move(raw), config.overlay);
+    if (config.overlay_options.kind != overlay::Kind::kMesh) {
+      // Sparse strategies need the full roster (id + node per peer) so
+      // every point derives the same tree / super-peer structure.
+      digruber::connect(std::move(raw), dp_options.overlay);
+    } else {
+      digruber::connect(std::move(raw), config.overlay);
+    }
   };
   auto add_dp = [&] {
     if (dp_options.durability.enabled) {
@@ -730,6 +743,25 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       stats.disk_torn_tails = dc.torn_tails;
       stats.disk_bit_flips = dc.bit_flips;
     }
+    stats.overlay_rounds = dp->overlay_rounds();
+    stats.overlay_fanout_total = dp->overlay_fanout_total();
+    stats.overlay_max_hops = dp->overlay_max_hops();
+    stats.overlay_relays_suppressed = dp->overlay_relays_suppressed();
+    stats.overlay_rebuilds = dp->overlay_rebuilds();
+    stats.running = dp->running();
+    if (config.overlay_audit) {
+      stats.applied_keys = dp->applied_keys();
+      stats.own_records = dp->own_record_log();
+    }
+    result.overlay.exchanges_sent += dp->exchanges_sent();
+    result.overlay.rounds += dp->overlay_rounds();
+    result.overlay.fanout_total += dp->overlay_fanout_total();
+    result.overlay.max_hops =
+        std::max(result.overlay.max_hops, dp->overlay_max_hops());
+    result.overlay.relays_suppressed += dp->overlay_relays_suppressed();
+    result.overlay.rebuilds += dp->overlay_rebuilds();
+    result.overlay.grave_probes += dp->overlay_grave_probes();
+    result.overlay.bytes_sent += dp->overlay_bytes_sent();
     result.dps.push_back(stats);
   }
 

@@ -10,6 +10,30 @@ namespace digruber::grubsim {
 
 namespace {
 
+/// Fraction of a decision point's service time spent handling exchange
+/// traffic at deployment size `n`. Every message occupies both its sender
+/// and its receiver, so the per-point handling rate is
+/// 2 * messages_per_round(n) / n per exchange interval. Clamped so even a
+/// pathological overlay leaves 1% of capacity for queries.
+double overlay_overhead_fraction(const GrubSimConfig& config, std::size_t n) {
+  if (config.exchange_cost_queries <= 0.0 || n < 2 ||
+      config.exchange_interval_s <= 0.0 || config.dp_capacity_qps <= 0.0) {
+    return 0.0;
+  }
+  const double msgs_per_s = 2.0 * overlay::messages_per_round(n, config.overlay) /
+                            double(n) / config.exchange_interval_s;
+  const double fraction =
+      msgs_per_s * config.exchange_cost_queries / config.dp_capacity_qps;
+  return std::min(fraction, 0.99);
+}
+
+/// Per-point query capacity net of dissemination overhead. With the
+/// default cost of 0 this is exactly dp_capacity_qps, keeping legacy
+/// replays bit-identical.
+double effective_qps(const GrubSimConfig& config, std::size_t n) {
+  return config.dp_capacity_qps * (1.0 - overlay_overhead_fraction(config, n));
+}
+
 /// Closed-loop replay: the trace contributes the client population and the
 /// experiment duration; the loop itself is re-simulated against the fluid
 /// capacity model so throttled demand is reconstructed.
@@ -47,20 +71,20 @@ GrubSimResult run_closed_loop(const workload::TraceLog& trace,
     issues.pop();
     if (t > duration) continue;
 
+    const double qps = effective_qps(config, dps.size());
     Dp* target = nullptr;
     for (Dp& dp : dps) {
       if (t < dp.ready_at) continue;
       dp.backlog = std::max(
-          0.0, dp.backlog - (t - std::max(dp.drained_to, dp.ready_at)) *
-                                config.dp_capacity_qps);
+          0.0, dp.backlog - (t - std::max(dp.drained_to, dp.ready_at)) * qps);
       dp.drained_to = t;
       if (!target || dp.backlog < target->backlog) target = &dp;
     }
     if (!target) target = &dps.front();
     target->backlog += 1.0;
 
-    const double response = std::max(config.min_response_s,
-                                     target->backlog / config.dp_capacity_qps);
+    const double response =
+        std::max(config.min_response_s, target->backlog / qps);
     response_sum += response;
     result.max_response_s = std::max(result.max_response_s, response);
     ++result.queries_replayed;
@@ -84,6 +108,7 @@ GrubSimResult run_closed_loop(const workload::TraceLog& trace,
   }
   result.avg_response_s =
       result.queries_replayed ? response_sum / double(result.queries_replayed) : 0.0;
+  result.overlay_overhead_fraction = overlay_overhead_fraction(config, dps.size());
   return result;
 }
 
@@ -126,10 +151,11 @@ GrubSimResult run_grubsim(const workload::TraceLog& trace, GrubSimConfig config)
     last_t = t;
 
     // Drain every ready decision point.
+    const double qps = effective_qps(config, dps.size());
     for (Dp& dp : dps) {
       if (t <= dp.ready_at) continue;
       const double active = std::min(dt, t - dp.ready_at);
-      dp.backlog = std::max(0.0, dp.backlog - active * config.dp_capacity_qps);
+      dp.backlog = std::max(0.0, dp.backlog - active * qps);
     }
 
     // Route to the shortest ready queue.
@@ -141,7 +167,7 @@ GrubSimResult run_grubsim(const workload::TraceLog& trace, GrubSimConfig config)
     if (!target) target = &dps.front();
     target->backlog += 1.0;
 
-    const double response = target->backlog / config.dp_capacity_qps;
+    const double response = target->backlog / qps;
     response_sum += response;
     result.max_response_s = std::max(result.max_response_s, response);
     ++result.queries_replayed;
@@ -166,6 +192,7 @@ GrubSimResult run_grubsim(const workload::TraceLog& trace, GrubSimConfig config)
 
   result.avg_response_s =
       result.queries_replayed ? response_sum / double(result.queries_replayed) : 0.0;
+  result.overlay_overhead_fraction = overlay_overhead_fraction(config, dps.size());
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "digruber/overlay/overlay.hpp"
 #include "digruber/workload/trace.hpp"
 
 namespace digruber::grubsim {
@@ -44,6 +45,18 @@ struct GrubSimConfig {
   double overload_sustain_s = 120.0;
   /// A newly provisioned decision point takes this long to come up.
   double provision_delay_s = 60.0;
+
+  // Overlay-aware mode: charge dissemination traffic against the capacity
+  // model. Each exchange message a decision point sends or receives costs
+  // `exchange_cost_queries` query-equivalents of service time; the
+  // per-point overhead rate is messages_per_round(n, overlay) / n divided
+  // by the exchange interval. Off by default (cost 0) so legacy replays
+  // are bit-identical. As deployments grow, mesh overhead scales O(n) per
+  // point while tree/super-peer stay O(1) -- so the answer to "how many
+  // decision points does this load need" now depends on the overlay.
+  overlay::Options overlay{};
+  double exchange_interval_s = 180.0;
+  double exchange_cost_queries = 0.0;
 };
 
 struct GrubSimResult {
@@ -57,6 +70,9 @@ struct GrubSimResult {
   double avg_response_s = 0.0;
   double max_response_s = 0.0;
   std::uint64_t queries_replayed = 0;
+  /// Fraction of per-point capacity spent on dissemination at the final
+  /// deployment size (0 unless overlay-aware mode is on).
+  double overlay_overhead_fraction = 0.0;
 };
 
 GrubSimResult run_grubsim(const workload::TraceLog& trace, GrubSimConfig config);

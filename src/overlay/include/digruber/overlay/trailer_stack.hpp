@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace digruber::overlay {
+
+/// Composer for positionally stacked optional wire trailers.
+///
+/// The wire format has no field tags: optional trailing fields decode by
+/// `remaining() > 0`, in a fixed order. That means attaching trailer i
+/// forces every trailer before it onto the frame (possibly empty), or the
+/// reader would mis-assign bytes. Before this composer existed the
+/// forcing rules were hand-unrolled at each attach site in
+/// `decision_point.cpp` and drifted per message; now both exchange paths
+/// and `GetSiteLoadsReply` declare their slots in wire order and let
+/// `compose()` resolve the forcing.
+///
+/// Each slot is (want, attach): `want` is whether this trailer carries a
+/// payload this frame; `attach` marks the field present on the message
+/// and fills it, receiving `forced = true` when the slot is only present
+/// because a later slot wanted on (attach an empty/neutral payload then).
+/// Slots after the last wanted one are never attached.
+class TrailerStack {
+ public:
+  using Attach = std::function<void(bool forced)>;
+
+  TrailerStack() { slots_.reserve(6); }
+
+  TrailerStack& slot(bool want, Attach attach) {
+    slots_.push_back({want, std::move(attach)});
+    return *this;
+  }
+
+  /// Attach every slot up to and including the last wanted one.
+  void compose() {
+    std::size_t last = slots_.size();
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      if (slots_[i].want) last = i;
+    if (last == slots_.size()) return;
+    for (std::size_t i = 0; i <= last; ++i) slots_[i].attach(!slots_[i].want);
+  }
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    bool want;
+    Attach attach;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace digruber::overlay

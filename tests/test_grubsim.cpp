@@ -114,5 +114,38 @@ TEST(GrubSim, ProvisionTimesRecorded) {
   }
 }
 
+TEST(GrubSim, OverlayOverheadChargesCapacity) {
+  // Cost 0 (the default) must leave legacy replays untouched.
+  GrubSimConfig legacy;
+  legacy.initial_dps = 4;
+  legacy.dp_capacity_qps = 2.0;
+  const workload::TraceLog trace = uniform_trace(4.0, 1800);
+  const GrubSimResult base = run_grubsim(trace, legacy);
+  EXPECT_DOUBLE_EQ(base.overlay_overhead_fraction, 0.0);
+
+  // Mesh overhead grows with n: at 4 points each one pays for 2*n*(n-1)/n
+  // = 6 messages per 180 s round, each worth 5 query-equivalents against
+  // a 2 q/s budget -> 6 * 5 / 180 / 2 ~ 8.3% of capacity.
+  GrubSimConfig mesh = legacy;
+  mesh.exchange_cost_queries = 5.0;
+  const GrubSimResult meshed = run_grubsim(trace, mesh);
+  EXPECT_NEAR(meshed.overlay_overhead_fraction, 6.0 * 5.0 / 180.0 / 2.0, 1e-9);
+  EXPECT_GE(meshed.avg_response_s, base.avg_response_s);
+
+  // The same cost under a spanning tree charges 2*2*(n-1)/n messages per
+  // point per round — cheaper than mesh, and the gap widens with n.
+  GrubSimConfig tree = mesh;
+  tree.overlay.kind = overlay::Kind::kTree;
+  const GrubSimResult treed = run_grubsim(trace, tree);
+  EXPECT_LT(treed.overlay_overhead_fraction, meshed.overlay_overhead_fraction);
+  EXPECT_NEAR(treed.overlay_overhead_fraction,
+              (2.0 * 2.0 * 3.0 / 4.0) * 5.0 / 180.0 / 2.0, 1e-9);
+
+  // A pathological overlay cost clamps at 99%, never a dead point.
+  GrubSimConfig absurd = mesh;
+  absurd.exchange_cost_queries = 1e9;
+  EXPECT_DOUBLE_EQ(run_grubsim(trace, absurd).overlay_overhead_fraction, 0.99);
+}
+
 }  // namespace
 }  // namespace digruber::grubsim

@@ -127,8 +127,40 @@ TEST(ScenarioFromConfig, RejectsUnknownKeys) {
 
 TEST(ScenarioFromConfig, RejectsBadEnumValues) {
   EXPECT_FALSE(scenario_from_config(Config::parse("profile = gt5\n")).ok());
-  EXPECT_FALSE(scenario_from_config(Config::parse("overlay = tree\n")).ok());
+  EXPECT_FALSE(scenario_from_config(Config::parse("overlay = torus\n")).ok());
   EXPECT_FALSE(scenario_from_config(Config::parse("dissemination = all\n")).ok());
+}
+
+TEST(ScenarioFromConfig, ParsesOverlayStrategies) {
+  // The `overlay` key spans both families: the legacy static wirings
+  // (mesh/ring/star) and the src/overlay/ dissemination strategies.
+  const auto tree = scenario_from_config(Config::parse(
+      "overlay = tree\noverlay_degree = 3\n"));
+  ASSERT_TRUE(tree.ok()) << tree.error();
+  EXPECT_EQ(tree.value().overlay, digruber::Overlay::kMesh);
+  EXPECT_EQ(tree.value().overlay_options.kind, overlay::Kind::kTree);
+  EXPECT_EQ(tree.value().overlay_options.tree_degree, 3u);
+
+  const auto gossip = scenario_from_config(Config::parse(
+      "overlay = gossip\noverlay_fanout = 4\n"));
+  ASSERT_TRUE(gossip.ok()) << gossip.error();
+  EXPECT_EQ(gossip.value().overlay_options.kind, overlay::Kind::kGossip);
+  EXPECT_EQ(gossip.value().overlay_options.gossip_fanout, 4u);
+
+  const auto super = scenario_from_config(Config::parse(
+      "overlay = superpeer\noverlay_superpeers = 5\n"));
+  ASSERT_TRUE(super.ok()) << super.error();
+  EXPECT_EQ(super.value().overlay_options.kind, overlay::Kind::kSuperPeer);
+  EXPECT_EQ(super.value().overlay_options.superpeers, 5u);
+
+  const auto mesh = scenario_from_config(Config::parse("overlay = mesh\n"));
+  ASSERT_TRUE(mesh.ok()) << mesh.error();
+  EXPECT_EQ(mesh.value().overlay_options.kind, overlay::Kind::kMesh);
+
+  EXPECT_FALSE(
+      scenario_from_config(Config::parse("overlay_degree = 0\n")).ok());
+  EXPECT_FALSE(
+      scenario_from_config(Config::parse("overlay_fanout = 0\n")).ok());
 }
 
 TEST(ScenarioFromConfig, RejectsOutOfRangeValues) {

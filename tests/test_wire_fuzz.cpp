@@ -127,6 +127,20 @@ proto::ExchangeMessage make_priced_exchange() {
   return msg;
 }
 
+// Sparse-overlay exchange: the hop trailer stacks fifth (batch-max depth
+// plus per-record depths), forcing the four trailers before it.
+proto::ExchangeMessage make_hopped_exchange() {
+  proto::ExchangeMessage msg = make_exchange(true);
+  msg.has_membership = true;
+  msg.has_digest = true;
+  msg.has_price = true;
+  msg.price = 5.75;
+  msg.has_hops = true;
+  msg.hops = 3;
+  msg.hop_depths = {0, 1, 3, 2};  // one depth per dispatch record
+  return msg;
+}
+
 // Every message the protocol can put on the wire, including the optional
 // trailing-field variants, the v2 deadline frame, and the OverloadNack.
 std::vector<CorpusEntry> corpus() {
@@ -198,6 +212,11 @@ std::vector<CorpusEntry> corpus() {
                       FrameKind::kOneWay, make_exchange(true)));
   out.push_back(entry("ExchangeMessage.price", Method::kExchange,
                       FrameKind::kOneWay, make_priced_exchange()));
+  out.push_back(entry("ExchangeMessage.hops", Method::kExchange,
+                      FrameKind::kOneWay, make_hopped_exchange()));
+  out.push_back(entry("ExchangeMessage.hops.v3checksum", Method::kExchange,
+                      FrameKind::kOneWay, make_hopped_exchange(),
+                      /*deadline_us=*/0, /*checksum=*/true));
   out.push_back(entry("ExchangeMessage.v3checksum", Method::kExchange,
                       FrameKind::kOneWay, make_exchange(true),
                       /*deadline_us=*/0, /*checksum=*/true));
@@ -491,6 +510,53 @@ TEST(WireFuzz, BidAndPriceTrailersRoundTripAndStayOptional) {
   ASSERT_LT(legacy_bytes.size(), bid_bytes.size());
   EXPECT_TRUE(std::equal(legacy_bytes.begin(), legacy_bytes.end(),
                          bid_bytes.begin()));
+}
+
+TEST(WireFuzz, HopsTrailerRoundTripsAndStaysOptional) {
+  // Values survive the fifth trailer slot, per-record depths included.
+  const proto::ExchangeMessage hopped = make_hopped_exchange();
+  proto::ExchangeMessage out;
+  ASSERT_TRUE(wire::decode(std::span<const std::uint8_t>(wire::encode(hopped)),
+                           out));
+  EXPECT_TRUE(out.has_hops);
+  EXPECT_EQ(out.hops, 3u);
+  EXPECT_EQ(out.hop_depths, (std::vector<std::uint32_t>{0, 1, 3, 2}));
+  // The hop trailer stacks fifth: every earlier trailer must have
+  // survived alongside it.
+  EXPECT_TRUE(out.has_price);
+  EXPECT_TRUE(out.has_digest);
+  EXPECT_TRUE(out.has_membership);
+
+  // Empty hop_depths is the "all records at depth zero" encoding a
+  // first-hop frame uses; it must round-trip as empty, not as garbage.
+  proto::ExchangeMessage first_hop = make_exchange(true);
+  first_hop.has_membership = true;
+  first_hop.has_digest = true;
+  first_hop.has_price = true;
+  first_hop.has_hops = true;
+  first_hop.hops = 0;
+  proto::ExchangeMessage first_out;
+  ASSERT_TRUE(wire::decode(
+      std::span<const std::uint8_t>(wire::encode(first_hop)), first_out));
+  EXPECT_TRUE(first_out.has_hops);
+  EXPECT_EQ(first_out.hops, 0u);
+  EXPECT_TRUE(first_out.hop_depths.empty());
+
+  // A mesh frame (no hop trailer) keeps the legacy bytes: the overlay
+  // fields are a pure suffix, never a layout change.
+  proto::ExchangeMessage mesh = make_hopped_exchange();
+  mesh.has_hops = false;
+  mesh.hops = 0;
+  mesh.hop_depths.clear();
+  const std::vector<std::uint8_t> mesh_bytes = wire::encode(mesh);
+  const std::vector<std::uint8_t> hop_bytes = wire::encode(hopped);
+  ASSERT_LT(mesh_bytes.size(), hop_bytes.size());
+  EXPECT_TRUE(std::equal(mesh_bytes.begin(), mesh_bytes.end(),
+                         hop_bytes.begin()));
+  proto::ExchangeMessage mesh_out;
+  ASSERT_TRUE(wire::decode(std::span<const std::uint8_t>(mesh_bytes),
+                           mesh_out));
+  EXPECT_FALSE(mesh_out.has_hops);
 }
 
 TEST(WireFuzz, RequestIdTrailerRoundTripsAndStaysOptional) {

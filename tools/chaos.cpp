@@ -1,7 +1,7 @@
 // chaos: seeded random fault-injection soak for the DI-GRUBER mesh.
 //
 //   chaos [--seeds N | --seed K] [--quick] [--verbose] [--churn]
-//         [--partition] [--economy] [--recovery]
+//         [--partition] [--economy] [--recovery] [--overlay]
 //
 // Each seed deterministically generates a random fault schedule (crashes,
 // partitions, link degradations) via FaultPlan::random, runs a small
@@ -70,12 +70,30 @@
 //
 // `--recovery` composes with every other mode.
 //
+// `--overlay` runs each seed under a sparse dissemination overlay (the
+// strategy rotates with the seed: tree, gossip, super-peer) on a larger
+// deployment, with dynamic membership on — sparse overlays need the
+// failure detector to repair around dead relays, so the mode forces it —
+// and appends a settle tail to the run past the fault horizon. It adds
+// one invariant:
+//
+//   I13 overlay completeness: every record accepted by any decision point
+//       inside the post-fault quiet window reaches every point that is
+//       alive and serving at harvest, within a strategy-specific round
+//       bound. Sparse relaying (TTL suppression, gossip's random targets,
+//       churn-rebuilt trees) may slow the flood, but must never lose a
+//       record — residual convergence rides the anti-entropy paths.
+//
+// `--overlay` composes with `--churn` (join/leave events stress topology
+// repair), `--partition`, and the rest.
+//
 // Exit status 0 iff every seed passes; failing seeds are printed so a
 // failure reproduces with `chaos --seed K`.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -107,13 +125,17 @@ struct SeedReport {
   std::uint64_t replayed = 0;
   std::uint64_t retries = 0;
   std::uint64_t dedup_hits = 0;
+  std::string strategy;
+  std::uint64_t audited = 0;
+  std::uint64_t suppressed = 0;
   std::vector<std::string> violations;
 };
 
 SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
-                    bool partition, bool economy, bool recovery) {
+                    bool partition, bool economy, bool recovery,
+                    bool overlay_mode) {
   sim::RandomFaultOptions fault_options;
-  fault_options.n_dps = 3;
+  fault_options.n_dps = overlay_mode ? 5 : 3;
   fault_options.horizon = quick ? sim::Duration::minutes(6) : sim::Duration::minutes(15);
   fault_options.episodes = quick ? 3 : 5;
   if (churn) {
@@ -151,11 +173,13 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
   // A tight queue keeps the shedding machinery exercised even at this
   // small scale.
   config.profile.queue_limit = 64;
-  if (churn) {
+  if (churn || overlay_mode) {
     config.membership = true;
     // Tighten the detector so dead verdicts land inside the random crash
     // windows (5%-25% of the horizon): 15 s heartbeats, dead after 30 s of
-    // silence, detection budget = 2 suspicion intervals = 45 s.
+    // silence, detection budget = 2 suspicion intervals = 45 s. Overlay
+    // mode forces membership even without churn: a sparse topology must
+    // repair around permanently-crashed relays or I13 cannot hold.
     config.exchange_interval = sim::Duration::seconds(15);
     config.membership_options.suspect_after = 1.5;
     config.membership_options.dead_after = 2.0;
@@ -203,6 +227,41 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
     config.partition_options.delta_pull_min_gap = sim::Duration::seconds(10);
     // I6 needs mismatch timestamps, not just counts: trace the run.
     config.tracer = &tracer;
+  }
+
+  std::uint32_t i13_bound_rounds = 0;
+  overlay::Kind overlay_kind = overlay::Kind::kMesh;
+  if (overlay_mode) {
+    // The strategy rotates with the seed so a 20-seed soak covers all
+    // three sparse overlays. Round bounds are deliberately generous: they
+    // cover the topology's worst relay path plus the gap-triggered
+    // catch-up fallback (gossip) and a post-repair re-flood (tree).
+    switch (seed % 3) {
+      case 0:
+        overlay_kind = overlay::Kind::kTree;
+        i13_bound_rounds = 8;
+        break;
+      case 1:
+        overlay_kind = overlay::Kind::kGossip;
+        i13_bound_rounds = 10;
+        break;
+      default:
+        overlay_kind = overlay::Kind::kSuperPeer;
+        i13_bound_rounds = 6;
+        break;
+    }
+    config.overlay_options.kind = overlay_kind;
+    config.overlay_audit = true;
+    // Settle tail past the fault horizon: the audited records need the
+    // full round bound (plus membership-repair margin) to flood before
+    // harvest, and the quiet window must stay non-empty even when the
+    // last scheduled fault lands at the horizon itself (the window opens
+    // 4 intervals after it; the cutoff sits bound+2 intervals before
+    // harvest; the tail covers both with margin to spare).
+    config.duration =
+        fault_options.horizon +
+        sim::Duration::seconds(double(i13_bound_rounds + 8) *
+                               config.exchange_interval.to_seconds());
   }
 
   if (verbose) {
@@ -297,8 +356,17 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
     // earlier verdicts count too, since nothing can refute them while the
     // target is actually down.
     const double interval_s = config.exchange_interval.to_seconds();
-    const double budget_s =
+    double budget_s =
         2.0 * config.membership_options.suspect_after * interval_s;
+    if (overlay_mode && overlay_kind != overlay::Kind::kMesh) {
+      // Sparse overlays detect deaths at the overlay neighbors and gossip
+      // the verdict outward, so distant peers learn it a few rounds later;
+      // gossip additionally stretches its detector clocks by the expected
+      // contact period (~2(n-1)/fanout). Budget both effects.
+      const double stretch =
+          overlay_kind == overlay::Kind::kGossip ? 3.0 : 1.0;
+      budget_s = budget_s * stretch + double(i13_bound_rounds) * interval_s;
+    }
     for (std::size_t d = 0; d < down.size(); ++d) {
       for (const DownSpan& span : down[d]) {
         if (!span.crash) continue;
@@ -498,6 +566,72 @@ SeedReport run_seed(std::uint64_t seed, bool quick, bool verbose, bool churn,
     }
   }
 
+  if (overlay_mode) {
+    report.strategy = overlay::kind_name(overlay_kind);
+    report.suppressed = result.overlay.relays_suppressed;
+
+    // I13: quiet-window completeness. Audit only records accepted after
+    // the last scheduled fault (plus membership-repair margin: dead
+    // verdicts land within 3 intervals, then the strategy rebuilds) and
+    // early enough that the full round bound fits before harvest. Every
+    // point alive and serving at harvest must hold each audited
+    // (origin, seq) key — sparse relaying may be slow, never lossy.
+    const double interval_s = config.exchange_interval.to_seconds();
+    double last_event_s = 0.0;
+    for (const auto& e : plan.events()) {
+      last_event_s = std::max(last_event_s, e.at.to_seconds());
+    }
+    const double window_lo = last_event_s + 4.0 * interval_s;
+    const double cutoff_s = config.duration.to_seconds() -
+                            double(i13_bound_rounds + 2) * interval_s;
+    if (verbose) {
+      std::cout << "I13 window (" << window_lo << ", " << cutoff_s
+                << "), duration " << config.duration.to_seconds() << "\n";
+      for (std::size_t r = 0; r < result.dps.size(); ++r) {
+        for (const auto& tr : result.dps[r].membership_transitions) {
+          std::cout << "dp" << r << " t=" << tr.at.to_seconds() << " dp"
+                    << tr.peer.value() << " -> "
+                    << ::digruber::digruber::member_state_name(tr.to)
+                    << " inc=" << tr.incarnation << "\n";
+        }
+      }
+      for (std::size_t r = 0; r < result.dps.size(); ++r) {
+        const experiments::DpStats& dp = result.dps[r];
+        std::cout << "dp" << r << " running=" << dp.running
+                  << " serving=" << dp.serving << " left=" << dp.left
+                  << " applied=" << dp.applied_keys.size()
+                  << " own=" << dp.own_records.size() << " max-seq:";
+        std::map<std::uint64_t, std::uint64_t> max_seq;
+        for (const auto& [orig, seq] : dp.applied_keys)
+          max_seq[orig] = std::max(max_seq[orig], seq);
+        for (const auto& [orig, seq] : max_seq)
+          std::cout << " " << orig << ":" << seq;
+        std::cout << "\n";
+      }
+    }
+    for (std::size_t o = 0; o < result.dps.size(); ++o) {
+      for (const auto& [seq, when] : result.dps[o].own_records) {
+        if (when <= window_lo || when >= cutoff_s) continue;
+        ++report.audited;
+        const std::pair<std::uint64_t, std::uint64_t> key{o, seq};
+        for (std::size_t r = 0; r < result.dps.size(); ++r) {
+          if (r == o) continue;
+          const experiments::DpStats& dp = result.dps[r];
+          if (!dp.running || !dp.serving || dp.left) continue;
+          if (!std::binary_search(dp.applied_keys.begin(),
+                                  dp.applied_keys.end(), key)) {
+            std::ostringstream os;
+            os << "I13 record (origin dp" << o << ", seq " << seq
+               << ") accepted at " << when << "s never reached dp" << r
+               << " (" << report.strategy << ", bound " << i13_bound_rounds
+               << " rounds)";
+            violate(os.str());
+          }
+        }
+      }
+    }
+  }
+
   return report;
 }
 
@@ -513,6 +647,7 @@ int main(int argc, char** argv) {
   bool partition = false;
   bool economy = false;
   bool recovery = false;
+  bool overlay_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -540,10 +675,12 @@ int main(int argc, char** argv) {
       economy = true;
     } else if (arg == "--recovery") {
       recovery = true;
+    } else if (arg == "--overlay") {
+      overlay_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--seeds N | --seed K] [--quick] [--verbose] [--churn]"
-                << " [--partition] [--economy] [--recovery]\n";
+                << " [--partition] [--economy] [--recovery] [--overlay]\n";
       return 0;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
@@ -578,12 +715,17 @@ int main(int argc, char** argv) {
     header.push_back("retries");
     header.push_back("dedup");
   }
+  if (overlay_mode) {
+    header.push_back("strategy");
+    header.push_back("audited");
+    header.push_back("ttl-drops");
+  }
   header.push_back("verdict");
   Table table(header);
   std::vector<std::uint64_t> failing;
   for (const std::uint64_t seed : seeds) {
-    const SeedReport report =
-        run_seed(seed, quick, verbose, churn, partition, economy, recovery);
+    const SeedReport report = run_seed(seed, quick, verbose, churn, partition,
+                                       economy, recovery, overlay_mode);
     std::vector<std::string> row{
         std::to_string(report.seed), std::to_string(report.faults),
         std::to_string(report.queries), std::to_string(report.shed),
@@ -607,6 +749,11 @@ int main(int argc, char** argv) {
       row.push_back(std::to_string(report.retries));
       row.push_back(std::to_string(report.dedup_hits));
     }
+    if (overlay_mode) {
+      row.push_back(report.strategy);
+      row.push_back(std::to_string(report.audited));
+      row.push_back(std::to_string(report.suppressed));
+    }
     row.push_back(report.pass ? "PASS" : "FAIL");
     table.add_row(row);
     if (!report.pass) {
@@ -628,6 +775,8 @@ int main(int argc, char** argv) {
   std::cout << "\nreproduce with: " << argv[0] << " --seed <K> --verbose"
             << (quick ? " --quick" : "") << (churn ? " --churn" : "")
             << (partition ? " --partition" : "")
-            << (economy ? " --economy" : "") << "\n";
+            << (economy ? " --economy" : "")
+            << (recovery ? " --recovery" : "")
+            << (overlay_mode ? " --overlay" : "") << "\n";
   return 1;
 }

@@ -136,6 +136,16 @@ int main(int argc, char** argv) {
                       : "dynamic provisioning grew the deployment to ")
               << r.final_dps << " decision points\n";
   }
+  if (cfg.overlay_options.kind != overlay::Kind::kMesh) {
+    diperf::render_overlay(std::cout, overlay::kind_name(cfg.overlay_options.kind),
+                           r.overlay);
+    std::cout << "overlay: " << overlay::kind_name(cfg.overlay_options.kind)
+              << ", mean fan-out " << Table::num(r.overlay.mean_fanout(), 2)
+              << " over " << r.overlay.rounds << " round(s), max relay depth "
+              << r.overlay.max_hops << ", " << r.overlay.relays_suppressed
+              << " relay(s) suppressed, " << r.overlay.rebuilds
+              << " rebuild(s)\n";
+  }
   if (cfg.membership) {
     std::cout << "membership: " << r.membership.deaths_declared
               << " death(s) declared, " << r.membership.joins_completed << "/"

@@ -3,7 +3,7 @@
 //
 //   trace-inspect trace.jsonl [--cat NAME] [--actor N] [--name NAME]
 //                 [--trace-id N] [--from S] [--to S] [--recovery]
-//                 [--events] [--top N]
+//                 [--overlay] [--events] [--top N]
 //
 // Prints per-span-name duration histograms (count, p50/p90/p99/max from
 // the same HDR-style log-bucketed histogram the metrics layer uses),
@@ -11,7 +11,9 @@
 // themselves. Filters compose (AND). `--recovery` is a preset name filter
 // keeping only the durability/recovery lifecycle: WAL appends and fsync
 // barriers, checkpoints, replay spans, restarts, catch-up and delta
-// anti-entropy, dedup hits and client report retries.
+// anti-entropy, dedup hits and client report retries. `--overlay` keeps
+// the dissemination lifecycle: exchange spans, structure rebuilds, TTL
+// relay drops, grave probes, and digest-driven delta pulls.
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
@@ -19,6 +21,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -100,6 +103,7 @@ struct Options {
   std::optional<double> from_s;
   std::optional<double> to_s;
   bool recovery = false;
+  bool overlay = false;
   bool events = false;
   std::size_t top = 20;
 };
@@ -114,18 +118,37 @@ constexpr const char* kRecoveryNames[] = {
     "dp.dedup_hit",      "report.retry",
 };
 
-bool recovery_name(const std::string& name) {
-  for (const char* candidate : kRecoveryNames) {
+/// The dissemination-overlay lifecycle: every exchange push, the
+/// structure repairs under churn, TTL relay suppressions, grave probes
+/// to believed-dead peers, and the anti-entropy that backfills what a
+/// sparse topology dropped mid-path.
+constexpr const char* kOverlayNames[] = {
+    "dp.exchange",       "overlay.rebuild", "overlay.relay_drop",
+    "overlay.grave_probe", "dp.digest_mismatch", "dp.delta_pull",
+    "dp.delta_served",
+};
+
+bool name_in(const std::string& name, std::span<const char* const> set) {
+  for (const char* candidate : set) {
     if (name == candidate) return true;
   }
   return false;
+}
+
+bool recovery_name(const std::string& name) {
+  return name_in(name, kRecoveryNames);
+}
+
+bool overlay_name(const std::string& name) {
+  return name_in(name, kOverlayNames);
 }
 
 int usage(const char* argv0, int code) {
   (code ? std::cerr : std::cout)
       << "usage: " << argv0
       << " trace.jsonl [--cat NAME] [--actor N] [--name NAME] [--trace-id N]"
-         " [--from S] [--to S] [--recovery] [--events] [--top N]\n";
+         " [--from S] [--to S] [--recovery] [--overlay] [--events]"
+         " [--top N]\n";
   return code;
 }
 
@@ -165,6 +188,8 @@ int main(int argc, char** argv) {
       opt.to_s = std::strtod(v, nullptr);
     } else if (arg == "--recovery") {
       opt.recovery = true;
+    } else if (arg == "--overlay") {
+      opt.overlay = true;
     } else if (arg == "--events") {
       opt.events = true;
     } else if (arg == "--top") {
@@ -198,6 +223,7 @@ int main(int argc, char** argv) {
     if (opt.actor && line.actor != *opt.actor) continue;
     if (opt.name && line.name != *opt.name) continue;
     if (opt.recovery && !recovery_name(line.name)) continue;
+    if (opt.overlay && !overlay_name(line.name)) continue;
     if (opt.trace_id && line.trace != *opt.trace_id) continue;
     const double ts_s = double(line.ts_us) * 1e-6;
     if (opt.from_s && ts_s < *opt.from_s) continue;
